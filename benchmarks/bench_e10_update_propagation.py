@@ -1,0 +1,128 @@
+"""E10 — Predicate-driven propagation and attribute clustering (paper SS4.1).
+
+Claims reproduced:
+
+* an update touches only the Summary Database entries of the affected
+  attribute ("given an attribute name we can retrieve all the values
+  associated with that attribute"), not the whole cache; and
+* clustering entries on attribute name makes that retrieval touch few
+  pages — the ablation against an insertion-ordered layout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentTable, report_table, speedup
+from repro.core.session import AnalystSession
+from repro.metadata.management import ManagementDatabase
+from repro.summary.summarydb import SummaryDatabase
+from repro.views.view import ConcreteView
+
+FUNCTIONS = ["min", "max", "mean", "std", "median", "count", "sum", "var"]
+
+
+def test_e10_propagation_is_attribute_local(microdata_10k, benchmark):
+    view = ConcreteView("e10", microdata_10k.copy("e10"))
+    session = AnalystSession(ManagementDatabase(), view, analyst="e10")
+    attrs = ["AGE", "INCOME", "HOURS_WORKED", "YEARS_EDUCATION"]
+    for attr in attrs:
+        for fn in FUNCTIONS:
+            session.compute(fn, attr)
+    total_entries = len(view.summary)
+
+    report = session.update_cells("INCOME", [(7, 55_000.0)])
+
+    table = ExperimentTable(
+        "E10",
+        "Update propagation scope (one INCOME point update)",
+        ["metric", "value"],
+    )
+    table.add_row("cached entries total", total_entries)
+    table.add_row("entries visited", report.entries_visited)
+    table.add_row("incremental updates applied", report.incremental_updates)
+    table.add_row("summary pages touched", report.summary_pages_touched)
+    report_table(table)
+
+    assert total_entries == len(attrs) * len(FUNCTIONS)
+    assert report.entries_visited == len(FUNCTIONS)  # INCOME's entries only
+
+    benchmark(lambda: session.update_cells("INCOME", [(9, 42_000.0)]))
+
+
+def test_e10_clustering_ablation(benchmark):
+    """Pages touched by an attribute sweep, clustered vs insertion order."""
+
+    def build(clustered):
+        db = SummaryDatabase("e10b", entries_per_page=8, clustered=clustered)
+        attrs = [f"attr{i:02d}" for i in range(16)]
+        # Function-major insertion: consecutive insertions hit different
+        # attributes, the worst case for an unclustered layout.
+        for fn in FUNCTIONS:
+            for attr in attrs:
+                db.insert(fn, attr, 1.0)
+        return db
+
+    clustered_db = build(True)
+    scattered_db = build(False)
+    table = ExperimentTable(
+        "E10b",
+        "Summary Database layout ablation (16 attrs x 8 fns, 8 entries/page)",
+        ["layout", "pages_for_one_attribute", "total_pages"],
+    )
+    table.add_row(
+        "clustered by attribute",
+        clustered_db.pages_for_attribute("attr05"),
+        clustered_db.total_pages(),
+    )
+    table.add_row(
+        "insertion order",
+        scattered_db.pages_for_attribute("attr05"),
+        scattered_db.total_pages(),
+    )
+    report_table(table)
+
+    assert clustered_db.pages_for_attribute("attr05") == 1  # 8 entries, one page
+    assert scattered_db.pages_for_attribute("attr05") == 8  # fully scattered
+
+    benchmark(lambda: clustered_db.entries_for_attribute("attr05"))
+
+
+def test_e10_stored_clustering_real_io(benchmark):
+    """The simulation validated on real pages: a clustered on-disk Summary
+
+    Database serves an attribute sweep in a handful of block reads."""
+    from repro.storage.disk import SimulatedDisk
+    from repro.storage.pager import BufferPool
+    from repro.summary.stored import StoredSummaryStore
+
+    summary = SummaryDatabase("e10c", entries_per_page=8)
+    attrs = [f"attr{i:02d}" for i in range(16)]
+    for fn in FUNCTIONS:
+        for attr in attrs:
+            summary.insert(fn, attr, 1.0)
+    disk = SimulatedDisk(block_size=256)
+    pool = BufferPool(disk, capacity=4)
+    store = StoredSummaryStore(pool)
+    store.save(summary)
+    pool.clear()
+    disk.reset_stats()
+    swept = list(store.entries_for_attribute("attr05"))
+    sweep_reads = disk.stats.block_reads
+
+    table = ExperimentTable(
+        "E10c",
+        "Stored Summary Database: real block I/O for one attribute sweep",
+        ["metric", "value"],
+    )
+    table.add_row("entries stored", len(store))
+    table.add_row("store pages", store.page_count)
+    table.add_row("entries swept", len(swept))
+    table.add_row("block reads for sweep", sweep_reads)
+    report_table(table)
+
+    assert len(swept) == len(FUNCTIONS)
+    assert sweep_reads <= 3
+    assert store.page_count >= 4 * sweep_reads
+
+    benchmark(lambda: list(store.entries_for_attribute("attr05")))

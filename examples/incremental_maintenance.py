@@ -1,0 +1,96 @@
+"""The SS4.2 machinery up close: finite differencing and the median window.
+
+Shows (1) automatically derived incremental forms from high-level function
+definitions, (2) the median histogram window absorbing a long correction
+stream with almost no regenerations, and (3) the drift regime that forces
+the pointer off the list — each regeneration a single data pass.
+
+Run:  python examples/incremental_maintenance.py
+"""
+
+import random
+import statistics
+
+from repro.incremental import (
+    AlgebraicForm,
+    DEFINITIONS,
+    MedianWindow,
+    derive_incremental,
+)
+from repro.workloads import correction_stream, drift_stream
+
+
+def demo_finite_differencing() -> None:
+    print("== finite differencing from high-level definitions ==")
+    print(f"mean is defined as {DEFINITIONS['mean']}")
+    rng = random.Random(0)
+    work = [rng.gauss(100, 20) for _ in range(100_000)]
+
+    incremental = derive_incremental("var")
+    incremental.initialize(work)
+    print(f"initial var:  {incremental.value:.6f}")
+    print(f"batch var:    {statistics.variance(work):.6f}")
+
+    # 10k updates, each O(1) instead of a 100k-row rescan.
+    for _ in range(10_000):
+        index = rng.randrange(len(work))
+        new = rng.gauss(100, 20)
+        incremental.on_update(work[index], new)
+        work[index] = new
+    print(f"after 10k updates, incremental var: {incremental.value:.6f}")
+    print(f"batch recomputation agrees:         {statistics.variance(work):.6f}")
+
+    # A custom function: root-mean-square, differenced automatically.
+    rms = AlgebraicForm(("sqrt", ("div", ("sumsq",), ("count",))))
+    rms.initialize(work)
+    print(f"custom RMS definition maintained too: {rms.value:.4f}\n")
+
+
+def demo_median_window() -> None:
+    print("== the median histogram window (SS4.2) ==")
+    rng = random.Random(1)
+    work = [rng.gauss(30_000, 8_000) for _ in range(200_000)]
+    window = MedianWindow(lambda: work, window_size=100)
+    print(f"initial median: {window.value:,.2f}")
+
+    # Stationary corrections: the pointer shifts, the window holds.
+    for update in correction_stream(work, 5_000, noise_sd=8_000, seed=2):
+        old = work[update.row]
+        work[update.row] = update.value
+        window.on_update(old, update.value)
+    print(
+        f"after 5,000 corrections: median={window.value:,.2f} "
+        f"(true {statistics.median(work):,.2f})"
+    )
+    print(
+        f"  pointer moves: {window.stats.pointer_moves:,}, "
+        f"regenerations: {window.stats.regenerations}, "
+        f"data passes: {window.stats.data_passes}"
+    )
+
+    # Drift: the median walks out of the window; each run-off costs one
+    # single-pass regeneration using the 101-bucket estimate.
+    for update in drift_stream(len(work), 5_000, start=30_000, drift_per_step=25, seed=3):
+        old = work[update.row]
+        work[update.row] = update.value
+        window.on_update(old, update.value)
+        window.value
+    print(
+        f"after 5,000 drifting updates: median={window.value:,.2f} "
+        f"(true {statistics.median(work):,.2f})"
+    )
+    print(
+        f"  regenerations: {window.stats.regenerations}, "
+        f"data passes: {window.stats.data_passes}, "
+        f"extra passes (footnote 2 misses): {window.stats.extra_passes}"
+    )
+    baseline = 10_001  # a sort per read
+    print(
+        f"  a sort-per-read baseline would have made {baseline:,} passes; "
+        f"the window made {window.stats.data_passes}"
+    )
+
+
+if __name__ == "__main__":
+    demo_finite_differencing()
+    demo_median_window()

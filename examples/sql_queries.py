@@ -1,0 +1,58 @@
+"""The SQL-subset surface over flat files: Figure 1 + Figure 2 queries.
+
+The paper complains statistical packages lack the join (SS2.4); here the
+AGE_GROUP decode is one query, and the SS2.2 coarsening (collapse M/F with
+a population-weighted salary) is a GROUP BY.
+
+Run:  python examples/sql_queries.py
+"""
+
+from repro.relational import Catalog, execute
+from repro.workloads import age_group_codebook, figure1_dataset
+
+
+def main() -> None:
+    catalog = Catalog()
+    catalog.register(figure1_dataset("census"), "census")
+    catalog.register(age_group_codebook().to_relation(), "age_codes")
+
+    print("== Figure 1 ==")
+    print(execute("SELECT * FROM census", catalog).pretty())
+
+    print("\n== decode AGE_GROUP via the Figure 2 join (SS2.4) ==")
+    decoded = execute(
+        "SELECT SEX, RACE, VALUE, POPULATION, AVE_SALARY "
+        "FROM census JOIN age_codes ON AGE_GROUP = CATEGORY "
+        "ORDER BY POPULATION DESC",
+        catalog,
+    )
+    print(decoded.pretty())
+
+    print("\n== the SS2.2 coarsening: drop SEX, weight salaries by population ==")
+    coarse = execute(
+        "SELECT RACE, AGE_GROUP, SUM(POPULATION) AS POP, "
+        "WEIGHTED_AVG(AVE_SALARY, POPULATION) AS AVE_SALARY "
+        "FROM census GROUP BY RACE, AGE_GROUP ORDER BY POP DESC",
+        catalog,
+    )
+    print(coarse.pretty())
+
+    print("\n== an informational query (SS2.6) ==")
+    info = execute(
+        "SELECT AVE_SALARY, POPULATION FROM census "
+        "WHERE SEX = 'M' AND RACE = 'W' AND AGE_GROUP = 2",
+        catalog,
+    )
+    print(info.pretty())
+
+    print("\n== summary statistics in SQL ==")
+    stats = execute(
+        "SELECT COUNT(*) AS N, MIN(AVE_SALARY) AS LO, MEDIAN(AVE_SALARY) AS MED, "
+        "MAX(AVE_SALARY) AS HI FROM census",
+        catalog,
+    )
+    print(stats.pretty())
+
+
+if __name__ == "__main__":
+    main()

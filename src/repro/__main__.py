@@ -1,0 +1,6 @@
+"""``python -m repro`` starts the interactive analyst shell."""
+
+from repro.core.shell import main
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Benchmark harness utilities."""
+
+from repro.bench.harness import ExperimentTable, speedup
+
+__all__ = ["ExperimentTable", "speedup"]

@@ -1,0 +1,85 @@
+"""Benchmark harness utilities: the fixed-width experiment tables every
+
+``benchmarks/bench_*.py`` prints.  Each experiment (E1-E12 in DESIGN.md)
+declares an :class:`ExperimentTable`, fills rows during the run, and prints
+it so `pytest benchmarks/ --benchmark-only` output reads like the
+evaluation section the 1982 paper never had."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass
+class ExperimentTable:
+    """A titled results table printed at the end of a benchmark."""
+
+    experiment: str
+    title: str
+    columns: Sequence[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one result row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([_fmt(v) for v in values])
+
+    def note(self, text: str) -> None:
+        """Attach a footnote."""
+        self.notes.append(text)
+
+    def render(self) -> str:
+        """The fixed-width rendering."""
+        widths = [
+            max(len(str(c)), *(len(r[i]) for r in self.rows)) if self.rows else len(str(c))
+            for i, c in enumerate(self.columns)
+        ]
+        lines = [
+            "",
+            f"=== {self.experiment}: {self.title} ===",
+            "  ".join(str(c).ljust(w) for c, w in zip(self.columns, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in self.rows:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def emit(self) -> None:
+        """Print the table (pytest shows it with -s / at teardown)."""
+        print(self.render())
+
+
+#: Tables registered by benchmarks for end-of-run printing (the
+#: ``pytest_terminal_summary`` hook in benchmarks/conftest.py drains this).
+REGISTRY: list[ExperimentTable] = []
+
+
+def report_table(table: ExperimentTable) -> None:
+    """Register a results table for end-of-run printing."""
+    REGISTRY.append(table)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """baseline/improved, guarding division by zero."""
+    if improved == 0:
+        return float("inf")
+    return baseline / improved

@@ -1,0 +1,61 @@
+"""The paper's primary contribution: the statistical DBMS organization of
+
+Figure 3 — concrete views with Summary Databases, a Management Database of
+rules, cached computation with incremental maintenance, and analyst
+sessions with accuracy preferences."""
+
+from repro.core.accuracy import AccuracyLevel, AccuracyPreference
+from repro.core.dbms import StatisticalDBMS, ViewCreation
+from repro.core.errors import (
+    AccuracyError,
+    CatalogError,
+    CodebookError,
+    DiskError,
+    ExpressionError,
+    FunctionError,
+    HistoryError,
+    MetadataError,
+    NotIncrementallyComputable,
+    QueryError,
+    ReproError,
+    RuleError,
+    SamplingError,
+    SchemaError,
+    StatisticsError,
+    StorageError,
+    SummaryError,
+    TapeError,
+    ViewError,
+)
+from repro.core.propagation import PropagationReport, UpdatePropagator
+from repro.core.session import AnalystSession, SessionStats
+
+__all__ = [
+    "AccuracyError",
+    "AccuracyLevel",
+    "AccuracyPreference",
+    "AnalystSession",
+    "CatalogError",
+    "CodebookError",
+    "DiskError",
+    "ExpressionError",
+    "FunctionError",
+    "HistoryError",
+    "MetadataError",
+    "NotIncrementallyComputable",
+    "PropagationReport",
+    "QueryError",
+    "ReproError",
+    "RuleError",
+    "SamplingError",
+    "SchemaError",
+    "SessionStats",
+    "StatisticalDBMS",
+    "StatisticsError",
+    "StorageError",
+    "SummaryError",
+    "TapeError",
+    "UpdatePropagator",
+    "ViewCreation",
+    "ViewError",
+]

@@ -1,0 +1,64 @@
+"""Accuracy preferences (paper SS3.2).
+
+"The user should have the capability of communicating his wishes regarding
+the desired accuracy for answers to his questions to the system."
+
+:class:`AccuracyPreference` is the user-facing declaration; ``to_policy``
+turns it into the :class:`~repro.summary.policies.ConsistencyPolicy` the
+propagation pipeline enforces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.errors import AccuracyError
+from repro.summary.policies import (
+    ConsistencyPolicy,
+    InvalidatePolicy,
+    PeriodicPolicy,
+    PrecisePolicy,
+    TolerantPolicy,
+)
+
+
+class AccuracyLevel(enum.Enum):
+    """How fresh cached answers must be."""
+
+    PRECISE = "precise"
+    """Cached values always reflect the current view exactly."""
+
+    PERIODIC = "periodic"
+    """Values refresh every k updates; answers between refreshes may lag."""
+
+    TOLERANT = "tolerant"
+    """Stale answers are fine while at most k updates are pending ("a
+
+    change of one or two values has very little effect on the median")."""
+
+    LAZY = "lazy"
+    """The SS4.3 fallback: invalidate on update, recompute on demand."""
+
+
+@dataclass(frozen=True)
+class AccuracyPreference:
+    """An analyst's declared freshness requirement for one view."""
+
+    level: AccuracyLevel = AccuracyLevel.PRECISE
+    parameter: int = 10
+    """Refresh period for PERIODIC; staleness bound for TOLERANT."""
+
+    def to_policy(self) -> ConsistencyPolicy:
+        """The consistency policy enforcing this preference."""
+        if self.level is AccuracyLevel.PRECISE:
+            return PrecisePolicy()
+        if self.level is AccuracyLevel.PERIODIC:
+            if self.parameter < 1:
+                raise AccuracyError("PERIODIC needs a positive period")
+            return PeriodicPolicy(period=self.parameter)
+        if self.level is AccuracyLevel.TOLERANT:
+            if self.parameter < 0:
+                raise AccuracyError("TOLERANT needs a non-negative bound")
+            return TolerantPolicy(max_staleness=self.parameter)
+        return InvalidatePolicy()

@@ -1,0 +1,195 @@
+"""The statistical DBMS facade — the organization of Figure 3.
+
+"We envision several concrete views over a single raw database.  Each view
+is private to a single user ...  Associated with each view is a Summary
+Database ...  One Management Database is associated with the DBMS."
+
+:class:`StatisticalDBMS` owns the raw (tape) database, the single
+Management Database, the view registry (with duplicate/derivation
+detection), and hands out per-analyst sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.accuracy import AccuracyPreference
+from repro.core.errors import ViewError
+from repro.core.session import AnalystSession
+from repro.metadata.management import ManagementDatabase
+from repro.relational.relation import Relation
+from repro.storage.wiss import StorageManager
+from repro.summary.summarydb import SummaryDatabase
+from repro.views.materialize import (
+    MaterializationReport,
+    RawDatabase,
+    ViewDefinition,
+    materialize,
+)
+from repro.views.sharing import DerivationMatch, PublishedEdits, ViewRegistry
+from repro.views.view import ConcreteView
+
+
+@dataclass
+class ViewCreation:
+    """Outcome of a create_view request."""
+
+    view: ConcreteView
+    reused: DerivationMatch | None = None
+    report: MaterializationReport | None = None
+
+    @property
+    def from_tape(self) -> bool:
+        """Whether the raw tape had to be read."""
+        return self.report is not None
+
+
+class StatisticalDBMS:
+    """Figure 3: raw database + concrete views + Summary/Management DBs."""
+
+    def __init__(
+        self,
+        management: ManagementDatabase | None = None,
+        raw: RawDatabase | None = None,
+        use_storage_mirrors: bool = False,
+        storage: StorageManager | None = None,
+    ) -> None:
+        self.management = management or ManagementDatabase()
+        self.raw = raw or RawDatabase()
+        self.registry = ViewRegistry()
+        self.use_storage_mirrors = use_storage_mirrors
+        self.storage = storage or (StorageManager() if use_storage_mirrors else None)
+        self.views_reused = 0
+        self.views_derived = 0
+        self.views_materialized = 0
+
+    # -- raw database --------------------------------------------------------------
+
+    def load_raw(self, relation: Relation) -> int:
+        """Write a dataset onto the raw tape; returns blocks written."""
+        return self.raw.store(relation)
+
+    # -- view lifecycle -------------------------------------------------------------
+
+    def create_view(
+        self,
+        definition: ViewDefinition,
+        analyst: str = "analyst",
+        accuracy: AccuracyPreference | None = None,
+        allow_duplicate: bool = False,
+    ) -> ViewCreation:
+        """Materialize a view — or reuse/derive an existing one.
+
+        The duplicate check of SS2.3 runs first: an identical definition
+        returns the existing view; a derivable one is evaluated against the
+        existing view's disk-resident data instead of the tape.
+        ``allow_duplicate`` forces a fresh tape materialization regardless.
+        """
+        if definition.name in self.registry.names():
+            raise ViewError(f"view name {definition.name!r} already in use")
+        match = None if allow_duplicate else self.registry.find_match(definition)
+        if match is not None and match.kind == "identical":
+            self.views_reused += 1
+            return ViewCreation(view=self.registry.get(match.existing), reused=match)
+        if match is not None and match.kind == "derivable":
+            relation = self.registry.derive_from(definition, match)
+            view = self._wrap(relation, definition, analyst)
+            self.views_derived += 1
+            self._register(view, analyst, accuracy)
+            return ViewCreation(view=view, reused=match)
+        relation, report = materialize(definition, self.raw)
+        view = self._wrap(relation, definition, analyst)
+        self.views_materialized += 1
+        self._register(view, analyst, accuracy)
+        return ViewCreation(view=view, report=report)
+
+    def _wrap(
+        self, relation: Relation, definition: ViewDefinition, analyst: str
+    ) -> ConcreteView:
+        storage = None
+        if self.storage is not None:
+            storage = self.storage.create_transposed_file(
+                f"view_{definition.name}", relation.schema.types
+            )
+        return ConcreteView(
+            name=definition.name,
+            relation=relation,
+            definition=definition,
+            owner=analyst,
+            storage=storage,
+            summary=SummaryDatabase(view_name=definition.name),
+        )
+
+    def _register(
+        self,
+        view: ConcreteView,
+        analyst: str,
+        accuracy: AccuracyPreference | None,
+    ) -> None:
+        self.registry.register(view)
+        assert view.definition is not None
+        self.management.register_view(view.definition, view.history)
+        if accuracy is not None:
+            self.management.set_policy(analyst, view.name, accuracy.to_policy())
+
+    def drop_view(self, name: str) -> None:
+        """Remove a view and its control information."""
+        self.registry.unregister(name)
+        self.management.drop_view(name)
+
+    def view(self, name: str) -> ConcreteView:
+        """Fetch a view by name."""
+        return self.registry.get(name)
+
+    # -- sessions -----------------------------------------------------------------------
+
+    def session(self, view_name: str, analyst: str = "analyst") -> AnalystSession:
+        """Open an analyst session against a view."""
+        view = self.registry.get(view_name)
+        return AnalystSession(
+            management=self.management,
+            view=view,
+            analyst=analyst,
+            policy=self.management.policy_for(analyst, view_name),
+        )
+
+    # -- publishing / adoption -------------------------------------------------------------
+
+    def publish(self, view_name: str, publisher: str | None = None) -> PublishedEdits:
+        """Publish a view's cleaned data and edit history (SS2.3)."""
+        return self.registry.publish(self.registry.get(view_name), publisher)
+
+    def adopt_published(self, view_name: str, new_name: str, analyst: str) -> ConcreteView:
+        """Create a private view from another analyst's published edits —
+
+        reusing their data checking instead of redoing it (SS3.2)."""
+        edits = self.registry.published(view_name)
+        relation = edits.relation.copy(new_name)
+        base_definition = self.registry.get(view_name).definition
+        definition = ViewDefinition(name=new_name, root=base_definition.root) if base_definition else None
+        view = ConcreteView(
+            name=new_name,
+            relation=relation,
+            definition=definition,
+            owner=analyst,
+            summary=SummaryDatabase(view_name=new_name),
+        )
+        self.registry.register(view)
+        if definition is not None:
+            self.management.register_view(definition, view.history)
+        return view
+
+    # -- reporting -----------------------------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        """System inventory: views, reuse counters, tape state."""
+        return {
+            "views": self.registry.names(),
+            "views_materialized": self.views_materialized,
+            "views_derived": self.views_derived,
+            "views_reused": self.views_reused,
+            "raw_datasets": self.raw.dataset_names,
+            "tape_blocks": self.raw.tape.total_blocks,
+            "management": self.management.describe(),
+        }

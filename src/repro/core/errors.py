@@ -1,0 +1,102 @@
+"""Exception hierarchy for the statistical DBMS.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StorageError(ReproError):
+    """Base class for errors in the storage subsystem."""
+
+
+class DiskError(StorageError):
+    """Invalid block access or an exhausted simulated disk."""
+
+
+class TapeError(StorageError):
+    """Invalid access to the simulated tape archive."""
+
+
+class PageError(StorageError):
+    """Malformed page contents or an invalid slot reference."""
+
+
+class BufferPoolError(StorageError):
+    """Buffer pool misuse: over-unpinning, or no evictable frame."""
+
+
+class RecordError(StorageError):
+    """Record encode/decode failure."""
+
+
+class IndexError_(StorageError):
+    """B+-tree structural error (named to avoid shadowing the builtin)."""
+
+
+class SchemaError(ReproError):
+    """Invalid schema definition or attribute reference."""
+
+
+class ExpressionError(ReproError):
+    """Invalid expression construction or evaluation."""
+
+
+class QueryError(ReproError):
+    """Invalid relational query or SQL parse failure."""
+
+
+class CatalogError(ReproError):
+    """Unknown or duplicate relation/index name."""
+
+
+class ViewError(ReproError):
+    """Invalid view operation (materialization, update, rollback)."""
+
+
+class HistoryError(ViewError):
+    """Invalid rollback/undo request against an update history."""
+
+
+class SummaryError(ReproError):
+    """Summary Database misuse (unknown entry, bad result encoding)."""
+
+
+class RuleError(ReproError):
+    """Missing or inapplicable update rule in the Management Database."""
+
+
+class NotIncrementallyComputable(RuleError):
+    """Finite differencing cannot derive an incremental form (paper SS4.2)."""
+
+
+class CodebookError(ReproError):
+    """Unknown code value or inconsistent code book editions."""
+
+
+class MetadataError(ReproError):
+    """Management Database / SUBJECT graph misuse."""
+
+
+class FunctionError(ReproError):
+    """Unknown statistical function, or function applied to an attribute
+
+    whose role makes the result meaningless (e.g. the median of an encoded
+    category attribute -- paper SS3.2)."""
+
+
+class StatisticsError(ReproError):
+    """Invalid input to a statistical computation (e.g. empty column)."""
+
+
+class SamplingError(ReproError):
+    """Invalid sampling request."""
+
+
+class AccuracyError(ReproError):
+    """Accuracy preference cannot be satisfied."""

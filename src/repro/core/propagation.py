@@ -1,0 +1,156 @@
+"""The update-propagation pipeline (paper SS4.1).
+
+"Given an attribute name we can retrieve all the values associated with
+that attribute, along with their respective function names, stored in the
+Summary Database.  For each function we must retrieve from the Management
+Database the list of rules that specify the actions to be applied in order
+to obtain the new value."
+
+:class:`UpdatePropagator` executes exactly that pipeline for one concrete
+view: per updated attribute it sweeps the attribute's clustered summary
+entries, applies each entry's rule under the analyst's consistency policy,
+cascades to dependent derived columns, and invalidates summary entries over
+those derived columns (the regenerate-the-vector rule of SS3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.incremental.differencing import Delta
+from repro.metadata.management import ManagementDatabase
+from repro.summary.policies import ConsistencyPolicy
+from repro.views.view import ConcreteView
+
+
+@dataclass
+class PropagationReport:
+    """What one propagation pass did."""
+
+    attributes: list[str] = field(default_factory=list)
+    entries_visited: int = 0
+    incremental_updates: int = 0
+    recomputations: int = 0
+    invalidations: int = 0
+    derived_columns_touched: list[str] = field(default_factory=list)
+    summary_pages_touched: int = 0
+
+    def merge(self, other: "PropagationReport") -> None:
+        """Fold another report into this one."""
+        self.attributes.extend(other.attributes)
+        self.entries_visited += other.entries_visited
+        self.incremental_updates += other.incremental_updates
+        self.recomputations += other.recomputations
+        self.invalidations += other.invalidations
+        self.derived_columns_touched.extend(other.derived_columns_touched)
+        self.summary_pages_touched += other.summary_pages_touched
+
+
+class UpdatePropagator:
+    """Drives Summary Database maintenance for one view."""
+
+    def __init__(
+        self,
+        management: ManagementDatabase,
+        view: ConcreteView,
+        policy: ConsistencyPolicy,
+    ) -> None:
+        self.management = management
+        self.view = view
+        self.policy = policy
+
+    def propagate(
+        self,
+        attribute: str,
+        delta: Delta,
+        rows: Sequence[int] = (),
+    ) -> PropagationReport:
+        """Propagate one attribute's delta through rules and derivations."""
+        report = PropagationReport(attributes=[attribute])
+        summary = self.view.summary
+        report.summary_pages_touched += summary.pages_for_attribute(attribute)
+
+        # 1. Entries whose primary attribute is the updated one: the
+        #    clustered sweep, with per-function rules.
+        for entry in summary.entries_for_attribute(attribute):
+            if entry.key.function.startswith("__"):
+                # Annotations and other non-function entries carry no
+                # maintenance semantics (SS3.2's verbal descriptions).
+                continue
+            report.entries_visited += 1
+            try:
+                rule = self.management.rules.rule_for(entry.key.function)
+            except Exception:
+                # Entries cached outside the function registry (e.g. the
+                # crosstab tables of compute_crosstab) just go stale.
+                if not entry.stale:
+                    entry.stale = True
+                    summary.stats.invalidations += 1
+                    report.invalidations += 1
+                entry.pending_updates += delta.size
+                continue
+            if len(entry.key.attributes) > 1:
+                # Multi-attribute results (correlations) have no per-column
+                # incremental form here; invalidate them.
+                if not entry.stale:
+                    entry.stale = True
+                    summary.stats.invalidations += 1
+                    report.invalidations += 1
+                entry.pending_updates += delta.size
+                continue
+            outcome = self.policy.on_update(
+                summary,
+                entry,
+                delta,
+                rule,
+                self.view.column_provider(attribute),
+            )
+            report.incremental_updates += 1 if outcome.incremental_changes else 0
+            report.recomputations += 1 if outcome.recomputed else 0
+            report.invalidations += 1 if outcome.marked_stale else 0
+
+        # 2. Entries that merely mention the attribute (secondary input of a
+        #    multi-attribute result): invalidate.
+        for entry in summary.entries_mentioning(attribute):
+            if entry.key.primary_attribute == attribute:
+                continue
+            report.entries_visited += 1
+            if not entry.stale:
+                entry.stale = True
+                summary.stats.invalidations += 1
+                report.invalidations += 1
+            entry.pending_updates += delta.size
+
+        # 3. Cascade to derived columns (SS3.2's derived-data rules), then
+        #    invalidate the summary information computed over them.
+        touched = self.view.derived.on_base_change(attribute, list(rows))
+        report.derived_columns_touched.extend(touched)
+        for derived_name in touched:
+            for entry in summary.entries_mentioning(derived_name):
+                if entry.key.function.startswith("__"):
+                    continue
+                report.entries_visited += 1
+                if not entry.stale:
+                    entry.stale = True
+                    summary.stats.invalidations += 1
+                    report.invalidations += 1
+                entry.pending_updates += 1
+                # A maintainer over a regenerated vector is no longer
+                # valid; drop it so the next refresh rebuilds it.
+                entry.maintainer = None
+        return report
+
+    def propagate_all(
+        self,
+        deltas: dict[str, Delta],
+        rows_by_attr: dict[str, Sequence[int]] | None = None,
+    ) -> PropagationReport:
+        """Propagate several attributes' deltas, merging the reports."""
+        rows_by_attr = rows_by_attr or {}
+        combined = PropagationReport()
+        for attribute, delta in deltas.items():
+            combined.merge(
+                self.propagate(attribute, delta, rows_by_attr.get(attribute, ()))
+            )
+        return combined

@@ -1,0 +1,378 @@
+"""Analyst sessions: the cached compute / update / undo loop.
+
+An :class:`AnalystSession` is the paper's Figure 3 in motion: every
+``compute(function, attribute)`` first searches the view's Summary Database
+using the (function, attribute) search argument; a hit returns the cached
+result (subject to the analyst's accuracy policy), a miss computes over the
+view, inserts the result — with a live incremental maintainer where finite
+differencing provides one — and returns it (SS3.2).  Updates flow through
+the predicate-update machinery and the propagation pipeline; ``undo``
+reverses logged operations and propagates the inverse deltas so cached
+results stay exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.errors import FunctionError
+from repro.core.propagation import PropagationReport, UpdatePropagator
+from repro.incremental.differencing import Delta
+from repro.metadata.management import ManagementDatabase
+from repro.relational.expressions import Expr
+from repro.relational.types import is_na
+from repro.stats import correlation as corr
+from repro.stats.sampling import sample_column
+from repro.summary.abstract import DatabaseAbstract, Inference, InferenceKind
+from repro.summary.entries import SummaryEntry
+from repro.summary.policies import ConsistencyPolicy
+from repro.views.history import OpKind
+from repro.views.updates import apply_update, invalidate_rows, invalidate_where, update_rows
+from repro.views.view import ConcreteView
+
+#: Two-column functions cached under (function, (a, b)) keys; they have no
+#: single-column incremental form, so their rule is invalidation.
+PAIR_FUNCTIONS: dict[str, Callable[[Sequence[Any], Sequence[Any]], Any]] = {
+    "pearson": corr.pearson,
+    "spearman": corr.spearman,
+    "covariance": corr.covariance,
+}
+
+
+@dataclass
+class SessionStats:
+    """Work accounting for one analyst session."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    rows_scanned: int = 0
+    sampled_queries: int = 0
+    updates: int = 0
+    undos: int = 0
+
+    @property
+    def full_computations(self) -> int:
+        """Queries that had to touch the view."""
+        return self.queries - self.cache_hits
+
+
+class AnalystSession:
+    """One analyst working against one concrete view."""
+
+    def __init__(
+        self,
+        management: ManagementDatabase,
+        view: ConcreteView,
+        analyst: str = "analyst",
+        policy: ConsistencyPolicy | None = None,
+    ) -> None:
+        self.management = management
+        self.view = view
+        self.analyst = analyst
+        self.policy = policy or management.policy_for(analyst, view.name)
+        self.propagator = UpdatePropagator(management, view, self.policy)
+        self.abstract = DatabaseAbstract(view.summary)
+        self.stats = SessionStats()
+
+    # -- cached computation ------------------------------------------------------
+
+    def compute(
+        self,
+        function: str,
+        attribute: str,
+        sample: float | None = None,
+        seed: int = 0,
+        force: bool = False,
+    ) -> Any:
+        """Compute (or fetch) one function over one attribute.
+
+        ``sample`` computes on a random fraction instead (uncached — it is
+        the preliminary-responsiveness path of SS2.2).  ``force`` bypasses
+        the meta-data check that rejects numeric summaries of encoded
+        category attributes (SS3.2).
+        """
+        self.stats.queries += 1
+        fn = self.management.functions.get(function)
+        attr = self.view.schema.attribute(attribute)
+        if not force and not fn.applicable_to(attr):
+            raise FunctionError(
+                f"{function!r} on {attribute!r} is not meaningful: the "
+                f"attribute is a {attr.role.value} "
+                "(paper SS3.2: summary values of encoded categories make no sense)"
+            )
+        if sample is not None:
+            self.stats.sampled_queries += 1
+            values = sample_column(self.view.column(attribute), sample, seed=seed)
+            self.stats.rows_scanned += len(values)
+            return fn.compute(values)
+        entry = self.view.summary.lookup(function, attribute)
+        if entry is not None:
+            self.stats.cache_hits += 1
+            value, _ = self.policy.on_lookup(
+                self.view.summary, entry, self._recompute_callback()
+            )
+            return value
+        values = self.view.column(attribute)
+        self.stats.rows_scanned += len(values)
+        result = fn.compute(values)
+        maintainer = None
+        if fn.is_incremental:
+            maintainer = fn.make_maintainer(self.view.column_provider(attribute))
+        self.view.summary.insert(
+            function,
+            attribute,
+            result,
+            maintainer=maintainer,
+            compute_cost_rows=len(values),
+            version=self.view.version,
+        )
+        return result
+
+    def compute_pair(self, function: str, a: str, b: str) -> Any:
+        """Compute (or fetch) a two-column function (pearson/spearman/...)."""
+        self.stats.queries += 1
+        try:
+            fn = PAIR_FUNCTIONS[function]
+        except KeyError:
+            raise FunctionError(
+                f"unknown pair function {function!r}; "
+                f"choose from {sorted(PAIR_FUNCTIONS)}"
+            ) from None
+        entry = self.view.summary.lookup(function, (a, b))
+        if entry is not None:
+            self.stats.cache_hits += 1
+            if entry.stale:
+                entry.result = fn(self.view.column(a), self.view.column(b))
+                entry.mark_fresh(self.view.version)
+                self.view.summary.stats.recomputations += 1
+                self.stats.rows_scanned += 2 * len(self.view)
+            return entry.result
+        col_a, col_b = self.view.column(a), self.view.column(b)
+        self.stats.rows_scanned += len(col_a) + len(col_b)
+        result = fn(col_a, col_b)
+        self.view.summary.insert(
+            function, (a, b), result, compute_cost_rows=len(col_a), version=self.view.version
+        )
+        return result
+
+    def annotate(self, attribute: str, text: str) -> None:
+        """Attach a verbal description to an attribute (paper SS3.2).
+
+        "Additional summary information ... might include ... verbal
+        descriptions of the data set (for example, a statement of how far
+        analysis has proceeded, what difficulties have been encountered)."
+        Annotations live in the Summary Database but carry no function
+        semantics: updates never invalidate them.
+        """
+        self.view.schema.index_of(attribute)  # validate
+        existing = self.view.summary.peek("__note__", attribute)
+        notes = list(existing.result) if existing is not None else []
+        notes.append(text)
+        entry = self.view.summary.insert(
+            "__note__", attribute, notes, version=self.view.version
+        )
+        entry.stale = False
+
+    def notes(self, attribute: str) -> list[str]:
+        """The analyst's annotations on one attribute, oldest first."""
+        entry = self.view.summary.peek("__note__", attribute)
+        return list(entry.result) if entry is not None else []
+
+    def compute_crosstab(
+        self,
+        row_attr: str,
+        col_attr: str,
+        weight_attr: str | None = None,
+    ) -> Any:
+        """Compute (or fetch) a cross tabulation, cached in the Summary DB.
+
+        This is the summary-table facility the paper compares against the
+        Tsukuba/Hiroshima system (SS5.1): "the capability of creating and
+        querying summary tables which are essentially cross tabulations" —
+        here with the update propagation that system lacked (an update to
+        any input attribute invalidates the cached table).  Labels are
+        stringified for storage.
+        """
+        import numpy as np
+
+        from repro.stats.crosstab import CrossTab, crosstab
+
+        self.stats.queries += 1
+        attributes = (row_attr, col_attr) + ((weight_attr,) if weight_attr else ())
+        entry = self.view.summary.lookup("crosstab", attributes)
+        if entry is not None and not entry.stale:
+            self.stats.cache_hits += 1
+            row_labels, col_labels, flat = entry.result
+            table = np.array(flat, dtype=float).reshape(len(row_labels), len(col_labels))
+            return CrossTab(row_labels, col_labels, table, row_name=row_attr, col_name=col_attr)
+        built = crosstab(
+            relation=self.view.relation,
+            row_attr=row_attr,
+            col_attr=col_attr,
+            weight_attr=weight_attr,
+        )
+        self.stats.rows_scanned += len(self.view) * (3 if weight_attr else 2)
+        stringified = CrossTab(
+            [str(r) for r in built.row_labels],
+            [str(c) for c in built.col_labels],
+            built.table,
+            row_name=row_attr,
+            col_name=col_attr,
+        )
+        result = (
+            list(stringified.row_labels),
+            list(stringified.col_labels),
+            [float(v) for v in stringified.table.ravel()],
+        )
+        self.view.summary.insert(
+            "crosstab",
+            attributes,
+            result,
+            compute_cost_rows=len(self.view),
+            version=self.view.version,
+        )
+        return stringified
+
+    def test_independence(
+        self, row_attr: str, col_attr: str, weight_attr: str | None = None
+    ) -> Any:
+        """Chi-squared independence off the cached cross tabulation —
+
+        the paper's "is the proportion of people who live past 40 dependent
+        on race?" (SS2.2), repeatable for free."""
+        from repro.stats.tests_stat import chi_squared_independence
+
+        return chi_squared_independence(
+            self.compute_crosstab(row_attr, col_attr, weight_attr)
+        )
+
+    def estimate(self, function: str, attribute: str) -> Inference:
+        """Answer via the Database Abstract where possible (paper SS5.1).
+
+        Inference rules over cached values answer exactly (mean from
+        sum/count), with bounds (quantiles bracketed by cached neighbours),
+        or as estimates — all with **zero data access**.  Only when no rule
+        applies does this fall back to :meth:`compute`.
+        """
+        inference = self.abstract.infer(function, attribute)
+        if inference is not None:
+            self.stats.queries += 1
+            return inference
+        value = self.compute(function, attribute)
+        return Inference(
+            function,
+            attribute,
+            InferenceKind.EXACT,
+            value,
+            derivation="computed over the view",
+        )
+
+    def _recompute_callback(self) -> Callable[[SummaryEntry], Any]:
+        def recompute(entry: SummaryEntry) -> Any:
+            fn = self.management.functions.get(entry.key.function)
+            attribute = entry.key.primary_attribute
+            values = self.view.column(attribute)
+            self.stats.rows_scanned += len(values)
+            entry.result = fn.compute(values)
+            entry.mark_fresh(self.view.version)
+            if entry.maintainer is not None:
+                entry.maintainer.initialize(values)
+            return entry.result
+
+        return recompute
+
+    # -- updates -------------------------------------------------------------------
+
+    def update(
+        self,
+        predicate: Expr | None,
+        assignments: Mapping[str, Any],
+        description: str = "",
+    ) -> PropagationReport:
+        """UPDATE ... WHERE with full cache propagation."""
+        self.stats.updates += 1
+        deltas = apply_update(self.view, predicate, assignments, description=description)
+        rows = self._rows_from_history(len(deltas))
+        return self.propagator.propagate_all(deltas, rows)
+
+    def update_cells(
+        self, attribute: str, row_values: Sequence[tuple[int, Any]], description: str = ""
+    ) -> PropagationReport:
+        """Point-update specific cells with propagation."""
+        self.stats.updates += 1
+        delta = update_rows(self.view, attribute, row_values, description=description)
+        rows = [row for row, _ in row_values]
+        return self.propagator.propagate(attribute, delta, rows)
+
+    def mark_invalid(
+        self,
+        attribute: str,
+        predicate: Expr | None = None,
+        rows: Sequence[int] | None = None,
+        description: str = "mark invalid",
+    ) -> PropagationReport:
+        """Mark suspicious values as NA (SS3.1), with propagation."""
+        self.stats.updates += 1
+        if predicate is not None:
+            delta = invalidate_where(self.view, predicate, attribute, description)
+            changed_rows = [c.row for c in self.view.history.operations()[-1].changes]
+        elif rows is not None:
+            delta = invalidate_rows(self.view, rows, attribute, description)
+            changed_rows = list(rows)
+        else:
+            raise FunctionError("mark_invalid needs a predicate or row list")
+        return self.propagator.propagate(attribute, delta, changed_rows)
+
+    def _rows_from_history(self, op_count: int) -> dict[str, list[int]]:
+        operations = self.view.history.operations()[-op_count:] if op_count else []
+        return {
+            op.attribute: [c.row for c in op.changes] for op in operations
+        }
+
+    # -- undo --------------------------------------------------------------------------
+
+    def undo(self, count: int = 1) -> PropagationReport:
+        """Undo the last ``count`` operations, propagating inverse deltas.
+
+        The Summary Database stays exact: each undone operation's (new ->
+        old) transitions are fed through the same rule pipeline as a
+        forward update.
+        """
+        self.stats.undos += 1
+        undone = self.view.history.undo_last(self.view.relation, count)
+        combined = PropagationReport()
+        for operation in undone:
+            if operation.kind is OpKind.ADD_COLUMN:
+                continue
+            # The relation was reverted; mirror the storage copy too.
+            if self.view.storage is not None:
+                for change in operation.changes:
+                    stored = self.view._stored_attrs()
+                    if operation.attribute in stored:
+                        self.view.storage.set_value(
+                            change.row, stored.index(operation.attribute), change.old
+                        )
+            inverse = Delta(updates=[(c.new, c.old) for c in operation.changes])
+            rows = [c.row for c in operation.changes]
+            combined.merge(
+                self.propagator.propagate(operation.attribute, inverse, rows)
+            )
+        return combined
+
+    # -- convenience ----------------------------------------------------------------
+
+    def summary_of(self, attribute: str) -> dict[str, Any]:
+        """The standing summary block (all through the cache)."""
+        block = {}
+        for fn in ("count", "min", "max", "mean", "std", "median", "unique_count"):
+            try:
+                block[fn] = self.compute(fn, attribute)
+            except FunctionError:
+                continue
+        return block
+
+    @property
+    def cache_stats(self) -> Any:
+        """The view's Summary Database counters."""
+        return self.view.summary.stats

@@ -1,0 +1,263 @@
+"""An interactive analyst shell — the package front-end of Figure 3.
+
+The paper's plan was to put the S statistical package in front of the DBMS
+(SS5.2).  This shell is that front-end's skeleton: load CSVs onto the raw
+tape, materialize views, run SQL against them, and drive an analyst
+session (cached statistics, updates, invalidation, undo, estimates).
+
+Run interactively::
+
+    python -m repro.core.shell
+
+Commands (also ``help`` inside the shell)::
+
+    load <path.csv> [name]        put a dataset on the raw tape
+    view <name> <dataset>         materialize a concrete view
+    open <name>                   switch the session to a view
+    sql <SELECT ...>              query the open view (table: v)
+    stat <function> <attribute>   cached statistic (min/mean/median/...)
+    estimate <function> <attr>    Database Abstract answer (SS5.1)
+    crosstab <attr> <attr>        cached cross tabulation
+    annotate <attr> <text>        attach a verbal note (SS3.2)
+    notes <attr>                  show an attribute's notes
+    set <attr> <row> <value>      point update (propagates)
+    invalidate <attr> <row>       mark a value NA
+    undo [n]                      undo the last n operations
+    summary <attribute>           the standing SS3.2 summary block
+    cache                         Summary Database statistics
+    views                         list materialized views
+    quit
+"""
+
+from __future__ import annotations
+
+import cmd
+import shlex
+import sys
+from typing import Any
+
+from repro.core.dbms import StatisticalDBMS
+from repro.core.errors import ReproError
+from repro.core.session import AnalystSession
+from repro.io import read_csv
+from repro.relational.catalog import Catalog
+from repro.relational.planner import execute
+from repro.views.materialize import SourceNode, ViewDefinition
+
+
+class AnalystShell(cmd.Cmd):
+    """The interactive command loop."""
+
+    intro = (
+        "repro statistical DBMS shell — after Boral, DeWitt & Bates (1982).\n"
+        "Type help or ? for commands.\n"
+    )
+    prompt = "repro> "
+
+    def __init__(self, dbms: StatisticalDBMS | None = None, stdout: Any = None) -> None:
+        super().__init__(stdout=stdout or sys.stdout)
+        self.dbms = dbms or StatisticalDBMS()
+        self.session: AnalystSession | None = None
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _say(self, text: str) -> None:
+        print(text, file=self.stdout)
+
+    def _need_session(self) -> AnalystSession | None:
+        if self.session is None:
+            self._say("no open view; use: view <name> <dataset> then open <name>")
+        return self.session
+
+    def onecmd(self, line: str) -> bool:
+        try:
+            return super().onecmd(line)
+        except ReproError as exc:
+            self._say(f"error: {exc}")
+            return False
+        except (ValueError, IndexError) as exc:
+            self._say(f"bad arguments: {exc}")
+            return False
+
+    # -- data loading --------------------------------------------------------------
+
+    def do_load(self, arg: str) -> None:
+        """load <path.csv> [name] — put a dataset on the raw tape."""
+        parts = shlex.split(arg)
+        if not parts:
+            self._say("usage: load <path.csv> [name]")
+            return
+        path = parts[0]
+        name = parts[1] if len(parts) > 1 else path.rsplit("/", 1)[-1].removesuffix(".csv")
+        relation = read_csv(path, name=name)
+        blocks = self.dbms.load_raw(relation)
+        self._say(f"loaded {len(relation)} rows as {name!r} ({blocks} tape blocks)")
+
+    def do_view(self, arg: str) -> None:
+        """view <name> <dataset> — materialize a concrete view."""
+        parts = shlex.split(arg)
+        if len(parts) != 2:
+            self._say("usage: view <name> <dataset>")
+            return
+        name, dataset = parts
+        created = self.dbms.create_view(ViewDefinition(name, SourceNode(dataset)))
+        if created.reused:
+            self._say(
+                f"request {created.reused.kind} from existing view "
+                f"{created.reused.existing!r} (no tape access)"
+            )
+        else:
+            self._say(f"materialized: {created.report}")
+
+    def do_open(self, arg: str) -> None:
+        """open <name> — switch the session to a view."""
+        name = arg.strip()
+        if not name:
+            self._say("usage: open <name>")
+            return
+        self.session = self.dbms.session(name)
+        view = self.session.view
+        self._say(
+            f"opened {name!r}: {len(view)} rows, attributes "
+            f"{', '.join(view.schema.names)}"
+        )
+
+    def do_views(self, arg: str) -> None:
+        """views — list materialized views."""
+        names = self.dbms.registry.names()
+        self._say(", ".join(names) if names else "(none)")
+
+    # -- querying ----------------------------------------------------------------------
+
+    def do_sql(self, arg: str) -> None:
+        """sql <SELECT ...> — query the open view (table name: v)."""
+        session = self._need_session()
+        if session is None:
+            return
+        catalog = Catalog()
+        catalog.register(session.view.relation, "v")
+        result = execute("SELECT " + arg if not arg.upper().startswith("SELECT") else arg, catalog)
+        self._say(result.pretty(limit=20))
+
+    def do_stat(self, arg: str) -> None:
+        """stat <function> <attribute> — cached statistic."""
+        session = self._need_session()
+        if session is None:
+            return
+        function, attribute = shlex.split(arg)
+        value = session.compute(function, attribute)
+        self._say(f"{function}({attribute}) = {value}")
+
+    def do_estimate(self, arg: str) -> None:
+        """estimate <function> <attribute> — Database Abstract answer."""
+        session = self._need_session()
+        if session is None:
+            return
+        function, attribute = shlex.split(arg)
+        self._say(str(session.estimate(function, attribute)))
+
+    def do_crosstab(self, arg: str) -> None:
+        """crosstab <row_attr> <col_attr> [weight_attr] — cached cross-tab."""
+        session = self._need_session()
+        if session is None:
+            return
+        parts = shlex.split(arg)
+        weight = parts[2] if len(parts) > 2 else None
+        table = session.compute_crosstab(parts[0], parts[1], weight_attr=weight)
+        self._say(table.render())
+
+    def do_summary(self, arg: str) -> None:
+        """summary <attribute> — the standing SS3.2 summary block."""
+        session = self._need_session()
+        if session is None:
+            return
+        for fn, value in session.summary_of(arg.strip()).items():
+            self._say(f"  {fn:>12}: {value}")
+
+    # -- updates -----------------------------------------------------------------------------
+
+    def do_set(self, arg: str) -> None:
+        """set <attribute> <row> <value> — point update with propagation."""
+        session = self._need_session()
+        if session is None:
+            return
+        attribute, row, raw = shlex.split(arg)
+        dtype = session.view.schema.attribute(attribute).dtype
+        value = dtype.coerce(float(raw) if dtype.is_numeric else raw)
+        report = session.update_cells(attribute, [(int(row), value)])
+        self._say(
+            f"updated; {report.entries_visited} cached entries visited "
+            f"({report.incremental_updates} maintained incrementally)"
+        )
+
+    def do_invalidate(self, arg: str) -> None:
+        """invalidate <attribute> <row> — mark a value NA (SS3.1)."""
+        session = self._need_session()
+        if session is None:
+            return
+        attribute, row = shlex.split(arg)
+        session.mark_invalid(attribute, rows=[int(row)])
+        self._say(f"marked {attribute}[{row}] invalid")
+
+    def do_undo(self, arg: str) -> None:
+        """undo [n] — reverse the last n operations."""
+        session = self._need_session()
+        if session is None:
+            return
+        count = int(arg.strip() or "1")
+        session.undo(count)
+        self._say(f"undid {count} operation(s); view at v{session.view.version}")
+
+    def do_annotate(self, arg: str) -> None:
+        """annotate <attribute> <text...> — attach a verbal note (SS3.2)."""
+        session = self._need_session()
+        if session is None:
+            return
+        parts = arg.split(maxsplit=1)
+        if len(parts) < 2:
+            self._say("usage: annotate <attribute> <text>")
+            return
+        session.annotate(parts[0], parts[1])
+        self._say(f"noted on {parts[0]}")
+
+    def do_notes(self, arg: str) -> None:
+        """notes <attribute> — show the attribute's annotations."""
+        session = self._need_session()
+        if session is None:
+            return
+        notes = session.notes(arg.strip())
+        if not notes:
+            self._say("(no notes)")
+        for i, note in enumerate(notes, 1):
+            self._say(f"  {i}. {note}")
+
+    def do_cache(self, arg: str) -> None:
+        """cache — Summary Database statistics."""
+        session = self._need_session()
+        if session is None:
+            return
+        stats = session.cache_stats
+        self._say(
+            f"entries={len(session.view.summary)} hits={stats.hits} "
+            f"misses={stats.misses} hit_ratio={stats.hit_ratio:.0%} "
+            f"incremental={stats.incremental_updates} "
+            f"recomputed={stats.recomputations} bytes={session.view.summary.cached_bytes}"
+        )
+
+    # -- exit ---------------------------------------------------------------------------------
+
+    def do_quit(self, arg: str) -> bool:
+        """quit — leave the shell."""
+        return True
+
+    do_exit = do_quit
+    do_EOF = do_quit
+
+
+def main() -> None:
+    """Entry point: ``python -m repro.core.shell``."""
+    AnalystShell().cmdloop()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,322 @@
+"""Hand-built incremental aggregates (Koenig & Paige's totals/averages and
+
+friends).  These are specialized, numerically careful implementations of the
+forms :mod:`repro.incremental.differencing` can also generate; min/max get
+the support structure the algebra cannot express (a value multiset, so that
+deleting the current extreme finds the next one without a full rescan —
+most updates "will not affect the min or max values" per SS4.2, and those
+that do cost O(distinct values) instead of O(N))."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Any, Iterable
+
+from repro.core.errors import StatisticsError
+from repro.incremental.differencing import IncrementalComputation
+from repro.relational.types import NA, is_na
+
+
+class IncrementalCount(IncrementalComputation):
+    """Count of non-NA values; O(1) per change."""
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._na = 0
+
+    def initialize(self, values: Iterable[Any]) -> None:
+        self._n = 0
+        self._na = 0
+        for value in values:
+            self.on_insert(value)
+
+    def on_insert(self, value: Any) -> None:
+        if is_na(value):
+            self._na += 1
+        else:
+            self._n += 1
+
+    def on_delete(self, value: Any) -> None:
+        if is_na(value):
+            self._na -= 1
+        else:
+            self._n -= 1
+
+    @property
+    def value(self) -> int:
+        return self._n
+
+    @property
+    def na_count(self) -> int:
+        """How many NA values are present (marked-invalid observations)."""
+        return self._na
+
+
+class IncrementalSum(IncrementalComputation):
+    """Neumaier-compensated running sum; O(1) per change.
+
+    Neumaier's variant (unlike plain Kahan) stays exact even when an
+    addend exceeds the running sum in magnitude.
+    """
+
+    def __init__(self) -> None:
+        self._sum = 0.0
+        self._comp = 0.0
+        self._n = 0
+
+    def initialize(self, values: Iterable[Any]) -> None:
+        self._sum = 0.0
+        self._comp = 0.0
+        self._n = 0
+        for value in values:
+            self.on_insert(value)
+
+    def _add(self, x: float) -> None:
+        t = self._sum + x
+        if abs(self._sum) >= abs(x):
+            self._comp += (self._sum - t) + x
+        else:
+            self._comp += (x - t) + self._sum
+        self._sum = t
+
+    def on_insert(self, value: Any) -> None:
+        if is_na(value):
+            return
+        self._n += 1
+        self._add(float(value))
+
+    def on_delete(self, value: Any) -> None:
+        if is_na(value):
+            return
+        self._n -= 1
+        self._add(-float(value))
+
+    @property
+    def value(self) -> Any:
+        return NA if self._n == 0 else self._sum + self._comp
+
+
+class IncrementalMean(IncrementalComputation):
+    """Running mean via Welford-style updates; O(1) per change."""
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+
+    def initialize(self, values: Iterable[Any]) -> None:
+        self._n = 0
+        self._mean = 0.0
+        for value in values:
+            self.on_insert(value)
+
+    def on_insert(self, value: Any) -> None:
+        if is_na(value):
+            return
+        self._n += 1
+        self._mean += (float(value) - self._mean) / self._n
+
+    def on_delete(self, value: Any) -> None:
+        if is_na(value):
+            return
+        if self._n <= 1:
+            self._n = 0
+            self._mean = 0.0
+            return
+        self._mean = (self._mean * self._n - float(value)) / (self._n - 1)
+        self._n -= 1
+
+    @property
+    def value(self) -> Any:
+        return NA if self._n == 0 else self._mean
+
+    @property
+    def count(self) -> int:
+        """Number of non-NA values contributing."""
+        return self._n
+
+
+class IncrementalVariance(IncrementalComputation):
+    """Sample variance (ddof=1) via Welford with exact downdating."""
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def initialize(self, values: Iterable[Any]) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        for value in values:
+            self.on_insert(value)
+
+    def on_insert(self, value: Any) -> None:
+        if is_na(value):
+            return
+        x = float(value)
+        self._n += 1
+        delta = x - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (x - self._mean)
+
+    def on_delete(self, value: Any) -> None:
+        if is_na(value):
+            return
+        if self._n <= 1:
+            self._n = 0
+            self._mean = 0.0
+            self._m2 = 0.0
+            return
+        x = float(value)
+        old_mean = (self._n * self._mean - x) / (self._n - 1)
+        self._m2 -= (x - self._mean) * (x - old_mean)
+        if self._m2 < 0:  # guard tiny negative residue from roundoff
+            self._m2 = 0.0
+        self._mean = old_mean
+        self._n -= 1
+
+    @property
+    def value(self) -> Any:
+        if self._n < 2:
+            return NA
+        return self._m2 / (self._n - 1)
+
+    @property
+    def mean(self) -> Any:
+        """The running mean (shared with the variance state)."""
+        return NA if self._n == 0 else self._mean
+
+
+class IncrementalStd(IncrementalComputation):
+    """Sample standard deviation built on :class:`IncrementalVariance`."""
+
+    def __init__(self) -> None:
+        self._var = IncrementalVariance()
+
+    def initialize(self, values: Iterable[Any]) -> None:
+        self._var.initialize(values)
+
+    def on_insert(self, value: Any) -> None:
+        self._var.on_insert(value)
+
+    def on_delete(self, value: Any) -> None:
+        self._var.on_delete(value)
+
+    @property
+    def value(self) -> Any:
+        var = self._var.value
+        return NA if is_na(var) else math.sqrt(var)
+
+
+class IncrementalMinMax(IncrementalComputation):
+    """Min and max with a value-multiset support structure.
+
+    Inserts are O(1) comparisons.  Deleting a non-extreme value is O(1);
+    deleting the current extreme rescans the multiset's distinct values
+    (O(U)), still avoiding the O(N) data pass the paper wants to skip.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+        self._min: Any = NA
+        self._max: Any = NA
+
+    def initialize(self, values: Iterable[Any]) -> None:
+        self._counts = Counter()
+        self._min = NA
+        self._max = NA
+        for value in values:
+            self.on_insert(value)
+
+    def on_insert(self, value: Any) -> None:
+        if is_na(value):
+            return
+        self._counts[value] += 1
+        if is_na(self._min) or value < self._min:
+            self._min = value
+        if is_na(self._max) or value > self._max:
+            self._max = value
+
+    def on_delete(self, value: Any) -> None:
+        if is_na(value):
+            return
+        if self._counts[value] <= 0:
+            raise StatisticsError(f"deleting absent value {value!r}")
+        self._counts[value] -= 1
+        if self._counts[value] == 0:
+            del self._counts[value]
+            if not self._counts:
+                self._min = NA
+                self._max = NA
+                return
+            if value == self._min:
+                self._min = min(self._counts)
+            if value == self._max:
+                self._max = max(self._counts)
+
+    @property
+    def value(self) -> tuple[Any, Any]:
+        return (self._min, self._max)
+
+    @property
+    def min(self) -> Any:
+        """Current minimum (NA when empty)."""
+        return self._min
+
+    @property
+    def max(self) -> Any:
+        """Current maximum (NA when empty)."""
+        return self._max
+
+
+class IncrementalMin(IncrementalMinMax):
+    """Just the minimum."""
+
+    @property
+    def value(self) -> Any:
+        return self._min
+
+
+class IncrementalMax(IncrementalMinMax):
+    """Just the maximum."""
+
+    @property
+    def value(self) -> Any:
+        return self._max
+
+
+class IncrementalWeightedMean(IncrementalComputation):
+    """Weighted mean over (value, weight) pairs; O(1) per change.
+
+    Supports the paper's SS2.2 derived data set: when populations change,
+    the weighted average salary updates without revisiting every partition.
+    """
+
+    def __init__(self) -> None:
+        self._num = 0.0
+        self._den = 0.0
+
+    def initialize(self, values: Iterable[Any]) -> None:
+        self._num = 0.0
+        self._den = 0.0
+        for pair in values:
+            self.on_insert(pair)
+
+    def on_insert(self, value: Any) -> None:
+        v, w = value
+        if is_na(v) or is_na(w):
+            return
+        self._num += float(v) * float(w)
+        self._den += float(w)
+
+    def on_delete(self, value: Any) -> None:
+        v, w = value
+        if is_na(v) or is_na(w):
+            return
+        self._num -= float(v) * float(w)
+        self._den -= float(w)
+
+    @property
+    def value(self) -> Any:
+        return NA if self._den == 0 else self._num / self._den

@@ -1,0 +1,337 @@
+"""The finite-differencing framework (paper SS4.2).
+
+A cached function result can be *incrementally recomputed* when an update
+arrives: instead of rescanning the view, apply the "derivative" of the
+function to the delta.  The paper cites Paige's finite differencing and
+Koenig & Paige's treatment of totals and averages, and asks for "some means
+for automatically generating an incrementally recomputable algorithm for a
+function given the function definition in some high-level form".
+
+This module provides:
+
+* :class:`IncrementalComputation` — the protocol every incremental form
+  implements (initialize / on_insert / on_delete / on_update / value);
+* :class:`Delta` — a batch of changes to one attribute;
+* :class:`AlgebraicForm` and :func:`derive_incremental` — a small
+  realization of that automatic generation: functions defined as algebraic
+  expressions over the base measures ``count``, ``sum``, ``sumsq`` get an
+  incremental evaluator *derived mechanically* from the definition, because
+  each base measure is trivially differencable.  Functions that reflect "an
+  ordering on the input data" (median, quantiles) are not derivable this
+  way — exactly the limitation the paper discusses — and raise
+  :class:`NotIncrementallyComputable`; their manual schemes live in
+  :mod:`repro.incremental.order_stats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.errors import NotIncrementallyComputable, RuleError
+from repro.relational.types import NA, is_na
+
+
+@dataclass
+class Delta:
+    """A batch of changes to one attribute's values.
+
+    ``updates`` holds (old, new) pairs; ``inserts`` and ``deletes`` hold
+    plain values.  NA values may appear anywhere — marking an observation
+    invalid (SS3.1) is the update (x, NA).
+    """
+
+    inserts: list[Any] = field(default_factory=list)
+    deletes: list[Any] = field(default_factory=list)
+    updates: list[tuple[Any, Any]] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Total number of changed values."""
+        return len(self.inserts) + len(self.deletes) + len(self.updates)
+
+    def merged_with(self, other: "Delta") -> "Delta":
+        """Concatenate two deltas."""
+        return Delta(
+            inserts=self.inserts + other.inserts,
+            deletes=self.deletes + other.deletes,
+            updates=self.updates + other.updates,
+        )
+
+
+class IncrementalComputation:
+    """Protocol for an incrementally maintainable function result."""
+
+    #: Whether on_delete / updates that remove values are supported.
+    supports_deletion: bool = True
+
+    def initialize(self, values: Iterable[Any]) -> None:
+        """Compute the initial state from a full pass over the values."""
+        raise NotImplementedError
+
+    @property
+    def value(self) -> Any:
+        """The current function result."""
+        raise NotImplementedError
+
+    def on_insert(self, value: Any) -> None:
+        """Incorporate a newly inserted value."""
+        raise NotImplementedError
+
+    def on_delete(self, value: Any) -> None:
+        """Remove a previously present value."""
+        raise NotImplementedError
+
+    def on_update(self, old: Any, new: Any) -> None:
+        """Replace ``old`` with ``new`` (default: delete then insert)."""
+        self.on_delete(old)
+        self.on_insert(new)
+
+    def apply_delta(self, delta: Delta) -> Any:
+        """Apply a whole delta and return the new value."""
+        for value in delta.inserts:
+            self.on_insert(value)
+        for value in delta.deletes:
+            self.on_delete(value)
+        for old, new in delta.updates:
+            self.on_update(old, new)
+        return self.value
+
+
+# -- algebraic (automatically differencable) forms ---------------------------
+#
+# A definition is a nested tuple over:
+#   ("count",), ("sum",), ("sumsq",), ("sumcube",), ("sumquart",),
+#   ("sumlog",)                                 -- base measures
+#   ("const", c)
+#   ("add", a, b), ("sub", a, b), ("mul", a, b), ("div", a, b)
+#   ("sqrt", a), ("pow", a, k), ("exp", a)
+#
+# Base measures admit exact O(1) differencing; compositions inherit it.
+# sumlog only accumulates over positive values (geometric-mean support).
+
+_BASE_MEASURES = ("count", "sum", "sumsq", "sumcube", "sumquart", "sumlog")
+
+
+class AlgebraicForm(IncrementalComputation):
+    """An incremental evaluator generated from a high-level definition.
+
+    This is the paper's "automatically generating an incrementally
+    recomputable algorithm for a function given the function definition in
+    some high-level form" for the algebraic fragment: the generator walks
+    the definition, collects the base measures it mentions, maintains each
+    under inserts/deletes in O(1), and re-evaluates the (constant-size)
+    expression on demand.
+    """
+
+    def __init__(self, definition: tuple) -> None:
+        _validate_definition(definition)
+        self.definition = definition
+        self._measures = sorted(_collect_measures(definition))
+        self._state: dict[str, float] = {m: 0.0 for m in self._measures}
+        self._n = 0  # non-NA count, maintained even if "count" unused
+
+    def initialize(self, values: Iterable[Any]) -> None:
+        self._state = {m: 0.0 for m in self._measures}
+        self._n = 0
+        for value in values:
+            self.on_insert(value)
+
+    def on_insert(self, value: Any) -> None:
+        if is_na(value):
+            return
+        self._n += 1
+        for measure in self._measures:
+            self._state[measure] += _measure_contribution(measure, value)
+
+    def on_delete(self, value: Any) -> None:
+        if is_na(value):
+            return
+        self._n -= 1
+        for measure in self._measures:
+            self._state[measure] -= _measure_contribution(measure, value)
+
+    @property
+    def value(self) -> Any:
+        return _evaluate(self.definition, self._state, self._n)
+
+
+def _measure_contribution(measure: str, value: float) -> float:
+    x = float(value)
+    if measure == "count":
+        return 1.0
+    if measure == "sum":
+        return x
+    if measure == "sumsq":
+        return x * x
+    if measure == "sumcube":
+        return x * x * x
+    if measure == "sumquart":
+        return x * x * x * x
+    if measure == "sumlog":
+        import math
+
+        # Only positive values contribute (the geometric mean's domain);
+        # non-positive values poison the measure with NaN so the evaluator
+        # reports NA rather than a silently wrong answer.
+        return math.log(x) if x > 0 else float("nan")
+    raise RuleError(f"unknown base measure {measure!r}")
+
+
+def _collect_measures(definition: tuple) -> set[str]:
+    head = definition[0]
+    if head in _BASE_MEASURES:
+        return {head}
+    if head == "const":
+        return set()
+    if head in ("add", "sub", "mul", "div"):
+        return _collect_measures(definition[1]) | _collect_measures(definition[2])
+    if head in ("sqrt", "exp"):
+        return _collect_measures(definition[1])
+    if head == "pow":
+        return _collect_measures(definition[1])
+    raise NotIncrementallyComputable(
+        f"operator {head!r} is not in the differencable algebra; "
+        "order statistics need a manual scheme (paper SS4.2)"
+    )
+
+
+def _validate_definition(definition: tuple) -> None:
+    _collect_measures(definition)
+
+
+def _evaluate(definition: tuple, state: dict[str, float], n: int) -> Any:
+    head = definition[0]
+    if head == "count":
+        return float(n)
+    if head in _BASE_MEASURES:
+        return NA if n == 0 else state[head]
+    if head == "const":
+        return definition[1]
+    if head == "sqrt":
+        inner = _evaluate(definition[1], state, n)
+        if is_na(inner) or inner < 0:
+            return NA
+        return inner ** 0.5
+    if head == "exp":
+        import math
+
+        inner = _evaluate(definition[1], state, n)
+        if is_na(inner):
+            return NA
+        try:
+            return math.exp(inner)
+        except OverflowError:
+            return NA
+    if head == "pow":
+        inner = _evaluate(definition[1], state, n)
+        exponent = definition[2]
+        if is_na(inner):
+            return NA
+        if inner < 0 and not float(exponent).is_integer():
+            return NA
+        try:
+            return inner ** exponent
+        except (OverflowError, ZeroDivisionError):
+            return NA
+    a = _evaluate(definition[1], state, n)
+    b = _evaluate(definition[2], state, n)
+    if is_na(a) or is_na(b):
+        return NA
+    if head == "add":
+        return a + b
+    if head == "sub":
+        return a - b
+    if head == "mul":
+        return a * b
+    if head == "div":
+        return NA if b == 0 else a / b
+    raise RuleError(f"unknown operator {head!r}")
+
+
+# Small combinators keep the moment definitions readable; the resulting
+# values are still plain nested tuples.
+
+
+def _add(a: tuple, b: tuple) -> tuple:
+    return ("add", a, b)
+
+
+def _sub(a: tuple, b: tuple) -> tuple:
+    return ("sub", a, b)
+
+
+def _mul(a: tuple, b: tuple) -> tuple:
+    return ("mul", a, b)
+
+
+def _div(a: tuple, b: tuple) -> tuple:
+    return ("div", a, b)
+
+
+def _c(value: float) -> tuple:
+    return ("const", value)
+
+
+_N = ("count",)
+_S1 = ("sum",)
+_S2 = ("sumsq",)
+_S3 = ("sumcube",)
+_S4 = ("sumquart",)
+_MEAN = _div(_S1, _N)
+# Central moments from raw power sums (all exactly differencable):
+#   m2 = S2/n - mean^2
+#   m3 = S3/n - 3 mean S2/n + 2 mean^3
+#   m4 = S4/n - 4 mean S3/n + 6 mean^2 S2/n - 3 mean^4
+_M2 = _sub(_div(_S2, _N), ("pow", _MEAN, 2))
+_M3 = _add(
+    _sub(_div(_S3, _N), _mul(_c(3.0), _mul(_MEAN, _div(_S2, _N)))),
+    _mul(_c(2.0), ("pow", _MEAN, 3)),
+)
+_M4 = _sub(
+    _add(
+        _sub(_div(_S4, _N), _mul(_c(4.0), _mul(_MEAN, _div(_S3, _N)))),
+        _mul(_c(6.0), _mul(("pow", _MEAN, 2), _div(_S2, _N))),
+    ),
+    _mul(_c(3.0), ("pow", _MEAN, 4)),
+)
+_SAMPLE_VAR = _div(
+    _sub(_S2, _div(_mul(_S1, _S1), _N)),
+    _sub(_N, _c(1)),
+)
+
+#: High-level definitions for the algebraic statistics.  mean is sum/count;
+#: variance uses the sum-of-squares identity with Bessel's correction;
+#: skewness/kurtosis come from the first four raw power sums; the geometric
+#: mean is exp(sumlog/count) — all maintained in O(1) per change.
+DEFINITIONS: dict[str, tuple] = {
+    "count": _N,
+    "sum": _S1,
+    "mean": _MEAN,
+    "avg": _MEAN,
+    "sumsq": _S2,
+    "var": _SAMPLE_VAR,
+    "std": ("sqrt", _SAMPLE_VAR),
+    "rms": ("sqrt", _div(_S2, _N)),
+    "skewness": _div(_M3, ("pow", _M2, 1.5)),
+    "kurtosis_excess": _sub(_div(_M4, ("pow", _M2, 2)), _c(3.0)),
+    "cv": _div(("sqrt", _SAMPLE_VAR), _MEAN),
+    "geometric_mean": ("exp", _div(("sumlog",), _N)),
+}
+
+
+def derive_incremental(function_name: str) -> IncrementalComputation:
+    """Finite differencing: an incremental form for a named function.
+
+    Returns an evaluator for functions whose definition lies in the
+    differencable algebra; raises :class:`NotIncrementallyComputable` for
+    order statistics and other functions that "reflect an ordering on the
+    input data" (SS4.2) — callers should fall back to the manual schemes in
+    :mod:`repro.incremental.order_stats` or to invalidation.
+    """
+    definition = DEFINITIONS.get(function_name)
+    if definition is None:
+        raise NotIncrementallyComputable(
+            f"no differencable definition for function {function_name!r}"
+        )
+    return AlgebraicForm(definition)

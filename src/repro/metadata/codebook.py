@@ -1,0 +1,156 @@
+"""Code books: decoding encoded category values (paper Figure 2).
+
+"In order to reduce storage space, data values, such as age in Figure 1,
+are frequently encoded.  Thus, a table such as that found in Figure 2 must
+be used to interpret the values" (SS2.1).  A :class:`CodeBook` maps small
+integer codes to labels, converts to a relation so decoding is a join
+(SS2.4), and detects the cross-edition inconsistencies the paper warns
+about ("different code values are used, for example in the 1970 and 1980
+census").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.errors import CodebookError
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, AttributeRole, Schema
+from repro.relational.types import DataType, is_na
+
+
+@dataclass(frozen=True)
+class CodeConflict:
+    """One discrepancy between two code book editions."""
+
+    code: int
+    kind: str  # "relabeled" | "only_in_first" | "only_in_second"
+    first_label: str | None
+    second_label: str | None
+
+
+class CodeBook:
+    """An edition of one attribute's code -> label mapping."""
+
+    def __init__(self, name: str, mapping: dict[int, str], edition: str = "1") -> None:
+        if not mapping:
+            raise CodebookError(f"code book {name!r} has no codes")
+        for code, label in mapping.items():
+            if not isinstance(code, int):
+                raise CodebookError(f"code {code!r} is not an integer")
+            if not isinstance(label, str) or not label:
+                raise CodebookError(f"label {label!r} for code {code} is invalid")
+        self.name = name
+        self.mapping = dict(mapping)
+        self.edition = edition
+        self._reverse = {label: code for code, label in mapping.items()}
+        if len(self._reverse) != len(mapping):
+            raise CodebookError(f"code book {name!r} has duplicate labels")
+
+    # -- decode/encode --------------------------------------------------------
+
+    def decode(self, code: int) -> str:
+        """Label for one code."""
+        if is_na(code):
+            raise CodebookError("cannot decode NA")
+        try:
+            return self.mapping[code]
+        except KeyError:
+            raise CodebookError(
+                f"code {code} not in code book {self.name!r} "
+                f"(edition {self.edition})"
+            ) from None
+
+    def encode(self, label: str) -> int:
+        """Code for one label."""
+        try:
+            return self._reverse[label]
+        except KeyError:
+            raise CodebookError(
+                f"label {label!r} not in code book {self.name!r}"
+            ) from None
+
+    def decode_column(self, codes: Iterable[int]) -> list[str]:
+        """Decode a whole column (the manual 'look up' the paper derides)."""
+        return [self.decode(code) for code in codes]
+
+    def __len__(self) -> int:
+        return len(self.mapping)
+
+    def __repr__(self) -> str:
+        return f"CodeBook({self.name!r}, edition={self.edition!r}, {len(self)} codes)"
+
+    # -- relational form ---------------------------------------------------------
+
+    def to_relation(self, code_attr: str = "CATEGORY", label_attr: str = "VALUE") -> Relation:
+        """The Figure 2 relation, ready to join against the data set."""
+        schema = Schema(
+            [
+                Attribute(code_attr, DataType.CATEGORY, AttributeRole.CATEGORY),
+                Attribute(label_attr, DataType.STR, AttributeRole.MEASURE),
+            ]
+        )
+        rows = sorted(self.mapping.items())
+        return Relation(f"codebook_{self.name}_{self.edition}", schema, rows)
+
+
+def detect_inconsistencies(first: CodeBook, second: CodeBook) -> list[CodeConflict]:
+    """Conflicts between two editions of the same code book.
+
+    The 1970-vs-1980-census problem: the same code meaning different
+    things, or codes present in only one edition.
+    """
+    if first.name != second.name:
+        raise CodebookError(
+            f"comparing different code books: {first.name!r} vs {second.name!r}"
+        )
+    conflicts: list[CodeConflict] = []
+    for code in sorted(set(first.mapping) | set(second.mapping)):
+        a = first.mapping.get(code)
+        b = second.mapping.get(code)
+        if a is None:
+            conflicts.append(CodeConflict(code, "only_in_second", None, b))
+        elif b is None:
+            conflicts.append(CodeConflict(code, "only_in_first", a, None))
+        elif a != b:
+            conflicts.append(CodeConflict(code, "relabeled", a, b))
+    return conflicts
+
+
+class CodeBookRegistry:
+    """All code books known to the Management Database, by name+edition."""
+
+    def __init__(self) -> None:
+        self._books: dict[tuple[str, str], CodeBook] = {}
+
+    def register(self, book: CodeBook) -> None:
+        """Add one edition."""
+        key = (book.name, book.edition)
+        if key in self._books:
+            raise CodebookError(
+                f"code book {book.name!r} edition {book.edition!r} already registered"
+            )
+        self._books[key] = book
+
+    def get(self, name: str, edition: str | None = None) -> CodeBook:
+        """Fetch an edition (latest by string comparison when omitted)."""
+        if edition is not None:
+            try:
+                return self._books[(name, edition)]
+            except KeyError:
+                raise CodebookError(
+                    f"no code book {name!r} edition {edition!r}"
+                ) from None
+        editions = [key for key in self._books if key[0] == name]
+        if not editions:
+            raise CodebookError(f"no code book {name!r}")
+        return self._books[max(editions)]
+
+    def editions_of(self, name: str) -> list[str]:
+        """All registered editions of a code book."""
+        return sorted(e for n, e in self._books if n == name)
+
+    def names(self) -> list[str]:
+        """Distinct code book names."""
+        return sorted({n for n, _ in self._books})

@@ -1,0 +1,285 @@
+"""The statistical function registry.
+
+The Management Database holds "the functions that are applied to [the
+data]" (SS3.2).  A :class:`StatFunction` descriptor records how to compute
+a function over a column, what kind of result it produces (the Summary
+Database stores "results of significantly different types"), whether an
+incremental form exists (and how to build it), and which attribute roles it
+is meaningful for — "computing the median (or any summary values) of the
+AGE_GROUP attribute in Figure 1 does not make sense.  Thus, the system will
+have to rely on meta-data to decide for which attributes summary
+information should be computed" (SS3.2).
+
+Parameterized quantiles resolve dynamically: ``quantile_95`` is the 95th
+percentile, with a :class:`repro.incremental.order_stats.QuantileWindow`
+maintainer.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.errors import FunctionError
+from repro.incremental.aggregates import (
+    IncrementalCount,
+    IncrementalMax,
+    IncrementalMean,
+    IncrementalMin,
+    IncrementalStd,
+    IncrementalSum,
+    IncrementalVariance,
+)
+from repro.incremental.differencing import IncrementalComputation
+from repro.incremental.frequency import IncrementalFrequency
+from repro.incremental.histogram import MaintainedHistogram
+from repro.incremental.order_stats import MedianWindow, QuantileWindow
+from repro.relational.schema import Attribute, AttributeRole
+from repro.relational.types import is_na
+from repro.stats import descriptive as desc
+from repro.stats.histogram import build_histogram
+
+
+class ResultKind(enum.Enum):
+    """Shape of a cached result (SS3.2: results of varying type/length)."""
+
+    SCALAR = "scalar"
+    PAIR = "pair"
+    VECTOR = "vector"
+    HISTOGRAM = "histogram"
+    TABLE = "table"
+
+
+ValuesProvider = Callable[[], Iterable[Any]]
+MaintainerFactory = Callable[[ValuesProvider], IncrementalComputation]
+
+
+@dataclass(frozen=True)
+class StatFunction:
+    """Descriptor of one cacheable statistical function."""
+
+    name: str
+    compute: Callable[[Sequence[Any]], Any]
+    result_kind: ResultKind
+    maintainer_factory: MaintainerFactory | None = None
+    numeric_only: bool = True
+    """Meaningless on encoded CATEGORY attributes when True (SS3.2)."""
+
+    @property
+    def is_incremental(self) -> bool:
+        """Whether finite differencing (or a manual scheme) maintains it."""
+        return self.maintainer_factory is not None
+
+    def make_maintainer(self, provider: ValuesProvider) -> IncrementalComputation:
+        """Build and initialize the incremental form for current data."""
+        if self.maintainer_factory is None:
+            raise FunctionError(f"function {self.name!r} has no incremental form")
+        maintainer = self.maintainer_factory(provider)
+        return maintainer
+
+    def applicable_to(self, attribute: Attribute) -> bool:
+        """Whether summary information of this function makes sense for
+
+        the attribute (category-encoded columns reject numeric stats)."""
+        if not self.numeric_only:
+            return True
+        if attribute.role is AttributeRole.CATEGORY:
+            # Count-like statistics remain fine on categories.
+            return False
+        return True
+
+
+def _initialized(maintainer: IncrementalComputation, provider: ValuesProvider) -> IncrementalComputation:
+    maintainer.initialize(provider())
+    return maintainer
+
+
+def _window_factory(cls: Any, *args: Any) -> MaintainerFactory:
+    def factory(provider: ValuesProvider) -> IncrementalComputation:
+        return cls(*args, provider) if args else cls(provider)
+
+    return factory
+
+
+def _simple_factory(cls: Any) -> MaintainerFactory:
+    def factory(provider: ValuesProvider) -> IncrementalComputation:
+        return _initialized(cls(), provider)
+
+    return factory
+
+
+def _algebraic_factory(definition_name: str) -> MaintainerFactory:
+    """A maintainer built by finite differencing from the high-level
+
+    definition in :data:`repro.incremental.differencing.DEFINITIONS`."""
+    from repro.incremental.differencing import derive_incremental
+
+    def factory(provider: ValuesProvider) -> IncrementalComputation:
+        return _initialized(derive_incremental(definition_name), provider)
+
+    return factory
+
+
+def _histogram_factory(provider: ValuesProvider) -> IncrementalComputation:
+    values = [float(v) for v in provider() if not is_na(v)]
+    if values:
+        lo, hi = min(values), max(values)
+    else:
+        lo, hi = 0.0, 1.0
+    if hi == lo:
+        hi = lo + 1.0
+    maintained = MaintainedHistogram(
+        lo, hi + 1e-9 * (abs(hi) + 1), bins=20, values_provider=provider
+    )
+    maintained.initialize(values)
+    return maintained
+
+
+def _histogram_two_vectors(values: Sequence[Any]) -> tuple[list[float], list[int]]:
+    """The paper's two-vector histogram form: (edges, counts)."""
+    built = build_histogram(values)
+    return (list(built.edges), list(built.counts))
+
+
+_QUANTILE_RE = re.compile(r"^quantile_(\d{1,2})$")
+
+
+class FunctionRegistry:
+    """Name -> :class:`StatFunction` resolution with quantile synthesis."""
+
+    def __init__(self) -> None:
+        self._functions: dict[str, StatFunction] = {}
+        for function in _default_functions():
+            self._functions[function.name] = function
+
+    def register(self, function: StatFunction) -> None:
+        """Add or replace a function definition."""
+        self._functions[function.name] = function
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.get(name)
+            return True
+        except FunctionError:
+            return False
+
+    def names(self) -> list[str]:
+        """Registered (non-synthesized) function names."""
+        return sorted(self._functions)
+
+    def get(self, name: str) -> StatFunction:
+        """Resolve a function, synthesizing quantile_XX on demand."""
+        found = self._functions.get(name)
+        if found is not None:
+            return found
+        match = _QUANTILE_RE.match(name)
+        if match:
+            q = int(match.group(1)) / 100.0
+            function = StatFunction(
+                name=name,
+                compute=lambda values, q=q: desc.quantile(values, q),
+                result_kind=ResultKind.SCALAR,
+                maintainer_factory=lambda provider, q=q: QuantileWindow(q, provider),
+            )
+            self._functions[name] = function
+            return function
+        raise FunctionError(
+            f"unknown statistical function {name!r}; known: {self.names()}"
+        )
+
+
+def _default_functions() -> list[StatFunction]:
+    return [
+        StatFunction(
+            "count",
+            lambda values: float(len([v for v in values if not is_na(v)])),
+            ResultKind.SCALAR,
+            _simple_factory(IncrementalCount),
+            numeric_only=False,
+        ),
+        StatFunction(
+            "na_count",
+            lambda values: float(desc.na_count(values)),
+            ResultKind.SCALAR,
+            lambda provider: _initialized(_NACounter(), provider),
+            numeric_only=False,
+        ),
+        StatFunction("sum", desc.vsum, ResultKind.SCALAR, _simple_factory(IncrementalSum)),
+        StatFunction("mean", desc.mean, ResultKind.SCALAR, _simple_factory(IncrementalMean)),
+        StatFunction("var", desc.variance, ResultKind.SCALAR, _simple_factory(IncrementalVariance)),
+        StatFunction("std", desc.std, ResultKind.SCALAR, _simple_factory(IncrementalStd)),
+        StatFunction("min", desc.vmin, ResultKind.SCALAR, _simple_factory(IncrementalMin)),
+        StatFunction("max", desc.vmax, ResultKind.SCALAR, _simple_factory(IncrementalMax)),
+        StatFunction(
+            "median",
+            desc.median,
+            ResultKind.SCALAR,
+            lambda provider: MedianWindow(provider),
+        ),
+        StatFunction(
+            "mode",
+            desc.mode,
+            ResultKind.SCALAR,
+            _simple_factory(IncrementalFrequency),
+            numeric_only=False,
+        ),
+        StatFunction(
+            "unique_count",
+            lambda values: float(desc.unique_count(values)),
+            ResultKind.SCALAR,
+            lambda provider: _initialized(_UniqueCounter(), provider),
+            numeric_only=False,
+        ),
+        StatFunction(
+            "histogram",
+            _histogram_two_vectors,
+            ResultKind.HISTOGRAM,
+            _histogram_factory,
+        ),
+        StatFunction(
+            "trimmed_mean",
+            lambda values: desc.trimmed_mean(values),
+            ResultKind.SCALAR,
+            None,  # depends on order statistics; fallback is invalidation
+        ),
+        StatFunction("iqr", desc.iqr, ResultKind.SCALAR, None),
+        StatFunction("mad", desc.mad, ResultKind.SCALAR, None),
+        StatFunction("rms", desc.rms, ResultKind.SCALAR, _algebraic_factory("rms")),
+        StatFunction(
+            "skewness",
+            desc.skewness,
+            ResultKind.SCALAR,
+            _algebraic_factory("skewness"),
+        ),
+        StatFunction(
+            "kurtosis_excess",
+            desc.kurtosis_excess,
+            ResultKind.SCALAR,
+            _algebraic_factory("kurtosis_excess"),
+        ),
+        StatFunction("cv", desc.cv, ResultKind.SCALAR, _algebraic_factory("cv")),
+        StatFunction(
+            "geometric_mean",
+            desc.geometric_mean,
+            ResultKind.SCALAR,
+            _algebraic_factory("geometric_mean"),
+        ),
+    ]
+
+
+class _NACounter(IncrementalCount):
+    """Incremental NA count (reuses IncrementalCount's NA tracking)."""
+
+    @property
+    def value(self) -> int:
+        return self.na_count
+
+
+class _UniqueCounter(IncrementalFrequency):
+    """Incremental distinct-value count."""
+
+    @property
+    def value(self) -> int:
+        return self.unique_count

@@ -1,0 +1,120 @@
+"""The Management Database (paper SS3.2).
+
+"One Management Database is associated with the DBMS.  [Its] purpose is to
+serve as a repository for information that describes the organization of
+the data, the functions that are applied to it, rules for manipulating
+information in the Summary Databases, view definitions, update histories of
+the views, and other control information."
+
+:class:`ManagementDatabase` aggregates:
+
+* the :class:`~repro.metadata.functions.FunctionRegistry` (function defs),
+* the :class:`~repro.metadata.rules.RuleRepository` (update rules),
+* the :class:`~repro.metadata.codebook.CodeBookRegistry` (Figure 2 tables),
+* the :class:`~repro.metadata.subject.MetaGraph` (SUBJECT navigation),
+* view definitions and references to per-view update histories, and
+* per-(analyst, view) accuracy preferences (consistency policies).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.errors import MetadataError
+from repro.metadata.codebook import CodeBookRegistry
+from repro.metadata.functions import FunctionRegistry
+from repro.metadata.rules import RuleKind, RuleRepository
+from repro.metadata.subject import MetaGraph
+
+if TYPE_CHECKING:  # avoid import cycle; views import summary import rules
+    from repro.summary.policies import ConsistencyPolicy
+    from repro.views.history import UpdateHistory
+    from repro.views.materialize import ViewDefinition
+
+
+class ManagementDatabase:
+    """The single per-DBMS repository of control information."""
+
+    def __init__(
+        self,
+        functions: FunctionRegistry | None = None,
+        force_rule_mode: RuleKind | None = None,
+    ) -> None:
+        self.functions = functions or FunctionRegistry()
+        self.rules = RuleRepository(self.functions, force_mode=force_rule_mode)
+        self.codebooks = CodeBookRegistry()
+        self.metagraph = MetaGraph()
+        self._view_definitions: dict[str, "ViewDefinition"] = {}
+        self._histories: dict[str, "UpdateHistory"] = {}
+        self._policies: dict[tuple[str, str], "ConsistencyPolicy"] = {}
+        self._default_policy: "ConsistencyPolicy | None" = None
+
+    # -- view definitions -------------------------------------------------------
+
+    def register_view(self, definition: "ViewDefinition", history: "UpdateHistory") -> None:
+        """Record a new view's definition and history reference."""
+        if definition.name in self._view_definitions:
+            raise MetadataError(f"view {definition.name!r} already registered")
+        self._view_definitions[definition.name] = definition
+        self._histories[definition.name] = history
+
+    def drop_view(self, name: str) -> None:
+        """Forget a view's control information."""
+        self._view_definitions.pop(name, None)
+        self._histories.pop(name, None)
+        for key in [k for k in self._policies if k[1] == name]:
+            del self._policies[key]
+
+    def view_definition(self, name: str) -> "ViewDefinition":
+        """The stored definition of a view."""
+        try:
+            return self._view_definitions[name]
+        except KeyError:
+            raise MetadataError(f"no view definition for {name!r}") from None
+
+    def view_history(self, name: str) -> "UpdateHistory":
+        """The update history of a view."""
+        try:
+            return self._histories[name]
+        except KeyError:
+            raise MetadataError(f"no update history for view {name!r}") from None
+
+    def view_names(self) -> list[str]:
+        """Views with registered definitions."""
+        return sorted(self._view_definitions)
+
+    # -- accuracy preferences (SS3.2's "user's wishes") ----------------------------
+
+    def set_policy(self, analyst: str, view: str, policy: "ConsistencyPolicy") -> None:
+        """Record an analyst's accuracy preference for one view."""
+        self._policies[(analyst, view)] = policy
+
+    def set_default_policy(self, policy: "ConsistencyPolicy") -> None:
+        """Policy used when no specific preference exists."""
+        self._default_policy = policy
+
+    def policy_for(self, analyst: str, view: str) -> "ConsistencyPolicy":
+        """The effective consistency policy for (analyst, view)."""
+        found = self._policies.get((analyst, view))
+        if found is not None:
+            return found
+        if self._default_policy is None:
+            from repro.summary.policies import PrecisePolicy
+
+            self._default_policy = PrecisePolicy()
+        return self._default_policy
+
+    # -- convenience --------------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        """A human-readable inventory of the control information."""
+        return {
+            "functions": self.functions.names(),
+            "rules": self.rules.describe(),
+            "codebooks": self.codebooks.names(),
+            "views": self.view_names(),
+            "policies": {
+                f"{analyst}/{view}": policy.name
+                for (analyst, view), policy in sorted(self._policies.items())
+            },
+        }

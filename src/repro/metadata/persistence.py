@@ -1,0 +1,431 @@
+"""Serialization of the Management Database's control information.
+
+An analysis "can mean a lengthy period of time — as long as a few months"
+(paper SS2.3), so the Management Database's contents — view definitions,
+update histories, rule overrides, code books, accuracy preferences, the
+meta-data graph — must outlive any one process.  This module round-trips
+all of it through plain JSON-able dictionaries:
+
+* expression trees (:mod:`repro.relational.expressions`),
+* view-definition trees (:mod:`repro.views.materialize`),
+* update histories with NA-aware cell values,
+* code books, policies, rule overrides, and the SUBJECT graph.
+
+Functions themselves are code; only *names* are persisted and resolved
+against the registry on load (custom functions must be re-registered by
+the application before loading, mirroring how 1982 systems reloaded
+procedure libraries).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.errors import MetadataError
+from repro.metadata.codebook import CodeBook
+from repro.metadata.management import ManagementDatabase
+from repro.metadata.rules import RuleKind
+from repro.metadata.subject import ROOT
+from repro.relational import expressions as ex
+from repro.relational.aggregates import AggregateSpec
+from repro.relational.types import NA, is_na
+from repro.summary.policies import (
+    ConsistencyPolicy,
+    InvalidatePolicy,
+    PeriodicPolicy,
+    PrecisePolicy,
+    TolerantPolicy,
+)
+from repro.views.materialize import (
+    AggregateNode,
+    DefNode,
+    JoinNode,
+    ProjectNode,
+    SelectNode,
+    SourceNode,
+    ViewDefinition,
+)
+from repro.views.history import CellChange, OpKind, Operation, UpdateHistory
+
+# -- scalar values (NA-aware) ---------------------------------------------------
+
+
+def value_to_jsonable(value: Any) -> Any:
+    """Encode a cell value, representing NA explicitly."""
+    if is_na(value):
+        return {"__na__": True}
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    raise MetadataError(f"cannot persist value of type {type(value).__name__}")
+
+
+def value_from_jsonable(data: Any) -> Any:
+    """Inverse of :func:`value_to_jsonable`."""
+    if isinstance(data, dict) and data.get("__na__"):
+        return NA
+    return data
+
+
+# -- expressions -------------------------------------------------------------------
+
+
+def expr_to_dict(expr: ex.Expr) -> dict:
+    """Serialize an expression tree."""
+    if isinstance(expr, ex.Col):
+        return {"node": "col", "name": expr.name}
+    if isinstance(expr, ex.Const):
+        return {"node": "const", "value": value_to_jsonable(expr.value)}
+    if isinstance(expr, ex.Arith):
+        return {
+            "node": "arith",
+            "op": expr.op,
+            "left": expr_to_dict(expr.left),
+            "right": expr_to_dict(expr.right),
+        }
+    if isinstance(expr, ex.Func):
+        return {"node": "func", "name": expr.name, "arg": expr_to_dict(expr.arg)}
+    if isinstance(expr, ex.Compare):
+        return {
+            "node": "compare",
+            "op": expr.op,
+            "left": expr_to_dict(expr.left),
+            "right": expr_to_dict(expr.right),
+        }
+    if isinstance(expr, ex.And):
+        return {
+            "node": "and",
+            "left": expr_to_dict(expr.left),
+            "right": expr_to_dict(expr.right),
+        }
+    if isinstance(expr, ex.Or):
+        return {
+            "node": "or",
+            "left": expr_to_dict(expr.left),
+            "right": expr_to_dict(expr.right),
+        }
+    if isinstance(expr, ex.Not):
+        return {"node": "not", "child": expr_to_dict(expr.child)}
+    if isinstance(expr, ex.In):
+        return {
+            "node": "in",
+            "child": expr_to_dict(expr.child),
+            "options": [value_to_jsonable(v) for v in expr.options],
+        }
+    if isinstance(expr, ex.Between):
+        return {
+            "node": "between",
+            "child": expr_to_dict(expr.child),
+            "lo": value_to_jsonable(expr.lo),
+            "hi": value_to_jsonable(expr.hi),
+        }
+    if isinstance(expr, ex.IsNA):
+        return {"node": "isna", "child": expr_to_dict(expr.child)}
+    raise MetadataError(f"cannot persist expression node {type(expr).__name__}")
+
+
+def expr_from_dict(data: dict) -> ex.Expr:
+    """Inverse of :func:`expr_to_dict`."""
+    kind = data.get("node")
+    if kind == "col":
+        return ex.Col(data["name"])
+    if kind == "const":
+        return ex.Const(value_from_jsonable(data["value"]))
+    if kind == "arith":
+        return ex.Arith(data["op"], expr_from_dict(data["left"]), expr_from_dict(data["right"]))
+    if kind == "func":
+        return ex.Func(data["name"], expr_from_dict(data["arg"]))
+    if kind == "compare":
+        return ex.Compare(data["op"], expr_from_dict(data["left"]), expr_from_dict(data["right"]))
+    if kind == "and":
+        return ex.And(expr_from_dict(data["left"]), expr_from_dict(data["right"]))
+    if kind == "or":
+        return ex.Or(expr_from_dict(data["left"]), expr_from_dict(data["right"]))
+    if kind == "not":
+        return ex.Not(expr_from_dict(data["child"]))
+    if kind == "in":
+        return ex.In(
+            expr_from_dict(data["child"]),
+            tuple(value_from_jsonable(v) for v in data["options"]),
+        )
+    if kind == "between":
+        return ex.Between(
+            expr_from_dict(data["child"]),
+            value_from_jsonable(data["lo"]),
+            value_from_jsonable(data["hi"]),
+        )
+    if kind == "isna":
+        return ex.IsNA(expr_from_dict(data["child"]))
+    raise MetadataError(f"unknown expression node kind {kind!r}")
+
+
+# -- view definitions ------------------------------------------------------------------
+
+
+def defnode_to_dict(node: DefNode) -> dict:
+    """Serialize a view-definition tree."""
+    if isinstance(node, SourceNode):
+        return {"node": "source", "dataset": node.dataset}
+    if isinstance(node, SelectNode):
+        return {
+            "node": "select",
+            "child": defnode_to_dict(node.child),
+            "predicate": expr_to_dict(node.predicate),
+        }
+    if isinstance(node, ProjectNode):
+        return {
+            "node": "project",
+            "child": defnode_to_dict(node.child),
+            "attributes": list(node.attributes),
+        }
+    if isinstance(node, JoinNode):
+        return {
+            "node": "join",
+            "left": defnode_to_dict(node.left),
+            "right": defnode_to_dict(node.right),
+            "left_keys": list(node.left_keys),
+            "right_keys": list(node.right_keys),
+        }
+    if isinstance(node, AggregateNode):
+        return {
+            "node": "aggregate",
+            "child": defnode_to_dict(node.child),
+            "keys": list(node.keys),
+            "specs": [
+                {
+                    "func": s.func,
+                    "attr": s.attr,
+                    "alias": s.alias,
+                    "weight": s.weight,
+                }
+                for s in node.specs
+            ],
+        }
+    raise MetadataError(f"cannot persist definition node {type(node).__name__}")
+
+
+def defnode_from_dict(data: dict) -> DefNode:
+    """Inverse of :func:`defnode_to_dict`."""
+    kind = data.get("node")
+    if kind == "source":
+        return SourceNode(data["dataset"])
+    if kind == "select":
+        return SelectNode(
+            defnode_from_dict(data["child"]), expr_from_dict(data["predicate"])
+        )
+    if kind == "project":
+        return ProjectNode(
+            defnode_from_dict(data["child"]), tuple(data["attributes"])
+        )
+    if kind == "join":
+        return JoinNode(
+            defnode_from_dict(data["left"]),
+            defnode_from_dict(data["right"]),
+            tuple(data["left_keys"]),
+            tuple(data["right_keys"]),
+        )
+    if kind == "aggregate":
+        return AggregateNode(
+            defnode_from_dict(data["child"]),
+            tuple(data["keys"]),
+            tuple(
+                AggregateSpec(
+                    func=s["func"], attr=s["attr"], alias=s["alias"], weight=s["weight"]
+                )
+                for s in data["specs"]
+            ),
+        )
+    raise MetadataError(f"unknown definition node kind {kind!r}")
+
+
+def definition_to_dict(definition: ViewDefinition) -> dict:
+    """Serialize a named view definition."""
+    return {"name": definition.name, "root": defnode_to_dict(definition.root)}
+
+
+def definition_from_dict(data: dict) -> ViewDefinition:
+    """Inverse of :func:`definition_to_dict`."""
+    return ViewDefinition(data["name"], defnode_from_dict(data["root"]))
+
+
+# -- histories -------------------------------------------------------------------------
+
+
+def history_to_dict(history: UpdateHistory) -> dict:
+    """Serialize an update history (values NA-aware)."""
+    return {
+        "view_name": history.view_name,
+        "operations": [
+            {
+                "version": op.version,
+                "kind": op.kind.value,
+                "attribute": op.attribute,
+                "description": op.description,
+                "changes": [
+                    {
+                        "row": c.row,
+                        "old": value_to_jsonable(c.old),
+                        "new": value_to_jsonable(c.new),
+                    }
+                    for c in op.changes
+                ],
+            }
+            for op in history.operations()
+        ],
+    }
+
+
+def history_from_dict(data: dict) -> UpdateHistory:
+    """Inverse of :func:`history_to_dict`."""
+    history = UpdateHistory(data["view_name"])
+    for op in data["operations"]:
+        restored = Operation(
+            version=op["version"],
+            kind=OpKind(op["kind"]),
+            attribute=op["attribute"],
+            description=op.get("description", ""),
+            changes=tuple(
+                CellChange(
+                    row=c["row"],
+                    old=value_from_jsonable(c["old"]),
+                    new=value_from_jsonable(c["new"]),
+                )
+                for c in op["changes"]
+            ),
+        )
+        history._operations.append(restored)
+        history._next_version = restored.version + 1
+    return history
+
+
+# -- policies ---------------------------------------------------------------------------
+
+
+def policy_to_dict(policy: ConsistencyPolicy) -> dict:
+    """Serialize a consistency policy."""
+    if isinstance(policy, PeriodicPolicy):
+        return {"name": "periodic", "period": policy.period}
+    if isinstance(policy, TolerantPolicy):
+        return {"name": "tolerant", "max_staleness": policy.max_staleness}
+    if isinstance(policy, InvalidatePolicy):
+        return {"name": "invalidate"}
+    if isinstance(policy, PrecisePolicy):
+        return {"name": "precise"}
+    raise MetadataError(f"cannot persist policy {type(policy).__name__}")
+
+
+def policy_from_dict(data: dict) -> ConsistencyPolicy:
+    """Inverse of :func:`policy_to_dict`."""
+    name = data["name"]
+    if name == "periodic":
+        return PeriodicPolicy(period=data["period"])
+    if name == "tolerant":
+        return TolerantPolicy(max_staleness=data["max_staleness"])
+    if name == "invalidate":
+        return InvalidatePolicy()
+    if name == "precise":
+        return PrecisePolicy()
+    raise MetadataError(f"unknown policy {name!r}")
+
+
+# -- the whole Management Database ----------------------------------------------------------
+
+
+def management_to_dict(management: ManagementDatabase) -> dict:
+    """Snapshot everything the Management Database holds."""
+    graph = management.metagraph.graph
+    return {
+        "rule_overrides": {
+            name: kind.value for name, kind in management.rules._overrides.items()
+        },
+        "force_rule_mode": (
+            management.rules.force_mode.value if management.rules.force_mode else None
+        ),
+        "codebooks": [
+            {
+                "name": book.name,
+                "edition": book.edition,
+                "mapping": {str(code): label for code, label in book.mapping.items()},
+            }
+            for key in sorted(management.codebooks._books)
+            for book in [management.codebooks._books[key]]
+        ],
+        "views": [
+            definition_to_dict(management.view_definition(name))
+            for name in management.view_names()
+        ],
+        "histories": [
+            history_to_dict(management.view_history(name))
+            for name in management.view_names()
+        ],
+        "policies": [
+            {
+                "analyst": analyst,
+                "view": view,
+                "policy": policy_to_dict(policy),
+            }
+            for (analyst, view), policy in sorted(management._policies.items())
+        ],
+        "metagraph": {
+            "nodes": [
+                {"name": n, **graph.nodes[n]}
+                for n in graph.nodes
+                if n != ROOT
+            ],
+            "edges": [[u, v] for u, v in graph.edges],
+        },
+    }
+
+
+def management_from_dict(data: dict) -> ManagementDatabase:
+    """Rebuild a Management Database from a snapshot.
+
+    Built-in functions come from a fresh registry; rule overrides, code
+    books, views, histories, policies, and the SUBJECT graph are restored.
+    """
+    force = data.get("force_rule_mode")
+    management = ManagementDatabase(
+        force_rule_mode=RuleKind(force) if force else None
+    )
+    for name, kind in data.get("rule_overrides", {}).items():
+        management.rules.set_rule(name, RuleKind(kind))
+    for book in data.get("codebooks", []):
+        management.codebooks.register(
+            CodeBook(
+                book["name"],
+                {int(code): label for code, label in book["mapping"].items()},
+                edition=book["edition"],
+            )
+        )
+    histories = {
+        h["view_name"]: history_from_dict(h) for h in data.get("histories", [])
+    }
+    for view_data in data.get("views", []):
+        definition = definition_from_dict(view_data)
+        history = histories.get(definition.name) or UpdateHistory(definition.name)
+        management.register_view(definition, history)
+    for item in data.get("policies", []):
+        management.set_policy(
+            item["analyst"], item["view"], policy_from_dict(item["policy"])
+        )
+    graph_data = data.get("metagraph", {"nodes": [], "edges": []})
+    graph = management.metagraph.graph
+    for node in graph_data["nodes"]:
+        attrs = {k: v for k, v in node.items() if k != "name"}
+        graph.add_node(node["name"], **attrs)
+    for u, v in graph_data["edges"]:
+        if u in graph and v in graph:
+            graph.add_edge(u, v)
+    return management
+
+
+def dump_management(management: ManagementDatabase, path: str) -> None:
+    """Write a Management Database snapshot to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(management_to_dict(management), handle, indent=2)
+
+
+def load_management(path: str) -> ManagementDatabase:
+    """Read a Management Database snapshot from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        return management_from_dict(json.load(handle))

@@ -1,0 +1,192 @@
+"""SUBJECT-style meta-data navigation (paper SS2.3, citing CHAN81).
+
+"A user views the meta-data as a graph in which nodes represent
+attributes.  Additional, 'higher-level', nodes represent generalizations of
+lower-level nodes.  A user enters the system at a fairly high 'level',
+navigating his way through the meta-database down to the level of desired
+detail.  SUBJECT keeps track of the path followed by the user and at the
+end of the session can generate requests to the DBMS for the view described
+by his path."
+
+:class:`MetaGraph` is that graph (a :mod:`networkx` DAG of generalization
+nodes over attribute leaves); :class:`NavigationSession` records a user's
+descent and emits the (dataset, attributes) view request their path
+describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import networkx as nx
+
+from repro.core.errors import MetadataError
+
+ROOT = "__root__"
+
+
+@dataclass(frozen=True)
+class ViewRequest:
+    """What a navigation session asks the DBMS to materialize."""
+
+    dataset: str
+    attributes: tuple[str, ...]
+
+    def to_definition(self, name: str) -> "ViewDefinition":
+        """The materializable :class:`~repro.views.materialize.ViewDefinition`
+
+        this request describes — SUBJECT "can generate requests to the
+        DBMS for the view described by his path" (SS2.3), and this is that
+        request, ready for :meth:`StatisticalDBMS.create_view`.
+        """
+        from repro.views.materialize import ProjectNode, SourceNode, ViewDefinition
+
+        return ViewDefinition(
+            name, ProjectNode(SourceNode(self.dataset), tuple(self.attributes))
+        )
+
+
+class MetaGraph:
+    """A generalization hierarchy over the attributes of the database.
+
+    Leaf nodes are concrete attributes tagged with the dataset that holds
+    them; internal nodes are topic generalizations ("demographics",
+    "economics", ...).  Edges point from general to specific.
+    """
+
+    def __init__(self) -> None:
+        self.graph = nx.DiGraph()
+        self.graph.add_node(ROOT, kind="topic", label="(root)")
+
+    # -- construction ----------------------------------------------------------
+
+    def add_topic(self, name: str, parent: str = ROOT, label: str | None = None) -> None:
+        """Add a generalization node under ``parent``."""
+        self._check_absent(name)
+        self._check_topic(parent)
+        self.graph.add_node(name, kind="topic", label=label or name)
+        self.graph.add_edge(parent, name)
+        self._check_acyclic()
+
+    def add_attribute(self, name: str, dataset: str, parent: str, label: str | None = None) -> None:
+        """Add a concrete attribute leaf under a topic."""
+        self._check_absent(name)
+        self._check_topic(parent)
+        self.graph.add_node(
+            name, kind="attribute", dataset=dataset, label=label or name
+        )
+        self.graph.add_edge(parent, name)
+
+    def link(self, parent: str, child: str) -> None:
+        """Add an extra generalization edge (the graph is a DAG, not a tree)."""
+        self._check_topic(parent)
+        if child not in self.graph:
+            raise MetadataError(f"no node {child!r}")
+        self.graph.add_edge(parent, child)
+        self._check_acyclic()
+
+    def remove_node(self, name: str) -> None:
+        """Remove a node (SUBJECT's 'primitive operations ... for updating
+
+        the graph')."""
+        if name == ROOT:
+            raise MetadataError("cannot remove the root")
+        if name not in self.graph:
+            raise MetadataError(f"no node {name!r}")
+        self.graph.remove_node(name)
+
+    # -- queries ----------------------------------------------------------------
+
+    def children(self, name: str) -> list[str]:
+        """Immediate specializations of a node."""
+        if name not in self.graph:
+            raise MetadataError(f"no node {name!r}")
+        return sorted(self.graph.successors(name))
+
+    def is_attribute(self, name: str) -> bool:
+        """Whether ``name`` is a leaf attribute."""
+        return (
+            name in self.graph and self.graph.nodes[name].get("kind") == "attribute"
+        )
+
+    def dataset_of(self, name: str) -> str:
+        """Dataset holding a leaf attribute."""
+        if not self.is_attribute(name):
+            raise MetadataError(f"{name!r} is not an attribute node")
+        return self.graph.nodes[name]["dataset"]
+
+    def attributes_under(self, name: str) -> list[str]:
+        """All leaf attributes reachable from a node."""
+        if name not in self.graph:
+            raise MetadataError(f"no node {name!r}")
+        reachable = nx.descendants(self.graph, name) | {name}
+        return sorted(n for n in reachable if self.is_attribute(n))
+
+    def _check_absent(self, name: str) -> None:
+        if name in self.graph:
+            raise MetadataError(f"node {name!r} already exists")
+
+    def _check_topic(self, name: str) -> None:
+        if name not in self.graph or self.graph.nodes[name].get("kind") != "topic":
+            raise MetadataError(f"{name!r} is not a topic node")
+
+    def _check_acyclic(self) -> None:
+        if not nx.is_directed_acyclic_graph(self.graph):
+            raise MetadataError("generalization graph must stay acyclic")
+
+
+@dataclass
+class NavigationSession:
+    """One user's descent through the meta-graph.
+
+    The session starts at the root; :meth:`descend` moves to a child,
+    :meth:`select` marks an attribute (or every attribute under a topic)
+    for the eventual view; :meth:`view_requests` generates the DBMS
+    requests the path describes — one per dataset touched.
+    """
+
+    graph: MetaGraph
+    position: str = ROOT
+    path: list[str] = field(default_factory=lambda: [ROOT])
+    selected: list[str] = field(default_factory=list)
+
+    def descend(self, child: str) -> None:
+        """Move one level down."""
+        if child not in self.graph.children(self.position):
+            raise MetadataError(
+                f"{child!r} is not a child of {self.position!r}; "
+                f"children are {self.graph.children(self.position)}"
+            )
+        self.position = child
+        self.path.append(child)
+
+    def ascend(self) -> None:
+        """Move one level back up the recorded path."""
+        if len(self.path) < 2:
+            raise MetadataError("already at the root")
+        self.path.pop()
+        self.position = self.path[-1]
+
+    def select(self, name: str | None = None) -> list[str]:
+        """Mark an attribute (default: everything under the current node).
+
+        Returns the attributes newly added to the selection."""
+        target = name or self.position
+        if self.graph.is_attribute(target):
+            added = [target]
+        else:
+            added = self.graph.attributes_under(target)
+        new = [a for a in added if a not in self.selected]
+        self.selected.extend(new)
+        return new
+
+    def view_requests(self) -> list[ViewRequest]:
+        """The view(s) this session's path describes, one per dataset."""
+        by_dataset: dict[str, list[str]] = {}
+        for attr in self.selected:
+            by_dataset.setdefault(self.graph.dataset_of(attr), []).append(attr)
+        return [
+            ViewRequest(dataset=dataset, attributes=tuple(attrs))
+            for dataset, attrs in sorted(by_dataset.items())
+        ]

@@ -1,0 +1,66 @@
+"""Flat-file relational engine: schemas, expressions, operators, SQL subset.
+
+Implements the "operations for materializing views" of paper SS2.3: the
+traditional relational operations (select/project/join/aggregate/sort) over
+the flat-file data sets that statistical packages expose.
+"""
+
+from repro.relational.aggregates import AggregateSpec, GroupBy, weighted_avg
+from repro.relational.catalog import Catalog
+from repro.relational.expressions import Col, Const, Expr, col, func
+from repro.relational.index import AttributeIndex, IndexScan
+from repro.relational.operators import (
+    Distinct,
+    HashJoin,
+    Limit,
+    NestedLoopJoin,
+    Project,
+    Rename,
+    Select,
+    Sort,
+    SortMergeJoin,
+    Union,
+)
+from repro.relational.planner import execute, plan
+from repro.relational.relation import Relation, StoredRelation
+from repro.relational.schema import Attribute, AttributeRole, Schema, category, measure
+from repro.relational.sql import Query, parse
+from repro.relational.types import NA, DataType, is_na
+
+__all__ = [
+    "AggregateSpec",
+    "Attribute",
+    "AttributeIndex",
+    "AttributeRole",
+    "Catalog",
+    "Col",
+    "Const",
+    "DataType",
+    "Distinct",
+    "Expr",
+    "GroupBy",
+    "HashJoin",
+    "IndexScan",
+    "Limit",
+    "NA",
+    "NestedLoopJoin",
+    "Project",
+    "Query",
+    "Relation",
+    "Rename",
+    "Schema",
+    "Select",
+    "Sort",
+    "SortMergeJoin",
+    "StoredRelation",
+    "Union",
+    "category",
+    "col",
+    "execute",
+    "func",
+    "is_na",
+    "measure",
+    "parse",
+    "plan",
+    "weighted_avg",
+]

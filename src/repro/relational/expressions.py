@@ -1,0 +1,392 @@
+"""Expression trees for predicates and computed columns.
+
+Expressions are built either from the fluent API (``col("AGE") > 40``) or by
+the SQL-subset parser, then *bound* to a schema, producing a plain callable
+over row tuples.  NA semantics follow the statistical convention: arithmetic
+involving NA yields NA, and a comparison involving NA is unknown and
+therefore fails the predicate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.errors import ExpressionError
+from repro.relational.schema import Schema
+from repro.relational.types import NA, is_na
+
+RowFn = Callable[[Sequence[Any]], Any]
+
+
+class Expr:
+    """Base expression node."""
+
+    def bind(self, schema: Schema) -> RowFn:
+        """Compile this expression against a schema into ``row -> value``."""
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """Names of all columns the expression references."""
+        raise NotImplementedError
+
+    # -- operator sugar ------------------------------------------------------
+
+    def __add__(self, other: Any) -> "Expr":
+        return Arith("+", self, _wrap(other))
+
+    def __radd__(self, other: Any) -> "Expr":
+        return Arith("+", _wrap(other), self)
+
+    def __sub__(self, other: Any) -> "Expr":
+        return Arith("-", self, _wrap(other))
+
+    def __rsub__(self, other: Any) -> "Expr":
+        return Arith("-", _wrap(other), self)
+
+    def __mul__(self, other: Any) -> "Expr":
+        return Arith("*", self, _wrap(other))
+
+    def __rmul__(self, other: Any) -> "Expr":
+        return Arith("*", _wrap(other), self)
+
+    def __truediv__(self, other: Any) -> "Expr":
+        return Arith("/", self, _wrap(other))
+
+    def __rtruediv__(self, other: Any) -> "Expr":
+        return Arith("/", _wrap(other), self)
+
+    def __eq__(self, other: Any) -> "Expr":  # type: ignore[override]
+        return Compare("=", self, _wrap(other))
+
+    def __ne__(self, other: Any) -> "Expr":  # type: ignore[override]
+        return Compare("!=", self, _wrap(other))
+
+    def __lt__(self, other: Any) -> "Expr":
+        return Compare("<", self, _wrap(other))
+
+    def __le__(self, other: Any) -> "Expr":
+        return Compare("<=", self, _wrap(other))
+
+    def __gt__(self, other: Any) -> "Expr":
+        return Compare(">", self, _wrap(other))
+
+    def __ge__(self, other: Any) -> "Expr":
+        return Compare(">=", self, _wrap(other))
+
+    def __and__(self, other: Any) -> "Expr":
+        return And(self, _wrap(other))
+
+    def __or__(self, other: Any) -> "Expr":
+        return Or(self, _wrap(other))
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
+
+    def is_in(self, options: Iterable[Any]) -> "Expr":
+        """Membership predicate."""
+        return In(self, tuple(options))
+
+    def between(self, lo: Any, hi: Any) -> "Expr":
+        """Inclusive range predicate."""
+        return Between(self, lo, hi)
+
+    def is_na(self) -> "Expr":
+        """True where the expression evaluates to NA."""
+        return IsNA(self)
+
+    def canonical(self) -> str:
+        """A normalized textual form used for equality of view definitions."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.canonical()
+
+
+def _wrap(value: Any) -> Expr:
+    return value if isinstance(value, Expr) else Const(value)
+
+
+class Col(Expr):
+    """A column reference."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ExpressionError("column name must be non-empty")
+        self.name = name
+
+    def bind(self, schema: Schema) -> RowFn:
+        index = schema.index_of(self.name)
+        return lambda row: row[index]
+
+    def columns(self) -> set[str]:
+        return {self.name}
+
+    def canonical(self) -> str:
+        return f"col({self.name})"
+
+
+def col(name: str) -> Col:
+    """Fluent column reference: ``col("AGE") > 40``."""
+    return Col(name)
+
+
+class Const(Expr):
+    """A literal value."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def bind(self, schema: Schema) -> RowFn:
+        value = self.value
+        return lambda row: value
+
+    def columns(self) -> set[str]:
+        return set()
+
+    def canonical(self) -> str:
+        return f"lit({self.value!r})"
+
+
+class Arith(Expr):
+    """Binary arithmetic with NA propagation."""
+
+    _OPS: dict[str, Callable[[Any, Any], Any]] = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": lambda a, b: a / b if b != 0 else NA,
+    }
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in self._OPS:
+            raise ExpressionError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def bind(self, schema: Schema) -> RowFn:
+        lf, rf = self.left.bind(schema), self.right.bind(schema)
+        fn = self._OPS[self.op]
+
+        def run(row: Sequence[Any]) -> Any:
+            a, b = lf(row), rf(row)
+            if is_na(a) or is_na(b):
+                return NA
+            return fn(a, b)
+
+        return run
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def canonical(self) -> str:
+        return f"({self.left.canonical()} {self.op} {self.right.canonical()})"
+
+
+class Func(Expr):
+    """Unary math function (log, sqrt, abs, exp) with NA propagation.
+
+    The paper's derived-column example stores "the logarithm of some
+    attribute" (SS3.2); these are the row-local functions such columns use.
+    """
+
+    _FNS: dict[str, Callable[[float], float]] = {
+        "log": math.log,
+        "log10": math.log10,
+        "sqrt": math.sqrt,
+        "abs": abs,
+        "exp": math.exp,
+    }
+
+    def __init__(self, name: str, arg: Expr) -> None:
+        if name not in self._FNS:
+            raise ExpressionError(
+                f"unknown function {name!r}; choose from {sorted(self._FNS)}"
+            )
+        self.name = name
+        self.arg = arg
+
+    def bind(self, schema: Schema) -> RowFn:
+        argf = self.arg.bind(schema)
+        fn = self._FNS[self.name]
+
+        def run(row: Sequence[Any]) -> Any:
+            v = argf(row)
+            if is_na(v):
+                return NA
+            try:
+                return fn(v)
+            except (ValueError, OverflowError):
+                return NA
+
+        return run
+
+    def columns(self) -> set[str]:
+        return self.arg.columns()
+
+    def canonical(self) -> str:
+        return f"{self.name}({self.arg.canonical()})"
+
+
+def func(name: str, arg: Expr | Any) -> Func:
+    """Apply a named unary math function to an expression."""
+    return Func(name, _wrap(arg))
+
+
+class Compare(Expr):
+    """Comparison; NA on either side makes the predicate false (unknown)."""
+
+    _OPS: dict[str, Callable[[Any, Any], bool]] = {
+        "=": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in self._OPS:
+            raise ExpressionError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def bind(self, schema: Schema) -> RowFn:
+        lf, rf = self.left.bind(schema), self.right.bind(schema)
+        fn = self._OPS[self.op]
+
+        def run(row: Sequence[Any]) -> bool:
+            a, b = lf(row), rf(row)
+            if is_na(a) or is_na(b):
+                return False
+            try:
+                return bool(fn(a, b))
+            except TypeError as exc:
+                raise ExpressionError(
+                    f"cannot compare {a!r} {self.op} {b!r}"
+                ) from exc
+
+        return run
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def canonical(self) -> str:
+        return f"({self.left.canonical()} {self.op} {self.right.canonical()})"
+
+
+class And(Expr):
+    """Logical conjunction."""
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        self.left = left
+        self.right = right
+
+    def bind(self, schema: Schema) -> RowFn:
+        lf, rf = self.left.bind(schema), self.right.bind(schema)
+        return lambda row: bool(lf(row)) and bool(rf(row))
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def canonical(self) -> str:
+        return f"({self.left.canonical()} AND {self.right.canonical()})"
+
+
+class Or(Expr):
+    """Logical disjunction."""
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        self.left = left
+        self.right = right
+
+    def bind(self, schema: Schema) -> RowFn:
+        lf, rf = self.left.bind(schema), self.right.bind(schema)
+        return lambda row: bool(lf(row)) or bool(rf(row))
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def canonical(self) -> str:
+        return f"({self.left.canonical()} OR {self.right.canonical()})"
+
+
+class Not(Expr):
+    """Logical negation."""
+
+    def __init__(self, child: Expr) -> None:
+        self.child = child
+
+    def bind(self, schema: Schema) -> RowFn:
+        cf = self.child.bind(schema)
+        return lambda row: not bool(cf(row))
+
+    def columns(self) -> set[str]:
+        return self.child.columns()
+
+    def canonical(self) -> str:
+        return f"(NOT {self.child.canonical()})"
+
+
+class In(Expr):
+    """Set membership; NA is never a member."""
+
+    def __init__(self, child: Expr, options: tuple) -> None:
+        self.child = child
+        self.options = options
+
+    def bind(self, schema: Schema) -> RowFn:
+        cf = self.child.bind(schema)
+        options = set(self.options)
+        return lambda row: (v := cf(row)) is not None and not is_na(v) and v in options
+
+    def columns(self) -> set[str]:
+        return self.child.columns()
+
+    def canonical(self) -> str:
+        inner = ", ".join(repr(o) for o in sorted(self.options, key=repr))
+        return f"({self.child.canonical()} IN ({inner}))"
+
+
+class Between(Expr):
+    """Inclusive range predicate; NA fails."""
+
+    def __init__(self, child: Expr, lo: Any, hi: Any) -> None:
+        self.child = child
+        self.lo = lo
+        self.hi = hi
+
+    def bind(self, schema: Schema) -> RowFn:
+        cf = self.child.bind(schema)
+        lo, hi = self.lo, self.hi
+        return lambda row: not is_na(v := cf(row)) and lo <= v <= hi
+
+    def columns(self) -> set[str]:
+        return self.child.columns()
+
+    def canonical(self) -> str:
+        return f"({self.child.canonical()} BETWEEN {self.lo!r} AND {self.hi!r})"
+
+
+class IsNA(Expr):
+    """True where the child evaluates to NA — used to find marked-invalid
+
+    observations (SS3.1)."""
+
+    def __init__(self, child: Expr) -> None:
+        self.child = child
+
+    def bind(self, schema: Schema) -> RowFn:
+        cf = self.child.bind(schema)
+        return lambda row: is_na(cf(row))
+
+    def columns(self) -> set[str]:
+        return self.child.columns()
+
+    def canonical(self) -> str:
+        return f"isna({self.child.canonical()})"

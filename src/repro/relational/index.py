@@ -1,0 +1,131 @@
+"""Secondary attribute indexes for selective queries.
+
+The paper wants materialized views to grow "auxiliary storage structures
+such as indices" when reference patterns justify them (SS2.3) — the
+:class:`~repro.views.advisor.AccessAdvisor` recommends them, and this
+module provides them: an :class:`AttributeIndex` maps attribute values to
+row positions (hash part) and keeps a sorted key list for range predicates
+(the informational queries of SS2.6, where indexes beat scans).
+
+Indexes are snapshots of the relation at build time; after updates the
+owner rebuilds them (``stale_for`` detects drift by row count).  The
+planner (:mod:`repro.relational.planner`) uses a registered index for
+equality and BETWEEN conjuncts on a query's base table.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, Sequence
+
+from repro.core.errors import CatalogError
+from repro.relational.expressions import Between, Col, Compare, Const, Expr
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.types import is_na
+
+
+class AttributeIndex:
+    """value -> row positions, with sorted keys for ranges."""
+
+    def __init__(self, attribute: str, rows_indexed: int) -> None:
+        self.attribute = attribute
+        self.rows_indexed = rows_indexed
+        self._buckets: dict[Any, list[int]] = {}
+        self._sorted_keys: list[Any] | None = None
+
+    @classmethod
+    def build(cls, relation: Relation, attribute: str) -> "AttributeIndex":
+        """One pass over the relation builds the index."""
+        index = cls(attribute, rows_indexed=len(relation))
+        for position, value in enumerate(relation.column(attribute)):
+            if is_na(value):
+                continue
+            index._buckets.setdefault(value, []).append(position)
+        return index
+
+    @property
+    def distinct_values(self) -> int:
+        """Number of indexed distinct values."""
+        return len(self._buckets)
+
+    def lookup(self, value: Any) -> list[int]:
+        """Row positions holding exactly ``value``."""
+        return list(self._buckets.get(value, ()))
+
+    def range(self, lo: Any, hi: Any) -> list[int]:
+        """Row positions with lo <= value <= hi, in row order."""
+        if self._sorted_keys is None:
+            self._sorted_keys = sorted(self._buckets)
+        keys = self._sorted_keys
+        start = bisect.bisect_left(keys, lo)
+        end = bisect.bisect_right(keys, hi)
+        rows: list[int] = []
+        for key in keys[start:end]:
+            rows.extend(self._buckets[key])
+        rows.sort()
+        return rows
+
+    def stale_for(self, relation: Relation) -> bool:
+        """Whether the relation has visibly drifted since the build."""
+        return len(relation) != self.rows_indexed
+
+
+class IndexScan:
+    """Fetch rows through an index, then apply a residual predicate.
+
+    Exposes the same schema+iteration protocol as every other operator.
+    ``rows_fetched`` records how many rows the index delivered — the
+    quantity an index exists to shrink.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        index: AttributeIndex,
+        positions: Sequence[int],
+        residual: Expr | None = None,
+    ) -> None:
+        self.relation = relation
+        self.index = index
+        self.positions = list(positions)
+        self.residual = residual
+        self.schema: Schema = relation.schema
+        self.rows_fetched = len(self.positions)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        test = self.residual.bind(self.schema) if self.residual is not None else None
+        for position in self.positions:
+            row = self.relation.row(position)
+            if test is None or test(row):
+                yield row
+
+    def rows(self) -> list[tuple[Any, ...]]:
+        """Evaluate into a list."""
+        return list(iter(self))
+
+
+def match_indexable_conjunct(
+    conjunct: Expr, indexes: dict[str, AttributeIndex]
+) -> tuple[AttributeIndex, list[int]] | None:
+    """If ``conjunct`` is `col = const` or `col BETWEEN lo AND hi` over an
+
+    indexed attribute, return (index, row positions); else None."""
+    if isinstance(conjunct, Compare) and conjunct.op == "=":
+        column, constant = _col_const(conjunct)
+        if column is not None and column in indexes:
+            return indexes[column], indexes[column].lookup(constant)
+    if isinstance(conjunct, Between) and isinstance(conjunct.child, Col):
+        column = conjunct.child.name
+        if column in indexes:
+            return indexes[column], indexes[column].range(conjunct.lo, conjunct.hi)
+    return None
+
+
+def _col_const(comparison: Compare) -> tuple[str | None, Any]:
+    left, right = comparison.left, comparison.right
+    if isinstance(left, Col) and isinstance(right, Const):
+        return left.name, right.value
+    if isinstance(right, Col) and isinstance(left, Const):
+        return right.name, left.value
+    return None, None

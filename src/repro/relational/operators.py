@@ -1,0 +1,303 @@
+"""Relational operators over flat files.
+
+These are "the traditional relational operations which create and transform
+tables" that the paper requires for materializing views (SS2.3): selection,
+projection (with computed columns), the join the statistical packages of the
+day lacked (SS2.4), sorting, duplicate elimination, union, and renaming.
+
+Operators are composable iterators: each exposes ``.schema`` and yields row
+tuples, so pipelines evaluate lazily and can sit directly on stored
+relations with I/O accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.core.errors import QueryError
+from repro.relational.expressions import Expr
+from repro.relational.schema import Attribute, AttributeRole, Schema
+from repro.relational.types import DataType, is_na
+
+
+class Operator:
+    """Base class for relational operator iterators."""
+
+    schema: Schema
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        raise NotImplementedError
+
+    def rows(self) -> list[tuple[Any, ...]]:
+        """Evaluate the pipeline into a list."""
+        return list(iter(self))
+
+
+class Select(Operator):
+    """Rows satisfying a predicate."""
+
+    def __init__(self, child: Any, predicate: Expr) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        test = self.predicate.bind(self.schema)
+        for row in self.child:
+            if test(row):
+                yield row
+
+
+class Project(Operator):
+    """A subset (or computation) of columns.
+
+    ``items`` may be plain attribute names or ``(alias, Expr)`` pairs for
+    computed columns; computed columns get FLOAT/DERIVED attributes unless
+    an :class:`Attribute` is supplied instead of an alias string.
+    """
+
+    def __init__(self, child: Any, items: Sequence[str | tuple[str | Attribute, Expr]]) -> None:
+        self.child = child
+        attributes: list[Attribute] = []
+        self._fns: list[Any] = []
+        in_schema: Schema = child.schema
+        for item in items:
+            if isinstance(item, str):
+                attributes.append(in_schema.attribute(item))
+                index = in_schema.index_of(item)
+                self._fns.append(_picker(index))
+            else:
+                target, expr = item
+                if isinstance(target, Attribute):
+                    attributes.append(target)
+                else:
+                    attributes.append(
+                        Attribute(target, DataType.FLOAT, AttributeRole.DERIVED)
+                    )
+                self._fns.append(expr.bind(in_schema))
+        self.schema = Schema(attributes)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        fns = self._fns
+        for row in self.child:
+            yield tuple(fn(row) for fn in fns)
+
+
+def _picker(index: int) -> Any:
+    return lambda row: row[index]
+
+
+class Rename(Operator):
+    """Rename columns via a mapping."""
+
+    def __init__(self, child: Any, mapping: dict[str, str]) -> None:
+        self.child = child
+        self.schema = child.schema.rename(mapping)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self.child)
+
+
+class NestedLoopJoin(Operator):
+    """Theta join via nested loops (the general baseline)."""
+
+    def __init__(self, left: Any, right: Any, predicate: Expr) -> None:
+        self.left = left
+        self.right = right
+        self.schema = left.schema.concat(right.schema)
+        self.predicate = predicate
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        test = self.predicate.bind(self.schema)
+        right_rows = list(self.right)
+        for lrow in self.left:
+            for rrow in right_rows:
+                combined = lrow + rrow
+                if test(combined):
+                    yield combined
+
+
+class HashJoin(Operator):
+    """Equi-join via hashing; NA keys never match.
+
+    ``how`` may be "inner" or "left"; a left join pads unmatched left rows
+    with NA — used to decode code-book values where some codes are missing.
+    """
+
+    def __init__(
+        self,
+        left: Any,
+        right: Any,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+        how: str = "inner",
+    ) -> None:
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise QueryError("join requires equal, non-empty key lists")
+        if how not in ("inner", "left"):
+            raise QueryError(f"unsupported join type {how!r}")
+        self.left = left
+        self.right = right
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.how = how
+        self.schema = left.schema.concat(right.schema)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        from repro.relational.types import NA
+
+        right_schema = self.right.schema
+        rkey_idx = [right_schema.index_of(k) for k in self.right_keys]
+        table: dict[tuple, list[tuple[Any, ...]]] = {}
+        right_width = len(right_schema)
+        for rrow in self.right:
+            key = tuple(rrow[i] for i in rkey_idx)
+            if any(is_na(v) for v in key):
+                continue
+            table.setdefault(key, []).append(rrow)
+        left_schema = self.left.schema
+        lkey_idx = [left_schema.index_of(k) for k in self.left_keys]
+        na_pad = (NA,) * right_width
+        for lrow in self.left:
+            key = tuple(lrow[i] for i in lkey_idx)
+            matches = [] if any(is_na(v) for v in key) else table.get(key, [])
+            if matches:
+                for rrow in matches:
+                    yield lrow + rrow
+            elif self.how == "left":
+                yield lrow + na_pad
+
+
+class SortMergeJoin(Operator):
+    """Equi-join via sorting both inputs on the key."""
+
+    def __init__(
+        self,
+        left: Any,
+        right: Any,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+    ) -> None:
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise QueryError("join requires equal, non-empty key lists")
+        self.left = left
+        self.right = right
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.schema = left.schema.concat(right.schema)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        lidx = [self.left.schema.index_of(k) for k in self.left_keys]
+        ridx = [self.right.schema.index_of(k) for k in self.right_keys]
+
+        def key_ok(row: tuple, idx: list[int]) -> bool:
+            return not any(is_na(row[i]) for i in idx)
+
+        lrows = sorted(
+            (r for r in self.left if key_ok(r, lidx)),
+            key=lambda r: tuple(r[i] for i in lidx),
+        )
+        rrows = sorted(
+            (r for r in self.right if key_ok(r, ridx)),
+            key=lambda r: tuple(r[i] for i in ridx),
+        )
+        i = j = 0
+        while i < len(lrows) and j < len(rrows):
+            lkey = tuple(lrows[i][k] for k in lidx)
+            rkey = tuple(rrows[j][k] for k in ridx)
+            if lkey < rkey:
+                i += 1
+            elif lkey > rkey:
+                j += 1
+            else:
+                j_end = j
+                while j_end < len(rrows) and tuple(rrows[j_end][k] for k in ridx) == rkey:
+                    j_end += 1
+                i_run = i
+                while i_run < len(lrows) and tuple(lrows[i_run][k] for k in lidx) == lkey:
+                    for jj in range(j, j_end):
+                        yield lrows[i_run] + rrows[jj]
+                    i_run += 1
+                i = i_run
+                j = j_end
+
+
+class Sort(Operator):
+    """Order rows by one or more attributes; NA sorts last."""
+
+    def __init__(self, child: Any, keys: Sequence[str], descending: bool = False) -> None:
+        if not keys:
+            raise QueryError("sort requires at least one key")
+        self.child = child
+        self.schema = child.schema
+        self.keys = list(keys)
+        self.descending = descending
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        idx = [self.schema.index_of(k) for k in self.keys]
+
+        def sort_key(row: tuple) -> tuple:
+            return tuple(
+                (is_na(row[i]), None if is_na(row[i]) else row[i]) for i in idx
+            )
+
+        # NA-last under ascending; under descending, reverse non-NA order but
+        # keep NA last by sorting twice (stable).
+        rows = sorted(self.child, key=sort_key)
+        if self.descending:
+            na_rows = [r for r in rows if any(is_na(r[i]) for i in idx)]
+            ok_rows = [r for r in rows if not any(is_na(r[i]) for i in idx)]
+            rows = list(reversed(ok_rows)) + na_rows
+        yield from rows
+
+
+class Distinct(Operator):
+    """Duplicate elimination."""
+
+    def __init__(self, child: Any) -> None:
+        self.child = child
+        self.schema = child.schema
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        seen: set = set()
+        for row in self.child:
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+
+class Union(Operator):
+    """Bag union of union-compatible inputs."""
+
+    def __init__(self, left: Any, right: Any) -> None:
+        if left.schema.types != right.schema.types:
+            raise QueryError(
+                "union requires identical attribute types: "
+                f"{left.schema!r} vs {right.schema!r}"
+            )
+        self.left = left
+        self.right = right
+        self.schema = left.schema
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        yield from self.left
+        yield from self.right
+
+
+class Limit(Operator):
+    """At most ``n`` rows."""
+
+    def __init__(self, child: Any, n: int) -> None:
+        if n < 0:
+            raise QueryError(f"limit must be non-negative, got {n}")
+        self.child = child
+        self.schema = child.schema
+        self.n = n
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        count = 0
+        for row in self.child:
+            if count >= self.n:
+                return
+            yield row
+            count += 1

@@ -1,0 +1,199 @@
+"""A rule-based planner turning the SQL IR into an operator pipeline.
+
+The plan shape is fixed — scan -> (pushed selections) -> join -> selection
+-> group-by/projection -> sort -> limit — with two simple optimizations:
+
+* conjuncts of the WHERE clause that reference only one join input are
+  pushed below the join;
+* equi-joins always use :class:`HashJoin` (the parser only produces
+  equality join conditions);
+* a registered :class:`~repro.relational.index.AttributeIndex` on the base
+  table serves an equality/BETWEEN conjunct (join-free queries), the
+  remaining conjuncts running as a residual filter; and
+* HAVING becomes a selection over the group-by output (it may reference
+  aggregate aliases).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.errors import QueryError
+from repro.relational import expressions as ex
+from repro.relational.aggregates import AggregateSpec, GroupBy
+from repro.relational.catalog import Catalog
+from repro.relational.operators import (
+    HashJoin,
+    Limit,
+    Operator,
+    Project,
+    Select,
+    Sort,
+)
+from repro.relational.relation import Relation
+from repro.relational.sql import Query, SelectItem, parse
+
+
+def _conjuncts(pred: ex.Expr) -> list[ex.Expr]:
+    if isinstance(pred, ex.And):
+        return _conjuncts(pred.left) + _conjuncts(pred.right)
+    return [pred]
+
+
+def _combine(preds: list[ex.Expr]) -> ex.Expr | None:
+    if not preds:
+        return None
+    combined = preds[0]
+    for p in preds[1:]:
+        combined = ex.And(combined, p)
+    return combined
+
+
+def plan(query: Query, catalog: Catalog) -> Any:
+    """Build an operator pipeline for ``query`` against ``catalog``."""
+    left: Any = catalog.get(query.table)
+    where = query.where
+
+    if query.join is not None:
+        right: Any = catalog.get(query.join.table)
+        pushed_left: list[ex.Expr] = []
+        pushed_right: list[ex.Expr] = []
+        kept: list[ex.Expr] = []
+        if where is not None:
+            left_cols = set(left.schema.names)
+            right_cols = set(right.schema.names)
+            for conjunct in _conjuncts(where):
+                used = conjunct.columns()
+                if used <= left_cols:
+                    pushed_left.append(conjunct)
+                elif used <= right_cols:
+                    pushed_right.append(conjunct)
+                else:
+                    kept.append(conjunct)
+        if pushed_left:
+            left = Select(left, _combine(pushed_left))
+        if pushed_right and query.join.how == "inner":
+            right = Select(right, _combine(pushed_right))
+        elif pushed_right:
+            # A left join must keep unmatched left rows, so right-side
+            # predicates cannot be pushed below it; filter after the join.
+            kept.extend(pushed_right)
+        left = HashJoin(
+            left,
+            right,
+            left_keys=query.join.left_keys,
+            right_keys=query.join.right_keys,
+            how=query.join.how,
+        )
+        where = _combine(kept)
+
+    pipeline: Any = left
+    if where is not None and query.join is None:
+        pipeline, where = _try_index_access(query.table, pipeline, where, catalog)
+    if where is not None:
+        pipeline = Select(pipeline, where)
+
+    aggs = [item for item in query.select if item.kind == "agg"]
+    if aggs or query.group_by:
+        specs = []
+        for item in aggs:
+            specs.append(
+                AggregateSpec(
+                    func=item.agg_func or "count",
+                    attr=item.agg_attr,
+                    alias=item.alias or item.agg_func or "agg",
+                    weight=item.agg_weight,
+                )
+            )
+        non_agg = [
+            item for item in query.select if item.kind not in ("agg", "star")
+        ]
+        for item in non_agg:
+            name = item.name
+            if name is None or name not in query.group_by:
+                raise QueryError(
+                    f"select item {name!r} must appear in GROUP BY"
+                )
+        if not specs:
+            raise QueryError("GROUP BY requires at least one aggregate")
+        pipeline = GroupBy(pipeline, query.group_by, specs)
+        if query.having is not None:
+            # HAVING filters the grouped rows; it references group keys and
+            # aggregate aliases, which are exactly the GroupBy output schema.
+            pipeline = Select(pipeline, query.having)
+        # Reorder output columns to the SELECT order when it differs.
+        wanted = _grouped_output_names(query.select, query.group_by)
+        if wanted != pipeline.schema.names:
+            pipeline = Project(pipeline, wanted)
+    else:
+        items: list[Any] = []
+        star = any(item.kind == "star" for item in query.select)
+        if star:
+            if len(query.select) > 1:
+                raise QueryError("* cannot be combined with other select items")
+        else:
+            for item in query.select:
+                if item.kind == "column":
+                    items.append(item.name)
+                else:
+                    items.append((item.alias, item.expr))
+            pipeline = Project(pipeline, items)
+
+    if query.order_by:
+        pipeline = Sort(pipeline, query.order_by, descending=query.order_desc)
+    if query.limit is not None:
+        pipeline = Limit(pipeline, query.limit)
+    return pipeline
+
+
+def _try_index_access(
+    table: str, pipeline: Any, where: ex.Expr, catalog: Catalog
+) -> tuple[Any, ex.Expr | None]:
+    """Serve one indexable conjunct through a registered index.
+
+    Returns the (possibly replaced) pipeline and the residual predicate.
+    Only applies when the pipeline is still the base relation (no pushed
+    selections wrap it) and the relation supports positional access.
+    """
+    from repro.relational.index import AttributeIndex, IndexScan, match_indexable_conjunct
+    from repro.relational.relation import Relation as _Relation
+
+    if not isinstance(pipeline, _Relation):
+        return pipeline, where
+    indexes: dict[str, AttributeIndex] = {}
+    for attribute in pipeline.schema.names:
+        found = catalog.index_for(table, attribute)
+        if isinstance(found, AttributeIndex) and not found.stale_for(pipeline):
+            indexes[attribute] = found
+    if not indexes:
+        return pipeline, where
+    conjuncts = _conjuncts(where)
+    for position, conjunct in enumerate(conjuncts):
+        matched = match_indexable_conjunct(conjunct, indexes)
+        if matched is None:
+            continue
+        index, rows = matched
+        residual = _combine(conjuncts[:position] + conjuncts[position + 1 :])
+        return IndexScan(pipeline, index, rows, residual), None
+    return pipeline, where
+
+
+def _grouped_output_names(select: list[SelectItem], group_by: list[str]) -> list[str]:
+    names: list[str] = []
+    explicit = [
+        item.name if item.kind == "column" else item.alias for item in select
+    ]
+    mentioned = set(n for n in explicit if n)
+    # Keys not mentioned in SELECT still appear (SQL would reject; we are
+    # permissive and emit them first).
+    for key in group_by:
+        if key not in mentioned:
+            names.append(key)
+    names.extend(n for n in explicit if n)
+    return names
+
+
+def execute(text: str, catalog: Catalog, name: str = "result") -> Relation:
+    """Parse, plan, and fully evaluate a query into an in-memory relation."""
+    pipeline = plan(parse(text), catalog)
+    return Relation.from_operator(name, pipeline)

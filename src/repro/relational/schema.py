@@ -1,0 +1,207 @@
+"""Flat-file schemas with category/measure attribute roles.
+
+The paper's data model (SS2.1) is the flat file: attributes (columns) and
+records (rows).  Attributes that together uniquely identify each record are
+*category* attributes (a composite key); the rest are *measures* that
+quantify the category combination, or *derived* columns computed from other
+attributes (e.g. regression residuals, SS3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.errors import SchemaError
+from repro.relational.types import DataType
+
+
+class AttributeRole(enum.Enum):
+    """The role an attribute plays in a statistical data set."""
+
+    CATEGORY = "category"
+    MEASURE = "measure"
+    DERIVED = "derived"
+
+
+class Attribute:
+    """One column of a data set.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within a schema.
+    dtype:
+        The :class:`DataType` of the column's values.
+    role:
+        Category attributes form the composite key; summary statistics are
+        only meaningful on measures (paper SS3.2: "computing the median ...
+        of the AGE_GROUP attribute does not make sense").
+    codebook:
+        Name of the code book decoding this attribute's values (Figure 2),
+        if the values are encoded.
+    """
+
+    __slots__ = ("name", "dtype", "role", "codebook")
+
+    def __init__(
+        self,
+        name: str,
+        dtype: DataType,
+        role: AttributeRole = AttributeRole.MEASURE,
+        codebook: str | None = None,
+    ) -> None:
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"invalid attribute name {name!r}")
+        self.name = name
+        self.dtype = dtype
+        self.role = role
+        self.codebook = codebook
+
+    def renamed(self, name: str) -> "Attribute":
+        """Copy of this attribute under a different name."""
+        return Attribute(name, self.dtype, self.role, self.codebook)
+
+    def with_role(self, role: AttributeRole) -> "Attribute":
+        """Copy of this attribute with a different role."""
+        return Attribute(self.name, self.dtype, role, self.codebook)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Attribute)
+            and self.name == other.name
+            and self.dtype == other.dtype
+            and self.role == other.role
+            and self.codebook == other.codebook
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.dtype, self.role, self.codebook))
+
+    def __repr__(self) -> str:
+        extra = f", codebook={self.codebook!r}" if self.codebook else ""
+        return f"Attribute({self.name!r}, {self.dtype.name}, {self.role.name}{extra})"
+
+
+def category(name: str, dtype: DataType = DataType.CATEGORY, codebook: str | None = None) -> Attribute:
+    """Shorthand for a category (key-forming) attribute."""
+    return Attribute(name, dtype, AttributeRole.CATEGORY, codebook)
+
+
+def measure(name: str, dtype: DataType = DataType.FLOAT) -> Attribute:
+    """Shorthand for a measure attribute."""
+    return Attribute(name, dtype, AttributeRole.MEASURE)
+
+
+class Schema:
+    """An ordered collection of uniquely named attributes."""
+
+    def __init__(self, attributes: Iterable[Attribute]) -> None:
+        self.attributes: tuple[Attribute, ...] = tuple(attributes)
+        self._index: dict[str, int] = {}
+        for i, attr in enumerate(self.attributes):
+            if attr.name in self._index:
+                raise SchemaError(f"duplicate attribute name {attr.name!r}")
+            self._index[attr.name] = i
+
+    # -- lookup ------------------------------------------------------------
+
+    @property
+    def names(self) -> list[str]:
+        """Attribute names in order."""
+        return [attr.name for attr in self.attributes]
+
+    @property
+    def types(self) -> list[DataType]:
+        """Attribute data types in order."""
+        return [attr.dtype for attr in self.attributes]
+
+    @property
+    def category_attributes(self) -> list[Attribute]:
+        """The composite-key attributes."""
+        return [a for a in self.attributes if a.role is AttributeRole.CATEGORY]
+
+    @property
+    def measure_attributes(self) -> list[Attribute]:
+        """The measure attributes."""
+        return [a for a in self.attributes if a.role is AttributeRole.MEASURE]
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash(self.attributes)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(a.name for a in self.attributes)
+        return f"Schema({inner})"
+
+    def index_of(self, name: str) -> int:
+        """Position of the named attribute."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"no attribute {name!r}; schema has {self.names}"
+            ) from None
+
+    def attribute(self, name: str) -> Attribute:
+        """The named attribute."""
+        return self.attributes[self.index_of(name)]
+
+    # -- construction ------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema of the given attributes, in the given order."""
+        return Schema(self.attribute(name) for name in names)
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """Schema with attributes renamed per ``mapping``."""
+        for old in mapping:
+            self.index_of(old)  # validate
+        return Schema(
+            attr.renamed(mapping.get(attr.name, attr.name))
+            for attr in self.attributes
+        )
+
+    def concat(self, other: "Schema", prefix_self: str = "", prefix_other: str = "") -> "Schema":
+        """Schema of a join result, optionally prefixing to disambiguate.
+
+        Raises :class:`SchemaError` on a name collision not resolved by
+        the prefixes.
+        """
+        left = [
+            attr.renamed(prefix_self + attr.name) if prefix_self else attr
+            for attr in self.attributes
+        ]
+        right = [
+            attr.renamed(prefix_other + attr.name) if prefix_other else attr
+            for attr in other.attributes
+        ]
+        return Schema(left + right)
+
+    def extend(self, attribute: Attribute) -> "Schema":
+        """Schema with one attribute appended."""
+        return Schema(list(self.attributes) + [attribute])
+
+    def validate_row(self, row: Sequence[object]) -> None:
+        """Check arity and per-field types of a row."""
+        if len(row) != len(self.attributes):
+            raise SchemaError(
+                f"row has {len(row)} fields, schema has {len(self.attributes)}"
+            )
+        for value, attr in zip(row, self.attributes):
+            if not attr.dtype.validate(value):
+                raise SchemaError(
+                    f"value {value!r} invalid for attribute "
+                    f"{attr.name!r} of type {attr.dtype.name}"
+                )

@@ -1,0 +1,79 @@
+"""Pairwise association measures for the exploratory phase.
+
+"Is there a relationship between the values of two attributes?" (SS2.2).
+Pearson and Spearman correlations plus covariance, all skipping rows with
+NA on either side.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+from repro.core.errors import StatisticsError
+from repro.relational.types import NA, is_na
+
+
+def _paired(a: Sequence[Any], b: Sequence[Any]) -> tuple[list[float], list[float]]:
+    if len(a) != len(b):
+        raise StatisticsError(
+            f"columns differ in length: {len(a)} vs {len(b)}"
+        )
+    xs: list[float] = []
+    ys: list[float] = []
+    for va, vb in zip(a, b):
+        if is_na(va) or is_na(vb):
+            continue
+        xs.append(float(va))
+        ys.append(float(vb))
+    return xs, ys
+
+
+def covariance(a: Sequence[Any], b: Sequence[Any], ddof: int = 1) -> Any:
+    """Sample covariance over complete pairs; NA when undefined."""
+    xs, ys = _paired(a, b)
+    n = len(xs)
+    if n <= ddof:
+        return NA
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    return sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / (n - ddof)
+
+
+def pearson(a: Sequence[Any], b: Sequence[Any]) -> Any:
+    """Pearson correlation over complete pairs; NA when undefined."""
+    xs, ys = _paired(a, b)
+    n = len(xs)
+    if n < 2:
+        return NA
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in xs)
+    syy = sum((y - my) ** 2 for y in ys)
+    if sxx == 0 or syy == 0:
+        return NA
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    return sxy / math.sqrt(sxx * syy)
+
+
+def _ranks(values: list[float]) -> list[float]:
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        average_rank = (i + j) / 2 + 1
+        for k in range(i, j + 1):
+            ranks[order[k]] = average_rank
+        i = j + 1
+    return ranks
+
+
+def spearman(a: Sequence[Any], b: Sequence[Any]) -> Any:
+    """Spearman rank correlation (tie-aware) over complete pairs."""
+    xs, ys = _paired(a, b)
+    if len(xs) < 2:
+        return NA
+    return pearson(_ranks(xs), _ranks(ys))

@@ -1,0 +1,244 @@
+"""Descriptive statistics over columns with NA handling.
+
+These are the operations the paper lists for the Summary Database's
+standing information (SS3.2): "mode, mean, median, quartiles, the ranges of
+values in each column (min & max), the number of unique values, and some
+measure of frequency of values" — plus the quantile/trimmed-mean pair the
+repetitive-computation discussion uses (SS3.1).
+
+All functions skip NA values and raise :class:`StatisticsError` only where
+a result is undefined even for the statistician (e.g. quantiles of an
+empty column return NA instead).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Any, Sequence
+
+from repro.core.errors import StatisticsError
+from repro.relational.types import NA, is_na
+
+
+def clean(values: Sequence[Any]) -> list[float]:
+    """Non-NA values as floats, preserving order.
+
+    Raises :class:`StatisticsError` when the column holds non-numeric
+    values — a numeric statistic of a string column is a user error, not a
+    crash.
+    """
+    try:
+        return [float(v) for v in values if not is_na(v)]
+    except (TypeError, ValueError) as exc:
+        raise StatisticsError(
+            "column contains non-numeric values; numeric statistics do not apply"
+        ) from exc
+
+
+def vmin(values: Sequence[Any]) -> Any:
+    """Minimum of non-NA values; NA on empty."""
+    cleaned = clean(values)
+    return min(cleaned) if cleaned else NA
+
+
+def vmax(values: Sequence[Any]) -> Any:
+    """Maximum of non-NA values; NA on empty."""
+    cleaned = clean(values)
+    return max(cleaned) if cleaned else NA
+
+
+def vsum(values: Sequence[Any]) -> Any:
+    """Sum of non-NA values; NA on empty."""
+    cleaned = clean(values)
+    return sum(cleaned) if cleaned else NA
+
+
+def mean(values: Sequence[Any]) -> Any:
+    """Arithmetic mean of non-NA values; NA on empty."""
+    cleaned = clean(values)
+    return sum(cleaned) / len(cleaned) if cleaned else NA
+
+
+def variance(values: Sequence[Any], ddof: int = 1) -> Any:
+    """Variance of non-NA values with ``ddof`` degrees-of-freedom
+
+    correction; NA when fewer than ddof+1 values remain."""
+    cleaned = clean(values)
+    n = len(cleaned)
+    if n <= ddof:
+        return NA
+    m = sum(cleaned) / n
+    return sum((v - m) ** 2 for v in cleaned) / (n - ddof)
+
+
+def std(values: Sequence[Any], ddof: int = 1) -> Any:
+    """Standard deviation; NA when undefined."""
+    var = variance(values, ddof=ddof)
+    return NA if is_na(var) else math.sqrt(var)
+
+
+def median(values: Sequence[Any]) -> Any:
+    """Median of non-NA values; NA on empty."""
+    return quantile(values, 0.5)
+
+
+def quantile(values: Sequence[Any], q: float) -> Any:
+    """Quantile with linear interpolation (numpy's default); NA on empty."""
+    if not 0.0 <= q <= 1.0:
+        raise StatisticsError(f"quantile must be in [0, 1], got {q}")
+    cleaned = sorted(clean(values))
+    n = len(cleaned)
+    if n == 0:
+        return NA
+    position = q * (n - 1)
+    lo = int(position)
+    frac = position - lo
+    if frac == 0.0 or lo + 1 >= n:
+        return cleaned[lo]
+    return cleaned[lo] * (1 - frac) + cleaned[lo + 1] * frac
+
+
+def quartiles(values: Sequence[Any]) -> tuple[Any, Any, Any]:
+    """(Q1, median, Q3)."""
+    return (quantile(values, 0.25), quantile(values, 0.5), quantile(values, 0.75))
+
+
+def iqr(values: Sequence[Any]) -> Any:
+    """Interquartile range; NA on empty."""
+    q1, _, q3 = quartiles(values)
+    return NA if is_na(q1) else q3 - q1
+
+
+def value_range(values: Sequence[Any]) -> tuple[Any, Any]:
+    """(min, max) — the axis-labeling pair the paper notes is needed for
+
+    plots and histograms (SS3.1)."""
+    cleaned = clean(values)
+    if not cleaned:
+        return (NA, NA)
+    return (min(cleaned), max(cleaned))
+
+
+def mode(values: Sequence[Any]) -> Any:
+    """Most frequent non-NA value (arbitrary among ties); NA on empty."""
+    counts = Counter(v for v in values if not is_na(v))
+    if not counts:
+        return NA
+    return counts.most_common(1)[0][0]
+
+
+def unique_count(values: Sequence[Any]) -> int:
+    """Number of distinct non-NA values."""
+    return len({v for v in values if not is_na(v)})
+
+
+def na_count(values: Sequence[Any]) -> int:
+    """Number of NA (marked-invalid) values."""
+    return sum(1 for v in values if is_na(v))
+
+
+def trimmed_mean(
+    values: Sequence[Any],
+    lo_q: float = 0.05,
+    hi_q: float = 0.95,
+    lo_value: Any = None,
+    hi_value: Any = None,
+) -> Any:
+    """Mean of values within quantile (or explicit value) bounds.
+
+    The paper's SS3.1 scenario: the analyst first asks for the 5th and 95th
+    quantiles, then later for "the trimmed mean ... bounded by the 5th and
+    95th quantile values of the same attribute".  Passing ``lo_value`` /
+    ``hi_value`` (e.g. from the Summary Database) skips recomputing the
+    quantiles.
+    """
+    lo = quantile(values, lo_q) if lo_value is None else lo_value
+    hi = quantile(values, hi_q) if hi_value is None else hi_value
+    if is_na(lo) or is_na(hi):
+        return NA
+    kept = [v for v in clean(values) if lo <= v <= hi]
+    return sum(kept) / len(kept) if kept else NA
+
+
+def skewness(values: Sequence[Any]) -> Any:
+    """Moment skewness g1 = m3 / m2^1.5 of non-NA values; NA when the
+
+    second central moment vanishes or n < 2."""
+    cleaned = clean(values)
+    n = len(cleaned)
+    if n < 2:
+        return NA
+    m = sum(cleaned) / n
+    m2 = sum((v - m) ** 2 for v in cleaned) / n
+    if m2 <= 0:
+        return NA
+    m3 = sum((v - m) ** 3 for v in cleaned) / n
+    return m3 / m2 ** 1.5
+
+
+def kurtosis_excess(values: Sequence[Any]) -> Any:
+    """Excess kurtosis m4/m2^2 - 3 of non-NA values; NA when degenerate."""
+    cleaned = clean(values)
+    n = len(cleaned)
+    if n < 2:
+        return NA
+    m = sum(cleaned) / n
+    m2 = sum((v - m) ** 2 for v in cleaned) / n
+    if m2 <= 0:
+        return NA
+    m4 = sum((v - m) ** 4 for v in cleaned) / n
+    return m4 / m2 ** 2 - 3.0
+
+
+def geometric_mean(values: Sequence[Any]) -> Any:
+    """Geometric mean of non-NA values; NA if any value is non-positive."""
+    cleaned = clean(values)
+    if not cleaned:
+        return NA
+    if any(v <= 0 for v in cleaned):
+        return NA
+    return math.exp(sum(math.log(v) for v in cleaned) / len(cleaned))
+
+
+def rms(values: Sequence[Any]) -> Any:
+    """Root mean square of non-NA values; NA on empty."""
+    cleaned = clean(values)
+    if not cleaned:
+        return NA
+    return math.sqrt(sum(v * v for v in cleaned) / len(cleaned))
+
+
+def cv(values: Sequence[Any]) -> Any:
+    """Coefficient of variation (sample std / mean); NA when degenerate."""
+    s = std(values)
+    m = mean(values)
+    if is_na(s) or is_na(m) or m == 0:
+        return NA
+    return s / m
+
+
+def mad(values: Sequence[Any]) -> Any:
+    """Median absolute deviation (robust dispersion); NA on empty."""
+    m = median(values)
+    if is_na(m):
+        return NA
+    return median([abs(v - m) for v in clean(values)])
+
+
+def summarize(values: Sequence[Any]) -> dict[str, Any]:
+    """The standing summary block of paper SS3.2 for one column."""
+    q1, med, q3 = quartiles(values)
+    return {
+        "count": len(clean(values)),
+        "na_count": na_count(values),
+        "min": vmin(values),
+        "max": vmax(values),
+        "mean": mean(values),
+        "std": std(values),
+        "median": med,
+        "q1": q1,
+        "q3": q3,
+        "mode": mode(values),
+        "unique_count": unique_count(values),
+    }

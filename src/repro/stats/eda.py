@@ -1,0 +1,71 @@
+"""Exploratory data analysis conveniences, cache-aware.
+
+:class:`ExploratoryAnalyzer` packages the paper's SS2.2 exploratory loop —
+range checking, distribution summaries, outlier sweeps, histograms — on
+top of any session object exposing ``compute(function, attribute)`` (the
+cached path through the Summary Database) and ``view.relation`` access.
+Every statistic it needs flows through the cache, so repeating a step is
+(nearly) free, which is the paper's whole point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.errors import StatisticsError
+from repro.relational.types import is_na
+from repro.stats.histogram import Histogram, build_histogram
+from repro.stats.outliers import RangeCheckResult, SigmaRuleResult, range_check, sigma_rule
+
+
+class ExploratoryAnalyzer:
+    """EDA helpers driving their statistics through a session's cache."""
+
+    def __init__(self, session: Any) -> None:
+        self.session = session
+
+    def _column(self, attr: str) -> list[Any]:
+        return self.session.view.relation.column(attr)
+
+    def distribution_summary(self, attr: str) -> dict[str, Any]:
+        """min/max/mean/std/median/quartiles via the cache."""
+        return {
+            "min": self.session.compute("min", attr),
+            "max": self.session.compute("max", attr),
+            "mean": self.session.compute("mean", attr),
+            "std": self.session.compute("std", attr),
+            "median": self.session.compute("median", attr),
+            "q1": self.session.compute("quantile_25", attr),
+            "q3": self.session.compute("quantile_75", attr),
+            "unique": self.session.compute("unique_count", attr),
+        }
+
+    def check_range(self, attr: str, lo: float, hi: float) -> RangeCheckResult:
+        """Range check one attribute (a full-column pass)."""
+        return range_check(self._column(attr), lo, hi)
+
+    def suggest_outliers(self, attr: str, k: float = 3.0) -> SigmaRuleResult:
+        """M +- k*SD sweep using cached mean and std (paper SS3.1)."""
+        m = self.session.compute("mean", attr)
+        s = self.session.compute("std", attr)
+        if is_na(m) or is_na(s):
+            raise StatisticsError(f"attribute {attr!r} has no usable values")
+        return sigma_rule(self._column(attr), k, mean=m, std=s)
+
+    def histogram(self, attr: str, bins: int | None = None) -> Histogram:
+        """Histogram using cached min/max for the axis range (SS3.1)."""
+        lo = self.session.compute("min", attr)
+        hi = self.session.compute("max", attr)
+        return build_histogram(self._column(attr), bins=bins, lo=lo, hi=hi)
+
+    def trimmed_mean(self, attr: str, lo_q: float = 0.05, hi_q: float = 0.95) -> Any:
+        """Trimmed mean bounded by cached quantiles (the SS3.1 scenario)."""
+        from repro.stats.descriptive import trimmed_mean as tm
+
+        lo = self.session.compute(f"quantile_{int(lo_q * 100)}", attr)
+        hi = self.session.compute(f"quantile_{int(hi_q * 100)}", attr)
+        return tm(self._column(attr), lo_value=lo, hi_value=hi)
+
+    def overview(self, attrs: Sequence[str]) -> dict[str, dict[str, Any]]:
+        """Distribution summaries for several attributes."""
+        return {attr: self.distribution_summary(attr) for attr in attrs}

@@ -1,0 +1,123 @@
+"""Histogram construction for exploratory data analysis.
+
+Histograms are the workhorse of the paper's data-checking phase (SS2.2) and
+one of the varying-length results the Summary Database stores as "two
+vectors (one for specifying the ranges and the other for the number of
+values that fall in each range)" (SS3.2).  Building one needs the column's
+min and max — the paper's example of a value worth caching (SS3.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.errors import StatisticsError
+from repro.relational.types import is_na
+from repro.stats.descriptive import clean, iqr, value_range
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """The paper's two-vector histogram: bucket edges and counts."""
+
+    edges: tuple[float, ...]
+    counts: tuple[int, ...]
+
+    @property
+    def bins(self) -> int:
+        """Number of buckets."""
+        return len(self.counts)
+
+    @property
+    def total(self) -> int:
+        """Total counted values."""
+        return sum(self.counts)
+
+    def bucket_of(self, value: float) -> int | None:
+        """Index of the bucket containing ``value`` (None if outside)."""
+        if value < self.edges[0] or value > self.edges[-1]:
+            return None
+        for i in range(self.bins):
+            if value < self.edges[i + 1]:
+                return i
+        return self.bins - 1
+
+    def render(self, width: int = 40) -> str:
+        """ASCII rendering, the terminal descendant of the paper's plots."""
+        peak = max(self.counts) if self.counts else 1
+        lines = []
+        for i, count in enumerate(self.counts):
+            bar = "#" * (round(count / peak * width) if peak else 0)
+            lines.append(
+                f"[{self.edges[i]:>12.4g}, {self.edges[i+1]:>12.4g}) "
+                f"{count:>8} {bar}"
+            )
+        return "\n".join(lines)
+
+
+def sturges_bins(n: int) -> int:
+    """Sturges' rule for the bucket count."""
+    return max(1, int(math.ceil(math.log2(n) + 1))) if n > 0 else 1
+
+
+def freedman_diaconis_bins(values: Sequence[Any]) -> int:
+    """Freedman-Diaconis rule; falls back to Sturges for degenerate IQR."""
+    cleaned = clean(values)
+    n = len(cleaned)
+    if n < 2:
+        return 1
+    spread = iqr(cleaned)
+    if not spread or is_na(spread):
+        return sturges_bins(n)
+    width = 2 * spread / (n ** (1 / 3))
+    lo, hi = min(cleaned), max(cleaned)
+    if width <= 0 or hi == lo:
+        return sturges_bins(n)
+    return max(1, int(math.ceil((hi - lo) / width)))
+
+
+def build_histogram(
+    values: Sequence[Any],
+    bins: int | None = None,
+    lo: float | None = None,
+    hi: float | None = None,
+    rule: str = "sturges",
+) -> Histogram:
+    """Build an equi-width histogram of the non-NA values.
+
+    ``lo``/``hi`` may be supplied from cached min/max (the Summary
+    Database's standing range, SS3.1) to skip the range-finding pass.
+    """
+    cleaned = clean(values)
+    if not cleaned:
+        raise StatisticsError("cannot build a histogram of an empty column")
+    if lo is None or hi is None:
+        found_lo, found_hi = value_range(cleaned)
+        lo = found_lo if lo is None else lo
+        hi = found_hi if hi is None else hi
+    if hi < lo:
+        raise StatisticsError(f"invalid range [{lo}, {hi}]")
+    if hi == lo:
+        hi = lo + 1.0
+    if bins is None:
+        if rule == "sturges":
+            bins = sturges_bins(len(cleaned))
+        elif rule == "fd":
+            bins = freedman_diaconis_bins(cleaned)
+        else:
+            raise StatisticsError(f"unknown bin rule {rule!r}")
+    if bins < 1:
+        raise StatisticsError(f"bins must be >= 1, got {bins}")
+    width = (hi - lo) / bins
+    counts = [0] * bins
+    skipped = 0
+    for value in cleaned:
+        if value < lo or value > hi:
+            skipped += 1
+            continue
+        index = min(int((value - lo) / width), bins - 1)
+        counts[index] += 1
+    edges = tuple(lo + i * width for i in range(bins + 1))
+    return Histogram(edges=edges, counts=tuple(counts))

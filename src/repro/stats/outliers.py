@@ -1,0 +1,138 @@
+"""Data checking: range checks, sigma-rule outlier counts, invalidation.
+
+The exploratory phase "begins with checking for invalid values ... a value
+outside this range must be marked as suspicious and then investigated"
+(SS2.2), and the repetitive-computation motivation (SS3.1) is the analyst
+who cached mean M and standard deviation SD and later asks to "count the
+number of (possibly unique) values that lie outside the range defined by
+M +- k*SD, for some k" — the cached pair makes this a single filter pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.errors import StatisticsError
+from repro.relational.types import NA, is_na
+from repro.stats.descriptive import mean as _mean
+from repro.stats.descriptive import std as _std
+
+
+@dataclass(frozen=True)
+class RangeCheckResult:
+    """Outcome of a range check over one column."""
+
+    checked: int
+    na_count: int
+    suspicious: tuple[int, ...]  # row indices outside the range
+
+    @property
+    def suspicious_count(self) -> int:
+        """How many values fell outside the range."""
+        return len(self.suspicious)
+
+
+def range_check(values: Sequence[Any], lo: float, hi: float) -> RangeCheckResult:
+    """Indices of values outside [lo, hi] (NA values are not suspicious —
+
+    they are already marked invalid)."""
+    if hi < lo:
+        raise StatisticsError(f"invalid range [{lo}, {hi}]")
+    suspicious = []
+    na = 0
+    checked = 0
+    for i, value in enumerate(values):
+        if is_na(value):
+            na += 1
+            continue
+        checked += 1
+        if not lo <= value <= hi:
+            suspicious.append(i)
+    return RangeCheckResult(checked=checked, na_count=na, suspicious=tuple(suspicious))
+
+
+@dataclass(frozen=True)
+class SigmaRuleResult:
+    """Outcome of an M +- k*SD sweep."""
+
+    mean: float
+    std: float
+    k: float
+    outside_count: int
+    outside_unique: int
+    indices: tuple[int, ...]
+
+
+def sigma_rule(
+    values: Sequence[Any],
+    k: float,
+    mean: float | None = None,
+    std: float | None = None,
+) -> SigmaRuleResult:
+    """Count values outside mean +- k*std.
+
+    ``mean``/``std`` may come from the Summary Database (the paper's cached
+    M and SD); when omitted they are computed here, costing the extra pass
+    the cache exists to avoid.
+    """
+    if k <= 0:
+        raise StatisticsError(f"k must be positive, got {k}")
+    m = _mean(values) if mean is None else mean
+    s = _std(values) if std is None else std
+    if is_na(m) or is_na(s):
+        raise StatisticsError("cannot apply the sigma rule to an empty column")
+    lo, hi = m - k * s, m + k * s
+    indices = []
+    outside_values = set()
+    for i, value in enumerate(values):
+        if is_na(value):
+            continue
+        if not lo <= value <= hi:
+            indices.append(i)
+            outside_values.add(value)
+    return SigmaRuleResult(
+        mean=float(m),
+        std=float(s),
+        k=k,
+        outside_count=len(indices),
+        outside_unique=len(outside_values),
+        indices=tuple(indices),
+    )
+
+
+def mark_invalid(values: Sequence[Any], indices: Sequence[int]) -> list[Any]:
+    """A copy of ``values`` with the given positions set to NA.
+
+    This is the "marked as invalid -- 'missing value' in the statistics
+    vernacular" operation of SS3.1.
+    """
+    out = list(values)
+    for i in indices:
+        if not 0 <= i < len(out):
+            raise StatisticsError(f"index {i} out of range")
+        out[i] = NA
+    return out
+
+
+def pair_relationship_check(
+    a: Sequence[Any],
+    b: Sequence[Any],
+    relation: Any,
+) -> list[int]:
+    """Indices where a known pairwise relationship fails.
+
+    ``relation`` is a predicate over (a_value, b_value); the paper's data
+    checker "must also examine all pairs of values to insure that they
+    indeed behave according to the relationship" (SS2.2).  NA pairs are
+    skipped.
+    """
+    if len(a) != len(b):
+        raise StatisticsError(f"columns differ in length: {len(a)} vs {len(b)}")
+    bad = []
+    for i, (va, vb) in enumerate(zip(a, b)):
+        if is_na(va) or is_na(vb):
+            continue
+        if not relation(va, vb):
+            bad.append(i)
+    return bad

@@ -1,0 +1,120 @@
+"""Ordinary least squares regression with residuals.
+
+"Since the residuals of a model may be required for several 'goodness of
+fit' tests they are typically stored as a new attribute in a data set"
+(paper SS3.2) — and updating any input value regenerates the whole residual
+vector, the canonical *global* derived-column rule.  :func:`fit_ols`
+produces the model; :func:`residual_computer` packages it for
+:class:`repro.incremental.derived.GlobalDerivation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.core.errors import StatisticsError
+from repro.relational.relation import Relation
+from repro.relational.types import NA, is_na
+
+
+@dataclass(frozen=True)
+class OLSModel:
+    """A fitted linear model y ~ X (with intercept)."""
+
+    predictors: tuple[str, ...]
+    response: str
+    coefficients: np.ndarray  # [intercept, b1, ..., bk]
+    r_squared: float
+    residual_std: float
+    n_used: int
+
+    def predict_row(self, xs: Sequence[float]) -> float:
+        """Prediction for one predictor vector."""
+        return float(self.coefficients[0] + np.dot(self.coefficients[1:], xs))
+
+    def __str__(self) -> str:
+        terms = [f"{self.coefficients[0]:.4g}"]
+        for name, b in zip(self.predictors, self.coefficients[1:]):
+            terms.append(f"{b:+.4g}*{name}")
+        return (
+            f"{self.response} ~ {' '.join(terms)}  "
+            f"(R^2={self.r_squared:.4f}, n={self.n_used})"
+        )
+
+
+def fit_ols(
+    relation: Relation, response: str, predictors: Sequence[str]
+) -> OLSModel:
+    """Fit y ~ 1 + X by least squares, skipping rows with any NA."""
+    if not predictors:
+        raise StatisticsError("OLS needs at least one predictor")
+    y_col = relation.column(response)
+    x_cols = [relation.column(p) for p in predictors]
+    rows_x: list[list[float]] = []
+    rows_y: list[float] = []
+    for i, y in enumerate(y_col):
+        xs = [col[i] for col in x_cols]
+        if is_na(y) or any(is_na(x) for x in xs):
+            continue
+        rows_y.append(float(y))
+        rows_x.append([1.0] + [float(x) for x in xs])
+    n = len(rows_y)
+    if n <= len(predictors) + 1:
+        raise StatisticsError(
+            f"OLS needs more than {len(predictors) + 1} complete rows, got {n}"
+        )
+    design = np.asarray(rows_x)
+    target = np.asarray(rows_y)
+    coefficients, _, rank, _ = np.linalg.lstsq(design, target, rcond=None)
+    if rank < design.shape[1]:
+        raise StatisticsError("design matrix is rank-deficient")
+    fitted = design @ coefficients
+    resid = target - fitted
+    ss_res = float(resid @ resid)
+    ss_tot = float(((target - target.mean()) ** 2).sum())
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    dof = n - design.shape[1]
+    residual_std = float(np.sqrt(ss_res / dof)) if dof > 0 else 0.0
+    return OLSModel(
+        predictors=tuple(predictors),
+        response=response,
+        coefficients=coefficients,
+        r_squared=r_squared,
+        residual_std=residual_std,
+        n_used=n,
+    )
+
+
+def residuals(relation: Relation, model: OLSModel) -> list[Any]:
+    """Residual for every row (NA where any input is NA)."""
+    y_col = relation.column(model.response)
+    x_cols = [relation.column(p) for p in model.predictors]
+    out: list[Any] = []
+    for i, y in enumerate(y_col):
+        xs = [col[i] for col in x_cols]
+        if is_na(y) or any(is_na(x) for x in xs):
+            out.append(NA)
+            continue
+        out.append(float(y) - model.predict_row([float(x) for x in xs]))
+    return out
+
+
+def residual_computer(
+    response: str, predictors: Sequence[str]
+) -> Callable[[Relation], list[Any]]:
+    """A compute-function for a residual derived column.
+
+    Refits the model on every call — "updating even a single value ...
+    requires regeneration of the entire vector (since the model may
+    change)" (SS3.2).
+    """
+    predictor_names = tuple(predictors)
+
+    def compute(relation: Relation) -> list[Any]:
+        model = fit_ols(relation, response, predictor_names)
+        return residuals(relation, model)
+
+    return compute

@@ -1,0 +1,114 @@
+"""Sampling for responsive preliminary analysis.
+
+"In order to enhance responsiveness, the statistician may base this
+preliminary analysis on a set of sample records drawn at random from the
+data set.  Forming an impression of the structure of the data based on a
+small sampling is sufficient." (paper SS2.2)
+
+Row samples come from seeded RNGs so analyses are reproducible; reservoir
+sampling handles streams whose length is unknown (e.g. a tape scan).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.core.errors import SamplingError
+from repro.relational.relation import Relation
+from repro.relational.types import is_na
+
+
+def sample_indices(n: int, fraction: float, seed: int = 0) -> list[int]:
+    """A sorted simple random sample of row indices."""
+    if not 0.0 < fraction <= 1.0:
+        raise SamplingError(f"fraction must be in (0, 1], got {fraction}")
+    if n < 0:
+        raise SamplingError(f"n must be non-negative, got {n}")
+    k = max(1, round(n * fraction)) if n else 0
+    rng = random.Random(seed)
+    return sorted(rng.sample(range(n), min(k, n))) if n else []
+
+
+def sample_relation(
+    relation: Relation, fraction: float, seed: int = 0, name: str | None = None
+) -> Relation:
+    """A simple random sample of a relation's rows."""
+    indices = sample_indices(len(relation), fraction, seed=seed)
+    rows = [relation.row(i) for i in indices]
+    return Relation(name or f"{relation.name}_sample", relation.schema, rows)
+
+
+def sample_column(values: Sequence[Any], fraction: float, seed: int = 0) -> list[Any]:
+    """A simple random sample of one column's values."""
+    indices = sample_indices(len(values), fraction, seed=seed)
+    return [values[i] for i in indices]
+
+
+def reservoir_sample(stream: Iterable[Any], k: int, seed: int = 0) -> list[Any]:
+    """Vitter's algorithm R: a uniform k-sample of a stream in one pass."""
+    if k <= 0:
+        raise SamplingError(f"k must be positive, got {k}")
+    rng = random.Random(seed)
+    reservoir: list[Any] = []
+    for i, item in enumerate(stream):
+        if i < k:
+            reservoir.append(item)
+        else:
+            j = rng.randint(0, i)
+            if j < k:
+                reservoir[j] = item
+    return reservoir
+
+
+def systematic_sample(values: Sequence[Any], step: int, offset: int = 0) -> list[Any]:
+    """Every ``step``-th value starting at ``offset``."""
+    if step < 1:
+        raise SamplingError(f"step must be >= 1, got {step}")
+    if not 0 <= offset < step:
+        raise SamplingError(f"offset must be in [0, {step}), got {offset}")
+    return list(values[offset::step])
+
+
+@dataclass(frozen=True)
+class SampleEstimate:
+    """A point estimate from a sample with its standard error."""
+
+    estimate: float
+    standard_error: float
+    sample_size: int
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI at the given z."""
+        half = z * self.standard_error
+        return (self.estimate - half, self.estimate + half)
+
+
+def estimate_mean(sample: Sequence[Any]) -> SampleEstimate:
+    """Sample mean with its standard error."""
+    cleaned = [float(v) for v in sample if not is_na(v)]
+    n = len(cleaned)
+    if n == 0:
+        raise SamplingError("cannot estimate from an empty sample")
+    m = sum(cleaned) / n
+    if n == 1:
+        return SampleEstimate(estimate=m, standard_error=float("inf"), sample_size=1)
+    var = sum((v - m) ** 2 for v in cleaned) / (n - 1)
+    return SampleEstimate(
+        estimate=m,
+        standard_error=math.sqrt(var / n),
+        sample_size=n,
+    )
+
+
+def estimate_proportion(sample: Sequence[Any], predicate: Any) -> SampleEstimate:
+    """Proportion of sample values satisfying ``predicate``."""
+    cleaned = [v for v in sample if not is_na(v)]
+    n = len(cleaned)
+    if n == 0:
+        raise SamplingError("cannot estimate from an empty sample")
+    p = sum(1 for v in cleaned if predicate(v)) / n
+    se = math.sqrt(p * (1 - p) / n) if n > 1 else float("inf")
+    return SampleEstimate(estimate=p, standard_error=se, sample_size=n)

@@ -1,0 +1,194 @@
+"""Confirmatory-phase statistical tests (paper SS2.2).
+
+"A goodness-of-fit test may be applied to see if a particular attribute
+does indeed follow a hypothesized distribution or a chi-squared test may be
+applied to a cross-tabulation."  Test statistics are computed from scratch;
+p-values use the regularized incomplete gamma / Kolmogorov series (via
+``scipy.special`` where a special function is needed, with the statistic
+itself always ours).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+from scipy import special
+
+from repro.core.errors import StatisticsError
+from repro.stats.crosstab import CrossTab
+from repro.stats.descriptive import clean
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of a hypothesis test."""
+
+    name: str
+    statistic: float
+    p_value: float
+    dof: int | None = None
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether to reject the null at level ``alpha``."""
+        return self.p_value < alpha
+
+    def __str__(self) -> str:
+        dof = f", dof={self.dof}" if self.dof is not None else ""
+        return f"{self.name}: stat={self.statistic:.4f}{dof}, p={self.p_value:.4g}"
+
+
+def _chi2_sf(statistic: float, dof: int) -> float:
+    """Survival function of the chi-squared distribution."""
+    if dof <= 0:
+        raise StatisticsError(f"dof must be positive, got {dof}")
+    return float(special.gammaincc(dof / 2.0, statistic / 2.0))
+
+
+def chi_squared_independence(table: CrossTab) -> TestResult:
+    """Pearson chi-squared test of independence on a contingency table.
+
+    The paper's example: "is the proportion of people who live past 40
+    dependent on race?" (SS2.2).
+    """
+    observed = table.table
+    if observed.shape[0] < 2 or observed.shape[1] < 2:
+        raise StatisticsError("independence test needs at least a 2x2 table")
+    expected = table.expected()
+    if (expected <= 0).any():
+        raise StatisticsError("expected counts must be positive everywhere")
+    statistic = float(((observed - expected) ** 2 / expected).sum())
+    dof = (observed.shape[0] - 1) * (observed.shape[1] - 1)
+    return TestResult(
+        name="chi2_independence",
+        statistic=statistic,
+        p_value=_chi2_sf(statistic, dof),
+        dof=dof,
+    )
+
+
+def chi_squared_gof(
+    observed: Sequence[float],
+    expected: Sequence[float],
+    estimated_params: int = 0,
+) -> TestResult:
+    """Chi-squared goodness-of-fit of observed bucket counts to expected."""
+    obs = np.asarray(observed, dtype=float)
+    exp = np.asarray(expected, dtype=float)
+    if obs.shape != exp.shape or obs.ndim != 1:
+        raise StatisticsError("observed and expected must be equal-length vectors")
+    if (exp <= 0).any():
+        raise StatisticsError("expected counts must be positive")
+    statistic = float(((obs - exp) ** 2 / exp).sum())
+    dof = len(obs) - 1 - estimated_params
+    if dof <= 0:
+        raise StatisticsError(f"non-positive dof {dof}")
+    return TestResult(
+        name="chi2_gof",
+        statistic=statistic,
+        p_value=_chi2_sf(statistic, dof),
+        dof=dof,
+    )
+
+
+def _kolmogorov_sf(t: float) -> float:
+    """Survival function of the Kolmogorov distribution (series form)."""
+    if t <= 0:
+        return 1.0
+    total = 0.0
+    for k in range(1, 101):
+        term = (-1) ** (k - 1) * math.exp(-2.0 * k * k * t * t)
+        total += term
+        if abs(term) < 1e-12:
+            break
+    return max(0.0, min(1.0, 2.0 * total))
+
+
+def ks_test(values: Sequence[Any], cdf: Callable[[float], float]) -> TestResult:
+    """One-sample Kolmogorov-Smirnov test against a hypothesized CDF.
+
+    This is the "goodness-of-fit test ... to see if a particular attribute
+    does indeed follow a hypothesized distribution" (SS2.2).
+    """
+    data = sorted(clean(values))
+    n = len(data)
+    if n == 0:
+        raise StatisticsError("K-S test needs non-empty data")
+    d = 0.0
+    for i, x in enumerate(data):
+        fx = cdf(x)
+        d = max(d, (i + 1) / n - fx, fx - i / n)
+    statistic = d
+    p = _kolmogorov_sf(math.sqrt(n) * d)
+    return TestResult(name="ks_1sample", statistic=statistic, p_value=p)
+
+
+def ks_test_2sample(a: Sequence[Any], b: Sequence[Any]) -> TestResult:
+    """Two-sample Kolmogorov-Smirnov test."""
+    xa = sorted(clean(a))
+    xb = sorted(clean(b))
+    na, nb = len(xa), len(xb)
+    if na == 0 or nb == 0:
+        raise StatisticsError("K-S test needs non-empty samples")
+    i = j = 0
+    d = 0.0
+    while i < na and j < nb:
+        if xa[i] <= xb[j]:
+            i += 1
+        else:
+            j += 1
+        d = max(d, abs(i / na - j / nb))
+    en = math.sqrt(na * nb / (na + nb))
+    p = _kolmogorov_sf((en + 0.12 + 0.11 / en) * d)
+    return TestResult(name="ks_2sample", statistic=d, p_value=p)
+
+
+def normal_cdf(mu: float = 0.0, sigma: float = 1.0) -> Callable[[float], float]:
+    """A Normal(mu, sigma) CDF for use with :func:`ks_test`."""
+    if sigma <= 0:
+        raise StatisticsError(f"sigma must be positive, got {sigma}")
+
+    def cdf(x: float) -> float:
+        return 0.5 * (1.0 + math.erf((x - mu) / (sigma * math.sqrt(2.0))))
+
+    return cdf
+
+
+def uniform_cdf(lo: float, hi: float) -> Callable[[float], float]:
+    """A Uniform(lo, hi) CDF for use with :func:`ks_test`."""
+    if hi <= lo:
+        raise StatisticsError(f"need hi > lo, got [{lo}, {hi}]")
+
+    def cdf(x: float) -> float:
+        if x <= lo:
+            return 0.0
+        if x >= hi:
+            return 1.0
+        return (x - lo) / (hi - lo)
+
+    return cdf
+
+
+def two_sample_t(a: Sequence[Any], b: Sequence[Any]) -> TestResult:
+    """Welch's two-sample t-test (unequal variances)."""
+    xa, xb = clean(a), clean(b)
+    na, nb = len(xa), len(xb)
+    if na < 2 or nb < 2:
+        raise StatisticsError("t-test needs at least 2 values per sample")
+    ma = sum(xa) / na
+    mb = sum(xb) / nb
+    va = sum((v - ma) ** 2 for v in xa) / (na - 1)
+    vb = sum((v - mb) ** 2 for v in xb) / (nb - 1)
+    se2 = va / na + vb / nb
+    if se2 == 0:
+        raise StatisticsError("zero variance in both samples")
+    t = (ma - mb) / math.sqrt(se2)
+    dof = se2 ** 2 / (
+        (va / na) ** 2 / (na - 1) + (vb / nb) ** 2 / (nb - 1)
+    )
+    # p-value via the regularized incomplete beta function.
+    x = dof / (dof + t * t)
+    p = float(special.betainc(dof / 2.0, 0.5, x))
+    return TestResult(name="welch_t", statistic=t, p_value=p, dof=int(round(dof)))

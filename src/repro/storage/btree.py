@@ -1,0 +1,314 @@
+"""An in-memory B+-tree supporting duplicates and range scans.
+
+The paper proposes a secondary index on (function name, attribute name) for
+the Summary Database, with data clustered on attribute name (SS3.2).  This
+B+-tree provides exact lookup, range scans (used for the attribute-prefix
+scans that clustering enables), insertion, and deletion.  Keys are any
+totally ordered Python values (tuples of strings in the Summary Database);
+duplicate keys are allowed and keep all their values.
+
+An invariant checker (:meth:`BPlusTree.check_invariants`) validates node
+occupancy, key ordering, and leaf-chain consistency; the property-based
+tests drive it against a reference ``dict``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+from repro.core.errors import IndexError_
+
+
+class _Node:
+    __slots__ = ("keys", "is_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.keys: list[Any] = []
+        self.is_leaf = is_leaf
+
+
+class _Leaf(_Node):
+    __slots__ = ("values", "next")
+
+    def __init__(self) -> None:
+        super().__init__(is_leaf=True)
+        self.values: list[list[Any]] = []
+        self.next: "_Leaf | None" = None
+
+
+class _Internal(_Node):
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        super().__init__(is_leaf=False)
+        self.children: list[_Node] = []
+
+
+class BPlusTree:
+    """B+-tree of (key -> list of values) with order ``order``.
+
+    ``order`` is the maximum number of children of an internal node; leaves
+    hold at most ``order - 1`` keys.
+    """
+
+    def __init__(self, order: int = 32) -> None:
+        if order < 3:
+            raise IndexError_(f"order must be at least 3, got {order}")
+        self.order = order
+        self._root: _Node = _Leaf()
+        self._size = 0
+
+    def __len__(self) -> int:
+        """Number of stored (key, value) pairs, counting duplicates."""
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a lone leaf)."""
+        levels = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[attr-defined]
+            levels += 1
+        return levels
+
+    # -- search ------------------------------------------------------------
+
+    def search(self, key: Any) -> list[Any]:
+        """All values stored under ``key`` (empty list if absent)."""
+        leaf = self._find_leaf(key)
+        i = bisect.bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            return list(leaf.values[i])
+        return []
+
+    def __contains__(self, key: Any) -> bool:
+        return bool(self.search(key))
+
+    def range_scan(
+        self, lo: Any = None, hi: Any = None, inclusive_hi: bool = True
+    ) -> Iterator[tuple[Any, Any]]:
+        """Yield (key, value) pairs with lo <= key <= hi (or < hi)."""
+        if lo is None:
+            leaf = self._leftmost_leaf()
+            i = 0
+        else:
+            leaf = self._find_leaf(lo)
+            i = bisect.bisect_left(leaf.keys, lo)
+        node: _Leaf | None = leaf
+        while node is not None:
+            while i < len(node.keys):
+                key = node.keys[i]
+                if hi is not None:
+                    if inclusive_hi and key > hi:
+                        return
+                    if not inclusive_hi and key >= hi:
+                        return
+                for value in node.values[i]:
+                    yield key, value
+                i += 1
+            node = node.next
+            i = 0
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All (key, value) pairs in key order."""
+        yield from self.range_scan()
+
+    def keys(self) -> Iterator[Any]:
+        """Distinct keys in order."""
+        node: _Leaf | None = self._leftmost_leaf()
+        while node is not None:
+            yield from node.keys
+            node = node.next
+
+    def prefix_scan(self, prefix: tuple) -> Iterator[tuple[Any, Any]]:
+        """For tuple keys: all pairs whose key starts with ``prefix``.
+
+        This is the clustered-by-attribute access of paper SS3.2: keys are
+        (attribute, function) tuples and a prefix scan on (attribute,)
+        retrieves every cached result for that attribute.
+        """
+        for key, value in self.range_scan(lo=prefix):
+            if not (isinstance(key, tuple) and key[: len(prefix)] == prefix):
+                return
+            yield key, value
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert a (key, value) pair; duplicates accumulate."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Internal()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        self._size += 1
+
+    def delete(self, key: Any, value: Any = None) -> int:
+        """Delete pairs under ``key``.
+
+        With ``value`` given, removes that one value (first occurrence);
+        otherwise removes all values for the key.  Returns the number of
+        pairs removed.  Underfull nodes are tolerated (no rebalancing on
+        delete — scans remain correct; occupancy invariants are only
+        enforced for insert-built trees).
+        """
+        leaf = self._find_leaf(key)
+        i = bisect.bisect_left(leaf.keys, key)
+        if i >= len(leaf.keys) or leaf.keys[i] != key:
+            return 0
+        removed: int
+        if value is None:
+            removed = len(leaf.values[i])
+            del leaf.keys[i]
+            del leaf.values[i]
+        else:
+            try:
+                leaf.values[i].remove(value)
+            except ValueError:
+                return 0
+            removed = 1
+            if not leaf.values[i]:
+                del leaf.keys[i]
+                del leaf.values[i]
+        self._size -= removed
+        return removed
+
+    # -- internals ---------------------------------------------------------
+
+    def _find_leaf(self, key: Any) -> _Leaf:
+        node = self._root
+        while not node.is_leaf:
+            internal = node  # type: _Internal  # type: ignore[assignment]
+            i = bisect.bisect_right(internal.keys, key)
+            node = internal.children[i]  # type: ignore[attr-defined]
+        return node  # type: ignore[return-value]
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[attr-defined]
+        return node  # type: ignore[return-value]
+
+    def _insert(self, node: _Node, key: Any, value: Any) -> tuple[Any, _Node] | None:
+        if node.is_leaf:
+            leaf: _Leaf = node  # type: ignore[assignment]
+            i = bisect.bisect_left(leaf.keys, key)
+            if i < len(leaf.keys) and leaf.keys[i] == key:
+                leaf.values[i].append(value)
+                return None
+            leaf.keys.insert(i, key)
+            leaf.values.insert(i, [value])
+            if len(leaf.keys) <= self.order - 1:
+                return None
+            return self._split_leaf(leaf)
+        internal: _Internal = node  # type: ignore[assignment]
+        i = bisect.bisect_right(internal.keys, key)
+        split = self._insert(internal.children[i], key, value)
+        if split is None:
+            return None
+        sep, right = split
+        internal.keys.insert(i, sep)
+        internal.children.insert(i + 1, right)
+        if len(internal.children) <= self.order:
+            return None
+        return self._split_internal(internal)
+
+    def _split_leaf(self, leaf: _Leaf) -> tuple[Any, _Node]:
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right.next = leaf.next
+        leaf.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal) -> tuple[Any, _Node]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Internal()
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    # -- validation ---------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise :class:`IndexError_` on any structural violation."""
+        leaves: list[_Leaf] = []
+        self._check_node(self._root, None, None, is_root=True, leaves=leaves)
+        # Leaf chain covers exactly the leaves, left to right.
+        chained: list[_Leaf] = []
+        node: _Leaf | None = self._leftmost_leaf()
+        while node is not None:
+            chained.append(node)
+            node = node.next
+        if [id(x) for x in leaves] != [id(x) for x in chained]:
+            raise IndexError_("leaf chain does not match tree leaves")
+        total = sum(len(vs) for leaf in leaves for vs in leaf.values)
+        if total != self._size:
+            raise IndexError_(f"size {self._size} != stored pairs {total}")
+        # Depth uniformity.
+        depths = {self._leaf_depth(leaf) for leaf in leaves}
+        if len(depths) > 1:
+            raise IndexError_(f"leaves at differing depths: {depths}")
+
+    def _leaf_depth(self, target: _Leaf) -> int:
+        def walk(node: _Node, depth: int) -> int | None:
+            if node is target:
+                return depth
+            if node.is_leaf:
+                return None
+            for child in node.children:  # type: ignore[attr-defined]
+                found = walk(child, depth + 1)
+                if found is not None:
+                    return found
+            return None
+
+        depth = walk(self._root, 0)
+        if depth is None:
+            raise IndexError_("leaf not reachable from root")
+        return depth
+
+    def _check_node(
+        self,
+        node: _Node,
+        lo: Any,
+        hi: Any,
+        is_root: bool,
+        leaves: list[_Leaf],
+    ) -> None:
+        if sorted(node.keys) != node.keys:
+            raise IndexError_(f"unsorted keys {node.keys!r}")
+        for key in node.keys:
+            if lo is not None and key < lo:
+                raise IndexError_(f"key {key!r} below bound {lo!r}")
+            if hi is not None and key >= hi:
+                raise IndexError_(f"key {key!r} not below bound {hi!r}")
+        if node.is_leaf:
+            leaf: _Leaf = node  # type: ignore[assignment]
+            if len(leaf.keys) != len(leaf.values):
+                raise IndexError_("leaf keys/values length mismatch")
+            if len(leaf.keys) > self.order - 1:
+                raise IndexError_(f"overfull leaf with {len(leaf.keys)} keys")
+            if len(set(map(repr, leaf.keys))) != len(leaf.keys):
+                raise IndexError_("duplicate key within a leaf")
+            leaves.append(leaf)
+            return
+        internal: _Internal = node  # type: ignore[assignment]
+        if len(internal.children) != len(internal.keys) + 1:
+            raise IndexError_("internal children/keys arity mismatch")
+        if len(internal.children) > self.order:
+            raise IndexError_(f"overfull internal with {len(internal.children)} children")
+        if not is_root and len(internal.children) < 2:
+            raise IndexError_("non-root internal with fewer than 2 children")
+        bounds = [lo] + list(internal.keys) + [hi]
+        for i, child in enumerate(internal.children):
+            self._check_node(child, bounds[i], bounds[i + 1], False, leaves)

@@ -1,0 +1,237 @@
+"""Column compression: run-length, dictionary, and delta encodings.
+
+The paper (SS2.6, citing EGGE80/EGGE81) argues that run-length compression
+"is more likely to improve storage efficiency when applied down a column
+rather than across a row".  These encoders operate on homogeneous value
+sequences (columns) and on heterogeneous row serializations so benchmark E5
+can measure that asymmetry directly.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.errors import StorageError
+from repro.relational.types import NA, DataType, is_na
+
+_NA_SENTINEL = "\x00__NA__"
+
+
+@dataclass(frozen=True)
+class CompressionReport:
+    """Sizes before and after an encoding."""
+
+    raw_bytes: int
+    compressed_bytes: int
+
+    @property
+    def ratio(self) -> float:
+        """raw/compressed; > 1 means the encoding saved space."""
+        if self.compressed_bytes == 0:
+            return float("inf")
+        return self.raw_bytes / self.compressed_bytes
+
+
+# -- run-length encoding ----------------------------------------------------
+
+
+def rle_runs(values: Sequence[object]) -> list[tuple[object, int]]:
+    """Collapse ``values`` into (value, run_length) pairs."""
+    runs: list[tuple[object, int]] = []
+    for value in values:
+        key = NA if is_na(value) else value
+        if runs and runs[-1][0] == key and (key is NA) == (runs[-1][0] is NA):
+            runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+        else:
+            runs.append((key, 1))
+    return runs
+
+
+def rle_expand(runs: Sequence[tuple[object, int]]) -> list[object]:
+    """Inverse of :func:`rle_runs`."""
+    out: list[object] = []
+    for value, count in runs:
+        if count <= 0:
+            raise StorageError(f"invalid run length {count}")
+        out.extend([value] * count)
+    return out
+
+
+def rle_encode_bytes(values: Sequence[object], dtype: DataType) -> bytes:
+    """Serialize a column as run-length (value, uint32 count) pairs."""
+    parts = [struct.pack("<I", 0)]  # placeholder for run count
+    runs = rle_runs(values)
+    for value, count in runs:
+        parts.append(_encode_value(value, dtype))
+        parts.append(struct.pack("<I", count))
+    parts[0] = struct.pack("<I", len(runs))
+    return b"".join(parts)
+
+
+def rle_decode_bytes(buf: bytes, dtype: DataType) -> list[object]:
+    """Inverse of :func:`rle_encode_bytes`."""
+    (n_runs,) = struct.unpack_from("<I", buf, 0)
+    pos = 4
+    values: list[object] = []
+    for _ in range(n_runs):
+        value, pos = _decode_value(buf, pos, dtype)
+        (count,) = struct.unpack_from("<I", buf, pos)
+        pos += 4
+        values.extend([value] * count)
+    return values
+
+
+# -- dictionary encoding ------------------------------------------------------
+
+
+def dict_encode(values: Sequence[object]) -> tuple[list[object], list[int]]:
+    """Encode values as (dictionary, codes).  NA gets its own code."""
+    dictionary: list[object] = []
+    seen: dict[object, int] = {}
+    codes: list[int] = []
+    for value in values:
+        key = _NA_SENTINEL if is_na(value) else value
+        code = seen.get(key)
+        if code is None:
+            code = len(dictionary)
+            seen[key] = code
+            dictionary.append(NA if key == _NA_SENTINEL else value)
+        codes.append(code)
+    return dictionary, codes
+
+
+def dict_decode(dictionary: Sequence[object], codes: Sequence[int]) -> list[object]:
+    """Inverse of :func:`dict_encode`."""
+    try:
+        return [dictionary[code] for code in codes]
+    except IndexError:
+        raise StorageError("dictionary code out of range") from None
+
+
+def dict_encoded_size(dictionary: Sequence[object], codes: Sequence[int], dtype: DataType) -> int:
+    """Bytes needed for the dictionary plus minimal-width codes."""
+    dict_bytes = sum(len(_encode_value(v, dtype)) for v in dictionary)
+    width = _code_width(len(dictionary))
+    return 4 + dict_bytes + width * len(codes)
+
+
+def _code_width(cardinality: int) -> int:
+    if cardinality <= 256:
+        return 1
+    if cardinality <= 65536:
+        return 2
+    return 4
+
+
+# -- delta encoding -----------------------------------------------------------
+
+
+def delta_encode(values: Sequence[int]) -> list[int]:
+    """First value followed by successive differences (ints only, no NA)."""
+    out: list[int] = []
+    prev = 0
+    for i, value in enumerate(values):
+        if is_na(value) or not isinstance(value, int):
+            raise StorageError("delta encoding requires non-NA integers")
+        out.append(value if i == 0 else value - prev)
+        prev = value
+    return out
+
+
+def delta_decode(deltas: Sequence[int]) -> list[int]:
+    """Inverse of :func:`delta_encode`."""
+    out: list[int] = []
+    acc = 0
+    for i, delta in enumerate(deltas):
+        acc = delta if i == 0 else acc + delta
+        out.append(acc)
+    return out
+
+
+def delta_encoded_size(deltas: Sequence[int]) -> int:
+    """Bytes for variable-width delta storage (1/2/4/8 bytes per delta)."""
+    size = 0
+    for delta in deltas:
+        magnitude = abs(delta)
+        if magnitude < 1 << 7:
+            size += 1
+        elif magnitude < 1 << 15:
+            size += 2
+        elif magnitude < 1 << 31:
+            size += 4
+        else:
+            size += 8
+    return size
+
+
+# -- raw sizing / value codecs ------------------------------------------------
+
+
+def raw_size(values: Sequence[object], dtype: DataType) -> int:
+    """Bytes for the uncompressed column."""
+    return sum(len(_encode_value(v, dtype)) for v in values)
+
+
+def compare_rle(values: Sequence[object], dtype: DataType) -> CompressionReport:
+    """Report raw-vs-RLE sizes for one column."""
+    return CompressionReport(
+        raw_bytes=raw_size(values, dtype),
+        compressed_bytes=len(rle_encode_bytes(values, dtype)),
+    )
+
+
+def row_serialized(rows: Sequence[Sequence[object]], dtypes: Sequence[DataType]) -> list[object]:
+    """Flatten rows into the across-the-row value sequence the paper says
+
+    compresses poorly: values interleave types, breaking runs."""
+    out: list[object] = []
+    for row in rows:
+        out.extend(row)
+    return out
+
+
+def _encode_value(value: object, dtype: DataType) -> bytes:
+    if is_na(value):
+        return b"\x00"
+    if dtype is DataType.INT:
+        return b"\x01" + struct.pack("<q", int(value))  # type: ignore[arg-type]
+    if dtype is DataType.FLOAT:
+        return b"\x01" + struct.pack("<d", float(value))  # type: ignore[arg-type]
+    if dtype is DataType.CATEGORY:
+        return b"\x01" + struct.pack("<i", int(value))  # type: ignore[arg-type]
+    if dtype is DataType.BOOL:
+        return b"\x01" + struct.pack("<B", 1 if value else 0)
+    if dtype is DataType.STR:
+        raw = str(value).encode("utf-8")
+        return b"\x01" + struct.pack("<H", len(raw)) + raw
+    raise StorageError(f"unsupported dtype {dtype!r}")
+
+
+def _decode_value(buf: bytes, pos: int, dtype: DataType) -> tuple[object, int]:
+    marker = buf[pos]
+    pos += 1
+    if marker == 0:
+        return NA, pos
+    if dtype is DataType.INT:
+        return struct.unpack_from("<q", buf, pos)[0], pos + 8
+    if dtype is DataType.FLOAT:
+        return struct.unpack_from("<d", buf, pos)[0], pos + 8
+    if dtype is DataType.CATEGORY:
+        return struct.unpack_from("<i", buf, pos)[0], pos + 4
+    if dtype is DataType.BOOL:
+        return bool(buf[pos]), pos + 1
+    if dtype is DataType.STR:
+        (length,) = struct.unpack_from("<H", buf, pos)
+        start = pos + 2
+        return buf[start : start + length].decode("utf-8"), start + length
+    raise StorageError(f"unsupported dtype {dtype!r}")
+
+
+def iter_value_stream(buf: bytes, dtype: DataType, count: int) -> Iterator[object]:
+    """Decode ``count`` consecutive plain values from ``buf``."""
+    pos = 0
+    for _ in range(count):
+        value, pos = _decode_value(buf, pos, dtype)
+        yield value

@@ -1,0 +1,166 @@
+"""Database machine models (paper SS4.3).
+
+The authors' original motivation was database machine support: "statistical
+databases seem to be a natural candidate ... very large; update operations
+are relatively infrequent; and operations access large amounts of data in a
+regular manner."  SS4.3 lists the candidate uses; this module models the two
+the paper describes concretely enough to cost out:
+
+* :class:`AssociativeDisk` — "a pseudo-associative disk of some type seems
+  a reasonable database machine organization" for Summary Database
+  searches: per-track search logic examines a whole cylinder in one disk
+  revolution, so an exact-match search costs one revolution instead of a
+  seek-and-read per page.
+* :class:`FilteringProcessor` — an on-the-fly selection/projection engine
+  between disk and host (the Britton-Lee/CASSM style): view-materializing
+  scans stream all pages at sequential-transfer speed and ship only
+  qualifying rows to the host, removing the host's per-page CPU+transfer
+  from the critical path.
+
+Both are *cost models* over page counts, comparable with the conventional
+:class:`~repro.storage.disk.DiskCostModel`; benchmark E13 runs the
+comparison the 1982 authors could only plan.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import StorageError
+
+
+@dataclass(frozen=True)
+class ConventionalSearchModel:
+    """Host-driven search on a conventional disk: seek + read per probed
+
+    page, plus host CPU per page examined."""
+
+    seek_ms: float = 30.0
+    transfer_ms_per_page: float = 1.0
+    host_cpu_ms_per_page: float = 0.2
+
+    def search_time_ms(self, pages_probed: int) -> float:
+        """Time to probe ``pages_probed`` pages (index-guided search)."""
+        if pages_probed < 0:
+            raise StorageError(f"pages_probed must be >= 0, got {pages_probed}")
+        return pages_probed * (
+            self.seek_ms + self.transfer_ms_per_page + self.host_cpu_ms_per_page
+        )
+
+    def scan_time_ms(self, pages: int) -> float:
+        """Time for a full sequential scan with host filtering."""
+        if pages < 0:
+            raise StorageError(f"pages must be >= 0, got {pages}")
+        # One initial seek, then sequential transfers, host CPU per page.
+        if pages == 0:
+            return 0.0
+        return (
+            self.seek_ms
+            + pages * (self.transfer_ms_per_page + self.host_cpu_ms_per_page)
+        )
+
+
+@dataclass(frozen=True)
+class AssociativeDisk:
+    """Per-track search logic: one revolution examines a whole cylinder.
+
+    Searching S pages costs ``ceil(S / pages_per_cylinder)`` revolutions —
+    independent of how many entries match, and with no host CPU until the
+    (small) result set ships.
+    """
+
+    revolution_ms: float = 16.7  # 3600 rpm
+    pages_per_cylinder: int = 40
+    result_transfer_ms: float = 1.0
+
+    def search_time_ms(self, pages_total: int, result_pages: int = 1) -> float:
+        """Time to associatively search ``pages_total`` pages."""
+        if pages_total < 0 or result_pages < 0:
+            raise StorageError("page counts must be >= 0")
+        if pages_total == 0:
+            return 0.0
+        revolutions = math.ceil(pages_total / self.pages_per_cylinder)
+        return revolutions * self.revolution_ms + result_pages * self.result_transfer_ms
+
+
+@dataclass(frozen=True)
+class FilteringProcessor:
+    """On-the-fly selection between disk and host.
+
+    A scan streams every page at raw transfer speed; only qualifying rows
+    reach the host, so host CPU scales with the *result*, not the input.
+    """
+
+    transfer_ms_per_page: float = 1.0
+    seek_ms: float = 30.0
+    host_cpu_ms_per_result_page: float = 0.2
+
+    def scan_time_ms(self, pages: int, selectivity: float = 1.0) -> float:
+        """Time for a filtered scan shipping ``selectivity`` of the pages."""
+        if pages < 0:
+            raise StorageError(f"pages must be >= 0, got {pages}")
+        if not 0.0 <= selectivity <= 1.0:
+            raise StorageError(f"selectivity must be in [0, 1], got {selectivity}")
+        if pages == 0:
+            return 0.0
+        result_pages = math.ceil(pages * selectivity)
+        return (
+            self.seek_ms
+            + pages * self.transfer_ms_per_page
+            + result_pages * self.host_cpu_ms_per_result_page
+        )
+
+
+@dataclass(frozen=True)
+class MachineComparison:
+    """One scenario's conventional-vs-machine cost pair."""
+
+    scenario: str
+    conventional_ms: float
+    machine_ms: float
+
+    @property
+    def machine_advantage(self) -> float:
+        """conventional / machine."""
+        if self.machine_ms == 0:
+            return float("inf")
+        return self.conventional_ms / self.machine_ms
+
+
+def compare_summary_search(
+    summary_pages: int,
+    conventional: ConventionalSearchModel | None = None,
+    machine: AssociativeDisk | None = None,
+    index_probes: int = 3,
+) -> MachineComparison:
+    """SS4.3 scenario: 'operations on the Summary Databases are primarily
+
+    searches whose result sets are small.'  Conventional = B-tree descent
+    (``index_probes`` random page probes); machine = associative search of
+    the whole Summary Database area."""
+    conventional = conventional or ConventionalSearchModel()
+    machine = machine or AssociativeDisk()
+    return MachineComparison(
+        scenario=f"summary search ({summary_pages} pages)",
+        conventional_ms=conventional.search_time_ms(index_probes),
+        machine_ms=machine.search_time_ms(summary_pages),
+    )
+
+
+def compare_materializing_scan(
+    view_pages: int,
+    selectivity: float,
+    conventional: ConventionalSearchModel | None = None,
+    machine: FilteringProcessor | None = None,
+) -> MachineComparison:
+    """SS4.3 scenario: using the machine 'to materialize views by executing
+
+    the various relational operators' over an on-line raw database."""
+    conventional = conventional or ConventionalSearchModel()
+    machine = machine or FilteringProcessor()
+    return MachineComparison(
+        scenario=f"materializing scan ({view_pages} pages, sel={selectivity:g})",
+        conventional_ms=conventional.scan_time_ms(view_pages),
+        machine_ms=machine.scan_time_ms(view_pages, selectivity),
+    )

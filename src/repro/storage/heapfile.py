@@ -1,0 +1,245 @@
+"""Row-store heap files on slotted pages.
+
+This is the conventional ("corporate DBMS") storage layout the paper
+contrasts with transposed files in SS2.6: each page holds whole records, so
+an informational query touching one row costs one page read, but a
+statistical operation over one column must read *every* page of the file.
+
+Page layout (little-endian):
+
+* header: uint16 slot_count, uint16 free_offset (start of free space)
+* record payloads growing up from the header
+* slot directory growing down from the end of the page, one
+  (uint16 offset, uint16 length) pair per slot; length 0 marks a tombstone.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Sequence
+
+from repro.core.errors import PageError, StorageError
+from repro.relational.types import DataType
+from repro.storage.pager import BufferPool
+from repro.storage.records import RID, RecordCodec
+
+_HEADER = struct.Struct("<HH")
+_SLOT = struct.Struct("<HH")
+HEADER_SIZE = _HEADER.size
+SLOT_SIZE = _SLOT.size
+
+
+def init_page(page: bytearray) -> None:
+    """Format an empty slotted page in place."""
+    _HEADER.pack_into(page, 0, 0, HEADER_SIZE)
+
+
+def page_slot_count(page: bytes | bytearray) -> int:
+    """Number of slots (including tombstones) on the page."""
+    return _HEADER.unpack_from(page, 0)[0]
+
+
+def _free_offset(page: bytes | bytearray) -> int:
+    return _HEADER.unpack_from(page, 0)[1]
+
+
+def _slot_position(page: bytes | bytearray, slot: int) -> int:
+    return len(page) - (slot + 1) * SLOT_SIZE
+
+
+def page_free_space(page: bytes | bytearray) -> int:
+    """Bytes available for a new record (including its new slot entry)."""
+    slots = page_slot_count(page)
+    directory_start = len(page) - slots * SLOT_SIZE
+    return directory_start - _free_offset(page) - SLOT_SIZE
+
+
+def page_insert(page: bytearray, payload: bytes) -> int:
+    """Insert a record payload into the page; return its slot number.
+
+    Raises :class:`PageError` if the payload does not fit.
+    """
+    if len(payload) > page_free_space(page):
+        raise PageError(
+            f"payload of {len(payload)} bytes does not fit "
+            f"(free: {page_free_space(page)})"
+        )
+    slots = page_slot_count(page)
+    offset = _free_offset(page)
+    page[offset : offset + len(payload)] = payload
+    _SLOT.pack_into(page, _slot_position(page, slots), offset, len(payload))
+    _HEADER.pack_into(page, 0, slots + 1, offset + len(payload))
+    return slots
+
+
+def page_read(page: bytes | bytearray, slot: int) -> bytes:
+    """Read the payload in ``slot``; raises on tombstones and bad slots."""
+    slots = page_slot_count(page)
+    if not 0 <= slot < slots:
+        raise PageError(f"slot {slot} out of range (page has {slots} slots)")
+    offset, length = _SLOT.unpack_from(page, _slot_position(page, slot))
+    if length == 0:
+        raise PageError(f"slot {slot} is deleted")
+    return bytes(page[offset : offset + length])
+
+
+def page_delete(page: bytearray, slot: int) -> None:
+    """Tombstone a slot (space is not compacted)."""
+    slots = page_slot_count(page)
+    if not 0 <= slot < slots:
+        raise PageError(f"slot {slot} out of range (page has {slots} slots)")
+    offset, length = _SLOT.unpack_from(page, _slot_position(page, slot))
+    if length == 0:
+        raise PageError(f"slot {slot} already deleted")
+    _SLOT.pack_into(page, _slot_position(page, slot), offset, 0)
+
+
+def page_update(page: bytearray, slot: int, payload: bytes) -> bool:
+    """Overwrite a slot's payload in place if it fits; return success.
+
+    A payload no longer than the original reuses its space; a longer one
+    is appended to free space if possible, else the update fails and the
+    caller must relocate the record.
+    """
+    slots = page_slot_count(page)
+    if not 0 <= slot < slots:
+        raise PageError(f"slot {slot} out of range (page has {slots} slots)")
+    offset, length = _SLOT.unpack_from(page, _slot_position(page, slot))
+    if length == 0:
+        raise PageError(f"slot {slot} is deleted")
+    if len(payload) <= length:
+        page[offset : offset + len(payload)] = payload
+        _SLOT.pack_into(page, _slot_position(page, slot), offset, len(payload))
+        return True
+    free = page_free_space(page) + SLOT_SIZE  # no new slot needed
+    if len(payload) <= free:
+        new_offset = _free_offset(page)
+        page[new_offset : new_offset + len(payload)] = payload
+        _SLOT.pack_into(
+            page, _slot_position(page, slot), new_offset, len(payload)
+        )
+        _HEADER.pack_into(page, 0, slots, new_offset + len(payload))
+        return True
+    return False
+
+
+def page_payloads(page: bytes | bytearray) -> Iterator[tuple[int, bytes]]:
+    """Yield (slot, payload) for every live record on the page."""
+    slots = page_slot_count(page)
+    for slot in range(slots):
+        offset, length = _SLOT.unpack_from(page, _slot_position(page, slot))
+        if length:
+            yield slot, bytes(page[offset : offset + length])
+
+
+class HeapFile:
+    """A row-store file of typed records on slotted pages.
+
+    All page access goes through the owning :class:`BufferPool`, so scans
+    and point reads are charged realistic I/O.
+    """
+
+    def __init__(self, pool: BufferPool, types: Sequence[DataType], name: str = "heap") -> None:
+        self.pool = pool
+        self.codec = RecordCodec(types)
+        self.name = name
+        self.page_nos: list[int] = []
+        self._record_count = 0
+        min_fit = self.codec.max_size() + SLOT_SIZE + HEADER_SIZE
+        if min_fit > pool.disk.block_size:
+            raise StorageError(
+                f"records of up to {self.codec.max_size()} bytes cannot fit "
+                f"a {pool.disk.block_size}-byte page"
+            )
+
+    def __len__(self) -> int:
+        return self._record_count
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages the file occupies."""
+        return len(self.page_nos)
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, values: Sequence[object]) -> RID:
+        """Append a record, returning its RID."""
+        payload = self.codec.encode(values)
+        if self.page_nos:
+            last = self.page_nos[-1]
+            page = self.pool.fetch_page(last)
+            try:
+                if len(payload) <= page_free_space(page):
+                    slot = page_insert(page, payload)
+                    self._record_count += 1
+                    return RID(last, slot)
+            finally:
+                self.pool.unpin(last, dirty=True)
+        page_no, page = self.pool.new_page()
+        try:
+            init_page(page)
+            slot = page_insert(page, payload)
+        finally:
+            self.pool.unpin(page_no, dirty=True)
+        self.page_nos.append(page_no)
+        self._record_count += 1
+        return RID(page_no, slot)
+
+    def insert_many(self, rows: Sequence[Sequence[object]]) -> list[RID]:
+        """Append many records."""
+        return [self.insert(row) for row in rows]
+
+    def delete(self, rid: RID) -> None:
+        """Tombstone the record at ``rid``."""
+        page = self.pool.fetch_page(rid.page_no)
+        try:
+            page_delete(page, rid.slot)
+        finally:
+            self.pool.unpin(rid.page_no, dirty=True)
+        self._record_count -= 1
+
+    def update(self, rid: RID, values: Sequence[object]) -> RID:
+        """Overwrite the record at ``rid``; may relocate, returning the
+
+        (possibly new) RID."""
+        payload = self.codec.encode(values)
+        page = self.pool.fetch_page(rid.page_no)
+        try:
+            if page_update(page, rid.slot, payload):
+                return rid
+            page_delete(page, rid.slot)
+        finally:
+            self.pool.unpin(rid.page_no, dirty=True)
+        self._record_count -= 1
+        return self.insert(values)
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, rid: RID) -> tuple[object, ...]:
+        """Read the record at ``rid`` (one page access)."""
+        page = self.pool.fetch_page(rid.page_no)
+        try:
+            payload = page_read(page, rid.slot)
+        finally:
+            self.pool.unpin(rid.page_no)
+        values, _ = self.codec.decode(payload)
+        return values
+
+    def scan(self) -> Iterator[tuple[RID, tuple[object, ...]]]:
+        """Yield (RID, record) for every live record, in file order."""
+        for page_no in self.page_nos:
+            page = self.pool.fetch_page(page_no)
+            try:
+                rows = list(page_payloads(page))
+            finally:
+                self.pool.unpin(page_no)
+            for slot, payload in rows:
+                values, _ = self.codec.decode(payload)
+                yield RID(page_no, slot), values
+
+    def scan_column(self, index: int) -> Iterator[object]:
+        """Yield one column's values — note this still reads every page,
+
+        which is exactly the row-store weakness of paper SS2.6."""
+        for _, values in self.scan():
+            yield values[index]

@@ -1,0 +1,156 @@
+"""Typed record serialization with missing-value support.
+
+Records are encoded with a null bitmap followed by fixed-width numeric
+fields and length-prefixed strings.  Missing values (the statistician's
+"invalid"/"missing value", paper SS3.1) are first-class: any field may be
+:data:`repro.relational.types.NA` and round-trips through encoding.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence
+
+from repro.core.errors import RecordError
+from repro.relational.types import NA, DataType, is_na
+
+
+class RID:
+    """Record identifier: (page/block number, slot within the page)."""
+
+    __slots__ = ("page_no", "slot")
+
+    def __init__(self, page_no: int, slot: int) -> None:
+        self.page_no = page_no
+        self.slot = slot
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RID)
+            and self.page_no == other.page_no
+            and self.slot == other.slot
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.page_no, self.slot))
+
+    def __lt__(self, other: "RID") -> bool:
+        return (self.page_no, self.slot) < (other.page_no, other.slot)
+
+    def __repr__(self) -> str:
+        return f"RID({self.page_no}, {self.slot})"
+
+
+class RecordCodec:
+    """Encodes/decodes tuples of typed values to/from bytes.
+
+    The wire format is: a null bitmap of ``ceil(n/8)`` bytes, then each
+    non-null field in order — INT as int64, FLOAT as float64, BOOL as one
+    byte, CATEGORY as int32, STR as uint16 length + UTF-8 bytes.
+    """
+
+    def __init__(self, types: Sequence[DataType]) -> None:
+        self.types = tuple(types)
+        self._n = len(self.types)
+        self._bitmap_bytes = (self._n + 7) // 8
+
+    # -- encode ------------------------------------------------------------
+
+    def encode(self, values: Sequence[object]) -> bytes:
+        """Serialize one record."""
+        if len(values) != self._n:
+            raise RecordError(
+                f"record has {len(values)} fields, codec expects {self._n}"
+            )
+        bitmap = bytearray(self._bitmap_bytes)
+        parts: list[bytes] = []
+        for i, (value, dtype) in enumerate(zip(values, self.types)):
+            if is_na(value):
+                bitmap[i // 8] |= 1 << (i % 8)
+                continue
+            parts.append(self._encode_field(value, dtype, i))
+        return bytes(bitmap) + b"".join(parts)
+
+    def _encode_field(self, value: object, dtype: DataType, index: int) -> bytes:
+        try:
+            if dtype is DataType.INT:
+                return struct.pack("<q", int(value))  # type: ignore[arg-type]
+            if dtype is DataType.FLOAT:
+                return struct.pack("<d", float(value))  # type: ignore[arg-type]
+            if dtype is DataType.BOOL:
+                return struct.pack("<B", 1 if value else 0)
+            if dtype is DataType.CATEGORY:
+                return struct.pack("<i", int(value))  # type: ignore[arg-type]
+            if dtype is DataType.STR:
+                raw = str(value).encode("utf-8")
+                if len(raw) > 0xFFFF:
+                    raise RecordError(
+                        f"string field {index} of {len(raw)} bytes exceeds 65535"
+                    )
+                return struct.pack("<H", len(raw)) + raw
+        except (struct.error, ValueError, TypeError) as exc:
+            raise RecordError(
+                f"cannot encode field {index} value {value!r} as {dtype.name}"
+            ) from exc
+        raise RecordError(f"unsupported data type {dtype!r}")
+
+    # -- decode ------------------------------------------------------------
+
+    def decode(self, buf: bytes, offset: int = 0) -> tuple[tuple[object, ...], int]:
+        """Deserialize one record starting at ``offset``.
+
+        Returns (values, bytes_consumed).
+        """
+        if len(buf) - offset < self._bitmap_bytes:
+            raise RecordError("buffer too short for null bitmap")
+        bitmap = buf[offset : offset + self._bitmap_bytes]
+        pos = offset + self._bitmap_bytes
+        values: list[object] = []
+        for i, dtype in enumerate(self.types):
+            if bitmap[i // 8] & (1 << (i % 8)):
+                values.append(NA)
+                continue
+            value, pos = self._decode_field(buf, pos, dtype, i)
+            values.append(value)
+        return tuple(values), pos - offset
+
+    def _decode_field(
+        self, buf: bytes, pos: int, dtype: DataType, index: int
+    ) -> tuple[object, int]:
+        try:
+            if dtype is DataType.INT:
+                return struct.unpack_from("<q", buf, pos)[0], pos + 8
+            if dtype is DataType.FLOAT:
+                return struct.unpack_from("<d", buf, pos)[0], pos + 8
+            if dtype is DataType.BOOL:
+                return bool(struct.unpack_from("<B", buf, pos)[0]), pos + 1
+            if dtype is DataType.CATEGORY:
+                return struct.unpack_from("<i", buf, pos)[0], pos + 4
+            if dtype is DataType.STR:
+                (length,) = struct.unpack_from("<H", buf, pos)
+                start = pos + 2
+                end = start + length
+                if end > len(buf):
+                    raise RecordError(f"truncated string field {index}")
+                return buf[start:end].decode("utf-8"), end
+        except struct.error as exc:
+            raise RecordError(f"truncated field {index} ({dtype.name})") from exc
+        raise RecordError(f"unsupported data type {dtype!r}")
+
+    # -- sizing ------------------------------------------------------------
+
+    def max_size(self, max_str_len: int = 64) -> int:
+        """Upper bound on the encoded size of a record, assuming strings of
+
+        at most ``max_str_len`` UTF-8 bytes."""
+        size = self._bitmap_bytes
+        for dtype in self.types:
+            if dtype in (DataType.INT, DataType.FLOAT):
+                size += 8
+            elif dtype is DataType.BOOL:
+                size += 1
+            elif dtype is DataType.CATEGORY:
+                size += 4
+            elif dtype is DataType.STR:
+                size += 2 + max_str_len
+        return size

@@ -1,0 +1,298 @@
+"""Transposed (fully column-wise) files.
+
+The paper (SS2.6, following RAPID and ALDS/SDB) identifies transposed files
+as "the best all-around storage structure for statistical data sets": a
+statistical operation touching q of m columns reads only those q columns'
+pages, while higher software keeps a flat-file view.  The cost is the
+"informational" query — reconstructing one whole row touches one page per
+column.
+
+Each column is stored as its own chain of pages.  A page holds a uint16
+value count followed by the values, either plainly serialized or
+RLE-compressed (``compress="rle"``).  Per-column page metadata (first row
+and row count per page) lets point lookups find the right page without
+scanning the chain, though a compressed page must still be decoded as a
+unit — the positional misalignment penalty the paper mentions.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.errors import PageError, StorageError
+from repro.relational.types import DataType
+from repro.storage import compression as comp
+from repro.storage.pager import BufferPool
+
+_COUNT = struct.Struct("<H")
+_MAX_PAGE_VALUES = 0xFFFF
+
+
+@dataclass
+class _ColumnPage:
+    page_no: int
+    first_row: int
+    count: int
+
+
+class _Column:
+    """One attribute's chain of value pages."""
+
+    def __init__(self, pool: BufferPool, dtype: DataType, compress: str | None) -> None:
+        if compress not in (None, "rle"):
+            raise StorageError(f"unsupported compression {compress!r}")
+        self.pool = pool
+        self.dtype = dtype
+        self.compress = compress
+        self.pages: list[_ColumnPage] = []
+        self.row_count = 0
+        # State of the open (last) page, kept in memory to make appends
+        # incremental; it mirrors what is on the page.
+        self._open_page_no: int | None = None
+        self._open_offset = 0  # next free byte (plain mode)
+        self._open_runs: list[tuple[object, int]] = []  # rle mode
+        self._open_rle_size = 0  # encoded body size of the open runs
+
+    # -- append ------------------------------------------------------------
+
+    def append(self, value: object) -> None:
+        if self.compress == "rle":
+            self._append_rle(value)
+        else:
+            self._append_plain(value)
+        self.row_count += 1
+
+    def _append_plain(self, value: object) -> None:
+        encoded = comp._encode_value(value, self.dtype)
+        block_size = self.pool.disk.block_size
+        meta = self.pages[-1] if self.pages else None
+        fits = (
+            meta is not None
+            and self._open_offset + len(encoded) <= block_size
+            and meta.count < _MAX_PAGE_VALUES
+        )
+        if not fits:
+            if _COUNT.size + len(encoded) > block_size:
+                raise StorageError(
+                    f"a single value of {len(encoded)} bytes exceeds the "
+                    f"{block_size}-byte page"
+                )
+            self._start_page()
+            meta = self.pages[-1]
+        assert self._open_page_no is not None
+        page = self.pool.fetch_page(self._open_page_no)
+        try:
+            page[self._open_offset : self._open_offset + len(encoded)] = encoded
+            meta.count += 1
+            _COUNT.pack_into(page, 0, meta.count)
+        finally:
+            self.pool.unpin(self._open_page_no, dirty=True)
+        self._open_offset += len(encoded)
+
+    def _append_rle(self, value: object) -> None:
+        block_size = self.pool.disk.block_size
+        extends_run = bool(self._open_runs) and self._open_runs[-1][0] == value
+        entry_size = 0 if extends_run else len(comp._encode_value(value, self.dtype)) + 4
+        body_size = self._open_rle_size + entry_size
+        meta = self.pages[-1] if self.pages else None
+        fits = (
+            meta is not None
+            and _COUNT.size + 4 + body_size <= block_size
+            and meta.count < _MAX_PAGE_VALUES
+        )
+        if not fits:
+            self._start_page()
+            meta = self.pages[-1]
+            extends_run = False
+            entry_size = len(comp._encode_value(value, self.dtype)) + 4
+        if extends_run:
+            head, count = self._open_runs[-1]
+            self._open_runs[-1] = (head, count + 1)
+        else:
+            self._open_runs.append((value, 1))
+            self._open_rle_size += entry_size
+        meta.count += 1
+        self._write_open_rle(meta)
+
+    def _write_open_rle(self, meta: _ColumnPage) -> None:
+        assert self._open_page_no is not None
+        parts = [struct.pack("<I", len(self._open_runs))]
+        for value, count in self._open_runs:
+            parts.append(comp._encode_value(value, self.dtype))
+            parts.append(struct.pack("<I", count))
+        encoded = _COUNT.pack(meta.count) + b"".join(parts)
+        page = self.pool.fetch_page(self._open_page_no)
+        try:
+            page[: len(encoded)] = encoded
+        finally:
+            self.pool.unpin(self._open_page_no, dirty=True)
+
+    def _start_page(self) -> None:
+        page_no, page = self.pool.new_page()
+        _COUNT.pack_into(page, 0, 0)
+        self.pool.unpin(page_no, dirty=True)
+        self.pages.append(_ColumnPage(page_no, self.row_count, 0))
+        self._open_page_no = page_no
+        self._open_offset = _COUNT.size
+        self._open_runs = []
+        self._open_rle_size = 0
+
+    # -- read --------------------------------------------------------------
+
+    def scan(self) -> Iterator[object]:
+        for meta in self.pages:
+            yield from self._read_page(meta)
+
+    def get(self, row: int) -> object:
+        meta = self._page_for_row(row)
+        values = self._read_page(meta)
+        return values[row - meta.first_row]
+
+    def set(self, row: int, value: object) -> None:
+        meta = self._page_for_row(row)
+        values = self._read_page(meta)
+        values[row - meta.first_row] = value
+        if self.compress == "rle":
+            body = comp.rle_encode_bytes(values, self.dtype)
+        else:
+            body = b"".join(comp._encode_value(v, self.dtype) for v in values)
+        encoded = _COUNT.pack(meta.count) + body
+        if len(encoded) > self.pool.disk.block_size:
+            raise StorageError(
+                "updated page no longer fits; transposed files do not "
+                "support growing in-place updates of variable-width values"
+            )
+        page = self.pool.fetch_page(meta.page_no)
+        try:
+            page[: len(encoded)] = encoded
+            page[len(encoded) :] = bytes(len(page) - len(encoded))
+        finally:
+            self.pool.unpin(meta.page_no, dirty=True)
+        if meta is self.pages[-1]:
+            # Refresh open-page state to mirror the rewrite.
+            if self.compress == "rle":
+                self._open_runs = comp.rle_runs(values)
+                self._open_rle_size = sum(
+                    len(comp._encode_value(v, self.dtype)) + 4
+                    for v, _ in self._open_runs
+                )
+            else:
+                self._open_offset = len(encoded)
+
+    # -- internals ----------------------------------------------------------
+
+    def _page_for_row(self, row: int) -> _ColumnPage:
+        if not 0 <= row < self.row_count:
+            raise PageError(f"row {row} out of range (column has {self.row_count})")
+        lo, hi = 0, len(self.pages) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            meta = self.pages[mid]
+            if row < meta.first_row:
+                hi = mid - 1
+            elif row >= meta.first_row + meta.count:
+                lo = mid + 1
+            else:
+                return meta
+        return self.pages[lo]
+
+    def _read_page(self, meta: _ColumnPage) -> list[object]:
+        page = self.pool.fetch_page(meta.page_no)
+        try:
+            buf = bytes(page)
+        finally:
+            self.pool.unpin(meta.page_no)
+        (count,) = _COUNT.unpack_from(buf, 0)
+        if count != meta.count:
+            raise PageError(
+                f"page holds {count} values, metadata says {meta.count}"
+            )
+        body = buf[_COUNT.size :]
+        if self.compress == "rle":
+            return comp.rle_decode_bytes(body, self.dtype)
+        return list(comp.iter_value_stream(body, self.dtype, count))
+
+
+class TransposedFile:
+    """A data set stored column-wise, one page chain per attribute."""
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        types: Sequence[DataType],
+        name: str = "transposed",
+        compress: str | None = None,
+    ) -> None:
+        self.pool = pool
+        self.name = name
+        self.types = tuple(types)
+        self._columns = [_Column(pool, dtype, compress) for dtype in self.types]
+        self._row_count = 0
+
+    def __len__(self) -> int:
+        return self._row_count
+
+    @property
+    def column_count(self) -> int:
+        """Number of attributes."""
+        return len(self._columns)
+
+    @property
+    def page_count(self) -> int:
+        """Total pages across all columns."""
+        return sum(len(col.pages) for col in self._columns)
+
+    def column_page_count(self, index: int) -> int:
+        """Pages in one column's chain."""
+        return len(self._columns[index].pages)
+
+    # -- mutation ----------------------------------------------------------
+
+    def append_row(self, values: Sequence[object]) -> int:
+        """Append one row (a value to every column); return its row number."""
+        if len(values) != len(self._columns):
+            raise StorageError(
+                f"row has {len(values)} fields, file has {len(self._columns)} columns"
+            )
+        for column, value in zip(self._columns, values):
+            column.append(value)
+        row = self._row_count
+        self._row_count += 1
+        return row
+
+    def append_rows(self, rows: Sequence[Sequence[object]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.append_row(row)
+
+    def set_value(self, row: int, column: int, value: object) -> None:
+        """Point-update one cell (touches only that column's page)."""
+        self._columns[column].set(row, value)
+
+    # -- access ------------------------------------------------------------
+
+    def scan_column(self, index: int) -> Iterator[object]:
+        """Stream one column — reads only that column's pages (SS2.6)."""
+        yield from self._columns[index].scan()
+
+    def scan_columns(self, indexes: Sequence[int]) -> Iterator[tuple[object, ...]]:
+        """Stream several columns zipped row-wise."""
+        iters = [self._columns[i].scan() for i in indexes]
+        yield from zip(*iters)
+
+    def get_value(self, row: int, column: int) -> object:
+        """Point-read one cell."""
+        return self._columns[column].get(row)
+
+    def get_row(self, row: int) -> tuple[object, ...]:
+        """Reconstruct one whole row — the 'informational' query that costs
+
+        one page access per column (SS2.6)."""
+        return tuple(col.get(row) for col in self._columns)
+
+    def scan_rows(self) -> Iterator[tuple[object, ...]]:
+        """Stream whole rows (reads every column chain once)."""
+        iters = [col.scan() for col in self._columns]
+        yield from zip(*iters)

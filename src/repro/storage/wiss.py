@@ -1,0 +1,138 @@
+"""WiSS-style storage manager facade.
+
+The paper's future plans (SS5.2) name the Wisconsin Storage System (WiSS) —
+"a package of storage structures and access methods" — as the intended
+substrate.  :class:`StorageManager` plays that role here: it owns a
+simulated disk and buffer pool, creates heap files, transposed files, and
+B+-tree indexes, and reports combined I/O statistics and model time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import CatalogError
+from repro.relational.types import DataType
+from repro.storage.btree import BPlusTree
+from repro.storage.disk import DiskCostModel, IOStats, SimulatedDisk
+from repro.storage.heapfile import HeapFile
+from repro.storage.pager import BufferPool, BufferStats
+from repro.storage.transposed import TransposedFile
+
+
+@dataclass(frozen=True)
+class IOReport:
+    """A combined snapshot of disk and buffer activity with model time."""
+
+    io: IOStats
+    buffer: BufferStats
+    model_time_ms: float
+
+    def __str__(self) -> str:
+        return (
+            f"reads={self.io.block_reads} writes={self.io.block_writes} "
+            f"seeks={self.io.seeks} hits={self.buffer.hits} "
+            f"misses={self.buffer.misses} time={self.model_time_ms:.1f}ms"
+        )
+
+
+class StorageManager:
+    """Owns the disk + buffer pool and hands out storage structures.
+
+    Parameters
+    ----------
+    block_size:
+        Disk block size in bytes.
+    pool_pages:
+        Buffer pool capacity in pages.
+    policy:
+        Page replacement policy name ("lru", "mru", "clock", "fifo").
+    cost_model:
+        Seek/transfer model for converting I/O counts to model time.
+    """
+
+    def __init__(
+        self,
+        block_size: int = 4096,
+        pool_pages: int = 256,
+        policy: str = "lru",
+        cost_model: DiskCostModel | None = None,
+    ) -> None:
+        self.disk = SimulatedDisk(block_size=block_size, cost_model=cost_model)
+        self.pool = BufferPool(self.disk, capacity=pool_pages, policy=policy)
+        self._files: dict[str, HeapFile | TransposedFile] = {}
+        self._indexes: dict[str, BPlusTree] = {}
+
+    # -- factories ----------------------------------------------------------
+
+    def create_heap_file(self, name: str, types: Sequence[DataType]) -> HeapFile:
+        """Create and register a row-store file."""
+        self._check_free(name)
+        heap = HeapFile(self.pool, types, name=name)
+        self._files[name] = heap
+        return heap
+
+    def create_transposed_file(
+        self, name: str, types: Sequence[DataType], compress: str | None = None
+    ) -> TransposedFile:
+        """Create and register a column-store file."""
+        self._check_free(name)
+        transposed = TransposedFile(self.pool, types, name=name, compress=compress)
+        self._files[name] = transposed
+        return transposed
+
+    def create_index(self, name: str, order: int = 32) -> BPlusTree:
+        """Create and register a B+-tree index."""
+        if name in self._indexes:
+            raise CatalogError(f"index {name!r} already exists")
+        index = BPlusTree(order=order)
+        self._indexes[name] = index
+        return index
+
+    def file(self, name: str) -> HeapFile | TransposedFile:
+        """Look up a registered file."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise CatalogError(f"no file {name!r}") from None
+
+    def index(self, name: str) -> BPlusTree:
+        """Look up a registered index."""
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise CatalogError(f"no index {name!r}") from None
+
+    @property
+    def file_names(self) -> list[str]:
+        """Registered file names."""
+        return sorted(self._files)
+
+    # -- accounting ----------------------------------------------------------
+
+    def report(self) -> IOReport:
+        """Snapshot of I/O counters and model time."""
+        return IOReport(
+            io=self.disk.stats.snapshot(),
+            buffer=BufferStats(
+                hits=self.pool.stats.hits,
+                misses=self.pool.stats.misses,
+                evictions=self.pool.stats.evictions,
+                dirty_writebacks=self.pool.stats.dirty_writebacks,
+            ),
+            model_time_ms=self.disk.elapsed_ms(),
+        )
+
+    def reset_stats(self) -> None:
+        """Zero disk and buffer counters (data is untouched)."""
+        self.disk.reset_stats()
+        self.pool.stats.reset()
+
+    def flush(self) -> None:
+        """Write all dirty buffered pages to disk."""
+        self.pool.flush_all()
+
+    def _check_free(self, name: str) -> None:
+        if name in self._files:
+            raise CatalogError(f"file {name!r} already exists")

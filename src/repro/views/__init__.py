@@ -1,0 +1,53 @@
+"""Concrete views: materialization, histories, updates, sharing (SS2.3, SS3.2)."""
+
+from repro.views.advisor import AccessAdvisor, AccessKind, LayoutAdvice, Recommendation
+from repro.views.history import CellChange, OpKind, Operation, UpdateHistory
+from repro.views.materialize import (
+    AggregateNode,
+    DefNode,
+    JoinNode,
+    MaterializationReport,
+    ProjectNode,
+    RawDatabase,
+    SelectNode,
+    SourceNode,
+    ViewDefinition,
+    evaluate,
+    materialize,
+)
+from repro.views.sharing import DerivationMatch, PublishedEdits, ViewRegistry
+from repro.views.updates import (
+    apply_update,
+    invalidate_rows,
+    invalidate_where,
+    update_rows,
+)
+from repro.views.view import ConcreteView
+
+__all__ = [
+    "AccessAdvisor",
+    "AccessKind",
+    "AggregateNode",
+    "CellChange",
+    "ConcreteView",
+    "DefNode",
+    "DerivationMatch",
+    "JoinNode",
+    "MaterializationReport",
+    "OpKind",
+    "Operation",
+    "ProjectNode",
+    "PublishedEdits",
+    "RawDatabase",
+    "SelectNode",
+    "SourceNode",
+    "UpdateHistory",
+    "ViewDefinition",
+    "ViewRegistry",
+    "apply_update",
+    "evaluate",
+    "invalidate_rows",
+    "invalidate_where",
+    "materialize",
+    "update_rows",
+]

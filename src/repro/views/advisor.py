@@ -1,0 +1,183 @@
+"""Access-pattern monitoring and storage reorganization advice (paper SS2.3).
+
+"During the lifetime of an analysis the statistician may access the data in
+the view according to certain patterns that can either be communicated to
+the DBMS or perhaps gleaned by the DBMS from the use of the data.  This
+information can then be used, for example, to create auxiliary storage
+structures such as indices or to transpose the data in some manner to
+facilitate efficient access to frequently used data", and SS2.7 asks for
+"'intelligent' access methods that interpret reference patterns to the view
+and dynamically reorganize the storage structures".
+
+:class:`AccessAdvisor` observes a view's reference stream (column scans,
+whole-row reads, selective predicates) and recommends:
+
+* a **transposed** layout when access is column-dominated (SS2.6),
+* a **row** layout when informational (whole-row) access dominates,
+* **secondary indexes** on attributes repeatedly used in selective
+  equality/range predicates, and
+* **RLE compression** for low-cardinality columns that are scanned often.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import ViewError
+
+
+class AccessKind(enum.Enum):
+    """One observed reference to the view."""
+
+    COLUMN_SCAN = "column_scan"
+    ROW_READ = "row_read"
+    PREDICATE = "predicate"
+
+
+class LayoutAdvice(enum.Enum):
+    """Recommended primary storage organization."""
+
+    TRANSPOSED = "transposed"
+    ROW_STORE = "row_store"
+    EITHER = "either"
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's current view of the right physical design."""
+
+    layout: LayoutAdvice
+    index_attributes: tuple[str, ...]
+    compress_attributes: tuple[str, ...]
+    rationale: str
+
+
+@dataclass
+class _PredicateStats:
+    uses: int = 0
+    selectivity_sum: float = 0.0
+
+    @property
+    def mean_selectivity(self) -> float:
+        return self.selectivity_sum / self.uses if self.uses else 1.0
+
+
+class AccessAdvisor:
+    """Glean reference patterns and advise on storage (SS2.3, SS2.7).
+
+    Parameters
+    ----------
+    n_columns:
+        Width of the observed view (for the column/row cost comparison).
+    index_threshold:
+        Minimum predicate uses of one attribute before an index is worth
+        building.
+    selectivity_cutoff:
+        Indexes are only advised when the attribute's mean predicate
+        selectivity is below this fraction (a scan beats an unselective
+        index).
+    """
+
+    def __init__(
+        self,
+        n_columns: int,
+        index_threshold: int = 5,
+        selectivity_cutoff: float = 0.1,
+    ) -> None:
+        if n_columns < 1:
+            raise ViewError(f"n_columns must be >= 1, got {n_columns}")
+        self.n_columns = n_columns
+        self.index_threshold = index_threshold
+        self.selectivity_cutoff = selectivity_cutoff
+        self.column_scans: Counter[str] = Counter()
+        self.row_reads = 0
+        self._predicates: dict[str, _PredicateStats] = {}
+        self._cardinality: dict[str, int] = {}
+
+    # -- observation ----------------------------------------------------------
+
+    def observe_column_scan(self, attribute: str) -> None:
+        """One full scan of a single column."""
+        self.column_scans[attribute] += 1
+
+    def observe_row_read(self) -> None:
+        """One whole-row (informational) access."""
+        self.row_reads += 1
+
+    def observe_predicate(self, attribute: str, selectivity: float) -> None:
+        """One selection on ``attribute`` keeping ``selectivity`` of rows."""
+        if not 0.0 <= selectivity <= 1.0:
+            raise ViewError(f"selectivity must be in [0, 1], got {selectivity}")
+        stats = self._predicates.setdefault(attribute, _PredicateStats())
+        stats.uses += 1
+        stats.selectivity_sum += selectivity
+
+    def observe_cardinality(self, attribute: str, distinct: int, rows: int) -> None:
+        """Meta-data: distinct-value count of an attribute (for RLE advice)."""
+        if rows <= 0:
+            raise ViewError(f"rows must be positive, got {rows}")
+        self._cardinality[attribute] = max(1, round(rows / max(1, distinct)))
+
+    # -- advice -------------------------------------------------------------------
+
+    @property
+    def total_column_scans(self) -> int:
+        """All single-column scans observed."""
+        return sum(self.column_scans.values())
+
+    def layout_advice(self) -> LayoutAdvice:
+        """Transposed vs row store, by modelled page reads.
+
+        A column scan costs 1/n_columns of the pages transposed vs all of
+        them in a row store; a row read costs n_columns page reads
+        transposed vs 1.  Compare the two layouts on the observed mix.
+        """
+        scans = self.total_column_scans
+        rows = self.row_reads
+        transposed_cost = scans * 1.0 + rows * self.n_columns
+        row_store_cost = scans * self.n_columns + rows * 1.0
+        if transposed_cost < row_store_cost * 0.95:
+            return LayoutAdvice.TRANSPOSED
+        if row_store_cost < transposed_cost * 0.95:
+            return LayoutAdvice.ROW_STORE
+        return LayoutAdvice.EITHER
+
+    def index_advice(self) -> list[str]:
+        """Attributes whose predicate history justifies a secondary index."""
+        advised = []
+        for attribute, stats in sorted(self._predicates.items()):
+            if (
+                stats.uses >= self.index_threshold
+                and stats.mean_selectivity <= self.selectivity_cutoff
+            ):
+                advised.append(attribute)
+        return advised
+
+    def compression_advice(self, min_run: int = 4, min_scans: int = 3) -> list[str]:
+        """Frequently scanned attributes with long expected runs."""
+        advised = []
+        for attribute, run in sorted(self._cardinality.items()):
+            if run >= min_run and self.column_scans[attribute] >= min_scans:
+                advised.append(attribute)
+        return advised
+
+    def recommend(self) -> Recommendation:
+        """The full physical-design recommendation."""
+        layout = self.layout_advice()
+        indexes = tuple(self.index_advice())
+        compress = tuple(self.compression_advice())
+        scans = self.total_column_scans
+        rationale = (
+            f"{scans} column scans vs {self.row_reads} row reads over "
+            f"{self.n_columns} columns; {len(indexes)} selective predicate "
+            f"attribute(s); {len(compress)} low-cardinality scan target(s)"
+        )
+        return Recommendation(
+            layout=layout,
+            index_attributes=indexes,
+            compress_attributes=compress,
+            rationale=rationale,
+        )

@@ -1,0 +1,162 @@
+"""View sharing and duplicate-derivation detection (paper SS2.3).
+
+"A mechanism is needed to insure that an analyst does not recreate (from
+the raw database) a view that is either identical to one that has already
+been created by another analyst or which can be formed by a limited number
+of operations on an existing view.  Finally, there should be a means by
+which the results of an analyst's data editing can be made public."
+
+:class:`ViewRegistry` keeps every materialized definition; a new request is
+checked for an *identical* view (canonical-form equality) or a *derivable*
+one — the requested tree equals an existing view's tree wrapped in at most
+``max_ops`` additional select/project operations, which can then be
+evaluated against the on-disk view instead of the tape.  Publishing
+snapshots a view's cleaned data (and the history that cleaned it) for other
+analysts to adopt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import ViewError
+from repro.relational.operators import Project, Select
+from repro.relational.relation import Relation
+from repro.views.history import Operation
+from repro.views.materialize import (
+    DefNode,
+    ProjectNode,
+    SelectNode,
+    ViewDefinition,
+)
+from repro.views.view import ConcreteView
+
+
+@dataclass(frozen=True)
+class DerivationMatch:
+    """How a requested view can come from an existing one."""
+
+    existing: str  # name of the covering view
+    operations: int  # how many select/project layers must be applied
+    kind: str  # "identical" | "derivable"
+
+
+@dataclass(frozen=True)
+class PublishedEdits:
+    """An analyst's published data-checking results."""
+
+    view_name: str
+    publisher: str
+    relation: Relation  # snapshot of the cleaned data
+    operations: tuple[Operation, ...]
+
+
+class ViewRegistry:
+    """All materialized views known to the DBMS."""
+
+    def __init__(self, max_derivation_ops: int = 3) -> None:
+        self.max_derivation_ops = max_derivation_ops
+        self._views: dict[str, ConcreteView] = {}
+        self._published: dict[str, PublishedEdits] = {}
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, view: ConcreteView) -> None:
+        """Add a materialized view."""
+        if view.name in self._views:
+            raise ViewError(f"view {view.name!r} already registered")
+        self._views[view.name] = view
+
+    def unregister(self, name: str) -> None:
+        """Drop a view."""
+        if name not in self._views:
+            raise ViewError(f"no view {name!r}")
+        del self._views[name]
+
+    def get(self, name: str) -> ConcreteView:
+        """Fetch a view by name."""
+        try:
+            return self._views[name]
+        except KeyError:
+            raise ViewError(f"no view {name!r}") from None
+
+    def names(self) -> list[str]:
+        """Registered view names."""
+        return sorted(self._views)
+
+    # -- duplicate detection ----------------------------------------------------------
+
+    def find_match(self, definition: ViewDefinition) -> DerivationMatch | None:
+        """Find an existing view that is identical to, or covers, the request.
+
+        A request is *derivable* from view V when stripping at most
+        ``max_derivation_ops`` outer select/project layers from the request
+        leaves exactly V's definition tree.
+        """
+        requested = definition.canonical()
+        for name, view in self._views.items():
+            if view.definition is None:
+                continue
+            if view.definition.canonical() == requested:
+                return DerivationMatch(existing=name, operations=0, kind="identical")
+        node: DefNode = definition.root
+        stripped = 0
+        while stripped < self.max_derivation_ops and isinstance(
+            node, (SelectNode, ProjectNode)
+        ):
+            node = node.child
+            stripped += 1
+            core = node.canonical()
+            for name, view in self._views.items():
+                if view.definition is None:
+                    continue
+                if view.definition.canonical() == core:
+                    return DerivationMatch(
+                        existing=name, operations=stripped, kind="derivable"
+                    )
+        return None
+
+    def derive_from(self, definition: ViewDefinition, match: DerivationMatch) -> Relation:
+        """Evaluate a derivable request against the covering view's data
+
+        (no tape access)."""
+        base = self.get(match.existing)
+        layers: list[DefNode] = []
+        node: DefNode = definition.root
+        for _ in range(match.operations):
+            layers.append(node)
+            node = node.child  # type: ignore[attr-defined]
+        pipeline: Any = base.relation
+        for layer in reversed(layers):
+            if isinstance(layer, SelectNode):
+                pipeline = Select(pipeline, layer.predicate)
+            elif isinstance(layer, ProjectNode):
+                pipeline = Project(pipeline, list(layer.attributes))
+            else:  # pragma: no cover - find_match only strips these kinds
+                raise ViewError(f"cannot re-apply {type(layer).__name__}")
+        return Relation(definition.name, pipeline.schema, iter(pipeline))
+
+    # -- publishing ---------------------------------------------------------------------
+
+    def publish(self, view: ConcreteView, publisher: str | None = None) -> PublishedEdits:
+        """Make a view's cleaned data (and edit history) public."""
+        edits = PublishedEdits(
+            view_name=view.name,
+            publisher=publisher or view.owner,
+            relation=view.relation.copy(f"{view.name}_published"),
+            operations=tuple(view.history.operations()),
+        )
+        self._published[view.name] = edits
+        return edits
+
+    def published(self, view_name: str) -> PublishedEdits:
+        """Fetch published edits for a view."""
+        try:
+            return self._published[view_name]
+        except KeyError:
+            raise ViewError(f"no published edits for view {view_name!r}") from None
+
+    def published_names(self) -> list[str]:
+        """Views with published edits."""
+        return sorted(self._published)

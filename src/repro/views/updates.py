@@ -1,0 +1,142 @@
+"""Predicate-driven view updates (paper SS4.1).
+
+"We envision that the analyst will specify an update to the data set by
+using a predicate in a similar manner to what is currently done in
+relational systems.  Thus, the operation specifies the attributes affected
+and the nature of the update."
+
+:func:`apply_update` runs ``SET attr = value/expr WHERE predicate`` against
+a concrete view, records the operation (with old values) in the history,
+and returns per-attribute :class:`~repro.incremental.differencing.Delta`
+objects for the propagation pipeline.  :func:`invalidate_where` is the
+marking-invalid special case (new value = NA, SS3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.errors import ViewError
+from repro.incremental.differencing import Delta
+from repro.relational.expressions import Expr
+from repro.relational.types import NA
+from repro.views.history import CellChange, OpKind
+from repro.views.view import ConcreteView
+
+Assignment = Any  # a constant, an Expr, or a callable(row) -> value
+
+
+def apply_update(
+    view: ConcreteView,
+    predicate: Expr | None,
+    assignments: Mapping[str, Assignment],
+    description: str = "",
+) -> dict[str, Delta]:
+    """UPDATE view SET ... WHERE predicate.
+
+    ``assignments`` maps attribute name to a constant, an expression over
+    the row, or a Python callable receiving the row tuple.  Returns one
+    delta per updated attribute (old/new pairs), for the update propagator.
+    """
+    if not assignments:
+        raise ViewError("update requires at least one assignment")
+    schema = view.schema
+    for attr in assignments:
+        schema.index_of(attr)  # validate
+    test = predicate.bind(schema) if predicate is not None else None
+    matched_rows = [
+        i for i, row in enumerate(view.relation) if test is None or test(row)
+    ]
+    deltas: dict[str, Delta] = {}
+    for attr, assignment in assignments.items():
+        value_fn = _as_value_fn(assignment, schema)
+        changes: list[CellChange] = []
+        delta = Delta()
+        for row_index in matched_rows:
+            row = view.relation.row(row_index)
+            new_value = value_fn(row)
+            old_value = view.set_value(row_index, attr, new_value)
+            changes.append(CellChange(row=row_index, old=old_value, new=new_value))
+            delta.updates.append((old_value, new_value))
+        if changes:
+            view.history.record(
+                OpKind.UPDATE, attr, changes, description=description
+            )
+            deltas[attr] = delta
+    return deltas
+
+
+def update_rows(
+    view: ConcreteView,
+    attr: str,
+    row_values: Sequence[tuple[int, Any]],
+    description: str = "",
+) -> Delta:
+    """Point-update specific (row, new_value) pairs of one attribute."""
+    view.schema.index_of(attr)
+    changes: list[CellChange] = []
+    delta = Delta()
+    for row_index, new_value in row_values:
+        old_value = view.set_value(row_index, attr, new_value)
+        changes.append(CellChange(row=row_index, old=old_value, new=new_value))
+        delta.updates.append((old_value, new_value))
+    if changes:
+        view.history.record(OpKind.UPDATE, attr, changes, description=description)
+    return delta
+
+
+def invalidate_where(
+    view: ConcreteView,
+    predicate: Expr,
+    attr: str,
+    description: str = "mark invalid",
+) -> Delta:
+    """Mark matching values of ``attr`` as NA (missing), logged.
+
+    This is the SS3.1 operation for suspicious observations: "the value
+    must be marked as invalid -- 'missing value' in the statistics
+    vernacular".
+    """
+    return _invalidate(view, predicate=predicate, rows=None, attr=attr, description=description)
+
+
+def invalidate_rows(
+    view: ConcreteView,
+    rows: Sequence[int],
+    attr: str,
+    description: str = "mark invalid",
+) -> Delta:
+    """Mark specific rows' values of ``attr`` as NA, logged."""
+    return _invalidate(view, predicate=None, rows=rows, attr=attr, description=description)
+
+
+def _invalidate(
+    view: ConcreteView,
+    predicate: Expr | None,
+    rows: Sequence[int] | None,
+    attr: str,
+    description: str,
+) -> Delta:
+    schema = view.schema
+    schema.index_of(attr)
+    if rows is None:
+        assert predicate is not None
+        test = predicate.bind(schema)
+        rows = [i for i, row in enumerate(view.relation) if test(row)]
+    changes: list[CellChange] = []
+    delta = Delta()
+    for row_index in rows:
+        old_value = view.set_value(row_index, attr, NA)
+        changes.append(CellChange(row=row_index, old=old_value, new=NA))
+        delta.updates.append((old_value, NA))
+    if changes:
+        view.history.record(OpKind.INVALIDATE, attr, changes, description=description)
+    return delta
+
+
+def _as_value_fn(assignment: Assignment, schema: Any) -> Callable[[tuple], Any]:
+    if isinstance(assignment, Expr):
+        return assignment.bind(schema)
+    if callable(assignment):
+        return assignment
+    return lambda row: assignment

@@ -1,0 +1,174 @@
+"""Census-like synthetic data (the paper's Figure 1 world, at scale).
+
+The paper's running example is a census summary data set with category
+attributes SEX, RACE, AGE_GROUP and measures POPULATION, AVE_SALARY
+(Figure 1), decoded through the AGE_GROUP code book (Figure 2).  Real
+public-use-sample tapes are not available offline, so these generators
+produce seeded synthetic equivalents: the exact nine-row Figure 1 table,
+the full cross-product summary at configurable category cardinalities, and
+person-level microdata with injected bad values for the data-checking
+workloads (a 1,000-year-old person, negative incomes).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.metadata.codebook import CodeBook
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, AttributeRole, Schema, category, measure
+from repro.relational.types import DataType
+
+FIGURE1_ROWS = [
+    ("M", "W", 1, 12_300_347, 33_122),
+    ("M", "W", 2, 21_342_193, 25_883),
+    ("M", "W", 3, 18_989_987, 42_919),
+    ("M", "W", 4, 9_342_193, 15_110),
+    ("F", "W", 1, 15_821_497, 31_762),
+    ("F", "W", 2, 33_422_988, 29_933),
+    ("F", "W", 3, 29_734_121, 28_218),
+    ("F", "W", 4, 20_812_211, 17_498),
+    ("M", "B", 1, 2_143_924, 29_402),
+]
+
+
+def census_schema() -> Schema:
+    """The Figure 1 schema."""
+    return Schema(
+        [
+            category("SEX", DataType.STR),
+            category("RACE", DataType.STR),
+            category("AGE_GROUP", DataType.CATEGORY, codebook="AGE_GROUP"),
+            Attribute("POPULATION", DataType.INT, AttributeRole.MEASURE),
+            Attribute("AVE_SALARY", DataType.INT, AttributeRole.MEASURE),
+        ]
+    )
+
+
+def figure1_dataset(name: str = "census_fig1") -> Relation:
+    """The paper's Figure 1, verbatim."""
+    return Relation(name, census_schema(), FIGURE1_ROWS, validate=True)
+
+
+def age_group_codebook(edition: str = "1970") -> CodeBook:
+    """The paper's Figure 2 code book."""
+    return CodeBook(
+        "AGE_GROUP",
+        {1: "0 to 20", 2: "21 to 40", 3: "41 to 60", 4: "over 60"},
+        edition=edition,
+    )
+
+
+def age_group_codebook_1980() -> CodeBook:
+    """A later edition with the SS2.1 inconsistency: re-coded brackets."""
+    return CodeBook(
+        "AGE_GROUP",
+        {1: "0 to 17", 2: "18 to 39", 3: "40 to 64", 4: "65 and over", 5: "unknown"},
+        edition="1980",
+    )
+
+
+def generate_census_summary(
+    sexes: int = 2,
+    races: int = 5,
+    age_groups: int = 4,
+    regions: int = 10,
+    seed: int = 0,
+    name: str = "census_summary",
+) -> Relation:
+    """The full cross-product summary data set (SS2.1: "the number of
+
+    records ... can equal the cross product of the ranges of the category
+    attributes values")."""
+    rng = random.Random(seed)
+    schema = Schema(
+        [
+            category("SEX", DataType.STR),
+            category("RACE", DataType.CATEGORY, codebook="RACE"),
+            category("AGE_GROUP", DataType.CATEGORY, codebook="AGE_GROUP"),
+            category("REGION", DataType.CATEGORY, codebook="REGION"),
+            Attribute("POPULATION", DataType.INT, AttributeRole.MEASURE),
+            Attribute("AVE_SALARY", DataType.INT, AttributeRole.MEASURE),
+            Attribute("AVE_AGE", DataType.FLOAT, AttributeRole.MEASURE),
+        ]
+    )
+    sex_labels = ["M", "F", "U"][:sexes]
+    rows = []
+    for sex in sex_labels:
+        for race in range(1, races + 1):
+            for age_group in range(1, age_groups + 1):
+                for region in range(1, regions + 1):
+                    population = int(rng.lognormvariate(12, 1.2))
+                    salary = int(rng.gauss(28_000 + age_group * 2_500, 6_000))
+                    ave_age = 10 + age_group * 18 + rng.gauss(0, 2)
+                    rows.append(
+                        (sex, race, age_group, region, population, max(1_000, salary), ave_age)
+                    )
+    return Relation(name, schema, rows)
+
+
+def microdata_schema() -> Schema:
+    """Person-level microdata schema."""
+    return Schema(
+        [
+            Attribute("PERSON_ID", DataType.INT, AttributeRole.CATEGORY),
+            category("SEX", DataType.STR),
+            category("RACE", DataType.CATEGORY, codebook="RACE"),
+            category("REGION", DataType.CATEGORY, codebook="REGION"),
+            Attribute("AGE", DataType.INT, AttributeRole.MEASURE),
+            Attribute("INCOME", DataType.FLOAT, AttributeRole.MEASURE),
+            Attribute("HOURS_WORKED", DataType.FLOAT, AttributeRole.MEASURE),
+            Attribute("YEARS_EDUCATION", DataType.INT, AttributeRole.MEASURE),
+        ]
+    )
+
+
+def generate_microdata(
+    n: int,
+    seed: int = 0,
+    bad_value_rate: float = 0.002,
+    name: str = "census_micro",
+) -> Relation:
+    """Person-level records with a controlled rate of invalid values.
+
+    Income follows a lognormal (so medians and trimmed means differ
+    meaningfully from means); ``bad_value_rate`` of rows get a corrupt AGE
+    (e.g. 1000 — the paper's "a person's age recorded as 1,000") or a
+    negative INCOME, giving the data-checking workloads something to find.
+    """
+    rng = random.Random(seed)
+    rows = []
+    for person_id in range(n):
+        sex = "M" if rng.random() < 0.49 else "F"
+        race = rng.randint(1, 5)
+        region = rng.randint(1, 10)
+        age = min(99, max(0, int(rng.gauss(38, 18))))
+        education = min(20, max(0, int(rng.gauss(12, 3))))
+        base_income = rng.lognormvariate(10.1 + 0.03 * education, 0.7)
+        income = round(base_income, 2)
+        hours = max(0.0, min(80.0, rng.gauss(38, 10)))
+        if rng.random() < bad_value_rate:
+            if rng.random() < 0.5:
+                age = rng.choice([1000, 999, -5, 500])
+            else:
+                income = rng.choice([-1.0, -99_999.0, 9.9e9])
+        rows.append((person_id, sex, race, region, age, income, hours, education))
+    return Relation(name, microdata_schema(), rows)
+
+
+def race_codebook() -> CodeBook:
+    """A code book for the RACE attribute."""
+    return CodeBook(
+        "RACE",
+        {1: "White", 2: "Black", 3: "Asian", 4: "Native", 5: "Other"},
+        edition="1970",
+    )
+
+
+def region_codebook() -> CodeBook:
+    """A code book for the REGION attribute."""
+    return CodeBook(
+        "REGION",
+        {i: f"Region {i}" for i in range(1, 11)},
+        edition="1970",
+    )

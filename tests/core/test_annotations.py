@@ -1,0 +1,66 @@
+"""Tests for analyst annotations (SS3.2's verbal descriptions)."""
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.core.session import AnalystSession
+from repro.metadata.management import ManagementDatabase
+from repro.views.view import ConcreteView
+from repro.workloads.census import figure1_dataset
+
+
+@pytest.fixture()
+def session():
+    return AnalystSession(
+        ManagementDatabase(), ConcreteView("v", figure1_dataset())
+    )
+
+
+class TestAnnotations:
+    def test_append_and_read(self, session):
+        session.annotate("AVE_SALARY", "range-checked 1982-02-01")
+        session.annotate("AVE_SALARY", "two outliers under investigation")
+        assert session.notes("AVE_SALARY") == [
+            "range-checked 1982-02-01",
+            "two outliers under investigation",
+        ]
+
+    def test_empty_by_default(self, session):
+        assert session.notes("POPULATION") == []
+
+    def test_unknown_attribute_rejected(self, session):
+        with pytest.raises(SchemaError):
+            session.annotate("NOPE", "x")
+
+    def test_notes_survive_updates(self, session):
+        session.annotate("AVE_SALARY", "analysis half done")
+        session.compute("mean", "AVE_SALARY")
+        session.update_cells("AVE_SALARY", [(0, 30_000)])
+        # The statistic was maintained; the note was neither visited nor
+        # invalidated.
+        entry = session.view.summary.peek("__note__", "AVE_SALARY")
+        assert not entry.stale
+        assert session.notes("AVE_SALARY") == ["analysis half done"]
+
+    def test_notes_survive_undo(self, session):
+        session.annotate("POPULATION", "verified against codebook")
+        session.update_cells("POPULATION", [(0, 1)])
+        session.undo(1)
+        assert session.notes("POPULATION") == ["verified against codebook"]
+
+    def test_notes_encodable(self, session):
+        from repro.summary.entries import decode_result, encode_result
+
+        session.annotate("SEX", "categories complete")
+        entry = session.view.summary.peek("__note__", "SEX")
+        assert decode_result(encode_result(entry.result)) == ["categories complete"]
+
+
+class TestUnregisteredFunctionEntries:
+    def test_unknown_single_attr_entry_goes_stale_not_crash(self, session):
+        """Entries cached outside the function registry invalidate cleanly."""
+        session.view.summary.insert("custom_stat", "AVE_SALARY", 123.0)
+        report = session.update_cells("AVE_SALARY", [(0, 40_000)])
+        entry = session.view.summary.peek("custom_stat", "AVE_SALARY")
+        assert entry.stale
+        assert report.invalidations >= 1

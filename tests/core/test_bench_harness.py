@@ -1,0 +1,52 @@
+"""Tests for the benchmark harness's table rendering."""
+
+import pytest
+
+from repro.bench.harness import ExperimentTable, speedup
+
+
+class TestExperimentTable:
+    def test_render_shape(self):
+        table = ExperimentTable("E0", "demo", ["name", "value"])
+        table.add_row("alpha", 1.0)
+        table.add_row("beta", 123456.0)
+        text = table.render()
+        assert "=== E0: demo ===" in text
+        assert "alpha" in text and "beta" in text
+        lines = text.strip().splitlines()
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) <= 3  # header/sep/rows align
+
+    def test_arity_checked(self):
+        table = ExperimentTable("E0", "demo", ["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            table.add_row(1)
+
+    def test_notes_rendered(self):
+        table = ExperimentTable("E0", "demo", ["a"])
+        table.add_row(1)
+        table.note("something important")
+        assert "note: something important" in table.render()
+
+    def test_float_formatting(self):
+        table = ExperimentTable("E0", "demo", ["v"])
+        table.add_row(0.0)
+        table.add_row(1234567.0)
+        table.add_row(0.00001)
+        table.add_row(3.14159)
+        text = table.render()
+        assert "1.23e+06" in text
+        assert "3.142" in text
+        assert "1e-05" in text
+
+    def test_empty_table_renders(self):
+        table = ExperimentTable("E0", "empty", ["col"])
+        assert "E0" in table.render()
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10, 2) == 5.0
+
+    def test_zero_denominator(self):
+        assert speedup(10, 0) == float("inf")

@@ -1,0 +1,91 @@
+"""Tests for cached cross tabulations and the independence test wrapper."""
+
+import pytest
+
+from repro.core.session import AnalystSession
+from repro.metadata.management import ManagementDatabase
+from repro.views.view import ConcreteView
+from repro.workloads.census import figure1_dataset, generate_microdata
+
+
+@pytest.fixture()
+def session():
+    relation = generate_microdata(3000, seed=33, bad_value_rate=0.0)
+    return AnalystSession(ManagementDatabase(), ConcreteView("v", relation))
+
+
+class TestCachedCrosstab:
+    def test_miss_then_hit_identical(self, session):
+        first = session.compute_crosstab("SEX", "RACE")
+        scanned = session.stats.rows_scanned
+        second = session.compute_crosstab("SEX", "RACE")
+        assert session.stats.rows_scanned == scanned  # served from cache
+        assert session.stats.cache_hits == 1
+        assert first.row_labels == second.row_labels
+        assert first.col_labels == second.col_labels
+        assert (first.table == second.table).all()
+
+    def test_weighted_crosstab(self):
+        relation = figure1_dataset()
+        session = AnalystSession(ManagementDatabase(), ConcreteView("f1", relation))
+        table = session.compute_crosstab("RACE", "AGE_GROUP", weight_attr="POPULATION")
+        w_index = table.row_labels.index("W")
+        one_index = table.col_labels.index("1")
+        assert table.table[w_index, one_index] == 12_300_347 + 15_821_497
+
+    def test_update_invalidates(self, session):
+        before = session.compute_crosstab("SEX", "RACE")
+        # Change one person's race: the cached table must refresh.
+        old_race = session.view.relation.column("RACE")[0]
+        new_race = 1 if old_race != 1 else 2
+        session.update_cells("RACE", [(0, new_race)])
+        after = session.compute_crosstab("SEX", "RACE")
+        assert before.grand_total == after.grand_total
+        assert (before.table != after.table).any()
+
+    def test_update_to_unrelated_attribute_keeps_cache(self, session):
+        session.compute_crosstab("SEX", "RACE")
+        session.update_cells("INCOME", [(0, 1.0)])
+        scanned = session.stats.rows_scanned
+        session.compute_crosstab("SEX", "RACE")
+        assert session.stats.rows_scanned == scanned
+
+    def test_result_survives_encoding(self, session):
+        """The cached tuple round-trips the varying-length encoder."""
+        from repro.summary.entries import decode_result, encode_result
+
+        session.compute_crosstab("SEX", "RACE")
+        entry = session.view.summary.peek("crosstab", ("SEX", "RACE"))
+        decoded = decode_result(encode_result(entry.result))
+        assert decoded[0] == entry.result[0]
+        assert decoded[2] == pytest.approx(entry.result[2])
+
+
+class TestIndependence:
+    def test_planted_dependence_detected(self):
+        import random
+
+        rng = random.Random(1)
+        from repro.relational.relation import Relation
+        from repro.relational.schema import Schema, category
+        from repro.relational.types import DataType
+
+        schema = Schema(
+            [category("G", DataType.CATEGORY), category("O", DataType.CATEGORY)]
+        )
+        rows = []
+        for _ in range(3000):
+            group = rng.randrange(2)
+            outcome = int(rng.random() < (0.3 if group == 0 else 0.7))
+            rows.append((group, outcome))
+        session = AnalystSession(
+            ManagementDatabase(), ConcreteView("dep", Relation("dep", schema, rows))
+        )
+        result = session.test_independence("G", "O")
+        assert result.significant(1e-9)
+
+    def test_repeat_uses_cache(self, session):
+        session.test_independence("SEX", "REGION")
+        scanned = session.stats.rows_scanned
+        session.test_independence("SEX", "REGION")
+        assert session.stats.rows_scanned == scanned

@@ -1,0 +1,107 @@
+"""Tests for CSV import/export."""
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.io import from_csv_text, read_csv, to_csv_text, write_csv
+from repro.relational.schema import AttributeRole
+from repro.relational.types import NA, DataType
+from repro.workloads.census import figure1_dataset
+
+CSV_TEXT = """SEX,AGE,INCOME,NOTE
+M,34,51000.5,ok
+F,29,,checked
+M,NA,42000,
+"""
+
+
+class TestRead:
+    def test_type_inference(self):
+        rel = from_csv_text(CSV_TEXT)
+        assert rel.schema.attribute("SEX").dtype is DataType.STR
+        assert rel.schema.attribute("AGE").dtype is DataType.INT
+        assert rel.schema.attribute("INCOME").dtype is DataType.FLOAT
+        assert rel.schema.attribute("NOTE").dtype is DataType.STR
+
+    def test_na_parsing(self):
+        rel = from_csv_text(CSV_TEXT)
+        assert rel.row(1)[2] is NA  # empty INCOME
+        assert rel.row(2)[1] is NA  # literal NA
+        assert rel.row(2)[3] is NA  # trailing empty
+
+    def test_values(self):
+        rel = from_csv_text(CSV_TEXT)
+        assert rel.row(0) == ("M", 34, 51000.5, "ok")
+        assert len(rel) == 3
+
+    def test_category_attrs(self):
+        rel = from_csv_text(CSV_TEXT, category_attrs=["SEX", "AGE"])
+        assert rel.schema.attribute("SEX").role is AttributeRole.CATEGORY
+        # Integral categories become CATEGORY dtype.
+        assert rel.schema.attribute("AGE").dtype is DataType.CATEGORY
+
+    def test_pinned_types(self):
+        rel = from_csv_text(CSV_TEXT, types={"AGE": DataType.FLOAT})
+        assert rel.schema.attribute("AGE").dtype is DataType.FLOAT
+        assert rel.row(0)[1] == 34.0
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(SchemaError, match="fields"):
+            from_csv_text("a,b\n1,2\n3\n")
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(SchemaError, match="header"):
+            from_csv_text("")
+
+    def test_header_only(self):
+        rel = from_csv_text("a,b\n")
+        assert len(rel) == 0
+        assert rel.schema.names == ["a", "b"]
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "data.csv")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(CSV_TEXT)
+        rel = read_csv(path, name="fromfile")
+        assert rel.name == "fromfile" and len(rel) == 3
+
+
+class TestWrite:
+    def test_roundtrip_preserves_values(self):
+        original = from_csv_text(CSV_TEXT)
+        text = to_csv_text(original)
+        back = from_csv_text(text)
+        assert list(back) == list(original)
+
+    def test_figure1_roundtrip(self):
+        census = figure1_dataset()
+        back = from_csv_text(
+            to_csv_text(census), category_attrs=["SEX", "RACE", "AGE_GROUP"]
+        )
+        assert [tuple(r) for r in back] == [tuple(r) for r in census]
+
+    def test_na_token(self):
+        rel = from_csv_text(CSV_TEXT)
+        text = to_csv_text(rel, na_token="?")
+        assert ",?," in text or text.rstrip().endswith("?")
+
+    def test_write_file(self, tmp_path):
+        path = str(tmp_path / "out.csv")
+        count = write_csv(figure1_dataset(), path)
+        assert count == 9
+        assert read_csv(path).row(0)[0] == "M"
+
+
+class TestEndToEnd:
+    def test_csv_to_analysis(self):
+        """Imported data drops straight into the DBMS pipeline."""
+        from repro.core.dbms import StatisticalDBMS
+        from repro.views.materialize import SourceNode, ViewDefinition
+
+        rel = from_csv_text(CSV_TEXT, name="survey")
+        dbms = StatisticalDBMS()
+        dbms.load_raw(rel)
+        dbms.create_view(ViewDefinition("v", SourceNode("survey")))
+        session = dbms.session("v")
+        assert session.compute("count", "INCOME") == 2  # one NA skipped
+        assert session.compute("mean", "INCOME") == pytest.approx(46500.25)

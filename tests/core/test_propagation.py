@@ -1,0 +1,127 @@
+"""Tests for the update-propagation pipeline."""
+
+import pytest
+
+from repro.core.propagation import UpdatePropagator
+from repro.incremental.derived import GlobalDerivation, LocalDerivation, RefreshMode
+from repro.incremental.differencing import Delta
+from repro.metadata.management import ManagementDatabase
+from repro.relational.expressions import col
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, measure
+from repro.stats.regression import residual_computer
+from repro.summary.policies import PrecisePolicy
+from repro.views.view import ConcreteView
+
+
+@pytest.fixture()
+def setup():
+    management = ManagementDatabase()
+    schema = Schema([measure("x"), measure("y")])
+    relation = Relation("v", schema, [(float(i), 2.0 * i + 1) for i in range(50)])
+    view = ConcreteView("v", relation)
+    propagator = UpdatePropagator(management, view, PrecisePolicy())
+    return management, view, propagator
+
+
+def seed_cache(management, view, function, attr):
+    fn = management.functions.get(function)
+    maintainer = (
+        fn.make_maintainer(view.column_provider(attr)) if fn.is_incremental else None
+    )
+    return view.summary.insert(
+        function,
+        attr,
+        fn.compute(view.column(attr)),
+        maintainer=maintainer,
+    )
+
+
+def point_update(view, attr, row, new):
+    old = view.set_value(row, attr, new)
+    return Delta(updates=[(old, new)]), [row]
+
+
+class TestRuleDispatch:
+    def test_incremental_entries_updated(self, setup):
+        management, view, propagator = setup
+        seed_cache(management, view, "mean", "x")
+        seed_cache(management, view, "sum", "x")
+        delta, rows = point_update(view, "x", 0, 100.0)
+        report = propagator.propagate("x", delta, rows)
+        assert report.entries_visited == 2
+        assert report.incremental_updates == 2
+        assert view.summary.peek("mean", "x").result == pytest.approx(
+            sum(view.column("x")) / 50
+        )
+
+    def test_invalidate_rule_marks_stale(self, setup):
+        management, view, propagator = setup
+        seed_cache(management, view, "trimmed_mean", "x")  # no incremental form
+        delta, rows = point_update(view, "x", 1, -5.0)
+        report = propagator.propagate("x", delta, rows)
+        assert report.invalidations == 1
+        assert view.summary.peek("trimmed_mean", "x").stale
+
+    def test_unrelated_attribute_untouched(self, setup):
+        management, view, propagator = setup
+        seed_cache(management, view, "mean", "y")
+        delta, rows = point_update(view, "x", 0, 42.0)
+        report = propagator.propagate("x", delta, rows)
+        assert report.entries_visited == 0
+        assert not view.summary.peek("mean", "y").stale
+
+    def test_multi_attribute_entries_invalidated(self, setup):
+        management, view, propagator = setup
+        view.summary.insert("pearson", ("x", "y"), 0.99)
+        # Update via the secondary attribute too.
+        delta, rows = point_update(view, "y", 0, 42.0)
+        report = propagator.propagate("y", delta, rows)
+        assert report.invalidations == 1
+        assert view.summary.peek("pearson", ("x", "y")).stale
+
+
+class TestDerivedCascade:
+    def test_local_derivation_updated_and_its_cache_invalidated(self, setup):
+        management, view, propagator = setup
+        view.add_derived_column(LocalDerivation("double_x", col("x") * 2))
+        seed_cache(management, view, "mean", "double_x")
+        delta, rows = point_update(view, "x", 3, 100.0)
+        report = propagator.propagate("x", delta, rows)
+        assert report.derived_columns_touched == ["double_x"]
+        assert view.column("double_x")[3] == 200.0
+        assert view.summary.peek("mean", "double_x").stale
+
+    def test_global_derivation_regenerated(self, setup):
+        management, view, propagator = setup
+        view.add_derived_column(
+            GlobalDerivation(
+                "resid", ["x", "y"], residual_computer("y", ["x"]), RefreshMode.EAGER
+            )
+        )
+        delta, rows = point_update(view, "y", 5, 999.0)
+        report = propagator.propagate("y", delta, rows)
+        assert "resid" in report.derived_columns_touched
+        assert abs(view.column("resid")[5]) > 100
+
+
+class TestReports:
+    def test_pages_touched_counted(self, setup):
+        management, view, propagator = setup
+        for fn in ("mean", "min", "max", "sum", "count"):
+            seed_cache(management, view, fn, "x")
+        delta, rows = point_update(view, "x", 0, 7.0)
+        report = propagator.propagate("x", delta, rows)
+        assert report.summary_pages_touched >= 1
+
+    def test_propagate_all_merges(self, setup):
+        management, view, propagator = setup
+        seed_cache(management, view, "mean", "x")
+        seed_cache(management, view, "mean", "y")
+        dx, rx = point_update(view, "x", 0, 1.5)
+        dy, ry = point_update(view, "y", 0, 2.5)
+        report = propagator.propagate_all(
+            {"x": dx, "y": dy}, {"x": rx, "y": ry}
+        )
+        assert sorted(report.attributes) == ["x", "y"]
+        assert report.entries_visited == 2

@@ -1,0 +1,164 @@
+"""Tests for analyst sessions: the cached compute/update/undo loop."""
+
+import statistics
+
+import pytest
+
+from repro.core.errors import FunctionError
+from repro.core.session import AnalystSession
+from repro.metadata.management import ManagementDatabase
+from repro.relational.expressions import col
+from repro.relational.relation import Relation
+from repro.relational.types import is_na
+from repro.views.view import ConcreteView
+from repro.workloads.census import generate_microdata
+
+
+@pytest.fixture()
+def session():
+    management = ManagementDatabase()
+    relation = generate_microdata(2000, seed=11, bad_value_rate=0.0)
+    view = ConcreteView("income_study", relation)
+    return AnalystSession(management, view, analyst="bates")
+
+
+def true_column(session, attr):
+    return [v for v in session.view.relation.column(attr) if not is_na(v)]
+
+
+class TestCachedCompute:
+    def test_miss_then_hit(self, session):
+        first = session.compute("median", "INCOME")
+        second = session.compute("median", "INCOME")
+        assert first == second
+        assert session.stats.queries == 2
+        assert session.stats.cache_hits == 1
+        assert session.cache_stats.hits == 1
+
+    def test_hit_scans_no_rows(self, session):
+        session.compute("mean", "INCOME")
+        scanned = session.stats.rows_scanned
+        session.compute("mean", "INCOME")
+        assert session.stats.rows_scanned == scanned
+
+    def test_values_correct(self, session):
+        income = true_column(session, "INCOME")
+        assert session.compute("mean", "INCOME") == pytest.approx(statistics.fmean(income))
+        assert session.compute("median", "INCOME") == pytest.approx(statistics.median(income))
+        assert session.compute("min", "AGE") == min(true_column(session, "AGE"))
+
+    def test_quantiles(self, session):
+        import numpy as np
+
+        income = true_column(session, "INCOME")
+        assert session.compute("quantile_95", "INCOME") == pytest.approx(
+            float(np.quantile(income, 0.95))
+        )
+
+    def test_category_attribute_rejected(self, session):
+        """SS3.2: summary values of encoded categories make no sense."""
+        with pytest.raises(FunctionError, match="not meaningful"):
+            session.compute("median", "RACE")
+        # ... but counting them is fine, and force overrides.
+        session.compute("unique_count", "RACE")
+        session.compute("median", "RACE", force=True)
+
+    def test_sampled_compute_uncached(self, session):
+        full = session.compute("mean", "INCOME")
+        sampled = session.compute("mean", "INCOME", sample=0.05, seed=3)
+        assert session.stats.sampled_queries == 1
+        assert abs(sampled - full) / full < 0.25  # rough but in the ballpark
+        # Sampling never pollutes the cache.
+        assert session.view.summary.lookup("mean", "INCOME").result == pytest.approx(full)
+
+    def test_pair_functions_cached(self, session):
+        first = session.compute_pair("pearson", "INCOME", "YEARS_EDUCATION")
+        second = session.compute_pair("pearson", "INCOME", "YEARS_EDUCATION")
+        assert first == second
+        assert session.stats.cache_hits == 1
+        assert first > 0.1  # education drives income in the generator
+
+    def test_unknown_pair_function(self, session):
+        with pytest.raises(FunctionError):
+            session.compute_pair("mutual_information", "AGE", "INCOME")
+
+    def test_summary_of_block(self, session):
+        block = session.summary_of("INCOME")
+        assert set(block) >= {"count", "min", "max", "mean", "std", "median"}
+        # All cached now: repeating is free.
+        scanned = session.stats.rows_scanned
+        session.summary_of("INCOME")
+        assert session.stats.rows_scanned == scanned
+
+
+class TestUpdatePropagation:
+    def test_incremental_exactness(self, session):
+        session.compute("mean", "INCOME")
+        session.compute("std", "INCOME")
+        session.compute("median", "INCOME")
+        session.update_cells("INCOME", [(10, 99999.0), (20, 1.0)])
+        income = true_column(session, "INCOME")
+        assert session.compute("mean", "INCOME") == pytest.approx(statistics.fmean(income))
+        assert session.compute("std", "INCOME") == pytest.approx(statistics.stdev(income))
+        assert session.compute("median", "INCOME") == pytest.approx(statistics.median(income))
+        # All three answered without recomputation.
+        assert session.cache_stats.recomputations == 0
+        assert session.cache_stats.incremental_updates > 0
+
+    def test_predicate_update(self, session):
+        session.compute("max", "HOURS_WORKED")
+        report = session.update(col("HOURS_WORKED") > 70, {"HOURS_WORKED": 70.0})
+        assert report.entries_visited >= 1
+        assert session.compute("max", "HOURS_WORKED") == 70.0
+
+    def test_update_only_touches_affected_attribute(self, session):
+        session.compute("mean", "INCOME")
+        session.compute("mean", "AGE")
+        report = session.update_cells("AGE", [(0, 55)])
+        assert report.attributes == ["AGE"]
+        assert report.entries_visited == 1
+
+    def test_mark_invalid_flows_to_na_count(self, session):
+        session.compute("na_count", "AGE")
+        session.mark_invalid("AGE", predicate=col("AGE") > 80)
+        expected = sum(1 for v in session.view.relation.column("AGE") if is_na(v))
+        assert session.compute("na_count", "AGE") == expected
+        assert expected > 0
+
+    def test_pair_entries_invalidated_on_update(self, session):
+        session.compute_pair("pearson", "INCOME", "YEARS_EDUCATION")
+        session.update_cells("YEARS_EDUCATION", [(5, 20)])
+        entry = session.view.summary.peek("pearson", ("INCOME", "YEARS_EDUCATION"))
+        assert entry.stale
+        value = session.compute_pair("pearson", "INCOME", "YEARS_EDUCATION")
+        from repro.stats.correlation import pearson
+
+        assert value == pytest.approx(
+            pearson(
+                session.view.relation.column("INCOME"),
+                session.view.relation.column("YEARS_EDUCATION"),
+            )
+        )
+
+
+class TestUndo:
+    def test_undo_restores_cache_exactly(self, session):
+        before_mean = session.compute("mean", "INCOME")
+        before_median = session.compute("median", "INCOME")
+        session.update_cells("INCOME", [(3, 1.0), (4, 2.0)])
+        session.update_cells("INCOME", [(5, 3.0)])
+        session.undo(1)
+        session.undo(1)
+        assert session.compute("mean", "INCOME") == pytest.approx(before_mean)
+        assert session.compute("median", "INCOME") == pytest.approx(before_median)
+        assert session.view.version == 0
+
+    def test_undo_predicate_update(self, session):
+        original = list(session.view.relation.column("HOURS_WORKED"))
+        session.compute("mean", "HOURS_WORKED")
+        session.update(col("HOURS_WORKED") > 50, {"HOURS_WORKED": 50.0})
+        session.undo(1)
+        assert session.view.relation.column("HOURS_WORKED") == original
+        assert session.compute("mean", "HOURS_WORKED") == pytest.approx(
+            statistics.fmean(true_column(session, "HOURS_WORKED"))
+        )

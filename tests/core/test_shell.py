@@ -1,0 +1,141 @@
+"""Tests for the interactive analyst shell (driven through onecmd)."""
+
+import io
+
+import pytest
+
+from repro.core.dbms import StatisticalDBMS
+from repro.core.shell import AnalystShell
+from repro.io import write_csv
+from repro.workloads.census import figure1_dataset
+
+
+@pytest.fixture()
+def shell(tmp_path):
+    path = str(tmp_path / "census.csv")
+    write_csv(figure1_dataset(), path)
+    out = io.StringIO()
+    sh = AnalystShell(StatisticalDBMS(), stdout=out)
+    sh._csv_path = path  # type: ignore[attr-defined]
+    sh._out = out  # type: ignore[attr-defined]
+    return sh
+
+
+def output_of(shell, command):
+    shell._out.truncate(0)
+    shell._out.seek(0)
+    shell.onecmd(command)
+    return shell._out.getvalue()
+
+
+class TestLifecycle:
+    def test_load_view_open(self, shell):
+        out = output_of(shell, f"load {shell._csv_path} census")
+        assert "loaded 9 rows" in out
+        out = output_of(shell, "view study census")
+        assert "materialized" in out
+        out = output_of(shell, "open study")
+        assert "9 rows" in out and "AVE_SALARY" in out
+        out = output_of(shell, "views")
+        assert "study" in out
+
+    def test_duplicate_view_reused(self, shell):
+        output_of(shell, f"load {shell._csv_path} census")
+        output_of(shell, "view a census")
+        out = output_of(shell, "view b census")
+        assert "identical" in out
+
+    def test_quit(self, shell):
+        assert shell.onecmd("quit") is True
+        assert shell.onecmd("EOF") is True
+
+
+class TestAnalysis:
+    def setup_shell(self, shell):
+        output_of(shell, f"load {shell._csv_path} census")
+        output_of(shell, "view study census")
+        output_of(shell, "open study")
+
+    def test_stat_and_cache(self, shell):
+        self.setup_shell(shell)
+        out = output_of(shell, "stat median AVE_SALARY")
+        assert "median(AVE_SALARY) = 29402" in out
+        output_of(shell, "stat median AVE_SALARY")
+        out = output_of(shell, "cache")
+        assert "hits=1" in out
+
+    def test_sql(self, shell):
+        self.setup_shell(shell)
+        out = output_of(shell, "sql SELECT SEX, SUM(POPULATION) AS P FROM v GROUP BY SEX")
+        assert "SEX" in out and "P" in out
+
+    def test_estimate(self, shell):
+        self.setup_shell(shell)
+        output_of(shell, "stat sum AVE_SALARY")
+        output_of(shell, "stat count AVE_SALARY")
+        out = output_of(shell, "estimate mean AVE_SALARY")
+        assert "exact" in out and "sum / count" in out
+
+    def test_crosstab(self, shell):
+        self.setup_shell(shell)
+        out = output_of(shell, "crosstab SEX RACE POPULATION")
+        assert "TOTAL" in out
+
+    def test_summary(self, shell):
+        self.setup_shell(shell)
+        out = output_of(shell, "summary POPULATION")
+        assert "median" in out and "max" in out
+
+    def test_update_and_undo(self, shell):
+        self.setup_shell(shell)
+        output_of(shell, "stat mean AVE_SALARY")
+        out = output_of(shell, "set AVE_SALARY 0 40000")
+        assert "maintained incrementally" in out
+        out = output_of(shell, "stat mean AVE_SALARY")
+        changed = out
+        output_of(shell, "undo")
+        out = output_of(shell, "stat mean AVE_SALARY")
+        assert out != changed
+
+    def test_invalidate(self, shell):
+        self.setup_shell(shell)
+        output_of(shell, "invalidate AVE_SALARY 0")
+        out = output_of(shell, "stat na_count AVE_SALARY")
+        assert "= 1" in out
+
+    def test_annotate_and_notes(self, shell):
+        self.setup_shell(shell)
+        output_of(shell, "annotate AVE_SALARY checked against the 1970 code book")
+        out = output_of(shell, "notes AVE_SALARY")
+        assert "1. checked against the 1970 code book" in out
+        out = output_of(shell, "notes POPULATION")
+        assert "no notes" in out
+        assert "usage" in output_of(shell, "annotate AVE_SALARY")
+
+
+class TestErrors:
+    def test_commands_need_session(self, shell):
+        out = output_of(shell, "stat mean X")
+        assert "no open view" in out
+
+    def test_library_errors_reported(self, shell):
+        output_of(shell, f"load {shell._csv_path} census")
+        output_of(shell, "view study census")
+        output_of(shell, "open study")
+        out = output_of(shell, "stat mean NO_SUCH_ATTR")
+        assert "error:" in out
+        # RACE imports as a string measure; numeric stats fail cleanly.
+        out = output_of(shell, "stat median RACE")
+        assert "error:" in out and "non-numeric" in out
+
+    def test_bad_arguments_reported(self, shell):
+        output_of(shell, f"load {shell._csv_path} census")
+        output_of(shell, "view study census")
+        output_of(shell, "open study")
+        out = output_of(shell, "set AVE_SALARY notanumber 5")
+        assert "bad arguments" in out
+
+    def test_usage_messages(self, shell):
+        assert "usage" in output_of(shell, "load")
+        assert "usage" in output_of(shell, "view onlyname")
+        assert "usage" in output_of(shell, "open")

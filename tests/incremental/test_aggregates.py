@@ -1,0 +1,162 @@
+"""Tests for hand-built incremental aggregates."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.core.errors import StatisticsError
+from repro.incremental.aggregates import (
+    IncrementalCount,
+    IncrementalMax,
+    IncrementalMean,
+    IncrementalMin,
+    IncrementalMinMax,
+    IncrementalStd,
+    IncrementalSum,
+    IncrementalVariance,
+    IncrementalWeightedMean,
+)
+from repro.relational.types import NA, is_na
+
+DATA = [5.0, 1.0, 9.0, 3.0, 7.0]
+
+
+class TestCount:
+    def test_basic(self):
+        c = IncrementalCount()
+        c.initialize([1, NA, 2, NA])
+        assert c.value == 2
+        assert c.na_count == 2
+
+    def test_updates(self):
+        c = IncrementalCount()
+        c.initialize([1, 2])
+        c.on_update(2, NA)  # marking invalid
+        assert c.value == 1 and c.na_count == 1
+        c.on_update(NA, 5)  # restoring
+        assert c.value == 2 and c.na_count == 0
+
+
+class TestSumMeanVar:
+    def test_sum_kahan_stability(self):
+        s = IncrementalSum()
+        s.initialize([1e16, 1.0, -1e16])
+        assert s.value == 1.0
+
+    def test_mean_insert_delete(self):
+        m = IncrementalMean()
+        m.initialize(DATA)
+        m.on_insert(100.0)
+        assert m.value == pytest.approx(statistics.fmean(DATA + [100.0]))
+        m.on_delete(100.0)
+        assert m.value == pytest.approx(statistics.fmean(DATA))
+
+    def test_mean_empty(self):
+        m = IncrementalMean()
+        m.initialize([])
+        assert is_na(m.value)
+        m.on_insert(5.0)
+        m.on_delete(5.0)
+        assert is_na(m.value)
+
+    def test_variance_long_random_walk(self):
+        rng = random.Random(3)
+        v = IncrementalVariance()
+        work = [rng.gauss(0, 1) for _ in range(500)]
+        v.initialize(work)
+        for _ in range(1000):
+            i = rng.randrange(len(work))
+            new = rng.gauss(0, 1)
+            v.on_update(work[i], new)
+            work[i] = new
+        assert v.value == pytest.approx(statistics.variance(work), rel=1e-9)
+
+    def test_std(self):
+        s = IncrementalStd()
+        s.initialize(DATA)
+        assert s.value == pytest.approx(statistics.stdev(DATA))
+
+    def test_variance_below_two_na(self):
+        v = IncrementalVariance()
+        v.initialize([1.0, 2.0])
+        v.on_delete(1.0)
+        assert is_na(v.value)
+
+
+class TestMinMax:
+    def test_initial(self):
+        mm = IncrementalMinMax()
+        mm.initialize(DATA)
+        assert mm.value == (1.0, 9.0)
+
+    def test_insert_new_extremes(self):
+        mm = IncrementalMinMax()
+        mm.initialize(DATA)
+        mm.on_insert(0.5)
+        mm.on_insert(99.0)
+        assert mm.min == 0.5 and mm.max == 99.0
+
+    def test_delete_extreme_finds_next(self):
+        mm = IncrementalMinMax()
+        mm.initialize(DATA)
+        mm.on_delete(9.0)
+        assert mm.max == 7.0
+        mm.on_delete(1.0)
+        assert mm.min == 3.0
+
+    def test_duplicate_extremes(self):
+        mm = IncrementalMinMax()
+        mm.initialize([1.0, 1.0, 5.0])
+        mm.on_delete(1.0)
+        assert mm.min == 1.0  # one copy remains
+
+    def test_delete_absent_rejected(self):
+        mm = IncrementalMinMax()
+        mm.initialize(DATA)
+        with pytest.raises(StatisticsError):
+            mm.on_delete(123.0)
+
+    def test_empty(self):
+        mm = IncrementalMinMax()
+        mm.initialize([])
+        assert is_na(mm.min) and is_na(mm.max)
+        mm.on_insert(2.0)
+        mm.on_delete(2.0)
+        assert is_na(mm.min)
+
+    def test_min_max_subclasses(self):
+        lo = IncrementalMin()
+        lo.initialize(DATA)
+        assert lo.value == 1.0
+        hi = IncrementalMax()
+        hi.initialize(DATA)
+        assert hi.value == 9.0
+
+    def test_na_ignored(self):
+        mm = IncrementalMinMax()
+        mm.initialize([NA, 2.0, NA])
+        assert mm.value == (2.0, 2.0)
+
+
+class TestWeightedMean:
+    def test_basic(self):
+        wm = IncrementalWeightedMean()
+        wm.initialize([(10.0, 1.0), (20.0, 3.0)])
+        assert wm.value == pytest.approx(17.5)
+
+    def test_update_pair(self):
+        wm = IncrementalWeightedMean()
+        wm.initialize([(10.0, 1.0), (20.0, 1.0)])
+        wm.on_update((10.0, 1.0), (40.0, 1.0))
+        assert wm.value == pytest.approx(30.0)
+
+    def test_na_pairs_skipped(self):
+        wm = IncrementalWeightedMean()
+        wm.initialize([(10.0, 1.0), (NA, 5.0), (20.0, NA)])
+        assert wm.value == pytest.approx(10.0)
+
+    def test_empty_na(self):
+        wm = IncrementalWeightedMean()
+        wm.initialize([])
+        assert is_na(wm.value)

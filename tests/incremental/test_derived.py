@@ -1,0 +1,140 @@
+"""Tests for derived-column rules (local vs global, paper SS3.2)."""
+
+import math
+
+import pytest
+
+from repro.core.errors import RuleError
+from repro.incremental.derived import (
+    DerivedColumnManager,
+    GlobalDerivation,
+    LocalDerivation,
+    RefreshMode,
+)
+from repro.relational.expressions import col, func
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, measure
+from repro.relational.types import NA, DataType, is_na
+from repro.stats.regression import residual_computer
+
+
+def make_relation():
+    schema = Schema([measure("x"), measure("y"), measure("z")])
+    rows = [(float(i), 2.0 * i + 1.0, 5.0) for i in range(20)]
+    return Relation("r", schema, rows)
+
+
+class TestLocalDerivation:
+    def test_sum_of_attributes(self):
+        """The paper's example: a new column = x + y + z."""
+        rel = make_relation()
+        mgr = DerivedColumnManager(rel)
+        mgr.add(LocalDerivation("total", col("x") + col("y") + col("z")))
+        assert "total" in rel.schema
+        assert rel.column("total")[2] == 2.0 + 5.0 + 5.0
+
+    def test_log_column(self):
+        rel = make_relation()
+        mgr = DerivedColumnManager(rel)
+        mgr.add(LocalDerivation("logx", func("log", col("x") + 1)))
+        assert rel.column("logx")[0] == pytest.approx(0.0)
+        assert rel.column("logx")[9] == pytest.approx(math.log(10))
+
+    def test_point_update_recomputes_one_cell(self):
+        rel = make_relation()
+        mgr = DerivedColumnManager(rel)
+        deriv = LocalDerivation("total", col("x") + col("y"))
+        mgr.add(deriv)
+        rel.set_value(3, "x", 100.0)
+        mgr.on_base_change("x", [3])
+        assert rel.column("total")[3] == 100.0 + 7.0
+        assert deriv.stats.cell_recomputes == 1  # exactly one cell
+
+    def test_na_propagates(self):
+        rel = make_relation()
+        mgr = DerivedColumnManager(rel)
+        mgr.add(LocalDerivation("total", col("x") + col("y")))
+        rel.set_value(0, "x", NA)
+        mgr.on_base_change("x", [0])
+        assert is_na(rel.column("total")[0])
+
+    def test_requires_dependencies(self):
+        from repro.relational.expressions import Const
+
+        with pytest.raises(RuleError):
+            LocalDerivation("c", Const(5))
+
+
+class TestGlobalDerivation:
+    def test_residuals_eager(self):
+        rel = make_relation()
+        mgr = DerivedColumnManager(rel)
+        deriv = GlobalDerivation(
+            "resid", ["x", "y"], residual_computer("y", ["x"]), RefreshMode.EAGER
+        )
+        mgr.add(deriv)
+        # y is exactly linear in x, so residuals are ~0.
+        assert max(abs(v) for v in rel.column("resid")) < 1e-9
+        rel.set_value(5, "y", 999.0)
+        mgr.on_base_change("y", [5])
+        # The whole vector was regenerated (model changed).
+        assert deriv.stats.vector_regenerations == 1  # the add() itself uses initial_values
+        assert abs(rel.column("resid")[5]) > 100
+
+    def test_mark_stale_defers(self):
+        rel = make_relation()
+        mgr = DerivedColumnManager(rel)
+        deriv = GlobalDerivation(
+            "resid", ["x", "y"], residual_computer("y", ["x"]), RefreshMode.MARK_STALE
+        )
+        mgr.add(deriv)
+        rel.set_value(5, "y", 999.0)
+        mgr.on_base_change("y", [5])
+        assert deriv.stale
+        assert deriv.stats.vector_regenerations == 0
+        values = mgr.read_column("resid")  # lazy refresh happens here
+        assert not deriv.stale
+        assert deriv.stats.vector_regenerations == 1
+        assert abs(values[5]) > 100
+
+
+class TestManager:
+    def test_duplicate_rejected(self):
+        rel = make_relation()
+        mgr = DerivedColumnManager(rel)
+        mgr.add(LocalDerivation("t", col("x") + 1))
+        with pytest.raises(RuleError, match="already"):
+            mgr.add(LocalDerivation("t", col("x") + 2))
+
+    def test_unknown_dependency_rejected(self):
+        rel = make_relation()
+        mgr = DerivedColumnManager(rel)
+        from repro.core.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            mgr.add(LocalDerivation("t", col("nope") + 1))
+
+    def test_transitive_cascade(self):
+        rel = make_relation()
+        mgr = DerivedColumnManager(rel)
+        mgr.add(LocalDerivation("a1", col("x") * 2))
+        mgr.add(LocalDerivation("a2", col("a1") + 1))
+        rel.set_value(0, "x", 50.0)
+        touched = mgr.on_base_change("x", [0])
+        assert set(touched) == {"a1", "a2"}
+        assert rel.column("a2")[0] == 101.0
+
+    def test_untouched_attr_no_cascade(self):
+        rel = make_relation()
+        mgr = DerivedColumnManager(rel)
+        mgr.add(LocalDerivation("a1", col("x") * 2))
+        assert mgr.on_base_change("z", [0]) == []
+
+    def test_names_and_lookup(self):
+        rel = make_relation()
+        mgr = DerivedColumnManager(rel)
+        mgr.add(LocalDerivation("t", col("x") + 1))
+        assert mgr.names == ["t"]
+        assert mgr.derivation("t").name == "t"
+        with pytest.raises(RuleError):
+            mgr.derivation("missing")

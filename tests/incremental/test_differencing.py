@@ -1,0 +1,134 @@
+"""Tests for the finite-differencing framework."""
+
+import statistics
+
+import pytest
+
+from repro.core.errors import NotIncrementallyComputable
+from repro.incremental.differencing import (
+    DEFINITIONS,
+    AlgebraicForm,
+    Delta,
+    derive_incremental,
+)
+from repro.relational.types import NA, is_na
+
+DATA = [4.0, 8.0, 15.0, 16.0, 23.0, 42.0]
+
+
+class TestDelta:
+    def test_size(self):
+        d = Delta(inserts=[1], deletes=[2, 3], updates=[(4, 5)])
+        assert d.size == 4
+
+    def test_merge(self):
+        a = Delta(inserts=[1])
+        b = Delta(deletes=[2])
+        merged = a.merged_with(b)
+        assert merged.inserts == [1] and merged.deletes == [2]
+
+
+class TestDerivation:
+    @pytest.mark.parametrize(
+        "name,reference",
+        [
+            ("count", lambda xs: float(len(xs))),
+            ("sum", sum),
+            ("mean", statistics.fmean),
+            ("avg", statistics.fmean),
+            ("var", statistics.variance),
+            ("std", statistics.stdev),
+        ],
+    )
+    def test_initialize_matches_batch(self, name, reference):
+        inc = derive_incremental(name)
+        inc.initialize(DATA)
+        assert inc.value == pytest.approx(reference(DATA))
+
+    @pytest.mark.parametrize("name", ["mean", "var", "std", "sum"])
+    def test_updates_match_batch(self, name):
+        import random
+
+        rng = random.Random(1)
+        inc = derive_incremental(name)
+        work = list(DATA) * 20
+        inc.initialize(work)
+        reference = {
+            "mean": statistics.fmean,
+            "var": statistics.variance,
+            "std": statistics.stdev,
+            "sum": sum,
+        }[name]
+        for _ in range(100):
+            i = rng.randrange(len(work))
+            new = rng.uniform(0, 100)
+            inc.on_update(work[i], new)
+            work[i] = new
+            assert inc.value == pytest.approx(reference(work))
+
+    def test_deltas_batch_application(self):
+        inc = derive_incremental("mean")
+        inc.initialize([1.0, 2.0, 3.0])
+        value = inc.apply_delta(Delta(inserts=[6.0], deletes=[1.0]))
+        assert value == pytest.approx((2 + 3 + 6) / 3)
+
+    def test_na_ignored(self):
+        inc = derive_incremental("mean")
+        inc.initialize([1.0, NA, 3.0])
+        assert inc.value == 2.0
+        inc.on_insert(NA)
+        assert inc.value == 2.0
+        inc.on_update(NA, 5.0)  # validates a marked value being corrected
+        assert inc.value == pytest.approx(3.0)
+
+    def test_empty_is_na(self):
+        inc = derive_incremental("sum")
+        inc.initialize([])
+        assert is_na(inc.value)
+        inc = derive_incremental("var")
+        inc.initialize([5.0])
+        assert is_na(inc.value)  # ddof=1 undefined for n=1
+
+    def test_median_not_derivable(self):
+        """The paper's SS4.2 limitation: ordering-dependent functions."""
+        with pytest.raises(NotIncrementallyComputable):
+            derive_incremental("median")
+
+    def test_unknown_function(self):
+        with pytest.raises(NotIncrementallyComputable):
+            derive_incremental("kurtosis")
+
+
+class TestAlgebraicForm:
+    def test_custom_definition(self):
+        # Root mean square: sqrt(sumsq / count).
+        rms = AlgebraicForm(("sqrt", ("div", ("sumsq",), ("count",))))
+        rms.initialize([3.0, 4.0])
+        assert rms.value == pytest.approx((12.5) ** 0.5)
+
+    def test_const_arithmetic(self):
+        doubled_mean = AlgebraicForm(
+            ("mul", ("const", 2), ("div", ("sum",), ("count",)))
+        )
+        doubled_mean.initialize([1.0, 3.0])
+        assert doubled_mean.value == 4.0
+
+    def test_sqrt_of_negative_is_na(self):
+        weird = AlgebraicForm(("sqrt", ("sub", ("const", 0), ("sumsq",))))
+        weird.initialize([2.0])
+        assert is_na(weird.value)
+
+    def test_division_by_zero_na(self):
+        form = AlgebraicForm(("div", ("sum",), ("sub", ("count",), ("count",))))
+        form.initialize([1.0])
+        assert is_na(form.value)
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(NotIncrementallyComputable, match="not in the differencable"):
+            AlgebraicForm(("sort", ("sum",)))
+
+    def test_all_definitions_valid(self):
+        for name, definition in DEFINITIONS.items():
+            form = AlgebraicForm(definition)
+            form.initialize(DATA)
+            assert form.value is not None

@@ -1,0 +1,67 @@
+"""Tests for incremental frequency / mode / unique count."""
+
+import pytest
+
+from repro.core.errors import StatisticsError
+from repro.incremental.frequency import IncrementalFrequency
+from repro.relational.types import NA, is_na
+
+
+class TestFrequency:
+    def test_mode_and_counts(self):
+        f = IncrementalFrequency()
+        f.initialize([1, 2, 2, 3, 3, 3, NA])
+        assert f.mode == 3
+        assert f.unique_count == 3
+        assert f.na_count == 1
+        assert f.frequency_of(2) == 2
+
+    def test_mode_updates_on_insert(self):
+        f = IncrementalFrequency()
+        f.initialize([1, 2])
+        f.on_insert(2)
+        assert f.mode == 2
+
+    def test_mode_recovers_after_delete(self):
+        f = IncrementalFrequency()
+        f.initialize([1, 1, 1, 2, 2])
+        f.on_delete(1)
+        f.on_delete(1)
+        assert f.mode == 2
+
+    def test_delete_absent_rejected(self):
+        f = IncrementalFrequency()
+        f.initialize([1])
+        with pytest.raises(StatisticsError):
+            f.on_delete(9)
+
+    def test_na_insert_delete(self):
+        f = IncrementalFrequency()
+        f.initialize([])
+        f.on_insert(NA)
+        assert f.na_count == 1
+        f.on_delete(NA)
+        assert f.na_count == 0
+
+    def test_empty_mode_na(self):
+        f = IncrementalFrequency()
+        f.initialize([])
+        assert is_na(f.value)
+
+    def test_top_k(self):
+        f = IncrementalFrequency()
+        f.initialize(["a"] * 5 + ["b"] * 3 + ["c"])
+        assert f.top_k(2) == [("a", 5), ("b", 3)]
+
+    def test_table_copy(self):
+        f = IncrementalFrequency()
+        f.initialize([1, 1, 2])
+        table = f.table()
+        table[1] = 999
+        assert f.frequency_of(1) == 2
+
+    def test_update_protocol(self):
+        f = IncrementalFrequency()
+        f.initialize([1, 2])
+        f.on_update(1, 2)
+        assert f.mode == 2 and f.unique_count == 1

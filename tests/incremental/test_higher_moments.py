@@ -1,0 +1,125 @@
+"""Tests for the extended differencing algebra: higher moments and the
+
+geometric mean, all derived mechanically from their definitions."""
+
+import random
+
+import pytest
+import scipy.stats as ss
+
+from repro.incremental.differencing import AlgebraicForm, derive_incremental
+from repro.relational.types import NA, is_na
+from repro.stats import descriptive as d
+
+
+@pytest.fixture()
+def data():
+    rng = random.Random(9)
+    return [rng.lognormvariate(1.0, 0.5) for _ in range(2000)]
+
+
+class TestBatchAgainstScipy:
+    def test_skewness(self, data):
+        assert d.skewness(data) == pytest.approx(ss.skew(data))
+
+    def test_kurtosis(self, data):
+        assert d.kurtosis_excess(data) == pytest.approx(ss.kurtosis(data))
+
+    def test_geometric_mean(self, data):
+        assert d.geometric_mean(data) == pytest.approx(ss.gmean(data))
+
+    def test_geometric_mean_nonpositive_na(self):
+        assert is_na(d.geometric_mean([1.0, -2.0]))
+        assert is_na(d.geometric_mean([0.0]))
+
+    def test_rms(self):
+        assert d.rms([3.0, 4.0]) == pytest.approx((12.5) ** 0.5)
+
+    def test_cv(self):
+        assert d.cv([10.0, 20.0]) == pytest.approx(d.std([10.0, 20.0]) / 15.0)
+        assert is_na(d.cv([0.0, 0.0]))
+
+    def test_degenerate_na(self):
+        assert is_na(d.skewness([5.0]))
+        assert is_na(d.kurtosis_excess([5.0, 5.0]))  # zero m2
+
+
+class TestIncrementalForms:
+    @pytest.mark.parametrize(
+        "name,batch",
+        [
+            ("skewness", d.skewness),
+            ("kurtosis_excess", d.kurtosis_excess),
+            ("geometric_mean", d.geometric_mean),
+            ("rms", d.rms),
+            ("cv", d.cv),
+        ],
+    )
+    def test_tracks_updates(self, data, name, batch):
+        rng = random.Random(10)
+        work = list(data)
+        computation = derive_incremental(name)
+        computation.initialize(work)
+        assert computation.value == pytest.approx(batch(work), rel=1e-6)
+        for _ in range(300):
+            index = rng.randrange(len(work))
+            new = rng.lognormvariate(1.0, 0.5)
+            computation.on_update(work[index], new)
+            work[index] = new
+        assert computation.value == pytest.approx(batch(work), rel=1e-5)
+
+    def test_na_values_skipped(self):
+        computation = derive_incremental("skewness")
+        computation.initialize([1.0, NA, 2.0, 10.0, NA])
+        assert computation.value == pytest.approx(d.skewness([1.0, 2.0, 10.0]))
+
+    def test_geometric_mean_poisoned_by_nonpositive(self):
+        computation = derive_incremental("geometric_mean")
+        computation.initialize([1.0, 2.0, -3.0])
+        assert is_na(computation.value)
+
+    def test_pow_operator(self):
+        cube_mean = AlgebraicForm(("pow", ("div", ("sum",), ("count",)), 3))
+        cube_mean.initialize([2.0, 4.0])
+        assert cube_mean.value == 27.0
+
+    def test_pow_negative_base_fractional_exp_na(self):
+        form = AlgebraicForm(("pow", ("sum",), 0.5))
+        form.initialize([-4.0])
+        assert is_na(form.value)
+
+    def test_exp_overflow_na(self):
+        form = AlgebraicForm(("exp", ("sum",)))
+        form.initialize([1e6])
+        assert is_na(form.value)
+
+
+class TestRegistryIntegration:
+    def test_functions_registered_and_incremental(self):
+        from repro.metadata.functions import FunctionRegistry
+
+        registry = FunctionRegistry()
+        for name in ("skewness", "kurtosis_excess", "geometric_mean", "rms", "cv"):
+            fn = registry.get(name)
+            assert fn.is_incremental
+
+    def test_session_caches_higher_moments(self):
+        from repro.core.session import AnalystSession
+        from repro.metadata.management import ManagementDatabase
+        from repro.relational.relation import Relation
+        from repro.relational.schema import Schema, measure
+        from repro.views.view import ConcreteView
+
+        rng = random.Random(11)
+        relation = Relation(
+            "v",
+            Schema([measure("x")]),
+            [(rng.lognormvariate(0, 0.4),) for _ in range(500)],
+        )
+        session = AnalystSession(ManagementDatabase(), ConcreteView("v", relation))
+        before = session.compute("skewness", "x")
+        session.update_cells("x", [(0, 100.0)])
+        after = session.compute("skewness", "x")
+        assert after == pytest.approx(d.skewness(relation.column("x")), rel=1e-6)
+        assert after != before
+        assert session.cache_stats.recomputations == 0  # maintained, not redone

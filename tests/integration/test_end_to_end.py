@@ -1,0 +1,147 @@
+"""End-to-end integration: the full Figure 3 analysis lifecycle."""
+
+import statistics
+
+import pytest
+
+from repro.core.dbms import StatisticalDBMS
+from repro.relational.expressions import col
+from repro.relational.types import is_na
+from repro.stats.eda import ExploratoryAnalyzer
+from repro.views.materialize import (
+    AggregateNode,
+    JoinNode,
+    SelectNode,
+    SourceNode,
+    ViewDefinition,
+)
+from repro.relational.aggregates import AggregateSpec
+from repro.workloads.census import (
+    age_group_codebook,
+    figure1_dataset,
+    generate_microdata,
+)
+
+
+@pytest.fixture()
+def dbms():
+    db = StatisticalDBMS()
+    db.load_raw(generate_microdata(5000, seed=21, bad_value_rate=0.005))
+    db.load_raw(figure1_dataset("census_fig1"))
+    db.load_raw(age_group_codebook().to_relation())
+    db.management.codebooks.register(age_group_codebook())
+    return db
+
+
+class TestAnalysisLifecycle:
+    def test_eda_to_cda_lifecycle(self, dbms):
+        """The SS2.2 story: explore, check, invalidate, confirm — with the
+
+        Summary Database absorbing the repetition."""
+        dbms.create_view(
+            ViewDefinition("study", SourceNode("census_micro")), analyst="bates"
+        )
+        session = dbms.session("study", analyst="bates")
+        eda = ExploratoryAnalyzer(session)
+
+        # Exploration: ranges, distribution shape.
+        summary = eda.distribution_summary("INCOME")
+        assert summary["min"] < summary["median"] < summary["max"]
+        histogram = eda.histogram("AGE", bins=10)
+        assert histogram.total > 0
+
+        # Data checking: the 1000-year-old person.
+        check = eda.check_range("AGE", 0, 120)
+        assert check.suspicious_count > 0
+        session.mark_invalid("AGE", rows=list(check.suspicious))
+        assert session.compute("na_count", "AGE") == check.suspicious_count
+
+        # Outlier sweep with cached M and SD (SS3.1).
+        sweep = eda.suggest_outliers("INCOME", k=4.0)
+        assert sweep.outside_count >= 0
+
+        # Confirmatory phase: the same statistics again, nearly free.
+        scanned_before = session.stats.rows_scanned
+        eda.distribution_summary("INCOME")
+        eda.distribution_summary("INCOME")
+        assert session.stats.rows_scanned == scanned_before
+
+        # Trimmed mean bounded by the cached quantiles (SS3.1).
+        trimmed = eda.trimmed_mean("INCOME")
+        income = [v for v in session.view.relation.column("INCOME") if not is_na(v)]
+        lo = session.compute("quantile_5", "INCOME")
+        hi = session.compute("quantile_95", "INCOME")
+        kept = [v for v in income if lo <= v <= hi]
+        assert trimmed == pytest.approx(statistics.fmean(kept))
+
+    def test_figure1_decode_and_aggregate_view(self, dbms):
+        """Figures 1+2: decode through a join, then the SS2.2 coarsening."""
+        decode = ViewDefinition(
+            "decoded",
+            JoinNode(
+                SourceNode("census_fig1"),
+                SourceNode("codebook_AGE_GROUP_1970"),
+                ("AGE_GROUP",),
+                ("CATEGORY",),
+            ),
+        )
+        created = dbms.create_view(decode, analyst="boral")
+        assert "VALUE" in created.view.schema
+
+        coarse = ViewDefinition(
+            "by_race_age",
+            AggregateNode(
+                SourceNode("census_fig1"),
+                ("RACE", "AGE_GROUP"),
+                (
+                    AggregateSpec("sum", "POPULATION", "POP"),
+                    AggregateSpec(
+                        "weighted_avg", "AVE_SALARY", "SAL", weight="POPULATION"
+                    ),
+                ),
+            ),
+        )
+        created = dbms.create_view(coarse, analyst="boral")
+        assert len(created.view) == 5  # W x 4 age groups + B x 1
+
+    def test_multi_analyst_sharing(self, dbms):
+        """SS2.3: no duplicate tape materializations; published cleaning."""
+        dbms.create_view(
+            ViewDefinition("pollution_race", SourceNode("census_micro")),
+            analyst="alice",
+        )
+        # Bob asks for the same data: served without tape access.
+        creation = dbms.create_view(
+            ViewDefinition("pollution_age", SourceNode("census_micro")),
+            analyst="bob",
+        )
+        assert creation.reused is not None
+
+        # Alice cleans and publishes; Carol adopts.
+        alice = dbms.session("pollution_race", analyst="alice")
+        check = alice.mark_invalid("AGE", predicate=col("AGE") > 150)
+        dbms.publish("pollution_race", publisher="alice")
+        carol_view = dbms.adopt_published("pollution_race", "carol_study", "carol")
+        carol = dbms.session("carol_study", analyst="carol")
+        assert carol.compute("na_count", "AGE") > 0
+
+    def test_update_undo_cache_consistency_over_long_run(self, dbms):
+        import random
+
+        dbms.create_view(ViewDefinition("w", SourceNode("census_micro")), analyst="a")
+        session = dbms.session("w", analyst="a")
+        rng = random.Random(5)
+        for fn in ("mean", "std", "median", "min", "max", "quantile_95"):
+            session.compute(fn, "INCOME")
+        for step in range(30):
+            row = rng.randrange(len(session.view))
+            session.update_cells("INCOME", [(row, rng.uniform(0, 100_000))])
+            if step % 7 == 3:
+                session.undo(1)
+        income = [v for v in session.view.relation.column("INCOME") if not is_na(v)]
+        assert session.compute("mean", "INCOME") == pytest.approx(statistics.fmean(income))
+        assert session.compute("median", "INCOME") == pytest.approx(
+            statistics.median(income)
+        )
+        assert session.compute("std", "INCOME") == pytest.approx(statistics.stdev(income))
+        assert session.cache_stats.recomputations == 0  # purely incremental

@@ -1,0 +1,62 @@
+"""Integration: the SS2.2 sampling workflow against the raw tape.
+
+"The statistician may base this preliminary analysis on a set of sample
+records drawn at random" — including while the raw data streams off tape
+(reservoir sampling needs no second pass), and the later CDA phase applies
+tests "to the initial as well as other, perhaps enlarged, samples, and
+finally the entire data set."
+"""
+
+import statistics
+
+import pytest
+
+from repro.relational.types import is_na
+from repro.stats.sampling import reservoir_sample, sample_column
+from repro.views.materialize import RawDatabase, SourceNode, ViewDefinition, materialize
+from repro.workloads.census import generate_microdata
+
+
+@pytest.fixture()
+def raw():
+    db = RawDatabase()
+    db.store(generate_microdata(20_000, seed=88, bad_value_rate=0.0))
+    return db
+
+
+class TestReservoirFromTape:
+    def test_one_pass_sample_off_tape(self, raw):
+        """A k-sample of tape rows without materializing the view."""
+        relation = raw.read("census_micro")  # one sequential tape pass
+        income_index = relation.schema.index_of("INCOME")
+        stream = (row[income_index] for row in relation)
+        sample = reservoir_sample(stream, 500, seed=1)
+        assert len(sample) == 500
+        full_mean = statistics.fmean(relation.column("INCOME"))
+        sample_mean = statistics.fmean(sample)
+        assert abs(sample_mean - full_mean) / full_mean < 0.15
+
+    def test_enlarged_samples_converge(self, raw):
+        """The CDA ladder: initial sample -> enlarged sample -> full data."""
+        relation, _ = materialize(ViewDefinition("v", SourceNode("census_micro")), raw)
+        income = [v for v in relation.column("INCOME") if not is_na(v)]
+        truth = statistics.fmean(income)
+        errors = []
+        for rate in (0.01, 0.10, 1.0):
+            estimate = statistics.fmean(sample_column(income, rate, seed=7))
+            errors.append(abs(estimate - truth) / truth)
+        assert errors[2] == 0.0
+        assert errors[2] <= errors[1] <= errors[0] + 0.02  # near-monotone ladder
+
+    def test_sampled_session_compute(self, raw):
+        from repro.core.session import AnalystSession
+        from repro.metadata.management import ManagementDatabase
+        from repro.views.view import ConcreteView
+
+        relation, _ = materialize(ViewDefinition("v", SourceNode("census_micro")), raw)
+        session = AnalystSession(ManagementDatabase(), ConcreteView("v", relation))
+        full = session.compute("median", "INCOME")
+        approx = session.compute("median", "INCOME", sample=0.02, seed=3)
+        assert abs(approx - full) / full < 0.25
+        # Preliminary answers cost a fraction of the rows.
+        assert session.stats.sampled_queries == 1

@@ -1,0 +1,112 @@
+"""Tests for code books (Figure 2) and edition inconsistency detection."""
+
+import pytest
+
+from repro.core.errors import CodebookError
+from repro.metadata.codebook import CodeBook, CodeBookRegistry, detect_inconsistencies
+from repro.relational.operators import HashJoin
+from repro.relational.types import NA
+from repro.workloads.census import (
+    age_group_codebook,
+    age_group_codebook_1980,
+    figure1_dataset,
+)
+
+
+class TestCodeBook:
+    def test_decode_encode(self):
+        book = age_group_codebook()
+        assert book.decode(2) == "21 to 40"
+        assert book.encode("over 60") == 4
+
+    def test_unknown_code(self):
+        with pytest.raises(CodebookError, match="not in code book"):
+            age_group_codebook().decode(9)
+
+    def test_unknown_label(self):
+        with pytest.raises(CodebookError):
+            age_group_codebook().encode("centenarians")
+
+    def test_decode_na_rejected(self):
+        with pytest.raises(CodebookError):
+            age_group_codebook().decode(NA)
+
+    def test_decode_column(self):
+        got = age_group_codebook().decode_column([1, 1, 4])
+        assert got == ["0 to 20", "0 to 20", "over 60"]
+
+    def test_validation(self):
+        with pytest.raises(CodebookError):
+            CodeBook("x", {})
+        with pytest.raises(CodebookError):
+            CodeBook("x", {"a": "b"})  # type: ignore[dict-item]
+        with pytest.raises(CodebookError):
+            CodeBook("x", {1: ""})
+        with pytest.raises(CodebookError, match="duplicate labels"):
+            CodeBook("x", {1: "same", 2: "same"})
+
+    def test_len_repr(self):
+        book = age_group_codebook()
+        assert len(book) == 4
+        assert "AGE_GROUP" in repr(book)
+
+
+class TestRelationalDecode:
+    def test_figure2_to_relation(self):
+        rel = age_group_codebook().to_relation()
+        assert rel.schema.names == ["CATEGORY", "VALUE"]
+        assert len(rel) == 4
+
+    def test_join_decodes_figure1(self):
+        """SS2.4: 'simply being able to join the table in Figure 2 with
+
+        the table in Figure 1 to decode AGE_GROUP values'."""
+        census = figure1_dataset()
+        codes = age_group_codebook().to_relation()
+        joined = HashJoin(census, codes, ["AGE_GROUP"], ["CATEGORY"]).rows()
+        assert len(joined) == 9
+        value_index = len(census.schema) + 1
+        decoded = {row[2]: row[value_index] for row in joined}
+        assert decoded[1] == "0 to 20" and decoded[4] == "over 60"
+
+
+class TestEditions:
+    def test_detect_inconsistencies(self):
+        conflicts = detect_inconsistencies(age_group_codebook(), age_group_codebook_1980())
+        kinds = {(c.code, c.kind) for c in conflicts}
+        assert (1, "relabeled") in kinds
+        assert (5, "only_in_second") in kinds
+        assert len(conflicts) == 5  # all four relabeled + one new
+
+    def test_identical_editions_clean(self):
+        assert detect_inconsistencies(age_group_codebook(), age_group_codebook("2")) == []
+
+    def test_different_books_rejected(self):
+        other = CodeBook("RACE", {1: "x"})
+        with pytest.raises(CodebookError, match="different code books"):
+            detect_inconsistencies(age_group_codebook(), other)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        reg = CodeBookRegistry()
+        reg.register(age_group_codebook())
+        reg.register(age_group_codebook_1980())
+        assert reg.get("AGE_GROUP", "1970").decode(1) == "0 to 20"
+        assert reg.get("AGE_GROUP").edition == "1980"  # latest
+        assert reg.editions_of("AGE_GROUP") == ["1970", "1980"]
+        assert reg.names() == ["AGE_GROUP"]
+
+    def test_duplicate_edition_rejected(self):
+        reg = CodeBookRegistry()
+        reg.register(age_group_codebook())
+        with pytest.raises(CodebookError, match="already registered"):
+            reg.register(age_group_codebook())
+
+    def test_missing(self):
+        reg = CodeBookRegistry()
+        with pytest.raises(CodebookError):
+            reg.get("AGE_GROUP")
+        reg.register(age_group_codebook())
+        with pytest.raises(CodebookError):
+            reg.get("AGE_GROUP", "1999")

@@ -1,0 +1,123 @@
+"""Tests for the statistical function registry."""
+
+import pytest
+
+from repro.core.errors import FunctionError
+from repro.metadata.functions import FunctionRegistry, ResultKind
+from repro.relational.schema import category, measure
+from repro.relational.types import NA, DataType
+
+DATA = [4.0, 8.0, 15.0, 16.0, 23.0, 42.0]
+
+
+@pytest.fixture()
+def registry():
+    return FunctionRegistry()
+
+
+class TestResolution:
+    def test_known_functions_present(self, registry):
+        for name in ("min", "max", "mean", "std", "median", "count", "mode"):
+            assert name in registry
+            assert registry.get(name).name == name
+
+    def test_quantile_synthesis(self, registry):
+        fn = registry.get("quantile_95")
+        assert fn.result_kind is ResultKind.SCALAR
+        values = list(range(101))
+        assert fn.compute(values) == pytest.approx(95.0)
+
+    def test_quantile_maintainer(self, registry):
+        fn = registry.get("quantile_25")
+        maintainer = fn.make_maintainer(lambda: DATA)
+        import numpy as np
+
+        assert maintainer.value == pytest.approx(float(np.quantile(DATA, 0.25)))
+
+    def test_unknown_rejected(self, registry):
+        with pytest.raises(FunctionError, match="unknown"):
+            registry.get("kurtosis")
+        assert "kurtosis" not in registry
+
+    def test_register_custom(self, registry):
+        from repro.metadata.functions import StatFunction
+
+        registry.register(
+            StatFunction("always_seven", lambda values: 7.0, ResultKind.SCALAR)
+        )
+        assert registry.get("always_seven").compute([1]) == 7.0
+
+
+class TestComputation:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("count", 6.0),
+            ("sum", 108.0),
+            ("min", 4.0),
+            ("max", 42.0),
+            ("mean", 18.0),
+            ("unique_count", 6.0),
+        ],
+    )
+    def test_compute(self, registry, name, expected):
+        assert registry.get(name).compute(DATA) == pytest.approx(expected)
+
+    def test_na_count(self, registry):
+        assert registry.get("na_count").compute([1.0, NA, NA]) == 2.0
+
+    def test_histogram_two_vectors(self, registry):
+        edges, counts = registry.get("histogram").compute(DATA)
+        assert len(edges) == len(counts) + 1
+        assert sum(counts) == 6
+
+
+class TestMaintainers:
+    @pytest.mark.parametrize(
+        "name", ["count", "sum", "mean", "var", "std", "min", "max", "median",
+                  "mode", "unique_count", "na_count", "histogram"]
+    )
+    def test_maintainer_matches_compute(self, registry, name):
+        fn = registry.get(name)
+        assert fn.is_incremental
+        maintainer = fn.make_maintainer(lambda: DATA)
+        computed = fn.compute(DATA)
+        maintained = maintainer.value
+        if name == "histogram":
+            assert sum(maintained[1]) == sum(computed[1])
+        else:
+            assert maintained == pytest.approx(computed)
+
+    def test_non_incremental_functions(self, registry):
+        for name in ("trimmed_mean", "iqr", "mad"):
+            fn = registry.get(name)
+            assert not fn.is_incremental
+            with pytest.raises(FunctionError):
+                fn.make_maintainer(lambda: DATA)
+
+    def test_maintainer_tracks_updates(self, registry):
+        fn = registry.get("mean")
+        work = list(DATA)
+        maintainer = fn.make_maintainer(lambda: work)
+        maintainer.on_update(4.0, 10.0)
+        work[0] = 10.0
+        assert maintainer.value == pytest.approx(sum(work) / len(work))
+
+
+class TestApplicability:
+    def test_numeric_on_category_rejected(self, registry):
+        """SS3.2: the median of AGE_GROUP makes no sense."""
+        age_group = category("AGE_GROUP", DataType.CATEGORY)
+        assert not registry.get("median").applicable_to(age_group)
+        assert not registry.get("mean").applicable_to(age_group)
+
+    def test_counts_fine_on_category(self, registry):
+        age_group = category("AGE_GROUP", DataType.CATEGORY)
+        assert registry.get("count").applicable_to(age_group)
+        assert registry.get("mode").applicable_to(age_group)
+        assert registry.get("unique_count").applicable_to(age_group)
+
+    def test_measures_accept_everything(self, registry):
+        salary = measure("SALARY", DataType.FLOAT)
+        for name in registry.names():
+            assert registry.get(name).applicable_to(salary)

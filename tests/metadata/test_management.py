@@ -1,0 +1,80 @@
+"""Tests for the Management Database."""
+
+import pytest
+
+from repro.core.errors import MetadataError
+from repro.metadata.management import ManagementDatabase
+from repro.summary.policies import PrecisePolicy, TolerantPolicy
+from repro.views.history import UpdateHistory
+from repro.views.materialize import SourceNode, ViewDefinition
+
+
+def defn(name="v"):
+    return ViewDefinition(name, SourceNode("census"))
+
+
+class TestViews:
+    def test_register_and_lookup(self):
+        mdb = ManagementDatabase()
+        history = UpdateHistory("v")
+        mdb.register_view(defn(), history)
+        assert mdb.view_definition("v").canonical() == "source(census)"
+        assert mdb.view_history("v") is history
+        assert mdb.view_names() == ["v"]
+
+    def test_duplicate_rejected(self):
+        mdb = ManagementDatabase()
+        mdb.register_view(defn(), UpdateHistory("v"))
+        with pytest.raises(MetadataError, match="already"):
+            mdb.register_view(defn(), UpdateHistory("v"))
+
+    def test_drop(self):
+        mdb = ManagementDatabase()
+        mdb.register_view(defn(), UpdateHistory("v"))
+        mdb.set_policy("alice", "v", PrecisePolicy())
+        mdb.drop_view("v")
+        assert mdb.view_names() == []
+        with pytest.raises(MetadataError):
+            mdb.view_definition("v")
+
+    def test_missing_lookups(self):
+        mdb = ManagementDatabase()
+        with pytest.raises(MetadataError):
+            mdb.view_definition("x")
+        with pytest.raises(MetadataError):
+            mdb.view_history("x")
+
+
+class TestPolicies:
+    def test_specific_policy_wins(self):
+        mdb = ManagementDatabase()
+        tolerant = TolerantPolicy(max_staleness=3)
+        mdb.set_policy("alice", "v", tolerant)
+        assert mdb.policy_for("alice", "v") is tolerant
+        # Another analyst on the same view gets the default.
+        assert mdb.policy_for("bob", "v") is not tolerant
+
+    def test_default_policy(self):
+        mdb = ManagementDatabase()
+        assert mdb.policy_for("anyone", "anyview").name == "precise"
+        custom = TolerantPolicy()
+        mdb.set_default_policy(custom)
+        assert mdb.policy_for("anyone", "anyview") is custom
+
+
+class TestDescribe:
+    def test_inventory(self):
+        mdb = ManagementDatabase()
+        mdb.register_view(defn(), UpdateHistory("v"))
+        mdb.set_policy("alice", "v", PrecisePolicy())
+        info = mdb.describe()
+        assert "mean" in info["functions"]
+        assert info["rules"]["mean"] == "incremental"
+        assert info["views"] == ["v"]
+        assert info["policies"] == {"alice/v": "precise"}
+
+    def test_force_rule_mode(self):
+        from repro.metadata.rules import RuleKind
+
+        mdb = ManagementDatabase(force_rule_mode=RuleKind.INVALIDATE)
+        assert mdb.rules.describe()["mean"] == "invalidate"

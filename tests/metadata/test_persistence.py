@@ -1,0 +1,196 @@
+"""Tests for Management Database persistence."""
+
+import json
+
+import pytest
+
+from repro.core.errors import MetadataError
+from repro.metadata.management import ManagementDatabase
+from repro.metadata.persistence import (
+    defnode_from_dict,
+    defnode_to_dict,
+    definition_from_dict,
+    definition_to_dict,
+    dump_management,
+    expr_from_dict,
+    expr_to_dict,
+    history_from_dict,
+    history_to_dict,
+    load_management,
+    management_from_dict,
+    management_to_dict,
+    policy_from_dict,
+    policy_to_dict,
+    value_from_jsonable,
+    value_to_jsonable,
+)
+from repro.metadata.rules import RuleKind
+from repro.relational.aggregates import AggregateSpec
+from repro.relational.expressions import col, func
+from repro.relational.types import NA
+from repro.summary.policies import PeriodicPolicy, PrecisePolicy, TolerantPolicy
+from repro.views.history import CellChange, OpKind, UpdateHistory
+from repro.views.materialize import (
+    AggregateNode,
+    JoinNode,
+    ProjectNode,
+    SelectNode,
+    SourceNode,
+    ViewDefinition,
+)
+from repro.workloads.census import age_group_codebook
+
+
+class TestValues:
+    def test_na_roundtrip(self):
+        assert value_from_jsonable(value_to_jsonable(NA)) is NA
+
+    def test_scalars_roundtrip(self):
+        for v in (1, 2.5, "s", True, None):
+            assert value_from_jsonable(value_to_jsonable(v)) == v
+
+    def test_unpersistable_rejected(self):
+        with pytest.raises(MetadataError):
+            value_to_jsonable(object())
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            col("A") > 5,
+            (col("A") + col("B") * 2) <= 10,
+            (col("A") == "x") & ~(col("B") != 1),
+            (col("A") > 0) | col("B").is_na(),
+            col("A").is_in([1, 2, 3]),
+            col("A").between(0, 100),
+            func("log", col("A") + 1) > 2,
+        ],
+    )
+    def test_roundtrip_via_canonical(self, expr):
+        data = expr_to_dict(expr)
+        json.dumps(data)  # must be JSON-able
+        restored = expr_from_dict(data)
+        assert restored.canonical() == expr.canonical()
+
+    def test_restored_expression_evaluates(self):
+        from repro.relational.schema import Schema, measure
+
+        schema = Schema([measure("A"), measure("B")])
+        expr = (col("A") * 2 + col("B")) > 10
+        restored = expr_from_dict(expr_to_dict(expr))
+        test = restored.bind(schema)
+        assert test((5.0, 1.0)) and not test((1.0, 1.0))
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(MetadataError):
+            expr_from_dict({"node": "mystery"})
+
+
+class TestDefinitions:
+    def test_full_tree_roundtrip(self):
+        node = AggregateNode(
+            JoinNode(
+                SelectNode(SourceNode("census"), col("SEX") == "M"),
+                ProjectNode(SourceNode("codes"), ("CATEGORY", "VALUE")),
+                ("AGE_GROUP",),
+                ("CATEGORY",),
+            ),
+            ("RACE",),
+            (AggregateSpec("weighted_avg", "AVE_SALARY", "S", weight="POPULATION"),),
+        )
+        definition = ViewDefinition("v", node)
+        data = definition_to_dict(definition)
+        json.dumps(data)
+        restored = definition_from_dict(data)
+        assert restored.canonical() == definition.canonical()
+        assert restored.name == "v"
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(MetadataError):
+            defnode_from_dict({"node": "weird"})
+
+
+class TestHistories:
+    def test_roundtrip_with_na(self):
+        history = UpdateHistory("v")
+        history.record(
+            OpKind.UPDATE, "x", [CellChange(0, 1.0, 2.0), CellChange(3, NA, 5.0)]
+        )
+        history.record(OpKind.INVALIDATE, "y", [CellChange(1, 9.0, NA)])
+        data = history_to_dict(history)
+        json.dumps(data)
+        restored = history_from_dict(data)
+        assert restored.version == 2
+        ops = restored.operations()
+        assert ops[0].changes[1].old is NA
+        assert ops[1].changes[0].new is NA
+        assert ops[1].kind is OpKind.INVALIDATE
+
+    def test_restored_history_undoes(self):
+        from repro.relational.relation import Relation
+        from repro.relational.schema import Schema, measure
+
+        relation = Relation("r", Schema([measure("x")]), [(1.0,), (2.0,)])
+        history = UpdateHistory("r")
+        old = relation.set_value(0, "x", 9.0)
+        history.record(OpKind.UPDATE, "x", [CellChange(0, old, 9.0)])
+        restored = history_from_dict(history_to_dict(history))
+        restored.undo_last(relation, 1)
+        assert relation.row(0) == (1.0,)
+
+
+class TestPolicies:
+    @pytest.mark.parametrize(
+        "policy,expect",
+        [
+            (PrecisePolicy(), {"name": "precise"}),
+            (PeriodicPolicy(period=7), {"name": "periodic", "period": 7}),
+            (TolerantPolicy(max_staleness=2), {"name": "tolerant", "max_staleness": 2}),
+        ],
+    )
+    def test_roundtrip(self, policy, expect):
+        data = policy_to_dict(policy)
+        assert data == expect
+        restored = policy_from_dict(data)
+        assert restored.name == policy.name
+
+
+class TestWholeManagementDatabase:
+    def make_loaded(self):
+        management = ManagementDatabase()
+        management.rules.set_rule("median", RuleKind.INVALIDATE)
+        management.codebooks.register(age_group_codebook())
+        definition = ViewDefinition(
+            "study", SelectNode(SourceNode("census"), col("AGE") > 10)
+        )
+        history = UpdateHistory("study")
+        history.record(OpKind.UPDATE, "AGE", [CellChange(0, 5, 15)])
+        management.register_view(definition, history)
+        management.set_policy("alice", "study", TolerantPolicy(max_staleness=3))
+        management.metagraph.add_topic("demographics")
+        management.metagraph.add_attribute("AGE", "census", "demographics")
+        return management
+
+    def test_dict_roundtrip(self):
+        original = self.make_loaded()
+        data = management_to_dict(original)
+        json.dumps(data)
+        restored = management_from_dict(data)
+        assert restored.rules.describe()["median"] == "invalidate"
+        assert restored.codebooks.get("AGE_GROUP").decode(4) == "over 60"
+        assert restored.view_definition("study").canonical() == (
+            original.view_definition("study").canonical()
+        )
+        assert restored.view_history("study").version == 1
+        assert restored.policy_for("alice", "study").max_staleness == 3
+        assert restored.policy_for("bob", "study").name == "precise"
+        assert restored.metagraph.attributes_under("demographics") == ["AGE"]
+
+    def test_file_roundtrip(self, tmp_path):
+        original = self.make_loaded()
+        path = str(tmp_path / "management.json")
+        dump_management(original, path)
+        restored = load_management(path)
+        assert restored.view_names() == ["study"]
+        assert restored.describe()["rules"]["median"] == "invalidate"

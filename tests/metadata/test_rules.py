@@ -1,0 +1,108 @@
+"""Tests for update rules and the rule repository."""
+
+import pytest
+
+from repro.core.errors import RuleError
+from repro.incremental.differencing import Delta
+from repro.metadata.functions import FunctionRegistry
+from repro.metadata.rules import (
+    IncrementalRule,
+    InvalidateRule,
+    RegenerateRule,
+    RuleKind,
+    RuleRepository,
+)
+from repro.summary.entries import SummaryEntry, SummaryKey
+
+
+def make_entry(function="mean", attr="X", result=None):
+    return SummaryEntry(key=SummaryKey(function, (attr,)), result=result)
+
+
+@pytest.fixture()
+def registry():
+    return FunctionRegistry()
+
+
+class TestIncrementalRule:
+    def test_applies_delta(self, registry):
+        work = [1.0, 2.0, 3.0]
+        fn = registry.get("mean")
+        entry = make_entry(result=2.0)
+        entry.maintainer = fn.make_maintainer(lambda: work)
+        rule = IncrementalRule(fn)
+        work[0] = 7.0
+        outcome = rule.apply(entry, Delta(updates=[(1.0, 7.0)]), lambda: work)
+        assert outcome.incremental_changes == 1
+        assert entry.result == pytest.approx(4.0)
+        assert not entry.stale
+
+    def test_builds_maintainer_lazily(self, registry):
+        work = [1.0, 2.0, 3.0]
+        fn = registry.get("mean")
+        entry = make_entry(result=None)
+        rule = IncrementalRule(fn)
+        outcome = rule.apply(entry, Delta(updates=[(1.0, 1.0)]), lambda: work)
+        # No prior maintainer: the rule initialized one from current data.
+        assert outcome.recomputed
+        assert entry.maintainer is not None
+        assert entry.result == pytest.approx(2.0)
+
+    def test_rejects_non_incremental_function(self, registry):
+        with pytest.raises(RuleError, match="no incremental form"):
+            IncrementalRule(registry.get("trimmed_mean"))
+
+
+class TestRegenerateRule:
+    def test_recomputes(self, registry):
+        rule = RegenerateRule(registry.get("mean"))
+        entry = make_entry(result=99.0)
+        entry.stale = True
+        outcome = rule.apply(entry, Delta(), lambda: [2.0, 4.0])
+        assert outcome.recomputed
+        assert entry.result == 3.0
+        assert not entry.stale
+
+
+class TestInvalidateRule:
+    def test_marks_stale(self, registry):
+        rule = InvalidateRule(registry.get("mean"))
+        entry = make_entry(result=5.0)
+        outcome = rule.apply(entry, Delta(updates=[(1.0, 2.0)]), lambda: [])
+        assert outcome.marked_stale
+        assert entry.stale
+        assert entry.result == 5.0  # untouched until lazy recompute
+
+
+class TestRepository:
+    def test_defaults(self, registry):
+        repo = RuleRepository(registry)
+        assert repo.rule_for("mean").kind is RuleKind.INCREMENTAL
+        assert repo.rule_for("median").kind is RuleKind.INCREMENTAL  # manual window
+        assert repo.rule_for("trimmed_mean").kind is RuleKind.INVALIDATE
+
+    def test_force_mode(self, registry):
+        repo = RuleRepository(registry, force_mode=RuleKind.INVALIDATE)
+        assert repo.rule_for("mean").kind is RuleKind.INVALIDATE
+
+    def test_force_incremental_falls_back_to_regenerate(self, registry):
+        repo = RuleRepository(registry, force_mode=RuleKind.INCREMENTAL)
+        assert repo.rule_for("trimmed_mean").kind is RuleKind.REGENERATE
+
+    def test_override_single_function(self, registry):
+        repo = RuleRepository(registry)
+        repo.set_rule("mean", RuleKind.REGENERATE)
+        assert repo.rule_for("mean").kind is RuleKind.REGENERATE
+        assert repo.rule_for("sum").kind is RuleKind.INCREMENTAL
+
+    def test_override_validates_function(self, registry):
+        repo = RuleRepository(registry)
+        from repro.core.errors import FunctionError
+
+        with pytest.raises(FunctionError):
+            repo.set_rule("nonsense", RuleKind.INVALIDATE)
+
+    def test_describe(self, registry):
+        table = RuleRepository(registry).describe()
+        assert table["mean"] == "incremental"
+        assert table["mad"] == "invalidate"

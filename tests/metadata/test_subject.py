@@ -1,0 +1,124 @@
+"""Tests for SUBJECT-style meta-data navigation."""
+
+import pytest
+
+from repro.core.errors import MetadataError
+from repro.metadata.subject import ROOT, MetaGraph, NavigationSession
+
+
+@pytest.fixture()
+def graph():
+    g = MetaGraph()
+    g.add_topic("demographics")
+    g.add_topic("economics")
+    g.add_topic("age", parent="demographics")
+    g.add_attribute("AGE", dataset="census_micro", parent="age")
+    g.add_attribute("AGE_GROUP", dataset="census_summary", parent="age")
+    g.add_attribute("SEX", dataset="census_micro", parent="demographics")
+    g.add_attribute("INCOME", dataset="census_micro", parent="economics")
+    return g
+
+
+class TestGraph:
+    def test_children_sorted(self, graph):
+        assert graph.children(ROOT) == ["demographics", "economics"]
+        assert graph.children("demographics") == ["SEX", "age"]
+
+    def test_attributes_under(self, graph):
+        assert graph.attributes_under("demographics") == ["AGE", "AGE_GROUP", "SEX"]
+        assert graph.attributes_under("economics") == ["INCOME"]
+
+    def test_dataset_of(self, graph):
+        assert graph.dataset_of("AGE") == "census_micro"
+        with pytest.raises(MetadataError):
+            graph.dataset_of("demographics")
+
+    def test_duplicate_node_rejected(self, graph):
+        with pytest.raises(MetadataError, match="already exists"):
+            graph.add_topic("demographics")
+
+    def test_attribute_parent_must_be_topic(self, graph):
+        with pytest.raises(MetadataError, match="not a topic"):
+            graph.add_attribute("X", dataset="d", parent="AGE")
+
+    def test_dag_links_allowed(self, graph):
+        graph.link("economics", "AGE")  # age matters to economists too
+        assert "AGE" in graph.attributes_under("economics")
+
+    def test_cycles_rejected(self, graph):
+        graph.add_topic("inner", parent="demographics")
+        with pytest.raises(MetadataError, match="acyclic"):
+            graph.link("inner", "demographics")
+
+    def test_remove_node(self, graph):
+        graph.remove_node("INCOME")
+        assert graph.attributes_under("economics") == []
+        with pytest.raises(MetadataError):
+            graph.remove_node(ROOT)
+        with pytest.raises(MetadataError):
+            graph.remove_node("INCOME")
+
+
+class TestNavigation:
+    def test_descend_and_select(self, graph):
+        session = NavigationSession(graph)
+        session.descend("demographics")
+        session.descend("age")
+        added = session.select()
+        assert set(added) == {"AGE", "AGE_GROUP"}
+        assert session.path == [ROOT, "demographics", "age"]
+
+    def test_wrong_descent_rejected(self, graph):
+        session = NavigationSession(graph)
+        with pytest.raises(MetadataError, match="not a child"):
+            session.descend("age")  # two levels down
+
+    def test_ascend(self, graph):
+        session = NavigationSession(graph)
+        session.descend("demographics")
+        session.ascend()
+        assert session.position == ROOT
+        with pytest.raises(MetadataError):
+            session.ascend()
+
+    def test_select_specific(self, graph):
+        session = NavigationSession(graph)
+        session.descend("demographics")
+        assert session.select("SEX") == ["SEX"]
+        assert session.select("SEX") == []  # already selected
+
+    def test_view_requests_grouped_by_dataset(self, graph):
+        """SUBJECT 'can generate requests to the DBMS for the view
+
+        described by his path' (SS2.3)."""
+        session = NavigationSession(graph)
+        session.descend("demographics")
+        session.select()
+        session.ascend()
+        session.descend("economics")
+        session.select()
+        requests = session.view_requests()
+        by_dataset = {r.dataset: r.attributes for r in requests}
+        assert set(by_dataset) == {"census_micro", "census_summary"}
+        assert set(by_dataset["census_micro"]) == {"AGE", "SEX", "INCOME"}
+        assert by_dataset["census_summary"] == ("AGE_GROUP",)
+
+
+class TestViewRequestToDefinition:
+    def test_navigation_to_materialized_view(self, graph):
+        """SUBJECT path -> ViewRequest -> ViewDefinition -> concrete view."""
+        from repro.core.dbms import StatisticalDBMS
+        from repro.workloads.census import generate_microdata
+
+        session = NavigationSession(graph)
+        session.descend("economics")
+        session.select()
+        request = session.view_requests()[0]
+        definition = request.to_definition("econ_view")
+        assert definition.sources() == {"census_micro"}
+
+        dbms = StatisticalDBMS()
+        dbms.load_raw(generate_microdata(200, seed=9))
+        created = dbms.create_view(definition, analyst="navigator")
+        assert created.view.schema.names == list(request.attributes)
+        assert len(created.view) == 200

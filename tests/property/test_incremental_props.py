@@ -1,0 +1,186 @@
+"""Property-based tests: incremental forms always equal batch recomputation.
+
+This is the core invariant of the paper's architecture — a Summary Database
+maintained by finite differencing must never drift from what a full rescan
+would produce.
+"""
+
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.incremental.aggregates import (
+    IncrementalMean,
+    IncrementalMinMax,
+    IncrementalSum,
+    IncrementalVariance,
+)
+from repro.incremental.differencing import derive_incremental
+from repro.incremental.frequency import IncrementalFrequency
+from repro.incremental.order_stats import MedianWindow
+from repro.relational.types import NA, is_na
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+value_or_na = st.one_of(finite, st.just(NA))
+
+
+def ops_strategy():
+    """A starting column plus a sequence of (index, new value) updates."""
+    return st.tuples(
+        st.lists(value_or_na, min_size=1, max_size=60),
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=59), value_or_na),
+            max_size=40,
+        ),
+    )
+
+
+def apply_ops(computation, start, ops):
+    work = list(start)
+    computation.initialize(work)
+    for index, new in ops:
+        index %= len(work)
+        old = work[index]
+        work[index] = new
+        computation.on_update(old, new)
+    return work
+
+
+def cleaned(values):
+    return [v for v in values if not is_na(v)]
+
+
+@given(ops_strategy())
+@settings(max_examples=150, deadline=None)
+def test_mean_equals_batch(data):
+    start, ops = data
+    work = apply_ops(IncrementalMean(), start, ops)
+    computation = IncrementalMean()
+    computation.initialize([])  # reuse instance pattern is fine
+    final = apply_ops(computation, start, ops)
+    clean = cleaned(final)
+    if not clean:
+        assert is_na(computation.value)
+    else:
+        assert computation.value == pytest.approx(statistics.fmean(clean), rel=1e-9, abs=1e-6)
+
+
+@given(ops_strategy())
+@settings(max_examples=150, deadline=None)
+def test_sum_equals_batch(data):
+    start, ops = data
+    computation = IncrementalSum()
+    final = apply_ops(computation, start, ops)
+    clean = cleaned(final)
+    if not clean:
+        assert is_na(computation.value)
+    else:
+        assert computation.value == pytest.approx(sum(clean), rel=1e-9, abs=1e-6)
+
+
+@given(ops_strategy())
+@settings(max_examples=100, deadline=None)
+def test_variance_equals_batch(data):
+    start, ops = data
+    computation = IncrementalVariance()
+    final = apply_ops(computation, start, ops)
+    clean = cleaned(final)
+    if len(clean) < 2:
+        assert is_na(computation.value)
+    else:
+        expected = statistics.variance(clean)
+        # Welford downdating leaves roundoff residue relative to the largest
+        # magnitude ever processed (values later removed included).
+        seen = [abs(v) for v in start if not is_na(v)]
+        seen += [abs(v) for _, v in ops if not is_na(v)]
+        scale = max(seen) if seen else 1.0
+        assert computation.value == pytest.approx(
+            expected, rel=1e-7, abs=max(1e-4, 1e-9 * scale * scale)
+        )
+
+
+@given(ops_strategy())
+@settings(max_examples=150, deadline=None)
+def test_minmax_equals_batch(data):
+    start, ops = data
+    computation = IncrementalMinMax()
+    final = apply_ops(computation, start, ops)
+    clean = cleaned(final)
+    if not clean:
+        assert is_na(computation.min) and is_na(computation.max)
+    else:
+        assert computation.min == min(clean)
+        assert computation.max == max(clean)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=60),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=59), st.integers(min_value=0, max_value=9)
+        ),
+        max_size=40,
+    ),
+)
+@settings(max_examples=150, deadline=None)
+def test_frequency_equals_batch(start, ops):
+    from collections import Counter
+
+    computation = IncrementalFrequency()
+    final = apply_ops(computation, start, ops)
+    counts = Counter(final)
+    assert computation.unique_count == len(counts)
+    assert computation.frequency_of(5) == counts.get(5, 0)
+    if counts:
+        assert computation.frequency_of(computation.mode) == max(counts.values())
+
+
+@given(ops_strategy())
+@settings(max_examples=75, deadline=None)
+def test_median_window_equals_batch(data):
+    start, ops = data
+    work = list(start)
+    window = MedianWindow(lambda: work, window_size=16)
+    window.value  # initialize
+    for index, new in ops:
+        index %= len(work)
+        old = work[index]
+        work[index] = new
+        window.on_update(old, new)
+    clean = cleaned(work)
+    if not clean:
+        assert is_na(window.value)
+    else:
+        assert window.value == pytest.approx(statistics.median(clean), abs=1e-9)
+
+
+@given(ops_strategy())
+@settings(max_examples=75, deadline=None)
+def test_algebraic_std_equals_batch(data):
+    start, ops = data
+    computation = derive_incremental("std")
+    final = apply_ops(computation, start, ops)
+    clean = cleaned(final)
+    if len(clean) < 2:
+        # Either NA or numerically zero-ish when n=1 slips through.
+        value = computation.value
+        assert is_na(value) or abs(value) < 1e-6
+    else:
+        expected = statistics.stdev(clean)
+        # Cancellation error in the sumsq identity is relative to the
+        # largest magnitude the computation ever processed, including
+        # values later replaced.
+        seen = [abs(v) for v in start if not is_na(v)]
+        seen += [abs(v) for _, v in ops if not is_na(v)]
+        scale = max(seen) if seen else 1.0
+        value = computation.value
+        if expected < 1e-6 * scale:
+            # The algebraic sumsq identity cancels catastrophically when
+            # the spread is tiny relative to the magnitude; it may report
+            # NA (negative residue) or a small number.  This is exactly why
+            # the hand-built Welford form exists (IncrementalVariance).
+            assert is_na(value) or abs(value) <= 1e-3 * scale
+        else:
+            assert value == pytest.approx(expected, rel=1e-5, abs=1e-3)

@@ -1,0 +1,64 @@
+"""Property-based tests for consistency-policy guarantees."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.session import AnalystSession
+from repro.metadata.management import ManagementDatabase
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, measure
+from repro.relational.types import DataType
+from repro.summary.policies import PeriodicPolicy, TolerantPolicy
+
+finite = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+def make_session(values, policy):
+    schema = Schema([measure("x", DataType.FLOAT)])
+    relation = Relation("v", schema, [(v,) for v in values])
+    from repro.views.view import ConcreteView
+
+    return AnalystSession(
+        ManagementDatabase(), ConcreteView("v", relation), policy=policy
+    )
+
+
+@given(
+    st.lists(finite, min_size=3, max_size=25),
+    st.lists(st.tuples(st.integers(0, 24), finite), min_size=1, max_size=30),
+    st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=60, deadline=None)
+def test_tolerant_staleness_is_bounded(start, updates, bound):
+    """A TOLERANT(k) answer never lags the view by more than k updates:
+
+    either pending_updates <= k, or the served value is freshly exact."""
+    session = make_session(start, TolerantPolicy(max_staleness=bound))
+    session.compute("mean", "x")
+    for index, value in updates:
+        session.update_cells("x", [(index % len(start), value)])
+        served = session.compute("mean", "x")
+        entry = session.view.summary.peek("mean", "x")
+        assert entry.pending_updates <= bound
+        if entry.pending_updates == 0:
+            column = session.view.relation.column("x")
+            assert served == pytest.approx(sum(column) / len(column))
+
+
+@given(
+    st.lists(finite, min_size=3, max_size=25),
+    st.lists(st.tuples(st.integers(0, 24), finite), min_size=1, max_size=30),
+    st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_periodic_incremental_functions_always_exact(start, updates, period):
+    """Incrementally maintainable functions stay exact under PERIODIC —
+
+    only expensive regenerating rules batch their refreshes."""
+    session = make_session(start, PeriodicPolicy(period=period))
+    session.compute("mean", "x")
+    for index, value in updates:
+        session.update_cells("x", [(index % len(start), value)])
+    column = session.view.relation.column("x")
+    assert session.compute("mean", "x") == pytest.approx(sum(column) / len(column))

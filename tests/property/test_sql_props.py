@@ -1,0 +1,72 @@
+"""Property-based tests for the SQL surface and result encoders."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ReproError
+from repro.relational.sql import parse
+from repro.relational.types import NA
+from repro.summary.entries import decode_result, encode_result
+
+
+@given(st.text(max_size=120))
+@settings(max_examples=200, deadline=None)
+def test_parser_never_crashes_ungracefully(text):
+    """Arbitrary garbage either parses or raises a library error — never
+
+    an uncontrolled exception (the 'errors should never pass silently'
+    contract of the query surface)."""
+    try:
+        parse(text)
+    except ReproError:
+        pass
+
+
+identifier = st.from_regex(r"[A-Za-z_][A-Za-z_0-9]{0,10}", fullmatch=True).filter(
+    lambda s: s.upper()
+    not in {
+        "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "LIMIT", "JOIN",
+        "ON", "AND", "OR", "NOT", "IN", "BETWEEN", "AS", "DESC", "ASC",
+        "DISTINCT", "IS", "NA", "NULL", "HAVING", "COUNT", "SUM", "AVG",
+        "MEAN", "MIN", "MAX", "MEDIAN", "STD", "VAR", "WEIGHTED_AVG",
+    }
+)
+
+
+@given(
+    st.lists(identifier, min_size=1, max_size=4, unique=True),
+    identifier,
+    st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=100, deadline=None)
+def test_wellformed_selects_parse(columns, table, limit):
+    text = f"SELECT {', '.join(columns)} FROM {table} LIMIT {limit}"
+    query = parse(text)
+    assert query.table == table
+    assert [item.name for item in query.select] == columns
+    assert query.limit == limit
+
+
+result_value = st.one_of(
+    st.just(NA),
+    st.integers(min_value=-(2**50), max_value=2**50),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+    st.lists(
+        st.one_of(st.floats(allow_nan=False, allow_infinity=False, width=32), st.just(NA)),
+        max_size=30,
+    ),
+)
+
+
+@given(result_value)
+@settings(max_examples=200, deadline=None)
+def test_summary_result_encoding_roundtrip(value):
+    decoded = decode_result(encode_result(value))
+    if isinstance(value, list):
+        assert decoded == value
+    elif value is NA:
+        assert decoded is NA
+    else:
+        assert decoded == value

@@ -1,0 +1,123 @@
+"""Property-based tests for storage-layer invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.types import NA, DataType
+from repro.storage import compression as comp
+from repro.storage.btree import BPlusTree
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pager import BufferPool
+from repro.storage.records import RecordCodec
+from repro.storage.transposed import TransposedFile
+
+ints_with_na = st.lists(
+    st.one_of(st.integers(min_value=-(2**31), max_value=2**31), st.just(NA)),
+    min_size=1,
+    max_size=200,
+)
+
+
+@given(ints_with_na)
+@settings(max_examples=100, deadline=None)
+def test_rle_bytes_roundtrip(values):
+    buf = comp.rle_encode_bytes(values, DataType.INT)
+    assert comp.rle_decode_bytes(buf, DataType.INT) == values
+
+
+@given(st.lists(st.one_of(st.text(max_size=8), st.just(NA)), min_size=1, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_rle_string_roundtrip(values):
+    buf = comp.rle_encode_bytes(values, DataType.STR)
+    assert comp.rle_decode_bytes(buf, DataType.STR) == values
+
+
+@given(ints_with_na)
+@settings(max_examples=100, deadline=None)
+def test_dict_roundtrip(values):
+    dictionary, codes = comp.dict_encode(values)
+    assert comp.dict_decode(dictionary, codes) == values
+
+
+@given(st.lists(st.integers(min_value=-(2**40), max_value=2**40), min_size=1, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_delta_roundtrip(values):
+    assert comp.delta_decode(comp.delta_encode(values)) == values
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.one_of(st.integers(min_value=-(2**40), max_value=2**40), st.just(NA)),
+            st.one_of(
+                st.floats(allow_nan=False, allow_infinity=False, width=32),
+                st.just(NA),
+            ),
+            st.one_of(st.text(max_size=20), st.just(NA)),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_record_codec_roundtrip(rows):
+    codec = RecordCodec([DataType.INT, DataType.FLOAT, DataType.STR])
+    for row in rows:
+        decoded, _ = codec.decode(codec.encode(row))
+        assert decoded == row
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete"]),
+            st.integers(min_value=0, max_value=50),
+        ),
+        max_size=150,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_btree_matches_dict_model(operations):
+    tree = BPlusTree(order=4)
+    model: dict[int, list[int]] = {}
+    counter = 0
+    for op, key in operations:
+        if op == "insert":
+            counter += 1
+            tree.insert(key, counter)
+            model.setdefault(key, []).append(counter)
+        else:
+            removed = tree.delete(key)
+            expected = len(model.pop(key, []))
+            assert removed == expected
+    for key, values in model.items():
+        assert tree.search(key) == values
+    assert [k for k, _ in tree.items()] == sorted(
+        k for k, vs in model.items() for _ in vs
+    )
+    assert len(tree) == sum(len(vs) for vs in model.values())
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            st.just(NA),
+        ),
+        min_size=1,
+        max_size=300,
+    ),
+    st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=50, deadline=None)
+def test_transposed_file_column_roundtrip(values, pool_pages):
+    disk = SimulatedDisk(block_size=128)
+    pool = BufferPool(disk, capacity=pool_pages)
+    tf = TransposedFile(pool, [DataType.FLOAT])
+    for v in values:
+        tf.append_row((v,))
+    assert list(tf.scan_column(0)) == values
+    # Point reads agree with the scan at sampled positions.
+    for row in range(0, len(values), max(1, len(values) // 7)):
+        assert tf.get_value(row, 0) == values[row]

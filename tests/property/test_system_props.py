@@ -1,0 +1,129 @@
+"""Property-based tests for system-level invariants: cache consistency
+
+under arbitrary update/undo interleavings, history reversibility, and
+relational algebra equivalences."""
+
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.session import AnalystSession
+from repro.metadata.management import ManagementDatabase
+from repro.relational.expressions import col
+from repro.relational.operators import HashJoin, Select, SortMergeJoin
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, measure
+from repro.relational.types import NA, DataType, is_na
+from repro.views.view import ConcreteView
+
+finite = st.floats(min_value=-1e5, max_value=1e5, allow_nan=False)
+
+
+def make_session(values):
+    schema = Schema([measure("x", DataType.FLOAT)])
+    relation = Relation("v", schema, [(v,) for v in values])
+    view = ConcreteView("v", relation)
+    return AnalystSession(ManagementDatabase(), view, analyst="p")
+
+
+action = st.one_of(
+    st.tuples(st.just("update"), st.integers(min_value=0, max_value=999), finite),
+    st.tuples(st.just("invalidate"), st.integers(min_value=0, max_value=999), st.none()),
+    st.tuples(st.just("undo"), st.none(), st.none()),
+)
+
+
+@given(
+    st.lists(st.one_of(finite, st.just(NA)), min_size=2, max_size=40),
+    st.lists(action, max_size=25),
+)
+@settings(max_examples=60, deadline=None)
+def test_cache_never_drifts_from_batch(start, actions):
+    """Whatever interleaving of updates, invalidations, and undos happens,
+
+    cached mean/median/min/max must equal a fresh full recomputation."""
+    session = make_session(start)
+    for fn in ("mean", "median", "min", "max", "count"):
+        session.compute(fn, "x")
+    applied = 0
+    for kind, index, value in actions:
+        if kind == "update":
+            session.update_cells("x", [(index % len(start), value)])
+            applied += 1
+        elif kind == "invalidate":
+            session.mark_invalid("x", rows=[index % len(start)])
+            applied += 1
+        elif kind == "undo" and applied > 0:
+            session.undo(1)
+            applied -= 1
+    column = session.view.relation.column("x")
+    clean = [v for v in column if not is_na(v)]
+    assert session.compute("count", "x") == len(clean)
+    if clean:
+        assert session.compute("mean", "x") == pytest.approx(
+            statistics.fmean(clean), rel=1e-9, abs=1e-6
+        )
+        assert session.compute("median", "x") == pytest.approx(
+            statistics.median(clean), abs=1e-9
+        )
+        assert session.compute("min", "x") == min(clean)
+        assert session.compute("max", "x") == max(clean)
+    else:
+        assert is_na(session.compute("mean", "x"))
+
+
+@given(
+    st.lists(st.one_of(finite, st.just(NA)), min_size=1, max_size=30),
+    st.lists(st.tuples(st.integers(min_value=0, max_value=29), finite), min_size=1, max_size=15),
+)
+@settings(max_examples=60, deadline=None)
+def test_full_undo_restores_pristine_state(start, updates):
+    """Undoing everything returns the data to its original values."""
+    session = make_session(start)
+    for index, value in updates:
+        session.update_cells("x", [(index % len(start), value)])
+    session.undo(len(updates))
+    restored = [row[0] for row in session.view.relation]
+    for original, now in zip(start, restored):
+        if is_na(original):
+            assert is_na(now)
+        else:
+            assert now == original
+    assert session.view.version == 0
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 8), finite), max_size=30),
+    st.lists(st.tuples(st.integers(0, 8), finite), max_size=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_join_algorithms_agree(left_rows, right_rows):
+    left = Relation(
+        "l",
+        Schema([measure("k", DataType.INT), measure("a", DataType.FLOAT)]),
+        left_rows,
+    )
+    right = Relation(
+        "r",
+        Schema([measure("k2", DataType.INT), measure("b", DataType.FLOAT)]),
+        right_rows,
+    )
+    hash_result = sorted(HashJoin(left, right, ["k"], ["k2"]).rows())
+    merge_result = sorted(SortMergeJoin(left, right, ["k"], ["k2"]).rows())
+    assert hash_result == merge_result
+
+
+@given(st.lists(st.one_of(finite, st.just(NA)), max_size=40), finite)
+@settings(max_examples=60, deadline=None)
+def test_select_partition(values, threshold):
+    """select(p) and select(not p) partition the non-NA-comparable rows."""
+    relation = Relation(
+        "r", Schema([measure("x", DataType.FLOAT)]), [(v,) for v in values]
+    )
+    predicate = col("x") > threshold
+    matching = Select(relation, predicate).rows()
+    complement = Select(relation, ~predicate).rows()
+    assert len(matching) + len(complement) == len(values)
+    assert all(row[0] > threshold for row in matching)

@@ -1,0 +1,133 @@
+"""Tests for group-by and aggregate functions."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.relational.aggregates import (
+    AggregateSpec,
+    GroupBy,
+    agg_avg,
+    agg_count,
+    agg_count_distinct,
+    agg_max,
+    agg_median,
+    agg_min,
+    agg_std,
+    agg_sum,
+    agg_var,
+    weighted_avg,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, category, measure
+from repro.relational.types import NA, DataType, is_na
+from repro.workloads.census import figure1_dataset
+
+
+class TestScalarAggregates:
+    def test_count_skips_na(self):
+        assert agg_count([1, NA, 3]) == 2
+
+    def test_sum_avg(self):
+        assert agg_sum([1, 2, NA]) == 3
+        assert agg_avg([1, 2, 3, NA]) == 2
+
+    def test_empty_group_na(self):
+        assert is_na(agg_sum([NA]))
+        assert is_na(agg_avg([]))
+        assert is_na(agg_min([]))
+
+    def test_min_max(self):
+        assert agg_min([3, 1, NA, 2]) == 1
+        assert agg_max([3, 1, NA, 2]) == 3
+
+    def test_median_odd_even(self):
+        assert agg_median([3, 1, 2]) == 2
+        assert agg_median([4, 1, 2, 3]) == 2.5
+
+    def test_var_std(self):
+        assert agg_var([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(32 / 7)
+        assert agg_std([1, 1]) == 0
+        assert is_na(agg_var([1]))
+
+    def test_count_distinct(self):
+        assert agg_count_distinct([1, 1, 2, NA, NA]) == 2
+
+    def test_weighted_avg(self):
+        assert weighted_avg([10, 20], [1, 3]) == pytest.approx(17.5)
+        assert weighted_avg([10, NA], [1, 3]) == 10
+        assert is_na(weighted_avg([], []))
+
+
+class TestGroupBy:
+    def test_figure1_coarsening(self):
+        """The paper's SS2.2 example: collapse M/F per RACE/AGE_GROUP with
+
+        summed population and population-weighted salary."""
+        census = figure1_dataset()
+        out = GroupBy(
+            census,
+            ["RACE", "AGE_GROUP"],
+            [
+                AggregateSpec("sum", "POPULATION", "POP"),
+                AggregateSpec("weighted_avg", "AVE_SALARY", "SAL", weight="POPULATION"),
+            ],
+        )
+        rows = {(r[0], r[1]): (r[2], r[3]) for r in out}
+        pop, sal = rows[("W", 1)]
+        assert pop == 12_300_347 + 15_821_497
+        expected = (12_300_347 * 33_122 + 15_821_497 * 31_762) / pop
+        assert sal == pytest.approx(expected)
+        # The lone (B, 1) partition passes through unchanged.
+        assert rows[("B", 1)][0] == 2_143_924
+
+    def test_grand_total_no_keys(self):
+        census = figure1_dataset()
+        out = list(GroupBy(census, [], [AggregateSpec("count", None, "n")]))
+        assert out == [(9,)]
+
+    def test_count_star_vs_count_attr(self):
+        schema = Schema([category("g", DataType.INT), measure("v", DataType.FLOAT)])
+        data = Relation("d", schema, [(1, 1.0), (1, NA), (2, 2.0)])
+        out = list(
+            GroupBy(
+                data,
+                ["g"],
+                [
+                    AggregateSpec("count_star", None, "rows"),
+                    AggregateSpec("count", "v", "values"),
+                ],
+            )
+        )
+        assert out == [(1, 2, 1), (2, 1, 1)]
+
+    def test_group_order_is_first_seen(self):
+        schema = Schema([category("g", DataType.INT), measure("v", DataType.FLOAT)])
+        data = Relation("d", schema, [(2, 1.0), (1, 1.0), (2, 3.0)])
+        out = list(GroupBy(data, ["g"], [AggregateSpec("sum", "v", "s")]))
+        assert [r[0] for r in out] == [2, 1]
+
+    def test_output_schema(self):
+        census = figure1_dataset()
+        gb = GroupBy(census, ["SEX"], [AggregateSpec("avg", "AVE_SALARY", "a")])
+        assert gb.schema.names == ["SEX", "a"]
+        assert gb.schema.attribute("a").dtype is DataType.FLOAT
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(QueryError, match="unknown aggregate"):
+            GroupBy(figure1_dataset(), [], [AggregateSpec("mystery", "SEX", "x")])
+
+    def test_weighted_avg_requires_weight(self):
+        with pytest.raises(QueryError, match="weight"):
+            GroupBy(
+                figure1_dataset(),
+                [],
+                [AggregateSpec("weighted_avg", "AVE_SALARY", "x")],
+            )
+
+    def test_attr_required_for_most(self):
+        with pytest.raises(QueryError, match="requires an attribute"):
+            GroupBy(figure1_dataset(), [], [AggregateSpec("sum", None, "x")])
+
+    def test_needs_at_least_one_spec(self):
+        with pytest.raises(QueryError):
+            GroupBy(figure1_dataset(), ["SEX"], [])

@@ -1,0 +1,63 @@
+"""Tests for the relation catalog."""
+
+import pytest
+
+from repro.core.errors import CatalogError
+from repro.relational.catalog import Catalog
+from repro.workloads.census import figure1_dataset
+
+
+class TestCatalog:
+    def test_register_and_get(self):
+        cat = Catalog()
+        rel = figure1_dataset()
+        cat.register(rel)
+        assert cat.get("census_fig1") is rel
+
+    def test_register_under_alias(self):
+        cat = Catalog()
+        cat.register(figure1_dataset(), "alias")
+        assert "alias" in cat
+
+    def test_duplicate_rejected(self):
+        cat = Catalog()
+        cat.register(figure1_dataset())
+        with pytest.raises(CatalogError, match="already"):
+            cat.register(figure1_dataset())
+
+    def test_replace_overwrites(self):
+        cat = Catalog()
+        cat.register(figure1_dataset())
+        cat.replace(figure1_dataset("census_fig1"))
+        assert len(cat.names()) == 1
+
+    def test_unregister(self):
+        cat = Catalog()
+        cat.register(figure1_dataset())
+        cat.unregister("census_fig1")
+        assert "census_fig1" not in cat
+        with pytest.raises(CatalogError):
+            cat.unregister("census_fig1")
+
+    def test_missing_get(self):
+        with pytest.raises(CatalogError, match="no relation"):
+            Catalog().get("x")
+
+    def test_names_sorted(self):
+        cat = Catalog()
+        cat.register(figure1_dataset("b"), "b")
+        cat.register(figure1_dataset("a"), "a")
+        assert cat.names() == ["a", "b"]
+
+    def test_indexes(self):
+        cat = Catalog()
+        cat.register(figure1_dataset())
+        cat.register_index("census_fig1", "SEX", {"M": [0]})
+        assert cat.index_for("census_fig1", "SEX") == {"M": [0]}
+        assert cat.index_for("census_fig1", "RACE") is None
+        cat.unregister("census_fig1")
+        assert cat.index_for("census_fig1", "SEX") is None
+
+    def test_index_requires_relation(self):
+        with pytest.raises(CatalogError):
+            Catalog().register_index("missing", "x", object())

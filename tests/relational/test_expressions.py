@@ -1,0 +1,145 @@
+"""Tests for the expression language."""
+
+import pytest
+
+from repro.core.errors import ExpressionError
+from repro.relational.expressions import Col, Const, col, func
+from repro.relational.schema import Schema, measure
+from repro.relational.types import NA, is_na
+
+SCHEMA = Schema([measure("a"), measure("b"), measure("c")])
+
+
+def run(expr, row):
+    return expr.bind(SCHEMA)(row)
+
+
+class TestBasics:
+    def test_col(self):
+        assert run(col("b"), (1, 2, 3)) == 2
+
+    def test_const(self):
+        assert run(Const(42), (0, 0, 0)) == 42
+
+    def test_unknown_column(self):
+        from repro.core.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            col("zzz").bind(SCHEMA)
+
+    def test_empty_col_name_rejected(self):
+        with pytest.raises(ExpressionError):
+            Col("")
+
+    def test_columns_tracking(self):
+        expr = (col("a") + col("b")) > col("c")
+        assert expr.columns() == {"a", "b", "c"}
+
+
+class TestArithmetic:
+    def test_operators(self):
+        assert run(col("a") + col("b"), (1, 2, 0)) == 3
+        assert run(col("a") - 1, (5, 0, 0)) == 4
+        assert run(col("a") * 3, (2, 0, 0)) == 6
+        assert run(col("a") / 2, (5, 0, 0)) == 2.5
+
+    def test_reflected(self):
+        assert run(10 - col("a"), (3, 0, 0)) == 7
+        assert run(2 * col("a"), (3, 0, 0)) == 6
+
+    def test_division_by_zero_is_na(self):
+        assert is_na(run(col("a") / col("b"), (1, 0, 0)))
+
+    def test_na_propagates(self):
+        assert is_na(run(col("a") + 1, (NA, 0, 0)))
+        assert is_na(run(col("a") * col("b"), (1, NA, 0)))
+
+    def test_unknown_op_rejected(self):
+        from repro.relational.expressions import Arith
+
+        with pytest.raises(ExpressionError):
+            Arith("%", Const(1), Const(2))
+
+
+class TestFunctions:
+    def test_log(self):
+        import math
+
+        assert run(func("log", col("a")), (math.e, 0, 0)) == pytest.approx(1.0)
+
+    def test_sqrt_abs_exp(self):
+        assert run(func("sqrt", col("a")), (9, 0, 0)) == 3
+        assert run(func("abs", col("a")), (-4, 0, 0)) == 4
+
+    def test_log_of_negative_is_na(self):
+        assert is_na(run(func("log", col("a")), (-1, 0, 0)))
+
+    def test_na_propagates(self):
+        assert is_na(run(func("sqrt", col("a")), (NA, 0, 0)))
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ExpressionError, match="unknown function"):
+            func("sinh", col("a"))
+
+
+class TestComparisons:
+    def test_all_ops(self):
+        row = (5, 3, 5)
+        assert run(col("a") > col("b"), row)
+        assert run(col("a") >= col("c"), row)
+        assert run(col("b") < col("a"), row)
+        assert run(col("b") <= col("b"), row)
+        assert run(col("a") == col("c"), row)
+        assert run(col("a") != col("b"), row)
+
+    def test_na_comparisons_false(self):
+        assert not run(col("a") > 1, (NA, 0, 0))
+        assert not run(col("a") == col("a"), (NA, 0, 0))
+        assert not run(col("a") != 5, (NA, 0, 0))
+
+    def test_type_error_raised(self):
+        with pytest.raises(ExpressionError, match="cannot compare"):
+            run(col("a") > col("b"), ("x", 1, 0))
+
+
+class TestLogical:
+    def test_and_or_not(self):
+        row = (5, 3, 0)
+        assert run((col("a") > 1) & (col("b") > 1), row)
+        assert not run((col("a") > 1) & (col("c") > 1), row)
+        assert run((col("a") > 99) | (col("b") > 1), row)
+        assert run(~(col("c") > 1), row)
+
+    def test_canonical_forms(self):
+        expr = (col("a") > 1) & ~(col("b") == 2)
+        text = expr.canonical()
+        assert "AND" in text and "NOT" in text
+
+
+class TestMembershipRange:
+    def test_in(self):
+        expr = col("a").is_in([1, 2, 3])
+        assert run(expr, (2, 0, 0))
+        assert not run(expr, (9, 0, 0))
+        assert not run(expr, (NA, 0, 0))
+
+    def test_between(self):
+        expr = col("a").between(10, 20)
+        assert run(expr, (15, 0, 0))
+        assert run(expr, (10, 0, 0))
+        assert not run(expr, (21, 0, 0))
+        assert not run(expr, (NA, 0, 0))
+
+    def test_isna(self):
+        assert run(col("a").is_na(), (NA, 0, 0))
+        assert not run(col("a").is_na(), (1, 0, 0))
+
+
+class TestCanonical:
+    def test_equal_trees_equal_strings(self):
+        one = (col("a") + 1) > col("b")
+        two = (col("a") + 1) > col("b")
+        assert one.canonical() == two.canonical()
+
+    def test_different_trees_differ(self):
+        assert (col("a") > 1).canonical() != (col("a") > 2).canonical()

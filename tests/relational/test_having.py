@@ -1,0 +1,71 @@
+"""Tests for the HAVING clause."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.relational.catalog import Catalog
+from repro.relational.planner import execute
+from repro.relational.sql import parse
+from repro.workloads.census import figure1_dataset
+
+
+@pytest.fixture()
+def catalog():
+    cat = Catalog()
+    cat.register(figure1_dataset("census"), "census")
+    return cat
+
+
+class TestHaving:
+    def test_filters_on_aggregate_alias(self, catalog):
+        r = execute(
+            "SELECT RACE, SUM(POPULATION) AS POP FROM census "
+            "GROUP BY RACE HAVING POP > 10000000",
+            catalog,
+        )
+        assert len(r) == 1 and r.row(0)[0] == "W"
+
+    def test_filters_on_group_key(self, catalog):
+        r = execute(
+            "SELECT SEX, COUNT(*) AS N FROM census GROUP BY SEX HAVING SEX = 'F'",
+            catalog,
+        )
+        assert len(r) == 1 and r.row(0) == ("F", 4)
+
+    def test_conjunction(self, catalog):
+        r = execute(
+            "SELECT RACE, AGE_GROUP, AVG(AVE_SALARY) AS S FROM census "
+            "GROUP BY RACE, AGE_GROUP HAVING S > 25000 AND RACE = 'W'",
+            catalog,
+        )
+        assert len(r) == 3
+        assert all(row[0] == "W" and row[2] > 25000 for row in r)
+
+    def test_with_where_and_order(self, catalog):
+        r = execute(
+            "SELECT AGE_GROUP, SUM(POPULATION) AS POP FROM census "
+            "WHERE SEX = 'M' GROUP BY AGE_GROUP HAVING POP > 10000000 "
+            "ORDER BY POP DESC",
+            catalog,
+        )
+        pops = [row[1] for row in r]
+        assert pops == sorted(pops, reverse=True)
+        assert all(p > 10_000_000 for p in pops)
+
+    def test_having_can_empty_result(self, catalog):
+        r = execute(
+            "SELECT RACE, SUM(POPULATION) AS POP FROM census "
+            "GROUP BY RACE HAVING POP > 999999999999",
+            catalog,
+        )
+        assert len(r) == 0
+
+    def test_parse_shape(self):
+        q = parse("SELECT g, SUM(x) AS s FROM t GROUP BY g HAVING s > 1")
+        assert q.having is not None
+        assert "s" in q.having.columns()
+
+    def test_having_requires_group_by(self):
+        # HAVING without GROUP BY is a parse error (trailing tokens).
+        with pytest.raises(QueryError):
+            parse("SELECT COUNT(*) FROM t HAVING COUNT > 1")

@@ -1,0 +1,135 @@
+"""Tests for attribute indexes and index-assisted planning."""
+
+import pytest
+
+from repro.relational.catalog import Catalog
+from repro.relational.expressions import col
+from repro.relational.index import AttributeIndex, IndexScan, match_indexable_conjunct
+from repro.relational.planner import execute, plan
+from repro.relational.sql import parse
+from repro.relational.types import NA
+from repro.workloads.census import generate_microdata
+
+
+@pytest.fixture()
+def micro():
+    return generate_microdata(2000, seed=55, bad_value_rate=0.0)
+
+
+@pytest.fixture()
+def indexed_catalog(micro):
+    catalog = Catalog()
+    catalog.register(micro, "micro")
+    catalog.register_index("micro", "REGION", AttributeIndex.build(micro, "REGION"))
+    catalog.register_index("micro", "AGE", AttributeIndex.build(micro, "AGE"))
+    return catalog
+
+
+class TestAttributeIndex:
+    def test_lookup(self, micro):
+        index = AttributeIndex.build(micro, "REGION")
+        rows = index.lookup(3)
+        assert rows
+        assert all(micro.row(r)[3] == 3 for r in rows)
+        assert len(rows) == sum(1 for v in micro.column("REGION") if v == 3)
+
+    def test_missing_value_lookup(self, micro):
+        index = AttributeIndex.build(micro, "REGION")
+        assert index.lookup(999) == []
+
+    def test_na_rows_not_indexed(self):
+        from repro.relational.relation import Relation
+        from repro.relational.schema import Schema, measure
+
+        relation = Relation("r", Schema([measure("x")]), [(1.0,), (NA,), (1.0,)])
+        index = AttributeIndex.build(relation, "x")
+        assert index.lookup(1.0) == [0, 2]
+        assert index.distinct_values == 1
+
+    def test_range(self, micro):
+        index = AttributeIndex.build(micro, "AGE")
+        rows = index.range(30, 40)
+        ages = micro.column("AGE")
+        expected = sorted(i for i, a in enumerate(ages) if 30 <= a <= 40)
+        assert rows == expected
+
+    def test_staleness(self, micro):
+        index = AttributeIndex.build(micro, "AGE")
+        assert not index.stale_for(micro)
+        micro.insert(micro.row(0), validate=False)
+        assert index.stale_for(micro)
+
+
+class TestIndexScan:
+    def test_residual_applied(self, micro):
+        index = AttributeIndex.build(micro, "REGION")
+        scan = IndexScan(micro, index, index.lookup(2), residual=col("AGE") > 50)
+        rows = scan.rows()
+        assert all(r[3] == 2 and r[4] > 50 for r in rows)
+        assert scan.rows_fetched >= len(rows)
+
+
+class TestPlannerIntegration:
+    def test_equality_uses_index(self, indexed_catalog):
+        pipeline = plan(parse("SELECT * FROM micro WHERE REGION = 5"), indexed_catalog)
+        assert isinstance(pipeline, IndexScan)
+
+    def test_between_uses_index(self, indexed_catalog):
+        pipeline = plan(
+            parse("SELECT * FROM micro WHERE AGE BETWEEN 20 AND 30"), indexed_catalog
+        )
+        assert isinstance(pipeline, IndexScan)
+
+    def test_results_identical_with_and_without_index(self, micro, indexed_catalog):
+        plain = Catalog()
+        plain.register(micro, "micro")
+        for text in (
+            "SELECT PERSON_ID FROM micro WHERE REGION = 5 AND AGE > 40",
+            "SELECT PERSON_ID, INCOME FROM micro WHERE AGE BETWEEN 25 AND 35",
+        ):
+            with_index = sorted(execute(text, indexed_catalog))
+            without = sorted(execute(text, plain))
+            assert with_index == without
+
+    def test_index_fetches_fewer_rows(self, micro, indexed_catalog):
+        pipeline = plan(parse("SELECT * FROM micro WHERE REGION = 5"), indexed_catalog)
+        assert pipeline.rows_fetched < len(micro) / 2
+
+    def test_stale_index_not_used(self, micro, indexed_catalog):
+        micro.insert(micro.row(0), validate=False)  # drift
+        pipeline = plan(parse("SELECT * FROM micro WHERE REGION = 5"), indexed_catalog)
+        assert not isinstance(pipeline, IndexScan)
+
+    def test_unindexed_attribute_scans(self, indexed_catalog):
+        pipeline = plan(
+            parse("SELECT * FROM micro WHERE INCOME > 50000"), indexed_catalog
+        )
+        assert not isinstance(pipeline, IndexScan)
+
+    def test_join_queries_skip_index(self, micro, indexed_catalog):
+        from repro.workloads.census import region_codebook
+
+        indexed_catalog.register(
+            region_codebook().to_relation("CODE", "LABEL"), "region_codes"
+        )
+        pipeline = plan(
+            parse(
+                "SELECT * FROM micro JOIN region_codes ON REGION = CODE "
+                "WHERE REGION = 5"
+            ),
+            indexed_catalog,
+        )
+        assert not isinstance(pipeline, IndexScan)
+
+
+class TestMatching:
+    def test_reversed_equality(self, micro):
+        indexes = {"REGION": AttributeIndex.build(micro, "REGION")}
+        from repro.relational.expressions import Const
+
+        matched = match_indexable_conjunct(Const(5) == col("REGION"), indexes)
+        assert matched is not None
+
+    def test_inequality_not_matched(self, micro):
+        indexes = {"REGION": AttributeIndex.build(micro, "REGION")}
+        assert match_indexable_conjunct(col("REGION") > 5, indexes) is None

@@ -1,0 +1,68 @@
+"""Tests for LEFT JOIN in the SQL surface."""
+
+import pytest
+
+from repro.metadata.codebook import CodeBook
+from repro.relational.catalog import Catalog
+from repro.relational.planner import execute
+from repro.relational.sql import parse
+from repro.relational.types import is_na
+from repro.workloads.census import figure1_dataset
+
+
+@pytest.fixture()
+def catalog():
+    cat = Catalog()
+    cat.register(figure1_dataset("census"), "census")
+    # A partial code book: code 4 is undocumented.
+    partial = CodeBook("AGE_GROUP", {1: "young", 2: "adult", 3: "middle"})
+    cat.register(partial.to_relation(), "codes")
+    return cat
+
+
+class TestLeftJoin:
+    def test_parse_how(self):
+        q = parse("SELECT * FROM a LEFT JOIN b ON x = y")
+        assert q.join.how == "left"
+        q = parse("SELECT * FROM a JOIN b ON x = y")
+        assert q.join.how == "inner"
+
+    def test_unmatched_rows_padded(self, catalog):
+        r = execute(
+            "SELECT AGE_GROUP, VALUE FROM census LEFT JOIN codes ON AGE_GROUP = CATEGORY",
+            catalog,
+        )
+        assert len(r) == 9
+        padded = [row for row in r if is_na(row[1])]
+        assert len(padded) == 2  # the two AGE_GROUP=4 rows
+        assert all(row[0] == 4 for row in padded)
+
+    def test_inner_drops_unmatched(self, catalog):
+        r = execute(
+            "SELECT AGE_GROUP FROM census JOIN codes ON AGE_GROUP = CATEGORY",
+            catalog,
+        )
+        assert len(r) == 7
+
+    def test_right_predicate_not_pushed_below_left_join(self, catalog):
+        """Filtering the code-book side after a left join must not drop
+
+        the padded rows before the join produces them."""
+        r = execute(
+            "SELECT AGE_GROUP, VALUE FROM census LEFT JOIN codes "
+            "ON AGE_GROUP = CATEGORY WHERE VALUE = 'adult'",
+            catalog,
+        )
+        # Semantics: padded rows have VALUE = NA, failing the predicate.
+        assert all(row[1] == "adult" for row in r)
+        assert len(r) == 2  # the two AGE_GROUP=2 census rows
+
+    def test_left_join_with_aggregation(self, catalog):
+        r = execute(
+            "SELECT VALUE, SUM(POPULATION) AS POP FROM census "
+            "LEFT JOIN codes ON AGE_GROUP = CATEGORY GROUP BY VALUE "
+            "ORDER BY POP DESC",
+            catalog,
+        )
+        labels = [row[0] for row in r]
+        assert any(is_na(v) for v in labels)  # the undocumented group appears

@@ -1,0 +1,118 @@
+"""Tests for schemas and attribute roles."""
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.relational.schema import Attribute, AttributeRole, Schema, category, measure
+from repro.relational.types import NA, DataType
+
+
+def sample_schema():
+    return Schema(
+        [
+            category("SEX", DataType.STR),
+            category("AGE_GROUP", DataType.CATEGORY, codebook="ages"),
+            measure("POPULATION", DataType.INT),
+            measure("AVE_SALARY", DataType.FLOAT),
+        ]
+    )
+
+
+class TestAttribute:
+    def test_shorthands(self):
+        cat = category("A")
+        assert cat.role is AttributeRole.CATEGORY
+        m = measure("B")
+        assert m.role is AttributeRole.MEASURE
+
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("", DataType.INT)
+
+    def test_renamed_preserves_rest(self):
+        attr = category("A", DataType.CATEGORY, codebook="cb")
+        renamed = attr.renamed("B")
+        assert renamed.name == "B"
+        assert renamed.codebook == "cb"
+        assert renamed.role is AttributeRole.CATEGORY
+
+    def test_with_role(self):
+        attr = measure("X")
+        assert attr.with_role(AttributeRole.DERIVED).role is AttributeRole.DERIVED
+
+    def test_equality(self):
+        assert category("A") == category("A")
+        assert category("A") != measure("A")
+
+
+class TestSchema:
+    def test_names_types(self):
+        schema = sample_schema()
+        assert schema.names == ["SEX", "AGE_GROUP", "POPULATION", "AVE_SALARY"]
+        assert schema.types[2] is DataType.INT
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([measure("A"), measure("A")])
+
+    def test_index_of(self):
+        schema = sample_schema()
+        assert schema.index_of("POPULATION") == 2
+        with pytest.raises(SchemaError, match="no attribute"):
+            schema.index_of("MISSING")
+
+    def test_category_and_measure_lists(self):
+        schema = sample_schema()
+        assert [a.name for a in schema.category_attributes] == ["SEX", "AGE_GROUP"]
+        assert [a.name for a in schema.measure_attributes] == ["POPULATION", "AVE_SALARY"]
+
+    def test_project(self):
+        schema = sample_schema().project(["AVE_SALARY", "SEX"])
+        assert schema.names == ["AVE_SALARY", "SEX"]
+
+    def test_rename(self):
+        schema = sample_schema().rename({"SEX": "GENDER"})
+        assert "GENDER" in schema
+        assert "SEX" not in schema
+
+    def test_rename_unknown_rejected(self):
+        with pytest.raises(SchemaError):
+            sample_schema().rename({"NOPE": "X"})
+
+    def test_concat(self):
+        left = Schema([measure("A")])
+        right = Schema([measure("B")])
+        assert left.concat(right).names == ["A", "B"]
+
+    def test_concat_collision_rejected(self):
+        s = Schema([measure("A")])
+        with pytest.raises(SchemaError, match="duplicate"):
+            s.concat(s)
+
+    def test_concat_with_prefixes(self):
+        s = Schema([measure("A")])
+        combined = s.concat(s, prefix_other="r_")
+        assert combined.names == ["A", "r_A"]
+
+    def test_extend(self):
+        schema = sample_schema().extend(measure("NEW"))
+        assert schema.names[-1] == "NEW"
+
+    def test_validate_row(self):
+        schema = sample_schema()
+        schema.validate_row(("M", 1, 100, 5.0))
+        schema.validate_row((NA, NA, NA, NA))
+        with pytest.raises(SchemaError, match="fields"):
+            schema.validate_row(("M", 1, 100))
+        with pytest.raises(SchemaError, match="invalid"):
+            schema.validate_row(("M", 1, "oops", 5.0))
+
+    def test_contains_iter_len(self):
+        schema = sample_schema()
+        assert "SEX" in schema
+        assert len(schema) == 4
+        assert [a.name for a in schema] == schema.names
+
+    def test_equality_hash(self):
+        assert sample_schema() == sample_schema()
+        assert hash(sample_schema()) == hash(sample_schema())

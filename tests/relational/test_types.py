@@ -1,0 +1,89 @@
+"""Tests for data types and the NA singleton."""
+
+import pickle
+
+import pytest
+
+from repro.relational.types import NA, DataType, is_na
+
+
+class TestNA:
+    def test_singleton(self):
+        from repro.relational.types import _NAType
+
+        assert _NAType() is NA
+
+    def test_falsy(self):
+        assert not NA
+
+    def test_repr(self):
+        assert repr(NA) == "NA"
+
+    def test_is_na(self):
+        assert is_na(NA)
+        assert is_na(float("nan"))
+        assert not is_na(0)
+        assert not is_na("")
+        assert not is_na(None) or True  # None is not NA
+        assert not is_na(None)
+
+    def test_hashable(self):
+        assert NA in {NA}
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(NA)) is NA
+
+    def test_equality_only_with_itself(self):
+        assert NA == NA
+        assert not (NA == 0)
+        assert not (NA == float("nan"))
+
+
+class TestDataType:
+    def test_is_numeric(self):
+        assert DataType.INT.is_numeric
+        assert DataType.FLOAT.is_numeric
+        assert not DataType.STR.is_numeric
+        assert not DataType.CATEGORY.is_numeric
+
+    def test_python_types(self):
+        assert DataType.INT.python_type() is int
+        assert DataType.STR.python_type() is str
+        assert DataType.CATEGORY.python_type() is int
+
+    @pytest.mark.parametrize(
+        "dtype,good,bad",
+        [
+            (DataType.INT, 5, "x"),
+            (DataType.INT, -1, 2.5),
+            (DataType.FLOAT, 2.5, "x"),
+            (DataType.FLOAT, 3, None),
+            (DataType.STR, "abc", 1),
+            (DataType.BOOL, True, 1),
+            (DataType.CATEGORY, 2, 2.5),
+        ],
+    )
+    def test_validate(self, dtype, good, bad):
+        assert dtype.validate(good)
+        assert not dtype.validate(bad)
+
+    def test_bool_not_int(self):
+        assert not DataType.INT.validate(True)
+
+    def test_na_always_valid(self):
+        for dtype in DataType:
+            assert dtype.validate(NA)
+
+    def test_coerce(self):
+        assert DataType.FLOAT.coerce(3) == 3.0
+        assert DataType.INT.coerce(5.0) == 5
+        assert DataType.STR.coerce(12) == "12"
+        assert DataType.FLOAT.coerce(NA) is NA
+
+    def test_coerce_lossy_int_rejected(self):
+        with pytest.raises(ValueError):
+            DataType.INT.coerce(5.5)
+
+    def test_coerce_bool_strict(self):
+        with pytest.raises(ValueError):
+            DataType.BOOL.coerce(1)

@@ -1,0 +1,70 @@
+"""Tests for correlation measures, cross-checked against scipy."""
+
+import random
+
+import pytest
+import scipy.stats as ss
+
+from repro.core.errors import StatisticsError
+from repro.relational.types import NA, is_na
+from repro.stats.correlation import covariance, pearson, spearman
+
+
+class TestPearson:
+    def test_matches_scipy(self):
+        rng = random.Random(0)
+        a = [rng.random() for _ in range(200)]
+        b = [x * 2 + rng.gauss(0, 0.2) for x in a]
+        assert pearson(a, b) == pytest.approx(ss.pearsonr(a, b).statistic)
+
+    def test_perfect(self):
+        a = [1.0, 2.0, 3.0]
+        assert pearson(a, [2.0, 4.0, 6.0]) == pytest.approx(1.0)
+        assert pearson(a, [3.0, 2.0, 1.0]) == pytest.approx(-1.0)
+
+    def test_na_pairs_dropped(self):
+        a = [1.0, 2.0, NA, 3.0]
+        b = [2.0, 4.0, 5.0, 6.0]
+        assert pearson(a, b) == pytest.approx(1.0)
+
+    def test_degenerate_na(self):
+        assert is_na(pearson([1.0], [2.0]))
+        assert is_na(pearson([1.0, 1.0], [2.0, 3.0]))  # zero variance
+
+    def test_length_mismatch(self):
+        with pytest.raises(StatisticsError):
+            pearson([1.0], [1.0, 2.0])
+
+
+class TestSpearman:
+    def test_matches_scipy(self):
+        rng = random.Random(1)
+        a = [rng.random() for _ in range(150)]
+        b = [x ** 3 + rng.gauss(0, 0.01) for x in a]
+        assert spearman(a, b) == pytest.approx(ss.spearmanr(a, b).statistic)
+
+    def test_monotone_is_one(self):
+        a = [1.0, 2.0, 3.0, 4.0]
+        b = [1.0, 10.0, 100.0, 1000.0]
+        assert spearman(a, b) == pytest.approx(1.0)
+
+    def test_ties_match_scipy(self):
+        a = [1.0, 2.0, 2.0, 3.0, 3.0, 3.0]
+        b = [1.0, 2.0, 3.0, 4.0, 4.0, 5.0]
+        assert spearman(a, b) == pytest.approx(ss.spearmanr(a, b).statistic)
+
+
+class TestCovariance:
+    def test_matches_numpy(self):
+        import numpy as np
+
+        rng = random.Random(2)
+        a = [rng.random() for _ in range(100)]
+        b = [rng.random() for _ in range(100)]
+        assert covariance(a, b) == pytest.approx(float(np.cov(a, b)[0, 1]))
+
+    def test_ddof_zero(self):
+        assert covariance([1.0, 2.0], [1.0, 2.0], ddof=0) == pytest.approx(0.25)
+
+    def test_degenerate(self):
+        assert is_na(covariance([1.0], [1.0]))

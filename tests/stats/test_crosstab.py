@@ -1,0 +1,83 @@
+"""Tests for cross tabulations."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import StatisticsError
+from repro.relational.types import NA
+from repro.stats.crosstab import CrossTab, crosstab
+from repro.workloads.census import figure1_dataset
+
+
+class TestBuild:
+    def test_from_pairs(self):
+        ct = crosstab(pairs=[("a", "x"), ("a", "y"), ("b", "x"), ("a", "x")])
+        assert ct.row_labels == ["a", "b"]
+        assert ct.col_labels == ["x", "y"]
+        assert ct.table[0, 0] == 2
+
+    def test_weighted(self):
+        ct = crosstab(pairs=[("a", "x"), ("b", "x")], weights=[10, 5])
+        assert ct.table[0, 0] == 10
+        assert ct.grand_total == 15
+
+    def test_na_pairs_skipped(self):
+        ct = crosstab(pairs=[("a", "x"), (NA, "x"), ("a", NA)])
+        assert ct.grand_total == 1
+
+    def test_from_relation_weighted(self):
+        """The paper's SS2.2 question needs a POPULATION-weighted cross-tab."""
+        ct = crosstab(
+            relation=figure1_dataset(),
+            row_attr="RACE",
+            col_attr="AGE_GROUP",
+            weight_attr="POPULATION",
+        )
+        assert ct.row_name == "RACE"
+        assert ct.table[ct.row_labels.index("W"), ct.col_labels.index(1)] == (
+            12_300_347 + 15_821_497
+        )
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(StatisticsError):
+            crosstab(pairs=[("a", "b")], weights=[1, 2])
+
+    def test_needs_input(self):
+        with pytest.raises(StatisticsError):
+            crosstab()
+        with pytest.raises(StatisticsError):
+            crosstab(relation=figure1_dataset())
+
+
+class TestMargins:
+    def test_totals(self):
+        ct = CrossTab(["a", "b"], ["x", "y"], np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert list(ct.row_totals) == [3.0, 7.0]
+        assert list(ct.col_totals) == [4.0, 6.0]
+        assert ct.grand_total == 10.0
+
+    def test_expected_independence(self):
+        ct = CrossTab(["a", "b"], ["x", "y"], np.array([[10.0, 10.0], [10.0, 10.0]]))
+        assert (ct.expected() == 10.0).all()
+
+    def test_expected_empty_rejected(self):
+        ct = CrossTab(["a"], ["x"], np.zeros((1, 1)))
+        with pytest.raises(StatisticsError):
+            ct.expected()
+
+    def test_shape_validated(self):
+        with pytest.raises(StatisticsError):
+            CrossTab(["a"], ["x", "y"], np.zeros((2, 2)))
+
+
+class TestPresentation:
+    def test_to_relation(self):
+        ct = crosstab(pairs=[("a", "x"), ("b", "y")])
+        rel = ct.to_relation()
+        assert len(rel) == 4  # 2x2 with zero cells included
+        assert rel.schema.names == ["rows", "cols", "count"]
+
+    def test_render(self):
+        ct = crosstab(pairs=[("a", "x"), ("b", "y")])
+        text = ct.render()
+        assert "TOTAL" in text and "a" in text

@@ -1,0 +1,110 @@
+"""Tests for descriptive statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import StatisticsError
+from repro.relational.types import NA, is_na
+from repro.stats import descriptive as d
+
+DATA = [4.0, 8.0, 15.0, 16.0, 23.0, 42.0]
+WITH_NA = [4.0, NA, 8.0, 15.0, NA, 16.0, 23.0, 42.0]
+
+
+class TestBasics:
+    def test_clean(self):
+        assert d.clean(WITH_NA) == DATA
+
+    def test_min_max(self):
+        assert d.vmin(WITH_NA) == 4.0
+        assert d.vmax(WITH_NA) == 42.0
+        assert is_na(d.vmin([]))
+        assert is_na(d.vmax([NA, NA]))
+
+    def test_sum_mean(self):
+        assert d.vsum(WITH_NA) == sum(DATA)
+        assert d.mean(WITH_NA) == pytest.approx(np.mean(DATA))
+        assert is_na(d.mean([]))
+
+    def test_variance_std(self):
+        assert d.variance(DATA) == pytest.approx(np.var(DATA, ddof=1))
+        assert d.std(DATA) == pytest.approx(np.std(DATA, ddof=1))
+        assert d.variance(DATA, ddof=0) == pytest.approx(np.var(DATA))
+        assert is_na(d.variance([1.0]))
+
+    def test_value_range(self):
+        assert d.value_range(WITH_NA) == (4.0, 42.0)
+        assert d.value_range([]) == (NA, NA)
+
+
+class TestQuantiles:
+    @pytest.mark.parametrize("q", [0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0])
+    def test_matches_numpy(self, q):
+        assert d.quantile(DATA, q) == pytest.approx(float(np.quantile(DATA, q)))
+
+    def test_median(self):
+        assert d.median([3, 1, 2]) == 2
+        assert d.median([1, 2, 3, 4]) == 2.5
+        assert is_na(d.median([NA]))
+
+    def test_quartiles_iqr(self):
+        q1, med, q3 = d.quartiles(DATA)
+        assert med == d.median(DATA)
+        assert d.iqr(DATA) == pytest.approx(q3 - q1)
+
+    def test_invalid_q(self):
+        with pytest.raises(StatisticsError):
+            d.quantile(DATA, 1.5)
+
+    def test_empty_na(self):
+        assert is_na(d.quantile([], 0.5))
+
+
+class TestTrimmedMean:
+    def test_basic(self):
+        values = list(range(101))
+        # Trim to [5th, 95th] percentile: removes 0-4 and 96-100.
+        got = d.trimmed_mean(values, 0.05, 0.95)
+        assert got == pytest.approx(np.mean(list(range(5, 96))))
+
+    def test_with_cached_bounds(self):
+        """The SS3.1 scenario: bounds come from the Summary Database."""
+        values = list(range(101))
+        lo = d.quantile(values, 0.05)
+        hi = d.quantile(values, 0.95)
+        assert d.trimmed_mean(values, lo_value=lo, hi_value=hi) == d.trimmed_mean(values)
+
+    def test_empty(self):
+        assert is_na(d.trimmed_mean([]))
+
+
+class TestCategoricalStats:
+    def test_mode(self):
+        assert d.mode([1, 2, 2, 3]) == 2
+        assert is_na(d.mode([NA]))
+
+    def test_unique_count(self):
+        assert d.unique_count([1, 1, 2, NA]) == 2
+
+    def test_na_count(self):
+        assert d.na_count(WITH_NA) == 2
+
+    def test_mad(self):
+        assert d.mad([1, 1, 2, 2, 4, 6, 9]) == 1
+        assert is_na(d.mad([]))
+
+
+class TestSummarize:
+    def test_block_fields(self):
+        block = d.summarize(WITH_NA)
+        assert block["count"] == 6
+        assert block["na_count"] == 2
+        assert block["min"] == 4.0
+        assert block["max"] == 42.0
+        assert block["median"] == d.median(DATA)
+        assert block["unique_count"] == 6
+
+    def test_all_na(self):
+        block = d.summarize([NA, NA])
+        assert block["count"] == 0
+        assert is_na(block["mean"])

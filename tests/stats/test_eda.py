@@ -1,0 +1,73 @@
+"""Tests for the cache-aware exploratory analyzer."""
+
+import pytest
+
+from repro.core.errors import StatisticsError
+from repro.core.session import AnalystSession
+from repro.metadata.management import ManagementDatabase
+from repro.relational.types import is_na
+from repro.stats.eda import ExploratoryAnalyzer
+from repro.views.view import ConcreteView
+from repro.workloads.census import generate_microdata
+
+
+@pytest.fixture()
+def eda():
+    relation = generate_microdata(2000, seed=44, bad_value_rate=0.01)
+    session = AnalystSession(ManagementDatabase(), ConcreteView("v", relation))
+    return ExploratoryAnalyzer(session)
+
+
+class TestDistributionSummary:
+    def test_fields_present(self, eda):
+        block = eda.distribution_summary("INCOME")
+        assert set(block) == {"min", "max", "mean", "std", "median", "q1", "q3", "unique"}
+        assert block["min"] <= block["q1"] <= block["median"] <= block["q3"] <= block["max"]
+
+    def test_everything_cached(self, eda):
+        eda.distribution_summary("AGE")
+        scanned = eda.session.stats.rows_scanned
+        eda.distribution_summary("AGE")
+        assert eda.session.stats.rows_scanned == scanned
+
+    def test_overview(self, eda):
+        blocks = eda.overview(["AGE", "INCOME"])
+        assert set(blocks) == {"AGE", "INCOME"}
+
+
+class TestChecksAndOutliers:
+    def test_check_range_finds_planted_bad_values(self, eda):
+        result = eda.check_range("AGE", 0, 120)
+        assert result.suspicious_count > 0
+
+    def test_suggest_outliers_uses_cached_stats(self, eda):
+        eda.session.compute("mean", "INCOME")
+        eda.session.compute("std", "INCOME")
+        scanned = eda.session.stats.rows_scanned
+        sweep = eda.suggest_outliers("INCOME", k=6.0)
+        # One pass for the sweep itself, none for mean/std.
+        assert eda.session.stats.rows_scanned == scanned
+        assert sweep.outside_count >= 0
+
+    def test_suggest_outliers_empty_column_rejected(self, eda):
+        session = eda.session
+        session.mark_invalid("HOURS_WORKED", rows=list(range(len(session.view))))
+        with pytest.raises(StatisticsError):
+            eda.suggest_outliers("HOURS_WORKED")
+
+
+class TestHistogramAndTrimmedMean:
+    def test_histogram_uses_cached_range(self, eda):
+        eda.session.compute("min", "AGE")
+        eda.session.compute("max", "AGE")
+        scanned = eda.session.stats.rows_scanned
+        histogram = eda.histogram("AGE", bins=8)
+        assert histogram.bins == 8
+        assert eda.session.stats.rows_scanned == scanned  # min/max from cache
+
+    def test_trimmed_mean_matches_direct(self, eda):
+        from repro.stats.descriptive import trimmed_mean
+
+        got = eda.trimmed_mean("INCOME", 0.05, 0.95)
+        want = trimmed_mean(eda.session.view.relation.column("INCOME"), 0.05, 0.95)
+        assert got == pytest.approx(want)

@@ -1,0 +1,84 @@
+"""Tests for histogram construction."""
+
+import pytest
+
+from repro.core.errors import StatisticsError
+from repro.relational.types import NA
+from repro.stats.histogram import (
+    Histogram,
+    build_histogram,
+    freedman_diaconis_bins,
+    sturges_bins,
+)
+
+
+class TestBinRules:
+    def test_sturges(self):
+        assert sturges_bins(1) == 1
+        assert sturges_bins(1024) == 11
+
+    def test_fd_positive(self):
+        values = [float(i) for i in range(100)]
+        assert freedman_diaconis_bins(values) >= 1
+
+    def test_fd_degenerate_falls_back(self):
+        assert freedman_diaconis_bins([5.0] * 50) == sturges_bins(50)
+        assert freedman_diaconis_bins([1.0]) == 1
+
+
+class TestBuild:
+    def test_counts_sum(self):
+        values = [float(i) for i in range(100)]
+        h = build_histogram(values, bins=10)
+        assert h.total == 100
+        assert h.counts == (10,) * 10
+
+    def test_na_skipped(self):
+        h = build_histogram([1.0, NA, 2.0], bins=2)
+        assert h.total == 2
+
+    def test_supplied_range(self):
+        """Cached min/max from the Summary Database (SS3.1)."""
+        values = [1.0, 2.0, 3.0]
+        h = build_histogram(values, bins=4, lo=0.0, hi=4.0)
+        assert h.edges[0] == 0.0 and h.edges[-1] == 4.0
+
+    def test_values_outside_supplied_range_skipped(self):
+        h = build_histogram([1.0, 50.0], bins=2, lo=0.0, hi=10.0)
+        assert h.total == 1
+
+    def test_constant_column(self):
+        h = build_histogram([7.0] * 10)
+        assert h.total == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(StatisticsError):
+            build_histogram([NA])
+
+    def test_bad_args(self):
+        with pytest.raises(StatisticsError):
+            build_histogram([1.0], bins=0)
+        with pytest.raises(StatisticsError):
+            build_histogram([1.0], lo=5.0, hi=1.0)
+        with pytest.raises(StatisticsError):
+            build_histogram([1.0], rule="magic")
+
+    def test_fd_rule(self):
+        values = [float(i % 37) for i in range(500)]
+        h = build_histogram(values, rule="fd")
+        assert h.total == 500
+
+
+class TestHistogramObject:
+    def test_bucket_of(self):
+        h = Histogram(edges=(0.0, 1.0, 2.0), counts=(3, 4))
+        assert h.bucket_of(0.5) == 0
+        assert h.bucket_of(1.5) == 1
+        assert h.bucket_of(2.0) == 1  # top edge closed
+        assert h.bucket_of(-1.0) is None
+
+    def test_render(self):
+        h = Histogram(edges=(0.0, 1.0, 2.0), counts=(3, 1))
+        text = h.render(width=10)
+        assert "##########" in text
+        assert text.count("\n") == 1

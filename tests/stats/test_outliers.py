@@ -1,0 +1,98 @@
+"""Tests for data checking: range checks, sigma rule, invalidation."""
+
+import pytest
+
+from repro.core.errors import StatisticsError
+from repro.relational.types import NA, is_na
+from repro.stats.outliers import (
+    mark_invalid,
+    pair_relationship_check,
+    range_check,
+    sigma_rule,
+)
+
+
+class TestRangeCheck:
+    def test_finds_out_of_range(self):
+        """The paper's example: a person's age recorded as 1,000."""
+        ages = [25, 40, 1000, 33, -5]
+        result = range_check(ages, 0, 120)
+        assert result.suspicious == (2, 4)
+        assert result.suspicious_count == 2
+        assert result.checked == 5
+
+    def test_na_not_suspicious(self):
+        result = range_check([25, NA, 30], 0, 120)
+        assert result.suspicious == ()
+        assert result.na_count == 1
+        assert result.checked == 2
+
+    def test_boundaries_inclusive(self):
+        result = range_check([0, 120], 0, 120)
+        assert result.suspicious == ()
+
+    def test_invalid_range(self):
+        with pytest.raises(StatisticsError):
+            range_check([1], 10, 0)
+
+
+class TestSigmaRule:
+    def test_counts_outside(self):
+        values = [0.0] * 98 + [100.0, -100.0]
+        result = sigma_rule(values, 3.0)
+        assert result.outside_count == 2
+        assert result.outside_unique == 2
+        assert set(result.indices) == {98, 99}
+
+    def test_cached_mean_std_used(self):
+        """SS3.1: the analyst passes cached M and SD, skipping a pass."""
+        values = [1.0, 2.0, 3.0]
+        result = sigma_rule(values, 2.0, mean=0.0, std=1.0)
+        assert result.mean == 0.0 and result.std == 1.0
+        assert result.outside_count == 1  # only 3.0 is beyond 0 +- 2
+
+    def test_unique_vs_total(self):
+        values = [0.0] * 50 + [99.0, 99.0]
+        result = sigma_rule(values, 3.0)
+        assert result.outside_count == 2
+        assert result.outside_unique == 1
+
+    def test_validation(self):
+        with pytest.raises(StatisticsError):
+            sigma_rule([1.0], 0.0)
+        with pytest.raises(StatisticsError):
+            sigma_rule([NA], 2.0)
+
+
+class TestMarkInvalid:
+    def test_marks_na(self):
+        out = mark_invalid([1, 2, 3], [1])
+        assert out == [1, NA, 3]
+
+    def test_original_untouched(self):
+        values = [1, 2]
+        mark_invalid(values, [0])
+        assert values == [1, 2]
+
+    def test_bad_index(self):
+        with pytest.raises(StatisticsError):
+            mark_invalid([1], [5])
+
+
+class TestPairRelationship:
+    def test_finds_violations(self):
+        """SS2.2: known relationships between pairs of values."""
+        ages = [30, 10, 50]
+        years_worked = [10, 20, 5]  # a 10-year-old with 20 years worked
+        bad = pair_relationship_check(
+            ages, years_worked, lambda age, worked: worked <= max(0, age - 14)
+        )
+        assert bad == [1]
+
+    def test_na_skipped(self):
+        bad = pair_relationship_check([NA, 1], [1, 1], lambda a, b: a >= b)
+        assert bad == []
+
+    def test_length_mismatch(self):
+        with pytest.raises(StatisticsError):
+            pair_relationship_check([1], [1, 2], lambda a, b: True)

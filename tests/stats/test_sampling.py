@@ -1,0 +1,120 @@
+"""Tests for sampling."""
+
+import random
+
+import pytest
+
+from repro.core.errors import SamplingError
+from repro.relational.types import NA
+from repro.stats.sampling import (
+    estimate_mean,
+    estimate_proportion,
+    reservoir_sample,
+    sample_column,
+    sample_indices,
+    sample_relation,
+    systematic_sample,
+)
+from repro.workloads.census import generate_microdata
+
+
+class TestSampleIndices:
+    def test_size_and_range(self):
+        indices = sample_indices(1000, 0.1, seed=1)
+        assert len(indices) == 100
+        assert all(0 <= i < 1000 for i in indices)
+        assert indices == sorted(indices)
+
+    def test_deterministic(self):
+        assert sample_indices(100, 0.2, seed=5) == sample_indices(100, 0.2, seed=5)
+        assert sample_indices(100, 0.2, seed=5) != sample_indices(100, 0.2, seed=6)
+
+    def test_full_fraction(self):
+        assert sample_indices(10, 1.0) == list(range(10))
+
+    def test_at_least_one(self):
+        assert len(sample_indices(1000, 0.0001)) == 1
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            sample_indices(10, 0.0)
+        with pytest.raises(SamplingError):
+            sample_indices(10, 1.5)
+        with pytest.raises(SamplingError):
+            sample_indices(-1, 0.5)
+
+    def test_empty(self):
+        assert sample_indices(0, 0.5) == []
+
+
+class TestSampleRelationColumn:
+    def test_relation_sample(self):
+        rel = generate_microdata(500, seed=1)
+        sample = sample_relation(rel, 0.1, seed=2)
+        assert len(sample) == 50
+        assert sample.schema == rel.schema
+
+    def test_column_sample(self):
+        values = list(range(100))
+        got = sample_column(values, 0.2, seed=3)
+        assert len(got) == 20
+        assert all(v in values for v in got)
+
+
+class TestReservoir:
+    def test_size(self):
+        got = reservoir_sample(iter(range(10_000)), 50, seed=4)
+        assert len(got) == 50
+
+    def test_short_stream(self):
+        assert sorted(reservoir_sample(iter(range(5)), 10)) == list(range(5))
+
+    def test_roughly_uniform(self):
+        hits = [0] * 10
+        for seed in range(300):
+            for v in reservoir_sample(iter(range(10)), 3, seed=seed):
+                hits[v] += 1
+        assert max(hits) < 2.0 * min(hits)
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            reservoir_sample(iter([]), 0)
+
+
+class TestSystematic:
+    def test_every_kth(self):
+        assert systematic_sample(list(range(10)), 3) == [0, 3, 6, 9]
+        assert systematic_sample(list(range(10)), 3, offset=1) == [1, 4, 7]
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            systematic_sample([1], 0)
+        with pytest.raises(SamplingError):
+            systematic_sample([1], 2, offset=2)
+
+
+class TestEstimates:
+    def test_mean_estimate_covers_truth(self):
+        rng = random.Random(7)
+        population = [rng.gauss(50, 10) for _ in range(100_000)]
+        sample = sample_column(population, 0.01, seed=8)
+        estimate = estimate_mean(sample)
+        lo, hi = estimate.confidence_interval(z=3.0)
+        true_mean = sum(population) / len(population)
+        assert lo < true_mean < hi
+
+    def test_mean_estimate_na_skipped(self):
+        est = estimate_mean([1.0, NA, 3.0])
+        assert est.estimate == 2.0 and est.sample_size == 2
+
+    def test_single_value_infinite_se(self):
+        assert estimate_mean([5.0]).standard_error == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SamplingError):
+            estimate_mean([NA])
+
+    def test_proportion(self):
+        est = estimate_proportion([1, 2, 3, 4], lambda v: v > 2)
+        assert est.estimate == 0.5
+        assert est.standard_error > 0

@@ -1,0 +1,133 @@
+"""Tests for the hypothesis tests, cross-checked against scipy."""
+
+import random
+
+import numpy as np
+import pytest
+import scipy.stats as ss
+
+from repro.core.errors import StatisticsError
+from repro.stats.crosstab import CrossTab, crosstab
+from repro.stats.tests_stat import (
+    chi_squared_gof,
+    chi_squared_independence,
+    ks_test,
+    ks_test_2sample,
+    normal_cdf,
+    two_sample_t,
+    uniform_cdf,
+)
+
+
+class TestChiSquared:
+    def test_independence_matches_scipy(self):
+        obs = np.array([[30.0, 20.0, 10.0], [20.0, 30.0, 40.0]])
+        table = CrossTab(["a", "b"], ["x", "y", "z"], obs)
+        mine = chi_squared_independence(table)
+        stat, p, dof, _ = ss.chi2_contingency(obs, correction=False)
+        assert mine.statistic == pytest.approx(stat)
+        assert mine.p_value == pytest.approx(p)
+        assert mine.dof == dof
+
+    def test_independent_data_not_significant(self):
+        rng = random.Random(0)
+        pairs = [(rng.randrange(2), rng.randrange(3)) for _ in range(2000)]
+        result = chi_squared_independence(crosstab(pairs=pairs))
+        assert not result.significant(0.001)
+
+    def test_dependent_data_significant(self):
+        """The paper's question: does longevity depend on race?  Here a
+
+        planted dependence must be detected."""
+        rng = random.Random(1)
+        pairs = []
+        for _ in range(2000):
+            group = rng.randrange(2)
+            outcome = rng.random() < (0.3 if group == 0 else 0.6)
+            pairs.append((group, int(outcome)))
+        result = chi_squared_independence(crosstab(pairs=pairs))
+        assert result.significant(1e-6)
+
+    def test_needs_2x2(self):
+        table = CrossTab(["a"], ["x", "y"], np.array([[1.0, 2.0]]))
+        with pytest.raises(StatisticsError):
+            chi_squared_independence(table)
+
+    def test_gof_matches_scipy(self):
+        observed = [18, 22, 19, 25, 16]
+        expected = [20.0] * 5
+        mine = chi_squared_gof(observed, expected)
+        stat, p = ss.chisquare(observed, expected)
+        assert mine.statistic == pytest.approx(stat)
+        assert mine.p_value == pytest.approx(p)
+
+    def test_gof_validation(self):
+        with pytest.raises(StatisticsError):
+            chi_squared_gof([1, 2], [1.0])
+        with pytest.raises(StatisticsError):
+            chi_squared_gof([1], [0.0])
+        with pytest.raises(StatisticsError):
+            chi_squared_gof([1, 2], [1.0, 2.0], estimated_params=5)
+
+
+class TestKS:
+    def test_one_sample_matches_scipy(self):
+        rng = random.Random(2)
+        values = [rng.gauss(0, 1) for _ in range(400)]
+        mine = ks_test(values, normal_cdf(0, 1))
+        reference = ss.kstest(values, "norm")
+        assert mine.statistic == pytest.approx(reference.statistic)
+        assert mine.p_value == pytest.approx(reference.pvalue, abs=0.02)
+
+    def test_detects_wrong_distribution(self):
+        rng = random.Random(3)
+        values = [rng.uniform(0, 1) for _ in range(500)]
+        result = ks_test(values, normal_cdf(0, 1))
+        assert result.significant(1e-6)
+
+    def test_uniform_cdf_fits_uniform(self):
+        rng = random.Random(4)
+        values = [rng.uniform(2, 5) for _ in range(500)]
+        result = ks_test(values, uniform_cdf(2, 5))
+        assert not result.significant(0.001)
+
+    def test_two_sample(self):
+        rng = random.Random(5)
+        a = [rng.gauss(0, 1) for _ in range(300)]
+        b = [rng.gauss(0, 1) for _ in range(300)]
+        c = [rng.gauss(3, 1) for _ in range(300)]
+        assert not ks_test_2sample(a, b).significant(0.001)
+        assert ks_test_2sample(a, c).significant(1e-9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(StatisticsError):
+            ks_test([], normal_cdf())
+        with pytest.raises(StatisticsError):
+            ks_test_2sample([], [1.0])
+
+    def test_cdf_validation(self):
+        with pytest.raises(StatisticsError):
+            normal_cdf(0, 0)
+        with pytest.raises(StatisticsError):
+            uniform_cdf(5, 2)
+
+
+class TestTTest:
+    def test_matches_scipy(self):
+        rng = random.Random(6)
+        a = [rng.gauss(0, 1) for _ in range(100)]
+        b = [rng.gauss(0.5, 2) for _ in range(80)]
+        mine = two_sample_t(a, b)
+        reference = ss.ttest_ind(a, b, equal_var=False)
+        assert mine.statistic == pytest.approx(reference.statistic)
+        assert mine.p_value == pytest.approx(reference.pvalue, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(StatisticsError):
+            two_sample_t([1.0], [1.0, 2.0])
+        with pytest.raises(StatisticsError):
+            two_sample_t([1.0, 1.0], [2.0, 2.0])
+
+    def test_result_str(self):
+        result = two_sample_t([1.0, 2.0, 3.0], [4.0, 5.0, 6.5])
+        assert "welch_t" in str(result)

@@ -1,0 +1,142 @@
+"""Tests for the B+-tree."""
+
+import random
+
+import pytest
+
+from repro.core.errors import IndexError_
+from repro.storage.btree import BPlusTree
+
+
+class TestBasics:
+    def test_insert_search(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "a")
+        assert tree.search(5) == ["a"]
+        assert tree.search(6) == []
+
+    def test_duplicates_accumulate(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "x")
+        tree.insert(1, "y")
+        assert tree.search(1) == ["x", "y"]
+        assert len(tree) == 2
+
+    def test_contains(self):
+        tree = BPlusTree()
+        tree.insert("k", 1)
+        assert "k" in tree
+        assert "missing" not in tree
+
+    def test_order_validation(self):
+        with pytest.raises(IndexError_):
+            BPlusTree(order=2)
+
+    def test_height_grows(self):
+        tree = BPlusTree(order=4)
+        assert tree.height == 1
+        for i in range(100):
+            tree.insert(i, i)
+        assert tree.height >= 3
+
+
+class TestScans:
+    def setup_method(self):
+        self.tree = BPlusTree(order=5)
+        keys = list(range(200))
+        random.Random(7).shuffle(keys)
+        for k in keys:
+            self.tree.insert(k, k * 10)
+
+    def test_items_sorted(self):
+        keys = [k for k, _ in self.tree.items()]
+        assert keys == sorted(keys) == list(range(200))
+
+    def test_range_inclusive(self):
+        got = [k for k, _ in self.tree.range_scan(10, 20)]
+        assert got == list(range(10, 21))
+
+    def test_range_exclusive_hi(self):
+        got = [k for k, _ in self.tree.range_scan(10, 20, inclusive_hi=False)]
+        assert got == list(range(10, 20))
+
+    def test_range_open_lo(self):
+        got = [k for k, _ in self.tree.range_scan(hi=5)]
+        assert got == [0, 1, 2, 3, 4, 5]
+
+    def test_keys_iterator(self):
+        assert list(self.tree.keys()) == list(range(200))
+
+    def test_prefix_scan_tuples(self):
+        tree = BPlusTree(order=4)
+        tree.insert(("salary", "min"), 1)
+        tree.insert(("salary", "max"), 2)
+        tree.insert(("age", "min"), 3)
+        got = [k for k, _ in tree.prefix_scan(("salary",))]
+        assert got == [("salary", "max"), ("salary", "min")]
+
+
+class TestDelete:
+    def test_delete_value(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.delete(1, "a") == 1
+        assert tree.search(1) == ["b"]
+
+    def test_delete_all_values(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.delete(1) == 2
+        assert tree.search(1) == []
+        assert len(tree) == 0
+
+    def test_delete_missing(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        assert tree.delete(2) == 0
+        assert tree.delete(1, "zzz") == 0
+
+    def test_delete_then_scan_consistent(self):
+        tree = BPlusTree(order=4)
+        for i in range(50):
+            tree.insert(i, i)
+        for i in range(0, 50, 2):
+            tree.delete(i)
+        assert [k for k, _ in tree.items()] == list(range(1, 50, 2))
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("order", [3, 4, 7, 32])
+    def test_random_inserts_keep_invariants(self, order):
+        tree = BPlusTree(order=order)
+        rng = random.Random(order)
+        for _ in range(500):
+            tree.insert(rng.randrange(100), rng.random())
+        tree.check_invariants()
+
+    def test_sequential_inserts_keep_invariants(self):
+        tree = BPlusTree(order=4)
+        for i in range(300):
+            tree.insert(i, i)
+        tree.check_invariants()
+
+    def test_reverse_inserts_keep_invariants(self):
+        tree = BPlusTree(order=4)
+        for i in reversed(range(300)):
+            tree.insert(i, i)
+        tree.check_invariants()
+
+    def test_matches_dict_reference(self):
+        tree = BPlusTree(order=6)
+        reference: dict = {}
+        rng = random.Random(11)
+        for _ in range(2000):
+            k = rng.randrange(200)
+            v = rng.randrange(10**6)
+            tree.insert(k, v)
+            reference.setdefault(k, []).append(v)
+        for k, values in reference.items():
+            assert tree.search(k) == values
+        assert len(tree) == sum(len(v) for v in reference.values())

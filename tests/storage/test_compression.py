@@ -1,0 +1,112 @@
+"""Tests for RLE / dictionary / delta compression."""
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.relational.types import NA, DataType
+from repro.storage import compression as comp
+
+
+class TestRLE:
+    def test_runs_basic(self):
+        assert comp.rle_runs([1, 1, 2, 2, 2, 3]) == [(1, 2), (2, 3), (3, 1)]
+
+    def test_runs_with_na(self):
+        runs = comp.rle_runs([NA, NA, 1])
+        assert runs[0] == (NA, 2) and runs[1] == (1, 1)
+
+    def test_expand_inverse(self):
+        values = [1, 1, 2, 3, 3, 3]
+        assert comp.rle_expand(comp.rle_runs(values)) == values
+
+    def test_expand_rejects_bad_run(self):
+        with pytest.raises(StorageError):
+            comp.rle_expand([(1, 0)])
+
+    def test_bytes_roundtrip_int(self):
+        values = [5] * 100 + [7] * 50 + [NA] * 3
+        buf = comp.rle_encode_bytes(values, DataType.INT)
+        assert comp.rle_decode_bytes(buf, DataType.INT) == values
+
+    def test_bytes_roundtrip_str(self):
+        values = ["a", "a", "b", "b", "b"]
+        buf = comp.rle_encode_bytes(values, DataType.STR)
+        assert comp.rle_decode_bytes(buf, DataType.STR) == values
+
+    def test_bytes_roundtrip_float(self):
+        values = [1.5, 1.5, 2.5]
+        buf = comp.rle_encode_bytes(values, DataType.FLOAT)
+        assert comp.rle_decode_bytes(buf, DataType.FLOAT) == values
+
+    def test_compression_wins_on_runs(self):
+        sorted_col = [i // 100 for i in range(10_000)]
+        report = comp.compare_rle(sorted_col, DataType.INT)
+        assert report.ratio > 10
+
+    def test_compression_loses_on_random(self):
+        import random
+
+        rng = random.Random(0)
+        random_col = [rng.randrange(10**9) for _ in range(1000)]
+        report = comp.compare_rle(random_col, DataType.INT)
+        assert report.ratio < 1.0  # run headers cost space
+
+    def test_column_beats_row_serialization(self):
+        """The paper's SS2.6 asymmetry: RLE down a column beats RLE across
+
+        rows because rows interleave attribute types and values."""
+        rows = [("M", i // 200, 30_000 + (i % 7)) for i in range(1000)]
+        sex_col = [r[0] for r in rows]
+        age_col = [r[1] for r in rows]
+        col_ratio = (
+            comp.compare_rle(sex_col, DataType.STR).ratio
+            + comp.compare_rle(age_col, DataType.INT).ratio
+        ) / 2
+        row_stream = comp.row_serialized(rows, [DataType.STR, DataType.INT, DataType.INT])
+        # Encode the interleaved stream as generic values via runs counting.
+        row_runs = len(comp.rle_runs(row_stream))
+        assert col_ratio > 1.5
+        assert row_runs > len(comp.rle_runs(sex_col)) + len(comp.rle_runs(age_col))
+
+
+class TestDictionary:
+    def test_roundtrip(self):
+        values = ["a", "b", "a", "c", "b", NA, "a"]
+        dictionary, codes = comp.dict_encode(values)
+        assert comp.dict_decode(dictionary, codes) == values
+
+    def test_dictionary_size(self):
+        values = ["x"] * 100
+        dictionary, codes = comp.dict_encode(values)
+        assert len(dictionary) == 1
+        assert comp.dict_encoded_size(dictionary, codes, DataType.STR) < comp.raw_size(
+            values, DataType.STR
+        )
+
+    def test_bad_code_rejected(self):
+        with pytest.raises(StorageError):
+            comp.dict_decode(["a"], [0, 5])
+
+    def test_code_width_grows(self):
+        assert comp._code_width(10) == 1
+        assert comp._code_width(300) == 2
+        assert comp._code_width(70_000) == 4
+
+
+class TestDelta:
+    def test_roundtrip(self):
+        values = [100, 105, 103, 110, 110]
+        assert comp.delta_decode(comp.delta_encode(values)) == values
+
+    def test_sorted_data_small_deltas(self):
+        values = list(range(1000, 2000))
+        deltas = comp.delta_encode(values)
+        assert comp.delta_encoded_size(deltas) < comp.raw_size(values, DataType.INT) / 4
+
+    def test_na_rejected(self):
+        with pytest.raises(StorageError):
+            comp.delta_encode([1, NA, 3])
+
+    def test_float_rejected(self):
+        with pytest.raises(StorageError):
+            comp.delta_encode([1.5, 2.5])

@@ -1,0 +1,135 @@
+"""Tests for the simulated disk and its I/O accounting."""
+
+import pytest
+
+from repro.core.errors import DiskError
+from repro.storage.disk import DiskCostModel, IOStats, SimulatedDisk
+
+
+class TestAllocation:
+    def test_allocate_returns_distinct_blocks(self):
+        disk = SimulatedDisk()
+        blocks = [disk.allocate() for _ in range(10)]
+        assert len(set(blocks)) == 10
+
+    def test_allocated_blocks_counts(self):
+        disk = SimulatedDisk()
+        disk.allocate()
+        disk.allocate()
+        assert disk.allocated_blocks == 2
+
+    def test_capacity_enforced(self):
+        disk = SimulatedDisk(capacity_blocks=2)
+        disk.allocate()
+        disk.allocate()
+        with pytest.raises(DiskError, match="disk full"):
+            disk.allocate()
+
+    def test_free_allows_reuse(self):
+        disk = SimulatedDisk(capacity_blocks=1)
+        block = disk.allocate()
+        disk.free(block)
+        assert disk.allocate() == block
+
+    def test_free_unallocated_rejected(self):
+        disk = SimulatedDisk()
+        with pytest.raises(DiskError, match="not allocated"):
+            disk.free(99)
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(DiskError):
+            SimulatedDisk(block_size=0)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(DiskError):
+            SimulatedDisk(capacity_blocks=0)
+
+    def test_allocate_many(self):
+        disk = SimulatedDisk()
+        blocks = disk.allocate_many(5)
+        assert len(blocks) == 5
+
+
+class TestReadWrite:
+    def test_write_then_read_roundtrip(self):
+        disk = SimulatedDisk(block_size=64)
+        block = disk.allocate()
+        disk.write_block(block, b"hello")
+        data = disk.read_block(block)
+        assert data[:5] == b"hello"
+        assert len(data) == 64
+
+    def test_fresh_block_is_zeroed(self):
+        disk = SimulatedDisk(block_size=16)
+        block = disk.allocate()
+        assert disk.read_block(block) == bytes(16)
+
+    def test_oversized_write_rejected(self):
+        disk = SimulatedDisk(block_size=8)
+        block = disk.allocate()
+        with pytest.raises(DiskError, match="exceeds block size"):
+            disk.write_block(block, b"123456789")
+
+    def test_read_unallocated_rejected(self):
+        disk = SimulatedDisk()
+        with pytest.raises(DiskError, match="not allocated"):
+            disk.read_block(0)
+
+    def test_short_write_zero_pads(self):
+        disk = SimulatedDisk(block_size=8)
+        block = disk.allocate()
+        disk.write_block(block, b"ab")
+        assert disk.read_block(block) == b"ab" + bytes(6)
+
+
+class TestAccounting:
+    def test_reads_and_writes_counted(self):
+        disk = SimulatedDisk()
+        a = disk.allocate()
+        disk.write_block(a, b"x")
+        disk.read_block(a)
+        disk.read_block(a)
+        assert disk.stats.block_writes == 1
+        assert disk.stats.block_reads == 2
+
+    def test_sequential_vs_random(self):
+        disk = SimulatedDisk()
+        blocks = [disk.allocate() for _ in range(3)]
+        disk.read_block(blocks[0])  # random (first access)
+        disk.read_block(blocks[1])  # sequential
+        disk.read_block(blocks[2])  # sequential
+        disk.read_block(blocks[0])  # random (backwards)
+        assert disk.stats.sequential_reads == 2
+        assert disk.stats.random_reads == 2
+        assert disk.stats.seeks == 2
+
+    def test_cost_model_time(self):
+        model = DiskCostModel(seek_ms=10.0, transfer_ms_per_block=2.0)
+        stats = IOStats(block_reads=3, block_writes=1, seeks=2)
+        assert model.time_ms(stats) == 2 * 10.0 + 4 * 2.0
+
+    def test_elapsed_uses_cost_model(self):
+        disk = SimulatedDisk(cost_model=DiskCostModel(seek_ms=5.0, transfer_ms_per_block=1.0))
+        block = disk.allocate()
+        disk.read_block(block)  # 1 seek + 1 transfer
+        assert disk.elapsed_ms() == 6.0
+
+    def test_reset_stats(self):
+        disk = SimulatedDisk()
+        block = disk.allocate()
+        disk.read_block(block)
+        disk.reset_stats()
+        assert disk.stats.total_blocks == 0
+        assert disk.stats.seeks == 0
+
+    def test_snapshot_and_delta(self):
+        disk = SimulatedDisk()
+        block = disk.allocate()
+        disk.read_block(block)
+        before = disk.stats.snapshot()
+        disk.read_block(block)
+        disk.read_block(block)
+        delta = disk.stats.delta_since(before)
+        assert delta.block_reads == 2
+        # Snapshot itself unchanged.
+        assert before.block_reads == 1

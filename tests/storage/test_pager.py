@@ -1,0 +1,203 @@
+"""Tests for the buffer pool and replacement policies."""
+
+import pytest
+
+from repro.core.errors import BufferPoolError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pager import BufferPool, make_policy
+
+
+def make_pool(capacity=3, block_size=64):
+    disk = SimulatedDisk(block_size=block_size)
+    return disk, BufferPool(disk, capacity=capacity, policy="lru")
+
+
+class TestBasics:
+    def test_new_page_is_pinned_and_dirty(self):
+        _, pool = make_pool()
+        block, data = pool.new_page()
+        assert pool.pin_count(block) == 1
+        data[0] = 42
+        pool.unpin(block)
+        pool.flush_all()
+
+    def test_fetch_miss_reads_disk(self):
+        disk, pool = make_pool()
+        block, _ = pool.new_page()
+        pool.unpin(block, dirty=True)
+        pool.clear()
+        disk.reset_stats()
+        pool.fetch_page(block)
+        assert disk.stats.block_reads == 1
+        assert pool.stats.misses == 1
+
+    def test_fetch_hit_avoids_disk(self):
+        disk, pool = make_pool()
+        block, _ = pool.new_page()
+        pool.unpin(block)
+        disk.reset_stats()
+        pool.fetch_page(block)
+        pool.unpin(block)
+        assert disk.stats.block_reads == 0
+        assert pool.stats.hits == 1
+
+    def test_dirty_data_survives_eviction(self):
+        disk, pool = make_pool(capacity=1)
+        block, data = pool.new_page()
+        data[:3] = b"abc"
+        pool.unpin(block, dirty=True)
+        other, _ = pool.new_page()  # evicts block
+        pool.unpin(other)
+        page = pool.fetch_page(block)
+        assert bytes(page[:3]) == b"abc"
+
+    def test_unpin_not_resident_rejected(self):
+        _, pool = make_pool()
+        with pytest.raises(BufferPoolError, match="not resident"):
+            pool.unpin(123)
+
+    def test_over_unpin_rejected(self):
+        _, pool = make_pool()
+        block, _ = pool.new_page()
+        pool.unpin(block)
+        with pytest.raises(BufferPoolError, match="not pinned"):
+            pool.unpin(block)
+
+    def test_all_pinned_rejects_new_page(self):
+        _, pool = make_pool(capacity=2)
+        pool.new_page()
+        pool.new_page()
+        with pytest.raises(BufferPoolError, match="pinned"):
+            pool.new_page()
+
+    def test_clear_with_pins_rejected(self):
+        _, pool = make_pool()
+        pool.new_page()
+        with pytest.raises(BufferPoolError, match="pinned"):
+            pool.clear()
+
+    def test_capacity_must_be_positive(self):
+        disk = SimulatedDisk()
+        with pytest.raises(BufferPoolError):
+            BufferPool(disk, capacity=0)
+
+    def test_hit_ratio(self):
+        _, pool = make_pool()
+        block, _ = pool.new_page()
+        pool.unpin(block)
+        pool.fetch_page(block)
+        pool.unpin(block)
+        pool.fetch_page(block)
+        pool.unpin(block)
+        assert pool.stats.hit_ratio == 1.0
+
+
+class TestPolicies:
+    def _fill(self, pool, n):
+        blocks = []
+        for _ in range(n):
+            block, _ = pool.new_page()
+            pool.unpin(block, dirty=True)
+            blocks.append(block)
+        return blocks
+
+    def test_lru_evicts_least_recent(self):
+        disk = SimulatedDisk(block_size=32)
+        pool = BufferPool(disk, capacity=2, policy="lru")
+        a, b = self._fill(pool, 2)
+        pool.fetch_page(a)
+        pool.unpin(a)  # a is now most recent
+        c, _ = pool.new_page()  # must evict b
+        pool.unpin(c)
+        assert pool.is_resident(a)
+        assert not pool.is_resident(b)
+
+    def test_mru_evicts_most_recent(self):
+        disk = SimulatedDisk(block_size=32)
+        pool = BufferPool(disk, capacity=2, policy="mru")
+        a, b = self._fill(pool, 2)
+        pool.fetch_page(a)
+        pool.unpin(a)  # a most recent
+        c, _ = pool.new_page()  # must evict a
+        pool.unpin(c)
+        assert not pool.is_resident(a)
+        assert pool.is_resident(b)
+
+    def test_fifo_ignores_access(self):
+        disk = SimulatedDisk(block_size=32)
+        pool = BufferPool(disk, capacity=2, policy="fifo")
+        a, b = self._fill(pool, 2)
+        pool.fetch_page(a)
+        pool.unpin(a)  # access does not rescue a under FIFO
+        c, _ = pool.new_page()
+        pool.unpin(c)
+        assert not pool.is_resident(a)
+
+    def test_clock_gives_second_chance(self):
+        disk = SimulatedDisk(block_size=32)
+        pool = BufferPool(disk, capacity=2, policy="clock")
+        a, b = self._fill(pool, 2)
+        # Both ref bits set; first eviction clears bits then evicts one.
+        c, _ = pool.new_page()
+        pool.unpin(c)
+        assert pool.stats.evictions == 1
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(BufferPoolError, match="unknown replacement"):
+            make_policy("optimal")
+
+    def test_pinned_pages_never_evicted(self):
+        disk = SimulatedDisk(block_size=32)
+        pool = BufferPool(disk, capacity=2, policy="lru")
+        a, _ = pool.new_page()  # keep pinned
+        b, _ = pool.new_page()
+        pool.unpin(b, dirty=True)
+        c, _ = pool.new_page()  # must evict b, not pinned a
+        pool.unpin(c)
+        assert pool.is_resident(a)
+        assert not pool.is_resident(b)
+
+    def test_mru_beats_lru_on_sequential_flood(self):
+        """The paper's SS2.4 point: general-purpose memory management is
+
+        wrong for repeated full-column scans slightly over pool size."""
+
+        def run(policy):
+            disk = SimulatedDisk(block_size=32)
+            pool = BufferPool(disk, capacity=8, policy=policy)
+            blocks = []
+            for _ in range(10):  # file slightly larger than the pool
+                block, _ = pool.new_page()
+                pool.unpin(block, dirty=True)
+                blocks.append(block)
+            pool.stats.reset()
+            for _ in range(5):  # repeated sequential scans
+                for block in blocks:
+                    pool.fetch_page(block)
+                    pool.unpin(block)
+            return pool.stats.hit_ratio
+
+        assert run("mru") > run("lru")
+
+
+class TestFlush:
+    def test_flush_page_writes_dirty(self):
+        disk, pool = make_pool()
+        block, data = pool.new_page()
+        data[:2] = b"zz"
+        pool.unpin(block, dirty=True)
+        disk.reset_stats()
+        pool.flush_page(block)
+        assert disk.stats.block_writes == 1
+        # Second flush is a no-op (clean now).
+        pool.flush_page(block)
+        assert disk.stats.block_writes == 1
+
+    def test_flush_all(self):
+        disk, pool = make_pool(capacity=4)
+        for _ in range(3):
+            block, _ = pool.new_page()
+            pool.unpin(block, dirty=True)
+        disk.reset_stats()
+        pool.flush_all()
+        assert disk.stats.block_writes == 3

@@ -1,0 +1,96 @@
+"""Tests for record serialization."""
+
+import pytest
+
+from repro.core.errors import RecordError
+from repro.relational.types import NA, DataType
+from repro.storage.records import RID, RecordCodec
+
+TYPES = [DataType.INT, DataType.FLOAT, DataType.STR, DataType.BOOL, DataType.CATEGORY]
+
+
+class TestRoundtrip:
+    def test_all_types(self):
+        codec = RecordCodec(TYPES)
+        row = (42, 3.5, "hello", True, 7)
+        values, consumed = codec.decode(codec.encode(row))
+        assert values == row
+        assert consumed == len(codec.encode(row))
+
+    def test_na_fields(self):
+        codec = RecordCodec(TYPES)
+        row = (NA, NA, NA, NA, NA)
+        values, _ = codec.decode(codec.encode(row))
+        assert all(v is NA for v in values)
+
+    def test_mixed_na(self):
+        codec = RecordCodec(TYPES)
+        row = (1, NA, "x", NA, 3)
+        values, _ = codec.decode(codec.encode(row))
+        assert values == (1, NA, "x", NA, 3)
+
+    def test_empty_string(self):
+        codec = RecordCodec([DataType.STR])
+        values, _ = codec.decode(codec.encode(("",)))
+        assert values == ("",)
+
+    def test_unicode_string(self):
+        codec = RecordCodec([DataType.STR])
+        values, _ = codec.decode(codec.encode(("héllo wörld",)))
+        assert values == ("héllo wörld",)
+
+    def test_negative_numbers(self):
+        codec = RecordCodec([DataType.INT, DataType.FLOAT])
+        values, _ = codec.decode(codec.encode((-5, -2.5)))
+        assert values == (-5, -2.5)
+
+    def test_multiple_records_in_buffer(self):
+        codec = RecordCodec([DataType.INT])
+        buf = codec.encode((1,)) + codec.encode((2,))
+        first, consumed = codec.decode(buf)
+        second, _ = codec.decode(buf, offset=consumed)
+        assert first == (1,) and second == (2,)
+
+
+class TestErrors:
+    def test_wrong_arity(self):
+        codec = RecordCodec([DataType.INT])
+        with pytest.raises(RecordError, match="fields"):
+            codec.encode((1, 2))
+
+    def test_uncodable_value(self):
+        codec = RecordCodec([DataType.INT])
+        with pytest.raises(RecordError, match="cannot encode"):
+            codec.encode(("not an int",))
+
+    def test_truncated_buffer(self):
+        codec = RecordCodec([DataType.INT])
+        buf = codec.encode((1,))
+        with pytest.raises(RecordError):
+            codec.decode(buf[:3])
+
+    def test_oversized_string(self):
+        codec = RecordCodec([DataType.STR])
+        with pytest.raises(RecordError, match="exceeds"):
+            codec.encode(("x" * 70000,))
+
+
+class TestRID:
+    def test_equality_and_hash(self):
+        assert RID(1, 2) == RID(1, 2)
+        assert RID(1, 2) != RID(1, 3)
+        assert len({RID(1, 2), RID(1, 2), RID(2, 2)}) == 2
+
+    def test_ordering(self):
+        assert RID(1, 5) < RID(2, 0)
+        assert RID(1, 1) < RID(1, 2)
+
+    def test_repr(self):
+        assert repr(RID(3, 4)) == "RID(3, 4)"
+
+
+class TestSizing:
+    def test_max_size_upper_bounds_encoding(self):
+        codec = RecordCodec(TYPES)
+        encoded = codec.encode((2**62, 1.0, "x" * 64, False, -1))
+        assert len(encoded) <= codec.max_size(max_str_len=64)

@@ -1,0 +1,103 @@
+"""Tests for the simulated tape archive."""
+
+import pytest
+
+from repro.core.errors import TapeError
+from repro.storage.tape import TapeArchive, TapeCostModel
+
+
+class TestWrite:
+    def test_write_splits_into_blocks(self):
+        tape = TapeArchive(block_size=100)
+        blocks = tape.write_dataset("a", b"x" * 250)
+        assert blocks == 3
+        assert tape.total_blocks == 3
+
+    def test_duplicate_name_rejected(self):
+        tape = TapeArchive()
+        tape.write_dataset("a", b"x")
+        with pytest.raises(TapeError, match="append-only"):
+            tape.write_dataset("a", b"y")
+
+    def test_empty_dataset_rejected(self):
+        tape = TapeArchive()
+        with pytest.raises(TapeError, match="empty"):
+            tape.write_dataset("a", b"")
+
+    def test_preblocked_chunks(self):
+        tape = TapeArchive(block_size=10)
+        tape.write_dataset("a", [b"12345", b"67890"])
+        assert tape.dataset_blocks("a") == 2
+
+    def test_oversized_chunk_rejected(self):
+        tape = TapeArchive(block_size=4)
+        with pytest.raises(TapeError, match="exceeds"):
+            tape.write_dataset("a", [b"12345"])
+
+    def test_dataset_names_in_order(self):
+        tape = TapeArchive()
+        tape.write_dataset("b", b"x")
+        tape.write_dataset("a", b"y")
+        assert tape.dataset_names == ["b", "a"]
+
+
+class TestRead:
+    def test_roundtrip(self):
+        tape = TapeArchive(block_size=8)
+        payload = b"hello tape world"
+        tape.write_dataset("d", payload)
+        data = tape.read_dataset_bytes("d")
+        assert data[: len(payload)] == payload
+
+    def test_missing_dataset_rejected(self):
+        tape = TapeArchive()
+        with pytest.raises(TapeError, match="no dataset"):
+            list(tape.read_dataset("nope"))
+
+    def test_read_streams_preceding_blocks(self):
+        tape = TapeArchive(block_size=10)
+        tape.write_dataset("first", b"x" * 50)  # 5 blocks
+        tape.write_dataset("second", b"y" * 10)  # 1 block
+        tape.read_dataset_bytes("second")
+        # Streamed over the 5 preceding blocks plus its own 1.
+        assert tape.stats.blocks_streamed == 6
+
+    def test_first_dataset_cheaper_than_last(self):
+        tape = TapeArchive(block_size=10)
+        tape.write_dataset("a", b"x" * 100)
+        tape.write_dataset("b", b"y" * 100)
+        tape.read_dataset_bytes("a")
+        cost_a = tape.stats.blocks_streamed
+        tape.reset_stats()
+        tape.read_dataset_bytes("b")
+        cost_b = tape.stats.blocks_streamed
+        assert cost_b > cost_a
+
+    def test_mount_counted_once_until_unmount(self):
+        tape = TapeArchive()
+        tape.write_dataset("a", b"x")
+        tape.read_dataset_bytes("a")
+        tape.read_dataset_bytes("a")
+        assert tape.stats.mounts == 1
+        tape.unmount()
+        tape.read_dataset_bytes("a")
+        assert tape.stats.mounts == 2
+
+    def test_has_dataset(self):
+        tape = TapeArchive()
+        tape.write_dataset("a", b"x")
+        assert tape.has_dataset("a")
+        assert not tape.has_dataset("b")
+
+
+class TestCostModel:
+    def test_time_dominated_by_mount(self):
+        model = TapeCostModel(mount_ms=1000.0, stream_ms_per_block=1.0, rewind_ms=0.0)
+        tape = TapeArchive(block_size=10, cost_model=model)
+        tape.write_dataset("a", b"x" * 30)
+        tape.read_dataset_bytes("a")
+        assert tape.elapsed_ms() == pytest.approx(1000.0 + 3.0)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(TapeError):
+            TapeArchive(block_size=0)

@@ -1,0 +1,67 @@
+"""Tests for the WiSS-style storage manager facade."""
+
+import pytest
+
+from repro.core.errors import CatalogError
+from repro.relational.types import DataType
+from repro.storage.wiss import StorageManager
+
+
+class TestFactories:
+    def test_create_and_fetch_heap(self):
+        sm = StorageManager()
+        heap = sm.create_heap_file("h", [DataType.INT])
+        assert sm.file("h") is heap
+
+    def test_create_and_fetch_transposed(self):
+        sm = StorageManager()
+        tf = sm.create_transposed_file("t", [DataType.INT], compress="rle")
+        assert sm.file("t") is tf
+
+    def test_duplicate_file_name_rejected(self):
+        sm = StorageManager()
+        sm.create_heap_file("x", [DataType.INT])
+        with pytest.raises(CatalogError, match="already exists"):
+            sm.create_transposed_file("x", [DataType.INT])
+
+    def test_missing_file_rejected(self):
+        sm = StorageManager()
+        with pytest.raises(CatalogError, match="no file"):
+            sm.file("nope")
+
+    def test_indexes(self):
+        sm = StorageManager()
+        index = sm.create_index("idx")
+        index.insert(1, "a")
+        assert sm.index("idx").search(1) == ["a"]
+        with pytest.raises(CatalogError):
+            sm.create_index("idx")
+        with pytest.raises(CatalogError):
+            sm.index("other")
+
+    def test_file_names(self):
+        sm = StorageManager()
+        sm.create_heap_file("b", [DataType.INT])
+        sm.create_heap_file("a", [DataType.INT])
+        assert sm.file_names == ["a", "b"]
+
+
+class TestAccounting:
+    def test_report_reflects_activity(self):
+        sm = StorageManager(pool_pages=2, block_size=128)
+        heap = sm.create_heap_file("h", [DataType.INT])
+        heap.insert_many([(i,) for i in range(200)])
+        sm.flush()
+        report = sm.report()
+        assert report.io.block_writes > 0
+        assert report.model_time_ms > 0
+        assert "reads=" in str(report)
+
+    def test_reset_stats(self):
+        sm = StorageManager(block_size=128)
+        heap = sm.create_heap_file("h", [DataType.INT])
+        heap.insert((1,))
+        sm.reset_stats()
+        report = sm.report()
+        assert report.io.total_blocks == 0
+        assert report.buffer.accesses == 0

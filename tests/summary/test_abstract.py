@@ -1,0 +1,159 @@
+"""Tests for the Database Abstract inference engine (paper SS5.1)."""
+
+import pytest
+
+from repro.core.session import AnalystSession
+from repro.metadata.management import ManagementDatabase
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, measure
+from repro.summary.abstract import DatabaseAbstract, InferenceKind
+from repro.summary.summarydb import SummaryDatabase
+from repro.views.view import ConcreteView
+
+
+@pytest.fixture()
+def db():
+    return SummaryDatabase("abstract_test")
+
+
+def abstract_with(db, **entries):
+    for name, value in entries.items():
+        db.insert(name, "x", value)
+    return DatabaseAbstract(db)
+
+
+class TestExactRules:
+    def test_identity(self, db):
+        abstract = abstract_with(db, median=5.0)
+        inference = abstract.infer("median", "x")
+        assert inference.kind is InferenceKind.EXACT
+        assert inference.value == 5.0
+
+    def test_mean_from_sum_count(self, db):
+        abstract = abstract_with(db, sum=100.0, count=4)
+        inference = abstract.infer("mean", "x")
+        assert inference.kind is InferenceKind.EXACT
+        assert inference.value == 25.0
+        assert "sum / count" in inference.derivation
+
+    def test_sum_from_mean_count(self, db):
+        abstract = abstract_with(db, mean=25.0, count=4)
+        assert abstract.infer("sum", "x").value == 100.0
+
+    def test_var_std_interchange(self, db):
+        abstract = abstract_with(db, std=3.0)
+        assert abstract.infer("var", "x").value == 9.0
+        db2 = SummaryDatabase("v2")
+        abstract2 = abstract_with(db2, var=16.0)
+        assert abstract2.infer("std", "x").value == 4.0
+
+    def test_cv_from_std_mean(self, db):
+        abstract = abstract_with(db, std=5.0, mean=50.0)
+        assert abstract.infer("cv", "x").value == pytest.approx(0.1)
+
+    def test_iqr_from_quartiles(self, db):
+        abstract = abstract_with(db, quantile_25=10.0, quantile_75=30.0)
+        assert abstract.infer("iqr", "x").value == 20.0
+
+    def test_rms_from_mean_var_count(self, db):
+        import math
+
+        values = [1.0, 2.0, 3.0, 4.0]
+        n = len(values)
+        mean = sum(values) / n
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        abstract = abstract_with(db, mean=mean, var=var, count=n)
+        true_rms = math.sqrt(sum(v * v for v in values) / n)
+        assert abstract.infer("rms", "x").value == pytest.approx(true_rms)
+
+
+class TestBoundedRules:
+    def test_quantile_bracketing(self, db):
+        abstract = abstract_with(db, quantile_25=10.0, quantile_75=30.0)
+        inference = abstract.infer("median", "x")
+        assert inference.kind is InferenceKind.BOUNDED
+        assert inference.lo == 10.0 and inference.hi == 30.0
+        assert inference.value == pytest.approx(20.0)  # linear interpolation
+
+    def test_quantile_from_min_max(self, db):
+        abstract = abstract_with(db, min=0.0, max=100.0)
+        inference = abstract.infer("quantile_90", "x")
+        assert inference.kind is InferenceKind.BOUNDED
+        assert inference.lo == 0.0 and inference.hi == 100.0
+        assert inference.value == pytest.approx(90.0)
+
+    def test_mean_bounds_with_median_estimate(self, db):
+        abstract = abstract_with(db, min=0.0, max=10.0, median=4.0)
+        inference = abstract.infer("mean", "x")
+        assert inference.kind is InferenceKind.ESTIMATE
+        assert inference.value == 4.0
+        assert (inference.lo, inference.hi) == (0.0, 10.0)
+
+    def test_trimmed_mean_bounds(self, db):
+        abstract = abstract_with(db, quantile_5=2.0, quantile_95=8.0)
+        inference = abstract.infer("trimmed_mean", "x")
+        assert inference.kind is InferenceKind.BOUNDED
+        assert 2.0 <= inference.value <= 8.0
+
+
+class TestFreshnessAndMisses:
+    def test_stale_entries_ignored(self, db):
+        db.insert("sum", "x", 100.0)
+        db.insert("count", "x", 4)
+        db.peek("sum", "x").stale = True
+        abstract = DatabaseAbstract(db)
+        assert abstract.infer("mean", "x") is None
+
+    def test_pending_updates_ignored(self, db):
+        db.insert("median", "x", 5.0)
+        db.peek("median", "x").pending_updates = 2
+        assert DatabaseAbstract(db).infer("median", "x") is None
+
+    def test_no_rule_returns_none(self, db):
+        abstract = abstract_with(db, mean=5.0)
+        assert abstract.infer("mode", "x") is None
+        assert abstract.infer("median", "y") is None
+
+    def test_inference_counter(self, db):
+        abstract = abstract_with(db, sum=1.0, count=1)
+        abstract.infer("mean", "x")
+        abstract.infer("mode", "x")
+        assert abstract.inferences_served == 1
+
+    def test_str_rendering(self, db):
+        abstract = abstract_with(db, min=0.0, max=10.0)
+        text = str(abstract.infer("quantile_50", "x"))
+        assert "bounded" in text and "[0" in text
+
+
+class TestSessionIntegration:
+    def make_session(self):
+        schema = Schema([measure("x")])
+        relation = Relation("v", schema, [(float(i),) for i in range(101)])
+        view = ConcreteView("v", relation)
+        return AnalystSession(ManagementDatabase(), view, analyst="rowe")
+
+    def test_estimate_uses_inference_not_data(self):
+        session = self.make_session()
+        session.compute("sum", "x")
+        session.compute("count", "x")
+        scanned = session.stats.rows_scanned
+        inference = session.estimate("mean", "x")
+        assert inference.kind is InferenceKind.EXACT
+        assert inference.value == pytest.approx(50.0)
+        assert session.stats.rows_scanned == scanned  # zero data access
+
+    def test_estimate_bounds_contain_truth(self):
+        session = self.make_session()
+        session.compute("quantile_25", "x")
+        session.compute("quantile_75", "x")
+        inference = session.estimate("median", "x")
+        true_median = 50.0
+        assert inference.lo <= true_median <= inference.hi
+
+    def test_estimate_falls_back_to_compute(self):
+        session = self.make_session()
+        inference = session.estimate("median", "x")
+        assert inference.kind is InferenceKind.EXACT
+        assert inference.value == 50.0
+        assert "computed" in inference.derivation

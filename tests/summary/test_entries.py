@@ -1,0 +1,89 @@
+"""Tests for Summary Database entries and result encoding."""
+
+import pytest
+
+from repro.core.errors import SummaryError
+from repro.relational.types import NA
+from repro.summary.entries import SummaryEntry, SummaryKey, decode_result, encode_result
+
+
+class TestKey:
+    def test_primary_attribute(self):
+        key = SummaryKey("pearson", ("a", "b"))
+        assert key.primary_attribute == "a"
+        assert str(key) == "pearson(a, b)"
+
+    def test_validation(self):
+        with pytest.raises(SummaryError):
+            SummaryKey("", ("a",))
+        with pytest.raises(SummaryError):
+            SummaryKey("f", ())
+
+    def test_hashable(self):
+        assert SummaryKey("f", ("a",)) == SummaryKey("f", ("a",))
+        assert len({SummaryKey("f", ("a",)), SummaryKey("f", ("a",))}) == 1
+
+
+class TestEntry:
+    def test_mark_fresh(self):
+        entry = SummaryEntry(key=SummaryKey("mean", ("x",)), result=1.0)
+        entry.stale = True
+        entry.pending_updates = 7
+        entry.mark_fresh(version=12)
+        assert not entry.stale
+        assert entry.pending_updates == 0
+        assert entry.computed_at_version == 12
+
+    def test_size_reflects_result(self):
+        scalar = SummaryEntry(key=SummaryKey("mean", ("x",)), result=1.0)
+        vector = SummaryEntry(key=SummaryKey("resid", ("x",)), result=[0.0] * 100)
+        assert vector.size_bytes > scalar.size_bytes * 10
+
+
+class TestEncoding:
+    """The 'varying length' third column of Figure 4."""
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            NA,
+            3.5,
+            -17,
+            0,
+            True,
+            "a label",
+            "",
+            (1.5, 9.5),  # a (min, max) pair
+            [1.0, 2.0, NA, 4.0],  # a vector with missing entries
+            ([0.0, 1.0, 2.0], [5, 7]),  # a histogram: edges + counts
+        ],
+    )
+    def test_roundtrip(self, value):
+        decoded = decode_result(encode_result(value))
+        if isinstance(value, bool):
+            assert decoded == int(value)
+        elif isinstance(value, tuple) and not isinstance(value[0], list):
+            assert tuple(decoded) == value
+        elif isinstance(value, tuple):
+            assert (list(decoded[0]), list(decoded[1])) == (list(value[0]), list(value[1]))
+        elif isinstance(value, list):
+            assert decoded == value
+        else:
+            assert decoded == value or (value is NA and decoded is NA)
+
+    def test_histogram_distinguished_from_pair(self):
+        histogram = ([0.0, 1.0, 2.0], [3, 4])
+        pair = (1.0, 2.0)
+        assert encode_result(histogram)[0] == 0x05
+        assert encode_result(pair)[0] == 0x06
+
+    def test_varying_lengths(self):
+        assert len(encode_result(1.0)) != len(encode_result([1.0] * 50))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SummaryError):
+            encode_result({"a": 1})
+
+    def test_corrupt_tag_rejected(self):
+        with pytest.raises(SummaryError):
+            decode_result(b"\xff")

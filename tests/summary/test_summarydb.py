@@ -1,0 +1,133 @@
+"""Tests for the Summary Database cache."""
+
+import pytest
+
+from repro.core.errors import SummaryError
+from repro.summary.summarydb import SummaryDatabase
+
+
+@pytest.fixture()
+def db():
+    return SummaryDatabase("test_view", entries_per_page=4)
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self, db):
+        assert db.lookup("mean", "salary") is None
+        db.insert("mean", "salary", 42.0)
+        entry = db.lookup("mean", "salary")
+        assert entry is not None and entry.result == 42.0
+        assert db.stats.misses == 1 and db.stats.hits == 1
+        assert db.stats.hit_ratio == 0.5
+
+    def test_peek_does_not_count(self, db):
+        db.insert("mean", "salary", 1.0)
+        db.peek("mean", "salary")
+        db.peek("nope", "salary")
+        assert db.stats.lookups == 0
+
+    def test_multi_attribute_keys(self, db):
+        db.insert("pearson", ("a", "b"), 0.7)
+        assert db.lookup("pearson", ("a", "b")).result == 0.7
+        assert db.lookup("pearson", ("b", "a")) is None  # order matters
+
+    def test_overwrite(self, db):
+        db.insert("mean", "x", 1.0)
+        db.insert("mean", "x", 2.0)
+        assert len(db) == 1
+        assert db.lookup("mean", "x").result == 2.0
+
+    def test_remove(self, db):
+        db.insert("mean", "x", 1.0)
+        db.remove("mean", "x")
+        assert len(db) == 0
+        with pytest.raises(SummaryError):
+            db.remove("mean", "x")
+
+    def test_hit_count_tracked(self, db):
+        db.insert("mean", "x", 1.0)
+        db.lookup("mean", "x")
+        db.lookup("mean", "x")
+        assert db.peek("mean", "x").hit_count == 2
+
+
+class TestClusteredAccess:
+    def test_entries_for_attribute(self, db):
+        db.insert("mean", "salary", 1.0)
+        db.insert("min", "salary", 0.0)
+        db.insert("mean", "age", 30.0)
+        got = {e.key.function for e in db.entries_for_attribute("salary")}
+        assert got == {"mean", "min"}
+
+    def test_entries_mentioning_multi_attr(self, db):
+        db.insert("pearson", ("salary", "age"), 0.5)
+        db.insert("mean", "age", 30.0)
+        mentioning_age = db.entries_mentioning("age")
+        assert len(mentioning_age) == 2
+        # But the clustered sweep only covers the primary attribute.
+        assert len(db.entries_for_attribute("age")) == 1
+
+    def test_invalidate_attribute(self, db):
+        db.insert("mean", "x", 1.0)
+        db.insert("max", "x", 9.0)
+        db.insert("mean", "y", 2.0)
+        count = db.invalidate_attribute("x")
+        assert count == 2
+        assert db.peek("mean", "x").stale
+        assert not db.peek("mean", "y").stale
+        # Idempotent.
+        assert db.invalidate_attribute("x") == 0
+
+    def test_attributes_listing(self, db):
+        db.insert("mean", "b", 1.0)
+        db.insert("mean", "a", 1.0)
+        assert db.attributes() == ["a", "b"]
+
+    def test_entries_in_clustered_order(self, db):
+        db.insert("mean", "b", 1.0)
+        db.insert("min", "a", 1.0)
+        db.insert("max", "a", 2.0)
+        attrs = [e.key.primary_attribute for e in db.entries()]
+        assert attrs == ["a", "a", "b"]
+
+
+class TestPageLayoutSimulation:
+    def test_clustered_fewer_pages_per_attribute(self):
+        """The E10 ablation: clustering wins for attribute sweeps."""
+        clustered = SummaryDatabase("v", entries_per_page=4, clustered=True)
+        scattered = SummaryDatabase("v", entries_per_page=4, clustered=False)
+        functions = ["mean", "min", "max", "std", "median", "count", "sum", "var"]
+        attrs = [f"attr{i}" for i in range(8)]
+        # Insert in function-major order, the worst case for an unclustered
+        # layout.
+        for fn in functions:
+            for attr in attrs:
+                clustered.insert(fn, attr, 1.0)
+                scattered.insert(fn, attr, 1.0)
+        assert clustered.pages_for_attribute("attr3") == 2  # 8 entries / 4 per page
+        assert scattered.pages_for_attribute("attr3") == 8  # one per page touched
+        assert clustered.total_pages() == scattered.total_pages() == 16
+
+    def test_page_of_known_entry(self, db):
+        db.insert("mean", "a", 1.0)
+        assert db.page_of(db.peek("mean", "a").key) == 0
+        with pytest.raises(SummaryError):
+            from repro.summary.entries import SummaryKey
+
+            db.page_of(SummaryKey("nope", ("a",)))
+
+
+class TestCapacity:
+    def test_eviction_of_cold_entries(self):
+        db = SummaryDatabase("v", capacity_bytes=200)
+        db.insert("f1", "a", [1.0] * 10)  # ~90 bytes
+        db.insert("f2", "a", [2.0] * 10)
+        db.lookup("f2", "a")  # keep f2 warm
+        db.insert("f3", "a", [3.0] * 10)  # forces eviction of f1 (coldest)
+        assert db.peek("f1", "a") is None
+        assert db.peek("f2", "a") is not None
+        assert db.stats.evictions >= 1
+
+    def test_cached_bytes(self, db):
+        db.insert("mean", "x", 1.0)
+        assert db.cached_bytes > 0

@@ -1,0 +1,114 @@
+"""Tests for the access-pattern advisor (paper SS2.3, SS2.7)."""
+
+import pytest
+
+from repro.core.errors import ViewError
+from repro.views.advisor import AccessAdvisor, LayoutAdvice
+
+
+class TestLayoutAdvice:
+    def test_column_dominated_advises_transposed(self):
+        advisor = AccessAdvisor(n_columns=8)
+        for _ in range(50):
+            advisor.observe_column_scan("INCOME")
+        advisor.observe_row_read()
+        assert advisor.layout_advice() is LayoutAdvice.TRANSPOSED
+
+    def test_row_dominated_advises_row_store(self):
+        advisor = AccessAdvisor(n_columns=8)
+        advisor.observe_column_scan("INCOME")
+        for _ in range(100):
+            advisor.observe_row_read()
+        assert advisor.layout_advice() is LayoutAdvice.ROW_STORE
+
+    def test_balanced_is_either(self):
+        advisor = AccessAdvisor(n_columns=8)
+        for _ in range(10):
+            advisor.observe_column_scan("A")
+            advisor.observe_row_read()
+        assert advisor.layout_advice() is LayoutAdvice.EITHER
+
+    def test_statistical_workload_shape(self):
+        """The paper's premise: EDA is column scans, so transposed wins."""
+        advisor = AccessAdvisor(n_columns=16)
+        for attr in ("AGE", "INCOME", "HOURS"):
+            for _ in range(20):
+                advisor.observe_column_scan(attr)
+        for _ in range(5):  # a few outlier investigations
+            advisor.observe_row_read()
+        assert advisor.layout_advice() is LayoutAdvice.TRANSPOSED
+
+
+class TestIndexAdvice:
+    def test_selective_repeated_predicate(self):
+        advisor = AccessAdvisor(n_columns=4, index_threshold=3)
+        for _ in range(5):
+            advisor.observe_predicate("REGION", selectivity=0.02)
+        assert advisor.index_advice() == ["REGION"]
+
+    def test_unselective_predicate_not_indexed(self):
+        advisor = AccessAdvisor(n_columns=4, index_threshold=3)
+        for _ in range(10):
+            advisor.observe_predicate("SEX", selectivity=0.5)
+        assert advisor.index_advice() == []
+
+    def test_rare_predicate_not_indexed(self):
+        advisor = AccessAdvisor(n_columns=4, index_threshold=5)
+        advisor.observe_predicate("REGION", selectivity=0.01)
+        assert advisor.index_advice() == []
+
+    def test_mean_selectivity_used(self):
+        advisor = AccessAdvisor(n_columns=4, index_threshold=2, selectivity_cutoff=0.1)
+        advisor.observe_predicate("A", 0.01)
+        advisor.observe_predicate("A", 0.5)  # mean ~0.25: too coarse
+        assert advisor.index_advice() == []
+
+    def test_selectivity_validation(self):
+        with pytest.raises(ViewError):
+            AccessAdvisor(4).observe_predicate("A", 1.5)
+
+
+class TestCompressionAdvice:
+    def test_low_cardinality_scanned_column(self):
+        advisor = AccessAdvisor(n_columns=4)
+        advisor.observe_cardinality("AGE_GROUP", distinct=4, rows=10_000)
+        for _ in range(5):
+            advisor.observe_column_scan("AGE_GROUP")
+        assert advisor.compression_advice() == ["AGE_GROUP"]
+
+    def test_high_cardinality_not_compressed(self):
+        advisor = AccessAdvisor(n_columns=4)
+        advisor.observe_cardinality("INCOME", distinct=9_000, rows=10_000)
+        for _ in range(5):
+            advisor.observe_column_scan("INCOME")
+        assert advisor.compression_advice() == []
+
+    def test_unscanned_not_compressed(self):
+        advisor = AccessAdvisor(n_columns=4)
+        advisor.observe_cardinality("AGE_GROUP", distinct=4, rows=10_000)
+        assert advisor.compression_advice() == []
+
+    def test_cardinality_validation(self):
+        with pytest.raises(ViewError):
+            AccessAdvisor(4).observe_cardinality("A", 1, 0)
+
+
+class TestRecommendation:
+    def test_full_recommendation(self):
+        advisor = AccessAdvisor(n_columns=8, index_threshold=2)
+        for _ in range(30):
+            advisor.observe_column_scan("INCOME")
+        advisor.observe_cardinality("REGION", distinct=10, rows=10_000)
+        for _ in range(4):
+            advisor.observe_column_scan("REGION")
+        for _ in range(3):
+            advisor.observe_predicate("REGION", 0.05)
+        rec = advisor.recommend()
+        assert rec.layout is LayoutAdvice.TRANSPOSED
+        assert rec.index_attributes == ("REGION",)
+        assert rec.compress_attributes == ("REGION",)
+        assert "column scans" in rec.rationale
+
+    def test_constructor_validation(self):
+        with pytest.raises(ViewError):
+            AccessAdvisor(0)

@@ -1,0 +1,140 @@
+"""Tests for update histories: undo, rollback, replay."""
+
+import pytest
+
+from repro.core.errors import HistoryError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, measure
+from repro.views.history import CellChange, OpKind, UpdateHistory
+
+
+def make_relation():
+    schema = Schema([measure("x"), measure("y")])
+    return Relation("r", schema, [(float(i), float(i * 10)) for i in range(10)])
+
+
+def change(relation, history, row, attr, new, kind=OpKind.UPDATE):
+    old = relation.set_value(row, attr, new)
+    history.record(kind, attr, [CellChange(row=row, old=old, new=new)])
+
+
+class TestRecording:
+    def test_versions_increment(self):
+        history = UpdateHistory("v")
+        assert history.version == 0
+        relation = make_relation()
+        change(relation, history, 0, "x", 99.0)
+        change(relation, history, 1, "x", 98.0)
+        assert history.version == 2
+        assert len(history) == 2
+
+    def test_operations_since(self):
+        history = UpdateHistory("v")
+        relation = make_relation()
+        for i in range(5):
+            change(relation, history, i, "x", -1.0)
+        assert len(history.operations_since(3)) == 2
+
+    def test_cells_changed(self):
+        history = UpdateHistory("v")
+        op = history.record(
+            OpKind.UPDATE,
+            "x",
+            [CellChange(0, 1.0, 2.0), CellChange(1, 3.0, 4.0)],
+        )
+        assert op.cells_changed == 2
+
+
+class TestUndo:
+    def test_undo_restores_values(self):
+        history = UpdateHistory("v")
+        relation = make_relation()
+        change(relation, history, 3, "x", 99.0)
+        assert relation.row(3)[0] == 99.0
+        undone = history.undo_last(relation, 1)
+        assert relation.row(3)[0] == 3.0
+        assert len(undone) == 1
+        assert history.version == 0
+
+    def test_undo_multiple_in_reverse(self):
+        history = UpdateHistory("v")
+        relation = make_relation()
+        change(relation, history, 0, "x", 100.0)
+        change(relation, history, 0, "x", 200.0)
+        history.undo_last(relation, 2)
+        assert relation.row(0)[0] == 0.0
+
+    def test_undo_partial(self):
+        history = UpdateHistory("v")
+        relation = make_relation()
+        change(relation, history, 0, "x", 100.0)
+        change(relation, history, 0, "x", 200.0)
+        history.undo_last(relation, 1)
+        assert relation.row(0)[0] == 100.0
+        assert history.version == 1
+
+    def test_undo_too_many_rejected(self):
+        history = UpdateHistory("v")
+        with pytest.raises(HistoryError, match="cannot undo"):
+            history.undo_last(make_relation(), 1)
+
+    def test_undo_count_validation(self):
+        history = UpdateHistory("v")
+        with pytest.raises(HistoryError):
+            history.undo_last(make_relation(), 0)
+
+    def test_undo_add_column_rejected(self):
+        history = UpdateHistory("v")
+        relation = make_relation()
+        history.record(OpKind.ADD_COLUMN, "derived", [])
+        with pytest.raises(HistoryError, match="column addition"):
+            history.undo_last(relation, 1)
+
+
+class TestRollback:
+    def test_rollback_to_version(self):
+        history = UpdateHistory("v")
+        relation = make_relation()
+        change(relation, history, 0, "x", 10.0)  # v1
+        change(relation, history, 0, "x", 20.0)  # v2
+        change(relation, history, 0, "x", 30.0)  # v3
+        history.rollback_to(relation, 1)
+        assert relation.row(0)[0] == 10.0
+        assert history.version == 1
+
+    def test_rollback_to_pristine(self):
+        history = UpdateHistory("v")
+        relation = make_relation()
+        change(relation, history, 5, "y", -1.0)
+        history.rollback_to(relation, 0)
+        assert relation.row(5)[1] == 50.0
+
+    def test_rollback_noop(self):
+        history = UpdateHistory("v")
+        relation = make_relation()
+        change(relation, history, 0, "x", 1.5)
+        assert history.rollback_to(relation, 1) == []
+
+    def test_rollback_bad_version(self):
+        history = UpdateHistory("v")
+        with pytest.raises(HistoryError, match="out of range"):
+            history.rollback_to(make_relation(), 5)
+
+
+class TestReplay:
+    def test_replay_applies_edits(self):
+        """SS3.2: a second analyst adopts a predecessor's data checking."""
+        history = UpdateHistory("v")
+        first_copy = make_relation()
+        change(first_copy, history, 2, "x", 99.0)
+        change(first_copy, history, 3, "y", -1.0, kind=OpKind.INVALIDATE)
+        second_copy = make_relation()
+        cells = history.replay_onto(second_copy)
+        assert cells == 2
+        assert second_copy.row(2)[0] == 99.0
+        assert second_copy.row(3)[1] == -1.0
+
+    def test_replay_skips_column_ops(self):
+        history = UpdateHistory("v")
+        history.record(OpKind.ADD_COLUMN, "d", [])
+        assert history.replay_onto(make_relation()) == 0

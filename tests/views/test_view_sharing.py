@@ -1,0 +1,154 @@
+"""Tests for concrete views and the sharing registry."""
+
+import pytest
+
+from repro.core.errors import ViewError
+from repro.incremental.derived import LocalDerivation
+from repro.relational.expressions import col
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, measure
+from repro.relational.types import DataType
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pager import BufferPool
+from repro.storage.transposed import TransposedFile
+from repro.views.materialize import ProjectNode, SelectNode, SourceNode, ViewDefinition
+from repro.views.sharing import ViewRegistry
+from repro.views.view import ConcreteView
+
+
+def simple_relation(n=20):
+    schema = Schema([measure("x"), measure("y")])
+    return Relation("v", schema, [(float(i), float(i * 2)) for i in range(n)])
+
+
+def make_view(name="v", definition=None, storage=False):
+    relation = simple_relation()
+    store = None
+    if storage:
+        disk = SimulatedDisk(block_size=256)
+        pool = BufferPool(disk, capacity=16)
+        store = TransposedFile(pool, relation.schema.types)
+    return ConcreteView(name, relation, definition=definition, storage=store)
+
+
+class TestConcreteView:
+    def test_basics(self):
+        view = make_view()
+        assert len(view) == 20
+        assert view.version == 0
+        assert "v" in repr(view)
+
+    def test_column_via_storage(self):
+        view = make_view(storage=True)
+        disk = view.storage.pool.disk
+        view.storage.pool.clear()
+        disk.reset_stats()
+        assert view.column("y") == [float(i * 2) for i in range(20)]
+        assert disk.stats.block_reads > 0
+
+    def test_set_value_writes_through(self):
+        view = make_view(storage=True)
+        view.set_value(5, "x", -1.0)
+        assert view.relation.column("x")[5] == -1.0
+        assert view.storage.get_value(5, 0) == -1.0
+
+    def test_storage_size_mismatch_rejected(self):
+        relation = simple_relation()
+        disk = SimulatedDisk(block_size=256)
+        pool = BufferPool(disk, capacity=8)
+        store = TransposedFile(pool, relation.schema.types)
+        store.append_row((1.0, 1.0))
+        with pytest.raises(ViewError):
+            ConcreteView("v", relation, storage=store)
+
+    def test_derived_column_memory_only(self):
+        view = make_view(storage=True)
+        view.add_derived_column(LocalDerivation("total", col("x") + col("y")))
+        assert view.column("total")[3] == 9.0
+        # The stored mirror keeps only the base columns.
+        assert view.storage.column_count == 2
+
+
+class TestSharingRegistry:
+    def make_registered(self):
+        registry = ViewRegistry()
+        definition = ViewDefinition("base", SourceNode("census"))
+        view = make_view("base", definition=definition)
+        registry.register(view)
+        return registry, view
+
+    def test_register_get(self):
+        registry, view = self.make_registered()
+        assert registry.get("base") is view
+        assert registry.names() == ["base"]
+        with pytest.raises(ViewError):
+            registry.register(view)
+        with pytest.raises(ViewError):
+            registry.get("missing")
+
+    def test_identical_detection(self):
+        registry, _ = self.make_registered()
+        request = ViewDefinition("dup", SourceNode("census"))
+        match = registry.find_match(request)
+        assert match is not None
+        assert match.kind == "identical" and match.operations == 0
+
+    def test_derivable_detection(self):
+        registry, _ = self.make_registered()
+        request = ViewDefinition(
+            "subset",
+            ProjectNode(
+                SelectNode(SourceNode("census"), col("x") > 5),
+                ("x",),
+            ),
+        )
+        match = registry.find_match(request)
+        assert match is not None
+        assert match.kind == "derivable" and match.operations == 2
+
+    def test_too_many_ops_not_derivable(self):
+        registry, _ = self.make_registered()
+        node = SourceNode("census")
+        for i in range(5):
+            node = SelectNode(node, col("x") > i)
+        assert registry.find_match(ViewDefinition("deep", node)) is None
+
+    def test_unrelated_not_matched(self):
+        registry, _ = self.make_registered()
+        request = ViewDefinition("other", SourceNode("different_dataset"))
+        assert registry.find_match(request) is None
+
+    def test_derive_from_existing_data(self):
+        registry, _ = self.make_registered()
+        request = ViewDefinition(
+            "subset", SelectNode(SourceNode("census"), col("x") > 15)
+        )
+        match = registry.find_match(request)
+        derived = registry.derive_from(request, match)
+        assert len(derived) == 4  # x in 16..19
+        assert derived.name == "subset"
+
+    def test_unregister(self):
+        registry, _ = self.make_registered()
+        registry.unregister("base")
+        assert registry.names() == []
+        with pytest.raises(ViewError):
+            registry.unregister("base")
+
+
+class TestPublishing:
+    def test_publish_snapshot(self):
+        registry = ViewRegistry()
+        view = make_view("v", definition=ViewDefinition("v", SourceNode("d")))
+        registry.register(view)
+        edits = registry.publish(view, publisher="alice")
+        # Later private changes do not leak into the snapshot.
+        view.set_value(0, "x", -99.0)
+        assert edits.relation.column("x")[0] == 0.0
+        assert edits.publisher == "alice"
+        assert registry.published("v") is edits
+        assert registry.published_names() == ["v"]
+
+    def test_unpublished_lookup_rejected(self):
+        with pytest.raises(ViewError):
+            ViewRegistry().published("nope")
