@@ -84,20 +84,14 @@ class UpdatePropagator:
             except Exception:
                 # Entries cached outside the function registry (e.g. the
                 # crosstab tables of compute_crosstab) just go stale.
-                if not entry.stale:
-                    entry.stale = True
-                    summary.stats.invalidations += 1
+                if summary.mark_stale(entry, pending=delta.size):
                     report.invalidations += 1
-                entry.pending_updates += delta.size
                 continue
             if len(entry.key.attributes) > 1:
                 # Multi-attribute results (correlations) have no per-column
                 # incremental form here; invalidate them.
-                if not entry.stale:
-                    entry.stale = True
-                    summary.stats.invalidations += 1
+                if summary.mark_stale(entry, pending=delta.size):
                     report.invalidations += 1
-                entry.pending_updates += delta.size
                 continue
             outcome = self.policy.on_update(
                 summary,
@@ -116,11 +110,8 @@ class UpdatePropagator:
             if entry.key.primary_attribute == attribute:
                 continue
             report.entries_visited += 1
-            if not entry.stale:
-                entry.stale = True
-                summary.stats.invalidations += 1
+            if summary.mark_stale(entry, pending=delta.size):
                 report.invalidations += 1
-            entry.pending_updates += delta.size
 
         # 3. Cascade to derived columns (SS3.2's derived-data rules), then
         #    invalidate the summary information computed over them.
@@ -131,14 +122,11 @@ class UpdatePropagator:
                 if entry.key.function.startswith("__"):
                     continue
                 report.entries_visited += 1
-                if not entry.stale:
-                    entry.stale = True
-                    summary.stats.invalidations += 1
+                if summary.mark_stale(entry, pending=1):
                     report.invalidations += 1
-                entry.pending_updates += 1
                 # A maintainer over a regenerated vector is no longer
                 # valid; drop it so the next refresh rebuilds it.
-                entry.maintainer = None
+                summary.detach_maintainer(entry)
         return report
 
     def propagate_all(

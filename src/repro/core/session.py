@@ -143,8 +143,11 @@ class AnalystSession:
         if entry is not None:
             self.stats.cache_hits += 1
             if entry.stale:
-                entry.result = fn(self.view.column(a), self.view.column(b))
-                entry.mark_fresh(self.view.version)
+                self.view.summary.refresh(
+                    entry,
+                    fn(self.view.column(a), self.view.column(b)),
+                    version=self.view.version,
+                )
                 self.view.summary.stats.recomputations += 1
                 self.stats.rows_scanned += 2 * len(self.view)
             return entry.result
@@ -169,10 +172,9 @@ class AnalystSession:
         existing = self.view.summary.peek("__note__", attribute)
         notes = list(existing.result) if existing is not None else []
         notes.append(text)
-        entry = self.view.summary.insert(
+        self.view.summary.insert(
             "__note__", attribute, notes, version=self.view.version
         )
-        entry.stale = False
 
     def notes(self, attribute: str) -> list[str]:
         """The analyst's annotations on one attribute, oldest first."""
@@ -274,8 +276,9 @@ class AnalystSession:
             attribute = entry.key.primary_attribute
             values = self.view.column(attribute)
             self.stats.rows_scanned += len(values)
-            entry.result = fn.compute(values)
-            entry.mark_fresh(self.view.version)
+            self.view.summary.refresh(
+                entry, fn.compute(values), version=self.view.version
+            )
             if entry.maintainer is not None:
                 entry.maintainer.initialize(values)
             return entry.result
@@ -346,13 +349,8 @@ class AnalystSession:
             if operation.kind is OpKind.ADD_COLUMN:
                 continue
             # The relation was reverted; mirror the storage copy too.
-            if self.view.storage is not None:
-                for change in operation.changes:
-                    stored = self.view._stored_attrs()
-                    if operation.attribute in stored:
-                        self.view.storage.set_value(
-                            change.row, stored.index(operation.attribute), change.old
-                        )
+            for change in operation.changes:
+                self.view.mirror_cell(change.row, operation.attribute, change.old)
             inverse = Delta(updates=[(c.new, c.old) for c in operation.changes])
             rows = [c.row for c in operation.changes]
             combined.merge(

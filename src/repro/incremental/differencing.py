@@ -26,10 +26,19 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Iterable
 
 from repro.core.errors import NotIncrementallyComputable, RuleError
-from repro.relational.types import NA, is_na
+from repro.relational.types import NA, NAType, is_na
+
+#: A high-level function definition: a nested tuple whose head is an
+#: operator or base-measure name and whose tail is operands (sub-definitions
+#: or numeric constants).  See the grammar below.
+Definition = tuple["str | float | Definition", ...]
+
+#: What an algebraic evaluation yields: a number, or NA when undefined
+#: (empty input, division by zero, domain error).
+Scalar = float | NAType
 
 
 @dataclass
@@ -124,7 +133,7 @@ class AlgebraicForm(IncrementalComputation):
     expression on demand.
     """
 
-    def __init__(self, definition: tuple) -> None:
+    def __init__(self, definition: Definition) -> None:
         _validate_definition(definition)
         self.definition = definition
         self._measures = sorted(_collect_measures(definition))
@@ -152,7 +161,7 @@ class AlgebraicForm(IncrementalComputation):
             self._state[measure] -= _measure_contribution(measure, value)
 
     @property
-    def value(self) -> Any:
+    def value(self) -> Scalar:
         return _evaluate(self.definition, self._state, self._n)
 
 
@@ -178,7 +187,7 @@ def _measure_contribution(measure: str, value: float) -> float:
     raise RuleError(f"unknown base measure {measure!r}")
 
 
-def _collect_measures(definition: tuple) -> set[str]:
+def _collect_measures(definition: Definition) -> set[str]:
     head = definition[0]
     if head in _BASE_MEASURES:
         return {head}
@@ -196,11 +205,11 @@ def _collect_measures(definition: tuple) -> set[str]:
     )
 
 
-def _validate_definition(definition: tuple) -> None:
+def _validate_definition(definition: Definition) -> None:
     _collect_measures(definition)
 
 
-def _evaluate(definition: tuple, state: dict[str, float], n: int) -> Any:
+def _evaluate(definition: Definition, state: dict[str, float], n: int) -> Scalar:
     head = definition[0]
     if head == "count":
         return float(n)
@@ -253,23 +262,23 @@ def _evaluate(definition: tuple, state: dict[str, float], n: int) -> Any:
 # values are still plain nested tuples.
 
 
-def _add(a: tuple, b: tuple) -> tuple:
+def _add(a: Definition, b: Definition) -> Definition:
     return ("add", a, b)
 
 
-def _sub(a: tuple, b: tuple) -> tuple:
+def _sub(a: Definition, b: Definition) -> Definition:
     return ("sub", a, b)
 
 
-def _mul(a: tuple, b: tuple) -> tuple:
+def _mul(a: Definition, b: Definition) -> Definition:
     return ("mul", a, b)
 
 
-def _div(a: tuple, b: tuple) -> tuple:
+def _div(a: Definition, b: Definition) -> Definition:
     return ("div", a, b)
 
 
-def _c(value: float) -> tuple:
+def _c(value: float) -> Definition:
     return ("const", value)
 
 
@@ -304,7 +313,7 @@ _SAMPLE_VAR = _div(
 #: variance uses the sum-of-squares identity with Bessel's correction;
 #: skewness/kurtosis come from the first four raw power sums; the geometric
 #: mean is exp(sumlog/count) — all maintained in O(1) per change.
-DEFINITIONS: dict[str, tuple] = {
+DEFINITIONS: dict[str, Definition] = {
     "count": _N,
     "sum": _S1,
     "mean": _MEAN,

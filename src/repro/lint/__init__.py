@@ -1,0 +1,41 @@
+"""Static analysis for the repro statistical DBMS (``python -m repro.lint``).
+
+Two layers share one findings engine:
+
+* **semantic** (``REPRO-Sxxx``) — imports the package and verifies the
+  paper's maintenance contracts: registry/rule coherence, live and correct
+  incremental maintainers, order statistics on the window scheme,
+  differencable algebraic definitions, the full maintainer protocol, and
+  a working invalidation path for every cacheable result;
+* **AST** (``REPRO-Axxx``) — parses the sources and enforces codebase
+  invariants: no view-row mutation outside the logged-update layer, no
+  cache-entry writes that bypass the rule repository, no mutable default
+  arguments, no bare ``except:``, and ``__all__`` lists that match reality.
+
+Suppress a finding with ``# repro-lint: disable=RULE-ID`` on (or above)
+the flagged line, or file-wide with ``# repro-lint: disable-file=RULE-ID``
+near the top of the file.
+"""
+
+from repro.lint.engine import LintReport, run_lint
+from repro.lint.findings import (
+    RULES,
+    Finding,
+    RuleRegistry,
+    RuleSpec,
+    Severity,
+    parse_suppressions,
+)
+from repro.lint.semantic import run_semantic_checks
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "RULES",
+    "RuleRegistry",
+    "RuleSpec",
+    "Severity",
+    "parse_suppressions",
+    "run_lint",
+    "run_semantic_checks",
+]

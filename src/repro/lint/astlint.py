@@ -1,0 +1,420 @@
+"""Layer 2: AST lint passes over the ``repro`` sources.
+
+Each pass is a custom :class:`ast.NodeVisitor` enforcing one codebase
+invariant that the runtime cannot check cheaply.  The two load-bearing
+rules guard the paper's maintenance architecture: view rows may only be
+mutated through the logged-update machinery (otherwise update histories
+and Summary Databases silently diverge from the data, REPRO-A103), and
+cache-entry maintenance state may only be written by the rule/policy layer
+(otherwise entries change without the Management Database's rules seeing
+it, REPRO-A104).  The remaining passes are hygiene shared by incremental
+systems everywhere: no mutable default arguments, no bare ``except:``, and
+``__all__`` export lists that match what a module actually defines.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.lint.findings import Finding, Severity, rule
+
+RULE_MUTABLE_DEFAULT = rule(
+    "REPRO-A101",
+    "mutable default argument",
+    severity=Severity.ERROR,
+    rationale="a shared default list/dict/set leaks state across calls",
+)
+RULE_BARE_EXCEPT = rule(
+    "REPRO-A102",
+    "bare except clause",
+    severity=Severity.ERROR,
+    rationale="swallows KeyboardInterrupt/SystemExit and hides real faults",
+)
+RULE_VIEW_MUTATION = rule(
+    "REPRO-A103",
+    "view-row mutation outside the logged-update layer",
+    severity=Severity.ERROR,
+    rationale=(
+        "cell writes that bypass repro.views.updates skip the update "
+        "history and the Summary Database propagation pipeline (paper SS4.1)"
+    ),
+)
+RULE_CACHE_BYPASS = rule(
+    "REPRO-A104",
+    "cache-entry write bypassing the rule repository",
+    severity=Severity.ERROR,
+    rationale=(
+        "SummaryEntry maintenance state (stale/result/maintainer) may only "
+        "be written by update rules, consistency policies, and the Summary "
+        "Database itself; ad-hoc writes desynchronize cache and rules"
+    ),
+)
+RULE_EXPORTS = rule(
+    "REPRO-A105",
+    "__all__ inconsistent with module bindings",
+    severity=Severity.ERROR,
+    rationale="stale export lists advertise names that do not exist (or hide ones that do)",
+)
+
+#: Modules allowed to mutate view cells directly: the logged-update layer,
+#: its undo path, the derived-column refresher, and the storage primitives
+#: they delegate to.
+VIEW_MUTATION_ALLOWED = (
+    "views/updates.py",
+    "views/view.py",
+    "views/history.py",
+    "incremental/derived.py",
+    "relational/relation.py",
+)
+
+#: Modules allowed to write SummaryEntry maintenance attributes: the rule
+#: implementations and the Summary Database layer (entries, store, policies).
+CACHE_WRITE_ALLOWED = (
+    "metadata/rules.py",
+    "summary/entries.py",
+    "summary/summarydb.py",
+    "summary/policies.py",
+    "summary/stored.py",
+)
+
+#: SummaryEntry attributes whose writes are maintenance actions.
+CACHE_STATE_ATTRS = frozenset({"stale", "result", "maintainer"})
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """What an AST pass knows about the file it is checking."""
+
+    path: str
+    """Path as reported in findings (usually repo-relative)."""
+    module_path: str
+    """Posix-style path used for allowlist suffix matching."""
+
+    def in_allowlist(self, allowed: tuple[str, ...]) -> bool:
+        """Whether this module is one of the allowed suffixes."""
+        return self.module_path.endswith(allowed)
+
+
+class AstRule(ast.NodeVisitor):
+    """Base class: one findings-collecting visitor per rule."""
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        """Visit the tree and return the collected findings."""
+        self.visit(tree)
+        return self.findings
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record one finding at a node's location."""
+        self.findings.append(
+            Finding(
+                rule_id=self.rule_id,
+                path=self.ctx.path,
+                line=getattr(node, "lineno", 1),
+                message=message,
+                severity=self.severity,
+            )
+        )
+
+
+class MutableDefaultRule(AstRule):
+    """REPRO-A101: list/dict/set (display, call, or comprehension) defaults."""
+
+    rule_id = RULE_MUTABLE_DEFAULT.rule_id
+    severity = RULE_MUTABLE_DEFAULT.severity
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque", "OrderedDict"})
+
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if self._is_mutable(default):
+                self.report(
+                    default,
+                    f"function {node.name!r} has a mutable default "
+                    f"({ast.unparse(default)}); use None and create inside",
+                )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            callee = node.func
+            name = callee.id if isinstance(callee, ast.Name) else (
+                callee.attr if isinstance(callee, ast.Attribute) else ""
+            )
+            return name in self._MUTABLE_CALLS
+        return False
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+class BareExceptRule(AstRule):
+    """REPRO-A102: ``except:`` with no exception type."""
+
+    rule_id = RULE_BARE_EXCEPT.rule_id
+    severity = RULE_BARE_EXCEPT.severity
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node,
+                "bare 'except:' catches SystemExit/KeyboardInterrupt; "
+                "name the exception types (use 'except Exception:' at minimum)",
+            )
+        self.generic_visit(node)
+
+
+class ViewMutationRule(AstRule):
+    """REPRO-A103: ``*.set_value(...)`` calls outside the update layer."""
+
+    rule_id = RULE_VIEW_MUTATION.rule_id
+    severity = RULE_VIEW_MUTATION.severity
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        if self.ctx.in_allowlist(VIEW_MUTATION_ALLOWED):
+            return []
+        return super().run(tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "set_value":
+            self.report(
+                node,
+                "direct view-cell write (.set_value) outside "
+                "repro.views.updates; route through the logged-update API "
+                "so histories and the Summary Database stay consistent",
+            )
+        self.generic_visit(node)
+
+
+class CacheBypassRule(AstRule):
+    """REPRO-A104: writes to entry.stale/result/maintainer outside rules."""
+
+    rule_id = RULE_CACHE_BYPASS.rule_id
+    severity = RULE_CACHE_BYPASS.severity
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        if self.ctx.in_allowlist(CACHE_WRITE_ALLOWED):
+            return []
+        return super().run(tree)
+
+    def _check_target(self, target: ast.expr) -> None:
+        if not isinstance(target, ast.Attribute):
+            return
+        if target.attr not in CACHE_STATE_ATTRS:
+            return
+        # Writes to an object's *own* attribute (self.stale = ...) are that
+        # class managing its own state, not a cache-entry bypass.
+        if isinstance(target.value, ast.Name) and target.value.id == "self":
+            return
+        self.report(
+            target,
+            f"write to cache-entry attribute .{target.attr} bypasses the "
+            "rule repository; use SummaryDatabase.mark_stale/refresh/"
+            "detach_maintainer or an UpdateRule",
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+
+class ExportsRule(AstRule):
+    """REPRO-A105: ``__all__`` must match the module's real bindings.
+
+    Two directions: every name in ``__all__`` must be bound at module top
+    level, and (for package ``__init__`` re-export modules) every public
+    name imported at top level must be listed in ``__all__``.
+    """
+
+    rule_id = RULE_EXPORTS.rule_id
+    severity = RULE_EXPORTS.severity
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        exported = self._literal_all(tree)
+        if exported is None:
+            return []
+        bound, imported = self._top_level_bindings(tree)
+        for name, node in exported.items():
+            if name not in bound and name != "__version__":
+                self.report(
+                    node,
+                    f"__all__ lists {name!r} but the module never binds it",
+                )
+        if self.ctx.module_path.endswith("__init__.py"):
+            for name, node in sorted(imported.items()):
+                if name.startswith("_") or name in exported:
+                    continue
+                self.report(
+                    node,
+                    f"package re-exports {name!r} but __all__ omits it",
+                )
+        return self.findings
+
+    def _literal_all(self, tree: ast.Module) -> dict[str, ast.AST] | None:
+        for node in tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+            ):
+                continue
+            if not isinstance(value, (ast.List, ast.Tuple)):
+                return None  # computed __all__; out of scope
+            names: dict[str, ast.AST] = {}
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    names[element.value] = element
+            return names
+        return None
+
+    def _top_level_bindings(
+        self, tree: ast.Module
+    ) -> tuple[set[str], dict[str, ast.AST]]:
+        bound: set[str] = set()
+        imported: dict[str, ast.AST] = {}
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    bound |= _assigned_names(target)
+            elif isinstance(node, ast.AnnAssign):
+                bound |= _assigned_names(node.target)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    name = alias.asname or alias.name
+                    if name == "*":
+                        continue
+                    bound.add(name)
+                    imported[name] = alias
+            elif isinstance(node, (ast.If, ast.Try)):
+                # Conditional bindings (version guards, optional deps)
+                # still satisfy the "listed name is bound" direction.
+                for sub in ast.walk(node):
+                    if isinstance(
+                        sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                    ):
+                        bound.add(sub.name)
+                    elif isinstance(sub, ast.Assign):
+                        for target in sub.targets:
+                            bound |= _assigned_names(target)
+                    elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                        for alias in sub.names:
+                            if alias.name != "*":
+                                bound.add(
+                                    (alias.asname or alias.name).split(".")[0]
+                                )
+        return bound, imported
+
+
+def _assigned_names(target: ast.expr) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: set[str] = set()
+        for element in target.elts:
+            names |= _assigned_names(element)
+        return names
+    if isinstance(target, ast.Starred):
+        return _assigned_names(target.value)
+    return set()
+
+
+#: Every AST pass, in report order.
+AST_RULES: tuple[type[AstRule], ...] = (
+    MutableDefaultRule,
+    BareExceptRule,
+    ViewMutationRule,
+    CacheBypassRule,
+    ExportsRule,
+)
+
+
+def lint_source(
+    source: str,
+    path: str,
+    module_path: str | None = None,
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run every (selected) AST pass over one file's source text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id="REPRO-A100",
+                path=path,
+                line=exc.lineno or 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(
+        path=path,
+        module_path=(module_path or path).replace("\\", "/"),
+    )
+    selected = set(select) if select is not None else None
+    findings: list[Finding] = []
+    for rule_cls in AST_RULES:
+        if selected is not None and rule_cls.rule_id not in selected:
+            continue
+        findings.extend(rule_cls(ctx).run(tree))
+    return findings
+
+
+def lint_file(
+    path: Path,
+    report_path: str | None = None,
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run the AST passes over one file on disk."""
+    source = path.read_text(encoding="utf-8")
+    return lint_source(
+        source,
+        report_path or str(path),
+        module_path=str(path),
+        select=select,
+    )

@@ -1,0 +1,149 @@
+"""Orchestration: run both lint layers and produce one report.
+
+The engine walks the target tree (default: the installed ``repro`` package
+sources), runs the AST passes per file, runs the semantic checks once, and
+funnels everything through the shared findings pipeline — suppression
+comments, rule selection, stable sort — so both layers speak the same
+``file:line rule-id message`` language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint import astlint, semantic
+from repro.lint.findings import (
+    RULES,
+    Finding,
+    SuppressionIndex,
+    filter_suppressed,
+    parse_suppressions,
+    relativize,
+    sort_findings,
+)
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run found nothing."""
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 0 clean, 1 findings."""
+        return 0 if self.clean else 1
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form of the whole report."""
+        return {
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+
+def default_target() -> Path:
+    """The package's own source tree (what ``python -m repro.lint`` checks)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def iter_python_files(targets: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for target in targets:
+        if target.is_dir():
+            files.update(target.rglob("*.py"))
+        elif target.suffix == ".py":
+            files.add(target)
+    return sorted(files)
+
+
+def run_lint(
+    targets: Sequence[Path | str] | None = None,
+    select: Iterable[str] | None = None,
+    semantic_checks: bool = True,
+    ast_checks: bool = True,
+    root: Path | str | None = None,
+    registry: object | None = None,
+    rules: object | None = None,
+) -> LintReport:
+    """Run the full linter and return a :class:`LintReport`.
+
+    Parameters
+    ----------
+    targets:
+        Files or directories for the AST layer (default: the ``repro``
+        package sources).
+    select:
+        Restrict to these rule IDs (default: all registered rules).
+    semantic_checks / ast_checks:
+        Toggle each layer.
+    root:
+        Base directory findings paths are rendered relative to.
+    registry / rules:
+        Alternate wiring for the semantic layer (tests use this to point
+        the checks at deliberately broken registries).
+    """
+    selected = _validate_selection(select)
+    paths = [Path(t) for t in targets] if targets else [default_target()]
+    report = LintReport()
+    raw: list[Finding] = []
+    suppressions: dict[str, SuppressionIndex] = {}
+
+    if ast_checks:
+        for path in iter_python_files(paths):
+            report.files_checked += 1
+            source = path.read_text(encoding="utf-8")
+            shown = relativize(path, root)
+            suppressions[shown] = parse_suppressions(source)
+            raw.extend(
+                astlint.lint_source(
+                    source, shown, module_path=str(path), select=selected
+                )
+            )
+
+    if semantic_checks:
+        for finding in semantic.run_semantic_checks(
+            registry=registry, rules=rules, select=selected
+        ):
+            shown = relativize(finding.path, root)
+            if shown not in suppressions:
+                try:
+                    suppressions[shown] = parse_suppressions(
+                        Path(finding.path).read_text(encoding="utf-8")
+                    )
+                except OSError:
+                    suppressions[shown] = SuppressionIndex()
+            raw.append(
+                Finding(
+                    rule_id=finding.rule_id,
+                    path=shown,
+                    line=finding.line,
+                    message=finding.message,
+                    severity=finding.severity,
+                )
+            )
+
+    kept = filter_suppressed(raw, suppressions)
+    report.suppressed = len(raw) - len(kept)
+    report.findings = sort_findings(kept)
+    return report
+
+
+def _validate_selection(select: Iterable[str] | None) -> set[str] | None:
+    if select is None:
+        return None
+    selected = set(select)
+    for rule_id in selected:
+        RULES.get(rule_id)  # raises KeyError with the known-rules list
+    return selected

@@ -1,0 +1,215 @@
+"""The findings engine shared by both lint layers.
+
+A *rule* is a stable, documented identifier (``REPRO-Sxxx`` for semantic
+rule-soundness checks, ``REPRO-Axxx`` for AST passes); a *finding* is one
+concrete violation anchored to a ``file:line``.  The registry makes rule
+IDs first-class: the CLI can list them, ``--select`` can filter on them,
+and suppression comments reference them — so a rule's meaning never
+changes silently once code in the repo depends on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ERROR findings indicate a broken maintenance contract (the system can
+    silently serve wrong cached results); WARNING findings indicate a
+    convention violation that makes such breakage likely later.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    @property
+    def rank(self) -> int:
+        """Sort key: errors first."""
+        return 0 if self is Severity.ERROR else 1
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """One registered lint rule."""
+
+    rule_id: str
+    title: str
+    severity: Severity
+    layer: str
+    """``"semantic"`` (imports the package) or ``"ast"`` (parses sources)."""
+    rationale: str = ""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation of one rule at one location."""
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def render(self) -> str:
+        """The ``file:line rule-id message`` report line."""
+        return f"{self.path}:{self.line} {self.rule_id} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+
+class RuleRegistry:
+    """Stable rule-ID -> :class:`RuleSpec` table."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, RuleSpec] = {}
+
+    def register(self, spec: RuleSpec) -> RuleSpec:
+        """Add a rule; IDs are unique forever."""
+        if spec.rule_id in self._rules:
+            raise ValueError(f"duplicate lint rule id {spec.rule_id!r}")
+        self._rules[spec.rule_id] = spec
+        return spec
+
+    def get(self, rule_id: str) -> RuleSpec:
+        """Resolve a rule ID."""
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown lint rule {rule_id!r}; known: {sorted(self._rules)}"
+            ) from None
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def specs(self) -> list[RuleSpec]:
+        """All registered rules, sorted by ID."""
+        return [self._rules[rule_id] for rule_id in sorted(self._rules)]
+
+    def ids(self) -> list[str]:
+        """All registered rule IDs."""
+        return sorted(self._rules)
+
+
+#: The process-wide registry both layers register into on import.
+RULES = RuleRegistry()
+
+
+def rule(
+    rule_id: str,
+    title: str,
+    severity: Severity = Severity.ERROR,
+    layer: str = "ast",
+    rationale: str = "",
+) -> RuleSpec:
+    """Register a rule in :data:`RULES` (module-import-time helper)."""
+    return RULES.register(
+        RuleSpec(
+            rule_id=rule_id,
+            title=title,
+            severity=severity,
+            layer=layer,
+            rationale=rationale,
+        )
+    )
+
+
+# -- suppressions -------------------------------------------------------------
+#
+# A finding is suppressed by a comment naming its rule:
+#
+#   x = risky()  # repro-lint: disable=REPRO-A102
+#
+# on the flagged line or the line directly above it, or file-wide near the
+# top of the file:
+#
+#   # repro-lint: disable-file=REPRO-A103
+#
+# ``disable=all`` / ``disable-file=all`` suppress every rule.
+
+_LINE_MARKER = "repro-lint: disable="
+_FILE_MARKER = "repro-lint: disable-file="
+_FILE_MARKER_SCAN_LINES = 20
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-file map of which rules are suppressed where."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    def suppresses(self, finding: Finding) -> bool:
+        """Whether this index silences the finding."""
+        if "all" in self.file_wide or finding.rule_id in self.file_wide:
+            return True
+        for line in (finding.line, finding.line - 1):
+            rules = self.by_line.get(line)
+            if rules and ("all" in rules or finding.rule_id in rules):
+                return True
+        return False
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Extract suppression comments from one file's source text."""
+    index = SuppressionIndex()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if _FILE_MARKER in text and lineno <= _FILE_MARKER_SCAN_LINES:
+            index.file_wide |= _parse_ids(text, _FILE_MARKER)
+        if _LINE_MARKER in text:
+            index.by_line.setdefault(lineno, set()).update(
+                _parse_ids(text, _LINE_MARKER)
+            )
+    return index
+
+
+def _parse_ids(text: str, marker: str) -> set[str]:
+    tail = text.split(marker, 1)[1]
+    spec = tail.split("#", 1)[0].strip()
+    return {part.strip() for part in spec.split(",") if part.strip()}
+
+
+def filter_suppressed(
+    findings: Iterable[Finding],
+    suppressions: dict[str, SuppressionIndex],
+) -> list[Finding]:
+    """Drop findings silenced by their file's suppression comments."""
+    kept = []
+    for finding in findings:
+        index = suppressions.get(finding.path)
+        if index is not None and index.suppresses(finding):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """Stable report order: severity, then path, line, rule."""
+    return sorted(
+        findings,
+        key=lambda f: (f.severity.rank, f.path, f.line, f.rule_id, f.message),
+    )
+
+
+def relativize(path: str | Path, root: str | Path | None) -> str:
+    """Render a path relative to ``root`` where possible (stable reports)."""
+    p = Path(path)
+    if root is not None:
+        try:
+            return str(p.resolve().relative_to(Path(root).resolve()))
+        except ValueError:
+            pass
+    return str(p)

@@ -22,11 +22,17 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.core.errors import RuleError
 from repro.incremental.differencing import Delta
 from repro.metadata.functions import FunctionRegistry, StatFunction
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.summary
+    from repro.summary.entries import SummaryEntry
+
+#: Zero-argument provider of an attribute's current values.
+ValuesProvider = Callable[[], Iterable[Any]]
 
 
 class RuleKind(enum.Enum):
@@ -52,7 +58,7 @@ class UpdateRule:
 
     kind: RuleKind
 
-    def apply(self, entry: Any, delta: Delta, values_provider: Callable[[], Iterable[Any]]) -> RuleOutcome:
+    def apply(self, entry: "SummaryEntry", delta: Delta, values_provider: ValuesProvider) -> RuleOutcome:
         """Bring ``entry`` in line with ``delta`` (or mark it stale)."""
         raise NotImplementedError
 
@@ -70,7 +76,7 @@ class IncrementalRule(UpdateRule):
             )
         self.function = function
 
-    def apply(self, entry: Any, delta: Delta, values_provider: Callable[[], Iterable[Any]]) -> RuleOutcome:
+    def apply(self, entry: "SummaryEntry", delta: Delta, values_provider: ValuesProvider) -> RuleOutcome:
         if entry.maintainer is None:
             # make_maintainer returns an initialized (or lazily
             # self-initializing) computation reflecting the *current* data,
@@ -93,7 +99,7 @@ class RegenerateRule(UpdateRule):
     def __init__(self, function: StatFunction) -> None:
         self.function = function
 
-    def apply(self, entry: Any, delta: Delta, values_provider: Callable[[], Iterable[Any]]) -> RuleOutcome:
+    def apply(self, entry: "SummaryEntry", delta: Delta, values_provider: ValuesProvider) -> RuleOutcome:
         entry.result = self.function.compute(list(values_provider()))
         entry.stale = False
         return RuleOutcome(kind=self.kind, recomputed=True)
@@ -107,7 +113,7 @@ class InvalidateRule(UpdateRule):
     def __init__(self, function: StatFunction) -> None:
         self.function = function
 
-    def apply(self, entry: Any, delta: Delta, values_provider: Callable[[], Iterable[Any]]) -> RuleOutcome:
+    def apply(self, entry: "SummaryEntry", delta: Delta, values_provider: ValuesProvider) -> RuleOutcome:
         entry.stale = True
         return RuleOutcome(kind=self.kind, marked_stale=True)
 

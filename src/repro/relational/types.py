@@ -46,6 +46,9 @@ class _NAType:
 NA = _NAType()
 """The missing-value singleton."""
 
+NAType = _NAType
+"""Public name of NA's type, for annotations like ``float | NAType``."""
+
 
 def is_na(value: Any) -> bool:
     """True if ``value`` is the NA marker (or a float NaN)."""

@@ -182,11 +182,46 @@ class SummaryDatabase:
         """Mark every entry mentioning an attribute stale (SS4.3 fallback)."""
         count = 0
         for entry in self.entries_mentioning(attribute):
-            if not entry.stale:
-                entry.stale = True
+            if self.mark_stale(entry):
                 count += 1
-        self.stats.invalidations += count
         return count
+
+    # -- maintenance-state writes ------------------------------------------------
+    #
+    # The only sanctioned mutation points for entry maintenance state
+    # outside the rule/policy layer (lint rule REPRO-A104): callers such as
+    # the update propagator go through these so the cache's counters always
+    # agree with what actually happened to its entries.
+
+    def mark_stale(self, entry: SummaryEntry, pending: int = 0) -> bool:
+        """Invalidate one entry; returns True if it was fresh before.
+
+        ``pending`` additionally records that many unapplied updates (for
+        the periodic/tolerant consistency policies).
+        """
+        newly_stale = not entry.stale
+        if newly_stale:
+            entry.stale = True
+            self.stats.invalidations += 1
+        entry.pending_updates += pending
+        return newly_stale
+
+    def refresh(self, entry: SummaryEntry, result: Any, version: int = 0) -> Any:
+        """Install a recomputed result and mark the entry fresh.
+
+        Counter bookkeeping (``stats.recomputations``) stays with the
+        caller: consistency policies already account for the recomputation
+        they triggered.
+        """
+        entry.result = result
+        entry.mark_fresh(version)
+        return result
+
+    def detach_maintainer(self, entry: SummaryEntry) -> None:
+        """Drop an entry's live maintainer (it no longer reflects the data);
+
+        the next refresh rebuilds it from scratch."""
+        entry.maintainer = None
 
     def attributes(self) -> list[str]:
         """Distinct primary attributes with cached entries."""

@@ -33,12 +33,14 @@ __all__ = [
     "DefNode",
     "DerivationMatch",
     "JoinNode",
+    "LayoutAdvice",
     "MaterializationReport",
     "OpKind",
     "Operation",
     "ProjectNode",
     "PublishedEdits",
     "RawDatabase",
+    "Recommendation",
     "SelectNode",
     "SourceNode",
     "UpdateHistory",

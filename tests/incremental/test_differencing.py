@@ -132,3 +132,54 @@ class TestAlgebraicForm:
             form = AlgebraicForm(definition)
             form.initialize(DATA)
             assert form.value is not None
+
+
+class TestDeltaNAHandling:
+    """NA edge cases: marking an observation invalid is the update (x, NA)
+    (paper SS3.1), and it must be counted exactly once."""
+
+    def test_x_to_na_update_counts_as_removal(self):
+        form = derive_incremental("mean")
+        form.initialize(DATA)
+        delta = Delta(updates=[(4.0, NA)])
+        form.apply_delta(delta)
+        expected = statistics.fmean([x for x in DATA if x != 4.0])
+        assert form.value == pytest.approx(expected)
+
+    def test_na_to_x_update_counts_as_insertion(self):
+        form = derive_incremental("count")
+        form.initialize([1.0, NA, 3.0])
+        form.apply_delta(Delta(updates=[(NA, 2.0)]))
+        assert form.value == 3.0
+
+    def test_na_to_na_update_is_a_noop(self):
+        form = derive_incremental("var")
+        form.initialize(DATA)
+        before = form.value
+        form.apply_delta(Delta(updates=[(NA, NA)]))
+        assert form.value == pytest.approx(before)
+
+    def test_mixed_delta_size_counts_na_updates(self):
+        delta = Delta(inserts=[1.0, NA], deletes=[2.0], updates=[(3.0, NA)])
+        assert delta.size == 4
+
+    def test_na_inserts_do_not_shift_sum(self):
+        form = derive_incremental("sum")
+        form.initialize(DATA)
+        form.apply_delta(Delta(inserts=[NA, NA]))
+        assert form.value == pytest.approx(sum(DATA))
+
+    def test_invalidating_every_value_returns_na(self):
+        values = [1.0, 2.0]
+        form = derive_incremental("mean")
+        form.initialize(values)
+        form.apply_delta(Delta(updates=[(1.0, NA), (2.0, NA)]))
+        assert is_na(form.value)
+
+    def test_round_trip_invalidate_then_restore(self):
+        form = derive_incremental("std")
+        form.initialize(DATA)
+        before = form.value
+        form.apply_delta(Delta(updates=[(16.0, NA)]))
+        form.apply_delta(Delta(updates=[(NA, 16.0)]))
+        assert form.value == pytest.approx(before)

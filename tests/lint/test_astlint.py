@@ -1,0 +1,221 @@
+"""Seeded-violation tests for the AST lint passes (layer 2)."""
+
+import textwrap
+
+from repro.lint.astlint import lint_source
+from repro.lint.findings import parse_suppressions
+
+
+def lint(code, path="scratch/module.py", select=None):
+    return lint_source(textwrap.dedent(code), path, select=select)
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestMutableDefault:
+    def test_list_display(self):
+        findings = lint("def f(x, acc=[]):\n    return acc\n")
+        assert "REPRO-A101" in rule_ids(findings)
+        assert findings[0].line == 1
+
+    def test_dict_set_and_calls(self):
+        code = """
+        def f(a={}, b=set(), c=dict(), d=list()):
+            return a, b, c, d
+        """
+        findings = lint(code, select={"REPRO-A101"})
+        assert len(findings) == 4
+
+    def test_keyword_only_default(self):
+        findings = lint("def f(*, acc=[]):\n    return acc\n")
+        assert rule_ids(findings) == ["REPRO-A101"]
+
+    def test_immutable_defaults_pass(self):
+        code = """
+        def f(a=None, b=0, c=(), d="x", e=frozenset()):
+            return a, b, c, d, e
+        """
+        assert lint(code) == []
+
+    def test_nested_function_checked(self):
+        code = """
+        def outer():
+            def inner(xs=[]):
+                return xs
+            return inner
+        """
+        assert "REPRO-A101" in rule_ids(lint(code))
+
+
+class TestBareExcept:
+    def test_flagged(self):
+        code = """
+        try:
+            risky()
+        except:
+            pass
+        """
+        findings = lint(code, select={"REPRO-A102"})
+        assert len(findings) == 1
+        assert findings[0].line == 4
+
+    def test_typed_except_passes(self):
+        code = """
+        try:
+            risky()
+        except (ValueError, KeyError):
+            pass
+        except Exception:
+            pass
+        """
+        assert lint(code, select={"REPRO-A102"}) == []
+
+
+class TestViewMutation:
+    CODE = """
+    def sneak(view):
+        view.set_value(0, "AGE", 99)
+    """
+
+    def test_flagged_outside_update_layer(self):
+        findings = lint(self.CODE, path="src/repro/stats/sneaky.py")
+        assert rule_ids(findings) == ["REPRO-A103"]
+
+    def test_allowed_in_update_layer(self):
+        findings = lint(self.CODE, path="src/repro/views/updates.py")
+        assert findings == []
+
+    def test_allowed_in_view_wrapper(self):
+        findings = lint(self.CODE, path="src/repro/views/view.py")
+        assert findings == []
+
+
+class TestCacheBypass:
+    def test_stale_result_maintainer_writes_flagged(self):
+        code = """
+        def sneak(entry):
+            entry.stale = True
+            entry.result = 42
+            entry.maintainer = None
+        """
+        findings = lint(code, path="src/repro/core/sneaky.py")
+        assert rule_ids(findings) == ["REPRO-A104"] * 3
+
+    def test_augmented_write_flagged(self):
+        code = """
+        def sneak(entry):
+            entry.result += 1
+        """
+        assert rule_ids(lint(code, path="src/repro/core/sneaky.py")) == ["REPRO-A104"]
+
+    def test_self_state_is_fine(self):
+        code = """
+        class Derivation:
+            def refresh(self):
+                self.stale = False
+                self.result = 1
+        """
+        assert lint(code, path="src/repro/core/sneaky.py") == []
+
+    def test_allowed_in_rules_module(self):
+        code = """
+        def apply(entry):
+            entry.stale = True
+        """
+        assert lint(code, path="src/repro/metadata/rules.py") == []
+
+    def test_other_attributes_untouched(self):
+        code = """
+        def touch(entry):
+            entry.pending_updates += 1
+            entry.hit_count = 3
+        """
+        assert lint(code, path="src/repro/core/sneaky.py") == []
+
+
+class TestExports:
+    def test_phantom_export_flagged(self):
+        code = """
+        __all__ = ["exists", "phantom"]
+
+        def exists():
+            return 1
+        """
+        findings = lint(code, select={"REPRO-A105"})
+        assert len(findings) == 1
+        assert "phantom" in findings[0].message
+
+    def test_package_reexport_omission_flagged(self):
+        code = """
+        from repro.somewhere import Thing, Other
+
+        __all__ = ["Thing"]
+        """
+        findings = lint(code, path="src/repro/pkg/__init__.py", select={"REPRO-A105"})
+        assert len(findings) == 1
+        assert "Other" in findings[0].message
+
+    def test_private_imports_exempt(self):
+        code = """
+        from repro.somewhere import Thing, _helper
+
+        __all__ = ["Thing"]
+        """
+        assert lint(code, path="src/repro/pkg/__init__.py") == []
+
+    def test_non_init_modules_only_check_existence(self):
+        code = """
+        from repro.somewhere import Unlisted
+
+        __all__ = ["local"]
+
+        def local():
+            return Unlisted
+        """
+        assert lint(code, path="src/repro/stats/module.py") == []
+
+    def test_no_all_no_findings(self):
+        assert lint("from x import y\n", path="src/repro/pkg/__init__.py") == []
+
+
+class TestSuppressions:
+    def test_line_suppression(self):
+        code = "def f(xs=[]):  # repro-lint: disable=REPRO-A101\n    return xs\n"
+        findings = lint(code)
+        index = parse_suppressions(code)
+        assert [f for f in findings if not index.suppresses(f)] == []
+
+    def test_line_above_suppression(self):
+        code = (
+            "# repro-lint: disable=REPRO-A101\n"
+            "def f(xs=[]):\n"
+            "    return xs\n"
+        )
+        findings = lint(code)
+        index = parse_suppressions(code)
+        assert [f for f in findings if not index.suppresses(f)] == []
+
+    def test_file_wide_suppression(self):
+        code = (
+            "# repro-lint: disable-file=REPRO-A101\n"
+            "def f(xs=[]):\n"
+            "    return xs\n"
+            "def g(ys=[]):\n"
+            "    return ys\n"
+        )
+        findings = lint(code)
+        index = parse_suppressions(code)
+        assert [f for f in findings if not index.suppresses(f)] == []
+
+    def test_unrelated_rule_not_suppressed(self):
+        code = "def f(xs=[]):  # repro-lint: disable=REPRO-A102\n    return xs\n"
+        findings = lint(code)
+        index = parse_suppressions(code)
+        assert len([f for f in findings if not index.suppresses(f)]) == 1
+
+
+def test_syntax_error_reported_not_raised():
+    findings = lint("def broken(:\n")
+    assert rule_ids(findings) == ["REPRO-A100"]

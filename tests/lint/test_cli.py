@@ -1,0 +1,111 @@
+"""The ``python -m repro.lint`` command line: formats and exit codes."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint.cli import main
+
+
+@pytest.fixture
+def seeded_file(tmp_path):
+    """A scratch fixture with one A101 and one A102 violation."""
+    bad = tmp_path / "seeded.py"
+    bad.write_text(
+        textwrap.dedent(
+            """
+            def f(x, acc=[]):
+                try:
+                    acc.append(x)
+                except:
+                    pass
+                return acc
+            """
+        )
+    )
+    return bad
+
+
+def test_clean_run_exits_zero(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "0 errors" in out
+
+
+def test_seeded_violation_exits_nonzero(seeded_file, capsys):
+    code = main(["--no-semantic", str(seeded_file)])
+    assert code == 1
+    out = capsys.readouterr().out
+    # The acceptance-criteria report shape: file:line rule-id message
+    assert f"{seeded_file}:2 REPRO-A101" in out
+    assert f"{seeded_file}:5 REPRO-A102" in out
+
+
+def test_json_format(seeded_file, capsys):
+    code = main(["--no-semantic", "--format", "json", str(seeded_file)])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 1
+    rules = [f["rule"] for f in payload["findings"]]
+    assert rules == ["REPRO-A101", "REPRO-A102"]
+    assert all(f["line"] > 0 and f["path"] for f in payload["findings"])
+
+
+def test_select_filters_rules(seeded_file, capsys):
+    code = main(["--no-semantic", "--select", "REPRO-A102", str(seeded_file)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "REPRO-A102" in out and "REPRO-A101" not in out
+
+
+def test_unknown_rule_is_usage_error(capsys):
+    assert main(["--select", "NOPE-123"]) == 2
+    assert "unknown lint rule" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("REPRO-A101", "REPRO-A105", "REPRO-S001", "REPRO-S006"):
+        assert rule_id in out
+
+
+def test_suppression_comment_silences(tmp_path, capsys):
+    good = tmp_path / "suppressed.py"
+    good.write_text(
+        "def f(xs=[]):  # repro-lint: disable=REPRO-A101\n    return xs\n"
+    )
+    assert main(["--no-semantic", str(good)]) == 0
+    assert "1 suppressed" in capsys.readouterr().out
+
+
+def test_seeded_incremental_rule_without_maintainer_detected():
+    """The ISSUE acceptance scenario, driven programmatically: wiring that
+
+    claims INCREMENTAL but cannot build a maintainer is a finding."""
+    from repro.lint import run_lint
+    from repro.metadata.functions import FunctionRegistry, ResultKind, StatFunction
+    from repro.metadata.rules import RuleRepository
+
+    registry = FunctionRegistry()
+
+    def no_maintainer(provider):
+        raise RuntimeError("maintainer lost")
+
+    registry.register(
+        StatFunction(
+            "phantom_inc",
+            lambda values: 0.0,
+            ResultKind.SCALAR,
+            no_maintainer,
+        )
+    )
+    report = run_lint(
+        ast_checks=False, registry=registry, rules=RuleRepository(registry)
+    )
+    assert report.exit_code == 1
+    assert any(
+        f.rule_id == "REPRO-S002" and "phantom_inc" in f.message
+        for f in report.findings
+    )

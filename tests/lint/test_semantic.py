@@ -1,0 +1,205 @@
+"""Seeded-violation tests for the semantic rule-soundness checks (layer 1).
+
+Each test wires a deliberately broken registry/rule-repository and asserts
+the corresponding REPRO-Sxxx rule fires with a usable message.
+"""
+
+import pytest
+
+from repro.core.errors import RuleError
+from repro.incremental.aggregates import IncrementalMean
+from repro.lint.semantic import (
+    check_algebraic_definitions,
+    check_invalidation_paths,
+    check_live_maintainers,
+    check_order_statistics,
+    check_registry_coherence,
+    run_semantic_checks,
+)
+from repro.metadata.functions import FunctionRegistry, ResultKind, StatFunction
+from repro.metadata.rules import RuleRepository
+from repro.stats import descriptive as desc
+
+
+@pytest.fixture
+def registry():
+    return FunctionRegistry()
+
+
+def _mean(values):
+    return desc.mean(values)
+
+
+def rule_ids(findings):
+    return {f.rule_id for f in findings}
+
+
+class TestCoherence:
+    def test_default_wiring_is_coherent(self, registry):
+        findings = list(
+            check_registry_coherence(registry, RuleRepository(registry))
+        )
+        assert findings == []
+
+    def test_broken_rule_repository_reported(self, registry):
+        class BrokenRepo:
+            def rule_for(self, name):
+                raise RuleError(f"no rule for {name!r}")
+
+        findings = list(check_registry_coherence(registry, BrokenRepo()))
+        assert findings  # one per registered function
+        assert rule_ids(findings) == {"REPRO-S001"}
+        assert "rule_for('count')" in findings[0].message
+
+    def test_rule_without_rulekind_reported(self, registry):
+        class KindlessRule:
+            kind = "not-a-kind"
+
+        class KindlessRepo:
+            def rule_for(self, name):
+                return KindlessRule()
+
+        findings = list(check_registry_coherence(registry, KindlessRepo()))
+        assert rule_ids(findings) == {"REPRO-S001"}
+
+
+class TestLiveMaintainers:
+    def test_default_wiring_has_live_maintainers(self, registry):
+        findings = list(check_live_maintainers(registry, RuleRepository(registry)))
+        assert findings == []
+
+    def test_raising_factory_reported(self, registry):
+        def exploding_factory(provider):
+            raise RuntimeError("no maintainer here")
+
+        registry.register(
+            StatFunction("broken_inc", _mean, ResultKind.SCALAR, exploding_factory)
+        )
+        findings = list(check_live_maintainers(registry, RuleRepository(registry)))
+        assert [f for f in findings if "broken_inc" in f.message]
+        assert rule_ids(findings) == {"REPRO-S002"}
+
+    def test_non_computation_maintainer_reported(self, registry):
+        registry.register(
+            StatFunction(
+                "bogus_inc", _mean, ResultKind.SCALAR, lambda provider: object()
+            )
+        )
+        findings = list(check_live_maintainers(registry, RuleRepository(registry)))
+        assert any(
+            "bogus_inc" in f.message and "not an IncrementalComputation" in f.message
+            for f in findings
+        )
+
+    def test_divergent_maintainer_reported(self, registry):
+        class WrongMean(IncrementalMean):
+            @property
+            def value(self):
+                base = IncrementalMean.value.fget(self)
+                return base if base is None else base + 1.0  # off by one
+
+        def factory(provider):
+            maintainer = WrongMean()
+            maintainer.initialize(provider())
+            return maintainer
+
+        registry.register(
+            StatFunction("drifting_mean", _mean, ResultKind.SCALAR, factory)
+        )
+        findings = list(check_live_maintainers(registry, RuleRepository(registry)))
+        assert any(
+            "drifting_mean" in f.message and "diverged" in f.message
+            for f in findings
+        )
+
+
+class TestOrderStatistics:
+    def test_default_wiring_uses_windows(self, registry):
+        findings = list(check_order_statistics(registry, RuleRepository(registry)))
+        assert findings == []
+
+    def test_algebraic_median_reported(self, registry):
+        # Seeding the paper's own trap: pretending finite differencing can
+        # maintain an order statistic.
+        def fake_factory(provider):
+            maintainer = IncrementalMean()
+            maintainer.initialize(provider())
+            return maintainer
+
+        registry.register(
+            StatFunction("median", desc.median, ResultKind.SCALAR, fake_factory)
+        )
+        findings = list(check_order_statistics(registry, RuleRepository(registry)))
+        assert rule_ids(findings) == {"REPRO-S003"}
+        assert "median" in findings[0].message
+
+
+class TestAlgebraicDefinitions:
+    def test_shipped_definitions_sound(self):
+        assert list(check_algebraic_definitions()) == []
+
+    def test_rogue_operator_reported(self):
+        findings = list(
+            check_algebraic_definitions({"bad": ("sort", ("sum",))})
+        )
+        assert rule_ids(findings) == {"REPRO-S004"}
+
+    def test_rogue_base_measure_reported(self):
+        # _collect_measures rejects unknown heads, so an unknown *measure*
+        # surfaces as an out-of-algebra definition either way.
+        findings = list(
+            check_algebraic_definitions({"bad": ("div", ("summax",), ("count",))})
+        )
+        assert rule_ids(findings) == {"REPRO-S004"}
+
+
+class TestInvalidationPaths:
+    def test_default_wiring_invalidates(self, registry):
+        findings = list(
+            check_invalidation_paths(registry, RuleRepository(registry))
+        )
+        assert findings == []
+
+    def test_unencodable_result_reported(self, registry):
+        class Opaque:
+            pass
+
+        registry.register(
+            StatFunction(
+                "opaque", lambda values: Opaque(), ResultKind.SCALAR, None
+            )
+        )
+        findings = list(
+            check_invalidation_paths(registry, RuleRepository(registry))
+        )
+        assert any(
+            f.rule_id == "REPRO-S006" and "opaque" in f.message for f in findings
+        )
+
+
+class TestRunner:
+    def test_default_package_wiring_clean(self):
+        assert run_semantic_checks() == []
+
+    def test_select_restricts_rules(self, registry):
+        class BrokenRepo:
+            def rule_for(self, name):
+                raise RuleError("broken")
+
+        findings = run_semantic_checks(
+            registry=registry, rules=BrokenRepo(), select={"REPRO-S005"}
+        )
+        assert findings == []  # S001 violations exist but were not selected
+
+    def test_findings_have_anchors(self, registry):
+        class BrokenRepo:
+            def rule_for(self, name):
+                raise RuleError("broken")
+
+        findings = run_semantic_checks(registry=registry, rules=BrokenRepo())
+        assert findings
+        for finding in findings:
+            assert finding.path
+            assert finding.line >= 1
+            rendered = finding.render()
+            assert finding.rule_id in rendered and ":" in rendered

@@ -106,3 +106,53 @@ class TestRepository:
         table = RuleRepository(registry).describe()
         assert table["mean"] == "incremental"
         assert table["mad"] == "invalidate"
+
+
+class TestRepositoryDefaulting:
+    """The paper's default wiring: incremental where a maintainer exists,
+    the SS4.3 invalidation fallback otherwise — exhaustively, for every
+    registered function."""
+
+    def test_every_function_defaults_by_maintainer_presence(self, registry):
+        repo = RuleRepository(registry)
+        for name in registry.names():
+            fn = registry.get(name)
+            expected = (
+                RuleKind.INCREMENTAL if fn.is_incremental else RuleKind.INVALIDATE
+            )
+            assert repo.rule_for(name).kind is expected, name
+
+    def test_custom_function_with_maintainer_defaults_incremental(self, registry):
+        from repro.incremental.aggregates import IncrementalSum
+        from repro.metadata.functions import ResultKind, StatFunction
+
+        def factory(provider):
+            maintainer = IncrementalSum()
+            maintainer.initialize(provider())
+            return maintainer
+
+        registry.register(
+            StatFunction("double_sum", lambda v: 2 * sum(v), ResultKind.SCALAR, factory)
+        )
+        rule = RuleRepository(registry).rule_for("double_sum")
+        assert rule.kind is RuleKind.INCREMENTAL
+        assert isinstance(rule, IncrementalRule)
+
+    def test_custom_function_without_maintainer_defaults_invalidate(self, registry):
+        from repro.metadata.functions import ResultKind, StatFunction
+
+        registry.register(
+            StatFunction("opaque_stat", lambda v: 0.0, ResultKind.SCALAR, None)
+        )
+        rule = RuleRepository(registry).rule_for("opaque_stat")
+        assert rule.kind is RuleKind.INVALIDATE
+        assert isinstance(rule, InvalidateRule)
+
+    def test_synthesized_quantiles_default_incremental(self, registry):
+        repo = RuleRepository(registry)
+        assert repo.rule_for("quantile_90").kind is RuleKind.INCREMENTAL
+
+    def test_override_survives_describe(self, registry):
+        repo = RuleRepository(registry)
+        repo.set_rule("mean", RuleKind.INVALIDATE)
+        assert repo.describe()["mean"] == "invalidate"
