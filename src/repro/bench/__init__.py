@@ -1,5 +1,5 @@
 """Benchmark harness utilities."""
 
-from repro.bench.harness import ExperimentTable, speedup
+from repro.bench.harness import ExperimentTable, report_table, speedup, write_json
 
-__all__ = ["ExperimentTable", "speedup"]
+__all__ = ["ExperimentTable", "report_table", "speedup", "write_json"]

@@ -3,11 +3,15 @@
 ``benchmarks/bench_*.py`` prints.  Each experiment (E1-E12 in DESIGN.md)
 declares an :class:`ExperimentTable`, fills rows during the run, and prints
 it so `pytest benchmarks/ --benchmark-only` output reads like the
-evaluation section the 1982 paper never had."""
+evaluation section the 1982 paper never had.  :func:`write_json` persists
+the same tables machine-readably (``BENCH_*.json``) so later PRs can track
+the perf trajectory without parsing printed output."""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Sequence
 
 
@@ -55,6 +59,16 @@ class ExperimentTable:
         """Print the table (pytest shows it with -s / at teardown)."""
         print(self.render())
 
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable form of the table (cells keep their formatting)."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
 
 #: Tables registered by benchmarks for end-of-run printing (the
 #: ``pytest_terminal_summary`` hook in benchmarks/conftest.py drains this).
@@ -83,3 +97,22 @@ def speedup(baseline: float, improved: float) -> float:
     if improved == 0:
         return float("inf")
     return baseline / improved
+
+
+def write_json(
+    path: str | Path,
+    tables: Sequence[ExperimentTable],
+    metrics: dict[str, Any] | None = None,
+) -> Path:
+    """Persist benchmark tables (plus scalar metrics) as JSON.
+
+    ``metrics`` holds the headline numbers future PRs compare against
+    (speedups, row counts) without re-deriving them from table cells.
+    """
+    target = Path(path)
+    payload = {
+        "tables": [table.to_dict() for table in tables],
+        "metrics": metrics or {},
+    }
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return target

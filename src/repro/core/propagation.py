@@ -37,13 +37,21 @@ class PropagationReport:
     summary_pages_touched: int = 0
 
     def merge(self, other: "PropagationReport") -> None:
-        """Fold another report into this one."""
-        self.attributes.extend(other.attributes)
+        """Fold another report into this one.
+
+        Counters add; the name lists union (order-preserving), so repeated
+        merges over the same attribute do not inflate the report.
+        """
+        for name in other.attributes:
+            if name not in self.attributes:
+                self.attributes.append(name)
         self.entries_visited += other.entries_visited
         self.incremental_updates += other.incremental_updates
         self.recomputations += other.recomputations
         self.invalidations += other.invalidations
-        self.derived_columns_touched.extend(other.derived_columns_touched)
+        for name in other.derived_columns_touched:
+            if name not in self.derived_columns_touched:
+                self.derived_columns_touched.append(name)
         self.summary_pages_touched += other.summary_pages_touched
 
 
@@ -128,6 +136,21 @@ class UpdatePropagator:
                 # valid; drop it so the next refresh rebuilds it.
                 summary.detach_maintainer(entry)
         return report
+
+    def propagate_batch(
+        self,
+        attribute: str,
+        deltas: Sequence[Delta],
+        rows: Sequence[int] = (),
+    ) -> PropagationReport:
+        """Propagate a burst of deltas to one attribute in a single sweep.
+
+        The burst coalesces into one :class:`Delta`, so the attribute's
+        summary entries are swept once and each live maintainer sees one
+        ``apply_batch`` call instead of ``len(deltas)`` — the batched
+        counterpart of calling :meth:`propagate` per delta.
+        """
+        return self.propagate(attribute, Delta.coalesce(deltas), rows)
 
     def propagate_all(
         self,

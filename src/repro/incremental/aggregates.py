@@ -14,8 +14,35 @@ from collections import Counter
 from typing import Any, Iterable
 
 from repro.core.errors import StatisticsError
-from repro.incremental.differencing import IncrementalComputation
+from repro.incremental.differencing import Delta, IncrementalComputation
 from repro.relational.types import NA, is_na
+
+
+def _signed_batch(deltas: Iterable[Delta]) -> tuple[int, list[float]]:
+    """Flatten a burst into (net count change, signed non-NA terms).
+
+    Updates contribute as delete-old + insert-new; NA values carry no
+    numeric weight, matching the per-change paths exactly.
+    """
+    dn = 0
+    terms: list[float] = []
+    for delta in deltas:
+        for value in delta.inserts:
+            if not is_na(value):
+                dn += 1
+                terms.append(float(value))
+        for value in delta.deletes:
+            if not is_na(value):
+                dn -= 1
+                terms.append(-float(value))
+        for old, new in delta.updates:
+            if not is_na(old):
+                dn -= 1
+                terms.append(-float(old))
+            if not is_na(new):
+                dn += 1
+                terms.append(float(new))
+    return dn, terms
 
 
 class IncrementalCount(IncrementalComputation):
@@ -42,6 +69,33 @@ class IncrementalCount(IncrementalComputation):
             self._na -= 1
         else:
             self._n -= 1
+
+    def apply_batch(self, deltas: Iterable[Delta]) -> int:
+        """Batch math: two counter bumps for the whole burst."""
+        dn = dna = 0
+        for delta in deltas:
+            for value in delta.inserts:
+                if is_na(value):
+                    dna += 1
+                else:
+                    dn += 1
+            for value in delta.deletes:
+                if is_na(value):
+                    dna -= 1
+                else:
+                    dn -= 1
+            for old, new in delta.updates:
+                if is_na(old):
+                    dna -= 1
+                else:
+                    dn -= 1
+                if is_na(new):
+                    dna += 1
+                else:
+                    dn += 1
+        self._n += dn
+        self._na += dna
+        return self._n
 
     @property
     def value(self) -> int:
@@ -92,6 +146,14 @@ class IncrementalSum(IncrementalComputation):
         self._n -= 1
         self._add(-float(value))
 
+    def apply_batch(self, deltas: Iterable[Delta]) -> Any:
+        """Batch math: exact-sum the burst, then one compensated add."""
+        dn, terms = _signed_batch(deltas)
+        self._n += dn
+        if terms:
+            self._add(math.fsum(terms))
+        return self.value
+
     @property
     def value(self) -> Any:
         return NA if self._n == 0 else self._sum + self._comp
@@ -125,6 +187,19 @@ class IncrementalMean(IncrementalComputation):
             return
         self._mean = (self._mean * self._n - float(value)) / (self._n - 1)
         self._n -= 1
+
+    def apply_batch(self, deltas: Iterable[Delta]) -> Any:
+        """Batch math: (n·mean + S) / (n + dn) — one division per burst."""
+        dn, terms = _signed_batch(deltas)
+        m = self._n + dn
+        if m <= 0:
+            self._n = 0
+            self._mean = 0.0
+            return self.value
+        total = math.fsum([self._mean * self._n, *terms])
+        self._n = m
+        self._mean = total / m
+        return self.value
 
     @property
     def value(self) -> Any:
@@ -176,6 +251,48 @@ class IncrementalVariance(IncrementalComputation):
         self._mean = old_mean
         self._n -= 1
 
+    def apply_batch(self, deltas: Iterable[Delta]) -> Any:
+        """Batch math over the power sums.
+
+        Recover sum = n·mean and sumsq = m2 + n·mean², fold in the burst's
+        signed Σx and Σx², then rebuild (mean, m2) once — a constant number
+        of state updates regardless of burst size.
+        """
+        dn = 0
+        s_terms: list[float] = []
+        q_terms: list[float] = []
+
+        def account(value: Any, sign: float) -> int:
+            if is_na(value):
+                return 0
+            x = float(value)
+            s_terms.append(sign * x)
+            q_terms.append(sign * x * x)
+            return 1
+
+        for delta in deltas:
+            for value in delta.inserts:
+                dn += account(value, 1.0)
+            for value in delta.deletes:
+                dn -= account(value, -1.0)
+            for old, new in delta.updates:
+                dn -= account(old, -1.0)
+                dn += account(new, 1.0)
+        m = self._n + dn
+        if m <= 0:
+            self._n = 0
+            self._mean = 0.0
+            self._m2 = 0.0
+            return self.value
+        total = math.fsum([self._n * self._mean, *s_terms])
+        sumsq = math.fsum([self._m2 + self._n * self._mean * self._mean, *q_terms])
+        self._n = m
+        self._mean = total / m
+        self._m2 = sumsq - m * self._mean * self._mean
+        if self._m2 < 0:  # guard tiny negative residue from roundoff
+            self._m2 = 0.0
+        return self.value
+
     @property
     def value(self) -> Any:
         if self._n < 2:
@@ -202,6 +319,11 @@ class IncrementalStd(IncrementalComputation):
 
     def on_delete(self, value: Any) -> None:
         self._var.on_delete(value)
+
+    def apply_batch(self, deltas: Iterable[Delta]) -> Any:
+        """Batch math via the underlying variance state."""
+        self._var.apply_batch(deltas)
+        return self.value
 
     @property
     def value(self) -> Any:

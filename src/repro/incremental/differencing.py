@@ -67,6 +67,24 @@ class Delta:
             updates=self.updates + other.updates,
         )
 
+    @classmethod
+    def coalesce(cls, deltas: Iterable["Delta"]) -> "Delta":
+        """Concatenate a burst of deltas into one batch.
+
+        Order within each change kind is preserved, so folding the result
+        through a maintainer is equivalent to folding the burst delta by
+        delta — but it reaches the maintainer as a single
+        :meth:`IncrementalComputation.apply_batch` call.
+        """
+        inserts: list[Any] = []
+        deletes: list[Any] = []
+        updates: list[tuple[Any, Any]] = []
+        for delta in deltas:
+            inserts.extend(delta.inserts)
+            deletes.extend(delta.deletes)
+            updates.extend(delta.updates)
+        return cls(inserts=inserts, deletes=deletes, updates=updates)
+
 
 class IncrementalComputation:
     """Protocol for an incrementally maintainable function result."""
@@ -105,6 +123,23 @@ class IncrementalComputation:
         for old, new in delta.updates:
             self.on_update(old, new)
         return self.value
+
+    def apply_batch(self, deltas: Iterable[Delta]) -> Any:
+        """Apply a burst of deltas and return the new value.
+
+        The default folds delta by delta; maintainers with a cheaper batch
+        form (one state update for the whole burst — sums, counts,
+        moments) override this.  ``value`` is only read after folding (or
+        for an empty burst): reading it first could trigger a lazy
+        regeneration that already reflects the pending changes, which the
+        fold would then double-apply.
+        """
+        result: Any = None
+        applied = False
+        for delta in deltas:
+            result = self.apply_delta(delta)
+            applied = True
+        return result if applied else self.value
 
 
 # -- algebraic (automatically differencable) forms ---------------------------
@@ -159,6 +194,36 @@ class AlgebraicForm(IncrementalComputation):
         self._n -= 1
         for measure in self._measures:
             self._state[measure] -= _measure_contribution(measure, value)
+
+    def apply_batch(self, deltas: Iterable[Delta]) -> Scalar:
+        """True batch differencing: one state update for the whole burst.
+
+        Every base measure is a sum of per-value contributions, so a burst
+        of deltas collapses to one signed contribution total per measure —
+        the state is touched once regardless of burst size.
+        """
+        dn = 0
+        totals: dict[str, float] = {m: 0.0 for m in self._measures}
+
+        def account(value: Any, sign: float) -> int:
+            if is_na(value):
+                return 0
+            for measure in self._measures:
+                totals[measure] += sign * _measure_contribution(measure, value)
+            return 1
+
+        for delta in deltas:
+            for value in delta.inserts:
+                dn += account(value, 1.0)
+            for value in delta.deletes:
+                dn -= account(value, -1.0)
+            for old, new in delta.updates:
+                dn -= account(old, -1.0)
+                dn += account(new, 1.0)
+        self._n += dn
+        for measure in self._measures:
+            self._state[measure] += totals[measure]
+        return self.value
 
     @property
     def value(self) -> Scalar:

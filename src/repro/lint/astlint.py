@@ -58,6 +58,16 @@ RULE_EXPORTS = rule(
     severity=Severity.ERROR,
     rationale="stale export lists advertise names that do not exist (or hide ones that do)",
 )
+RULE_ROWWISE_BIND = rule(
+    "REPRO-A106",
+    "row-wise Expr.bind inside a vectorized chunk loop",
+    severity=Severity.ERROR,
+    rationale=(
+        "vectorized operators compile expressions once per pipeline with "
+        "bind_columns; a .bind() call inside a chunk loop re-binds per "
+        "chunk (or worse, per row) and forfeits the batch execution win"
+    ),
+)
 
 #: Modules allowed to mutate view cells directly: the logged-update layer,
 #: its undo path, the derived-column refresher, and the storage primitives
@@ -82,6 +92,10 @@ CACHE_WRITE_ALLOWED = (
 
 #: SummaryEntry attributes whose writes are maintenance actions.
 CACHE_STATE_ATTRS = frozenset({"stale", "result", "maintainer"})
+
+#: Modules holding vectorized kernels, where REPRO-A106 applies (unlike the
+#: allowlists above, this list scopes a rule *to* the named modules).
+VECTORIZED_MODULES = ("relational/vectorized.py",)
 
 
 @dataclass(frozen=True)
@@ -351,6 +365,69 @@ class ExportsRule(AstRule):
         return bound, imported
 
 
+class RowwiseBindRule(AstRule):
+    """REPRO-A106: no ``.bind(...)`` inside loops of vectorized modules.
+
+    Chunk kernels must be compiled once per pipeline (``bind_columns`` in
+    an operator's ``__init__``); any ``.bind()`` call under a ``for``/
+    ``while`` or comprehension in a vectorized module is a row-wise
+    binding sneaking into a chunk loop.
+    """
+
+    rule_id = RULE_ROWWISE_BIND.rule_id
+    severity = RULE_ROWWISE_BIND.severity
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        super().__init__(ctx)
+        self._loop_depth = 0
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        if not self.ctx.in_allowlist(VECTORIZED_MODULES):
+            return []
+        return super().run(tree)
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_loop(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._visit_loop(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_loop(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_loop(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_loop(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_loop(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_loop(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            self._loop_depth > 0
+            and isinstance(func, ast.Attribute)
+            and func.attr == "bind"
+        ):
+            self.report(
+                node,
+                "row-wise .bind() call inside a loop of a vectorized "
+                "module; compile the kernel once per pipeline with "
+                ".bind_columns(schema) outside the chunk loop",
+            )
+        self.generic_visit(node)
+
+
 def _assigned_names(target: ast.expr) -> set[str]:
     if isinstance(target, ast.Name):
         return {target.id}
@@ -371,6 +448,7 @@ AST_RULES: tuple[type[AstRule], ...] = (
     ViewMutationRule,
     CacheBypassRule,
     ExportsRule,
+    RowwiseBindRule,
 )
 
 

@@ -85,7 +85,9 @@ class IncrementalRule(UpdateRule):
             entry.result = entry.maintainer.value
             entry.stale = False
             return RuleOutcome(kind=self.kind, recomputed=True)
-        entry.maintainer.apply_delta(delta)
+        # Route through apply_batch so maintainers with true batch math
+        # (sums, counts, moments) use it even for a single coalesced delta.
+        entry.maintainer.apply_batch((delta,))
         entry.result = entry.maintainer.value
         entry.stale = False
         return RuleOutcome(kind=self.kind, incremental_changes=delta.size)

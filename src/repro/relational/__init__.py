@@ -26,14 +26,29 @@ from repro.relational.relation import Relation, StoredRelation
 from repro.relational.schema import Attribute, AttributeRole, Schema, category, measure
 from repro.relational.sql import Query, parse
 from repro.relational.types import NA, DataType, is_na
+from repro.relational.vectorized import (
+    CHUNK_SIZE,
+    ColumnChunk,
+    ColumnVector,
+    VecGroupBy,
+    VecProject,
+    VecScan,
+    VecSelect,
+    VectorOperator,
+    as_chunk_pipeline,
+    supports_column_chunks,
+)
 
 __all__ = [
     "AggregateSpec",
     "Attribute",
     "AttributeIndex",
     "AttributeRole",
+    "CHUNK_SIZE",
     "Catalog",
     "Col",
+    "ColumnChunk",
+    "ColumnVector",
     "Const",
     "DataType",
     "Distinct",
@@ -54,6 +69,12 @@ __all__ = [
     "SortMergeJoin",
     "StoredRelation",
     "Union",
+    "VecGroupBy",
+    "VecProject",
+    "VecScan",
+    "VecSelect",
+    "VectorOperator",
+    "as_chunk_pipeline",
     "category",
     "col",
     "execute",
@@ -62,5 +83,6 @@ __all__ = [
     "measure",
     "parse",
     "plan",
+    "supports_column_chunks",
     "weighted_avg",
 ]

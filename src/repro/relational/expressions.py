@@ -5,6 +5,15 @@ the SQL-subset parser, then *bound* to a schema, producing a plain callable
 over row tuples.  NA semantics follow the statistical convention: arithmetic
 involving NA yields NA, and a comparison involving NA is unknown and
 therefore fails the predicate.
+
+Each node also compiles to a chunk-at-a-time kernel via
+:meth:`Expr.bind_columns` — same semantics, but the callable maps a
+:class:`~repro.relational.vectorized.ColumnChunk` to one output
+:class:`~repro.relational.vectorized.ColumnVector`, which the vectorized
+engine invokes once per chunk instead of once per row.  Kernels trust the
+chunk's NA masks (the chunk builders mark both the NA singleton and float
+NaN), so the per-value ``is_na`` test disappears from the NA-free fast
+paths.
 """
 
 from __future__ import annotations
@@ -15,8 +24,10 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.core.errors import ExpressionError
 from repro.relational.schema import Schema
 from repro.relational.types import NA, is_na
+from repro.relational.vectorized import ColumnChunk, ColumnVector
 
 RowFn = Callable[[Sequence[Any]], Any]
+ColumnFn = Callable[[ColumnChunk], ColumnVector]
 
 
 class Expr:
@@ -24,6 +35,14 @@ class Expr:
 
     def bind(self, schema: Schema) -> RowFn:
         """Compile this expression against a schema into ``row -> value``."""
+        raise NotImplementedError
+
+    def bind_columns(self, schema: Schema) -> ColumnFn:
+        """Compile this expression into a chunk kernel, ``chunk -> column``.
+
+        Bound once per pipeline; the returned kernel is then applied to
+        every chunk.  Semantics match :meth:`bind` value for value.
+        """
         raise NotImplementedError
 
     def columns(self) -> set[str]:
@@ -122,6 +141,10 @@ class Col(Expr):
         index = schema.index_of(self.name)
         return lambda row: row[index]
 
+    def bind_columns(self, schema: Schema) -> ColumnFn:
+        index = schema.index_of(self.name)
+        return lambda chunk: chunk.columns[index]
+
     def columns(self) -> set[str]:
         return {self.name}
 
@@ -143,6 +166,16 @@ class Const(Expr):
     def bind(self, schema: Schema) -> RowFn:
         value = self.value
         return lambda row: value
+
+    def bind_columns(self, schema: Schema) -> ColumnFn:
+        value = self.value
+        missing = is_na(value)
+
+        def run(chunk: ColumnChunk) -> ColumnVector:
+            n = chunk.length
+            return ColumnVector([value] * n, [True] * n if missing else None)
+
+        return run
 
     def columns(self) -> set[str]:
         return set()
@@ -177,6 +210,33 @@ class Arith(Expr):
             if is_na(a) or is_na(b):
                 return NA
             return fn(a, b)
+
+        return run
+
+    def bind_columns(self, schema: Schema) -> ColumnFn:
+        lf, rf = self.left.bind_columns(schema), self.right.bind_columns(schema)
+        fn = self._OPS[self.op]
+
+        def run(chunk: ColumnChunk) -> ColumnVector:
+            va, vb = lf(chunk), rf(chunk)
+            am, bm = va.mask, vb.mask
+            if am is None and bm is None:
+                # No NA on either side; fn itself may still emit NA ("/" by
+                # zero) or NaN, so derive the output mask.
+                return ColumnVector.from_values(
+                    [fn(a, b) for a, b in zip(va.data, vb.data)]
+                )
+            out: list[Any] = []
+            mask: list[bool] = []
+            for i, (a, b) in enumerate(zip(va.data, vb.data)):
+                if (am is not None and am[i]) or (bm is not None and bm[i]):
+                    out.append(NA)
+                    mask.append(True)
+                else:
+                    v = fn(a, b)
+                    out.append(v)
+                    mask.append(v is NA or v != v)
+            return ColumnVector(out, mask if True in mask else None)
 
         return run
 
@@ -222,6 +282,30 @@ class Func(Expr):
                 return fn(v)
             except (ValueError, OverflowError):
                 return NA
+
+        return run
+
+    def bind_columns(self, schema: Schema) -> ColumnFn:
+        argf = self.arg.bind_columns(schema)
+        fn = self._FNS[self.name]
+
+        def run(chunk: ColumnChunk) -> ColumnVector:
+            va = argf(chunk)
+            am = va.mask
+            out: list[Any] = []
+            mask: list[bool] = []
+            for i, v in enumerate(va.data):
+                if am is not None and am[i]:
+                    out.append(NA)
+                    mask.append(True)
+                    continue
+                try:
+                    w = fn(v)
+                except (ValueError, OverflowError):
+                    w = NA
+                out.append(w)
+                mask.append(w is NA or w != w)
+            return ColumnVector(out, mask if True in mask else None)
 
         return run
 
@@ -273,6 +357,29 @@ class Compare(Expr):
 
         return run
 
+    def bind_columns(self, schema: Schema) -> ColumnFn:
+        lf, rf = self.left.bind_columns(schema), self.right.bind_columns(schema)
+        fn = self._OPS[self.op]
+        op = self.op
+
+        def run(chunk: ColumnChunk) -> ColumnVector:
+            va, vb = lf(chunk), rf(chunk)
+            am, bm = va.mask, vb.mask
+            out: list[bool] = []
+            for i, (a, b) in enumerate(zip(va.data, vb.data)):
+                if (am is not None and am[i]) or (bm is not None and bm[i]):
+                    out.append(False)
+                    continue
+                try:
+                    out.append(bool(fn(a, b)))
+                except TypeError as exc:
+                    raise ExpressionError(
+                        f"cannot compare {a!r} {op} {b!r}"
+                    ) from exc
+            return ColumnVector(out, None)
+
+        return run
+
     def columns(self) -> set[str]:
         return self.left.columns() | self.right.columns()
 
@@ -290,6 +397,17 @@ class And(Expr):
     def bind(self, schema: Schema) -> RowFn:
         lf, rf = self.left.bind(schema), self.right.bind(schema)
         return lambda row: bool(lf(row)) and bool(rf(row))
+
+    def bind_columns(self, schema: Schema) -> ColumnFn:
+        lf, rf = self.left.bind_columns(schema), self.right.bind_columns(schema)
+
+        def run(chunk: ColumnChunk) -> ColumnVector:
+            va, vb = lf(chunk), rf(chunk)
+            return ColumnVector(
+                [bool(a) and bool(b) for a, b in zip(va.data, vb.data)], None
+            )
+
+        return run
 
     def columns(self) -> set[str]:
         return self.left.columns() | self.right.columns()
@@ -309,6 +427,17 @@ class Or(Expr):
         lf, rf = self.left.bind(schema), self.right.bind(schema)
         return lambda row: bool(lf(row)) or bool(rf(row))
 
+    def bind_columns(self, schema: Schema) -> ColumnFn:
+        lf, rf = self.left.bind_columns(schema), self.right.bind_columns(schema)
+
+        def run(chunk: ColumnChunk) -> ColumnVector:
+            va, vb = lf(chunk), rf(chunk)
+            return ColumnVector(
+                [bool(a) or bool(b) for a, b in zip(va.data, vb.data)], None
+            )
+
+        return run
+
     def columns(self) -> set[str]:
         return self.left.columns() | self.right.columns()
 
@@ -325,6 +454,14 @@ class Not(Expr):
     def bind(self, schema: Schema) -> RowFn:
         cf = self.child.bind(schema)
         return lambda row: not bool(cf(row))
+
+    def bind_columns(self, schema: Schema) -> ColumnFn:
+        cf = self.child.bind_columns(schema)
+
+        def run(chunk: ColumnChunk) -> ColumnVector:
+            return ColumnVector([not bool(v) for v in cf(chunk).data], None)
+
+        return run
 
     def columns(self) -> set[str]:
         return self.child.columns()
@@ -344,6 +481,27 @@ class In(Expr):
         cf = self.child.bind(schema)
         options = set(self.options)
         return lambda row: (v := cf(row)) is not None and not is_na(v) and v in options
+
+    def bind_columns(self, schema: Schema) -> ColumnFn:
+        cf = self.child.bind_columns(schema)
+        options = set(self.options)
+
+        def run(chunk: ColumnChunk) -> ColumnVector:
+            vc = cf(chunk)
+            mask = vc.mask
+            if mask is None:
+                return ColumnVector(
+                    [v is not None and v in options for v in vc.data], None
+                )
+            return ColumnVector(
+                [
+                    v is not None and not mask[i] and v in options
+                    for i, v in enumerate(vc.data)
+                ],
+                None,
+            )
+
+        return run
 
     def columns(self) -> set[str]:
         return self.child.columns()
@@ -366,6 +524,22 @@ class Between(Expr):
         lo, hi = self.lo, self.hi
         return lambda row: not is_na(v := cf(row)) and lo <= v <= hi
 
+    def bind_columns(self, schema: Schema) -> ColumnFn:
+        cf = self.child.bind_columns(schema)
+        lo, hi = self.lo, self.hi
+
+        def run(chunk: ColumnChunk) -> ColumnVector:
+            vc = cf(chunk)
+            mask = vc.mask
+            if mask is None:
+                return ColumnVector([lo <= v <= hi for v in vc.data], None)
+            return ColumnVector(
+                [not mask[i] and lo <= v <= hi for i, v in enumerate(vc.data)],
+                None,
+            )
+
+        return run
+
     def columns(self) -> set[str]:
         return self.child.columns()
 
@@ -384,6 +558,17 @@ class IsNA(Expr):
     def bind(self, schema: Schema) -> RowFn:
         cf = self.child.bind(schema)
         return lambda row: is_na(cf(row))
+
+    def bind_columns(self, schema: Schema) -> ColumnFn:
+        cf = self.child.bind_columns(schema)
+
+        def run(chunk: ColumnChunk) -> ColumnVector:
+            vc = cf(chunk)
+            if vc.mask is None:
+                return ColumnVector([False] * len(vc.data), None)
+            return ColumnVector(list(vc.mask), None)
+
+        return run
 
     def columns(self) -> set[str]:
         return self.child.columns()

@@ -9,7 +9,13 @@ The plan shape is fixed — scan -> (pushed selections) -> join -> selection
   equality join conditions);
 * a registered :class:`~repro.relational.index.AttributeIndex` on the base
   table serves an equality/BETWEEN conjunct (join-free queries), the
-  remaining conjuncts running as a residual filter; and
+  remaining conjuncts running as a residual filter;
+* a join-free query over a chunk-capable source (in-memory relation or
+  transposed-file backing) runs on the vectorized engine
+  (:mod:`repro.relational.vectorized`): the scan is pruned to the columns
+  the query touches and selection/projection/group-by execute
+  chunk-at-a-time, falling back to the row engine for joins, index access,
+  and heap-backed sources; and
 * HAVING becomes a selection over the group-by output (it may reference
   aggregate aliases).
 """
@@ -90,60 +96,150 @@ def plan(query: Query, catalog: Catalog) -> Any:
     pipeline: Any = left
     if where is not None and query.join is None:
         pipeline, where = _try_index_access(query.table, pipeline, where, catalog)
-    if where is not None:
-        pipeline = Select(pipeline, where)
 
-    aggs = [item for item in query.select if item.kind == "agg"]
-    if aggs or query.group_by:
-        specs = []
-        for item in aggs:
-            specs.append(
-                AggregateSpec(
-                    func=item.agg_func or "count",
-                    attr=item.agg_attr,
-                    alias=item.alias or item.agg_func or "agg",
-                    weight=item.agg_weight,
-                )
-            )
-        non_agg = [
-            item for item in query.select if item.kind not in ("agg", "star")
-        ]
-        for item in non_agg:
-            name = item.name
-            if name is None or name not in query.group_by:
-                raise QueryError(
-                    f"select item {name!r} must appear in GROUP BY"
-                )
-        if not specs:
-            raise QueryError("GROUP BY requires at least one aggregate")
-        pipeline = GroupBy(pipeline, query.group_by, specs)
-        if query.having is not None:
-            # HAVING filters the grouped rows; it references group keys and
-            # aggregate aliases, which are exactly the GroupBy output schema.
-            pipeline = Select(pipeline, query.having)
-        # Reorder output columns to the SELECT order when it differs.
-        wanted = _grouped_output_names(query.select, query.group_by)
-        if wanted != pipeline.schema.names:
-            pipeline = Project(pipeline, wanted)
+    vectorized: Any = None
+    if query.join is None and pipeline is left:
+        # Index access won (pipeline replaced) or a join intervened — both
+        # keep the row engine; otherwise a chunk-capable source runs the
+        # whole select/project/group-by stack vectorized.
+        vectorized = _try_vectorized(query, pipeline, where)
+
+    if vectorized is not None:
+        pipeline = vectorized
     else:
-        items: list[Any] = []
-        star = any(item.kind == "star" for item in query.select)
-        if star:
-            if len(query.select) > 1:
-                raise QueryError("* cannot be combined with other select items")
+        if where is not None:
+            pipeline = Select(pipeline, where)
+        specs = _grouped_specs(query)
+        if specs is not None:
+            pipeline = GroupBy(pipeline, query.group_by, specs)
+            if query.having is not None:
+                # HAVING filters the grouped rows; it references group keys
+                # and aggregate aliases, which are exactly the GroupBy
+                # output schema.
+                pipeline = Select(pipeline, query.having)
+            # Reorder output columns to the SELECT order when it differs.
+            wanted = _grouped_output_names(query.select, query.group_by)
+            if wanted != pipeline.schema.names:
+                pipeline = Project(pipeline, wanted)
         else:
-            for item in query.select:
-                if item.kind == "column":
-                    items.append(item.name)
-                else:
-                    items.append((item.alias, item.expr))
-            pipeline = Project(pipeline, items)
+            items = _projection_items(query)
+            if items is not None:
+                pipeline = Project(pipeline, items)
 
     if query.order_by:
         pipeline = Sort(pipeline, query.order_by, descending=query.order_desc)
     if query.limit is not None:
         pipeline = Limit(pipeline, query.limit)
     return pipeline
+
+
+def _grouped_specs(query: Query) -> list[AggregateSpec] | None:
+    """Aggregate specs for a grouped query, or ``None`` if ungrouped.
+
+    Also enforces the grouped-query shape rules shared by both engines.
+    """
+    aggs = [item for item in query.select if item.kind == "agg"]
+    if not aggs and not query.group_by:
+        return None
+    specs = [
+        AggregateSpec(
+            func=item.agg_func or "count",
+            attr=item.agg_attr,
+            alias=item.alias or item.agg_func or "agg",
+            weight=item.agg_weight,
+        )
+        for item in aggs
+    ]
+    for item in query.select:
+        if item.kind in ("agg", "star"):
+            continue
+        name = item.name
+        if name is None or name not in query.group_by:
+            raise QueryError(f"select item {name!r} must appear in GROUP BY")
+    if not specs:
+        raise QueryError("GROUP BY requires at least one aggregate")
+    return specs
+
+
+def _projection_items(query: Query) -> list[Any] | None:
+    """Projection items for an ungrouped query, or ``None`` for SELECT *."""
+    star = any(item.kind == "star" for item in query.select)
+    if star:
+        if len(query.select) > 1:
+            raise QueryError("* cannot be combined with other select items")
+        return None
+    items: list[Any] = []
+    for item in query.select:
+        if item.kind == "column":
+            items.append(item.name)
+        else:
+            items.append((item.alias, item.expr))
+    return items
+
+
+def _try_vectorized(query: Query, source: Any, where: ex.Expr | None) -> Any:
+    """Build a vectorized pipeline for ``query``, or ``None`` to stay row-wise."""
+    from repro.relational.vectorized import (
+        VecGroupBy,
+        VecProject,
+        VecSelect,
+        as_chunk_pipeline,
+        supports_column_chunks,
+    )
+
+    if not supports_column_chunks(source):
+        return None
+    specs = _grouped_specs(query)
+    items = _projection_items(query) if specs is None else None
+    needed = _needed_columns(query, source.schema, where, specs, items)
+    pipeline = as_chunk_pipeline(source, columns=needed)
+    if pipeline is None:
+        return None
+    if where is not None:
+        pipeline = VecSelect(pipeline, where)
+    if specs is not None:
+        pipeline = VecGroupBy(pipeline, query.group_by, specs)
+        if query.having is not None:
+            pipeline = VecSelect(pipeline, query.having)
+        wanted = _grouped_output_names(query.select, query.group_by)
+        if wanted != pipeline.schema.names:
+            pipeline = VecProject(pipeline, wanted)
+    elif items is not None:
+        pipeline = VecProject(pipeline, items)
+    return pipeline
+
+
+def _needed_columns(
+    query: Query,
+    schema: Any,
+    where: ex.Expr | None,
+    specs: list[AggregateSpec] | None,
+    items: list[Any] | None,
+) -> list[str] | None:
+    """Source columns the query touches, in schema order (None = all).
+
+    This is the q of the q-of-m scan: the vectorized path never reads the
+    other m − q columns off a transposed backing.
+    """
+    if specs is None and items is None:
+        return None  # SELECT * needs the full width.
+    used: set[str] = set()
+    if where is not None:
+        used |= where.columns()
+    if specs is not None:
+        used |= set(query.group_by)
+        for spec in specs:
+            if spec.attr is not None:
+                used.add(spec.attr)
+            if spec.weight:
+                used.add(spec.weight)
+    elif items is not None:
+        for item in items:
+            if isinstance(item, str):
+                used.add(item)
+            else:
+                used |= item[1].columns()
+    return [name for name in schema.names if name in used]
 
 
 def _try_index_access(

@@ -1,0 +1,383 @@
+"""Vectorized columnar execution: operators over fixed-size column chunks.
+
+The paper names transposed files "the best all-around storage structure for
+statistical data sets" (SS2.6) because statistical operations touch q of m
+columns.  The row engine in :mod:`repro.relational.operators` forfeits that
+advantage at execution time: it reconstructs full row tuples and evaluates
+bound expressions one row at a time.  The operators here keep data columnar
+end to end — a :class:`ColumnChunk` carries one value buffer plus a
+parallel NA mask per attribute — and evaluate expressions with the
+chunk-at-a-time kernels that :meth:`Expr.bind_columns` compiles once per
+pipeline (never ``Expr.bind`` inside a chunk loop; lint REPRO-A106 enforces
+this).
+
+Sources feed chunks through ``scan_column_chunks``: a transposed file
+serves them straight from the q requested page chains (the other m - q
+columns are never read), and an in-memory relation slices its row list.
+:func:`as_chunk_pipeline` is the planner's hook — it lifts any
+chunk-capable source into this engine and returns ``None`` for sources
+(heap files, joins) that must stay on the row engine.
+
+Every operator still exposes ``.schema`` and row iteration, so vectorized
+segments compose freely with the row operators (Sort, Limit, joins) and
+with :class:`~repro.relational.relation.Relation.from_operator`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.core.errors import QueryError
+from repro.relational.aggregates import AGGREGATES, AggregateSpec, GroupBy, weighted_avg
+from repro.relational.schema import Schema
+from repro.relational.types import NA
+
+#: Default number of rows per column chunk.
+CHUNK_SIZE = 1024
+
+#: What a compiled chunk kernel looks like: ``ColumnChunk -> ColumnVector``.
+ChunkFn = Callable[["ColumnChunk"], "ColumnVector"]
+
+
+class ColumnVector:
+    """One attribute's values for a chunk of rows: a buffer and an NA mask.
+
+    ``data`` is a plain Python list (an ``array.array`` works too for
+    NA-free numeric columns); ``mask`` is a parallel list of booleans with
+    ``True`` where the value is missing, or ``None`` when the chunk holds
+    no NA at all — the fast path every kernel branches on.  Masked slots in
+    ``data`` keep the NA marker so row reconstruction is a plain zip.
+    """
+
+    __slots__ = ("data", "mask")
+
+    def __init__(self, data: Sequence[Any], mask: list[bool] | None = None) -> None:
+        self.data = data
+        self.mask = mask
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @classmethod
+    def from_values(cls, values: Sequence[Any]) -> "ColumnVector":
+        """Build a vector from raw values, deriving the NA mask."""
+        mask = [v is NA or v != v for v in values]
+        return cls(values, mask if True in mask else None)
+
+    def to_list(self) -> Sequence[Any]:
+        """The values row-wise, NA included (masked slots already hold NA)."""
+        return self.data
+
+    def take(self, positions: Sequence[int]) -> "ColumnVector":
+        """A new vector holding the values at ``positions``."""
+        data = self.data
+        if self.mask is None:
+            return ColumnVector([data[i] for i in positions], None)
+        mask = self.mask
+        kept_mask = [mask[i] for i in positions]
+        return ColumnVector(
+            [data[i] for i in positions],
+            kept_mask if True in kept_mask else None,
+        )
+
+    def __repr__(self) -> str:
+        na = self.mask.count(True) if self.mask else 0
+        return f"ColumnVector({len(self.data)} values, {na} NA)"
+
+
+class ColumnChunk:
+    """A fixed-size batch of rows in columnar form."""
+
+    __slots__ = ("schema", "columns", "length")
+
+    def __init__(self, schema: Schema, columns: Sequence[ColumnVector], length: int) -> None:
+        self.schema = schema
+        self.columns = list(columns)
+        self.length = length
+
+    def iter_rows(self) -> Iterator[tuple[Any, ...]]:
+        """Reconstruct row tuples (the hand-off to row operators)."""
+        if not self.columns:
+            return iter(() for _ in range(self.length))
+        return zip(*(column.to_list() for column in self.columns))
+
+    def compress(self, keep: Sequence[Any]) -> "ColumnChunk":
+        """Rows where ``keep`` is truthy (a selection's boolean mask)."""
+        positions = [i for i, flag in enumerate(keep) if flag]
+        if len(positions) == self.length:
+            return self
+        return ColumnChunk(
+            self.schema,
+            [column.take(positions) for column in self.columns],
+            len(positions),
+        )
+
+    def __repr__(self) -> str:
+        return f"ColumnChunk({self.length} rows, {self.schema!r})"
+
+
+def chunks_from_rows(
+    schema: Schema,
+    rows: Iterable[Sequence[Any]],
+    chunk_size: int = CHUNK_SIZE,
+) -> Iterator[ColumnChunk]:
+    """Batch a row stream into column chunks (for row-engine interop)."""
+    width = len(schema)
+    block: list[Sequence[Any]] = []
+    for row in rows:
+        block.append(row)
+        if len(block) >= chunk_size:
+            yield _chunk_from_block(schema, block, width)
+            block = []
+    if block:
+        yield _chunk_from_block(schema, block, width)
+
+
+def _chunk_from_block(
+    schema: Schema, block: list[Sequence[Any]], width: int
+) -> ColumnChunk:
+    columns = [
+        ColumnVector.from_values([row[i] for row in block]) for i in range(width)
+    ]
+    return ColumnChunk(schema, columns, len(block))
+
+
+class VectorOperator:
+    """Base class for chunk-producing operators.
+
+    Subclasses implement :meth:`chunks`; row iteration and ``rows()`` come
+    for free, so a vectorized segment drops into any place a row operator
+    fits (Sort, Limit, joins, ``Relation.from_operator``).
+    """
+
+    schema: Schema
+
+    def chunks(self) -> Iterator[ColumnChunk]:
+        """Produce the operator's output as column chunks."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        for chunk in self.chunks():
+            yield from chunk.iter_rows()
+
+    def rows(self) -> list[tuple[Any, ...]]:
+        """Evaluate the pipeline into a list of row tuples."""
+        return list(iter(self))
+
+
+class VecScan(VectorOperator):
+    """Chunk source over a chunk-capable relation, pruned to ``columns``.
+
+    On a transposed backing this is the q-of-m scan the paper promises:
+    only the named columns' page chains are read, and no row is ever
+    reconstructed.
+    """
+
+    def __init__(
+        self,
+        source: Any,
+        columns: Sequence[str] | None = None,
+        chunk_size: int = CHUNK_SIZE,
+    ) -> None:
+        if chunk_size <= 0:
+            raise QueryError(f"chunk_size must be positive, got {chunk_size}")
+        self.source = source
+        source_schema: Schema = source.schema
+        names = list(columns) if columns is not None else source_schema.names
+        if not names:
+            names = source_schema.names[:1]
+        self.schema = source_schema.project(names)
+        self._indexes = [source_schema.index_of(n) for n in names]
+        self.chunk_size = chunk_size
+
+    def chunks(self) -> Iterator[ColumnChunk]:
+        for raw_columns in self.source.scan_column_chunks(
+            self._indexes, self.chunk_size
+        ):
+            columns = [ColumnVector.from_values(values) for values in raw_columns]
+            yield ColumnChunk(self.schema, columns, len(raw_columns[0]))
+
+
+class VecSelect(VectorOperator):
+    """Selection: the predicate compiles once to a boolean-mask kernel."""
+
+    def __init__(self, child: Any, predicate: Any) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+        self._mask_fn: ChunkFn = predicate.bind_columns(self.schema)
+
+    def chunks(self) -> Iterator[ColumnChunk]:
+        mask_fn = self._mask_fn
+        for chunk in self.child.chunks():
+            kept = chunk.compress(mask_fn(chunk).data)
+            if kept.length:
+                yield kept
+
+
+class VecProject(VectorOperator):
+    """Projection / computed columns over chunks.
+
+    ``items`` follows :class:`~repro.relational.operators.Project`: plain
+    attribute names, or ``(alias, Expr)`` / ``(Attribute, Expr)`` pairs for
+    computed columns.  Expression items compile once to chunk kernels.
+    """
+
+    def __init__(self, child: Any, items: Sequence[Any]) -> None:
+        from repro.relational.operators import Project
+
+        self.child = child
+        # Reuse the row operator's item handling for schema construction and
+        # validation; only the per-chunk kernels differ.
+        template = Project(_SchemaOnly(child.schema), items)
+        self.schema = template.schema
+        in_schema: Schema = child.schema
+        self._fns: list[ChunkFn] = []
+        for item in items:
+            if isinstance(item, str):
+                index = in_schema.index_of(item)
+                self._fns.append(_column_picker(index))
+            else:
+                _, expr = item
+                self._fns.append(expr.bind_columns(in_schema))
+
+    def chunks(self) -> Iterator[ColumnChunk]:
+        fns = self._fns
+        schema = self.schema
+        for chunk in self.child.chunks():
+            yield ColumnChunk(schema, [fn(chunk) for fn in fns], chunk.length)
+
+
+def _column_picker(index: int) -> ChunkFn:
+    return lambda chunk: chunk.columns[index]
+
+
+class _SchemaOnly:
+    """A stand-in child carrying only a schema (for operator validation)."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(())
+
+
+class _Group:
+    """Accumulated state for one group key."""
+
+    __slots__ = ("size", "values")
+
+    def __init__(self, column_indexes: Sequence[int]) -> None:
+        self.size = 0
+        self.values: dict[int, list[Any]] = {i: [] for i in column_indexes}
+
+
+class VecGroupBy(VectorOperator):
+    """Group-by over chunks with the row engine's exact aggregate semantics.
+
+    Grouping gathers each aggregate input column-wise per group; the final
+    per-group reduction reuses the shared NA-skipping aggregate functions,
+    so results match :class:`~repro.relational.aggregates.GroupBy` bit for
+    bit.  Output is one chunk of group rows (group counts are small
+    relative to input rows).
+    """
+
+    def __init__(self, child: Any, keys: Sequence[str], specs: Sequence[AggregateSpec]) -> None:
+        self.child = child
+        # Reuse the row operator's validation and output-schema logic.
+        template = GroupBy(_SchemaOnly(child.schema), keys, specs)
+        self.schema = template.schema
+        self.keys = list(keys)
+        self.specs = list(specs)
+        in_schema: Schema = child.schema
+        self._key_idx = [in_schema.index_of(k) for k in self.keys]
+        self._col_idx = [
+            in_schema.index_of(spec.attr) if spec.attr is not None else None
+            for spec in self.specs
+        ]
+        self._weight_idx = [
+            in_schema.index_of(spec.weight) if spec.weight else None
+            for spec in self.specs
+        ]
+
+    def chunks(self) -> Iterator[ColumnChunk]:
+        key_idx = self._key_idx
+        needed = sorted(
+            {i for i in self._col_idx if i is not None}
+            | {i for i in self._weight_idx if i is not None}
+        )
+        groups: dict[tuple, _Group] = {}
+        order: list[tuple] = []
+        for chunk in self.child.chunks():
+            key_columns = [chunk.columns[i].to_list() for i in key_idx]
+            data_columns = [(i, chunk.columns[i].to_list()) for i in needed]
+            for r in range(chunk.length):
+                key = tuple(column[r] for column in key_columns)
+                group = groups.get(key)
+                if group is None:
+                    groups[key] = group = _Group(needed)
+                    order.append(key)
+                group.size += 1
+                values = group.values
+                for i, column in data_columns:
+                    values[i].append(column[r])
+        if not self.keys and not order:
+            order.append(())
+            groups[()] = _Group(needed)
+        out_rows = [self._emit(key, groups[key]) for key in order]
+        yield _chunk_from_block(self.schema, out_rows, len(self.schema))
+
+    def _emit(self, key: tuple, group: _Group) -> tuple[Any, ...]:
+        out: list[Any] = list(key)
+        for spec, ci, wi in zip(self.specs, self._col_idx, self._weight_idx):
+            if spec.func == "weighted_avg":
+                out.append(weighted_avg(group.values[ci], group.values[wi]))
+            elif spec.func == "count_star" or (spec.func == "count" and ci is None):
+                out.append(group.size)
+            else:
+                out.append(AGGREGATES[spec.func](group.values[ci]))
+        return tuple(out)
+
+
+def supports_column_chunks(source: Any) -> bool:
+    """Whether ``source`` can feed the vectorized engine directly."""
+    probe = getattr(source, "supports_column_chunks", None)
+    if probe is None:
+        return False
+    supported = probe() if callable(probe) else probe
+    return bool(supported) and hasattr(source, "scan_column_chunks")
+
+
+def as_chunk_pipeline(
+    source: Any,
+    columns: Sequence[str] | None = None,
+    chunk_size: int = CHUNK_SIZE,
+) -> VectorOperator | None:
+    """Lift ``source`` into the chunk engine, or ``None`` to stay row-wise.
+
+    An existing :class:`VectorOperator` passes through (``columns`` is then
+    ignored — pruning happened at its scan); a chunk-capable relation gets
+    a :class:`VecScan` over the named columns.  Anything else — heap-backed
+    relations, join outputs — returns ``None`` and the caller falls back to
+    the row engine.
+    """
+    if isinstance(source, VectorOperator):
+        return source
+    if supports_column_chunks(source):
+        return VecScan(source, columns=columns, chunk_size=chunk_size)
+    return None
+
+
+__all__ = [
+    "CHUNK_SIZE",
+    "ColumnChunk",
+    "ColumnVector",
+    "VecGroupBy",
+    "VecProject",
+    "VecScan",
+    "VecSelect",
+    "VectorOperator",
+    "as_chunk_pipeline",
+    "chunks_from_rows",
+    "supports_column_chunks",
+]

@@ -156,6 +156,11 @@ class HeapFile:
         return self._record_count
 
     @property
+    def types(self) -> tuple[DataType, ...]:
+        """Column types, as declared at construction (storage protocol)."""
+        return self.codec.types
+
+    @property
     def page_count(self) -> int:
         """Number of pages the file occupies."""
         return len(self.page_nos)

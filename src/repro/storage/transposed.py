@@ -54,6 +54,11 @@ class _Column:
         self._open_offset = 0  # next free byte (plain mode)
         self._open_runs: list[tuple[object, int]] = []  # rle mode
         self._open_rle_size = 0  # encoded body size of the open runs
+        # Last decoded page, memoized: consecutive point probes of the same
+        # page (the informational query walking a row range, or an RLE
+        # column probed value by value) skip re-decoding the whole page.
+        self._memo_page_no = -1
+        self._memo_values: list[object] | None = None
 
     # -- append ------------------------------------------------------------
 
@@ -63,6 +68,8 @@ class _Column:
         else:
             self._append_plain(value)
         self.row_count += 1
+        if self._memo_page_no == self._open_page_no:
+            self._invalidate_memo()
 
     def _append_plain(self, value: object) -> None:
         encoded = comp._encode_value(value, self.dtype)
@@ -145,6 +152,15 @@ class _Column:
         for meta in self.pages:
             yield from self._read_page(meta)
 
+    def scan_pages(self) -> Iterator[list[object]]:
+        """Stream the column page by page, each as a decoded value list.
+
+        Callers must treat the yielded lists as read-only: they may be the
+        memoized decode shared with point lookups.
+        """
+        for meta in self.pages:
+            yield self._read_page(meta)
+
     def get(self, row: int) -> object:
         meta = self._page_for_row(row)
         values = self._read_page(meta)
@@ -180,6 +196,9 @@ class _Column:
                 )
             else:
                 self._open_offset = len(encoded)
+        # The in-place edit above may have mutated the memoized decode;
+        # drop it so the next probe re-reads the rewritten page.
+        self._invalidate_memo()
 
     # -- internals ----------------------------------------------------------
 
@@ -198,7 +217,13 @@ class _Column:
                 return meta
         return self.pages[lo]
 
+    def _invalidate_memo(self) -> None:
+        self._memo_page_no = -1
+        self._memo_values = None
+
     def _read_page(self, meta: _ColumnPage) -> list[object]:
+        if meta.page_no == self._memo_page_no and self._memo_values is not None:
+            return self._memo_values
         page = self.pool.fetch_page(meta.page_no)
         try:
             buf = bytes(page)
@@ -211,8 +236,12 @@ class _Column:
             )
         body = buf[_COUNT.size :]
         if self.compress == "rle":
-            return comp.rle_decode_bytes(body, self.dtype)
-        return list(comp.iter_value_stream(body, self.dtype, count))
+            values = comp.rle_decode_bytes(body, self.dtype)
+        else:
+            values = list(comp.iter_value_stream(body, self.dtype, count))
+        self._memo_page_no = meta.page_no
+        self._memo_values = values
+        return values
 
 
 class TransposedFile:
@@ -281,6 +310,35 @@ class TransposedFile:
         """Stream several columns zipped row-wise."""
         iters = [self._columns[i].scan() for i in indexes]
         yield from zip(*iters)
+
+    def scan_column_chunks(
+        self, indexes: Sequence[int], chunk_size: int = 1024
+    ) -> Iterator[list[list[object]]]:
+        """Stream fixed-size column chunks straight off the page chains.
+
+        Each yielded item is one list of values per requested column, all of
+        the same length (``chunk_size``, except possibly the final chunk).
+        Only the requested columns' pages are read — the q-of-m access
+        pattern of SS2.6 — and no row tuples are ever built; this is the
+        feed the vectorized execution engine consumes.
+        """
+        if not indexes:
+            raise StorageError("scan_column_chunks requires at least one column")
+        if chunk_size <= 0:
+            raise StorageError(f"chunk_size must be positive, got {chunk_size}")
+        streams = [self._columns[i].scan_pages() for i in indexes]
+        buffers: list[list[object]] = [[] for _ in indexes]
+        remaining = self._row_count
+        while remaining > 0:
+            take = min(chunk_size, remaining)
+            out: list[list[object]] = []
+            for buffer, stream in zip(buffers, streams):
+                while len(buffer) < take:
+                    buffer.extend(next(stream))
+                out.append(buffer[:take])
+                del buffer[:take]
+            yield out
+            remaining -= take
 
     def get_value(self, row: int, column: int) -> object:
         """Point-read one cell."""

@@ -25,6 +25,12 @@ from repro.relational.expressions import Expr
 from repro.relational.operators import HashJoin, Project, Select
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
+from repro.relational.vectorized import (
+    VecGroupBy,
+    VecProject,
+    VecSelect,
+    as_chunk_pipeline,
+)
 from repro.storage.records import RecordCodec
 from repro.storage.tape import TapeArchive, TapeStats
 
@@ -227,13 +233,27 @@ class MaterializationReport:
 
 
 def evaluate(node: DefNode, raw_db: RawDatabase) -> Any:
-    """Evaluate a definition subtree into an operator pipeline/relation."""
+    """Evaluate a definition subtree into an operator pipeline/relation.
+
+    Select/project/aggregate run on the vectorized engine whenever the
+    child pipeline can feed column chunks (a tape read lands in an
+    in-memory relation, which always can); joins stay on the row engine,
+    consuming any vectorized children through their row adapters.
+    """
     if isinstance(node, SourceNode):
         return raw_db.read(node.dataset)
     if isinstance(node, SelectNode):
-        return Select(evaluate(node.child, raw_db), node.predicate)
+        child = evaluate(node.child, raw_db)
+        chunked = as_chunk_pipeline(child)
+        if chunked is not None:
+            return VecSelect(chunked, node.predicate)
+        return Select(child, node.predicate)
     if isinstance(node, ProjectNode):
-        return Project(evaluate(node.child, raw_db), list(node.attributes))
+        child = evaluate(node.child, raw_db)
+        chunked = as_chunk_pipeline(child, columns=list(dict.fromkeys(node.attributes)))
+        if chunked is not None:
+            return VecProject(chunked, list(node.attributes))
+        return Project(child, list(node.attributes))
     if isinstance(node, JoinNode):
         return HashJoin(
             evaluate(node.left, raw_db),
@@ -242,7 +262,11 @@ def evaluate(node: DefNode, raw_db: RawDatabase) -> Any:
             right_keys=list(node.right_keys),
         )
     if isinstance(node, AggregateNode):
-        return GroupBy(evaluate(node.child, raw_db), list(node.keys), list(node.specs))
+        child = evaluate(node.child, raw_db)
+        chunked = as_chunk_pipeline(child)
+        if chunked is not None:
+            return VecGroupBy(chunked, list(node.keys), list(node.specs))
+        return GroupBy(child, list(node.keys), list(node.specs))
     raise ViewError(f"unknown definition node {type(node).__name__}")
 
 

@@ -219,3 +219,51 @@ class TestSuppressions:
 def test_syntax_error_reported_not_raised():
     findings = lint("def broken(:\n")
     assert rule_ids(findings) == ["REPRO-A100"]
+
+
+class TestRowwiseBindInVectorizedModule:
+    VEC_PATH = "src/repro/relational/vectorized.py"
+
+    def test_bind_inside_loop_flagged(self):
+        code = """
+        def chunks(self):
+            for chunk in self.child.chunks():
+                fn = self.predicate.bind(chunk.schema)
+        """
+        findings = lint(code, path=self.VEC_PATH, select={"REPRO-A106"})
+        assert len(findings) == 1
+        assert findings[0].rule_id == "REPRO-A106"
+
+    def test_bind_inside_comprehension_flagged(self):
+        code = """
+        def kernels(self, chunks):
+            return [expr.bind(c.schema) for c in chunks for expr in self.items]
+        """
+        findings = lint(code, path=self.VEC_PATH, select={"REPRO-A106"})
+        assert len(findings) == 1
+
+    def test_bind_columns_outside_loop_passes(self):
+        code = """
+        def __init__(self, child, predicate):
+            self._fn = predicate.bind_columns(child.schema)
+            for chunk in child.chunks():
+                self._fn(chunk)
+        """
+        assert lint(code, path=self.VEC_PATH, select={"REPRO-A106"}) == []
+
+    def test_bind_once_before_loop_passes(self):
+        code = """
+        def chunks(self):
+            fn = self.predicate.bind(self.schema)
+            for chunk in self.child.chunks():
+                fn(chunk)
+        """
+        assert lint(code, path=self.VEC_PATH, select={"REPRO-A106"}) == []
+
+    def test_other_modules_exempt(self):
+        code = """
+        def rows(self):
+            for row in self.child:
+                fn = self.predicate.bind(self.schema)
+        """
+        assert lint(code, path="src/repro/relational/operators.py", select={"REPRO-A106"}) == []
