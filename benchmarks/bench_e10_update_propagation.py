@@ -50,6 +50,36 @@ def test_e10_propagation_is_attribute_local(microdata_10k, benchmark):
     benchmark(lambda: session.update_cells("INCOME", [(9, 42_000.0)]))
 
 
+def test_e10_undo_cost_tracks_batched_path(microdata_10k):
+    """Undo coalesces inverse deltas per attribute: reversing n operations
+    on one attribute costs a single propagation sweep (the cost of one
+    ``propagate_batch`` call), not n per-operation sweeps."""
+    n_ops = 50
+    view = ConcreteView("e10d", microdata_10k.copy("e10d"))
+    session = AnalystSession(ManagementDatabase(), view, analyst="e10")
+    for fn in FUNCTIONS:
+        session.compute(fn, "INCOME")
+    for i in range(n_ops):
+        session.update_cells("INCOME", [(i, 10_000.0 + i)])
+
+    report = session.undo(n_ops)
+
+    table = ExperimentTable(
+        "E10d",
+        f"Undo of {n_ops} INCOME operations (batched inverse propagation)",
+        ["metric", "value"],
+    )
+    table.add_row("operations undone", n_ops)
+    table.add_row("entries visited", report.entries_visited)
+    table.add_row("unbatched sweep would visit", n_ops * len(FUNCTIONS))
+    report_table(table)
+
+    assert report.attributes == ["INCOME"]
+    # One sweep over INCOME's cached entries — identical to what a single
+    # propagate_batch over the burst costs — instead of one sweep per op.
+    assert report.entries_visited == len(FUNCTIONS)
+
+
 def test_e10_clustering_ablation(benchmark):
     """Pages touched by an attribute sweep, clustered vs insertion order."""
 

@@ -103,16 +103,22 @@ def write_json(
     path: str | Path,
     tables: Sequence[ExperimentTable],
     metrics: dict[str, Any] | None = None,
+    spans: dict[str, Any] | None = None,
 ) -> Path:
     """Persist benchmark tables (plus scalar metrics) as JSON.
 
     ``metrics`` holds the headline numbers future PRs compare against
     (speedups, row counts) without re-deriving them from table cells.
+    ``spans`` carries tracer output — a ``Tracer.to_dict()`` (or
+    ``ExplainResult.to_dict()``) dump — so the per-operation breakdown
+    behind the headline numbers survives alongside them.
     """
     target = Path(path)
     payload = {
         "tables": [table.to_dict() for table in tables],
         "metrics": metrics or {},
     }
+    if spans is not None:
+        payload["spans"] = spans
     target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return target

@@ -18,6 +18,7 @@ from repro.core.accuracy import AccuracyPreference
 from repro.core.errors import ViewError
 from repro.core.session import AnalystSession
 from repro.metadata.management import ManagementDatabase
+from repro.obs.tracer import NULL_TRACER, AbstractTracer
 from repro.relational.relation import Relation
 from repro.storage.wiss import StorageManager
 from repro.summary.summarydb import SummaryDatabase
@@ -54,12 +55,16 @@ class StatisticalDBMS:
         raw: RawDatabase | None = None,
         use_storage_mirrors: bool = False,
         storage: StorageManager | None = None,
+        tracer: AbstractTracer | None = None,
     ) -> None:
         self.management = management or ManagementDatabase()
         self.raw = raw or RawDatabase()
         self.registry = ViewRegistry()
         self.use_storage_mirrors = use_storage_mirrors
-        self.storage = storage or (StorageManager() if use_storage_mirrors else None)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.storage = storage or (
+            StorageManager(tracer=self.tracer) if use_storage_mirrors else None
+        )
         self.views_reused = 0
         self.views_derived = 0
         self.views_materialized = 0
@@ -118,7 +123,7 @@ class StatisticalDBMS:
             definition=definition,
             owner=analyst,
             storage=storage,
-            summary=SummaryDatabase(view_name=definition.name),
+            summary=SummaryDatabase(view_name=definition.name, tracer=self.tracer),
         )
 
     def _register(
@@ -152,6 +157,7 @@ class StatisticalDBMS:
             view=view,
             analyst=analyst,
             policy=self.management.policy_for(analyst, view_name),
+            tracer=self.tracer if self.tracer.enabled else None,
         )
 
     # -- publishing / adoption -------------------------------------------------------------
@@ -173,7 +179,7 @@ class StatisticalDBMS:
             relation=relation,
             definition=definition,
             owner=analyst,
-            summary=SummaryDatabase(view_name=new_name),
+            summary=SummaryDatabase(view_name=new_name, tracer=self.tracer),
         )
         self.registry.register(view)
         if definition is not None:

@@ -100,3 +100,7 @@ class SamplingError(ReproError):
 
 class AccuracyError(ReproError):
     """Accuracy preference cannot be satisfied."""
+
+
+class ObsError(ReproError):
+    """Tracer misuse (out-of-order span exit, reset with open spans)."""

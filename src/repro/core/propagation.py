@@ -16,10 +16,11 @@ those derived columns (the regenerate-the-vector rule of SS3.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.incremental.differencing import Delta
 from repro.metadata.management import ManagementDatabase
+from repro.obs.tracer import NULL_TRACER, AbstractTracer
 from repro.summary.policies import ConsistencyPolicy
 from repro.views.view import ConcreteView
 
@@ -63,10 +64,12 @@ class UpdatePropagator:
         management: ManagementDatabase,
         view: ConcreteView,
         policy: ConsistencyPolicy,
+        tracer: AbstractTracer | None = None,
     ) -> None:
         self.management = management
         self.view = view
         self.policy = policy
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def propagate(
         self,
@@ -75,8 +78,21 @@ class UpdatePropagator:
         rows: Sequence[int] = (),
     ) -> PropagationReport:
         """Propagate one attribute's delta through rules and derivations."""
+        with self.tracer.span(
+            "propagate", attribute=attribute, delta_size=delta.size
+        ) as span:
+            return self._propagate(span, attribute, delta, rows)
+
+    def _propagate(
+        self,
+        span: Any,
+        attribute: str,
+        delta: Delta,
+        rows: Sequence[int],
+    ) -> PropagationReport:
         report = PropagationReport(attributes=[attribute])
         summary = self.view.summary
+        traced = self.tracer.enabled
         report.summary_pages_touched += summary.pages_for_attribute(attribute)
 
         # 1. Entries whose primary attribute is the updated one: the
@@ -111,6 +127,14 @@ class UpdatePropagator:
             report.incremental_updates += 1 if outcome.incremental_changes else 0
             report.recomputations += 1 if outcome.recomputed else 0
             report.invalidations += 1 if outcome.marked_stale else 0
+            if traced:
+                function = entry.key.function
+                if outcome.incremental_changes:
+                    span.add(f"rule.{function}.incremental")
+                if outcome.recomputed:
+                    span.add(f"rule.{function}.recompute")
+                if outcome.marked_stale:
+                    span.add(f"rule.{function}.invalidate")
 
         # 2. Entries that merely mention the attribute (secondary input of a
         #    multi-attribute result): invalidate.
@@ -135,6 +159,10 @@ class UpdatePropagator:
                 # A maintainer over a regenerated vector is no longer
                 # valid; drop it so the next refresh rebuilds it.
                 summary.detach_maintainer(entry)
+        span.add("entries_visited", report.entries_visited)
+        span.add("incremental_updates", report.incremental_updates)
+        span.add("recomputations", report.recomputations)
+        span.add("invalidations", report.invalidations)
         return report
 
     def propagate_batch(

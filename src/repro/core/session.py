@@ -19,6 +19,7 @@ from typing import Any, Callable, Mapping, Sequence
 from repro.core.errors import FunctionError
 from repro.core.propagation import PropagationReport, UpdatePropagator
 from repro.incremental.differencing import Delta
+from repro.obs.tracer import NULL_TRACER, AbstractTracer
 from repro.metadata.management import ManagementDatabase
 from repro.relational.expressions import Expr
 from repro.relational.types import is_na
@@ -66,12 +67,20 @@ class AnalystSession:
         view: ConcreteView,
         analyst: str = "analyst",
         policy: ConsistencyPolicy | None = None,
+        tracer: AbstractTracer | None = None,
     ) -> None:
         self.management = management
         self.view = view
         self.analyst = analyst
         self.policy = policy or management.policy_for(analyst, view.name)
-        self.propagator = UpdatePropagator(management, view, self.policy)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if tracer is not None:
+            # The session's tracer also observes its view's cache, so
+            # summary hit/stale/refresh counters land in session spans.
+            view.summary.tracer = self.tracer
+        self.propagator = UpdatePropagator(
+            management, view, self.policy, tracer=self.tracer
+        )
         self.abstract = DatabaseAbstract(view.summary)
         self.stats = SessionStats()
 
@@ -92,6 +101,17 @@ class AnalystSession:
         the meta-data check that rejects numeric summaries of encoded
         category attributes (SS3.2).
         """
+        with self.tracer.span("compute", function=function, attribute=attribute):
+            return self._compute(function, attribute, sample, seed, force)
+
+    def _compute(
+        self,
+        function: str,
+        attribute: str,
+        sample: float | None,
+        seed: int,
+        force: bool,
+    ) -> Any:
         self.stats.queries += 1
         fn = self.management.functions.get(function)
         attr = self.view.schema.attribute(attribute)
@@ -295,18 +315,24 @@ class AnalystSession:
     ) -> PropagationReport:
         """UPDATE ... WHERE with full cache propagation."""
         self.stats.updates += 1
-        deltas = apply_update(self.view, predicate, assignments, description=description)
-        rows = self._rows_from_history(len(deltas))
-        return self.propagator.propagate_all(deltas, rows)
+        with self.tracer.span("update", attributes=sorted(assignments)):
+            deltas = apply_update(
+                self.view, predicate, assignments, description=description
+            )
+            rows = self._rows_from_history(len(deltas))
+            return self.propagator.propagate_all(deltas, rows)
 
     def update_cells(
         self, attribute: str, row_values: Sequence[tuple[int, Any]], description: str = ""
     ) -> PropagationReport:
         """Point-update specific cells with propagation."""
         self.stats.updates += 1
-        delta = update_rows(self.view, attribute, row_values, description=description)
-        rows = [row for row, _ in row_values]
-        return self.propagator.propagate(attribute, delta, rows)
+        with self.tracer.span("update_cells", attribute=attribute):
+            delta = update_rows(
+                self.view, attribute, row_values, description=description
+            )
+            rows = [row for row, _ in row_values]
+            return self.propagator.propagate(attribute, delta, rows)
 
     def mark_invalid(
         self,
@@ -315,23 +341,40 @@ class AnalystSession:
         rows: Sequence[int] | None = None,
         description: str = "mark invalid",
     ) -> PropagationReport:
-        """Mark suspicious values as NA (SS3.1), with propagation."""
+        """Mark suspicious values as NA (SS3.1), with propagation.
+
+        The changed rows come straight from the invalidation call — never
+        from the history log, whose last operation is unrelated when the
+        predicate matched nothing.
+        """
         self.stats.updates += 1
-        if predicate is not None:
-            delta = invalidate_where(self.view, predicate, attribute, description)
-            changed_rows = [c.row for c in self.view.history.operations()[-1].changes]
-        elif rows is not None:
-            delta = invalidate_rows(self.view, rows, attribute, description)
-            changed_rows = list(rows)
-        else:
-            raise FunctionError("mark_invalid needs a predicate or row list")
-        return self.propagator.propagate(attribute, delta, changed_rows)
+        with self.tracer.span("mark_invalid", attribute=attribute):
+            if predicate is not None:
+                delta, changed_rows = invalidate_where(
+                    self.view, predicate, attribute, description
+                )
+            elif rows is not None:
+                delta, changed_rows = invalidate_rows(
+                    self.view, rows, attribute, description
+                )
+            else:
+                raise FunctionError("mark_invalid needs a predicate or row list")
+            return self.propagator.propagate(attribute, delta, changed_rows)
 
     def _rows_from_history(self, op_count: int) -> dict[str, list[int]]:
+        """Rows touched per attribute over the last ``op_count`` operations.
+
+        Several operations in the window may touch the same attribute, so
+        row lists merge (order-preserving, deduplicated) rather than the
+        later operation replacing the earlier one's rows.
+        """
         operations = self.view.history.operations()[-op_count:] if op_count else []
-        return {
-            op.attribute: [c.row for c in op.changes] for op in operations
-        }
+        merged: dict[str, dict[int, None]] = {}
+        for op in operations:
+            rows = merged.setdefault(op.attribute, {})
+            for change in op.changes:
+                rows[change.row] = None
+        return {attribute: list(rows) for attribute, rows in merged.items()}
 
     # -- undo --------------------------------------------------------------------------
 
@@ -340,23 +383,35 @@ class AnalystSession:
 
         The Summary Database stays exact: each undone operation's (new ->
         old) transitions are fed through the same rule pipeline as a
-        forward update.
+        forward update.  Inverse deltas coalesce per attribute, so a large
+        undo costs one clustered sweep (one ``apply_batch`` per live
+        maintainer) per touched attribute instead of one per operation.
         """
         self.stats.undos += 1
-        undone = self.view.history.undo_last(self.view.relation, count)
-        combined = PropagationReport()
-        for operation in undone:
-            if operation.kind is OpKind.ADD_COLUMN:
-                continue
-            # The relation was reverted; mirror the storage copy too.
-            for change in operation.changes:
-                self.view.mirror_cell(change.row, operation.attribute, change.old)
-            inverse = Delta(updates=[(c.new, c.old) for c in operation.changes])
-            rows = [c.row for c in operation.changes]
-            combined.merge(
-                self.propagator.propagate(operation.attribute, inverse, rows)
-            )
-        return combined
+        with self.tracer.span("undo", count=count):
+            undone = self.view.history.undo_last(self.view.relation, count)
+            inverses: dict[str, list[Delta]] = {}
+            rows_by_attr: dict[str, list[int]] = {}
+            for operation in undone:
+                if operation.kind is OpKind.ADD_COLUMN:
+                    continue
+                # The relation was reverted; mirror the storage copy too.
+                for change in operation.changes:
+                    self.view.mirror_cell(change.row, operation.attribute, change.old)
+                inverses.setdefault(operation.attribute, []).append(
+                    Delta(updates=[(c.new, c.old) for c in operation.changes])
+                )
+                rows_by_attr.setdefault(operation.attribute, []).extend(
+                    c.row for c in operation.changes
+                )
+            combined = PropagationReport()
+            for attribute, deltas in inverses.items():
+                combined.merge(
+                    self.propagator.propagate_batch(
+                        attribute, deltas, rows_by_attr[attribute]
+                    )
+                )
+            return combined
 
     # -- convenience ----------------------------------------------------------------
 

@@ -15,6 +15,8 @@ Commands (also ``help`` inside the shell)::
     view <name> <dataset>         materialize a concrete view
     open <name>                   switch the session to a view
     sql <SELECT ...>              query the open view (table: v)
+    explain [row|vectorized] <SELECT ...>
+                                  EXPLAIN ANALYZE: per-operator rows/timings
     stat <function> <attribute>   cached statistic (min/mean/median/...)
     estimate <function> <attr>    Database Abstract answer (SS5.1)
     crosstab <attr> <attr>        cached cross tabulation
@@ -41,7 +43,7 @@ from repro.core.errors import ReproError
 from repro.core.session import AnalystSession
 from repro.io import read_csv
 from repro.relational.catalog import Catalog
-from repro.relational.planner import execute
+from repro.relational.planner import execute, explain_analyze
 from repro.views.materialize import SourceNode, ViewDefinition
 
 
@@ -138,6 +140,26 @@ class AnalystShell(cmd.Cmd):
         catalog.register(session.view.relation, "v")
         result = execute("SELECT " + arg if not arg.upper().startswith("SELECT") else arg, catalog)
         self._say(result.pretty(limit=20))
+
+    def do_explain(self, arg: str) -> None:
+        """explain [row|vectorized] <SELECT ...> — measured operator tree."""
+        session = self._need_session()
+        if session is None:
+            return
+        engine = "auto"
+        text = arg.strip()
+        first, _, rest = text.partition(" ")
+        if first.lower() in ("row", "vectorized"):
+            engine, text = first.lower(), rest.strip()
+        if not text:
+            self._say("usage: explain [row|vectorized] <SELECT ...>")
+            return
+        catalog = Catalog()
+        catalog.register(session.view.relation, "v")
+        if not text.upper().startswith("SELECT"):
+            text = "SELECT " + text
+        result = explain_analyze(text, catalog, engine=engine)
+        self._say(result.render())
 
     def do_stat(self, arg: str) -> None:
         """stat <function> <attribute> — cached statistic."""

@@ -58,6 +58,17 @@ RULE_EXPORTS = rule(
     severity=Severity.ERROR,
     rationale="stale export lists advertise names that do not exist (or hide ones that do)",
 )
+RULE_TRACER_CONSTRUCT = rule(
+    "REPRO-A107",
+    "Tracer constructed inside a hot-path module",
+    severity=Severity.ERROR,
+    rationale=(
+        "hot paths receive their tracer by injection (defaulting to the "
+        "shared NULL_TRACER) so disabled tracing stays allocation-free; a "
+        "locally constructed Tracer records unconditionally and its spans "
+        "never reach the session/benchmark that should own them"
+    ),
+)
 RULE_ROWWISE_BIND = rule(
     "REPRO-A106",
     "row-wise Expr.bind inside a vectorized chunk loop",
@@ -96,6 +107,22 @@ CACHE_STATE_ATTRS = frozenset({"stale", "result", "maintainer"})
 #: Modules holding vectorized kernels, where REPRO-A106 applies (unlike the
 #: allowlists above, this list scopes a rule *to* the named modules).
 VECTORIZED_MODULES = ("relational/vectorized.py",)
+
+#: Instrumented hot-path modules, where REPRO-A107 applies: tracing must be
+#: received by injection (defaulting to NULL_TRACER), never constructed.
+HOT_PATH_MODULES = (
+    "storage/pager.py",
+    "storage/transposed.py",
+    "storage/heapfile.py",
+    "storage/wiss.py",
+    "relational/vectorized.py",
+    "relational/operators.py",
+    "relational/planner.py",
+    "core/session.py",
+    "core/propagation.py",
+    "summary/summarydb.py",
+    "views/updates.py",
+)
 
 
 @dataclass(frozen=True)
@@ -428,6 +455,39 @@ class RowwiseBindRule(AstRule):
         self.generic_visit(node)
 
 
+class TracerConstructRule(AstRule):
+    """REPRO-A107: hot-path modules must not construct a ``Tracer``.
+
+    Instrumented subsystems take ``tracer: AbstractTracer | None = None``
+    and fall back to the shared ``NULL_TRACER``; only system edges (the
+    DBMS facade's caller, benchmarks, tests, the shell) may build a
+    recording :class:`~repro.obs.tracer.Tracer`.  ``NullTracer`` and the
+    ``NULL_TRACER`` singleton stay allowed — they *are* the disabled path.
+    """
+
+    rule_id = RULE_TRACER_CONSTRUCT.rule_id
+    severity = RULE_TRACER_CONSTRUCT.severity
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        if not self.ctx.in_allowlist(HOT_PATH_MODULES):
+            return []
+        return super().run(tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        if name == "Tracer":
+            self.report(
+                node,
+                "hot-path module constructs a Tracer; accept one by "
+                "injection (tracer: AbstractTracer | None = None, "
+                "defaulting to NULL_TRACER) and let the system edge own it",
+            )
+        self.generic_visit(node)
+
+
 def _assigned_names(target: ast.expr) -> set[str]:
     if isinstance(target, ast.Name):
         return {target.id}
@@ -449,6 +509,7 @@ AST_RULES: tuple[type[AstRule], ...] = (
     CacheBypassRule,
     ExportsRule,
     RowwiseBindRule,
+    TracerConstructRule,
 )
 
 

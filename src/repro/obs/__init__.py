@@ -1,0 +1,22 @@
+"""repro.obs — the observability layer: tracing spans, counters, EXPLAIN.
+
+* :mod:`repro.obs.tracer` — injectable :class:`Tracer` (nested spans with
+  per-span counters) and the zero-cost :data:`NULL_TRACER` default;
+* :mod:`repro.obs.explain` — post-hoc plan instrumentation behind
+  ``explain_analyze`` (per-operator rows, chunks, and wall time).
+"""
+
+from repro.obs.explain import ExplainResult, OpStats, instrument, uses_vectorized
+from repro.obs.tracer import NULL_TRACER, AbstractTracer, NullTracer, Span, Tracer
+
+__all__ = [
+    "ExplainResult",
+    "OpStats",
+    "instrument",
+    "uses_vectorized",
+    "NULL_TRACER",
+    "AbstractTracer",
+    "NullTracer",
+    "Span",
+    "Tracer",
+]

@@ -55,8 +55,13 @@ def _combine(preds: list[ex.Expr]) -> ex.Expr | None:
     return combined
 
 
-def plan(query: Query, catalog: Catalog) -> Any:
-    """Build an operator pipeline for ``query`` against ``catalog``."""
+def plan(query: Query, catalog: Catalog, use_vectorized: bool = True) -> Any:
+    """Build an operator pipeline for ``query`` against ``catalog``.
+
+    ``use_vectorized=False`` forces the row engine even for join-free
+    queries over chunk-capable sources (EXPLAIN ANALYZE uses it to show
+    both engines on the same query).
+    """
     left: Any = catalog.get(query.table)
     where = query.where
 
@@ -98,7 +103,7 @@ def plan(query: Query, catalog: Catalog) -> Any:
         pipeline, where = _try_index_access(query.table, pipeline, where, catalog)
 
     vectorized: Any = None
-    if query.join is None and pipeline is left:
+    if use_vectorized and query.join is None and pipeline is left:
         # Index access won (pipeline replaced) or a join intervened — both
         # keep the row engine; otherwise a chunk-capable source runs the
         # whole select/project/group-by stack vectorized.
@@ -293,3 +298,37 @@ def execute(text: str, catalog: Catalog, name: str = "result") -> Relation:
     """Parse, plan, and fully evaluate a query into an in-memory relation."""
     pipeline = plan(parse(text), catalog)
     return Relation.from_operator(name, pipeline)
+
+
+def explain_analyze(
+    text: str, catalog: Catalog, name: str = "result", engine: str = "auto"
+) -> Any:
+    """Plan, instrument, and run a query; return the measured plan.
+
+    ``engine`` selects the execution engine: ``"auto"`` takes whatever the
+    planner picks, ``"vectorized"`` requires the vectorized path (raising
+    :class:`QueryError` when the query cannot run on it), and ``"row"``
+    forces the row engine.  The result is an
+    :class:`~repro.obs.explain.ExplainResult` whose ``render()`` shows
+    per-operator row counts and inclusive wall time.
+    """
+    from repro.obs.explain import ExplainResult, instrument, uses_vectorized
+
+    if engine not in ("auto", "row", "vectorized"):
+        raise QueryError(
+            f"unknown engine {engine!r}; choose auto, row, or vectorized"
+        )
+    pipeline = plan(parse(text), catalog, use_vectorized=engine != "row")
+    vectorized = uses_vectorized(pipeline)
+    if engine == "vectorized" and not vectorized:
+        raise QueryError(
+            "query cannot run on the vectorized engine "
+            "(joins, index access, and heap-backed sources are row-only)"
+        )
+    probed, stats = instrument(pipeline)
+    relation = Relation.from_operator(name, probed)
+    return ExplainResult(
+        engine="vectorized" if vectorized else "row",
+        root=stats,
+        relation=relation,
+    )

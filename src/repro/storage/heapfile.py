@@ -19,6 +19,7 @@ import struct
 from typing import Iterator, Sequence
 
 from repro.core.errors import PageError, StorageError
+from repro.obs.tracer import NULL_TRACER, AbstractTracer
 from repro.relational.types import DataType
 from repro.storage.pager import BufferPool
 from repro.storage.records import RID, RecordCodec
@@ -139,10 +140,17 @@ class HeapFile:
     and point reads are charged realistic I/O.
     """
 
-    def __init__(self, pool: BufferPool, types: Sequence[DataType], name: str = "heap") -> None:
+    def __init__(
+        self,
+        pool: BufferPool,
+        types: Sequence[DataType],
+        name: str = "heap",
+        tracer: AbstractTracer | None = None,
+    ) -> None:
         self.pool = pool
         self.codec = RecordCodec(types)
         self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.page_nos: list[int] = []
         self._record_count = 0
         min_fit = self.codec.max_size() + SLOT_SIZE + HEADER_SIZE
@@ -238,6 +246,8 @@ class HeapFile:
                 rows = list(page_payloads(page))
             finally:
                 self.pool.unpin(page_no)
+            self.tracer.add("heap.pages_read")
+            self.tracer.add("heap.records", len(rows))
             for slot, payload in rows:
                 values, _ = self.codec.decode(payload)
                 yield RID(page_no, slot), values

@@ -17,6 +17,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.errors import BufferPoolError
+from repro.obs.tracer import NULL_TRACER, AbstractTracer
 from repro.storage.disk import SimulatedDisk
 
 
@@ -222,6 +223,7 @@ class BufferPool:
         disk: SimulatedDisk,
         capacity: int = 64,
         policy: ReplacementPolicy | str = "lru",
+        tracer: AbstractTracer | None = None,
     ) -> None:
         if capacity <= 0:
             raise BufferPoolError(f"capacity must be positive, got {capacity}")
@@ -229,6 +231,7 @@ class BufferPool:
         self.capacity = capacity
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
         self.stats = BufferStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._frames: dict[int, _Frame] = {}
 
     # -- page lifecycle ----------------------------------------------------
@@ -252,9 +255,11 @@ class BufferPool:
         frame = self._frames.get(block_no)
         if frame is not None:
             self.stats.hits += 1
+            self.tracer.add("pool.hit")
             self.policy.on_access(block_no)
         else:
             self.stats.misses += 1
+            self.tracer.add("pool.miss")
             self._ensure_room()
             data = bytearray(self.disk.read_block(block_no))
             frame = _Frame(data)
@@ -329,3 +334,4 @@ class BufferPool:
         del self._frames[victim]
         self.policy.on_evict(victim)
         self.stats.evictions += 1
+        self.tracer.add("pool.eviction")

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 from repro.core.errors import PageError, StorageError
+from repro.obs.tracer import NULL_TRACER, AbstractTracer
 from repro.relational.types import DataType
 from repro.storage import compression as comp
 from repro.storage.pager import BufferPool
@@ -40,12 +41,19 @@ class _ColumnPage:
 class _Column:
     """One attribute's chain of value pages."""
 
-    def __init__(self, pool: BufferPool, dtype: DataType, compress: str | None) -> None:
+    def __init__(
+        self,
+        pool: BufferPool,
+        dtype: DataType,
+        compress: str | None,
+        tracer: AbstractTracer | None = None,
+    ) -> None:
         if compress not in (None, "rle"):
             raise StorageError(f"unsupported compression {compress!r}")
         self.pool = pool
         self.dtype = dtype
         self.compress = compress
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.pages: list[_ColumnPage] = []
         self.row_count = 0
         # State of the open (last) page, kept in memory to make appends
@@ -224,6 +232,7 @@ class _Column:
     def _read_page(self, meta: _ColumnPage) -> list[object]:
         if meta.page_no == self._memo_page_no and self._memo_values is not None:
             return self._memo_values
+        self.tracer.add("transposed.pages_read")
         page = self.pool.fetch_page(meta.page_no)
         try:
             buf = bytes(page)
@@ -253,11 +262,15 @@ class TransposedFile:
         types: Sequence[DataType],
         name: str = "transposed",
         compress: str | None = None,
+        tracer: AbstractTracer | None = None,
     ) -> None:
         self.pool = pool
         self.name = name
         self.types = tuple(types)
-        self._columns = [_Column(pool, dtype, compress) for dtype in self.types]
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._columns = [
+            _Column(pool, dtype, compress, tracer=self.tracer) for dtype in self.types
+        ]
         self._row_count = 0
 
     def __len__(self) -> int:
@@ -337,6 +350,7 @@ class TransposedFile:
                     buffer.extend(next(stream))
                 out.append(buffer[:take])
                 del buffer[:take]
+            self.tracer.add("transposed.chunks")
             yield out
             remaining -= take
 

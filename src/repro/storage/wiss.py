@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.errors import CatalogError
+from repro.obs.tracer import NULL_TRACER, AbstractTracer
 from repro.relational.types import DataType
 from repro.storage.btree import BPlusTree
 from repro.storage.disk import DiskCostModel, IOStats, SimulatedDisk
@@ -58,9 +59,13 @@ class StorageManager:
         pool_pages: int = 256,
         policy: str = "lru",
         cost_model: DiskCostModel | None = None,
+        tracer: AbstractTracer | None = None,
     ) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.disk = SimulatedDisk(block_size=block_size, cost_model=cost_model)
-        self.pool = BufferPool(self.disk, capacity=pool_pages, policy=policy)
+        self.pool = BufferPool(
+            self.disk, capacity=pool_pages, policy=policy, tracer=self.tracer
+        )
         self._files: dict[str, HeapFile | TransposedFile] = {}
         self._indexes: dict[str, BPlusTree] = {}
 
@@ -69,7 +74,7 @@ class StorageManager:
     def create_heap_file(self, name: str, types: Sequence[DataType]) -> HeapFile:
         """Create and register a row-store file."""
         self._check_free(name)
-        heap = HeapFile(self.pool, types, name=name)
+        heap = HeapFile(self.pool, types, name=name, tracer=self.tracer)
         self._files[name] = heap
         return heap
 
@@ -78,7 +83,9 @@ class StorageManager:
     ) -> TransposedFile:
         """Create and register a column-store file."""
         self._check_free(name)
-        transposed = TransposedFile(self.pool, types, name=name, compress=compress)
+        transposed = TransposedFile(
+            self.pool, types, name=name, compress=compress, tracer=self.tracer
+        )
         self._files[name] = transposed
         return transposed
 

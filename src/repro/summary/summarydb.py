@@ -22,6 +22,7 @@ from typing import Any, Iterator, Sequence
 
 from repro.core.errors import SummaryError
 from repro.incremental.differencing import IncrementalComputation
+from repro.obs.tracer import NULL_TRACER, AbstractTracer
 from repro.storage.btree import BPlusTree
 from repro.summary.entries import SummaryEntry, SummaryKey
 
@@ -74,11 +75,13 @@ class SummaryDatabase:
         entries_per_page: int = 8,
         clustered: bool = True,
         capacity_bytes: int | None = None,
+        tracer: AbstractTracer | None = None,
     ) -> None:
         self.view_name = view_name
         self.entries_per_page = entries_per_page
         self.clustered = clustered
         self.capacity_bytes = capacity_bytes
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = SummaryStats()
         self._entries: dict[SummaryKey, SummaryEntry] = {}
         self._insertion_order: list[SummaryKey] = []
@@ -107,8 +110,12 @@ class SummaryDatabase:
         self._clock += 1
         if entry is None:
             self.stats.misses += 1
+            if self.tracer.enabled:
+                self.tracer.add(f"summary.miss.{function}")
             return None
         self.stats.hits += 1
+        if self.tracer.enabled:
+            self.tracer.add(f"summary.hit.{function}")
         entry.hit_count += 1
         entry._last_hit = self._clock  # type: ignore[attr-defined]
         return entry
@@ -203,18 +210,35 @@ class SummaryDatabase:
         if newly_stale:
             entry.stale = True
             self.stats.invalidations += 1
+            if self.tracer.enabled:
+                self.tracer.add(f"summary.stale.{entry.key.function}")
         entry.pending_updates += pending
         return newly_stale
 
-    def refresh(self, entry: SummaryEntry, result: Any, version: int = 0) -> Any:
+    def refresh(self, entry: SummaryEntry, result: Any, version: int | None = None) -> Any:
         """Install a recomputed result and mark the entry fresh.
+
+        ``version`` records the view version the new result reflects;
+        ``None`` (the default) keeps the entry's current freshness version.
+        A version below the recorded one is rejected — freshness must never
+        regress, or a stale result would masquerade as newer than the
+        updates it predates.
 
         Counter bookkeeping (``stats.recomputations``) stays with the
         caller: consistency policies already account for the recomputation
         they triggered.
         """
+        if version is None:
+            version = entry.computed_at_version
+        if version < entry.computed_at_version:
+            raise SummaryError(
+                f"refresh of {entry.key} would regress its freshness version "
+                f"from v{entry.computed_at_version} to v{version}"
+            )
         entry.result = result
         entry.mark_fresh(version)
+        if self.tracer.enabled:
+            self.tracer.add(f"summary.refresh.{entry.key.function}")
         return result
 
     def detach_maintainer(self, entry: SummaryEntry) -> None:

@@ -65,7 +65,13 @@ class UpdateHistory:
 
     @property
     def version(self) -> int:
-        """Version the view is currently at (0 = pristine)."""
+        """High-water version mark of the history (0 = never updated).
+
+        Versions are *monotonic*: undoing operations never hands their
+        version numbers back out, because a peer that already consumed the
+        log through :meth:`operations_since`/:meth:`replay_onto` must never
+        see two different operations under the same version.
+        """
         return self._next_version - 1
 
     def __len__(self) -> int:
@@ -104,7 +110,9 @@ class UpdateHistory:
         """Reverse the last ``count`` operations against ``relation``.
 
         Returns the undone operations (newest first).  Cost is proportional
-        to the cells those operations changed.
+        to the cells those operations changed.  The version counter does
+        not move backwards: the undone versions stay burned, and the next
+        recorded operation gets a strictly greater version.
         """
         if count < 1:
             raise HistoryError(f"count must be >= 1, got {count}")
@@ -117,7 +125,6 @@ class UpdateHistory:
             operation = self._operations.pop()
             self._apply_inverse(relation, operation)
             undone.append(operation)
-        self._next_version = self._operations[-1].version + 1 if self._operations else 1
         return undone
 
     def rollback_to(self, relation: Relation, version: int) -> list[Operation]:

@@ -90,12 +90,14 @@ def invalidate_where(
     predicate: Expr,
     attr: str,
     description: str = "mark invalid",
-) -> Delta:
+) -> tuple[Delta, list[int]]:
     """Mark matching values of ``attr`` as NA (missing), logged.
 
     This is the SS3.1 operation for suspicious observations: "the value
     must be marked as invalid -- 'missing value' in the statistics
-    vernacular".
+    vernacular".  Returns the delta *and* the matched row indexes — callers
+    must not reconstruct the rows from the history, which records no
+    operation when the predicate matched nothing.
     """
     return _invalidate(view, predicate=predicate, rows=None, attr=attr, description=description)
 
@@ -105,8 +107,11 @@ def invalidate_rows(
     rows: Sequence[int],
     attr: str,
     description: str = "mark invalid",
-) -> Delta:
-    """Mark specific rows' values of ``attr`` as NA, logged."""
+) -> tuple[Delta, list[int]]:
+    """Mark specific rows' values of ``attr`` as NA, logged.
+
+    Returns (delta, changed rows), mirroring :func:`invalidate_where`.
+    """
     return _invalidate(view, predicate=None, rows=rows, attr=attr, description=description)
 
 
@@ -116,7 +121,7 @@ def _invalidate(
     rows: Sequence[int] | None,
     attr: str,
     description: str,
-) -> Delta:
+) -> tuple[Delta, list[int]]:
     schema = view.schema
     schema.index_of(attr)
     if rows is None:
@@ -131,7 +136,7 @@ def _invalidate(
         delta.updates.append((old_value, NA))
     if changes:
         view.history.record(OpKind.INVALIDATE, attr, changes, description=description)
-    return delta
+    return delta, list(rows)
 
 
 def _as_value_fn(assignment: Assignment, schema: Any) -> Callable[[tuple], Any]:

@@ -10,6 +10,7 @@ from repro.metadata.management import ManagementDatabase
 from repro.relational.expressions import col
 from repro.relational.relation import Relation
 from repro.relational.types import is_na
+from repro.views.history import CellChange, OpKind
 from repro.views.view import ConcreteView
 from repro.workloads.census import generate_microdata
 
@@ -141,6 +142,51 @@ class TestUpdatePropagation:
         )
 
 
+class TestRowsFromHistoryMerge:
+    """Regression: several operations in one update window may touch the
+    same attribute; their row lists must merge instead of the later
+    operation silently replacing the earlier one's rows."""
+
+    def test_rows_merge_across_operations(self, session):
+        history = session.view.history
+        history.record(
+            OpKind.UPDATE, "AGE", [CellChange(1, 30, 31), CellChange(2, 40, 41)]
+        )
+        history.record(
+            OpKind.UPDATE, "AGE", [CellChange(2, 41, 42), CellChange(5, 50, 51)]
+        )
+        assert session._rows_from_history(2) == {"AGE": [1, 2, 5]}
+
+    def test_merge_keeps_other_attributes(self, session):
+        history = session.view.history
+        history.record(OpKind.UPDATE, "AGE", [CellChange(0, 1, 2)])
+        history.record(OpKind.UPDATE, "INCOME", [CellChange(3, 1.0, 2.0)])
+        history.record(OpKind.UPDATE, "AGE", [CellChange(7, 1, 2)])
+        assert session._rows_from_history(3) == {"AGE": [0, 7], "INCOME": [3]}
+
+
+class TestMarkInvalidRows:
+    """Regression: mark_invalid's changed rows come from the invalidation
+    call itself, never from the history log's last entry (which is an
+    unrelated operation — or absent — when the predicate matches no rows)."""
+
+    def test_no_match_on_pristine_view(self, session):
+        report = session.mark_invalid("AGE", predicate=col("AGE") > 10_000)
+        assert report.attributes == ["AGE"]
+        assert len(session.view.history) == 0
+
+    def test_no_match_ignores_unrelated_history(self, session):
+        from repro.incremental.derived import LocalDerivation
+
+        session.view.add_derived_column(LocalDerivation("AGE_X2", col("AGE") * 2))
+        session.update_cells("INCOME", [(0, 123.0)])
+        session.mark_invalid("AGE", predicate=col("AGE") > 10_000)
+        # A zero-match invalidation must not recompute derived cells using
+        # the rows of the preceding (INCOME) operation.
+        derivation = session.view.derived.derivation("AGE_X2")
+        assert derivation.stats.cell_recomputes == 0
+
+
 class TestUndo:
     def test_undo_restores_cache_exactly(self, session):
         before_mean = session.compute("mean", "INCOME")
@@ -151,7 +197,10 @@ class TestUndo:
         session.undo(1)
         assert session.compute("mean", "INCOME") == pytest.approx(before_mean)
         assert session.compute("median", "INCOME") == pytest.approx(before_median)
-        assert session.view.version == 0
+        # Versions are a monotonic high-water mark; undo empties the log
+        # without reissuing the undone version numbers.
+        assert session.view.history.operations() == []
+        assert session.view.version == 2
 
     def test_undo_predicate_update(self, session):
         original = list(session.view.relation.column("HOURS_WORKED"))

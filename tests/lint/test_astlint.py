@@ -267,3 +267,48 @@ class TestRowwiseBindInVectorizedModule:
                 fn = self.predicate.bind(self.schema)
         """
         assert lint(code, path="src/repro/relational/operators.py", select={"REPRO-A106"}) == []
+
+
+class TestTracerConstructInHotPath:
+    HOT_PATH = "src/repro/core/session.py"
+
+    def test_direct_construction_flagged(self):
+        code = """
+        from repro.obs.tracer import Tracer
+
+        def __init__(self):
+            self.tracer = Tracer()
+        """
+        findings = lint(code, path=self.HOT_PATH, select={"REPRO-A107"})
+        assert len(findings) == 1
+        assert findings[0].rule_id == "REPRO-A107"
+
+    def test_attribute_construction_flagged(self):
+        code = """
+        import repro.obs.tracer as obs
+
+        def make():
+            return obs.Tracer()
+        """
+        findings = lint(code, path=self.HOT_PATH, select={"REPRO-A107"})
+        assert len(findings) == 1
+
+    def test_injection_pattern_passes(self):
+        code = """
+        from repro.obs.tracer import NULL_TRACER, AbstractTracer, NullTracer
+
+        def __init__(self, tracer=None):
+            self.tracer = tracer if tracer is not None else NULL_TRACER
+            self.fallback = NullTracer()
+        """
+        assert lint(code, path=self.HOT_PATH, select={"REPRO-A107"}) == []
+
+    def test_other_modules_exempt(self):
+        code = """
+        from repro.obs.tracer import Tracer
+
+        def bench():
+            return Tracer()
+        """
+        assert lint(code, path="benchmarks/bench_x.py", select={"REPRO-A107"}) == []
+        assert lint(code, path="src/repro/bench/harness.py", select={"REPRO-A107"}) == []

@@ -1,0 +1,98 @@
+"""Counters the instrumented subsystems charge to an injected tracer."""
+
+from repro.core.session import AnalystSession
+from repro.metadata.management import ManagementDatabase
+from repro.obs.tracer import Tracer
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, measure
+from repro.relational.types import DataType
+from repro.storage.wiss import StorageManager
+from repro.views.view import ConcreteView
+
+
+def make_session(tracer=None, n=50):
+    schema = Schema([measure("x", DataType.FLOAT)])
+    relation = Relation("v", schema, [(float(i),) for i in range(n)])
+    view = ConcreteView("v", relation)
+    return AnalystSession(ManagementDatabase(), view, analyst="p", tracer=tracer)
+
+
+class TestStorageCounters:
+    def test_pool_hits_misses_evictions(self):
+        tracer = Tracer()
+        storage = StorageManager(block_size=256, pool_pages=4, tracer=tracer)
+        heap = storage.create_heap_file("h", [DataType.INT])
+        heap.insert_many([(i,) for i in range(500)])
+        tracer.reset()
+        list(heap.scan())
+        assert tracer.total("heap.pages_read") > 1
+        assert tracer.total("heap.records") == 500
+        assert tracer.total("pool.hit") + tracer.total("pool.miss") > 0
+        # 500 ints never fit in a 4-page pool: the sweep must evict.
+        assert tracer.total("pool.eviction") > 0
+
+    def test_transposed_counters(self):
+        tracer = Tracer()
+        storage = StorageManager(block_size=256, pool_pages=64, tracer=tracer)
+        tf = storage.create_transposed_file("t", [DataType.FLOAT, DataType.FLOAT])
+        tf.append_rows([(float(i), float(-i)) for i in range(300)])
+        tracer.reset()
+        chunks = list(tf.scan_column_chunks([0], chunk_size=64))
+        assert tracer.total("transposed.chunks") == len(chunks) > 0
+        assert tracer.total("transposed.pages_read") > 0
+
+
+class TestSummaryCounters:
+    def test_hit_miss_refresh_per_function(self):
+        tracer = Tracer()
+        session = make_session(tracer)
+        session.compute("mean", "x")  # miss
+        session.compute("mean", "x")  # hit
+        assert tracer.total("summary.miss.mean") == 1
+        assert tracer.total("summary.hit.mean") == 1
+
+    def test_stale_counter_on_update(self):
+        tracer = Tracer()
+        session = make_session(tracer)
+        session.compute_pair("pearson", "x", "x")
+        session.update_cells("x", [(0, 99.0)])
+        assert tracer.total("summary.stale.pearson") == 1
+
+
+class TestPropagationSpans:
+    def test_rule_counters_under_propagate_span(self):
+        tracer = Tracer()
+        session = make_session(tracer)
+        session.compute("mean", "x")
+        session.compute("median", "x")
+        session.update_cells("x", [(1, 42.0)])
+        propagate = tracer.find("propagate")
+        assert propagate is not None
+        assert propagate.attrs["attribute"] == "x"
+        assert propagate.counters["entries_visited"] == 2
+        assert propagate.counters["rule.mean.incremental"] == 1
+        assert propagate.counters["incremental_updates"] == 2
+
+    def test_session_spans_nest(self):
+        tracer = Tracer()
+        session = make_session(tracer)
+        session.compute("mean", "x")
+        session.update_cells("x", [(0, 1.0)])
+        update_span = tracer.find("update_cells")
+        assert update_span is not None
+        assert [child.name for child in update_span.children] == ["propagate"]
+
+    def test_undo_propagates_one_batch_per_attribute(self):
+        tracer = Tracer()
+        session = make_session(tracer)
+        session.compute("mean", "x")
+        for i in range(5):
+            session.update_cells("x", [(i, float(100 + i))])
+        tracer.reset()
+        session.undo(5)
+        undo_span = tracer.find("undo")
+        assert undo_span is not None
+        # Five undone operations on one attribute coalesce into a single
+        # propagation sweep (S5: batched inverse deltas).
+        assert [child.name for child in undo_span.children] == ["propagate"]
+        assert undo_span.children[0].counters["entries_visited"] == 1

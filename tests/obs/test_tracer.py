@@ -1,0 +1,111 @@
+"""Tests for the tracing spans and counters of ``repro.obs``."""
+
+import pytest
+
+from repro.core.errors import ObsError
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+
+class TestSpans:
+    def test_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        assert [root.name for root in tracer.roots] == ["outer"]
+        assert [child.name for child in outer.children] == ["inner", "inner"]
+        assert tracer.current is None
+
+    def test_elapsed_accumulates(self):
+        tracer = Tracer()
+        span = tracer.span("timed")
+        for _ in range(3):
+            with span:
+                pass
+        assert span.elapsed_s > 0.0
+        # Stopwatch-style reuse links the span into the tree exactly once.
+        assert tracer.roots == [span]
+
+    def test_counters_charge_innermost_open_span(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            tracer.add("hits")
+            with tracer.span("inner") as inner:
+                tracer.add("hits", 2)
+        assert outer.counters == {"hits": 1}
+        assert inner.counters == {"hits": 2}
+        assert tracer.total("hits") == 3
+
+    def test_counters_without_open_span_charge_tracer(self):
+        tracer = Tracer()
+        tracer.add("pool.hit", 5)
+        assert tracer.counters == {"pool.hit": 5}
+        assert tracer.total("pool.hit") == 5
+
+    def test_find_and_walk(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b") as b:
+                b.add("x")
+        assert tracer.find("b") is b
+        assert tracer.find("nope") is None
+        assert [s.name for s in tracer.walk()] == ["a", "b"]
+        assert tracer.find("a").total("x") == 1
+
+    def test_out_of_order_exit_rejected(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(ObsError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            tracer.add("c")
+        tracer.add("top")
+        tracer.reset()
+        assert tracer.roots == [] and tracer.counters == {}
+
+    def test_reset_with_open_span_rejected(self):
+        tracer = Tracer()
+        tracer.span("open").__enter__()
+        with pytest.raises(ObsError, match="open spans"):
+            tracer.reset()
+
+    def test_to_dict_schema(self):
+        import json
+
+        tracer = Tracer()
+        with tracer.span("outer", attribute="INCOME") as outer:
+            outer.add("entries_visited", 3)
+            with tracer.span("inner"):
+                pass
+        data = tracer.to_dict()
+        json.dumps(data)  # must be JSON-serializable
+        (span,) = data["spans"]
+        assert span["name"] == "outer"
+        assert span["attrs"] == {"attribute": "INCOME"}
+        assert span["counters"] == {"entries_visited": 3}
+        assert span["elapsed_s"] >= 0.0
+        assert [c["name"] for c in span["children"]] == ["inner"]
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer().enabled is True
+        span = NULL_TRACER.span("anything", attr=1)
+        with span as inner:
+            inner.add("counter")
+        NULL_TRACER.add("counter", 10)
+        # The null tracer hands out one shared span and records nothing.
+        assert NULL_TRACER.span("other") is span
+        assert not hasattr(NULL_TRACER, "roots")
+
+    def test_no_per_instance_state(self):
+        assert NullTracer.__slots__ == ()

@@ -91,7 +91,10 @@ def test_full_undo_restores_pristine_state(start, updates):
             assert is_na(now)
         else:
             assert now == original
-    assert session.view.version == 0
+    # The log is empty but the version high-water mark stays: undone
+    # versions are never reused for later operations.
+    assert session.view.history.operations() == []
+    assert session.view.version == len(updates)
 
 
 @given(

@@ -131,3 +131,31 @@ class TestCapacity:
     def test_cached_bytes(self, db):
         db.insert("mean", "x", 1.0)
         assert db.cached_bytes > 0
+
+
+class TestRefreshVersioning:
+    """Regression: refresh must never silently reset freshness to v0."""
+
+    def test_default_keeps_entry_version(self, db):
+        db.insert("mean", "x", 1.0, version=5)
+        entry = db.peek("mean", "x")
+        db.mark_stale(entry)
+        db.refresh(entry, 2.0)
+        assert entry.result == 2.0
+        assert not entry.stale
+        assert entry.computed_at_version == 5
+
+    def test_explicit_version_advances(self, db):
+        db.insert("mean", "x", 1.0, version=5)
+        entry = db.peek("mean", "x")
+        db.refresh(entry, 2.0, version=7)
+        assert entry.computed_at_version == 7
+
+    def test_version_regression_rejected(self, db):
+        db.insert("mean", "x", 1.0, version=5)
+        entry = db.peek("mean", "x")
+        with pytest.raises(SummaryError, match="regress"):
+            db.refresh(entry, 2.0, version=3)
+        # The entry is untouched by the rejected refresh.
+        assert entry.result == 1.0
+        assert entry.computed_at_version == 5

@@ -54,7 +54,10 @@ class TestUndo:
         undone = history.undo_last(relation, 1)
         assert relation.row(3)[0] == 3.0
         assert len(undone) == 1
-        assert history.version == 0
+        # The version high-water mark does not move backwards: v1 stays
+        # burned so peers that consumed the log never see it reused.
+        assert history.version == 1
+        assert history.operations() == []
 
     def test_undo_multiple_in_reverse(self):
         history = UpdateHistory("v")
@@ -71,7 +74,8 @@ class TestUndo:
         change(relation, history, 0, "x", 200.0)
         history.undo_last(relation, 1)
         assert relation.row(0)[0] == 100.0
-        assert history.version == 1
+        assert history.version == 2  # monotonic: v2 is burned, not reissued
+        assert [op.version for op in history.operations()] == [1]
 
     def test_undo_too_many_rejected(self):
         history = UpdateHistory("v")
@@ -91,6 +95,24 @@ class TestUndo:
             history.undo_last(relation, 1)
 
 
+class TestVersionMonotonicity:
+    def test_undo_then_record_never_reuses_a_version(self):
+        """Regression (sharing scenario, SS3.2): a peer that consumed the
+        log up to some version must never see a *different* operation
+        reissued under a version it already processed."""
+        history = UpdateHistory("v")
+        relation = make_relation()
+        change(relation, history, 0, "x", 99.0)  # v1
+        peer_seen = {op.version: op for op in history.operations_since(0)}
+        history.undo_last(relation, 1)
+        change(relation, history, 1, "x", 42.0)  # must not become v1 again
+        fresh = history.operations_since(max(peer_seen))
+        assert [op.version for op in fresh] == [2]
+        for op in history.operations():
+            if op.version in peer_seen:
+                assert op == peer_seen[op.version]
+
+
 class TestRollback:
     def test_rollback_to_version(self):
         history = UpdateHistory("v")
@@ -100,7 +122,8 @@ class TestRollback:
         change(relation, history, 0, "x", 30.0)  # v3
         history.rollback_to(relation, 1)
         assert relation.row(0)[0] == 10.0
-        assert history.version == 1
+        assert history.version == 3  # monotonic high-water mark
+        assert [op.version for op in history.operations()] == [1]
 
     def test_rollback_to_pristine(self):
         history = UpdateHistory("v")

@@ -86,16 +86,25 @@ class TestInvalidate:
         """The 1000-year-old person of SS3.1 gets marked NA."""
         view = make_view()
         view.set_value(4, "age", 1000)
-        delta = invalidate_where(view, col("age") > 150, "age")
+        delta, rows = invalidate_where(view, col("age") > 150, "age")
         assert delta.size == 1
+        assert rows == [4]
         assert is_na(view.relation.column("age")[4])
         op = view.history.operations()[-1]
         assert op.kind.value == "invalidate"
         assert op.changes[0].old == 1000
 
+    def test_invalidate_where_no_match_returns_no_rows(self):
+        view = make_view()
+        delta, rows = invalidate_where(view, col("age") > 150, "age")
+        assert delta.size == 0
+        assert rows == []
+        assert len(view.history) == 0
+
     def test_invalidate_rows(self):
         view = make_view()
-        invalidate_rows(view, [0, 2], "income")
+        _, rows = invalidate_rows(view, [0, 2], "income")
+        assert rows == [0, 2]
         incomes = view.relation.column("income")
         assert is_na(incomes[0]) and is_na(incomes[2]) and incomes[1] == 2000.0
 
