@@ -1,0 +1,117 @@
+"""E18 — Crash recovery cost: replay time vs log length, checkpoint payoff.
+
+Claims measured:
+
+* recovery time without a checkpoint grows with the WAL's length — every
+  committed transaction since the view was created must be replayed
+  through the update propagator; and
+* a checkpoint bounds that cost: recovering from snapshot + empty log is
+  (near-)flat in the number of pre-checkpoint updates, so at the longest
+  log the checkpointed recovery beats full replay.
+
+Alongside the printed table the run persists ``BENCH_e18.json`` at the
+repo root so future PRs can track the recovery-time trajectory
+machine-readably.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.bench.harness import ExperimentTable, report_table, speedup, write_json
+from repro.core.dbms import StatisticalDBMS
+from repro.durability.manager import DurabilityManager
+from repro.durability.recovery import recover
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import DataType
+from repro.views.materialize import SourceNode, ViewDefinition
+
+N_ROWS = 200
+LOG_LENGTHS = (50, 200, 800)
+STATS = ("sum", "mean", "count")
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_e18.json"
+
+
+def people_relation(rows: int = N_ROWS) -> Relation:
+    schema = Schema([Attribute("id", DataType.INT), Attribute("x", DataType.FLOAT)])
+    return Relation("people", schema, [[i, float(i)] for i in range(rows)])
+
+
+def build_workload(directory, updates: int, checkpoint: bool) -> None:
+    """A durable DBMS with ``updates`` logged point updates, then abandon it.
+
+    With ``checkpoint`` the final state is snapshotted and the WAL
+    truncated; without it every update sits in the log awaiting replay.
+    """
+    manager = DurabilityManager(directory)
+    dbms = StatisticalDBMS(durability=manager)
+    dbms.load_raw(people_relation())
+    dbms.create_view(ViewDefinition("v1", SourceNode("people")))
+    session = dbms.session("v1")
+    for fn in STATS:
+        session.compute(fn, "x")
+    for i in range(updates):
+        session.update_cells("x", [(i % N_ROWS, float(i))])
+    if checkpoint:
+        dbms.checkpoint()
+    manager.close()
+
+
+def time_recovery(directory) -> tuple[float, int]:
+    """Best-of-3 wall time of :func:`recover` plus the ops replayed."""
+    best = float("inf")
+    replayed = 0
+    for _ in range(3):
+        start = time.perf_counter()
+        _, report = recover(directory)
+        best = min(best, time.perf_counter() - start)
+        replayed = report.operations_replayed
+    return best, replayed
+
+
+def test_e18_recovery_time_vs_log_length(tmp_path):
+    table = ExperimentTable(
+        "E18",
+        f"Recovery time vs WAL length ({N_ROWS}-row view, {len(STATS)} cached stats)",
+        ["updates", "checkpoint", "ops_replayed", "recovery_s"],
+    )
+    metrics: dict[str, float] = {}
+    times: dict[tuple[int, bool], float] = {}
+
+    for updates in LOG_LENGTHS:
+        for checkpoint in (False, True):
+            directory = tmp_path / f"n{updates}-{'ckpt' if checkpoint else 'wal'}"
+            build_workload(directory, updates, checkpoint)
+            elapsed, replayed = time_recovery(directory)
+            times[(updates, checkpoint)] = elapsed
+            table.add_row(updates, "yes" if checkpoint else "no", replayed, elapsed)
+            tag = f"recover_{updates}_{'checkpoint' if checkpoint else 'replay'}_s"
+            metrics[tag] = elapsed
+            if checkpoint:
+                assert replayed == 0, "checkpoint should leave an empty WAL"
+            else:
+                # view creation is its own txn; each update is one more
+                assert replayed == updates
+
+    longest = LOG_LENGTHS[-1]
+    gain = speedup(times[(longest, False)], times[(longest, True)])
+    metrics["checkpoint_speedup_at_longest"] = gain
+    replay_growth = speedup(
+        times[(longest, False)], times[(LOG_LENGTHS[0], False)]
+    )
+    metrics["replay_growth_factor"] = 1.0 / replay_growth if replay_growth else 0.0
+
+    table.note(
+        "without a checkpoint every committed transaction replays through "
+        "the propagator; the snapshot bounds recovery to load + empty log"
+    )
+    table.note(f"checkpoint payoff at {longest} updates: {gain:.1f}x")
+    report_table(table)
+    write_json(JSON_PATH, [table], metrics)
+
+    # Replay cost must actually grow with log length, and the checkpoint
+    # must pay for itself on the longest log.
+    assert times[(longest, False)] > times[(LOG_LENGTHS[0], False)]
+    assert gain >= 2.0, f"checkpointed recovery only {gain:.2f}x faster"

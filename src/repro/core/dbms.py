@@ -12,10 +12,11 @@ detection), and hands out per-analyst sessions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 from repro.core.accuracy import AccuracyPreference
-from repro.core.errors import ViewError
+from repro.core.errors import DurabilityError, ViewError
 from repro.core.session import AnalystSession
 from repro.metadata.management import ManagementDatabase
 from repro.obs.tracer import NULL_TRACER, AbstractTracer
@@ -30,6 +31,9 @@ from repro.views.materialize import (
 )
 from repro.views.sharing import DerivationMatch, PublishedEdits, ViewRegistry
 from repro.views.view import ConcreteView
+
+if TYPE_CHECKING:
+    from repro.durability.manager import DurabilityManager
 
 
 @dataclass
@@ -56,6 +60,7 @@ class StatisticalDBMS:
         use_storage_mirrors: bool = False,
         storage: StorageManager | None = None,
         tracer: AbstractTracer | None = None,
+        durability: "DurabilityManager | None" = None,
     ) -> None:
         self.management = management or ManagementDatabase()
         self.raw = raw or RawDatabase()
@@ -65,6 +70,9 @@ class StatisticalDBMS:
         self.storage = storage or (
             StorageManager(tracer=self.tracer) if use_storage_mirrors else None
         )
+        self.durability = durability
+        if durability is not None:
+            durability.bind(self)
         self.views_reused = 0
         self.views_derived = 0
         self.views_materialized = 0
@@ -137,11 +145,15 @@ class StatisticalDBMS:
         self.management.register_view(view.definition, view.history)
         if accuracy is not None:
             self.management.set_policy(analyst, view.name, accuracy.to_policy())
+        if self.durability is not None:
+            self.durability.log_view_created(view)
 
     def drop_view(self, name: str) -> None:
         """Remove a view and its control information."""
         self.registry.unregister(name)
         self.management.drop_view(name)
+        if self.durability is not None:
+            self.durability.log_drop(name)
 
     def view(self, name: str) -> ConcreteView:
         """Fetch a view by name."""
@@ -158,6 +170,7 @@ class StatisticalDBMS:
             analyst=analyst,
             policy=self.management.policy_for(analyst, view_name),
             tracer=self.tracer if self.tracer.enabled else None,
+            durability=self.durability,
         )
 
     # -- publishing / adoption -------------------------------------------------------------
@@ -184,7 +197,24 @@ class StatisticalDBMS:
         self.registry.register(view)
         if definition is not None:
             self.management.register_view(definition, view.history)
+        if self.durability is not None:
+            self.durability.log_view_created(view)
         return view
+
+    # -- durability --------------------------------------------------------------
+
+    def checkpoint(self) -> Path:
+        """Snapshot the whole system atomically and truncate the WAL.
+
+        Requires a :class:`~repro.durability.manager.DurabilityManager`
+        passed at construction (``StatisticalDBMS(durability=...)``).
+        """
+        if self.durability is None:
+            raise DurabilityError(
+                "durability is not configured; construct the DBMS with "
+                "StatisticalDBMS(durability=DurabilityManager(directory))"
+            )
+        return self.durability.checkpoint()
 
     # -- reporting -----------------------------------------------------------------------------
 

@@ -104,3 +104,15 @@ class AccuracyError(ReproError):
 
 class ObsError(ReproError):
     """Tracer misuse (out-of-order span exit, reset with open spans)."""
+
+
+class DurabilityError(ReproError):
+    """WAL/checkpoint misuse or an unrecoverable log/snapshot state."""
+
+
+class InjectedFault(DurabilityError):
+    """A deterministic fault raised by the fault-injection harness.
+
+    Raised by :class:`repro.durability.faults.FaultInjector` at the exact
+    write/fsync the active :class:`FaultPlan` names — tests treat it as the
+    process dying at that I/O point."""

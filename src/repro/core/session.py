@@ -14,7 +14,7 @@ results stay exact.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from repro.core.errors import FunctionError
 from repro.core.propagation import PropagationReport, UpdatePropagator
@@ -31,6 +31,9 @@ from repro.summary.policies import ConsistencyPolicy
 from repro.views.history import OpKind
 from repro.views.updates import apply_update, invalidate_rows, invalidate_where, update_rows
 from repro.views.view import ConcreteView
+
+if TYPE_CHECKING:
+    from repro.durability.manager import DurabilityManager
 
 #: Two-column functions cached under (function, (a, b)) keys; they have no
 #: single-column incremental form, so their rule is invalidation.
@@ -68,12 +71,14 @@ class AnalystSession:
         analyst: str = "analyst",
         policy: ConsistencyPolicy | None = None,
         tracer: AbstractTracer | None = None,
+        durability: "DurabilityManager | None" = None,
     ) -> None:
         self.management = management
         self.view = view
         self.analyst = analyst
         self.policy = policy or management.policy_for(analyst, view.name)
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.durability = durability
         if tracer is not None:
             # The session's tracer also observes its view's cache, so
             # summary hit/stale/refresh counters land in session spans.
@@ -316,9 +321,11 @@ class AnalystSession:
         """UPDATE ... WHERE with full cache propagation."""
         self.stats.updates += 1
         with self.tracer.span("update", attributes=sorted(assignments)):
+            mark = len(self.view.history)
             deltas = apply_update(
                 self.view, predicate, assignments, description=description
             )
+            self._log_since(mark)
             rows = self._rows_from_history(len(deltas))
             return self.propagator.propagate_all(deltas, rows)
 
@@ -328,9 +335,11 @@ class AnalystSession:
         """Point-update specific cells with propagation."""
         self.stats.updates += 1
         with self.tracer.span("update_cells", attribute=attribute):
+            mark = len(self.view.history)
             delta = update_rows(
                 self.view, attribute, row_values, description=description
             )
+            self._log_since(mark)
             rows = [row for row, _ in row_values]
             return self.propagator.propagate(attribute, delta, rows)
 
@@ -349,6 +358,7 @@ class AnalystSession:
         """
         self.stats.updates += 1
         with self.tracer.span("mark_invalid", attribute=attribute):
+            mark = len(self.view.history)
             if predicate is not None:
                 delta, changed_rows = invalidate_where(
                     self.view, predicate, attribute, description
@@ -359,7 +369,20 @@ class AnalystSession:
                 )
             else:
                 raise FunctionError("mark_invalid needs a predicate or row list")
+            self._log_since(mark)
             return self.propagator.propagate(attribute, delta, changed_rows)
+
+    def _log_since(self, mark: int) -> None:
+        """Write the operations recorded since ``mark`` to the WAL.
+
+        One call is one WAL transaction (begin -> ops -> commit+fsync); the
+        fsync on the commit frame is the durability point, so it happens
+        *before* propagation touches the Summary Database.
+        """
+        if self.durability is None:
+            return
+        operations = self.view.history.operations()[mark:]
+        self.durability.log_operations(self.view.name, operations)
 
     def _rows_from_history(self, op_count: int) -> dict[str, list[int]]:
         """Rows touched per attribute over the last ``op_count`` operations.
@@ -390,6 +413,8 @@ class AnalystSession:
         self.stats.undos += 1
         with self.tracer.span("undo", count=count):
             undone = self.view.history.undo_last(self.view.relation, count)
+            if self.durability is not None:
+                self.durability.log_undo(self.view.name, count)
             inverses: dict[str, list[Delta]] = {}
             rows_by_attr: dict[str, list[int]] = {}
             for operation in undone:

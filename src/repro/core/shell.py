@@ -28,6 +28,9 @@ Commands (also ``help`` inside the shell)::
     summary <attribute>           the standing SS3.2 summary block
     cache                         Summary Database statistics
     views                         list materialized views
+    durability <dir>              enable WAL + checkpoints under <dir>
+    checkpoint                    snapshot the system and truncate the WAL
+    recover <dir>                 rebuild the DBMS from <dir> after a crash
     quit
 """
 
@@ -265,6 +268,49 @@ class AnalystShell(cmd.Cmd):
             f"incremental={stats.incremental_updates} "
             f"recomputed={stats.recomputations} bytes={session.view.summary.cached_bytes}"
         )
+
+    # -- durability --------------------------------------------------------------------------
+
+    def do_durability(self, arg: str) -> None:
+        """durability <dir> — enable WAL + checkpoints under <dir>."""
+        from repro.durability.manager import DurabilityManager
+
+        directory = arg.strip()
+        if not directory:
+            self._say("usage: durability <dir>")
+            return
+        tracer = self.dbms.tracer if self.dbms.tracer.enabled else None
+        manager = DurabilityManager(directory, tracer=tracer)
+        self.dbms.durability = manager
+        manager.bind(self.dbms)
+        if self.session is not None:
+            self.session.durability = manager
+        # Views created before durability was enabled exist in no WAL
+        # record; an immediate checkpoint captures them.
+        path = manager.checkpoint()
+        self._say(f"durability on; checkpointed to {path}")
+
+    def do_checkpoint(self, arg: str) -> None:
+        """checkpoint — snapshot the system atomically, truncate the WAL."""
+        path = self.dbms.checkpoint()
+        self._say(f"checkpointed to {path}")
+
+    def do_recover(self, arg: str) -> None:
+        """recover <dir> — rebuild the DBMS from checkpoint + WAL replay."""
+        from repro.durability.recovery import recover
+
+        directory = arg.strip()
+        if not directory:
+            self._say("usage: recover <dir>")
+            return
+        tracer = self.dbms.tracer if self.dbms.tracer.enabled else None
+        self.dbms, report = recover(directory, tracer=tracer)
+        self.session = None
+        self._say(report.summary())
+        if self.dbms.registry.names():
+            self._say(
+                "views: " + ", ".join(self.dbms.registry.names()) + " (use open <name>)"
+            )
 
     # -- exit ---------------------------------------------------------------------------------
 

@@ -1,0 +1,205 @@
+"""Checkpoints: atomic snapshots of the whole DBMS control + view state.
+
+A checkpoint bounds recovery work: replay starts from the snapshot instead
+of from an empty system, and the WAL is truncated once the snapshot is
+durable.  Atomicity comes from the classic temp-file-plus-rename protocol —
+the snapshot is written to ``checkpoint.json.tmp``, fsynced, then renamed
+over ``checkpoint.json`` with :func:`os.replace`, so a crash at any point
+leaves either the old snapshot or the new one, never a half-written mix.
+
+What a snapshot holds:
+
+* the Management Database (view definitions, histories, rules, code books,
+  policies, the SUBJECT graph) via
+  :func:`repro.metadata.persistence.management_to_dict`;
+* every concrete view's rows and schema (cell values through the NA-aware
+  ``value_to_jsonable`` codec);
+* every view's Summary Database entries — results serialized with the
+  varying-length encoding of :mod:`repro.summary.entries` (hex-armoured),
+  plus freshness state.  Live maintainers are *not* persisted: they are
+  rebuilt lazily from the data the first time a replayed delta needs them.
+
+Out of scope (documented in DESIGN.md §4e): the raw tape database — the
+paper treats it as an archival input that is reloaded, not recovered
+(SS2.3) — and derived-column *definitions*, which are Python callables.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.core.errors import DurabilityError, SummaryError
+from repro.durability.faults import FaultInjector
+from repro.metadata.persistence import (
+    history_to_dict,
+    management_to_dict,
+    value_from_jsonable,
+    value_to_jsonable,
+)
+from repro.obs.tracer import NULL_TRACER, AbstractTracer
+from repro.relational.schema import Attribute, AttributeRole, Schema
+from repro.relational.types import DataType
+from repro.summary.entries import decode_result, encode_result
+
+CHECKPOINT_NAME = "checkpoint.json"
+SNAPSHOT_FORMAT = 1
+
+
+def snapshot_dbms(dbms: Any) -> dict:
+    """Serialize a :class:`~repro.core.dbms.StatisticalDBMS` to a dict."""
+    registered = set(dbms.management.view_names())
+    views = []
+    for name in dbms.registry.names():
+        view = dbms.registry.get(name)
+        record: dict[str, Any] = {
+            "name": view.name,
+            "owner": view.owner,
+            "schema": [_attribute_to_dict(attr) for attr in view.schema.attributes],
+            "rows": [
+                [value_to_jsonable(value) for value in row]
+                for row in view.relation
+            ],
+            "summary": _summary_to_list(view.summary),
+        }
+        if name not in registered:
+            # Views without a registered definition (adopted copies) keep
+            # their history inline; registered ones live in the management
+            # snapshot so there is exactly one source of truth.
+            record["history"] = history_to_dict(view.history)
+        views.append(record)
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "management": management_to_dict(dbms.management),
+        "views": views,
+    }
+
+
+def _attribute_to_dict(attr: Attribute) -> dict:
+    return {
+        "name": attr.name,
+        "dtype": attr.dtype.name,
+        "role": attr.role.value,
+        "codebook": attr.codebook,
+    }
+
+
+def attribute_from_dict(data: dict) -> Attribute:
+    """Inverse of the snapshot's per-attribute record."""
+    return Attribute(
+        data["name"],
+        DataType[data["dtype"]],
+        AttributeRole(data["role"]),
+        data.get("codebook"),
+    )
+
+
+def schema_from_snapshot(columns: list[dict]) -> Schema:
+    """Rebuild a view schema from its snapshot record."""
+    return Schema([attribute_from_dict(col) for col in columns])
+
+
+def _summary_to_list(summary: Any) -> list[dict]:
+    entries = []
+    for entry in summary.entries():
+        try:
+            encoded = encode_result(entry.result)
+        except SummaryError:
+            # An unencodable result (exotic object) is simply not
+            # checkpointed; the next lookup recomputes it from the view.
+            continue
+        entries.append(
+            {
+                "function": entry.key.function,
+                "attributes": list(entry.key.attributes),
+                "result": encoded.hex(),
+                "stale": entry.stale,
+                "version": entry.computed_at_version,
+                "pending": entry.pending_updates,
+                "compute_cost_rows": entry.compute_cost_rows,
+            }
+        )
+    return entries
+
+
+def restore_summary_entries(summary: Any, records: list[dict]) -> int:
+    """Re-insert checkpointed entries into a fresh Summary Database.
+
+    Maintainers are left detached — the first propagated delta (or lookup
+    recomputation) rebuilds them from the recovered data.  Returns the
+    number of entries restored.
+    """
+    restored = 0
+    for record in records:
+        entry = summary.insert(
+            record["function"],
+            tuple(record["attributes"]),
+            decode_result(bytes.fromhex(record["result"])),
+            compute_cost_rows=record.get("compute_cost_rows", 0),
+            version=record.get("version", 0),
+        )
+        if record.get("stale"):
+            summary.mark_stale(entry, pending=record.get("pending", 0))
+        restored += 1
+    return restored
+
+
+def rows_from_snapshot(rows: list[list[Any]]) -> list[tuple[Any, ...]]:
+    """Decode a snapshot's row block back to NA-aware tuples."""
+    return [tuple(value_from_jsonable(cell) for cell in row) for row in rows]
+
+
+class Checkpointer:
+    """Writes and loads atomic snapshots in a durability directory."""
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        faults: FaultInjector | None = None,
+        tracer: AbstractTracer | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.faults = faults or FaultInjector()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    @property
+    def path(self) -> Path:
+        """The live snapshot file."""
+        return self.directory / CHECKPOINT_NAME
+
+    def write(self, dbms: Any) -> Path:
+        """Snapshot ``dbms`` atomically; returns the snapshot path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(snapshot_dbms(dbms), indent=1).encode("utf-8")
+        tmp = self.path.with_name(CHECKPOINT_NAME + ".tmp")
+        handle = self.faults.open(tmp, "wb")
+        try:
+            handle.write(payload)
+            handle.sync()
+        finally:
+            handle.close()
+        os.replace(tmp, self.path)
+        self.tracer.add("checkpoint.write")
+        self.tracer.add("checkpoint.bytes", len(payload))
+        return self.path
+
+    def load(self) -> dict | None:
+        """Read the current snapshot, or ``None`` when none exists."""
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return None
+        try:
+            snapshot = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise DurabilityError(
+                f"checkpoint {self.path} is unreadable: {exc}"
+            ) from exc
+        if snapshot.get("format") != SNAPSHOT_FORMAT:
+            raise DurabilityError(
+                f"checkpoint {self.path} has unsupported format "
+                f"{snapshot.get('format')!r} (expected {SNAPSHOT_FORMAT})"
+            )
+        return snapshot

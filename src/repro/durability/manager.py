@@ -1,0 +1,177 @@
+"""The durability facade: one WAL + one checkpointer per DBMS.
+
+A :class:`DurabilityManager` owns a durability *directory* (``log.wal`` +
+``checkpoint.json``) and turns logical DBMS events into framed WAL
+transactions:
+
+* ``log_view_created`` — a new concrete view (definition, schema, rows);
+* ``log_operations`` — the logged update/invalidate operations one analyst
+  action recorded (begin → one ``op`` frame each → commit+fsync);
+* ``log_undo`` — an undo of the last *n* operations;
+* ``log_drop`` — a view removal;
+* ``checkpoint`` — snapshot the bound DBMS atomically, then truncate the
+  log (every logged transaction is now inside the snapshot).
+
+The commit frame's fsync is the durability point: a transaction whose
+commit frame is on disk is replayed by :func:`repro.durability.recovery.
+recover`; anything after the last commit is discarded as a torn tail.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.core.errors import DurabilityError
+from repro.durability.checkpoint import Checkpointer, snapshot_dbms
+from repro.durability.faults import FaultInjector
+from repro.durability.wal import WriteAheadLog, ensure_directory
+from repro.metadata.persistence import (
+    definition_to_dict,
+    operation_to_dict,
+    value_to_jsonable,
+)
+from repro.obs.tracer import NULL_TRACER, AbstractTracer
+from repro.views.history import Operation
+
+WAL_NAME = "log.wal"
+
+
+class DurabilityManager:
+    """Crash-safety services for one :class:`~repro.core.dbms.StatisticalDBMS`.
+
+    Parameters
+    ----------
+    directory:
+        Where ``log.wal`` and ``checkpoint.json`` live (created if absent).
+    faults:
+        Optional :class:`FaultInjector` shared by the WAL and checkpointer
+        (the crash-sweep harness).
+    tracer:
+        Counter sink (``wal.*``, ``checkpoint.*``).
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        faults: FaultInjector | None = None,
+        tracer: AbstractTracer | None = None,
+    ) -> None:
+        self.directory = ensure_directory(directory)
+        self.faults = faults or FaultInjector()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.wal = WriteAheadLog(
+            self.directory / WAL_NAME, faults=self.faults, tracer=self.tracer
+        )
+        self.checkpointer = Checkpointer(
+            self.directory, faults=self.faults, tracer=self.tracer
+        )
+        self._dbms: Any = None
+        self._next_txn = 1
+
+    # -- binding -----------------------------------------------------------
+
+    def bind(self, dbms: Any) -> None:
+        """Attach the DBMS whose state :meth:`checkpoint` snapshots."""
+        self._dbms = dbms
+
+    @property
+    def wal_path(self) -> Path:
+        """The log file this manager appends to."""
+        return self.wal.path
+
+    @property
+    def checkpoint_path(self) -> Path:
+        """The live snapshot file."""
+        return self.checkpointer.path
+
+    # -- logging -----------------------------------------------------------
+
+    def log_view_created(self, view: Any) -> None:
+        """Make a freshly materialized/derived/adopted view durable."""
+        record: dict[str, Any] = {
+            "t": "view",
+            "view": view.name,
+            "owner": view.owner,
+            "schema": [
+                {
+                    "name": attr.name,
+                    "dtype": attr.dtype.name,
+                    "role": attr.role.value,
+                    "codebook": attr.codebook,
+                }
+                for attr in view.schema.attributes
+            ],
+            "rows": [
+                [value_to_jsonable(value) for value in row]
+                for row in view.relation
+            ],
+        }
+        if view.definition is not None:
+            record["definition"] = definition_to_dict(view.definition)
+        self._log_transaction(view.name, [record])
+
+    def log_operations(
+        self, view_name: str, operations: Sequence[Operation]
+    ) -> None:
+        """Log one analyst action's recorded operations as one transaction."""
+        if not operations:
+            return
+        self._log_transaction(
+            view_name,
+            [
+                {"t": "op", "view": view_name, "op": operation_to_dict(op)}
+                for op in operations
+            ],
+        )
+
+    def log_undo(self, view_name: str, count: int) -> None:
+        """Log an undo of the last ``count`` operations."""
+        self._log_transaction(
+            view_name, [{"t": "undo", "view": view_name, "count": count}]
+        )
+
+    def log_drop(self, view_name: str) -> None:
+        """Log a view removal."""
+        self._log_transaction(view_name, [{"t": "drop", "view": view_name}])
+
+    def _log_transaction(self, view_name: str, records: list[dict]) -> None:
+        txn = self._next_txn
+        self._next_txn += 1
+        self.wal.append({"t": "begin", "txn": txn, "view": view_name})
+        for record in records:
+            self.wal.append({**record, "txn": txn})
+        self.wal.append({"t": "commit", "txn": txn}, sync=True)
+
+    def resume_from_txn(self, next_txn: int) -> None:
+        """Continue numbering past what recovery found in the log."""
+        self._next_txn = max(self._next_txn, next_txn)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def checkpoint(self) -> Path:
+        """Snapshot the bound DBMS atomically and truncate the log."""
+        if self._dbms is None:
+            raise DurabilityError(
+                "no DBMS bound; pass this manager as StatisticalDBMS(durability=...)"
+            )
+        path = self.checkpointer.write(self._dbms)
+        self.wal.truncate()
+        return path
+
+    def snapshot(self) -> dict:
+        """The bound DBMS's snapshot dict (without writing it)."""
+        if self._dbms is None:
+            raise DurabilityError("no DBMS bound")
+        return snapshot_dbms(self._dbms)
+
+    def close(self) -> None:
+        """Release the WAL append handle."""
+        self.wal.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DurabilityManager({str(self.directory)!r}, "
+            f"wal={self.wal.size_bytes}B, next_txn={self._next_txn})"
+        )

@@ -1,0 +1,387 @@
+"""Crash recovery: checkpoint load + incremental WAL replay.
+
+:func:`recover` rebuilds a :class:`~repro.core.dbms.StatisticalDBMS` from a
+durability directory in three phases:
+
+1. **Snapshot load** — the latest checkpoint (if any) restores the
+   Management Database, every concrete view's rows, and every Summary
+   Database's entries (maintainers detached; see
+   :mod:`repro.durability.checkpoint`).
+2. **Replay** — committed WAL transactions are re-applied *in log order*.
+   Update operations go through the same machinery as live updates: cells
+   are written, the operation is restored into the view's history under its
+   original version, and the delta is pushed through
+   :class:`~repro.core.propagation.UpdatePropagator` so summary entries are
+   maintained **incrementally from the log** rather than recomputed by
+   rescanning the view.  Undo records re-run
+   :meth:`~repro.views.history.UpdateHistory.undo_last` and propagate the
+   inverse deltas, mirroring a live session's undo.
+3. **Tail handling** — the first torn or corrupt frame ends the trusted
+   log; an uncommitted transaction at the tail is discarded, and summary
+   entries over the attributes it *mentioned* are conservatively marked
+   stale (the data never changed, but the died-mid-transaction signal is
+   treated as grounds for recomputation on next lookup).
+
+Every anomaly (duplicate commit, orphan record, unknown view, version
+regression) becomes a warning in the :class:`RecoveryReport`, never an
+unhandled exception — a damaged log yields the longest trustworthy prefix.
+
+Counter names: ``recovery.replayed``, ``recovery.discarded``,
+``recovery.stale_marked``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.dbms import StatisticalDBMS
+from repro.core.propagation import UpdatePropagator
+from repro.durability.checkpoint import (
+    Checkpointer,
+    restore_summary_entries,
+    rows_from_snapshot,
+    schema_from_snapshot,
+)
+from repro.durability.faults import FaultInjector
+from repro.durability.manager import WAL_NAME, DurabilityManager
+from repro.durability.wal import WriteAheadLog
+from repro.incremental.differencing import Delta
+from repro.metadata.management import ManagementDatabase
+from repro.metadata.persistence import (
+    definition_from_dict,
+    history_from_dict,
+    management_from_dict,
+    operation_from_dict,
+    value_from_jsonable,
+)
+from repro.obs.tracer import NULL_TRACER, AbstractTracer
+from repro.relational.relation import Relation
+from repro.summary.summarydb import SummaryDatabase
+from repro.views.history import UpdateHistory
+from repro.views.view import ConcreteView
+
+
+@dataclass
+class RecoveryReport:
+    """What one :func:`recover` call did."""
+
+    checkpoint_loaded: bool = False
+    views: list[str] = field(default_factory=list)
+    transactions_committed: int = 0
+    operations_replayed: int = 0
+    undos_replayed: int = 0
+    records_discarded: int = 0
+    entries_marked_stale: int = 0
+    torn_tail: bool = False
+    warnings: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line human rendering (the shell prints this)."""
+        tail = ", torn tail" if self.torn_tail else ""
+        return (
+            f"recovered {len(self.views)} view(s) "
+            f"(checkpoint={'yes' if self.checkpoint_loaded else 'no'}): "
+            f"{self.transactions_committed} txn(s) replayed, "
+            f"{self.operations_replayed} op(s), {self.undos_replayed} undo(s), "
+            f"{self.records_discarded} record(s) discarded, "
+            f"{self.entries_marked_stale} cache entr(ies) marked stale"
+            f"{tail}"
+        )
+
+
+@dataclass
+class _Transaction:
+    txn: int
+    view: str
+    records: list[dict] = field(default_factory=list)
+
+
+def recover(
+    directory: str | os.PathLike,
+    faults: FaultInjector | None = None,
+    tracer: AbstractTracer | None = None,
+) -> tuple[StatisticalDBMS, RecoveryReport]:
+    """Rebuild a DBMS from ``directory``; returns (dbms, report).
+
+    The recovered DBMS is bound to a fresh :class:`DurabilityManager` over
+    the same directory, numbered past every transaction the log holds, so
+    the analyst continues exactly where the committed prefix ends.
+    """
+    sink = tracer if tracer is not None else NULL_TRACER
+    report = RecoveryReport()
+
+    checkpointer = Checkpointer(directory, tracer=sink)
+    snapshot = checkpointer.load()
+    if snapshot is not None:
+        report.checkpoint_loaded = True
+        management = management_from_dict(snapshot["management"])
+    else:
+        management = ManagementDatabase()
+
+    manager = DurabilityManager(directory, faults=faults, tracer=sink)
+    dbms = StatisticalDBMS(management=management, tracer=sink, durability=manager)
+
+    if snapshot is not None:
+        for record in snapshot.get("views", []):
+            _restore_view(dbms, record, sink)
+
+    scan = WriteAheadLog(manager.directory / WAL_NAME, tracer=sink).scan()
+    report.torn_tail = scan.torn_tail
+    report.warnings.extend(scan.warnings)
+
+    committed, tail, max_txn = _group_transactions(scan.records, report)
+    if report.records_discarded:
+        sink.add("recovery.discarded", report.records_discarded)
+    for txn in committed:
+        _replay_transaction(dbms, txn, report, sink)
+        report.transactions_committed += 1
+    _discard_tail(dbms, tail, report, sink)
+
+    manager.resume_from_txn(max_txn + 1)
+    report.views = dbms.registry.names()
+    return dbms, report
+
+
+# -- snapshot restoration ----------------------------------------------------
+
+
+def _restore_view(dbms: StatisticalDBMS, record: dict, tracer: AbstractTracer) -> None:
+    name = record["name"]
+    schema = schema_from_snapshot(record["schema"])
+    relation = Relation(name, schema, rows_from_snapshot(record["rows"]))
+    registered = name in dbms.management.view_names()
+    view = ConcreteView(
+        name=name,
+        relation=relation,
+        definition=dbms.management.view_definition(name) if registered else None,
+        owner=record.get("owner", "analyst"),
+        summary=SummaryDatabase(view_name=name, tracer=tracer),
+    )
+    if registered:
+        # The management snapshot holds the authoritative history object;
+        # the view must share it (exactly as registration wires it live).
+        view.history = dbms.management.view_history(name)
+    elif "history" in record:
+        view.history = history_from_dict(record["history"])
+    restore_summary_entries(view.summary, record.get("summary", []))
+    dbms.registry.register(view)
+
+
+# -- transaction grouping ----------------------------------------------------
+
+
+def _group_transactions(
+    records: list[dict], report: RecoveryReport
+) -> tuple[list[_Transaction], _Transaction | None, int]:
+    committed: list[_Transaction] = []
+    open_txn: _Transaction | None = None
+    max_txn = 0
+    for record in records:
+        kind = record.get("t")
+        txn = record.get("txn", 0)
+        max_txn = max(max_txn, txn if isinstance(txn, int) else 0)
+        if kind == "begin":
+            if open_txn is not None:
+                report.warnings.append(
+                    f"transaction {open_txn.txn} has no commit record; discarded"
+                )
+                report.records_discarded += 1 + len(open_txn.records)
+            open_txn = _Transaction(txn=txn, view=record.get("view", ""))
+        elif kind == "commit":
+            if open_txn is None or open_txn.txn != txn:
+                report.warnings.append(
+                    f"duplicate or orphan commit for transaction {txn}; skipped"
+                )
+                report.records_discarded += 1
+            else:
+                committed.append(open_txn)
+                open_txn = None
+        elif kind in ("op", "undo", "view", "drop"):
+            if open_txn is None or open_txn.txn != txn:
+                report.warnings.append(
+                    f"{kind} record outside its transaction ({txn}); skipped"
+                )
+                report.records_discarded += 1
+            else:
+                open_txn.records.append(record)
+        else:
+            report.warnings.append(f"unknown record type {kind!r}; skipped")
+            report.records_discarded += 1
+    return committed, open_txn, max_txn
+
+
+# -- replay ------------------------------------------------------------------
+
+
+def _replay_transaction(
+    dbms: StatisticalDBMS,
+    txn: _Transaction,
+    report: RecoveryReport,
+    tracer: AbstractTracer,
+) -> None:
+    for record in txn.records:
+        kind = record["t"]
+        if kind == "view":
+            _replay_view_created(dbms, record, report, tracer)
+        elif kind == "drop":
+            _replay_drop(dbms, record, report)
+        elif kind == "op":
+            _replay_operation(dbms, record, report, tracer)
+        elif kind == "undo":
+            _replay_undo(dbms, record, report, tracer)
+
+
+def _replay_view_created(
+    dbms: StatisticalDBMS,
+    record: dict,
+    report: RecoveryReport,
+    tracer: AbstractTracer,
+) -> None:
+    name = record["view"]
+    if name in dbms.registry.names():
+        report.warnings.append(f"view {name!r} already exists; creation skipped")
+        report.records_discarded += 1
+        return
+    schema = schema_from_snapshot(record["schema"])
+    relation = Relation(
+        name,
+        schema,
+        [tuple(value_from_jsonable(cell) for cell in row) for row in record["rows"]],
+    )
+    definition = (
+        definition_from_dict(record["definition"]) if "definition" in record else None
+    )
+    view = ConcreteView(
+        name=name,
+        relation=relation,
+        definition=definition,
+        owner=record.get("owner", "analyst"),
+        summary=SummaryDatabase(view_name=name, tracer=tracer),
+    )
+    dbms.registry.register(view)
+    if definition is not None and name not in dbms.management.view_names():
+        dbms.management.register_view(definition, view.history)
+    tracer.add("recovery.replayed")
+
+
+def _replay_drop(dbms: StatisticalDBMS, record: dict, report: RecoveryReport) -> None:
+    name = record["view"]
+    if name not in dbms.registry.names():
+        report.warnings.append(f"drop of unknown view {name!r}; skipped")
+        report.records_discarded += 1
+        return
+    dbms.registry.unregister(name)
+    if name in dbms.management.view_names():
+        dbms.management.drop_view(name)
+
+
+def _replay_operation(
+    dbms: StatisticalDBMS,
+    record: dict,
+    report: RecoveryReport,
+    tracer: AbstractTracer,
+) -> None:
+    name = record["view"]
+    if name not in dbms.registry.names():
+        report.warnings.append(
+            f"operation for unknown view {name!r}; skipped"
+        )
+        report.records_discarded += 1
+        return
+    view = dbms.registry.get(name)
+    operation = operation_from_dict(record["op"])
+    if operation.version <= view.history.version:
+        report.warnings.append(
+            f"duplicate operation v{operation.version} for view {name!r}; skipped"
+        )
+        report.records_discarded += 1
+        return
+    rows = []
+    for change in operation.changes:
+        view.set_value(change.row, operation.attribute, change.new)
+        rows.append(change.row)
+    view.history.restore(operation)
+    delta = Delta(updates=[(c.old, c.new) for c in operation.changes])
+    _propagator_for(dbms, view).propagate(operation.attribute, delta, rows)
+    report.operations_replayed += 1
+    tracer.add("recovery.replayed")
+
+
+def _replay_undo(
+    dbms: StatisticalDBMS,
+    record: dict,
+    report: RecoveryReport,
+    tracer: AbstractTracer,
+) -> None:
+    name = record["view"]
+    if name not in dbms.registry.names():
+        report.warnings.append(f"undo for unknown view {name!r}; skipped")
+        report.records_discarded += 1
+        return
+    view = dbms.registry.get(name)
+    count = int(record.get("count", 1))
+    if count < 1 or count > len(view.history):
+        report.warnings.append(
+            f"undo of {count} operation(s) on view {name!r} with "
+            f"{len(view.history)} logged; skipped"
+        )
+        report.records_discarded += 1
+        return
+    undone = view.history.undo_last(view.relation, count)
+    propagator = _propagator_for(dbms, view)
+    inverses: dict[str, list[Delta]] = {}
+    rows_by_attr: dict[str, list[int]] = {}
+    for operation in undone:
+        inverses.setdefault(operation.attribute, []).append(
+            Delta(updates=[(c.new, c.old) for c in operation.changes])
+        )
+        rows_by_attr.setdefault(operation.attribute, []).extend(
+            c.row for c in operation.changes
+        )
+    for attribute, deltas in inverses.items():
+        propagator.propagate_batch(attribute, deltas, rows_by_attr[attribute])
+    report.undos_replayed += 1
+    tracer.add("recovery.replayed")
+
+
+def _propagator_for(dbms: StatisticalDBMS, view: ConcreteView) -> UpdatePropagator:
+    return UpdatePropagator(
+        dbms.management,
+        view,
+        dbms.management.policy_for(view.owner, view.name),
+        tracer=dbms.tracer,
+    )
+
+
+# -- torn-tail handling ------------------------------------------------------
+
+
+def _discard_tail(
+    dbms: StatisticalDBMS,
+    tail: _Transaction | None,
+    report: RecoveryReport,
+    tracer: AbstractTracer,
+) -> None:
+    if tail is None:
+        return
+    report.torn_tail = True
+    report.records_discarded += 1 + len(tail.records)
+    report.warnings.append(
+        f"transaction {tail.txn} was never committed; "
+        f"{len(tail.records)} record(s) discarded"
+    )
+    tracer.add("recovery.discarded", 1 + len(tail.records))
+    # Conservatively distrust cached results over the attributes the dying
+    # transaction mentioned: the data never changed (its writes were
+    # discarded with the tail), but recomputation-on-next-lookup is cheap
+    # insurance against a half-observed world.
+    for record in tail.records:
+        if record.get("t") != "op" or record.get("view") not in dbms.registry.names():
+            continue
+        view = dbms.registry.get(record["view"])
+        attribute = record.get("op", {}).get("attribute")
+        if attribute:
+            report.entries_marked_stale += view.summary.invalidate_attribute(attribute)
+    if report.entries_marked_stale:
+        tracer.add("recovery.stale_marked", report.entries_marked_stale)

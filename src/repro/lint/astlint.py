@@ -69,6 +69,17 @@ RULE_TRACER_CONSTRUCT = rule(
         "never reach the session/benchmark that should own them"
     ),
 )
+RULE_DURABILITY_IO = rule(
+    "REPRO-A108",
+    "direct open() of a WAL/checkpoint file outside repro.durability",
+    severity=Severity.ERROR,
+    rationale=(
+        "the durability contract lives in WriteAheadLog/Checkpointer — "
+        "framed CRC32 records, fsync points, temp-file-plus-rename; an "
+        "ad-hoc open() of those files bypasses the framing and checksum "
+        "discipline and can corrupt the recovery protocol"
+    ),
+)
 RULE_ROWWISE_BIND = rule(
     "REPRO-A106",
     "row-wise Expr.bind inside a vectorized chunk loop",
@@ -89,7 +100,25 @@ VIEW_MUTATION_ALLOWED = (
     "views/history.py",
     "incremental/derived.py",
     "relational/relation.py",
+    # WAL replay re-applies logged cell changes; the operations already
+    # carry their history records, so routing through views.updates would
+    # double-log them.
+    "durability/recovery.py",
 )
+
+#: Modules allowed to open WAL/checkpoint files directly: the durability
+#: package itself, where the framing/checksum/fsync discipline lives.
+DURABILITY_IO_ALLOWED = (
+    "durability/wal.py",
+    "durability/checkpoint.py",
+    "durability/faults.py",
+    "durability/manager.py",
+    "durability/recovery.py",
+)
+
+#: Lowercase substrings of a file-path expression that mark it as a
+#: durability artifact (the WAL or a checkpoint snapshot).
+DURABILITY_PATH_MARKERS = (".wal", "checkpoint")
 
 #: Modules allowed to write SummaryEntry maintenance attributes: the rule
 #: implementations and the Summary Database layer (entries, store, policies).
@@ -392,6 +421,63 @@ class ExportsRule(AstRule):
         return bound, imported
 
 
+class DurabilityIoRule(AstRule):
+    """REPRO-A108: no direct ``open()`` of WAL/checkpoint paths.
+
+    Outside :mod:`repro.durability`, any ``open(...)`` (builtin or
+    ``path.open(...)``) whose path expression mentions a durability
+    artifact — a ``.wal`` suffix or a checkpoint file — is flagged.  The
+    check is conservative by name: a constant path containing a marker, or
+    a variable/attribute whose name mentions ``wal``/``checkpoint``, marks
+    the call.
+    """
+
+    rule_id = RULE_DURABILITY_IO.rule_id
+    severity = RULE_DURABILITY_IO.severity
+
+    _NAME_MARKERS = ("wal", "checkpoint")
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        if self.ctx.in_allowlist(DURABILITY_IO_ALLOWED):
+            return []
+        return super().run(tree)
+
+    def _mentions_durability_path(self, node: ast.expr) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                text = sub.value.lower()
+                if any(marker in text for marker in DURABILITY_PATH_MARKERS):
+                    return True
+            elif isinstance(sub, ast.Name):
+                if any(m in sub.id.lower() for m in self._NAME_MARKERS):
+                    return True
+            elif isinstance(sub, ast.Attribute):
+                if any(m in sub.attr.lower() for m in self._NAME_MARKERS):
+                    return True
+        return False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        is_open = (isinstance(func, ast.Name) and func.id == "open") or (
+            isinstance(func, ast.Attribute) and func.attr == "open"
+        )
+        if is_open:
+            # For path.open() the receiver names the file; for open(p) the
+            # first argument does.
+            candidates: list[ast.expr] = list(node.args)
+            if isinstance(func, ast.Attribute):
+                candidates.append(func.value)
+            if any(self._mentions_durability_path(c) for c in candidates):
+                self.report(
+                    node,
+                    "direct open() of a WAL/checkpoint file outside "
+                    "repro.durability; go through WriteAheadLog/"
+                    "Checkpointer so framing, checksums, and fsync "
+                    "discipline are preserved",
+                )
+        self.generic_visit(node)
+
+
 class RowwiseBindRule(AstRule):
     """REPRO-A106: no ``.bind(...)`` inside loops of vectorized modules.
 
@@ -510,6 +596,7 @@ AST_RULES: tuple[type[AstRule], ...] = (
     ExportsRule,
     RowwiseBindRule,
     TracerConstructRule,
+    DurabilityIoRule,
 )
 
 

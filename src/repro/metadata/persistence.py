@@ -251,50 +251,76 @@ def definition_from_dict(data: dict) -> ViewDefinition:
 # -- histories -------------------------------------------------------------------------
 
 
-def history_to_dict(history: UpdateHistory) -> dict:
-    """Serialize an update history (values NA-aware)."""
+def operation_to_dict(op: Operation) -> dict:
+    """Serialize one logged operation (cell values NA-aware).
+
+    Shared by history snapshots and the write-ahead log
+    (:mod:`repro.durability`), so both speak the same record schema.
+    """
     return {
-        "view_name": history.view_name,
-        "operations": [
+        "version": op.version,
+        "kind": op.kind.value,
+        "attribute": op.attribute,
+        "description": op.description,
+        "changes": [
             {
-                "version": op.version,
-                "kind": op.kind.value,
-                "attribute": op.attribute,
-                "description": op.description,
-                "changes": [
-                    {
-                        "row": c.row,
-                        "old": value_to_jsonable(c.old),
-                        "new": value_to_jsonable(c.new),
-                    }
-                    for c in op.changes
-                ],
+                "row": c.row,
+                "old": value_to_jsonable(c.old),
+                "new": value_to_jsonable(c.new),
             }
-            for op in history.operations()
+            for c in op.changes
         ],
     }
 
 
+def operation_from_dict(data: dict) -> Operation:
+    """Inverse of :func:`operation_to_dict`."""
+    return Operation(
+        version=data["version"],
+        kind=OpKind(data["kind"]),
+        attribute=data["attribute"],
+        description=data.get("description", ""),
+        changes=tuple(
+            CellChange(
+                row=c["row"],
+                old=value_from_jsonable(c["old"]),
+                new=value_from_jsonable(c["new"]),
+            )
+            for c in data["changes"]
+        ),
+    )
+
+
+def history_to_dict(history: UpdateHistory) -> dict:
+    """Serialize an update history (values NA-aware).
+
+    ``next_version`` preserves the monotonic high-water mark: undone
+    operations burn their version numbers (see
+    :meth:`~repro.views.history.UpdateHistory.undo_last`), so the mark can
+    exceed the last recorded operation's version + 1.
+    """
+    return {
+        "view_name": history.view_name,
+        "next_version": history._next_version,
+        "operations": [operation_to_dict(op) for op in history.operations()],
+    }
+
+
 def history_from_dict(data: dict) -> UpdateHistory:
-    """Inverse of :func:`history_to_dict`."""
+    """Inverse of :func:`history_to_dict`.
+
+    Snapshots written before the high-water mark was persisted lack
+    ``next_version``; for those the mark is derived from the last
+    operation, which is exact whenever nothing was ever undone.
+    """
     history = UpdateHistory(data["view_name"])
     for op in data["operations"]:
-        restored = Operation(
-            version=op["version"],
-            kind=OpKind(op["kind"]),
-            attribute=op["attribute"],
-            description=op.get("description", ""),
-            changes=tuple(
-                CellChange(
-                    row=c["row"],
-                    old=value_from_jsonable(c["old"]),
-                    new=value_from_jsonable(c["new"]),
-                )
-                for c in op["changes"]
-            ),
-        )
+        restored = operation_from_dict(op)
         history._operations.append(restored)
         history._next_version = restored.version + 1
+    history._next_version = max(
+        history._next_version, data.get("next_version", history._next_version)
+    )
     return history
 
 

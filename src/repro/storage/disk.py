@@ -12,8 +12,12 @@ relative measure today).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.errors import DiskError
+
+if TYPE_CHECKING:
+    from repro.durability.faults import FaultInjector
 
 DEFAULT_BLOCK_SIZE = 4096
 
@@ -109,6 +113,11 @@ class SimulatedDisk:
         unbounded.
     cost_model:
         The :class:`DiskCostModel` used by :meth:`elapsed_ms`.
+    fault_injector:
+        Optional :class:`~repro.durability.faults.FaultInjector`; when set,
+        every block write is counted against its plan, so crash-point
+        sweeps can target storage-level writes with the same ordinals used
+        for WAL writes.
     """
 
     def __init__(
@@ -116,6 +125,7 @@ class SimulatedDisk:
         block_size: int = DEFAULT_BLOCK_SIZE,
         capacity_blocks: int | None = None,
         cost_model: DiskCostModel | None = None,
+        fault_injector: "FaultInjector | None" = None,
     ) -> None:
         if block_size <= 0:
             raise DiskError(f"block_size must be positive, got {block_size}")
@@ -124,6 +134,7 @@ class SimulatedDisk:
         self.block_size = block_size
         self.capacity_blocks = capacity_blocks
         self.cost_model = cost_model or DiskCostModel()
+        self.fault_injector = fault_injector
         self.stats = IOStats()
         self._state = _DiskState()
         self._free_list: list[int] = []
@@ -183,6 +194,11 @@ class SimulatedDisk:
             )
         if len(data) < self.block_size:
             data = bytes(data) + bytes(self.block_size - len(data))
+        if self.fault_injector is not None:
+            # The fault fires *before* the block mutates: a crashed write
+            # leaves the old contents, matching the all-or-nothing block
+            # semantics the recovery protocol assumes.
+            self.fault_injector.on_block_write(block_no)
         self._account(block_no, is_write=True)
         self._state.blocks[block_no] = bytes(data)
 

@@ -96,6 +96,26 @@ class UpdateHistory:
         self._next_version += 1
         return operation
 
+    def restore(self, operation: Operation) -> Operation:
+        """Re-append a previously logged operation, keeping its version.
+
+        The write-ahead-log replay path (:mod:`repro.durability.recovery`)
+        rebuilds histories from framed records whose versions were assigned
+        before the crash; they must be preserved so sharing peers that
+        consumed the log via :meth:`operations_since` see the same
+        operations under the same versions after recovery.  Versions must
+        arrive in increasing order — a replayed version at or below the
+        current high-water mark is a duplicate.
+        """
+        if operation.version < self._next_version:
+            raise HistoryError(
+                f"cannot restore operation v{operation.version}: history is "
+                f"already at v{self.version}"
+            )
+        self._operations.append(operation)
+        self._next_version = operation.version + 1
+        return operation
+
     def operations(self) -> list[Operation]:
         """The full log, oldest first."""
         return list(self._operations)

@@ -1,0 +1,40 @@
+"""Shared builders for the durability test suite."""
+
+from __future__ import annotations
+
+from repro.core.dbms import StatisticalDBMS
+from repro.durability.faults import FaultInjector
+from repro.durability.manager import DurabilityManager
+from repro.obs.tracer import AbstractTracer
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import DataType
+from repro.views.materialize import SourceNode, ViewDefinition
+
+
+def people_relation(rows: int = 20) -> Relation:
+    """A small numeric dataset: id (int) + x (float)."""
+    schema = Schema([Attribute("id", DataType.INT), Attribute("x", DataType.FLOAT)])
+    return Relation("people", schema, [[i, float(i)] for i in range(rows)])
+
+
+def durable_dbms(
+    directory,
+    rows: int = 20,
+    faults: FaultInjector | None = None,
+    tracer: AbstractTracer | None = None,
+) -> StatisticalDBMS:
+    """A DBMS with durability under ``directory`` and one view ``v1``."""
+    manager = DurabilityManager(directory, faults=faults, tracer=tracer)
+    dbms = StatisticalDBMS(tracer=tracer, durability=manager)
+    dbms.load_raw(people_relation(rows))
+    dbms.create_view(ViewDefinition("v1", SourceNode("people")))
+    return dbms
+
+
+def plain_dbms(rows: int = 20) -> StatisticalDBMS:
+    """The same system without durability — the reference for sweeps."""
+    dbms = StatisticalDBMS()
+    dbms.load_raw(people_relation(rows))
+    dbms.create_view(ViewDefinition("v1", SourceNode("people")))
+    return dbms

@@ -1,0 +1,265 @@
+"""Crash-point sweeps: recovery yields a committed prefix at *every* fault.
+
+The harness runs one workload many times, killing it with a deterministic
+:class:`~repro.durability.faults.FaultInjector` at the k-th write (or
+fsync) for **every** k the schedule contains, then recovers and checks
+three invariants:
+
+1. **Committed prefix** — the recovered view (rows + history version)
+   equals the state after some prefix of the workload's actions; every
+   action that completed before the fault is included (its commit frame
+   was fsynced), and at most the single in-flight action may additionally
+   appear.
+2. **Summary consistency** — every fresh (non-stale) cached entry equals a
+   recomputation over the recovered view's data.
+3. **Version monotonicity** — the recovered history's version matches the
+   reference prefix exactly, so ``operations_since`` peers see no
+   regression.
+
+Crash model: a write that returned is durable (the harness flushes the
+abandoned handle, simulating buffered bytes that reached the OS); the
+fsync on a commit frame is the transaction's durability point; everything
+after the last committed transaction is an uncommitted tail for recovery
+to discard.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dbms import StatisticalDBMS
+from repro.core.errors import InjectedFault
+from repro.durability.faults import FaultInjector, FaultPlan
+from repro.durability.manager import DurabilityManager
+from repro.durability.recovery import recover
+from repro.views.materialize import SourceNode, ViewDefinition
+
+from tests.durability.helpers import people_relation
+
+ROWS = 12
+STATS = ("sum", "mean", "count")
+
+
+# -- workload ----------------------------------------------------------------
+
+
+def build_actions(rng: random.Random, count: int) -> list[tuple]:
+    """A reproducible schedule of point updates and undos."""
+    actions: list[tuple] = []
+    for _ in range(count):
+        if rng.random() < 0.25:
+            actions.append(("undo", rng.randint(1, 3)))
+        else:
+            actions.append(
+                ("set", rng.randrange(ROWS), round(rng.uniform(-100, 100), 3))
+            )
+    return actions
+
+
+def apply_action(session, action) -> None:
+    if action[0] == "set":
+        _, row, value = action
+        session.update_cells("x", [(row, value)])
+    else:
+        count = min(action[1], len(session.view.history))
+        if count:
+            session.undo(count)
+
+
+def run_workload(dbms, actions, checkpoint_at, progress) -> None:
+    """Drive the workload, bumping ``progress['completed']`` per action."""
+    session = dbms.session("v1")
+    for fn in STATS:
+        session.compute(fn, "x")
+    for index, action in enumerate(actions):
+        apply_action(session, action)
+        progress["completed"] = index + 1
+        if index == checkpoint_at and dbms.durability is not None:
+            dbms.checkpoint()
+
+
+def make_durable_dbms(directory, injector) -> StatisticalDBMS:
+    manager = DurabilityManager(directory, faults=injector)
+    dbms = StatisticalDBMS(durability=manager)
+    dbms.load_raw(people_relation(ROWS))
+    dbms.create_view(ViewDefinition("v1", SourceNode("people")))
+    return dbms
+
+
+# -- reference states --------------------------------------------------------
+
+
+def view_state(dbms) -> tuple:
+    view = dbms.view("v1")
+    return (tuple(tuple(row) for row in view.relation), view.history.version)
+
+
+def reference_states(actions) -> list[tuple]:
+    """``states[m]`` is the (rows, version) state after ``m`` actions."""
+    dbms = StatisticalDBMS()
+    dbms.load_raw(people_relation(ROWS))
+    dbms.create_view(ViewDefinition("v1", SourceNode("people")))
+    session = dbms.session("v1")
+    states = [view_state(dbms)]
+    for action in actions:
+        apply_action(session, action)
+        states.append(view_state(dbms))
+    return states
+
+
+# -- the sweep ---------------------------------------------------------------
+
+
+def schedule_size(tmp_path, actions, checkpoint_at) -> tuple[int, int]:
+    """Dry-run the workload; returns (total writes, total fsyncs)."""
+    injector = FaultInjector()
+    dbms = make_durable_dbms(tmp_path / "dry", injector)
+    progress = {"completed": 0}
+    run_workload(dbms, actions, checkpoint_at, progress)
+    assert progress["completed"] == len(actions)
+    dbms.durability.close()
+    return injector.writes, injector.fsyncs
+
+
+def crash_and_check(directory, actions, checkpoint_at, plan, states) -> None:
+    """One crash run: execute under ``plan``, recover, check invariants."""
+    injector = FaultInjector(plan)
+    manager = DurabilityManager(directory, faults=injector)
+    progress = {"completed": 0}
+    crashed = False
+    try:
+        dbms = StatisticalDBMS(durability=manager)
+        dbms.load_raw(people_relation(ROWS))
+        dbms.create_view(ViewDefinition("v1", SourceNode("people")))
+        run_workload(dbms, actions, checkpoint_at, progress)
+    except InjectedFault:
+        crashed = True
+    # Crash model: buffered bytes reached the OS — flush the abandoned
+    # handle, then throw the in-memory system away.
+    manager.wal.close()
+
+    recovered, report = recover(directory)
+    completed = progress["completed"]
+
+    if "v1" not in recovered.registry.names():
+        # The fault predates the view-creation commit: nothing to recover.
+        assert crashed and completed == 0
+        assert report.transactions_committed == 0
+        return
+
+    state = view_state(recovered)
+    assert state in states, (
+        f"recovered state matches no action prefix (plan={plan}, "
+        f"completed={completed})"
+    )
+    matches = [m for m, s in enumerate(states) if s == state]
+    assert any(completed <= m <= completed + 1 for m in matches), (
+        f"recovered prefix {matches} outside [{completed}, {completed + 1}] "
+        f"(plan={plan})"
+    )
+
+    # Version monotonicity: nothing a sharing peer consumed can regress.
+    assert state[1] >= states[completed][1]
+
+    # Summary consistency: fresh cached entries equal recomputation.
+    view = recovered.view("v1")
+    functions = recovered.management.functions
+    for entry in view.summary.entries():
+        if entry.stale or entry.key.function not in STATS:
+            continue
+        expected = functions.get(entry.key.function).compute(view.column("x"))
+        assert math.isclose(entry.result, expected, rel_tol=1e-9, abs_tol=1e-9), (
+            f"{entry.key.function} cached {entry.result} != recomputed "
+            f"{expected} (plan={plan})"
+        )
+
+
+def sweep(tmp_path, actions, checkpoint_at, modes=("raise", "torn")) -> None:
+    states = reference_states(actions)
+    writes, fsyncs = schedule_size(tmp_path, actions, checkpoint_at)
+    for mode in modes:
+        for k in range(1, writes + 1):
+            crash_and_check(
+                tmp_path / f"w{k}-{mode}",
+                actions,
+                checkpoint_at,
+                FaultPlan(fail_on_write=k, mode=mode),
+                states,
+            )
+    for k in range(1, fsyncs + 1):
+        crash_and_check(
+            tmp_path / f"f{k}",
+            actions,
+            checkpoint_at,
+            FaultPlan(fail_on_fsync=k),
+            states,
+        )
+
+
+# -- entry points ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_crash_sweep_covers_every_write_point(tmp_path, seed):
+    """Every write and fsync ordinal of a >=50-write schedule, three seeds."""
+    actions = build_actions(random.Random(seed), 17)
+    checkpoint_at = len(actions) // 2
+    writes, _ = schedule_size(tmp_path / "size", actions, checkpoint_at)
+    assert writes >= 50, "schedule must contain at least 50 writes"
+    sweep(tmp_path, actions, checkpoint_at)
+
+
+@pytest.mark.parametrize("checkpoint_at", [None, 0])
+def test_crash_sweep_checkpoint_placement(tmp_path, checkpoint_at):
+    """Sweeps with no checkpoint and with an immediate one both hold."""
+    actions = build_actions(random.Random(7), 6)
+    sweep(tmp_path / str(checkpoint_at), actions, checkpoint_at)
+
+
+actions_strategy = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("set"),
+            st.integers(min_value=0, max_value=ROWS - 1),
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        ),
+        st.tuples(st.just("undo"), st.integers(min_value=1, max_value=3)),
+    ),
+    min_size=3,
+    max_size=8,
+)
+
+
+@settings(max_examples=5, deadline=None)
+@given(actions=actions_strategy, data=st.data())
+def test_crash_sweep_hypothesis_workloads(tmp_path_factory, actions, data):
+    """Hypothesis-generated schedules survive a fault at any chosen write."""
+    tmp_path = tmp_path_factory.mktemp("sweep")
+    checkpoint_at = data.draw(
+        st.one_of(
+            st.none(), st.integers(min_value=0, max_value=len(actions) - 1)
+        ),
+        label="checkpoint_at",
+    )
+    states = reference_states(actions)
+    writes, fsyncs = schedule_size(tmp_path, actions, checkpoint_at)
+    k = data.draw(st.integers(min_value=1, max_value=writes), label="crash write")
+    mode = data.draw(st.sampled_from(["raise", "torn"]), label="mode")
+    crash_and_check(
+        tmp_path / f"hyp-w{k}-{mode}",
+        actions,
+        checkpoint_at,
+        FaultPlan(fail_on_write=k, mode=mode),
+        states,
+    )
+    j = data.draw(st.integers(min_value=1, max_value=fsyncs), label="crash fsync")
+    crash_and_check(
+        tmp_path / f"hyp-f{j}",
+        actions,
+        checkpoint_at,
+        FaultPlan(fail_on_fsync=j),
+        states,
+    )

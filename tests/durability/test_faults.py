@@ -1,0 +1,119 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.core.errors import DurabilityError, InjectedFault
+from repro.durability.faults import NO_FAULTS, FaultInjector, FaultPlan
+from repro.durability.wal import WriteAheadLog
+from repro.storage.disk import SimulatedDisk
+
+
+def test_plan_rejects_unknown_mode():
+    with pytest.raises(DurabilityError):
+        FaultPlan(mode="explode")
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"fail_on_write": 0},
+        {"fail_on_fsync": -1},
+        {"fail_on_block_write": 0},
+    ],
+)
+def test_plan_rejects_non_positive_ordinals(kwargs):
+    with pytest.raises(DurabilityError):
+        FaultPlan(**kwargs)
+
+
+def test_no_faults_plan_never_fires(tmp_path):
+    injector = FaultInjector(NO_FAULTS)
+    with injector.open(tmp_path / "f.bin", "wb") as handle:
+        for _ in range(100):
+            handle.write(b"data")
+        handle.sync()
+    assert injector.writes == 100
+    assert injector.fsyncs == 1
+
+
+def test_raise_mode_dies_before_the_doomed_write(tmp_path):
+    injector = FaultInjector(FaultPlan(fail_on_write=3))
+    path = tmp_path / "f.bin"
+    with injector.open(path, "wb") as handle:
+        handle.write(b"aa")
+        handle.write(b"bb")
+        with pytest.raises(InjectedFault):
+            handle.write(b"cc")
+        handle.flush()
+    assert path.read_bytes() == b"aabb"
+    assert injector.writes == 3
+
+
+def test_torn_mode_writes_half_the_buffer_first(tmp_path):
+    injector = FaultInjector(FaultPlan(fail_on_write=1, mode="torn"))
+    path = tmp_path / "f.bin"
+    handle = injector.open(path, "wb")
+    with pytest.raises(InjectedFault):
+        handle.write(b"abcdefgh")
+    handle.close()
+    assert path.read_bytes() == b"abcd"
+
+
+def test_fsync_fault_counts_separately_from_writes(tmp_path):
+    injector = FaultInjector(FaultPlan(fail_on_fsync=2))
+    with injector.open(tmp_path / "f.bin", "wb") as handle:
+        handle.write(b"one")
+        handle.sync()
+        handle.write(b"two")
+        with pytest.raises(InjectedFault):
+            handle.sync()
+    assert injector.writes == 2
+    assert injector.fsyncs == 2
+
+
+def test_ordinals_are_global_across_files(tmp_path):
+    """One injector spans the WAL and the checkpointer: shared schedule."""
+    injector = FaultInjector(FaultPlan(fail_on_write=3))
+    a = injector.open(tmp_path / "a.bin", "wb")
+    b = injector.open(tmp_path / "b.bin", "wb")
+    a.write(b"1")
+    b.write(b"2")
+    with pytest.raises(InjectedFault):
+        a.write(b"3")
+    a.close()
+    b.close()
+
+
+def test_wal_appends_route_through_the_injector(tmp_path):
+    injector = FaultInjector(FaultPlan(fail_on_write=2))
+    wal = WriteAheadLog(tmp_path / "log.wal", faults=injector)
+    wal.append({"t": "begin", "txn": 1, "view": "v"})
+    with pytest.raises(InjectedFault):
+        wal.append({"t": "commit", "txn": 1}, sync=True)
+    wal.close()
+    # Only the first frame reached the file; the scan sees a clean prefix.
+    scan = wal.scan()
+    assert scan.clean
+    assert [r["t"] for r in scan.records] == ["begin"]
+
+
+def test_simulated_disk_honours_block_write_plan():
+    injector = FaultInjector(FaultPlan(fail_on_block_write=2))
+    disk = SimulatedDisk(fault_injector=injector)
+    first, second = disk.allocate(), disk.allocate()
+    disk.write_block(first, b"one")
+    with pytest.raises(InjectedFault):
+        disk.write_block(second, b"two")
+    # The fault fired before the block mutated or was accounted.
+    assert disk.read_block(second) == bytes(disk.block_size)
+    assert disk.stats.block_writes == 1
+    assert injector.block_writes == 2
+
+
+def test_faulty_file_proxies_unknown_attributes(tmp_path):
+    injector = FaultInjector()
+    path = tmp_path / "f.bin"
+    with injector.open(path, "wb") as handle:
+        handle.write(b"abc")
+        assert handle.seekable()  # falls through to the real handle
+    assert handle.closed

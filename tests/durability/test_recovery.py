@@ -1,0 +1,255 @@
+"""Recovery unit tests: checkpoint + replay semantics, counters, anomalies."""
+
+import math
+
+import pytest
+
+from repro.core.dbms import StatisticalDBMS
+from repro.core.errors import DurabilityError
+from repro.durability.checkpoint import Checkpointer
+from repro.durability.manager import DurabilityManager
+from repro.durability.recovery import recover
+from repro.obs.tracer import Tracer
+from repro.views.materialize import SourceNode, ViewDefinition
+
+from tests.durability.helpers import durable_dbms, people_relation
+
+
+def test_update_and_undo_replay_without_a_checkpoint(tmp_path):
+    dbms = durable_dbms(tmp_path)
+    session = dbms.session("v1")
+    session.update_cells("x", [(0, 100.0)])
+    session.update_cells("x", [(1, 50.0)])
+    session.undo(1)
+
+    recovered, report = recover(tmp_path)
+    assert not report.checkpoint_loaded
+    assert report.operations_replayed == 2
+    assert report.undos_replayed == 1
+    assert recovered.view("v1").relation.row(0)[1] == 100.0
+    assert recovered.view("v1").relation.row(1)[1] == 1.0
+    assert recovered.view("v1").history.version == dbms.view("v1").history.version
+
+
+def test_checkpoint_bounds_replay(tmp_path):
+    dbms = durable_dbms(tmp_path)
+    session = dbms.session("v1")
+    session.update_cells("x", [(0, 100.0)])
+    dbms.checkpoint()
+    assert dbms.durability.wal.size_bytes == 0
+    session.update_cells("x", [(1, 50.0)])
+
+    recovered, report = recover(tmp_path)
+    assert report.checkpoint_loaded
+    assert report.operations_replayed == 1  # only the post-checkpoint update
+    assert recovered.view("v1").relation.row(0)[1] == 100.0
+    assert recovered.view("v1").relation.row(1)[1] == 50.0
+
+
+def test_checkpointed_summary_entries_are_maintained_incrementally(tmp_path):
+    tracer = Tracer()
+    dbms = durable_dbms(tmp_path, tracer=tracer)
+    session = dbms.session("v1")
+    live_sum = session.compute("sum", "x")
+    dbms.checkpoint()
+    session.update_cells("x", [(0, 100.0)])
+
+    recovered, report = recover(tmp_path)
+    entry = recovered.view("v1").summary.peek("sum", "x")
+    assert entry is not None
+    assert math.isclose(entry.result, live_sum + 100.0)
+    # Replay maintained the entry from the log: no stale flag, no rescan
+    # needed on the next lookup.
+    assert not entry.stale
+    assert report.operations_replayed == 1
+
+
+def test_recovered_history_versions_support_operations_since(tmp_path):
+    """Sharing peers that consumed the log pre-crash see identical versions."""
+    dbms = durable_dbms(tmp_path)
+    session = dbms.session("v1")
+    session.update_cells("x", [(0, 100.0)])
+    session.undo(1)  # burns v1
+    session.update_cells("x", [(1, 50.0)])  # gets v2
+    live = [(op.version, op.attribute) for op in dbms.view("v1").history.operations()]
+
+    recovered, _ = recover(tmp_path)
+    replayed = [
+        (op.version, op.attribute)
+        for op in recovered.view("v1").history.operations()
+    ]
+    assert replayed == live == [(2, "x")]
+    assert recovered.view("v1").history.operations_since(1)[0].version == 2
+
+
+def test_view_creation_and_drop_replay(tmp_path):
+    dbms = durable_dbms(tmp_path)
+    dbms.create_view(
+        ViewDefinition("v2", SourceNode("people")), allow_duplicate=True
+    )
+    dbms.drop_view("v2")
+    recovered, _ = recover(tmp_path)
+    assert recovered.registry.names() == ["v1"]
+    assert "v2" not in recovered.management.view_names()
+
+
+def test_adopted_view_recovers_via_inline_history(tmp_path):
+    dbms = durable_dbms(tmp_path)
+    owner = dbms.session("v1")
+    owner.update_cells("x", [(0, 100.0)])
+    dbms.publish("v1", publisher="alice")
+    dbms.adopt_published("v1", "mine", "bob")
+    mine = dbms.session("mine", analyst="bob")
+    mine.update_cells("x", [(2, 7.0)])
+    dbms.checkpoint()
+
+    recovered, _ = recover(tmp_path)
+    adopted = recovered.view("mine")
+    assert adopted.owner == "bob"
+    assert adopted.relation.row(0)[1] == 100.0  # published edit carried over
+    assert adopted.relation.row(2)[1] == 7.0
+
+
+def test_replay_is_idempotent_against_duplicate_operations(tmp_path):
+    """An op at or below the history's version is a duplicate: skipped."""
+    dbms = durable_dbms(tmp_path)
+    session = dbms.session("v1")
+    session.update_cells("x", [(0, 100.0)])
+    # Re-log the same transaction records wholesale (replayed log segment).
+    manager = dbms.durability
+    operations = dbms.view("v1").history.operations()
+    manager.log_operations("v1", operations)
+
+    recovered, report = recover(tmp_path)
+    assert report.operations_replayed == 1
+    assert any("duplicate operation" in w for w in report.warnings)
+    assert recovered.view("v1").relation.row(0)[1] == 100.0
+    assert recovered.view("v1").history.version == 1
+
+
+def test_operations_for_unknown_views_are_skipped(tmp_path):
+    dbms = durable_dbms(tmp_path)
+    manager = dbms.durability
+    manager._log_transaction(
+        "ghost",
+        [{"t": "op", "view": "ghost", "op": {"version": 1, "kind": "update",
+                                             "attribute": "x", "changes": []}}],
+    )
+    recovered, report = recover(tmp_path)
+    assert any("unknown view" in w for w in report.warnings)
+    assert recovered.registry.names() == ["v1"]
+
+
+def test_torn_tail_marks_mentioned_attributes_stale(tmp_path):
+    tracer = Tracer()
+    dbms = durable_dbms(tmp_path)
+    session = dbms.session("v1")
+    session.compute("sum", "x")
+    session.update_cells("x", [(0, 100.0)])
+    dbms.checkpoint()  # snapshot carries the cached sum
+    session.update_cells("x", [(1, 50.0)])
+    # Tear the log inside the last transaction: keep begin+op, lose commit.
+    dbms.durability.wal.close()
+    path = dbms.durability.wal_path
+    path.write_bytes(path.read_bytes()[:-12])
+
+    recovered, report = recover(tmp_path, tracer=tracer)
+    assert report.torn_tail
+    assert report.entries_marked_stale >= 1
+    entry = recovered.view("v1").summary.peek("sum", "x")
+    assert entry is not None and entry.stale
+    # The discarded write itself never happened.
+    assert recovered.view("v1").relation.row(1)[1] == 1.0
+    assert tracer.counters.get("recovery.stale_marked", 0) >= 1
+    assert tracer.counters.get("recovery.discarded", 0) >= 1
+
+
+def test_recovery_tracer_counters(tmp_path):
+    tracer = Tracer()
+    dbms = durable_dbms(tmp_path)
+    session = dbms.session("v1")
+    session.update_cells("x", [(0, 100.0)])
+    session.update_cells("x", [(1, 50.0)])
+    recovered, report = recover(tmp_path, tracer=tracer)
+    # One view-creation txn + two update txns.
+    assert report.transactions_committed == 3
+    assert tracer.counters["recovery.replayed"] == 3
+    assert "recovery.discarded" not in tracer.counters
+
+
+def _counter_total(tracer, name):
+    """A counter's grand total: tracer-level plus every recorded span."""
+    return tracer.counters.get(name, 0) + sum(
+        root.total(name) for root in tracer.roots
+    )
+
+
+def test_wal_and_checkpoint_tracer_counters(tmp_path):
+    tracer = Tracer()
+    dbms = durable_dbms(tmp_path, tracer=tracer)
+    session = dbms.session("v1")
+    session.update_cells("x", [(0, 100.0)])
+    # view txn (3 frames) + update txn (3 frames)
+    assert _counter_total(tracer, "wal.append") == 6
+    assert _counter_total(tracer, "wal.fsync") == 2
+    dbms.checkpoint()
+    assert _counter_total(tracer, "checkpoint.write") == 1
+    assert _counter_total(tracer, "checkpoint.bytes") > 0
+
+
+def test_recovered_dbms_continues_logging_past_old_transactions(tmp_path):
+    dbms = durable_dbms(tmp_path)
+    session = dbms.session("v1")
+    session.update_cells("x", [(0, 100.0)])
+    recovered, _ = recover(tmp_path)
+    # New work on the recovered system lands in fresh transactions and is
+    # itself recoverable.
+    session2 = recovered.session("v1")
+    session2.update_cells("x", [(1, 50.0)])
+    recovered2, report2 = recover(tmp_path)
+    assert recovered2.view("v1").relation.row(0)[1] == 100.0
+    assert recovered2.view("v1").relation.row(1)[1] == 50.0
+    assert not any("duplicate" in w for w in report2.warnings)
+
+
+def test_checkpoint_requires_configured_durability(tmp_path):
+    dbms = StatisticalDBMS()
+    with pytest.raises(DurabilityError):
+        dbms.checkpoint()
+    manager = DurabilityManager(tmp_path)
+    with pytest.raises(DurabilityError):
+        manager.checkpoint()  # never bound to a DBMS
+
+
+def test_corrupt_checkpoint_raises_durability_error(tmp_path):
+    dbms = durable_dbms(tmp_path)
+    dbms.checkpoint()
+    dbms.durability.checkpoint_path.write_text("{ not json")
+    with pytest.raises(DurabilityError):
+        recover(tmp_path)
+
+
+def test_unsupported_checkpoint_format_raises(tmp_path):
+    Checkpointer(tmp_path).path.write_text('{"format": 99}')
+    with pytest.raises(DurabilityError):
+        recover(tmp_path)
+
+
+def test_checkpoint_write_is_atomic_under_fault(tmp_path):
+    """A crash mid-snapshot leaves the previous checkpoint untouched."""
+    from repro.core.errors import InjectedFault
+    from repro.durability.faults import FaultInjector, FaultPlan
+
+    dbms = durable_dbms(tmp_path)
+    session = dbms.session("v1")
+    session.update_cells("x", [(0, 100.0)])
+    dbms.checkpoint()
+    before = dbms.durability.checkpoint_path.read_bytes()
+
+    session.update_cells("x", [(1, 50.0)])
+    faulty = Checkpointer(tmp_path, faults=FaultInjector(FaultPlan(fail_on_write=1)))
+    with pytest.raises(InjectedFault):
+        faulty.write(dbms)
+    assert dbms.durability.checkpoint_path.read_bytes() == before
+    recovered, _ = recover(tmp_path)
+    assert recovered.view("v1").relation.row(1)[1] == 50.0  # from the WAL

@@ -1,0 +1,202 @@
+"""WAL frame-format unit tests: torn tails, bit rot, malformed records.
+
+The contract under test: ``WriteAheadLog.scan`` returns the longest
+trustworthy prefix and *never* raises on log damage — every anomaly is a
+warning on the scan result.
+"""
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.core.errors import DurabilityError
+from repro.durability.recovery import RecoveryReport, recover
+from repro.durability.wal import (
+    MAX_FRAME_BYTES,
+    WriteAheadLog,
+    frame_record,
+    ensure_directory,
+)
+
+from tests.durability.helpers import durable_dbms
+
+
+@pytest.fixture
+def wal(tmp_path):
+    return WriteAheadLog(tmp_path / "log.wal")
+
+
+def test_append_scan_roundtrip(wal):
+    records = [
+        {"t": "begin", "txn": 1, "view": "v"},
+        {"t": "op", "txn": 1, "view": "v", "op": {"version": 1}},
+        {"t": "commit", "txn": 1},
+    ]
+    for record in records:
+        wal.append(record)
+    wal.close()
+    scan = wal.scan()
+    assert scan.clean
+    assert scan.records == records
+    assert scan.bytes_scanned == wal.size_bytes
+
+
+def test_scan_of_missing_file_is_empty(wal):
+    scan = wal.scan()
+    assert scan.clean
+    assert scan.records == []
+    assert wal.size_bytes == 0
+
+
+def test_truncated_final_frame_is_a_warning_not_an_error(wal, tmp_path):
+    wal.append({"t": "begin", "txn": 1, "view": "v"})
+    wal.append({"t": "commit", "txn": 1}, sync=True)
+    wal.close()
+    path = tmp_path / "log.wal"
+    data = path.read_bytes()
+    path.write_bytes(data[:-4])  # tear the commit frame's payload
+    scan = wal.scan()
+    assert scan.torn_tail
+    assert len(scan.records) == 1
+    assert any("torn frame payload" in w for w in scan.warnings)
+
+
+def test_truncation_inside_header_is_detected(wal, tmp_path):
+    wal.append({"t": "begin", "txn": 1, "view": "v"}, sync=True)
+    wal.close()
+    path = tmp_path / "log.wal"
+    data = path.read_bytes()
+    path.write_bytes(data + b"\x01\x02\x03")  # 3 trailing bytes < header size
+    scan = wal.scan()
+    assert scan.torn_tail
+    assert len(scan.records) == 1
+    assert any("torn frame header" in w for w in scan.warnings)
+
+
+def test_bit_flipped_payload_fails_the_checksum(wal, tmp_path):
+    wal.append({"t": "begin", "txn": 1, "view": "v"})
+    wal.append({"t": "commit", "txn": 1}, sync=True)
+    wal.close()
+    path = tmp_path / "log.wal"
+    data = bytearray(path.read_bytes())
+    data[-2] ^= 0x40  # flip one bit inside the last frame's payload
+    path.write_bytes(bytes(data))
+    scan = wal.scan()
+    assert scan.torn_tail
+    assert len(scan.records) == 1
+    assert any("checksum mismatch" in w for w in scan.warnings)
+
+
+def test_implausible_frame_length_stops_the_scan(wal, tmp_path):
+    wal.append({"t": "begin", "txn": 1, "view": "v"}, sync=True)
+    wal.close()
+    path = tmp_path / "log.wal"
+    bogus = struct.pack("<II", MAX_FRAME_BYTES + 1, 0)
+    path.write_bytes(path.read_bytes() + bogus + b"x" * 16)
+    scan = wal.scan()
+    assert scan.torn_tail
+    assert len(scan.records) == 1
+    assert any("implausible frame length" in w for w in scan.warnings)
+
+
+def test_valid_frame_with_non_dict_payload_is_malformed(wal, tmp_path):
+    path = tmp_path / "log.wal"
+    payload = json.dumps([1, 2, 3]).encode()
+    path.write_bytes(struct.pack("<II", len(payload), zlib.crc32(payload)) + payload)
+    scan = wal.scan()
+    assert scan.torn_tail
+    assert scan.records == []
+    assert any("missing type tag" in w for w in scan.warnings)
+
+
+def test_valid_frame_with_undecodable_json_is_a_warning(wal, tmp_path):
+    path = tmp_path / "log.wal"
+    payload = b"\xff\xfe not json"
+    path.write_bytes(struct.pack("<II", len(payload), zlib.crc32(payload)) + payload)
+    scan = wal.scan()
+    assert scan.torn_tail
+    assert scan.records == []
+    assert any("undecodable record" in w for w in scan.warnings)
+
+
+def test_truncate_empties_the_log(wal):
+    wal.append({"t": "begin", "txn": 1, "view": "v"}, sync=True)
+    assert wal.size_bytes > 0
+    wal.truncate()
+    assert wal.size_bytes == 0
+    assert wal.scan().records == []
+
+
+def test_frame_record_matches_append_framing(wal, tmp_path):
+    record = {"t": "commit", "txn": 9}
+    wal.append(record, sync=True)
+    wal.close()
+    assert (tmp_path / "log.wal").read_bytes() == frame_record(record)
+
+
+def test_ensure_directory_rejects_files(tmp_path):
+    target = tmp_path / "occupied"
+    target.write_text("not a directory")
+    with pytest.raises((DurabilityError, FileExistsError, NotADirectoryError)):
+        ensure_directory(target)
+
+
+# -- damage through full recovery (warnings, never unhandled exceptions) ------
+
+
+def _wal_path(dbms):
+    return dbms.durability.wal_path
+
+
+def test_recovery_survives_duplicate_commit_records(tmp_path):
+    dbms = durable_dbms(tmp_path)
+    session = dbms.session("v1")
+    session.update_cells("x", [(0, 99.0)])
+    dbms.durability.wal.close()
+    with open(_wal_path(dbms), "ab") as handle:  # test-only tampering
+        handle.write(frame_record({"t": "commit", "txn": 2}))
+    recovered, report = recover(tmp_path)
+    assert isinstance(report, RecoveryReport)
+    assert any("duplicate or orphan commit" in w for w in report.warnings)
+    assert report.records_discarded >= 1
+    assert recovered.view("v1").relation.row(0)[1] == 99.0
+
+
+def test_recovery_survives_orphan_op_records(tmp_path):
+    dbms = durable_dbms(tmp_path)
+    session = dbms.session("v1")
+    session.update_cells("x", [(0, 99.0)])
+    dbms.durability.wal.close()
+    orphan = {"t": "op", "txn": 77, "view": "v1", "op": {"version": 9}}
+    with open(_wal_path(dbms), "ab") as handle:  # test-only tampering
+        handle.write(frame_record(orphan))
+    recovered, report = recover(tmp_path)
+    assert any("outside its transaction" in w for w in report.warnings)
+    assert recovered.view("v1").relation.row(0)[1] == 99.0
+
+
+def test_recovery_survives_unknown_record_types(tmp_path):
+    dbms = durable_dbms(tmp_path)
+    dbms.durability.wal.close()
+    with open(_wal_path(dbms), "ab") as handle:  # test-only tampering
+        handle.write(frame_record({"t": "vacuum", "txn": 50}))
+    recovered, report = recover(tmp_path)
+    assert any("unknown record type" in w for w in report.warnings)
+    assert recovered.registry.names() == ["v1"]
+
+
+def test_recovery_survives_a_torn_tail_mid_transaction(tmp_path):
+    dbms = durable_dbms(tmp_path)
+    session = dbms.session("v1")
+    session.update_cells("x", [(0, 99.0)])
+    session.update_cells("x", [(1, 42.0)])
+    dbms.durability.wal.close()
+    path = _wal_path(dbms)
+    path.write_bytes(path.read_bytes()[:-6])
+    recovered, report = recover(tmp_path)
+    assert report.torn_tail
+    # First transaction survives; the torn one is discarded.
+    assert recovered.view("v1").relation.row(0)[1] == 99.0
+    assert recovered.view("v1").relation.row(1)[1] == 1.0

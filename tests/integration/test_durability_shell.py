@@ -1,0 +1,130 @@
+"""End-to-end durability through the shell: checkpoint, kill, recover, explain.
+
+The scenario the durability layer exists for: an analyst works in the
+shell, the process dies, a fresh shell recovers the durability directory
+and continues — cached statistics, update history, and EXPLAIN ANALYZE all
+intact.  Tracer counters (``wal.*``, ``checkpoint.*``, ``recovery.*``)
+verify the work actually flowed through the WAL and replay machinery.
+"""
+
+import io
+
+import pytest
+
+from repro.core.dbms import StatisticalDBMS
+from repro.core.shell import AnalystShell
+from repro.io import write_csv
+from repro.obs.tracer import Tracer
+from repro.workloads.census import figure1_dataset
+
+
+def make_shell(dbms=None):
+    out = io.StringIO()
+    shell = AnalystShell(dbms or StatisticalDBMS(), stdout=out)
+    shell._out = out  # type: ignore[attr-defined]
+    return shell
+
+
+def run(shell, command):
+    shell._out.truncate(0)
+    shell._out.seek(0)
+    shell.onecmd(command)
+    return shell._out.getvalue()
+
+
+def counter_total(tracer, name):
+    return tracer.counters.get(name, 0) + sum(
+        root.total(name) for root in tracer.roots
+    )
+
+
+@pytest.fixture()
+def census_csv(tmp_path):
+    path = str(tmp_path / "census.csv")
+    write_csv(figure1_dataset(), path)
+    return path
+
+
+def test_checkpoint_kill_recover_explain(tmp_path, census_csv):
+    durability_dir = str(tmp_path / "dur")
+    tracer = Tracer()
+
+    # -- session one: work, checkpoint, more work, then die -----------------
+    first = make_shell(StatisticalDBMS(tracer=tracer))
+    run(first, f"load {census_csv} census")
+    run(first, "view people census")
+    run(first, "open people")
+    out = run(first, f"durability {durability_dir}")
+    assert "durability on" in out
+    stat_out = run(first, "stat mean AVE_SALARY")
+    live_mean = float(stat_out.strip().rsplit("=", 1)[1])
+    run(first, "set AVE_SALARY 0 50")
+    assert "checkpointed" in run(first, "checkpoint")
+    run(first, "set AVE_SALARY 1 60")  # post-checkpoint: lives only in the WAL
+    run(first, "undo 1")
+    run(first, "set AVE_SALARY 2 70")
+
+    assert counter_total(tracer, "wal.append") > 0
+    assert counter_total(tracer, "wal.fsync") > 0
+    assert counter_total(tracer, "checkpoint.write") >= 2  # enable + command
+    killed_rows = [tuple(row) for row in first.dbms.view("people").relation]
+    killed_version = first.dbms.view("people").history.version
+    # Kill: flush what the OS had, abandon the process state.
+    first.dbms.durability.wal.close()
+    del first
+
+    # -- session two: recover and continue ----------------------------------
+    second_tracer = Tracer()
+    second = make_shell(StatisticalDBMS(tracer=second_tracer))
+    out = run(second, f"recover {durability_dir}")
+    assert "recovered 1 view(s)" in out
+    assert "checkpoint=yes" in out
+    assert "people" in out
+
+    view = second.dbms.view("people")
+    assert [tuple(row) for row in view.relation] == killed_rows
+    assert view.history.version == killed_version
+    assert counter_total(second_tracer, "recovery.replayed") >= 2
+
+    # The session continues exactly where the committed prefix ended.
+    run(second, "open people")
+    out = run(second, "stat mean AVE_SALARY")
+    recovered_mean = float(out.strip().rsplit("=", 1)[1])
+    ages = view.column("AVE_SALARY")
+    assert recovered_mean == pytest.approx(sum(ages) / len(ages))
+    assert recovered_mean != pytest.approx(live_mean)  # the edits survived
+
+    out = run(second, "explain SELECT AVE_SALARY FROM v WHERE AVE_SALARY > 40")
+    assert "scan" in out.lower()
+    assert "rows" in out.lower()
+
+
+def test_recover_discards_uncommitted_tail_via_shell(tmp_path, census_csv):
+    durability_dir = str(tmp_path / "dur")
+    first = make_shell()
+    run(first, f"load {census_csv} census")
+    run(first, "view people census")
+    run(first, "open people")
+    run(first, f"durability {durability_dir}")
+    run(first, "set AVE_SALARY 0 50")
+    # Simulate dying inside a transaction: append begin+op with no commit.
+    manager = first.dbms.durability
+    operations = first.dbms.view("people").history.operations()
+    manager.wal.append({"t": "begin", "txn": 99, "view": "people"})
+    manager.wal.close()
+
+    tracer = Tracer()
+    second = make_shell(StatisticalDBMS(tracer=tracer))
+    out = run(second, f"recover {durability_dir}")
+    assert "recovered 1 view(s)" in out
+    view = second.dbms.view("people")
+    assert view.relation.row(0)[view.schema.index_of("AVE_SALARY")] == 50
+    assert len(view.history.operations()) == len(operations)
+    assert counter_total(tracer, "recovery.discarded") >= 1
+
+
+def test_checkpoint_without_durability_reports_cleanly(census_csv):
+    shell = make_shell()
+    out = run(shell, "checkpoint")
+    assert "error" in out
+    assert "durability" in out

@@ -312,3 +312,58 @@ class TestTracerConstructInHotPath:
         """
         assert lint(code, path="benchmarks/bench_x.py", select={"REPRO-A107"}) == []
         assert lint(code, path="src/repro/bench/harness.py", select={"REPRO-A107"}) == []
+
+
+class TestDurabilityIo:
+    def test_constant_wal_path_flagged(self):
+        code = """
+        def sneak(directory):
+            with open(directory / "log.wal", "rb") as handle:
+                return handle.read()
+        """
+        findings = lint(code, path="src/repro/core/session.py", select={"REPRO-A108"})
+        assert rule_ids(findings) == ["REPRO-A108"]
+
+    def test_checkpoint_constant_flagged(self):
+        code = """
+        def sneak(directory):
+            return open(directory / "checkpoint.json").read()
+        """
+        findings = lint(code, path="src/repro/core/dbms.py", select={"REPRO-A108"})
+        assert rule_ids(findings) == ["REPRO-A108"]
+
+    def test_variable_named_wal_flagged(self):
+        code = """
+        def sneak(wal_path):
+            return open(wal_path, "ab")
+        """
+        findings = lint(code, path="src/repro/core/shell.py", select={"REPRO-A108"})
+        assert rule_ids(findings) == ["REPRO-A108"]
+
+    def test_attribute_receiver_flagged(self):
+        code = """
+        def sneak(manager):
+            return manager.checkpoint_path.open("wb")
+        """
+        findings = lint(code, path="src/repro/core/shell.py", select={"REPRO-A108"})
+        assert rule_ids(findings) == ["REPRO-A108"]
+
+    def test_unrelated_open_passes(self):
+        code = """
+        def load(path):
+            with open(path, "r") as handle:
+                return handle.read()
+        """
+        assert lint(code, path="src/repro/io/csvio.py", select={"REPRO-A108"}) == []
+
+    def test_durability_package_exempt(self):
+        code = """
+        def scan(path):
+            return open(path.parent / "log.wal", "rb").read()
+        """
+        for module in (
+            "src/repro/durability/wal.py",
+            "src/repro/durability/checkpoint.py",
+            "src/repro/durability/recovery.py",
+        ):
+            assert lint(code, path=module, select={"REPRO-A108"}) == []

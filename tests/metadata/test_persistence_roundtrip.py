@@ -1,0 +1,149 @@
+"""Round-trip regressions for the persistence codec the WAL depends on.
+
+The durability layer serializes operations and histories with the same
+functions as Management Database snapshots; these tests pin the edge cases
+a crash-recovery cycle must survive: NA transitions in either direction,
+empty histories, burned (undone) version numbers, and JSON transport.
+"""
+
+import json
+
+import pytest
+
+from repro.core.errors import MetadataError
+from repro.metadata.persistence import (
+    history_from_dict,
+    history_to_dict,
+    operation_from_dict,
+    operation_to_dict,
+    value_from_jsonable,
+    value_to_jsonable,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import NA, DataType, is_na
+from repro.views.history import CellChange, OpKind, UpdateHistory
+
+
+def through_json(data):
+    """Simulate the WAL/snapshot transport: a real JSON round trip."""
+    return json.loads(json.dumps(data))
+
+
+# -- cell values -------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "value", [0, -7, 3.25, -1e300, "", "text", True, False, None]
+)
+def test_plain_values_round_trip(value):
+    assert value_from_jsonable(through_json(value_to_jsonable(value))) == value
+
+
+def test_na_round_trips_explicitly():
+    encoded = through_json(value_to_jsonable(NA))
+    assert encoded == {"__na__": True}
+    assert is_na(value_from_jsonable(encoded))
+
+
+def test_unpersistable_values_are_rejected():
+    with pytest.raises(MetadataError):
+        value_to_jsonable(object())
+
+
+# -- operations --------------------------------------------------------------
+
+
+def test_operation_with_na_transitions_round_trips():
+    operation = UpdateHistory("v").record(
+        OpKind.INVALIDATE,
+        "x",
+        [
+            CellChange(row=0, old=4.5, new=NA),  # value invalidated
+            CellChange(row=3, old=NA, new=2.0),  # NA repaired
+            CellChange(row=5, old=NA, new=NA),
+        ],
+        description="suspicious ages",
+    )
+    restored = operation_from_dict(through_json(operation_to_dict(operation)))
+    assert restored.version == operation.version
+    assert restored.kind is OpKind.INVALIDATE
+    assert restored.attribute == "x"
+    assert restored.description == "suspicious ages"
+    assert restored.changes[0].old == 4.5 and is_na(restored.changes[0].new)
+    assert is_na(restored.changes[1].old) and restored.changes[1].new == 2.0
+    assert is_na(restored.changes[2].old) and is_na(restored.changes[2].new)
+
+
+def test_operation_with_no_changes_round_trips():
+    operation = UpdateHistory("v").record(OpKind.UPDATE, "x", [])
+    restored = operation_from_dict(through_json(operation_to_dict(operation)))
+    assert restored.changes == ()
+    assert restored.cells_changed == 0
+
+
+def test_operation_description_defaults_when_absent():
+    data = operation_to_dict(UpdateHistory("v").record(OpKind.UPDATE, "x", []))
+    del data["description"]
+    assert operation_from_dict(data).description == ""
+
+
+# -- histories ---------------------------------------------------------------
+
+
+def test_empty_history_round_trips():
+    history = UpdateHistory("fresh")
+    restored = history_from_dict(through_json(history_to_dict(history)))
+    assert restored.view_name == "fresh"
+    assert len(restored) == 0
+    assert restored.version == 0
+    # The next recorded operation starts at v1, exactly as live.
+    assert restored.record(OpKind.UPDATE, "x", []).version == 1
+
+
+def test_history_with_burned_versions_keeps_the_high_water_mark():
+    """Undo burns versions; the snapshot must not hand them out again."""
+    schema = Schema([Attribute("x", DataType.FLOAT)])
+    relation = Relation("v", schema, [[1.0], [2.0]])
+    history = UpdateHistory("v")
+    for version in (1, 2, 3):
+        old = relation.set_value(0, "x", float(version * 10))
+        history.record(
+            OpKind.UPDATE, "x", [CellChange(0, old, float(version * 10))]
+        )
+    history.undo_last(relation, 2)  # burns v2 and v3
+    assert history.version == 3 and len(history) == 1
+
+    restored = history_from_dict(through_json(history_to_dict(history)))
+    assert len(restored) == 1
+    assert restored.version == 3
+    assert restored.record(OpKind.UPDATE, "x", []).version == 4
+
+
+def test_legacy_snapshot_without_next_version_still_loads():
+    history = UpdateHistory("v")
+    history.record(OpKind.UPDATE, "x", [CellChange(0, 1.0, 2.0)])
+    data = history_to_dict(history)
+    del data["next_version"]  # pre-durability snapshot shape
+    restored = history_from_dict(data)
+    assert restored.version == 1
+    assert restored.record(OpKind.UPDATE, "x", []).version == 2
+
+
+def test_history_operations_survive_na_and_order():
+    history = UpdateHistory("v")
+    history.record(OpKind.UPDATE, "a", [CellChange(0, NA, 5.0)])
+    history.record(OpKind.INVALIDATE, "b", [CellChange(1, 7.0, NA)])
+    restored = history_from_dict(through_json(history_to_dict(history)))
+    kinds = [op.kind for op in restored.operations()]
+    assert kinds == [OpKind.UPDATE, OpKind.INVALIDATE]
+    assert restored.operations_since(1)[0].attribute == "b"
+
+
+def test_restore_rejects_version_regressions():
+    from repro.core.errors import HistoryError
+
+    history = UpdateHistory("v")
+    operation = history.record(OpKind.UPDATE, "x", [])
+    with pytest.raises(HistoryError):
+        history.restore(operation)  # v1 <= current high-water mark
