@@ -414,7 +414,9 @@ class AnalystSession:
         with self.tracer.span("undo", count=count):
             undone = self.view.history.undo_last(self.view.relation, count)
             if self.durability is not None:
-                self.durability.log_undo(self.view.name, count)
+                self.durability.log_undo(
+                    self.view.name, count, versions=[op.version for op in undone]
+                )
             inverses: dict[str, list[Delta]] = {}
             rows_by_attr: dict[str, list[int]] = {}
             for operation in undone:

@@ -170,7 +170,13 @@ class Checkpointer:
         return self.directory / CHECKPOINT_NAME
 
     def write(self, dbms: Any) -> Path:
-        """Snapshot ``dbms`` atomically; returns the snapshot path."""
+        """Snapshot ``dbms`` atomically; returns the snapshot path.
+
+        The rename is the commit point, and it is only durable once the
+        directory entry reaches disk — hence the directory fsync after
+        :func:`os.replace`, *before* the caller may truncate the WAL on
+        the snapshot's authority.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         payload = json.dumps(snapshot_dbms(dbms), indent=1).encode("utf-8")
         tmp = self.path.with_name(CHECKPOINT_NAME + ".tmp")
@@ -180,7 +186,8 @@ class Checkpointer:
             handle.sync()
         finally:
             handle.close()
-        os.replace(tmp, self.path)
+        self.faults.replace(tmp, self.path)
+        self.faults.fsync_directory(self.directory)
         self.tracer.add("checkpoint.write")
         self.tracer.add("checkpoint.bytes", len(payload))
         return self.path

@@ -3,11 +3,18 @@
 The recovery protocol is only trustworthy if it survives a crash at *every*
 I/O point, not just the ones a hand-written test happens to hit.  A
 :class:`FaultPlan` names one I/O operation by ordinal — "die on the 7th
-write", "die on the 2nd fsync" — and a :class:`FaultInjector` counts every
-write/fsync the WAL and checkpointer perform, raising
+write", "die on the 2nd fsync", "die on the 1st rename" — and a
+:class:`FaultInjector` counts every write, fsync, file open, and
+:func:`os.replace` the WAL and checkpointer perform, raising
 :class:`~repro.core.errors.InjectedFault` when the planned operation
 arrives.  ``torn`` mode writes only a prefix of the buffer before dying, so
 the log ends in a half-written frame exactly as a real power cut leaves it.
+
+Opens and renames matter as much as writes: the checkpoint protocol's
+commit point is an ``os.replace``, and the WAL is truncated by a
+truncating ``open``.  A sweep that cannot die *between* those two steps
+(checkpoint durable, log not yet truncated) would never exercise the
+replay-idempotence guards, so both are first-class fault points.
 
 Because the counters are global to the injector, a crash-point sweep is a
 loop: run the same workload with ``FaultPlan(fail_on_write=k)`` for every
@@ -39,16 +46,26 @@ class FaultPlan:
     fail_on_write:
         Die on the Nth file write (``None`` = never).
     fail_on_fsync:
-        Die on the Nth fsync (``None`` = never).
+        Die on the Nth fsync — file or directory (``None`` = never).
+    fail_on_open:
+        Die on the Nth file open, *before* the file is touched, so a
+        fault at a truncating open leaves the old contents intact
+        (``None`` = never).
+    fail_on_replace:
+        Die on the Nth :func:`os.replace`, before the rename happens
+        (``None`` = never).
     fail_on_block_write:
         Die on the Nth simulated-disk block write (``None`` = never).
     mode:
         ``"raise"`` dies cleanly before the write; ``"torn"`` writes the
-        first half of the buffer, then dies (fsync faults always raise).
+        first half of the buffer, then dies (fsync/open/replace faults
+        always raise).
     """
 
     fail_on_write: int | None = None
     fail_on_fsync: int | None = None
+    fail_on_open: int | None = None
+    fail_on_replace: int | None = None
     fail_on_block_write: int | None = None
     mode: str = "raise"
 
@@ -57,7 +74,13 @@ class FaultPlan:
             raise DurabilityError(
                 f"unknown fault mode {self.mode!r}; choose from {FAULT_MODES}"
             )
-        for name in ("fail_on_write", "fail_on_fsync", "fail_on_block_write"):
+        for name in (
+            "fail_on_write",
+            "fail_on_fsync",
+            "fail_on_open",
+            "fail_on_replace",
+            "fail_on_block_write",
+        ):
             value = getattr(self, name)
             if value is not None and value < 1:
                 raise DurabilityError(f"{name} must be >= 1, got {value}")
@@ -79,13 +102,39 @@ class FaultInjector:
         self.plan = plan or NO_FAULTS
         self.writes = 0
         self.fsyncs = 0
+        self.opens = 0
+        self.replaces = 0
         self.block_writes = 0
 
     # -- file I/O hooks ----------------------------------------------------
 
     def open(self, path: str | os.PathLike, mode: str = "ab") -> "FaultyFile":
-        """Open a real file wrapped so its writes/fsyncs are counted."""
+        """Open a real file wrapped so its writes/fsyncs are counted.
+
+        The open itself is a fault point, and a fault fires *before* the
+        file is touched — crucial for truncating modes (``wb``), where
+        dying at the open must leave the old contents on disk.
+        """
+        self.opens += 1
+        if self.plan.fail_on_open is not None and self.opens >= self.plan.fail_on_open:
+            raise InjectedFault(f"injected fault on open #{self.opens} of {path}")
         return FaultyFile(open(path, mode), self)
+
+    def replace(self, src: str | os.PathLike, dst: str | os.PathLike) -> None:
+        """Perform one counted :func:`os.replace`, honouring the plan.
+
+        The rename is the checkpoint protocol's commit point; a fault
+        fires before it happens, leaving ``dst`` untouched.
+        """
+        self.replaces += 1
+        if (
+            self.plan.fail_on_replace is not None
+            and self.replaces >= self.plan.fail_on_replace
+        ):
+            raise InjectedFault(
+                f"injected fault on replace #{self.replaces} ({src} -> {dst})"
+            )
+        os.replace(src, dst)
 
     def write(self, handle: IO[bytes], data: bytes) -> None:
         """Perform one counted write, honouring the plan."""
@@ -106,6 +155,21 @@ class FaultInjector:
             raise InjectedFault(f"injected fault on fsync #{self.fsyncs}")
         handle.flush()
         os.fsync(handle.fileno())
+
+    def fsync_directory(self, path: str | os.PathLike) -> None:
+        """Counted directory fsync: makes a rename or creation durable.
+
+        Shares the fsync counter (and ``fail_on_fsync`` ordinal) with file
+        fsyncs, so the sweep covers crashes between a rename and its
+        durability point.  The fsync itself is best-effort — platforms or
+        filesystems without directory fsync are silently tolerated.
+        """
+        self.fsyncs += 1
+        if self.plan.fail_on_fsync is not None and self.fsyncs >= self.plan.fail_on_fsync:
+            raise InjectedFault(
+                f"injected fault on fsync #{self.fsyncs} (directory {path})"
+            )
+        fsync_directory(path)
 
     # -- simulated-disk hook ----------------------------------------------
 
@@ -162,3 +226,24 @@ class FaultyFile:
 
     def __getattr__(self, name: str) -> Any:
         return getattr(self._handle, name)
+
+
+def fsync_directory(path: str | os.PathLike) -> None:
+    """Best-effort fsync of a directory, making renames/creations durable.
+
+    A successful :func:`os.replace` only guarantees the new name once the
+    containing directory's metadata reaches disk; until then a power loss
+    can resurrect the old file.  Platforms or filesystems that refuse to
+    fsync a directory (some network mounts, Windows) are tolerated: the
+    protocol degrades to what the OS provides.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

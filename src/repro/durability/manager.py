@@ -7,7 +7,9 @@ transactions:
 * ``log_view_created`` — a new concrete view (definition, schema, rows);
 * ``log_operations`` — the logged update/invalidate operations one analyst
   action recorded (begin → one ``op`` frame each → commit+fsync);
-* ``log_undo`` — an undo of the last *n* operations;
+* ``log_undo`` — an undo of the last *n* operations (with the undone
+  version numbers, so replay can tell whether a checkpoint already
+  reflects the undo);
 * ``log_drop`` — a view removal;
 * ``checkpoint`` — snapshot the bound DBMS atomically, then truncate the
   log (every logged transaction is now inside the snapshot).
@@ -126,11 +128,24 @@ class DurabilityManager:
             ],
         )
 
-    def log_undo(self, view_name: str, count: int) -> None:
-        """Log an undo of the last ``count`` operations."""
-        self._log_transaction(
-            view_name, [{"t": "undo", "view": view_name, "count": count}]
-        )
+    def log_undo(
+        self, view_name: str, count: int, versions: Sequence[int] | None = None
+    ) -> None:
+        """Log an undo of the last ``count`` operations.
+
+        ``versions`` — the undone operations' version numbers, newest
+        first — is the replay-idempotence key: recovery applies the undo
+        only when the history's tail still holds exactly those versions.
+        Without it, a crash after a checkpoint but before the WAL is
+        truncated would replay the undo against the *post-undo* snapshot
+        and silently revert an older committed operation (versions are
+        monotonic and never reissued, so a matching tail is proof the
+        undo has not happened yet).
+        """
+        record: dict[str, Any] = {"t": "undo", "view": view_name, "count": count}
+        if versions is not None:
+            record["versions"] = list(versions)
+        self._log_transaction(view_name, [record])
 
     def log_drop(self, view_name: str) -> None:
         """Log a view removal."""

@@ -17,10 +17,19 @@ durability directory in three phases:
    :meth:`~repro.views.history.UpdateHistory.undo_last` and propagate the
    inverse deltas, mirroring a live session's undo.
 3. **Tail handling** — the first torn or corrupt frame ends the trusted
-   log; an uncommitted transaction at the tail is discarded, and summary
-   entries over the attributes it *mentioned* are conservatively marked
-   stale (the data never changed, but the died-mid-transaction signal is
-   treated as grounds for recomputation on next lookup).
+   log; the file is truncated back to that trusted prefix (so the new
+   manager's appends stay reachable to future scans), an uncommitted
+   transaction at the tail is discarded, and summary entries over the
+   attributes it *mentioned* are conservatively marked stale (the data
+   never changed, but the died-mid-transaction signal is treated as
+   grounds for recomputation on next lookup).
+
+Replay is idempotent against a checkpoint that already contains logged
+work — the crash window between a checkpoint's ``os.replace`` and the WAL
+truncation leaves both on disk.  Op records are skipped when their version
+is at or below the history's high-water mark; undo records carry the
+version numbers they removed and are skipped unless the history's tail
+still holds exactly those versions.
 
 Every anomaly (duplicate commit, orphan record, unknown view, version
 regression) becomes a warning in the :class:`RecoveryReport`, never an
@@ -74,11 +83,14 @@ class RecoveryReport:
     records_discarded: int = 0
     entries_marked_stale: int = 0
     torn_tail: bool = False
+    tail_bytes_truncated: int = 0
     warnings: list[str] = field(default_factory=list)
 
     def summary(self) -> str:
         """One-line human rendering (the shell prints this)."""
         tail = ", torn tail" if self.torn_tail else ""
+        if self.tail_bytes_truncated:
+            tail += f" ({self.tail_bytes_truncated} byte(s) truncated)"
         return (
             f"recovered {len(self.views)} view(s) "
             f"(checkpoint={'yes' if self.checkpoint_loaded else 'no'}): "
@@ -129,6 +141,19 @@ def recover(
     scan = WriteAheadLog(manager.directory / WAL_NAME, tracer=sink).scan()
     report.torn_tail = scan.torn_tail
     report.warnings.extend(scan.warnings)
+    if scan.torn_tail:
+        # Cut the log back to the trusted prefix *now*: the manager
+        # appends in 'ab' mode, and new commits written after leftover
+        # corrupt bytes would be unreachable to the next scan — durable
+        # on disk yet silently discarded by the next recovery.
+        removed = manager.wal.truncate_tail(scan.bytes_scanned)
+        if removed:
+            report.tail_bytes_truncated = removed
+            report.warnings.append(
+                f"truncated {removed} untrusted byte(s) after the last "
+                f"readable frame"
+            )
+            sink.add("recovery.tail_truncated_bytes", removed)
 
     committed, tail, max_txn = _group_transactions(scan.records, report)
     if report.records_discarded:
@@ -321,6 +346,24 @@ def _replay_undo(
         return
     view = dbms.registry.get(name)
     count = int(record.get("count", 1))
+    versions = record.get("versions")
+    if versions:
+        # Idempotence guard, the undo analogue of the op-record version
+        # check: versions are monotonic and never reissued, so the undo
+        # applies iff the history's tail still holds exactly the versions
+        # it removed live.  A mismatched tail means the checkpoint was
+        # taken *after* the undo (crash landed between the snapshot's
+        # rename and the WAL truncation) — replaying it again would
+        # revert an older committed operation.
+        count = len(versions)
+        tail = [op.version for op in view.history.operations()[-count:]]
+        if list(reversed(tail)) != list(versions):
+            report.warnings.append(
+                f"undo of versions {versions} on view {name!r} already "
+                f"reflected in the checkpoint; skipped"
+            )
+            report.records_discarded += 1
+            return
     if count < 1 or count > len(view.history):
         report.warnings.append(
             f"undo of {count} operation(s) on view {name!r} with "

@@ -117,6 +117,29 @@ class WriteAheadLog:
             handle.sync()
         finally:
             handle.close()
+        self.faults.fsync_directory(self.path.parent)
+
+    def truncate_tail(self, length: int) -> int:
+        """Cut the log back to its trusted ``length``-byte prefix.
+
+        Recovery calls this after a scan stops at a torn or corrupt frame:
+        the untrusted tail bytes must go *before* new transactions are
+        appended, or the next scan would stop at the old damage and
+        silently discard everything committed after it.  Returns the
+        number of bytes removed (0 when the log is already short enough).
+        """
+        self.close()
+        current = self.size_bytes
+        if current <= length:
+            return 0
+        handle = self.faults.open(self.path, "r+b")
+        try:
+            handle.truncate(length)
+            handle.sync()
+        finally:
+            handle.close()
+        self.faults.fsync_directory(self.path.parent)
+        return current - length
 
     def close(self) -> None:
         """Close the append handle (scans use their own)."""
@@ -135,7 +158,13 @@ class WriteAheadLog:
     def _writer(self) -> FaultyFile:
         if self._handle is None or self._handle.closed:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            created = not self.path.exists()
             self._handle = self.faults.open(self.path, "ab")
+            if created:
+                # A brand-new log file is only durable once its directory
+                # entry is; fsync the directory so the first commit cannot
+                # outlive the file that holds it.
+                self.faults.fsync_directory(self.path.parent)
         return self._handle
 
     # -- scanning ----------------------------------------------------------

@@ -428,7 +428,12 @@ def management_from_dict(data: dict) -> ManagementDatabase:
     }
     for view_data in data.get("views", []):
         definition = definition_from_dict(view_data)
-        history = histories.get(definition.name) or UpdateHistory(definition.name)
+        # An explicit None check: an empty history is falsy (__len__ == 0)
+        # yet may still carry a burned high-water mark (next_version > 1)
+        # that `or` would silently throw away.
+        history = histories.get(definition.name)
+        if history is None:
+            history = UpdateHistory(definition.name)
         management.register_view(definition, history)
     for item in data.get("policies", []):
         management.set_policy(

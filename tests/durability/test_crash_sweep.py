@@ -113,15 +113,15 @@ def reference_states(actions) -> list[tuple]:
 # -- the sweep ---------------------------------------------------------------
 
 
-def schedule_size(tmp_path, actions, checkpoint_at) -> tuple[int, int]:
-    """Dry-run the workload; returns (total writes, total fsyncs)."""
+def schedule_size(tmp_path, actions, checkpoint_at) -> tuple[int, int, int, int]:
+    """Dry-run the workload; returns total (writes, fsyncs, opens, replaces)."""
     injector = FaultInjector()
     dbms = make_durable_dbms(tmp_path / "dry", injector)
     progress = {"completed": 0}
     run_workload(dbms, actions, checkpoint_at, progress)
     assert progress["completed"] == len(actions)
     dbms.durability.close()
-    return injector.writes, injector.fsyncs
+    return injector.writes, injector.fsyncs, injector.opens, injector.replaces
 
 
 def crash_and_check(directory, actions, checkpoint_at, plan, states) -> None:
@@ -179,7 +179,7 @@ def crash_and_check(directory, actions, checkpoint_at, plan, states) -> None:
 
 def sweep(tmp_path, actions, checkpoint_at, modes=("raise", "torn")) -> None:
     states = reference_states(actions)
-    writes, fsyncs = schedule_size(tmp_path, actions, checkpoint_at)
+    writes, fsyncs, opens, replaces = schedule_size(tmp_path, actions, checkpoint_at)
     for mode in modes:
         for k in range(1, writes + 1):
             crash_and_check(
@@ -197,6 +197,26 @@ def sweep(tmp_path, actions, checkpoint_at, modes=("raise", "torn")) -> None:
             FaultPlan(fail_on_fsync=k),
             states,
         )
+    # Opens and replaces cover the protocol's structural seams: dying at
+    # the checkpoint's os.replace, or at the truncating open that follows
+    # it (checkpoint durable, WAL still holding already-snapshotted
+    # transactions), must leave replay idempotent.
+    for k in range(1, opens + 1):
+        crash_and_check(
+            tmp_path / f"o{k}",
+            actions,
+            checkpoint_at,
+            FaultPlan(fail_on_open=k),
+            states,
+        )
+    for k in range(1, replaces + 1):
+        crash_and_check(
+            tmp_path / f"r{k}",
+            actions,
+            checkpoint_at,
+            FaultPlan(fail_on_replace=k),
+            states,
+        )
 
 
 # -- entry points ------------------------------------------------------------
@@ -207,7 +227,7 @@ def test_crash_sweep_covers_every_write_point(tmp_path, seed):
     """Every write and fsync ordinal of a >=50-write schedule, three seeds."""
     actions = build_actions(random.Random(seed), 17)
     checkpoint_at = len(actions) // 2
-    writes, _ = schedule_size(tmp_path / "size", actions, checkpoint_at)
+    writes, _, _, _ = schedule_size(tmp_path / "size", actions, checkpoint_at)
     assert writes >= 50, "schedule must contain at least 50 writes"
     sweep(tmp_path, actions, checkpoint_at)
 
@@ -245,7 +265,7 @@ def test_crash_sweep_hypothesis_workloads(tmp_path_factory, actions, data):
         label="checkpoint_at",
     )
     states = reference_states(actions)
-    writes, fsyncs = schedule_size(tmp_path, actions, checkpoint_at)
+    writes, fsyncs, opens, _ = schedule_size(tmp_path, actions, checkpoint_at)
     k = data.draw(st.integers(min_value=1, max_value=writes), label="crash write")
     mode = data.draw(st.sampled_from(["raise", "torn"]), label="mode")
     crash_and_check(
@@ -261,5 +281,13 @@ def test_crash_sweep_hypothesis_workloads(tmp_path_factory, actions, data):
         actions,
         checkpoint_at,
         FaultPlan(fail_on_fsync=j),
+        states,
+    )
+    o = data.draw(st.integers(min_value=1, max_value=opens), label="crash open")
+    crash_and_check(
+        tmp_path / f"hyp-o{o}",
+        actions,
+        checkpoint_at,
+        FaultPlan(fail_on_open=o),
         states,
     )

@@ -18,6 +18,8 @@ def test_plan_rejects_unknown_mode():
     [
         {"fail_on_write": 0},
         {"fail_on_fsync": -1},
+        {"fail_on_open": 0},
+        {"fail_on_replace": -2},
         {"fail_on_block_write": 0},
     ],
 )
@@ -95,6 +97,36 @@ def test_wal_appends_route_through_the_injector(tmp_path):
     scan = wal.scan()
     assert scan.clean
     assert [r["t"] for r in scan.records] == ["begin"]
+
+
+def test_open_fault_fires_before_a_truncating_open(tmp_path):
+    """Dying at a 'wb' open must leave the old contents on disk."""
+    path = tmp_path / "f.bin"
+    path.write_bytes(b"precious")
+    injector = FaultInjector(FaultPlan(fail_on_open=1))
+    with pytest.raises(InjectedFault):
+        injector.open(path, "wb")
+    assert path.read_bytes() == b"precious"
+    assert injector.opens == 1
+
+
+def test_replace_fault_leaves_the_destination_untouched(tmp_path):
+    src, dst = tmp_path / "new", tmp_path / "cur"
+    src.write_bytes(b"new")
+    dst.write_bytes(b"old")
+    injector = FaultInjector(FaultPlan(fail_on_replace=1))
+    with pytest.raises(InjectedFault):
+        injector.replace(src, dst)
+    assert dst.read_bytes() == b"old"
+    FaultInjector().replace(src, dst)
+    assert dst.read_bytes() == b"new"
+
+
+def test_directory_fsync_counts_toward_the_fsync_plan(tmp_path):
+    injector = FaultInjector(FaultPlan(fail_on_fsync=1))
+    with pytest.raises(InjectedFault):
+        injector.fsync_directory(tmp_path)
+    assert injector.fsyncs == 1
 
 
 def test_simulated_disk_honours_block_write_plan():

@@ -164,6 +164,58 @@ def test_torn_tail_marks_mentioned_attributes_stale(tmp_path):
     assert tracer.counters.get("recovery.discarded", 0) >= 1
 
 
+def test_undo_replay_is_idempotent_after_untruncated_checkpoint(tmp_path):
+    """A checkpoint that lands before the WAL truncation must not re-undo.
+
+    Crash window: ``Checkpointer.write`` finished (os.replace durable) but
+    ``wal.truncate`` never ran.  The snapshot already reflects the undo;
+    replaying the log's undo record against it used to revert the *older*
+    committed operation (111.0 back to 0.0).
+    """
+    dbms = durable_dbms(tmp_path)
+    session = dbms.session("v1")
+    session.update_cells("x", [(0, 111.0)])
+    session.update_cells("x", [(0, 222.0)])
+    session.undo(1)
+    # The checkpoint without the truncation == dying between the two.
+    dbms.durability.checkpointer.write(dbms)
+
+    recovered, report = recover(tmp_path)
+    assert recovered.view("v1").relation.row(0)[1] == 111.0
+    assert recovered.view("v1").history.version == dbms.view("v1").history.version
+    assert report.undos_replayed == 0
+    assert any("already reflected" in w for w in report.warnings)
+    # The recovered system keeps working: a fresh undo reverts 111.0.
+    recovered.session("v1").undo(1)
+    assert recovered.view("v1").relation.row(0)[1] == 0.0
+
+
+def test_recovery_truncates_corrupt_tail_so_new_commits_survive(tmp_path):
+    """Work committed after a torn-tail recovery must survive the *next* one.
+
+    Recovery used to leave the corrupt bytes in place; the new manager
+    appended perfectly good transactions after them, and the next scan
+    stopped at the old damage — silently discarding the new commits.
+    """
+    dbms = durable_dbms(tmp_path)
+    session = dbms.session("v1")
+    session.update_cells("x", [(0, 100.0)])
+    dbms.durability.wal.close()
+    path = dbms.durability.wal_path
+    path.write_bytes(path.read_bytes() + b"\x13\x37corrupt-tail")
+
+    recovered, report = recover(tmp_path)
+    assert report.torn_tail
+    assert report.tail_bytes_truncated == len(b"\x13\x37corrupt-tail")
+    # New work on the recovered system lands after the trusted prefix...
+    recovered.session("v1").update_cells("x", [(1, 50.0)])
+
+    recovered2, report2 = recover(tmp_path)
+    assert not report2.torn_tail
+    assert recovered2.view("v1").relation.row(0)[1] == 100.0
+    assert recovered2.view("v1").relation.row(1)[1] == 50.0
+
+
 def test_recovery_tracer_counters(tmp_path):
     tracer = Tracer()
     dbms = durable_dbms(tmp_path)

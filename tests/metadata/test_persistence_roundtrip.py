@@ -120,6 +120,34 @@ def test_history_with_burned_versions_keeps_the_high_water_mark():
     assert restored.record(OpKind.UPDATE, "x", []).version == 4
 
 
+def test_empty_history_with_burned_versions_survives_management_snapshot():
+    """The management-level restore must not drop an empty-but-burned history.
+
+    After every operation is undone the history has len() == 0 — falsy —
+    yet its high-water mark matters; a truthiness shortcut in
+    ``management_from_dict`` used to replace it with a fresh version-0
+    history, reissuing burned versions after recovery.
+    """
+    from repro.metadata.management import ManagementDatabase
+    from repro.metadata.persistence import management_from_dict, management_to_dict
+    from repro.views.materialize import SourceNode, ViewDefinition
+
+    schema = Schema([Attribute("x", DataType.FLOAT)])
+    relation = Relation("v", schema, [[1.0]])
+    history = UpdateHistory("v")
+    old = relation.set_value(0, "x", 9.0)
+    history.record(OpKind.UPDATE, "x", [CellChange(0, old, 9.0)])
+    history.undo_last(relation, 1)  # burns v1; history now empty
+    management = ManagementDatabase()
+    management.register_view(ViewDefinition("v", SourceNode("raw")), history)
+
+    restored = management_from_dict(through_json(management_to_dict(management)))
+    recovered_history = restored.view_history("v")
+    assert len(recovered_history) == 0
+    assert recovered_history.version == 1
+    assert recovered_history.record(OpKind.UPDATE, "x", []).version == 2
+
+
 def test_legacy_snapshot_without_next_version_still_loads():
     history = UpdateHistory("v")
     history.record(OpKind.UPDATE, "x", [CellChange(0, 1.0, 2.0)])
