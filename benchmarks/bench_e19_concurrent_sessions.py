@@ -1,0 +1,172 @@
+"""E19 — Multi-analyst service throughput and latency under load.
+
+The 1982 paper envisions "several concrete views over a single raw
+database" with each view private to one analyst (SS3.2) — but every
+analyst still flows through the shared Management Database, the published
+registry, and (here) one wire server.  E19 measures what that sharing
+costs: N concurrent analysts fire a query-heavy mix (80% snapshot reads,
+20% serialized writes) at one :class:`~repro.server.AnalystServer` and we
+record throughput and p50/p95 per-request latency at each concurrency
+level.
+
+Expected shape: read-mostly workloads scale with concurrency until the
+worker pool saturates (reads share the view's SHARED lock); the write
+fraction serializes on the EXCLUSIVE lock and group commit amortizes its
+fsyncs.  Alongside the printed table the run persists ``BENCH_e19.json``
+(with the server's ``server.*`` / ``lock.*`` / ``wal.*`` counters as its
+``spans``) at the repo root.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+from repro.bench.harness import ExperimentTable, report_table, write_json
+from repro.concurrency import ConcurrentTracer
+from repro.core.dbms import StatisticalDBMS
+from repro.durability.manager import DurabilityManager
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, measure
+from repro.server import AnalystServer, ServerClient, ServerThread
+from repro.views.materialize import SourceNode, ViewDefinition
+
+N_ROWS = 500
+CONCURRENCY_LEVELS = (1, 2, 4, 8)
+REQUESTS_PER_ANALYST = 40
+WRITE_EVERY = 5  # 1 write per 5 requests = 20% writes
+MAX_WORKERS = 8
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_e19.json"
+
+
+def build_dbms(directory, tracer):
+    schema = Schema([measure("x"), measure("y")])
+    rows = [(float(i), float(i % 97)) for i in range(N_ROWS)]
+    dbms = StatisticalDBMS(
+        tracer=tracer, durability=DurabilityManager(directory)
+    )
+    dbms.load_raw(Relation("census", schema, rows))
+    dbms.create_view(ViewDefinition("v", SourceNode("census")), analyst="seed")
+    return dbms
+
+
+def drive_analyst(port, index, latencies_out):
+    """One analyst's request loop; appends per-request latencies (s)."""
+    latencies = []
+    with ServerClient(port=port, timeout_s=60) as conn:
+        conn.handshake(f"analyst{index}")
+        conn.open_view("v")
+        for i in range(REQUESTS_PER_ANALYST):
+            start = time.perf_counter()
+            if i % WRITE_EVERY == WRITE_EVERY - 1:
+                value = float(index * 10_000 + i)
+                conn.update(
+                    "v",
+                    {"y": value},
+                    where={"attribute": "x", "equals": float(i % N_ROWS)},
+                )
+            else:
+                conn.query("v", ("mean", "var", "sum")[i % 3], "y")
+            latencies.append(time.perf_counter() - start)
+    latencies_out.extend(latencies)
+
+
+def percentile(values, fraction):
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+
+def run_level(tmp_path, concurrency):
+    """One concurrency level against a fresh served DBMS."""
+    tracer = ConcurrentTracer()
+    directory = tmp_path / f"wal_c{concurrency}"
+    server = AnalystServer(
+        build_dbms(directory, tracer),
+        tracer=tracer,
+        max_workers=MAX_WORKERS,
+        max_inflight=MAX_WORKERS,
+        max_queue=4 * MAX_WORKERS,
+    )
+    thread = ServerThread(server).start()
+    try:
+        per_thread = [[] for _ in range(concurrency)]
+        workers = [
+            threading.Thread(
+                target=drive_analyst,
+                args=(thread.port, i, per_thread[i]),
+                daemon=True,
+            )
+            for i in range(concurrency)
+        ]
+        started = time.perf_counter()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(120)
+        elapsed = time.perf_counter() - started
+        latencies = [v for bucket in per_thread for v in bucket]
+        counters = tracer.counter_totals()
+    finally:
+        thread.stop()
+    requests = len(latencies)
+    return {
+        "concurrency": concurrency,
+        "requests": requests,
+        "elapsed_s": elapsed,
+        "throughput_rps": requests / elapsed if elapsed else 0.0,
+        "p50_ms": percentile(latencies, 0.50) * 1e3,
+        "p95_ms": percentile(latencies, 0.95) * 1e3,
+        "counters": counters,
+    }
+
+
+def test_e19_concurrent_sessions(tmp_path):
+    table = ExperimentTable(
+        "E19",
+        f"Concurrent analysts over one wire server ({N_ROWS}-row view, "
+        f"{MAX_WORKERS} workers, 20% writes)",
+        ["analysts", "requests", "throughput_rps", "p50_ms", "p95_ms"],
+    )
+    results = []
+    for concurrency in CONCURRENCY_LEVELS:
+        result = run_level(tmp_path, concurrency)
+        results.append(result)
+        table.add_row(
+            result["concurrency"],
+            result["requests"],
+            result["throughput_rps"],
+            result["p50_ms"],
+            result["p95_ms"],
+        )
+        # Sanity: every request was answered and the service counters moved.
+        assert result["requests"] == concurrency * REQUESTS_PER_ANALYST
+        assert result["counters"]["server.request"] >= result["requests"]
+        assert result["counters"]["lock.grant"] > 0
+    table.note("reads share the view's SHARED lock; writes serialize + group-commit")
+    report_table(table)
+
+    metrics = {
+        f"c{r['concurrency']}_throughput_rps": r["throughput_rps"]
+        for r in results
+    }
+    metrics.update(
+        {f"c{r['concurrency']}_p95_ms": r["p95_ms"] for r in results}
+    )
+    write_json(
+        JSON_PATH,
+        [table],
+        metrics,
+        spans={
+            "counters_by_level": {
+                f"c{r['concurrency']}": r["counters"] for r in results
+            }
+        },
+        params={
+            "rows": N_ROWS,
+            "max_workers": MAX_WORKERS,
+            "concurrency_levels": list(CONCURRENCY_LEVELS),
+            "requests_per_analyst": REQUESTS_PER_ANALYST,
+            "write_fraction": 1 / WRITE_EVERY,
+        },
+    )

@@ -21,6 +21,11 @@ The package implements the paper's proposed statistical DBMS end to end:
 * ``repro.views`` — concrete view materialization from tape, update
   histories with undo/rollback, predicate updates, sharing/publication;
 * ``repro.core`` — the DBMS facade and analyst sessions tying it together;
+* ``repro.concurrency`` — the multi-analyst service substrate: per-view
+  reader/writer locks with deadlock detection, snapshot-consistent read
+  transactions, and group commit;
+* ``repro.server`` — an asyncio wire server (length-prefixed JSON frames)
+  plus a blocking client, so many analysts can share one DBMS process;
 * ``repro.workloads`` — census-like generators and EDA/CDA session
   workloads for the benchmarks.
 

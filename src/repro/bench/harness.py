@@ -10,6 +10,7 @@ the perf trajectory without parsing printed output."""
 from __future__ import annotations
 
 import json
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Sequence
@@ -99,11 +100,28 @@ def speedup(baseline: float, improved: float) -> float:
     return baseline / improved
 
 
+def git_sha() -> str | None:
+    """The working tree's commit SHA, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
 def write_json(
     path: str | Path,
     tables: Sequence[ExperimentTable],
     metrics: dict[str, Any] | None = None,
     spans: dict[str, Any] | None = None,
+    params: dict[str, Any] | None = None,
 ) -> Path:
     """Persist benchmark tables (plus scalar metrics) as JSON.
 
@@ -111,10 +129,16 @@ def write_json(
     (speedups, row counts) without re-deriving them from table cells.
     ``spans`` carries tracer output — a ``Tracer.to_dict()`` (or
     ``ExplainResult.to_dict()``) dump — so the per-operation breakdown
-    behind the headline numbers survives alongside them.
+    behind the headline numbers survives alongside them.  ``params``
+    records the run's configuration (worker counts, concurrency levels,
+    dataset sizes) and every payload carries the producing commit's
+    ``git_sha``, so BENCH_*.json files from different PRs are comparable
+    — a latency delta means nothing if the worker pool also changed.
     """
     target = Path(path)
-    payload = {
+    payload: dict[str, Any] = {
+        "git_sha": git_sha(),
+        "params": params or {},
         "tables": [table.to_dict() for table in tables],
         "metrics": metrics or {},
     }

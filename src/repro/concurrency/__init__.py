@@ -1,0 +1,37 @@
+"""Concurrency control for multi-analyst operation (``repro.concurrency``).
+
+The paper's architecture is multi-analyst by construction (SS2.3, SS3.2):
+several private concrete views share one Management Database, published
+edit histories, and — behind the wire server — one process.  This package
+is the only place in the codebase allowed to *construct* locks (lint rule
+REPRO-A109); everything else either acquires them through the
+:class:`LockManager` or holds an injected latch.
+
+Layers:
+
+* :mod:`repro.concurrency.locks` — per-view reader/writer locks with
+  wait-for-graph deadlock detection and acquisition timeouts.
+* :mod:`repro.concurrency.transactions` — the
+  :class:`TransactionCoordinator`: snapshot-consistent reads (pinned
+  version high-water marks), per-view serialized writes, quiesced
+  checkpoints.
+* :mod:`repro.concurrency.groupcommit` — :class:`GroupCommitter`, batching
+  concurrent sessions' WAL transactions into one fsync.
+* :mod:`repro.concurrency.tracing` — :class:`ConcurrentTracer` (per-thread
+  span stacks) and the latch factory for structures like the Summary
+  Database.
+"""
+
+from repro.concurrency.groupcommit import GroupCommitter
+from repro.concurrency.locks import LockManager, LockMode
+from repro.concurrency.tracing import ConcurrentTracer, make_latch
+from repro.concurrency.transactions import TransactionCoordinator
+
+__all__ = [
+    "ConcurrentTracer",
+    "GroupCommitter",
+    "LockManager",
+    "LockMode",
+    "TransactionCoordinator",
+    "make_latch",
+]

@@ -1,0 +1,319 @@
+"""Per-view reader/writer locks with deadlock detection and timeouts.
+
+The paper's architecture is multi-analyst by construction — "we envision
+several concrete views over a single raw database.  Each view is private to
+a single user" (SS3.2) — but private *views* still share the Management
+Database, published histories, and (in this reproduction) the per-view
+Summary Database a wire server hands to many connections.  The
+:class:`LockManager` is the single piece of code allowed to arbitrate that
+sharing: every other module acquires locks through it (lint rule
+REPRO-A109 forbids raw ``threading.Lock`` / ``asyncio.Lock`` construction
+outside ``repro.concurrency`` and ``repro.server``).
+
+Design:
+
+* **Resources are names** (view names, plus reserved names like the
+  registry), not objects — the manager never imports the things it guards.
+* **Two modes.**  SHARED admits any number of readers; EXCLUSIVE admits one
+  writer and nobody else.  Same-session re-acquisition is reentrant (a
+  count per holder); a sole SHARED holder may upgrade to EXCLUSIVE in
+  place.
+* **Writer priority.**  A SHARED request blocks while an EXCLUSIVE request
+  is queued on the same resource, so a stream of readers cannot starve a
+  writer.
+* **Deadlock detection** runs on the wait-for graph at every blocking
+  acquisition: an edge runs from each waiting session to each current
+  holder of the resource it wants (and, transitively, through holders that
+  are themselves waiting).  A request that would close a cycle raises
+  :class:`~repro.core.errors.DeadlockError` immediately — the requester is
+  the victim and keeps everything it already held.
+* **Timeouts.**  Every acquisition carries a deadline (default from the
+  manager); expiry raises :class:`~repro.core.errors.LockTimeoutError`.
+
+Counter names (charged to the injected tracer): ``lock.grant``,
+``lock.wait``, ``lock.deadlock``, ``lock.timeout``, ``lock.wait_s``.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.errors import ConcurrencyError, DeadlockError, LockTimeoutError
+from repro.obs.tracer import NULL_TRACER, AbstractTracer
+
+
+class LockMode(enum.Enum):
+    """How a session wants to hold a resource."""
+
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+@dataclass
+class _ResourceLock:
+    """One resource's holder table."""
+
+    holders: dict[str, tuple[LockMode, int]] = field(default_factory=dict)
+
+    def mode_of(self, session: str) -> LockMode | None:
+        held = self.holders.get(session)
+        return held[0] if held else None
+
+    @property
+    def exclusive_holder(self) -> str | None:
+        for session, (mode, _) in self.holders.items():
+            if mode is LockMode.EXCLUSIVE:
+                return session
+        return None
+
+
+class LockManager:
+    """Reader/writer locks over named resources, for analyst sessions.
+
+    Parameters
+    ----------
+    timeout_s:
+        Default acquisition timeout; ``acquire`` may override per call.
+    tracer:
+        Counter sink (``lock.*``).  Injected, never constructed here
+        (REPRO-A107 discipline applies to this module too).
+    """
+
+    def __init__(
+        self,
+        timeout_s: float = 10.0,
+        tracer: AbstractTracer | None = None,
+    ) -> None:
+        self.timeout_s = timeout_s
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._mutex = threading.Lock()
+        self._granted = threading.Condition(self._mutex)
+        self._locks: dict[str, _ResourceLock] = {}
+        #: session -> (resource, mode) it is currently blocked on.
+        self._waits: dict[str, tuple[str, LockMode]] = {}
+
+    # -- acquisition -------------------------------------------------------
+
+    def acquire(
+        self,
+        session: str,
+        resource: str,
+        mode: LockMode,
+        timeout_s: float | None = None,
+    ) -> None:
+        """Block until ``session`` holds ``resource`` in ``mode``.
+
+        Raises :class:`DeadlockError` when granting would require waiting
+        on a cycle, :class:`LockTimeoutError` on deadline expiry, and
+        :class:`ConcurrencyError` on an unsupported upgrade (a shared
+        holder upgrading while other holders remain *waits*; two such
+        upgraders deadlock and one is chosen as victim).
+        """
+        deadline = time.monotonic() + (
+            self.timeout_s if timeout_s is None else timeout_s
+        )
+        waited = False
+        start = time.monotonic()
+        with self._granted:
+            while True:
+                # Re-fetched every iteration: release() drops a resource's
+                # entry when its last holder leaves, so a woken waiter must
+                # not grant itself on a stale _ResourceLock object.
+                lock = self._locks.setdefault(resource, _ResourceLock())
+                if self._grantable(lock, session, resource, mode):
+                    self._grant(lock, session, mode)
+                    self._waits.pop(session, None)
+                    self.tracer.add("lock.grant")
+                    if waited:
+                        self.tracer.add("lock.wait_s", time.monotonic() - start)
+                    return
+                if not waited:
+                    waited = True
+                    self.tracer.add("lock.wait")
+                self._waits[session] = (resource, mode)
+                victim_cycle = self._find_cycle(session)
+                if victim_cycle:
+                    self._waits.pop(session, None)
+                    self._granted.notify_all()
+                    self.tracer.add("lock.deadlock")
+                    raise DeadlockError(
+                        f"session {session!r} waiting for {mode.value} on "
+                        f"{resource!r} closes a wait-for cycle: "
+                        f"{' -> '.join(victim_cycle)}"
+                    )
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._granted.wait(remaining):
+                    self._waits.pop(session, None)
+                    self._granted.notify_all()
+                    self.tracer.add("lock.timeout")
+                    raise LockTimeoutError(
+                        f"session {session!r} timed out waiting for "
+                        f"{mode.value} lock on {resource!r} "
+                        f"(held by {sorted(lock.holders)})"
+                    )
+
+    def release(self, session: str, resource: str) -> None:
+        """Release one level of ``session``'s hold on ``resource``."""
+        with self._granted:
+            lock = self._locks.get(resource)
+            held = lock.holders.get(session) if lock else None
+            if lock is None or held is None:
+                raise ConcurrencyError(
+                    f"session {session!r} does not hold {resource!r}"
+                )
+            mode, count = held
+            if count > 1:
+                lock.holders[session] = (mode, count - 1)
+            else:
+                del lock.holders[session]
+                if not lock.holders:
+                    del self._locks[resource]
+            self._granted.notify_all()
+
+    def release_all(self, session: str) -> int:
+        """Drop every lock ``session`` holds (connection teardown).
+
+        Returns the number of resources released.  Also clears any wait
+        registration the session left behind (a thread killed mid-wait).
+        """
+        released = 0
+        with self._granted:
+            self._waits.pop(session, None)
+            for resource in list(self._locks):
+                lock = self._locks[resource]
+                if session in lock.holders:
+                    del lock.holders[session]
+                    released += 1
+                    if not lock.holders:
+                        del self._locks[resource]
+            if released:
+                self._granted.notify_all()
+        return released
+
+    @contextmanager
+    def shared(
+        self, session: str, resource: str, timeout_s: float | None = None
+    ) -> Iterator[None]:
+        """``with locks.shared(sid, view):`` — scoped read lock."""
+        self.acquire(session, resource, LockMode.SHARED, timeout_s)
+        try:
+            yield
+        finally:
+            self.release(session, resource)
+
+    @contextmanager
+    def exclusive(
+        self, session: str, resource: str, timeout_s: float | None = None
+    ) -> Iterator[None]:
+        """``with locks.exclusive(sid, view):`` — scoped write lock."""
+        self.acquire(session, resource, LockMode.EXCLUSIVE, timeout_s)
+        try:
+            yield
+        finally:
+            self.release(session, resource)
+
+    # -- introspection -----------------------------------------------------
+
+    def holders(self, resource: str) -> dict[str, LockMode]:
+        """Who currently holds ``resource`` (empty when free)."""
+        with self._mutex:
+            lock = self._locks.get(resource)
+            if lock is None:
+                return {}
+            return {s: mode for s, (mode, _) in lock.holders.items()}
+
+    def held_by(self, session: str) -> list[str]:
+        """Resources ``session`` currently holds, sorted."""
+        with self._mutex:
+            return sorted(
+                resource
+                for resource, lock in self._locks.items()
+                if session in lock.holders
+            )
+
+    def __repr__(self) -> str:
+        with self._mutex:
+            return (
+                f"LockManager({len(self._locks)} locked resource(s), "
+                f"{len(self._waits)} waiter(s))"
+            )
+
+    # -- internals (call with self._mutex held) ----------------------------
+
+    def _grantable(
+        self, lock: _ResourceLock, session: str, resource: str, mode: LockMode
+    ) -> bool:
+        held = lock.mode_of(session)
+        if mode is LockMode.SHARED:
+            if held is not None:
+                return True  # reentrant (EXCLUSIVE covers SHARED)
+            exclusive = lock.exclusive_holder
+            if exclusive is not None:
+                return False
+            # Writer priority: queued EXCLUSIVE waiters block new readers.
+            return not self._exclusive_waiter(resource, session)
+        # EXCLUSIVE
+        if held is LockMode.EXCLUSIVE:
+            return True  # reentrant
+        others = [s for s in lock.holders if s != session]
+        return not others  # free, or a sole-holder upgrade
+
+    def _grant(self, lock: _ResourceLock, session: str, mode: LockMode) -> None:
+        held = lock.holders.get(session)
+        if held is None:
+            lock.holders[session] = (mode, 1)
+        else:
+            held_mode, count = held
+            if mode is LockMode.EXCLUSIVE and held_mode is LockMode.SHARED:
+                # Sole-holder upgrade: the hold becomes exclusive in place.
+                lock.holders[session] = (LockMode.EXCLUSIVE, count + 1)
+            else:
+                lock.holders[session] = (held_mode, count + 1)
+
+    def _exclusive_waiter(self, resource: str, exclude: str) -> bool:
+        return any(
+            wanted == resource and mode is LockMode.EXCLUSIVE
+            for waiter, (wanted, mode) in self._waits.items()
+            if waiter != exclude
+        )
+
+    def _find_cycle(self, start: str) -> list[str]:
+        """A wait-for cycle through ``start``, or [] when none exists.
+
+        Edges: a waiting session points at every *other* current holder of
+        the resource it wants; holders that are themselves waiting extend
+        the walk.  Returns the session names along the cycle for the error
+        message.
+        """
+        path: list[str] = []
+        seen: set[str] = set()
+
+        def walk(session: str) -> list[str]:
+            if session in seen:
+                return []
+            seen.add(session)
+            waiting_on = self._waits.get(session)
+            if waiting_on is None:
+                return []
+            resource, _ = waiting_on
+            lock = self._locks.get(resource)
+            if lock is None:
+                return []
+            path.append(session)
+            for holder in lock.holders:
+                if holder == session:
+                    continue
+                if holder == start:
+                    return path + [holder]
+                cycle = walk(holder)
+                if cycle:
+                    return cycle
+            path.pop()
+            return []
+
+        return walk(start)

@@ -1,0 +1,71 @@
+"""Thread-aware tracing and latch construction for the service layer.
+
+Two small pieces that exist here — and only here — because lint rule
+REPRO-A109 confines lock construction to ``repro.concurrency`` and
+``repro.server``:
+
+* :class:`ConcurrentTracer` — a :class:`~repro.obs.tracer.Tracer` whose
+  open-span stack is per-thread, so worker-pool requests each build their
+  own span chains; roots and tracer-level counters are latched.
+* :func:`make_latch` — hands out a plain mutex for injection into
+  structures that *hold* a latch but must not construct one (e.g.
+  :attr:`repro.summary.summarydb.SummaryDatabase.latch`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import ContextManager
+
+from repro.obs.tracer import Span, Tracer
+
+
+def make_latch() -> ContextManager[object]:
+    """A fresh mutex for injection into latch-holding structures."""
+    return threading.Lock()
+
+
+class ConcurrentTracer(Tracer):
+    """A recording tracer safe for multi-threaded request execution.
+
+    Each thread gets its own open-span stack (so a span opened by one
+    worker never becomes the parent of another worker's span), while the
+    shared structures — the root list and the tracer-level counters — are
+    guarded by a mutex.  Finished spans are only *read* after their
+    threads complete, so per-span counter writes need no locking.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._local = threading.local()
+        self._latch = threading.Lock()
+
+    def _current_stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _link_root(self, span: Span) -> None:
+        with self._latch:
+            self.roots.append(span)
+
+    def add(self, counter: str, value: float = 1) -> None:
+        stack = self._current_stack()
+        if stack:
+            stack[-1].add(counter, value)
+        else:
+            with self._latch:
+                self.counters[counter] = self.counters.get(counter, 0) + value
+
+    def reset(self) -> None:
+        """Drop recorded spans/counters (this thread must have none open)."""
+        with self._latch:
+            if self._current_stack():
+                raise_open = [s.name for s in self._current_stack()]
+                from repro.core.errors import ObsError
+
+                raise ObsError(f"cannot reset with open spans: {raise_open}")
+            self.roots = []
+            self.counters = {}

@@ -1,0 +1,186 @@
+"""The transaction coordinator: snapshot reads, serialized writes.
+
+One :class:`TransactionCoordinator` fronts one
+:class:`~repro.core.dbms.StatisticalDBMS` for any number of concurrent
+analyst sessions (the wire server's connections, or plain threads in
+tests).  It enforces the two-level discipline the service layer needs:
+
+* **Reads are snapshot-consistent.**  ``with coordinator.read(sid, view)``
+  takes the view's SHARED lock and pins the history's version high-water
+  mark.  Because a writer needs the EXCLUSIVE lock to touch the view, a
+  reader can never observe a half-applied multi-attribute update; the
+  pinned mark additionally scopes history reads
+  (:meth:`~repro.views.history.UpdateHistory.operations_upto`) and is
+  re-verified at exit — a changed version under a held read lock means
+  the locking protocol itself was bypassed, and raises
+  :class:`~repro.core.errors.SnapshotError`.
+* **Writes serialize per view.**  ``with coordinator.write(sid, view)``
+  takes the EXCLUSIVE lock; the update/undo then flows through the
+  existing :class:`~repro.core.propagation.UpdatePropagator` and WAL
+  unchanged.  Group commit (installed automatically when the DBMS is
+  durable) batches concurrent commits into shared fsyncs.
+* **Registry mutations** (create/publish/adopt/drop) serialize through a
+  reserved resource name, :data:`REGISTRY_RESOURCE`, since they touch
+  shared structures no per-view lock covers.
+* **Checkpoints quiesce.**  :meth:`checkpoint` takes the registry lock
+  plus every view's EXCLUSIVE lock in sorted name order (lock ordering —
+  no cycles possible among checkpointers), so the snapshot observes no
+  in-flight transaction.
+
+Sessions are cached per ``(sid, view)`` so a connection's repeated
+requests hit the same Summary Database bookkeeping; ``release(sid)`` drops
+the cache and any locks the connection still holds.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.concurrency.groupcommit import GroupCommitter
+from repro.concurrency.locks import LockManager, LockMode
+from repro.concurrency.tracing import make_latch
+from repro.core.dbms import StatisticalDBMS
+from repro.core.errors import SnapshotError
+from repro.core.session import AnalystSession
+from repro.obs.tracer import NULL_TRACER, AbstractTracer
+
+#: Reserved lock resource guarding registry-level mutations.  Real view
+#: names come from ``ViewDefinition.name`` which never uses this form.
+REGISTRY_RESOURCE = "__registry__"
+
+
+class ReadSnapshot:
+    """What a read transaction sees: a session plus a pinned version."""
+
+    __slots__ = ("session", "version")
+
+    def __init__(self, session: AnalystSession, version: int) -> None:
+        self.session = session
+        self.version = version
+
+    def operations(self) -> list[Any]:
+        """The view's history as of the pinned version."""
+        return self.session.view.history.operations_upto(self.version)
+
+    def compute(self, function: str, attribute: str, **kwargs: Any) -> Any:
+        """Cached compute under the snapshot (shared lock held)."""
+        return self.session.compute(function, attribute, **kwargs)
+
+
+class TransactionCoordinator:
+    """Concurrency control for one DBMS shared by many sessions."""
+
+    def __init__(
+        self,
+        dbms: StatisticalDBMS,
+        locks: LockManager | None = None,
+        tracer: AbstractTracer | None = None,
+        timeout_s: float = 10.0,
+    ) -> None:
+        self.dbms = dbms
+        self.tracer = tracer if tracer is not None else (
+            dbms.tracer if dbms.tracer.enabled else NULL_TRACER
+        )
+        self.locks = locks or LockManager(timeout_s=timeout_s, tracer=self.tracer)
+        self._sessions: dict[tuple[str, str], AnalystSession] = {}
+        self._sessions_latch = make_latch()
+        if dbms.durability is not None and dbms.durability.group_commit is None:
+            dbms.durability.group_commit = GroupCommitter(
+                dbms.durability.wal, tracer=self.tracer
+            )
+
+    # -- session cache -----------------------------------------------------
+
+    def session(
+        self, sid: str, view_name: str, analyst: str | None = None
+    ) -> AnalystSession:
+        """The cached analyst session of ``sid`` against one view."""
+        key = (sid, view_name)
+        with self._sessions_latch:
+            session = self._sessions.get(key)
+            if session is None:
+                session = self.dbms.session(
+                    view_name, analyst=analyst or sid, session_id=sid
+                )
+                # The view's Summary Database is about to be shared by
+                # every connection that opens this view: give it a real
+                # latch (constructed here — REPRO-A109) so concurrent
+                # cache fills cannot corrupt its index.
+                session.view.summary.latch = make_latch()
+                self._sessions[key] = session
+        return session
+
+    def release(self, sid: str) -> int:
+        """Disconnect cleanup: drop cached sessions, free held locks."""
+        with self._sessions_latch:
+            for key in [k for k in self._sessions if k[0] == sid]:
+                del self._sessions[key]
+        return self.locks.release_all(sid)
+
+    # -- transactions ------------------------------------------------------
+
+    @contextmanager
+    def read(
+        self, sid: str, view_name: str, analyst: str | None = None
+    ) -> Iterator[ReadSnapshot]:
+        """A snapshot-consistent read transaction (SHARED lock + pin)."""
+        with self.locks.shared(sid, view_name):
+            session = self.session(sid, view_name, analyst)
+            pinned = session.view.version
+            yield ReadSnapshot(session, pinned)
+            current = session.view.version
+            if current != pinned:
+                self.tracer.add("txn.snapshot_violation")
+                raise SnapshotError(
+                    f"view {view_name!r} moved from v{pinned} to v{current} "
+                    f"during {sid!r}'s read transaction — a writer bypassed "
+                    "the lock manager"
+                )
+
+    @contextmanager
+    def write(
+        self, sid: str, view_name: str, analyst: str | None = None
+    ) -> Iterator[AnalystSession]:
+        """A serialized write transaction (EXCLUSIVE lock)."""
+        with self.locks.exclusive(sid, view_name):
+            yield self.session(sid, view_name, analyst)
+
+    @contextmanager
+    def registry_write(self, sid: str) -> Iterator[StatisticalDBMS]:
+        """Serialize a registry-level mutation (create/publish/adopt/drop)."""
+        with self.locks.exclusive(sid, REGISTRY_RESOURCE):
+            yield self.dbms
+
+    # -- quiesced checkpoints ----------------------------------------------
+
+    @contextmanager
+    def quiesce(self, sid: str) -> Iterator[None]:
+        """Hold every lock (registry first, then views in sorted order).
+
+        Sorted acquisition is a total lock order, so two quiescers cannot
+        deadlock each other; the registry lock also blocks view
+        creation/drop while the view list is being walked.
+        """
+        held: list[str] = []
+        try:
+            self.locks.acquire(sid, REGISTRY_RESOURCE, LockMode.EXCLUSIVE)
+            held.append(REGISTRY_RESOURCE)
+            for name in sorted(self.dbms.registry.names()):
+                self.locks.acquire(sid, name, LockMode.EXCLUSIVE)
+                held.append(name)
+            yield
+        finally:
+            for name in reversed(held):
+                self.locks.release(sid, name)
+
+    def checkpoint(self, sid: str = "__checkpoint__") -> Any:
+        """Quiesce the system and snapshot it atomically."""
+        with self.quiesce(sid):
+            with self.tracer.span("checkpoint.quiesced"):
+                return self.dbms.checkpoint()
+
+    def __repr__(self) -> str:
+        with self._sessions_latch:
+            cached = len(self._sessions)
+        return f"TransactionCoordinator({cached} cached session(s), {self.locks!r})"

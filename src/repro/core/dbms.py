@@ -16,7 +16,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.core.accuracy import AccuracyPreference
-from repro.core.errors import DurabilityError, ViewError
+from repro.core.errors import DurabilityError, MetadataError, ViewError
 from repro.core.session import AnalystSession
 from repro.metadata.management import ManagementDatabase
 from repro.obs.tracer import NULL_TRACER, AbstractTracer
@@ -161,8 +161,17 @@ class StatisticalDBMS:
 
     # -- sessions -----------------------------------------------------------------------
 
-    def session(self, view_name: str, analyst: str = "analyst") -> AnalystSession:
-        """Open an analyst session against a view."""
+    def session(
+        self,
+        view_name: str,
+        analyst: str = "analyst",
+        session_id: str | None = None,
+    ) -> AnalystSession:
+        """Open an analyst session against a view.
+
+        ``session_id`` (the wire server's connection id) is stamped onto
+        the WAL transactions this session logs.
+        """
         view = self.registry.get(view_name)
         return AnalystSession(
             management=self.management,
@@ -171,19 +180,44 @@ class StatisticalDBMS:
             policy=self.management.policy_for(analyst, view_name),
             tracer=self.tracer if self.tracer.enabled else None,
             durability=self.durability,
+            session_id=session_id,
         )
 
     # -- publishing / adoption -------------------------------------------------------------
 
     def publish(self, view_name: str, publisher: str | None = None) -> PublishedEdits:
-        """Publish a view's cleaned data and edit history (SS2.3)."""
-        return self.registry.publish(self.registry.get(view_name), publisher)
+        """Publish a view's cleaned data and edit history (SS2.3).
+
+        The Management Database records the provenance (publishing analyst
+        + view version at publication) alongside the registry snapshot;
+        :meth:`adopt_published` verifies the two agree before reuse.
+        """
+        edits = self.registry.publish(self.registry.get(view_name), publisher)
+        self.management.record_publication(
+            view_name, publisher=edits.publisher, version=edits.version
+        )
+        return edits
 
     def adopt_published(self, view_name: str, new_name: str, analyst: str) -> ConcreteView:
         """Create a private view from another analyst's published edits —
 
-        reusing their data checking instead of redoing it (SS3.2)."""
+        reusing their data checking instead of redoing it (SS3.2).  The
+        snapshot's claimed provenance must match the Management Database's
+        publication record, or adoption is refused."""
         edits = self.registry.published(view_name)
+        try:
+            record = self.management.publication(view_name)
+        except MetadataError:
+            raise ViewError(
+                f"published edits for {view_name!r} have no provenance record "
+                "in the Management Database; refuse to adopt"
+            ) from None
+        if record.publisher != edits.publisher or record.version != edits.version:
+            raise ViewError(
+                f"provenance mismatch for published view {view_name!r}: "
+                f"snapshot claims {edits.publisher}@v{edits.version}, control "
+                f"information records {record.publisher}@v{record.version}"
+            )
         relation = edits.relation.copy(new_name)
         base_definition = self.registry.get(view_name).definition
         definition = ViewDefinition(name=new_name, root=base_definition.root) if base_definition else None

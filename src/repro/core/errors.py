@@ -116,3 +116,43 @@ class InjectedFault(DurabilityError):
     Raised by :class:`repro.durability.faults.FaultInjector` at the exact
     write/fsync the active :class:`FaultPlan` names — tests treat it as the
     process dying at that I/O point."""
+
+
+class ConcurrencyError(ReproError):
+    """Invalid lock or transaction usage in the multi-analyst layer."""
+
+
+class DeadlockError(ConcurrencyError):
+    """A lock request would close a cycle in the wait-for graph.
+
+    The requester is the victim: it holds everything it held before the
+    request and must release (or retry after backoff) to let the other
+    participants proceed."""
+
+
+class LockTimeoutError(ConcurrencyError):
+    """A lock was not granted within the configured acquisition timeout."""
+
+
+class SnapshotError(ConcurrencyError):
+    """A snapshot read observed the view at a different version than it
+
+    pinned — some writer bypassed the lock manager (paper SS2.3: each
+    analyst's view of shared state must stay internally consistent)."""
+
+
+class ServerError(ReproError):
+    """Wire-server failure surfaced to a client (admission, deadline,
+
+    protocol violations).  Carries a short machine-readable ``code``."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ProtocolError(ServerError):
+    """A malformed frame or out-of-protocol request."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__("protocol", message)

@@ -72,6 +72,7 @@ class AnalystSession:
         policy: ConsistencyPolicy | None = None,
         tracer: AbstractTracer | None = None,
         durability: "DurabilityManager | None" = None,
+        session_id: str | None = None,
     ) -> None:
         self.management = management
         self.view = view
@@ -79,6 +80,10 @@ class AnalystSession:
         self.policy = policy or management.policy_for(analyst, view.name)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.durability = durability
+        #: Wire-server session id, stamped onto WAL ``begin`` records so a
+        #: post-crash log attributes every transaction to the connection
+        #: that issued it.  ``None`` for in-process (library) sessions.
+        self.session_id = session_id
         if tracer is not None:
             # The session's tracer also observes its view's cache, so
             # summary hit/stale/refresh counters land in session spans.
@@ -382,7 +387,9 @@ class AnalystSession:
         if self.durability is None:
             return
         operations = self.view.history.operations()[mark:]
-        self.durability.log_operations(self.view.name, operations)
+        self.durability.log_operations(
+            self.view.name, operations, session_id=self.session_id
+        )
 
     def _rows_from_history(self, op_count: int) -> dict[str, list[int]]:
         """Rows touched per attribute over the last ``op_count`` operations.
@@ -415,7 +422,10 @@ class AnalystSession:
             undone = self.view.history.undo_last(self.view.relation, count)
             if self.durability is not None:
                 self.durability.log_undo(
-                    self.view.name, count, versions=[op.version for op in undone]
+                    self.view.name,
+                    count,
+                    versions=[op.version for op in undone],
+                    session_id=self.session_id,
                 )
             inverses: dict[str, list[Delta]] = {}
             rows_by_attr: dict[str, list[int]] = {}

@@ -31,6 +31,11 @@ Commands (also ``help`` inside the shell)::
     durability <dir>              enable WAL + checkpoints under <dir>
     checkpoint                    snapshot the system and truncate the WAL
     recover <dir>                 rebuild the DBMS from <dir> after a crash
+    serve <port> | serve stop     serve this DBMS to wire clients
+    connect <port> [analyst]      connect to a served DBMS
+    rstat <view> <function> <attr>
+                                  remote cached statistic (needs connect)
+    disconnect                    drop the wire connection
     quit
 """
 
@@ -63,6 +68,8 @@ class AnalystShell(cmd.Cmd):
         super().__init__(stdout=stdout or sys.stdout)
         self.dbms = dbms or StatisticalDBMS()
         self.session: AnalystSession | None = None
+        self.server_thread: Any = None
+        self.client: Any = None
 
     # -- helpers ----------------------------------------------------------------
 
@@ -312,10 +319,80 @@ class AnalystShell(cmd.Cmd):
                 "views: " + ", ".join(self.dbms.registry.names()) + " (use open <name>)"
             )
 
+    # -- wire service (multi-analyst layer) ---------------------------------------------------
+
+    def do_serve(self, arg: str) -> None:
+        """serve <port> | serve stop — serve this DBMS to wire clients."""
+        from repro.server.server import AnalystServer, ServerThread
+
+        word = arg.strip()
+        if word == "stop":
+            if self.server_thread is None:
+                self._say("not serving")
+                return
+            self.server_thread.stop()
+            self.server_thread = None
+            self._say("server stopped")
+            return
+        if not word:
+            self._say("usage: serve <port> | serve stop")
+            return
+        if self.server_thread is not None:
+            self._say(f"already serving on port {self.server_thread.port}")
+            return
+        server = AnalystServer(self.dbms, port=int(word))
+        self.server_thread = ServerThread(server).start()
+        self._say(
+            f"serving on port {self.server_thread.port} "
+            f"({server.max_workers} workers, {server.max_inflight} in-flight max)"
+        )
+
+    def do_connect(self, arg: str) -> None:
+        """connect <port> [analyst] — connect to a served DBMS."""
+        from repro.server.client import ServerClient
+
+        parts = shlex.split(arg)
+        if not parts:
+            self._say("usage: connect <port> [analyst]")
+            return
+        if self.client is not None:
+            self._say("already connected; use disconnect first")
+            return
+        analyst = parts[1] if len(parts) > 1 else "analyst"
+        self.client = ServerClient(port=int(parts[0]))
+        hello = self.client.handshake(analyst)
+        views = ", ".join(hello["views"]) if hello["views"] else "(none)"
+        self._say(f"connected as {hello['sid']} ({analyst}); views: {views}")
+
+    def do_rstat(self, arg: str) -> None:
+        """rstat <view> <function> <attribute> — remote cached statistic."""
+        if self.client is None:
+            self._say("not connected; use: connect <port>")
+            return
+        view, function, attribute = shlex.split(arg)
+        result = self.client.query(view, function, attribute)
+        self._say(
+            f"{function}({attribute}) = {result['value']} "
+            f"(view at v{result['version']})"
+        )
+
+    def do_disconnect(self, arg: str) -> None:
+        """disconnect — drop the wire connection."""
+        if self.client is None:
+            self._say("not connected")
+            return
+        self.client.close()
+        self.client = None
+        self._say("disconnected")
+
     # -- exit ---------------------------------------------------------------------------------
 
     def do_quit(self, arg: str) -> bool:
         """quit — leave the shell."""
+        if self.client is not None:
+            self.client.close()
+        if self.server_thread is not None:
+            self.server_thread.stop()
         return True
 
     do_exit = do_quit

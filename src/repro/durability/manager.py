@@ -21,6 +21,7 @@ recover`; anything after the last commit is discarded as a torn tail.
 
 from __future__ import annotations
 
+import itertools
 import os
 from pathlib import Path
 from typing import Any, Sequence
@@ -70,7 +71,18 @@ class DurabilityManager:
             self.directory, faults=self.faults, tracer=self.tracer
         )
         self._dbms: Any = None
+        # Transaction ids come from an itertools.count: under the GIL a
+        # bare ``next()`` is atomic, so concurrent sessions logging through
+        # the same manager never collide on a txn id even before the
+        # group committer serializes their frames.  ``_next_txn`` mirrors
+        # the counter for ``__repr__`` and :meth:`resume_from_txn`.
+        self._txn_ids = itertools.count(1)
         self._next_txn = 1
+        #: Optional :class:`repro.concurrency.groupcommit.GroupCommitter`.
+        #: When installed, :meth:`_log_transaction` hands it the whole
+        #: frame list and the committer batches concurrent transactions
+        #: into one fsync; when ``None``, frames go straight to the WAL.
+        self.group_commit: Any = None
 
     # -- binding -----------------------------------------------------------
 
@@ -115,7 +127,10 @@ class DurabilityManager:
         self._log_transaction(view.name, [record])
 
     def log_operations(
-        self, view_name: str, operations: Sequence[Operation]
+        self,
+        view_name: str,
+        operations: Sequence[Operation],
+        session_id: str | None = None,
     ) -> None:
         """Log one analyst action's recorded operations as one transaction."""
         if not operations:
@@ -126,10 +141,15 @@ class DurabilityManager:
                 {"t": "op", "view": view_name, "op": operation_to_dict(op)}
                 for op in operations
             ],
+            session_id=session_id,
         )
 
     def log_undo(
-        self, view_name: str, count: int, versions: Sequence[int] | None = None
+        self,
+        view_name: str,
+        count: int,
+        versions: Sequence[int] | None = None,
+        session_id: str | None = None,
     ) -> None:
         """Log an undo of the last ``count`` operations.
 
@@ -145,23 +165,36 @@ class DurabilityManager:
         record: dict[str, Any] = {"t": "undo", "view": view_name, "count": count}
         if versions is not None:
             record["versions"] = list(versions)
-        self._log_transaction(view_name, [record])
+        self._log_transaction(view_name, [record], session_id=session_id)
 
     def log_drop(self, view_name: str) -> None:
         """Log a view removal."""
         self._log_transaction(view_name, [{"t": "drop", "view": view_name}])
 
-    def _log_transaction(self, view_name: str, records: list[dict]) -> None:
-        txn = self._next_txn
-        self._next_txn += 1
-        self.wal.append({"t": "begin", "txn": txn, "view": view_name})
-        for record in records:
-            self.wal.append({**record, "txn": txn})
-        self.wal.append({"t": "commit", "txn": txn}, sync=True)
+    def _log_transaction(
+        self,
+        view_name: str,
+        records: list[dict],
+        session_id: str | None = None,
+    ) -> None:
+        txn = next(self._txn_ids)
+        self._next_txn = txn + 1
+        begin: dict[str, Any] = {"t": "begin", "txn": txn, "view": view_name}
+        if session_id is not None:
+            begin["sid"] = session_id
+        frames = [begin]
+        frames.extend({**record, "txn": txn} for record in records)
+        frames.append({"t": "commit", "txn": txn})
+        if self.group_commit is not None:
+            self.group_commit.commit(frames)
+        else:
+            self.wal.append_many(frames, sync=True)
 
     def resume_from_txn(self, next_txn: int) -> None:
         """Continue numbering past what recovery found in the log."""
-        self._next_txn = max(self._next_txn, next_txn)
+        if next_txn > self._next_txn:
+            self._txn_ids = itertools.count(next_txn)
+            self._next_txn = next_txn
 
     # -- checkpointing -----------------------------------------------------
 

@@ -22,10 +22,15 @@ NA-aware :func:`repro.metadata.persistence.value_to_jsonable` codec.
 
 Record types (the ``t`` key)::
 
-    begin   {t, txn, view}            transaction start
+    begin   {t, txn, view[, sid]}     transaction start
     op      {t, txn, view, op:{...}}  one logged view operation
     undo    {t, txn, view, count}     undo of the last ``count`` operations
     commit  {t, txn}                  transaction end -> fsync point
+
+``begin`` records may carry an optional ``sid`` — the wire-server session
+id that issued the transaction (multi-analyst layer).  Recovery ignores
+unknown ``begin`` keys, so logs with and without session ids interleave
+freely.
 
 A scan stops at the first unreadable frame: everything after a torn or
 corrupt frame is untrusted, which is exactly the prefix property recovery
@@ -100,6 +105,19 @@ class WriteAheadLog:
         frame = _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
         self._writer().write(frame)
         self.tracer.add("wal.append")
+        if sync:
+            self.sync()
+
+    def append_many(self, records: list[dict], sync: bool = False) -> None:
+        """Append several records back-to-back, optionally one fsync after.
+
+        This is the group-commit path: the leader session drains every
+        queued transaction's frames, appends them all, and pays a single
+        fsync for the whole batch (counter ``wal.append`` still bumps once
+        per record, so batching is visible in the totals).
+        """
+        for record in records:
+            self.append(record)
         if sync:
             self.sync()
 

@@ -80,6 +80,17 @@ RULE_DURABILITY_IO = rule(
         "discipline and can corrupt the recovery protocol"
     ),
 )
+RULE_LOCK_CONSTRUCT = rule(
+    "REPRO-A109",
+    "lock constructed outside the concurrency layer",
+    severity=Severity.ERROR,
+    rationale=(
+        "lock discipline routes through repro.concurrency.LockManager "
+        "(deadlock detection, timeouts, lock ordering); an ad-hoc "
+        "threading/asyncio lock elsewhere is invisible to the wait-for "
+        "graph and can deadlock the service layer undetectably"
+    ),
+)
 RULE_ROWWISE_BIND = rule(
     "REPRO-A106",
     "row-wise Expr.bind inside a vectorized chunk loop",
@@ -132,6 +143,21 @@ CACHE_WRITE_ALLOWED = (
 
 #: SummaryEntry attributes whose writes are maintenance actions.
 CACHE_STATE_ATTRS = frozenset({"stale", "result", "maintainer"})
+
+#: Directories whose modules may construct locks (REPRO-A109): the
+#: concurrency layer itself and the server's event-loop machinery.
+#: Everything else either acquires through LockManager or holds an
+#: injected latch.
+LOCK_CONSTRUCT_ALLOWED_DIRS = ("/concurrency/", "/server/")
+
+#: Lock-ish constructors whose direct use REPRO-A109 flags.
+LOCK_CONSTRUCTORS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+#: Modules whose ``Name(...)`` calls of a lock constructor count even
+#: without an attribute receiver (``from threading import Lock``).
+LOCK_MODULES = frozenset({"threading", "asyncio", "multiprocessing"})
 
 #: Modules holding vectorized kernels, where REPRO-A106 applies (unlike the
 #: allowlists above, this list scopes a rule *to* the named modules).
@@ -574,6 +600,59 @@ class TracerConstructRule(AstRule):
         self.generic_visit(node)
 
 
+class LockConstructRule(AstRule):
+    """REPRO-A109: locks are constructed only in the concurrency layer.
+
+    Flags ``threading.Lock()`` / ``asyncio.Lock()`` (and RLock, Condition,
+    Semaphore, BoundedSemaphore, including ``multiprocessing``) everywhere
+    outside ``repro/concurrency/`` and ``repro/server/``.  Both spellings
+    are caught: the attribute call (``threading.Lock()``) and the bare
+    name after a ``from threading import Lock``.  Structures that need a
+    latch *hold* one by injection (see ``SummaryDatabase.latch``); only
+    the concurrency layer constructs.
+    """
+
+    rule_id = RULE_LOCK_CONSTRUCT.rule_id
+    severity = RULE_LOCK_CONSTRUCT.severity
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        super().__init__(ctx)
+        self._lock_imports: set[str] = set()
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        if any(d in self.ctx.module_path for d in LOCK_CONSTRUCT_ALLOWED_DIRS):
+            return []
+        return super().run(tree)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module in LOCK_MODULES:
+            for alias in node.names:
+                if alias.name in LOCK_CONSTRUCTORS:
+                    self._lock_imports.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        flagged = ""
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in LOCK_CONSTRUCTORS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in LOCK_MODULES
+        ):
+            flagged = f"{func.value.id}.{func.attr}"
+        elif isinstance(func, ast.Name) and func.id in self._lock_imports:
+            flagged = func.id
+        if flagged:
+            self.report(
+                node,
+                f"direct {flagged}() construction outside repro.concurrency"
+                "/repro.server; acquire through LockManager, or take the "
+                "latch by injection (repro.concurrency.tracing.make_latch)",
+            )
+        self.generic_visit(node)
+
+
 def _assigned_names(target: ast.expr) -> set[str]:
     if isinstance(target, ast.Name):
         return {target.id}
@@ -597,6 +676,7 @@ AST_RULES: tuple[type[AstRule], ...] = (
     RowwiseBindRule,
     TracerConstructRule,
     DurabilityIoRule,
+    LockConstructRule,
 )
 
 

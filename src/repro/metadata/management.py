@@ -18,6 +18,7 @@ the views, and other control information."
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.core.errors import MetadataError
@@ -30,6 +31,22 @@ if TYPE_CHECKING:  # avoid import cycle; views import summary import rules
     from repro.summary.policies import ConsistencyPolicy
     from repro.views.history import UpdateHistory
     from repro.views.materialize import ViewDefinition
+
+
+@dataclass(frozen=True)
+class PublicationRecord:
+    """Who published a view, and at which history version.
+
+    The Management Database keeps this control record alongside the
+    registry's :class:`~repro.views.sharing.PublishedEdits` snapshot;
+    adoption (paper SS3.2 — reusing a predecessor's data checking)
+    cross-checks the two so an analyst never builds on a snapshot whose
+    claimed provenance the control information does not corroborate.
+    """
+
+    view_name: str
+    publisher: str
+    version: int
 
 
 class ManagementDatabase:
@@ -48,6 +65,7 @@ class ManagementDatabase:
         self._histories: dict[str, "UpdateHistory"] = {}
         self._policies: dict[tuple[str, str], "ConsistencyPolicy"] = {}
         self._default_policy: "ConsistencyPolicy | None" = None
+        self._publications: dict[str, PublicationRecord] = {}
 
     # -- view definitions -------------------------------------------------------
 
@@ -62,6 +80,7 @@ class ManagementDatabase:
         """Forget a view's control information."""
         self._view_definitions.pop(name, None)
         self._histories.pop(name, None)
+        self._publications.pop(name, None)
         for key in [k for k in self._policies if k[1] == name]:
             del self._policies[key]
 
@@ -82,6 +101,35 @@ class ManagementDatabase:
     def view_names(self) -> list[str]:
         """Views with registered definitions."""
         return sorted(self._view_definitions)
+
+    # -- publication provenance (SS2.3's "made public") ----------------------------
+
+    def record_publication(
+        self, view_name: str, publisher: str, version: int
+    ) -> PublicationRecord:
+        """Record who published a view and at which history version.
+
+        Re-publishing overwrites: the latest record is the authoritative
+        provenance (the registry snapshot it describes is also replaced).
+        """
+        record = PublicationRecord(
+            view_name=view_name, publisher=publisher, version=version
+        )
+        self._publications[view_name] = record
+        return record
+
+    def publication(self, view_name: str) -> PublicationRecord:
+        """The provenance record of a published view."""
+        try:
+            return self._publications[view_name]
+        except KeyError:
+            raise MetadataError(
+                f"no publication record for view {view_name!r}"
+            ) from None
+
+    def publications(self) -> dict[str, PublicationRecord]:
+        """All publication records, keyed by view name."""
+        return dict(self._publications)
 
     # -- accuracy preferences (SS3.2's "user's wishes") ----------------------------
 
@@ -116,5 +164,9 @@ class ManagementDatabase:
             "policies": {
                 f"{analyst}/{view}": policy.name
                 for (analyst, view), policy in sorted(self._policies.items())
+            },
+            "publications": {
+                name: f"{record.publisher}@v{record.version}"
+                for name, record in sorted(self._publications.items())
             },
         }

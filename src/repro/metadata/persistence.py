@@ -392,6 +392,14 @@ def management_to_dict(management: ManagementDatabase) -> dict:
             }
             for (analyst, view), policy in sorted(management._policies.items())
         ],
+        "publications": [
+            {
+                "view": record.view_name,
+                "publisher": record.publisher,
+                "version": record.version,
+            }
+            for _, record in sorted(management.publications().items())
+        ],
         "metagraph": {
             "nodes": [
                 {"name": n, **graph.nodes[n]}
@@ -438,6 +446,10 @@ def management_from_dict(data: dict) -> ManagementDatabase:
     for item in data.get("policies", []):
         management.set_policy(
             item["analyst"], item["view"], policy_from_dict(item["policy"])
+        )
+    for item in data.get("publications", []):
+        management.record_publication(
+            item["view"], publisher=item["publisher"], version=item["version"]
         )
     graph_data = data.get("metagraph", {"nodes": [], "edges": []})
     graph = management.metagraph.graph

@@ -132,36 +132,54 @@ class Tracer(AbstractTracer):
         """Create a span; entering it (``with``) links it under the cursor."""
         return Span(name, self, attrs)
 
+    def _current_stack(self) -> list[Span]:
+        """The open-span stack spans link/charge against.
+
+        A single list here — :class:`Tracer` assumes one thread of
+        execution.  :class:`repro.concurrency.tracing.ConcurrentTracer`
+        overrides this with a per-thread stack so worker-pool requests each
+        build their own span chains without cross-talk.
+        """
+        return self._stack
+
     def add(self, counter: str, value: float = 1) -> None:
         """Charge the innermost open span, or the tracer itself if none."""
-        if self._stack:
-            self._stack[-1].add(counter, value)
+        stack = self._current_stack()
+        if stack:
+            stack[-1].add(counter, value)
         else:
             self.counters[counter] = self.counters.get(counter, 0) + value
 
     @property
     def current(self) -> Span | None:
         """The innermost open span, if any."""
-        return self._stack[-1] if self._stack else None
+        stack = self._current_stack()
+        return stack[-1] if stack else None
 
     def _enter(self, span: Span) -> None:
+        stack = self._current_stack()
         if not span._linked:
             # A reused span (stopwatch style) links into the tree once, at
             # its first entry; later entries only accumulate time.
-            if self._stack:
-                self._stack[-1].children.append(span)
+            if stack:
+                stack[-1].children.append(span)
             else:
-                self.roots.append(span)
+                self._link_root(span)
             span._linked = True
-        self._stack.append(span)
+        stack.append(span)
+
+    def _link_root(self, span: Span) -> None:
+        """Attach a span with no open parent as a new root."""
+        self.roots.append(span)
 
     def _exit(self, span: Span) -> None:
-        if not self._stack or self._stack[-1] is not span:
+        stack = self._current_stack()
+        if not stack or stack[-1] is not span:
             raise ObsError(
                 f"span {span.name!r} exited out of order "
-                f"(open: {[s.name for s in self._stack]})"
+                f"(open: {[s.name for s in stack]})"
             )
-        self._stack.pop()
+        stack.pop()
 
     # -- inspection --------------------------------------------------------
 
@@ -183,11 +201,29 @@ class Tracer(AbstractTracer):
             span.counters.get(counter, 0) for span in self.walk()
         )
 
+    def counter_totals(self, prefix: str = "") -> dict[str, float]:
+        """Every counter (matching ``prefix``) summed over spans + tracer.
+
+        The wire server's ``stats`` operation and the concurrency
+        benchmarks use this to report ``server.*`` / ``lock.*`` / ``wal.*``
+        counters without walking the span forest themselves.
+        """
+        totals: dict[str, float] = {}
+        for name, value in self.counters.items():
+            if name.startswith(prefix):
+                totals[name] = totals.get(name, 0) + value
+        for span in self.walk():
+            for name, value in span.counters.items():
+                if name.startswith(prefix):
+                    totals[name] = totals.get(name, 0) + value
+        return dict(sorted(totals.items()))
+
     def reset(self) -> None:
         """Drop all recorded spans and counters (open spans must be closed)."""
-        if self._stack:
+        if self._current_stack():
             raise ObsError(
-                f"cannot reset with open spans: {[s.name for s in self._stack]}"
+                "cannot reset with open spans: "
+                f"{[s.name for s in self._current_stack()]}"
             )
         self.roots = []
         self.counters = {}

@@ -1,0 +1,125 @@
+"""A small blocking client for the wire protocol.
+
+Used by the tests and the load benchmark (and the shell's ``connect``
+command): one socket, synchronous request/response, errors surfaced as
+:class:`~repro.core.errors.ServerError` with the server's error code.
+
+    with ServerClient("127.0.0.1", port) as client:
+        client.handshake("alice")
+        client.open_view("census")
+        mean = client.query("census", "mean", "INCOME")["value"]
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any, Sequence
+
+from repro.core.errors import ProtocolError, ServerError
+from repro.server.protocol import read_frame_sync, write_frame_sync
+
+
+class ServerClient:
+    """One blocking connection to an :class:`~repro.server.server.AnalystServer`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout_s: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.sid: str | None = None
+        self._ids = itertools.count(1)
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def call(self, op: str, **params: Any) -> dict[str, Any]:
+        """One request/response round trip; returns the ``result`` object.
+
+        Raises :class:`ServerError` (carrying the server's error code) on
+        an error response, :class:`ProtocolError` if the connection drops.
+        """
+        request = {"op": op, "id": next(self._ids), **params}
+        write_frame_sync(self._sock, request)
+        response = read_frame_sync(self._sock)
+        if response is None:
+            raise ProtocolError(f"server closed the connection during {op!r}")
+        if response.get("ok"):
+            return response.get("result", {})
+        error = response.get("error", {})
+        raise ServerError(
+            str(error.get("code", "unknown")),
+            str(error.get("message", "unspecified server error")),
+        )
+
+    def close(self) -> None:
+        """Polite close (server releases this session's locks)."""
+        try:
+            self.call("close")
+        except (OSError, ProtocolError, ServerError):
+            pass
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- operations --------------------------------------------------------
+
+    def handshake(self, analyst: str) -> dict[str, Any]:
+        result = self.call("handshake", analyst=analyst)
+        self.sid = result.get("sid")
+        return result
+
+    def open_view(self, view: str) -> dict[str, Any]:
+        return self.call("open_view", view=view)
+
+    def query(
+        self,
+        view: str,
+        function: str,
+        attribute: str | None = None,
+        attributes: Sequence[str] | None = None,
+        timeout_s: float | None = None,
+    ) -> dict[str, Any]:
+        params: dict[str, Any] = {"view": view, "function": function}
+        if attribute is not None:
+            params["attribute"] = attribute
+        if attributes is not None:
+            params["attributes"] = list(attributes)
+        if timeout_s is not None:
+            params["timeout_s"] = timeout_s
+        return self.call("query", **params)
+
+    def columns(self, view: str, attributes: Sequence[str]) -> dict[str, Any]:
+        return self.call("columns", view=view, attributes=list(attributes))
+
+    def update(
+        self,
+        view: str,
+        assignments: dict[str, Any],
+        where: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        return self.call("update", view=view, assignments=assignments, where=where)
+
+    def undo(self, view: str, count: int = 1) -> dict[str, Any]:
+        return self.call("undo", view=view, count=count)
+
+    def publish(self, view: str) -> dict[str, Any]:
+        return self.call("publish", view=view)
+
+    def adopt(self, view: str, new_name: str) -> dict[str, Any]:
+        return self.call("adopt", view=view, new_name=new_name)
+
+    def history(self, view: str) -> dict[str, Any]:
+        return self.call("history", view=view)
+
+    def stats(self, prefix: str = "") -> dict[str, Any]:
+        return self.call("stats", prefix=prefix)
+
+    def checkpoint(self) -> dict[str, Any]:
+        return self.call("checkpoint")

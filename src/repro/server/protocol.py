@@ -1,0 +1,121 @@
+"""The wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte little-endian unsigned length followed by that many
+bytes of UTF-8 JSON::
+
+    +----------------+------------------------+
+    | length: u32 LE | payload (JSON object)  |
+    +----------------+------------------------+
+
+Requests are objects with an ``op`` (and an optional client-chosen ``id``
+echoed back); responses carry ``ok`` plus either ``result`` or ``error``::
+
+    -> {"op": "query", "id": 7, "view": "census", "function": "mean",
+        "attribute": "INCOME"}
+    <- {"id": 7, "ok": true, "result": {"value": 51234.5, "version": 3}}
+    <- {"id": 7, "ok": false, "error": {"code": "busy", "message": "..."}}
+
+Operations: ``handshake``, ``open_view``, ``query``, ``update``, ``undo``,
+``publish``, ``adopt``, ``history``, ``stats``, ``checkpoint``, ``close``
+(see :mod:`repro.server.server` for per-op parameters).
+
+The framing is deliberately simpler than the WAL's (no checksum): TCP
+already guarantees payload integrity, so the length prefix only needs to
+delimit messages.  A length above :data:`MAX_FRAME_BYTES` means the peer
+is not speaking this protocol — the connection is dropped rather than the
+server attempting a multi-gigabyte read.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any
+
+from repro.core.errors import ProtocolError
+
+_LENGTH = struct.Struct("<I")
+
+#: No legitimate request or response approaches this (a query result is a
+#: few scalars; even a full history dump of the test views is kilobytes).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """One message as a length-prefixed frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"message of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict[str, Any]:
+    """Parse a frame payload into a message object."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise ProtocolError("connection closed mid-frame-header") from None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"implausible frame length {length}")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame-payload") from None
+    return decode_payload(payload)
+
+
+def write_frame_sync(sock: socket.socket, message: dict[str, Any]) -> None:
+    """Send one frame over a blocking socket."""
+    sock.sendall(encode_frame(message))
+
+
+def read_frame_sync(sock: socket.socket) -> dict[str, Any] | None:
+    """Read one frame from a blocking socket; ``None`` on clean EOF."""
+    header = _read_exactly(sock, _LENGTH.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"implausible frame length {length}")
+    payload = _read_exactly(sock, length, allow_eof=False)
+    assert payload is not None
+    return decode_payload(payload)
+
+
+def _read_exactly(
+    sock: socket.socket, count: int, allow_eof: bool
+) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None
+            raise ProtocolError(
+                f"connection closed with {remaining} of {count} bytes unread"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

@@ -1,0 +1,465 @@
+"""The asyncio wire server: many analysts, one statistical DBMS.
+
+The event loop owns accepting connections and framing; actual DBMS work
+runs on a bounded :class:`~concurrent.futures.ThreadPoolExecutor` so a
+slow scan never stalls the loop.  Between the two sits admission control:
+
+* at most ``max_inflight`` requests execute concurrently (a semaphore);
+* at most ``max_queue`` more may wait for a slot — beyond that the server
+  answers ``busy`` immediately (queue-depth rejection, counter
+  ``server.reject``) instead of building an unbounded backlog;
+* every admitted request carries a deadline (``request_timeout_s``,
+  covering queue wait + execution); expiry answers ``timeout`` (counter
+  ``server.timeout``).
+
+Concurrency control is delegated to a
+:class:`~repro.concurrency.transactions.TransactionCoordinator`: queries
+run inside snapshot read transactions, updates/undo inside per-view
+exclusive write transactions, publish/adopt under the registry lock, and
+``checkpoint`` quiesces the whole system.  Each connection is one session
+id (``s1``, ``s2``, ...); its WAL transactions carry that id and its locks
+are torn down on disconnect.
+
+Request execution is wrapped in a per-request span
+(``server.<op>``), so a :class:`~repro.concurrency.tracing.
+ConcurrentTracer` yields per-request timing plus ``server.*``/``lock.*``
+counter totals via :meth:`~repro.obs.tracer.Tracer.counter_totals`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from repro.concurrency.transactions import TransactionCoordinator
+from repro.core.dbms import StatisticalDBMS
+from repro.core.errors import (
+    DeadlockError,
+    LockTimeoutError,
+    ProtocolError,
+    ReproError,
+    ServerError,
+    SnapshotError,
+)
+from repro.metadata.persistence import value_to_jsonable
+from repro.obs.tracer import NULL_TRACER, AbstractTracer
+from repro.relational.expressions import col
+from repro.server.protocol import encode_frame, read_frame
+
+#: Ops the event loop answers directly (no DBMS work, no admission).
+_INLINE_OPS = frozenset({"handshake", "stats", "close"})
+
+
+class AnalystServer:
+    """One DBMS served to N connections over the frame protocol."""
+
+    def __init__(
+        self,
+        dbms: StatisticalDBMS,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = 4,
+        max_inflight: int = 8,
+        max_queue: int = 16,
+        request_timeout_s: float = 30.0,
+        lock_timeout_s: float = 10.0,
+        tracer: AbstractTracer | None = None,
+        coordinator: TransactionCoordinator | None = None,
+        allow_debug: bool = False,
+    ) -> None:
+        self.dbms = dbms
+        self.host = host
+        self.port = port  # 0 until serving; then the real bound port
+        self.max_workers = max_workers
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.request_timeout_s = request_timeout_s
+        self.tracer = tracer if tracer is not None else (
+            dbms.tracer if dbms.tracer.enabled else NULL_TRACER
+        )
+        self.coordinator = coordinator or TransactionCoordinator(
+            dbms, tracer=self.tracer, timeout_s=lock_timeout_s
+        )
+        self.allow_debug = allow_debug
+        self._sids = itertools.count(1)
+        self._pool: ThreadPoolExecutor | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._slots: asyncio.Semaphore | None = None
+        self._queued = 0
+        self._inflight = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.timed_out = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and begin accepting (resolves ``self.port`` when 0)."""
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="repro-worker"
+        )
+        self._slots = asyncio.Semaphore(self.max_inflight)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting, close the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- connections -------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        sid = f"s{next(self._sids)}"
+        analyst = sid
+        self.accepted += 1
+        self.tracer.add("server.accept")
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except ProtocolError as exc:
+                    await self._send(
+                        writer, {"ok": False, "error": {"code": "protocol", "message": str(exc)}}
+                    )
+                    break
+                if request is None:
+                    break
+                op = request.get("op")
+                request_id = request.get("id")
+                if op == "handshake":
+                    analyst = str(request.get("analyst", sid))
+                    response = self._ok(
+                        request_id,
+                        {"sid": sid, "analyst": analyst, "views": self.dbms.registry.names()},
+                    )
+                elif op == "stats":
+                    response = self._ok(request_id, self._stats(request))
+                elif op == "close":
+                    await self._send(writer, self._ok(request_id, {"sid": sid}))
+                    break
+                else:
+                    response = await self._admit(sid, analyst, request)
+                await self._send(writer, response)
+        finally:
+            released = self.coordinator.release(sid)
+            self.tracer.add("server.close")
+            if released:
+                self.tracer.add("server.locks_released_on_close", released)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, message: dict) -> None:
+        writer.write(encode_frame(message))
+        await writer.drain()
+
+    # -- admission ---------------------------------------------------------
+
+    async def _admit(self, sid: str, analyst: str, request: dict) -> dict:
+        """Queue-depth rejection, then deadline-bounded execution."""
+        request_id = request.get("id")
+        if self._queued >= self.max_queue:
+            self.rejected += 1
+            self.tracer.add("server.reject")
+            return self._err(
+                request_id,
+                "busy",
+                f"queue full ({self._queued} waiting, "
+                f"{self._inflight} in flight); retry later",
+            )
+        self.tracer.add("server.request")
+        deadline = request.get("timeout_s", self.request_timeout_s)
+        self._queued += 1
+        dequeued = False
+        try:
+            assert self._slots is not None and self._pool is not None
+            async def _run() -> dict:
+                nonlocal dequeued
+                async with self._slots:
+                    self._queued -= 1
+                    dequeued = True
+                    self._inflight += 1
+                    try:
+                        loop = asyncio.get_running_loop()
+                        return await loop.run_in_executor(
+                            self._pool, self._execute, sid, analyst, request
+                        )
+                    finally:
+                        self._inflight -= 1
+
+            return await asyncio.wait_for(_run(), timeout=deadline)
+        except asyncio.TimeoutError:
+            self.timed_out += 1
+            self.tracer.add("server.timeout")
+            return self._err(
+                request_id,
+                "timeout",
+                f"request exceeded its {deadline}s deadline",
+            )
+        finally:
+            if not dequeued:
+                self._queued -= 1
+
+    # -- execution (worker threads) ----------------------------------------
+
+    def _execute(self, sid: str, analyst: str, request: dict) -> dict:
+        op = str(request.get("op"))
+        request_id = request.get("id")
+        with self.tracer.span(f"server.{op}", sid=sid):
+            try:
+                handler = getattr(self, f"_op_{op}", None)
+                if handler is None:
+                    return self._err(request_id, "unknown_op", f"unknown op {op!r}")
+                return self._ok(request_id, handler(sid, analyst, request))
+            except DeadlockError as exc:
+                return self._err(request_id, "deadlock", str(exc))
+            except LockTimeoutError as exc:
+                return self._err(request_id, "lock_timeout", str(exc))
+            except SnapshotError as exc:
+                return self._err(request_id, "snapshot", str(exc))
+            except ServerError as exc:
+                return self._err(request_id, exc.code, str(exc))
+            except ReproError as exc:
+                self.tracer.add("server.error")
+                return self._err(request_id, type(exc).__name__, str(exc))
+
+    # Each _op_* runs on a worker thread with admission already granted.
+
+    def _op_open_view(self, sid: str, analyst: str, request: dict) -> dict:
+        session = self.coordinator.session(sid, self._view_of(request), analyst)
+        view = session.view
+        return {
+            "view": view.name,
+            "version": view.version,
+            "rows": len(view),
+            "attributes": list(view.schema.names),
+        }
+
+    def _op_query(self, sid: str, analyst: str, request: dict) -> dict:
+        view_name = self._view_of(request)
+        function = str(request["function"])
+        attributes = request.get("attributes")
+        with self.coordinator.read(sid, view_name, analyst) as snapshot:
+            if attributes is not None:
+                value = snapshot.session.compute_pair(
+                    function, attributes[0], attributes[1]
+                )
+            else:
+                value = snapshot.compute(function, str(request["attribute"]))
+            return {
+                "value": value_to_jsonable(value),
+                "version": snapshot.version,
+            }
+
+    def _op_columns(self, sid: str, analyst: str, request: dict) -> dict:
+        """Raw column values under one snapshot (the atomicity probe)."""
+        view_name = self._view_of(request)
+        names = [str(a) for a in request["attributes"]]
+        with self.coordinator.read(sid, view_name, analyst) as snapshot:
+            return {
+                "version": snapshot.version,
+                "columns": {
+                    name: [
+                        value_to_jsonable(v)
+                        for v in snapshot.session.view.column(name)
+                    ]
+                    for name in names
+                },
+            }
+
+    def _op_update(self, sid: str, analyst: str, request: dict) -> dict:
+        view_name = self._view_of(request)
+        where = request.get("where")
+        assignments = dict(request["assignments"])
+        predicate = None
+        if where is not None:
+            predicate = col(str(where["attribute"])) == where["equals"]
+        with self.coordinator.write(sid, view_name, analyst) as session:
+            report = session.update(
+                predicate, assignments, description=f"update by {analyst}"
+            )
+            return {
+                "version": session.view.version,
+                "entries_visited": report.entries_visited,
+            }
+
+    def _op_undo(self, sid: str, analyst: str, request: dict) -> dict:
+        view_name = self._view_of(request)
+        count = int(request.get("count", 1))
+        with self.coordinator.write(sid, view_name, analyst) as session:
+            if count > len(session.view.history):
+                return {"version": session.view.version, "undone": 0}
+            session.undo(count)
+            return {"version": session.view.version, "undone": count}
+
+    def _op_publish(self, sid: str, analyst: str, request: dict) -> dict:
+        view_name = self._view_of(request)
+        with self.coordinator.registry_write(sid) as dbms:
+            edits = dbms.publish(view_name, publisher=analyst)
+            return {
+                "view": view_name,
+                "publisher": edits.publisher,
+                "version": edits.version,
+            }
+
+    def _op_adopt(self, sid: str, analyst: str, request: dict) -> dict:
+        view_name = self._view_of(request)
+        new_name = str(request["new_name"])
+        with self.coordinator.registry_write(sid) as dbms:
+            view = dbms.adopt_published(view_name, new_name, analyst)
+            return {"view": view.name, "rows": len(view)}
+
+    def _op_history(self, sid: str, analyst: str, request: dict) -> dict:
+        view_name = self._view_of(request)
+        with self.coordinator.read(sid, view_name, analyst) as snapshot:
+            return {
+                "version": snapshot.version,
+                "operations": [
+                    {
+                        "version": op.version,
+                        "kind": op.kind.value,
+                        "attribute": op.attribute,
+                        "cells": op.cells_changed,
+                    }
+                    for op in snapshot.operations()
+                ],
+            }
+
+    def _op_checkpoint(self, sid: str, analyst: str, request: dict) -> dict:
+        path = self.coordinator.checkpoint(sid)
+        return {"path": str(path)}
+
+    def _op_debug_sleep(self, sid: str, analyst: str, request: dict) -> dict:
+        """Occupy a worker slot (admission-control tests only)."""
+        if not self.allow_debug:
+            raise ServerError("forbidden", "debug ops are disabled")
+        import time
+
+        time.sleep(float(request.get("seconds", 0.1)))
+        return {"slept": float(request.get("seconds", 0.1))}
+
+    # -- stats -------------------------------------------------------------
+
+    def _stats(self, request: dict) -> dict:
+        prefix = str(request.get("prefix", ""))
+        counters: dict[str, float] = {}
+        totals = getattr(self.tracer, "counter_totals", None)
+        if callable(totals):
+            counters = totals(prefix)
+        return {
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "timed_out": self.timed_out,
+            "queued": self._queued,
+            "inflight": self._inflight,
+            "views": self.dbms.registry.names(),
+            "counters": counters,
+        }
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _view_of(request: dict) -> str:
+        view = request.get("view")
+        if not view:
+            raise ProtocolError(f"op {request.get('op')!r} needs a 'view'")
+        return str(view)
+
+    @staticmethod
+    def _ok(request_id: Any, result: dict) -> dict:
+        response = {"ok": True, "result": result}
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    @staticmethod
+    def _err(request_id: Any, code: str, message: str) -> dict:
+        response = {"ok": False, "error": {"code": code, "message": message}}
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+
+class ServerThread:
+    """Run an :class:`AnalystServer` on a background event-loop thread.
+
+    The shell's ``serve`` command and the tests use this: ``start()``
+    returns once the port is bound (resolving port 0 to the real port),
+    ``stop()`` tears the loop down.  ``kill()`` abandons the loop without
+    cleanup — the crash half of the stress test's kill-and-recover phase.
+    """
+
+    def __init__(self, server: AnalystServer) -> None:
+        self.server = server
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._stopping: asyncio.Event | None = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self, timeout_s: float = 10.0) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout_s):
+            raise ServerError("startup", "server failed to bind in time")
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
+        await self.server.start()
+        self._ready.set()
+        try:
+            await self._stopping.wait()
+        finally:
+            await self.server.stop()
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        """Graceful shutdown: stop accepting, drain, join the thread."""
+        if self._loop is not None and self._stopping is not None:
+            self._loop.call_soon_threadsafe(self._stopping.set)
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+            self._thread = None
+
+    def kill(self) -> None:
+        """Abandon the server without cleanup (simulated crash).
+
+        The daemon loop thread is left to die with the process as far as
+        the caller is concerned; the durability directory is whatever the
+        last committed fsync left behind — exactly what ``recover()``
+        must handle.
+        """
+        if self._loop is not None and self._stopping is not None:
+            # Stop accepting so the port frees up, but skip all draining.
+            self._loop.call_soon_threadsafe(self._stopping.set)
+        self._thread = None

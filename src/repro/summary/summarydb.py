@@ -27,6 +27,21 @@ from repro.storage.btree import BPlusTree
 from repro.summary.entries import SummaryEntry, SummaryKey
 
 
+class _NullLatch:
+    """Do-nothing context manager: the single-threaded default latch."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullLatch":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NULL_LATCH = _NullLatch()
+
+
 @dataclass
 class SummaryStats:
     """Cache-behaviour counters for one Summary Database."""
@@ -82,6 +97,14 @@ class SummaryDatabase:
         self.clustered = clustered
         self.capacity_bytes = capacity_bytes
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Guard held around structural mutations (insert/remove).  The
+        #: default no-op latch costs nothing single-threaded; the
+        #: multi-analyst layer (:mod:`repro.concurrency`) installs a real
+        #: mutex so concurrent shared-lock readers filling the cache cannot
+        #: corrupt the insertion order or the attribute index.  Lock
+        #: construction itself stays inside ``repro.concurrency``
+        #: (REPRO-A109); this class only *holds* whatever it was given.
+        self.latch: Any = _NULL_LATCH
         self.stats = SummaryStats()
         self._entries: dict[SummaryKey, SummaryEntry] = {}
         self._insertion_order: list[SummaryKey] = []
@@ -133,7 +156,13 @@ class SummaryDatabase:
         compute_cost_rows: int = 0,
         version: int = 0,
     ) -> SummaryEntry:
-        """Insert (or overwrite) a cached result."""
+        """Insert (or overwrite) a cached result.
+
+        Structural mutation happens under :attr:`latch`, so concurrent
+        readers racing to fill the same cache (both missed, both computed)
+        at worst overwrite each other with identical results — the index
+        and insertion order never corrupt.
+        """
         key = self._key(function, attributes)
         entry = SummaryEntry(
             key=key,
@@ -143,20 +172,22 @@ class SummaryDatabase:
         )
         entry.mark_fresh(version)
         entry._last_hit = self._clock  # type: ignore[attr-defined]
-        if key not in self._entries:
-            self._insertion_order.append(key)
-            self._index.insert((key.primary_attribute, key.function), key)
-        self._entries[key] = entry
-        self.stats.insertions += 1
-        self._enforce_capacity()
+        with self.latch:
+            if key not in self._entries:
+                self._insertion_order.append(key)
+                self._index.insert((key.primary_attribute, key.function), key)
+            self._entries[key] = entry
+            self.stats.insertions += 1
+            self._enforce_capacity()
         return entry
 
     def remove(self, function: str, attributes: Sequence[str] | str) -> None:
         """Drop one entry."""
         key = self._key(function, attributes)
-        if key not in self._entries:
-            raise SummaryError(f"no cached entry for {key}")
-        self._drop(key)
+        with self.latch:
+            if key not in self._entries:
+                raise SummaryError(f"no cached entry for {key}")
+            self._drop(key)
 
     def _drop(self, key: SummaryKey) -> None:
         del self._entries[key]

@@ -124,6 +124,28 @@ class UpdateHistory:
         """Operations applied after ``version``."""
         return [op for op in self._operations if op.version > version]
 
+    def operations_upto(self, version: int) -> list[Operation]:
+        """Operations at or below ``version``, oldest first.
+
+        This is the snapshot-read access path of the multi-analyst layer:
+        a read transaction pins the view's version high-water mark at
+        start and consumes the history only up to that mark, so a
+        concurrently committing writer's operations never leak into an
+        in-flight reader's picture of the edit log (paper SS3.2 — peers
+        consume each other's data-checking work through the history).
+        """
+        return [op for op in self._operations if op.version <= version]
+
+    def tail_versions(self, count: int) -> list[int]:
+        """The last ``count`` operations' versions, newest first.
+
+        Recovery and the undo-idempotence guard both need "what exactly is
+        on the tail" without copying whole operations.
+        """
+        if count <= 0:
+            return []
+        return [op.version for op in reversed(self._operations[-count:])]
+
     # -- undo / rollback ----------------------------------------------------------
 
     def undo_last(self, relation: Relation, count: int = 1) -> list[Operation]:

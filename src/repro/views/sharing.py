@@ -44,12 +44,19 @@ class DerivationMatch:
 
 @dataclass(frozen=True)
 class PublishedEdits:
-    """An analyst's published data-checking results."""
+    """An analyst's published data-checking results.
+
+    ``version`` is the view's history high-water mark at publication time;
+    together with ``publisher`` it is the provenance an adopting analyst
+    verifies against the Management Database record (who published, at
+    which state) before trusting the snapshot.
+    """
 
     view_name: str
     publisher: str
     relation: Relation  # snapshot of the cleaned data
     operations: tuple[Operation, ...]
+    version: int = 0  # view version the snapshot reflects
 
 
 class ViewRegistry:
@@ -95,7 +102,10 @@ class ViewRegistry:
         leaves exactly V's definition tree.
         """
         requested = definition.canonical()
-        for name, view in self._views.items():
+        # Iterate in sorted-name order so a request matching several
+        # registered views resolves to the lexicographically smallest name
+        # deterministically, independent of registration order.
+        for name, view in sorted(self._views.items()):
             if view.definition is None:
                 continue
             if view.definition.canonical() == requested:
@@ -108,7 +118,7 @@ class ViewRegistry:
             node = node.child
             stripped += 1
             core = node.canonical()
-            for name, view in self._views.items():
+            for name, view in sorted(self._views.items()):
                 if view.definition is None:
                     continue
                 if view.definition.canonical() == core:
@@ -146,6 +156,7 @@ class ViewRegistry:
             publisher=publisher or view.owner,
             relation=view.relation.copy(f"{view.name}_published"),
             operations=tuple(view.history.operations()),
+            version=view.version,
         )
         self._published[view.name] = edits
         return edits

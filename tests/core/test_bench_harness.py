@@ -1,8 +1,15 @@
 """Tests for the benchmark harness's table rendering."""
 
+import json
+
 import pytest
 
-from repro.bench.harness import ExperimentTable, speedup
+from repro.bench.harness import (
+    ExperimentTable,
+    git_sha,
+    speedup,
+    write_json,
+)
 
 
 class TestExperimentTable:
@@ -50,3 +57,45 @@ class TestSpeedup:
 
     def test_zero_denominator(self):
         assert speedup(10, 0) == float("inf")
+
+
+class TestWriteJson:
+    def make_table(self):
+        table = ExperimentTable("E0", "demo", ["name", "value"])
+        table.add_row("alpha", 1.0)
+        return table
+
+    def test_payload_shape(self, tmp_path):
+        path = write_json(
+            tmp_path / "BENCH_e0.json",
+            [self.make_table()],
+            metrics={"speedup": 2.0},
+            params={"workers": 4, "concurrency": [2, 8]},
+        )
+        payload = json.loads(path.read_text())
+        assert payload["metrics"] == {"speedup": 2.0}
+        assert payload["params"] == {"workers": 4, "concurrency": [2, 8]}
+        assert payload["tables"][0]["experiment"] == "E0"
+        assert "git_sha" in payload
+
+    def test_git_sha_recorded_in_this_checkout(self, tmp_path):
+        # The repo under test is a git checkout, so the SHA must resolve.
+        sha = git_sha()
+        assert sha is not None and len(sha) == 40
+        path = write_json(tmp_path / "b.json", [self.make_table()])
+        assert json.loads(path.read_text())["git_sha"] == sha
+
+    def test_params_default_empty(self, tmp_path):
+        path = write_json(tmp_path / "b.json", [self.make_table()])
+        payload = json.loads(path.read_text())
+        assert payload["params"] == {}
+        assert "spans" not in payload
+
+    def test_spans_preserved(self, tmp_path):
+        path = write_json(
+            tmp_path / "b.json",
+            [self.make_table()],
+            spans={"counters": {"server.accept": 2}, "spans": []},
+        )
+        payload = json.loads(path.read_text())
+        assert payload["spans"]["counters"]["server.accept"] == 2

@@ -367,3 +367,71 @@ class TestDurabilityIo:
             "src/repro/durability/recovery.py",
         ):
             assert lint(code, path=module, select={"REPRO-A108"}) == []
+
+
+class TestLockConstruct:
+    def test_threading_lock_flagged(self):
+        code = """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._latch = threading.Lock()
+        """
+        findings = lint(code, path="src/repro/summary/summarydb.py", select={"REPRO-A109"})
+        assert rule_ids(findings) == ["REPRO-A109"]
+
+    def test_asyncio_and_rlock_variants_flagged(self):
+        code = """
+        import asyncio
+        import threading
+
+        a = asyncio.Lock()
+        b = threading.RLock()
+        c = threading.Condition()
+        d = asyncio.Semaphore(4)
+        """
+        findings = lint(code, path="src/repro/core/dbms.py", select={"REPRO-A109"})
+        assert len(findings) == 4
+
+    def test_from_import_spelling_flagged(self):
+        code = """
+        from threading import Lock
+
+        guard = Lock()
+        """
+        findings = lint(code, path="src/repro/obs/tracer.py", select={"REPRO-A109"})
+        assert rule_ids(findings) == ["REPRO-A109"]
+
+    def test_concurrency_and_server_packages_exempt(self):
+        code = """
+        import threading
+
+        mutex = threading.Lock()
+        """
+        for module in (
+            "src/repro/concurrency/locks.py",
+            "src/repro/concurrency/tracing.py",
+            "src/repro/server/server.py",
+        ):
+            assert lint(code, path=module, select={"REPRO-A109"}) == []
+
+    def test_unrelated_name_passes(self):
+        code = """
+        from repro.concurrency.tracing import make_latch
+
+        class Holder:
+            def __init__(self, Lock=None):
+                self.latch = make_latch()
+        """
+        assert lint(code, path="src/repro/core/session.py", select={"REPRO-A109"}) == []
+
+    def test_suppression_comment_honoured(self):
+        code = """
+        import threading
+
+        guard = threading.Lock()  # repro-lint: disable=REPRO-A109
+        """
+        findings = lint(code, path="src/repro/core/dbms.py", select={"REPRO-A109"})
+        index = parse_suppressions(textwrap.dedent(code))
+        assert [f for f in findings if not index.suppresses(f)] == []

@@ -1,0 +1,1 @@
+"""Service-layer tests: protocol, locks, coordinator, wire server."""

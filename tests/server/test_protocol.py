@@ -1,0 +1,118 @@
+"""Frame protocol tests: length-prefixed JSON over byte streams."""
+
+import asyncio
+import socket
+import struct
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    decode_payload,
+    encode_frame,
+    read_frame,
+    read_frame_sync,
+    write_frame_sync,
+)
+
+
+def roundtrip_async(frames):
+    """Feed encoded frames through an asyncio StreamReader, collect decodes."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        for message in frames:
+            reader.feed_data(encode_frame(message))
+        reader.feed_eof()
+        out = []
+        while True:
+            message = await read_frame(reader)
+            if message is None:
+                return out
+            out.append(message)
+
+    return asyncio.run(run())
+
+
+class TestEncoding:
+    def test_frame_layout(self):
+        frame = encode_frame({"op": "stats"})
+        (length,) = struct.unpack("<I", frame[:4])
+        assert length == len(frame) - 4
+        assert decode_payload(frame[4:]) == {"op": "stats"}
+
+    def test_roundtrip_preserves_structure(self):
+        message = {"op": "update", "id": 7, "assignments": {"x": 1.5}, "where": None}
+        assert roundtrip_async([message]) == [message]
+
+    def test_multiple_frames_on_one_stream(self):
+        frames = [{"id": i} for i in range(5)]
+        assert roundtrip_async(frames) == frames
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="object"):
+            decode_payload(b"[1, 2]")
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_payload(b"{nope")
+
+    def test_oversized_frame_refused_on_encode(self):
+        with pytest.raises(ProtocolError, match="frame"):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+
+class TestAsyncReads:
+    def test_clean_eof_returns_none(self):
+        assert roundtrip_async([]) == []
+
+    def test_truncated_frame_is_protocol_error(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"op": "stats"})[:-2])
+            reader.feed_eof()
+            await read_frame(reader)
+
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            asyncio.run(run())
+
+    def test_oversized_header_refused_before_read(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack("<I", MAX_FRAME_BYTES + 1))
+            reader.feed_eof()
+            await read_frame(reader)
+
+        with pytest.raises(ProtocolError, match="frame"):
+            asyncio.run(run())
+
+
+class TestSyncHelpers:
+    def test_socketpair_roundtrip(self):
+        left, right = socket.socketpair()
+        try:
+            write_frame_sync(left, {"op": "handshake", "analyst": "alice"})
+            message = read_frame_sync(right)
+            assert message == {"op": "handshake", "analyst": "alice"}
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_returns_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert read_frame_sync(right) is None
+        finally:
+            right.close()
+
+    def test_mid_frame_eof_is_protocol_error(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(encode_frame({"op": "stats"})[:-3])
+            left.close()
+            with pytest.raises(ProtocolError, match="unread"):
+                read_frame_sync(right)
+        finally:
+            right.close()

@@ -1,0 +1,195 @@
+"""Edge cases of ViewRegistry derivable matching, plus publish provenance.
+
+Satellites of the service-layer PR: the derivable-match walk has corners
+(``max_ops=0``, nested Select-of-Project wrapping, several covering views)
+that the happy-path tests in test_view_sharing.py never exercise, and the
+publish path now records provenance the Management Database can verify.
+"""
+
+import pytest
+
+from repro.core.errors import ViewError
+from repro.core.dbms import StatisticalDBMS
+from repro.relational.expressions import col
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, measure
+from repro.views.materialize import (
+    ProjectNode,
+    SelectNode,
+    SourceNode,
+    ViewDefinition,
+)
+from repro.views.sharing import ViewRegistry
+from repro.views.view import ConcreteView
+
+
+def simple_relation(name="v", n=20):
+    schema = Schema([measure("x"), measure("y")])
+    return Relation(name, schema, [(float(i), float(i * 2)) for i in range(n)])
+
+
+def registered(registry, name, definition):
+    view = ConcreteView(name, simple_relation(name), definition=definition)
+    registry.register(view)
+    return view
+
+
+class TestMaxOpsZero:
+    """max_derivation_ops=0: identical matches only, never derivable."""
+
+    def test_identical_still_found(self):
+        registry = ViewRegistry(max_derivation_ops=0)
+        registered(registry, "base", ViewDefinition("base", SourceNode("census")))
+        match = registry.find_match(ViewDefinition("dup", SourceNode("census")))
+        assert match is not None
+        assert match.kind == "identical"
+        assert match.operations == 0
+
+    def test_one_layer_not_derivable(self):
+        registry = ViewRegistry(max_derivation_ops=0)
+        registered(registry, "base", ViewDefinition("base", SourceNode("census")))
+        request = ViewDefinition(
+            "subset", SelectNode(SourceNode("census"), col("x") > 5)
+        )
+        assert registry.find_match(request) is None
+
+
+class TestNestedWrapping:
+    """Select-of-Project (and deeper sandwiches) strip layer by layer."""
+
+    def test_select_of_project_derivable(self):
+        registry = ViewRegistry()
+        registered(registry, "base", ViewDefinition("base", SourceNode("census")))
+        request = ViewDefinition(
+            "narrow",
+            SelectNode(
+                ProjectNode(SourceNode("census"), ("x",)),
+                col("x") > 3,
+            ),
+        )
+        match = registry.find_match(request)
+        assert match is not None
+        assert match.kind == "derivable"
+        assert match.operations == 2
+
+    def test_derive_evaluates_layers_inside_out(self):
+        registry = ViewRegistry()
+        registered(registry, "base", ViewDefinition("base", SourceNode("census")))
+        request = ViewDefinition(
+            "narrow",
+            SelectNode(
+                ProjectNode(SourceNode("census"), ("x",)),
+                col("x") > 15,
+            ),
+        )
+        match = registry.find_match(request)
+        derived = registry.derive_from(request, match)
+        # Project first (x only), then select x > 15 -> rows 16..19.
+        assert derived.schema.names == ["x"]
+        assert len(derived) == 4
+
+    def test_intermediate_layer_can_match(self):
+        """The walk must test after each strip, not only at the bottom."""
+        registry = ViewRegistry()
+        registered(
+            registry,
+            "projected",
+            ViewDefinition("projected", ProjectNode(SourceNode("census"), ("x",))),
+        )
+        request = ViewDefinition(
+            "narrow",
+            SelectNode(
+                ProjectNode(SourceNode("census"), ("x",)),
+                col("x") > 3,
+            ),
+        )
+        match = registry.find_match(request)
+        assert match is not None
+        assert match.existing == "projected"
+        assert match.operations == 1
+
+
+class TestTieBreaking:
+    """A request matching several views must resolve deterministically."""
+
+    def request(self):
+        return ViewDefinition(
+            "sub", SelectNode(SourceNode("census"), col("x") > 5)
+        )
+
+    def test_two_identical_candidates_smallest_name_wins(self):
+        registry = ViewRegistry()
+        registered(registry, "beta", ViewDefinition("beta", SourceNode("census")))
+        registered(registry, "alpha", ViewDefinition("alpha", SourceNode("census")))
+        match = registry.find_match(self.request())
+        assert match is not None
+        assert match.existing == "alpha"
+
+    def test_registration_order_is_irrelevant(self):
+        forward = ViewRegistry()
+        registered(forward, "alpha", ViewDefinition("alpha", SourceNode("census")))
+        registered(forward, "beta", ViewDefinition("beta", SourceNode("census")))
+        backward = ViewRegistry()
+        registered(backward, "beta", ViewDefinition("beta", SourceNode("census")))
+        registered(backward, "alpha", ViewDefinition("alpha", SourceNode("census")))
+        assert (
+            forward.find_match(self.request()).existing
+            == backward.find_match(self.request()).existing
+            == "alpha"
+        )
+
+
+class TestPublishProvenance:
+    """publish() records analyst + version; adoption verifies them."""
+
+    def build_dbms(self):
+        dbms = StatisticalDBMS()
+        dbms.load_raw(simple_relation("census"))
+        dbms.create_view(
+            ViewDefinition("mine", SourceNode("census")), analyst="alice"
+        )
+        return dbms
+
+    def test_publication_recorded_in_management(self):
+        dbms = self.build_dbms()
+        edits = dbms.publish("mine", publisher="alice")
+        record = dbms.management.publication("mine")
+        assert record.publisher == "alice" == edits.publisher
+        assert record.version == edits.version == 0
+        assert "mine" in dbms.management.describe()["publications"]
+
+    def test_publication_version_tracks_history(self):
+        dbms = self.build_dbms()
+        session = dbms.session("mine", analyst="alice")
+        session.update(col("x") == 3.0, {"x": -1.0})
+        edits = dbms.publish("mine", publisher="alice")
+        assert edits.version == dbms.view("mine").version > 0
+        assert dbms.management.publication("mine").version == edits.version
+
+    def test_adoption_verifies_provenance(self):
+        dbms = self.build_dbms()
+        dbms.publish("mine", publisher="alice")
+        adopted = dbms.adopt_published("mine", "theirs", analyst="bob")
+        assert adopted.owner == "bob"
+        assert len(adopted) == 20
+
+    def test_adoption_refused_without_record(self):
+        dbms = self.build_dbms()
+        # A snapshot planted directly in the registry has no control record.
+        dbms.registry.publish(dbms.view("mine"), publisher="mallory")
+        with pytest.raises(ViewError, match="provenance"):
+            dbms.adopt_published("mine", "theirs", analyst="bob")
+
+    def test_adoption_refused_on_mismatch(self):
+        dbms = self.build_dbms()
+        dbms.publish("mine", publisher="alice")
+        # The registry snapshot is replaced behind the Management DB's back.
+        dbms.registry.publish(dbms.view("mine"), publisher="mallory")
+        with pytest.raises(ViewError, match="provenance mismatch"):
+            dbms.adopt_published("mine", "theirs", analyst="bob")
+
+    def test_drop_view_clears_publication(self):
+        dbms = self.build_dbms()
+        dbms.publish("mine", publisher="alice")
+        dbms.drop_view("mine")
+        assert dbms.management.publications() == {}
