@@ -55,19 +55,34 @@ class LockMode(enum.Enum):
 
 
 @dataclass
+class _Hold:
+    """One session's (reentrant) hold on one resource.
+
+    ``upgraded_at`` remembers the acquisition level at which a sole-holder
+    SHARED->EXCLUSIVE upgrade happened, so releasing back below that level
+    downgrades the hold to SHARED again — the outer scopes only ever asked
+    for a read lock, and other readers must not stay blocked on them.
+    """
+
+    mode: LockMode
+    count: int
+    upgraded_at: int | None = None
+
+
+@dataclass
 class _ResourceLock:
     """One resource's holder table."""
 
-    holders: dict[str, tuple[LockMode, int]] = field(default_factory=dict)
+    holders: dict[str, _Hold] = field(default_factory=dict)
 
     def mode_of(self, session: str) -> LockMode | None:
         held = self.holders.get(session)
-        return held[0] if held else None
+        return held.mode if held else None
 
     @property
     def exclusive_holder(self) -> str | None:
-        for session, (mode, _) in self.holders.items():
-            if mode is LockMode.EXCLUSIVE:
+        for session, hold in self.holders.items():
+            if hold.mode is LockMode.EXCLUSIVE:
                 return session
         return None
 
@@ -166,9 +181,14 @@ class LockManager:
                 raise ConcurrencyError(
                     f"session {session!r} does not hold {resource!r}"
                 )
-            mode, count = held
-            if count > 1:
-                lock.holders[session] = (mode, count - 1)
+            if held.count > 1:
+                held.count -= 1
+                if held.upgraded_at is not None and held.count < held.upgraded_at:
+                    # The exclusive scope is gone; the remaining outer
+                    # holds were acquired SHARED, so downgrade in place
+                    # and let blocked readers back in.
+                    held.mode = LockMode.SHARED
+                    held.upgraded_at = None
             else:
                 del lock.holders[session]
                 if not lock.holders:
@@ -225,7 +245,7 @@ class LockManager:
             lock = self._locks.get(resource)
             if lock is None:
                 return {}
-            return {s: mode for s, (mode, _) in lock.holders.items()}
+            return {s: hold.mode for s, hold in lock.holders.items()}
 
     def held_by(self, session: str) -> list[str]:
         """Resources ``session`` currently holds, sorted."""
@@ -266,14 +286,15 @@ class LockManager:
     def _grant(self, lock: _ResourceLock, session: str, mode: LockMode) -> None:
         held = lock.holders.get(session)
         if held is None:
-            lock.holders[session] = (mode, 1)
+            lock.holders[session] = _Hold(mode, 1)
+        elif mode is LockMode.EXCLUSIVE and held.mode is LockMode.SHARED:
+            # Sole-holder upgrade: the hold becomes exclusive in place,
+            # remembering the level so release() can downgrade it back.
+            held.count += 1
+            held.mode = LockMode.EXCLUSIVE
+            held.upgraded_at = held.count
         else:
-            held_mode, count = held
-            if mode is LockMode.EXCLUSIVE and held_mode is LockMode.SHARED:
-                # Sole-holder upgrade: the hold becomes exclusive in place.
-                lock.holders[session] = (LockMode.EXCLUSIVE, count + 1)
-            else:
-                lock.holders[session] = (held_mode, count + 1)
+            held.count += 1
 
     def _exclusive_waiter(self, resource: str, exclude: str) -> bool:
         return any(

@@ -103,11 +103,13 @@ class TransactionCoordinator:
                 session = self.dbms.session(
                     view_name, analyst=analyst or sid, session_id=sid
                 )
-                # The view's Summary Database is about to be shared by
-                # every connection that opens this view: give it a real
-                # latch (constructed here — REPRO-A109) so concurrent
-                # cache fills cannot corrupt its index.
-                session.view.summary.latch = make_latch()
+                # The view's Summary Database is shared by every connection
+                # that opens this view: give it a real latch (constructed
+                # here — REPRO-A109) so concurrent cache fills cannot
+                # corrupt its index.  install_latch is idempotent — other
+                # connections' reader threads may already be inside the
+                # first latch, so it must never be swapped out.
+                session.view.summary.install_latch(make_latch())
                 self._sessions[key] = session
         return session
 
@@ -122,10 +124,14 @@ class TransactionCoordinator:
 
     @contextmanager
     def read(
-        self, sid: str, view_name: str, analyst: str | None = None
+        self,
+        sid: str,
+        view_name: str,
+        analyst: str | None = None,
+        timeout_s: float | None = None,
     ) -> Iterator[ReadSnapshot]:
         """A snapshot-consistent read transaction (SHARED lock + pin)."""
-        with self.locks.shared(sid, view_name):
+        with self.locks.shared(sid, view_name, timeout_s):
             session = self.session(sid, view_name, analyst)
             pinned = session.view.version
             yield ReadSnapshot(session, pinned)
@@ -140,17 +146,33 @@ class TransactionCoordinator:
 
     @contextmanager
     def write(
-        self, sid: str, view_name: str, analyst: str | None = None
+        self,
+        sid: str,
+        view_name: str,
+        analyst: str | None = None,
+        timeout_s: float | None = None,
     ) -> Iterator[AnalystSession]:
         """A serialized write transaction (EXCLUSIVE lock)."""
-        with self.locks.exclusive(sid, view_name):
+        with self.locks.exclusive(sid, view_name, timeout_s):
             yield self.session(sid, view_name, analyst)
 
     @contextmanager
-    def registry_write(self, sid: str) -> Iterator[StatisticalDBMS]:
+    def registry_write(
+        self, sid: str, timeout_s: float | None = None
+    ) -> Iterator[StatisticalDBMS]:
         """Serialize a registry-level mutation (create/publish/adopt/drop)."""
-        with self.locks.exclusive(sid, REGISTRY_RESOURCE):
+        with self.locks.exclusive(sid, REGISTRY_RESOURCE, timeout_s):
             yield self.dbms
+
+    def registry_names(self, sid: str, timeout_s: float | None = None) -> list[str]:
+        """Snapshot the registry's view names under the SHARED registry lock.
+
+        Handshake/stats use this instead of reading ``registry.names()``
+        bare, so the read cannot observe a registry mid-mutation
+        (publish/adopt hold the EXCLUSIVE registry lock).
+        """
+        with self.locks.shared(sid, REGISTRY_RESOURCE, timeout_s):
+            return self.dbms.registry.names()
 
     # -- quiesced checkpoints ----------------------------------------------
 

@@ -4,13 +4,22 @@ The event loop owns accepting connections and framing; actual DBMS work
 runs on a bounded :class:`~concurrent.futures.ThreadPoolExecutor` so a
 slow scan never stalls the loop.  Between the two sits admission control:
 
-* at most ``max_inflight`` requests execute concurrently (a semaphore);
+* at most ``max_inflight`` requests execute concurrently (a semaphore
+  whose slot is returned only when the worker thread actually finishes —
+  threads cannot be cancelled, so a timed-out request keeps its slot
+  until its thread yields and ``max_inflight`` bounds *real* concurrent
+  executions);
 * at most ``max_queue`` more may wait for a slot — beyond that the server
   answers ``busy`` immediately (queue-depth rejection, counter
   ``server.reject``) instead of building an unbounded backlog;
 * every admitted request carries a deadline (``request_timeout_s``,
   covering queue wait + execution); expiry answers ``timeout`` (counter
-  ``server.timeout``).
+  ``server.timeout``).  A ``timeout`` response leaves the operation's
+  outcome *ambiguous*: the worker thread may still commit afterwards, so
+  clients must verify the view version before retrying a write.  Workers
+  mitigate the window by refusing to start past their deadline (counter
+  ``server.expired_skip``) and bounding their lock waits by the time
+  remaining.
 
 Concurrency control is delegated to a
 :class:`~repro.concurrency.transactions.TransactionCoordinator`: queries
@@ -31,8 +40,9 @@ from __future__ import annotations
 import asyncio
 import itertools
 import threading
-from concurrent.futures import ThreadPoolExecutor
-from typing import Any
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable
 
 from repro.concurrency.transactions import TransactionCoordinator
 from repro.core.dbms import StatisticalDBMS
@@ -49,7 +59,9 @@ from repro.obs.tracer import NULL_TRACER, AbstractTracer
 from repro.relational.expressions import col
 from repro.server.protocol import encode_frame, read_frame
 
-#: Ops the event loop answers directly (no DBMS work, no admission).
+#: Ops answered without admission control (kept responsive under load);
+#: their registry reads still run off the event loop, under the
+#: coordinator's SHARED registry lock, on a dedicated inline executor.
 _INLINE_OPS = frozenset({"handshake", "stats", "close"})
 
 
@@ -86,6 +98,7 @@ class AnalystServer:
         self.allow_debug = allow_debug
         self._sids = itertools.count(1)
         self._pool: ThreadPoolExecutor | None = None
+        self._inline_pool: ThreadPoolExecutor | None = None
         self._server: asyncio.AbstractServer | None = None
         self._slots: asyncio.Semaphore | None = None
         self._queued = 0
@@ -100,6 +113,11 @@ class AnalystServer:
         """Bind and begin accepting (resolves ``self.port`` when 0)."""
         self._pool = ThreadPoolExecutor(
             max_workers=self.max_workers, thread_name_prefix="repro-worker"
+        )
+        # Inline ops (handshake/stats) run here so they never queue behind
+        # long DBMS work, yet still read the registry under its lock.
+        self._inline_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-inline"
         )
         self._slots = asyncio.Semaphore(self.max_inflight)
         self._server = await asyncio.start_server(
@@ -116,6 +134,9 @@ class AnalystServer:
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        if self._inline_pool is not None:
+            self._inline_pool.shutdown(wait=False, cancel_futures=True)
+            self._inline_pool = None
 
     async def serve_forever(self) -> None:
         """Run until cancelled."""
@@ -147,12 +168,13 @@ class AnalystServer:
                 request_id = request.get("id")
                 if op == "handshake":
                     analyst = str(request.get("analyst", sid))
-                    response = self._ok(
-                        request_id,
-                        {"sid": sid, "analyst": analyst, "views": self.dbms.registry.names()},
+                    response = await self._inline(
+                        request_id, self._handshake_result, sid, analyst
                     )
                 elif op == "stats":
-                    response = self._ok(request_id, self._stats(request))
+                    response = await self._inline(
+                        request_id, self._stats, request, sid
+                    )
                 elif op == "close":
                     await self._send(writer, self._ok(request_id, {"sid": sid}))
                     break
@@ -174,10 +196,48 @@ class AnalystServer:
         writer.write(encode_frame(message))
         await writer.drain()
 
+    async def _inline(self, request_id: Any, fn: Callable[..., dict], *args: Any) -> dict:
+        """Run a lightweight op off the loop, bypassing admission control.
+
+        handshake/stats stay answerable while the worker pool is
+        saturated, but their shared-state reads (registry names) still go
+        through the coordinator's registry lock on the inline executor —
+        never bare on the event loop.
+        """
+        assert self._inline_pool is not None
+        loop = asyncio.get_running_loop()
+        try:
+            return self._ok(
+                request_id, await loop.run_in_executor(self._inline_pool, fn, *args)
+            )
+        except ServerError as exc:
+            return self._err(request_id, exc.code, str(exc))
+        except ReproError as exc:
+            self.tracer.add("server.error")
+            return self._err(request_id, type(exc).__name__, str(exc))
+        except Exception as exc:  # never tear down the connection
+            self.tracer.add("server.error")
+            return self._err(
+                request_id, "internal", f"unexpected {type(exc).__name__}: {exc}"
+            )
+
+    def _handshake_result(self, sid: str, analyst: str) -> dict:
+        return {
+            "sid": sid,
+            "analyst": analyst,
+            "views": self.coordinator.registry_names(sid),
+        }
+
     # -- admission ---------------------------------------------------------
 
     async def _admit(self, sid: str, analyst: str, request: dict) -> dict:
-        """Queue-depth rejection, then deadline-bounded execution."""
+        """Queue-depth rejection, then deadline-bounded execution.
+
+        The inflight slot is returned by ``_release_slot`` when the worker
+        thread actually finishes — not when the deadline fires — because a
+        thread cannot be cancelled; this keeps ``max_inflight`` a bound on
+        real concurrent executions even across timeouts.
+        """
         request_id = request.get("id")
         if self._queued >= self.max_queue:
             self.rejected += 1
@@ -188,50 +248,80 @@ class AnalystServer:
                 f"queue full ({self._queued} waiting, "
                 f"{self._inflight} in flight); retry later",
             )
-        self.tracer.add("server.request")
-        deadline = request.get("timeout_s", self.request_timeout_s)
-        self._queued += 1
-        dequeued = False
+        raw_timeout = request.get("timeout_s", self.request_timeout_s)
         try:
-            assert self._slots is not None and self._pool is not None
-            async def _run() -> dict:
-                nonlocal dequeued
-                async with self._slots:
-                    self._queued -= 1
-                    dequeued = True
-                    self._inflight += 1
-                    try:
-                        loop = asyncio.get_running_loop()
-                        return await loop.run_in_executor(
-                            self._pool, self._execute, sid, analyst, request
-                        )
-                    finally:
-                        self._inflight -= 1
-
-            return await asyncio.wait_for(_run(), timeout=deadline)
-        except asyncio.TimeoutError:
-            self.timed_out += 1
-            self.tracer.add("server.timeout")
+            timeout_s = float(raw_timeout)
+        except (TypeError, ValueError):
             return self._err(
-                request_id,
-                "timeout",
-                f"request exceeded its {deadline}s deadline",
+                request_id, "protocol", f"'timeout_s' must be a number, got {raw_timeout!r}"
             )
+        if timeout_s <= 0:
+            return self._err(request_id, "protocol", "'timeout_s' must be positive")
+        self.tracer.add("server.request")
+        deadline = time.monotonic() + timeout_s
+        assert self._slots is not None and self._pool is not None
+        self._queued += 1
+        try:
+            try:
+                await asyncio.wait_for(self._slots.acquire(), timeout=timeout_s)
+            except asyncio.TimeoutError:
+                return self._timeout_response(request_id, timeout_s)
         finally:
-            if not dequeued:
-                self._queued -= 1
+            self._queued -= 1
+        # Slot held: hand off to a worker thread.  The future is shielded
+        # so a deadline expiry abandons the result without cancelling the
+        # bookkeeping; _release_slot runs on the loop when the thread ends.
+        self._inflight += 1
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(
+            self._pool, self._execute, sid, analyst, request, deadline
+        )
+        future.add_done_callback(self._release_slot)
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(future), timeout=deadline - time.monotonic()
+            )
+        except asyncio.TimeoutError:
+            return self._timeout_response(request_id, timeout_s)
+
+    def _release_slot(self, future: "Future[dict] | asyncio.Future[dict]") -> None:
+        self._inflight -= 1
+        if self._slots is not None:
+            self._slots.release()
+        if not future.cancelled():
+            future.exception()  # retrieve, so abandoned results never warn
+
+    def _timeout_response(self, request_id: Any, timeout_s: float) -> dict:
+        self.timed_out += 1
+        self.tracer.add("server.timeout")
+        return self._err(
+            request_id,
+            "timeout",
+            f"request exceeded its {timeout_s}s deadline; outcome is "
+            "ambiguous (the worker may still complete) — verify the view "
+            "version before retrying a write",
+        )
 
     # -- execution (worker threads) ----------------------------------------
 
-    def _execute(self, sid: str, analyst: str, request: dict) -> dict:
+    def _execute(self, sid: str, analyst: str, request: dict, deadline: float) -> dict:
         op = str(request.get("op"))
         request_id = request.get("id")
+        if time.monotonic() >= deadline:
+            # The client has already been answered "timeout"; doing the
+            # work anyway would silently commit an update the client was
+            # told failed.  Skip it — this narrows (not closes) the
+            # ambiguity window documented on the timeout response.
+            self.tracer.add("server.expired_skip")
+            return self._err(
+                request_id, "timeout", "deadline expired before execution started"
+            )
         with self.tracer.span(f"server.{op}", sid=sid):
             try:
                 handler = getattr(self, f"_op_{op}", None)
                 if handler is None:
                     return self._err(request_id, "unknown_op", f"unknown op {op!r}")
-                return self._ok(request_id, handler(sid, analyst, request))
+                return self._ok(request_id, handler(sid, analyst, request, deadline))
             except DeadlockError as exc:
                 return self._err(request_id, "deadlock", str(exc))
             except LockTimeoutError as exc:
@@ -243,10 +333,25 @@ class AnalystServer:
             except ReproError as exc:
                 self.tracer.add("server.error")
                 return self._err(request_id, type(exc).__name__, str(exc))
+            except Exception as exc:
+                # A malformed request (missing/ill-typed fields) must
+                # answer an error frame, never tear down the connection.
+                self.tracer.add("server.error")
+                return self._err(
+                    request_id, "internal", f"unexpected {type(exc).__name__}: {exc}"
+                )
 
-    # Each _op_* runs on a worker thread with admission already granted.
+    @staticmethod
+    def _remaining(deadline: float) -> float:
+        """Lock-wait budget left before this request's deadline."""
+        return max(deadline - time.monotonic(), 0.0)
 
-    def _op_open_view(self, sid: str, analyst: str, request: dict) -> dict:
+    # Each _op_* runs on a worker thread with admission already granted;
+    # ``deadline`` (monotonic) bounds its lock waits via _remaining().
+
+    def _op_open_view(
+        self, sid: str, analyst: str, request: dict, deadline: float
+    ) -> dict:
         session = self.coordinator.session(sid, self._view_of(request), analyst)
         view = session.view
         return {
@@ -256,14 +361,24 @@ class AnalystServer:
             "attributes": list(view.schema.names),
         }
 
-    def _op_query(self, sid: str, analyst: str, request: dict) -> dict:
+    def _op_query(self, sid: str, analyst: str, request: dict, deadline: float) -> dict:
         view_name = self._view_of(request)
-        function = str(request["function"])
+        function = request.get("function")
+        if not isinstance(function, str):
+            raise ProtocolError("op 'query' needs a string 'function'")
         attributes = request.get("attributes")
-        with self.coordinator.read(sid, view_name, analyst) as snapshot:
+        if attributes is not None and (
+            not isinstance(attributes, (list, tuple)) or len(attributes) != 2
+        ):
+            raise ProtocolError("'attributes' must be a two-item list")
+        if attributes is None and "attribute" not in request:
+            raise ProtocolError("op 'query' needs 'attribute' or 'attributes'")
+        with self.coordinator.read(
+            sid, view_name, analyst, timeout_s=self._remaining(deadline)
+        ) as snapshot:
             if attributes is not None:
                 value = snapshot.session.compute_pair(
-                    function, attributes[0], attributes[1]
+                    function, str(attributes[0]), str(attributes[1])
                 )
             else:
                 value = snapshot.compute(function, str(request["attribute"]))
@@ -272,11 +387,18 @@ class AnalystServer:
                 "version": snapshot.version,
             }
 
-    def _op_columns(self, sid: str, analyst: str, request: dict) -> dict:
+    def _op_columns(
+        self, sid: str, analyst: str, request: dict, deadline: float
+    ) -> dict:
         """Raw column values under one snapshot (the atomicity probe)."""
         view_name = self._view_of(request)
-        names = [str(a) for a in request["attributes"]]
-        with self.coordinator.read(sid, view_name, analyst) as snapshot:
+        attributes = request.get("attributes")
+        if not isinstance(attributes, (list, tuple)) or not attributes:
+            raise ProtocolError("op 'columns' needs a non-empty 'attributes' list")
+        names = [str(a) for a in attributes]
+        with self.coordinator.read(
+            sid, view_name, analyst, timeout_s=self._remaining(deadline)
+        ) as snapshot:
             return {
                 "version": snapshot.version,
                 "columns": {
@@ -288,14 +410,20 @@ class AnalystServer:
                 },
             }
 
-    def _op_update(self, sid: str, analyst: str, request: dict) -> dict:
+    def _op_update(self, sid: str, analyst: str, request: dict, deadline: float) -> dict:
         view_name = self._view_of(request)
         where = request.get("where")
-        assignments = dict(request["assignments"])
+        assignments = request.get("assignments")
+        if not isinstance(assignments, dict) or not assignments:
+            raise ProtocolError("op 'update' needs a non-empty 'assignments' object")
         predicate = None
         if where is not None:
+            if not isinstance(where, dict) or not {"attribute", "equals"} <= set(where):
+                raise ProtocolError("'where' needs 'attribute' and 'equals'")
             predicate = col(str(where["attribute"])) == where["equals"]
-        with self.coordinator.write(sid, view_name, analyst) as session:
+        with self.coordinator.write(
+            sid, view_name, analyst, timeout_s=self._remaining(deadline)
+        ) as session:
             report = session.update(
                 predicate, assignments, description=f"update by {analyst}"
             )
@@ -304,18 +432,27 @@ class AnalystServer:
                 "entries_visited": report.entries_visited,
             }
 
-    def _op_undo(self, sid: str, analyst: str, request: dict) -> dict:
+    def _op_undo(self, sid: str, analyst: str, request: dict, deadline: float) -> dict:
         view_name = self._view_of(request)
-        count = int(request.get("count", 1))
-        with self.coordinator.write(sid, view_name, analyst) as session:
+        try:
+            count = int(request.get("count", 1))
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                f"'count' must be an integer, got {request.get('count')!r}"
+            ) from None
+        with self.coordinator.write(
+            sid, view_name, analyst, timeout_s=self._remaining(deadline)
+        ) as session:
             if count > len(session.view.history):
                 return {"version": session.view.version, "undone": 0}
             session.undo(count)
             return {"version": session.view.version, "undone": count}
 
-    def _op_publish(self, sid: str, analyst: str, request: dict) -> dict:
+    def _op_publish(self, sid: str, analyst: str, request: dict, deadline: float) -> dict:
         view_name = self._view_of(request)
-        with self.coordinator.registry_write(sid) as dbms:
+        with self.coordinator.registry_write(
+            sid, timeout_s=self._remaining(deadline)
+        ) as dbms:
             edits = dbms.publish(view_name, publisher=analyst)
             return {
                 "view": view_name,
@@ -323,16 +460,23 @@ class AnalystServer:
                 "version": edits.version,
             }
 
-    def _op_adopt(self, sid: str, analyst: str, request: dict) -> dict:
+    def _op_adopt(self, sid: str, analyst: str, request: dict, deadline: float) -> dict:
         view_name = self._view_of(request)
-        new_name = str(request["new_name"])
-        with self.coordinator.registry_write(sid) as dbms:
+        new_name = request.get("new_name")
+        if not new_name:
+            raise ProtocolError("op 'adopt' needs a 'new_name'")
+        new_name = str(new_name)
+        with self.coordinator.registry_write(
+            sid, timeout_s=self._remaining(deadline)
+        ) as dbms:
             view = dbms.adopt_published(view_name, new_name, analyst)
             return {"view": view.name, "rows": len(view)}
 
-    def _op_history(self, sid: str, analyst: str, request: dict) -> dict:
+    def _op_history(self, sid: str, analyst: str, request: dict, deadline: float) -> dict:
         view_name = self._view_of(request)
-        with self.coordinator.read(sid, view_name, analyst) as snapshot:
+        with self.coordinator.read(
+            sid, view_name, analyst, timeout_s=self._remaining(deadline)
+        ) as snapshot:
             return {
                 "version": snapshot.version,
                 "operations": [
@@ -346,22 +490,25 @@ class AnalystServer:
                 ],
             }
 
-    def _op_checkpoint(self, sid: str, analyst: str, request: dict) -> dict:
+    def _op_checkpoint(
+        self, sid: str, analyst: str, request: dict, deadline: float
+    ) -> dict:
         path = self.coordinator.checkpoint(sid)
         return {"path": str(path)}
 
-    def _op_debug_sleep(self, sid: str, analyst: str, request: dict) -> dict:
+    def _op_debug_sleep(
+        self, sid: str, analyst: str, request: dict, deadline: float
+    ) -> dict:
         """Occupy a worker slot (admission-control tests only)."""
         if not self.allow_debug:
             raise ServerError("forbidden", "debug ops are disabled")
-        import time
-
-        time.sleep(float(request.get("seconds", 0.1)))
-        return {"slept": float(request.get("seconds", 0.1))}
+        seconds = float(request.get("seconds", 0.1))
+        time.sleep(seconds)
+        return {"slept": seconds}
 
     # -- stats -------------------------------------------------------------
 
-    def _stats(self, request: dict) -> dict:
+    def _stats(self, request: dict, sid: str) -> dict:
         prefix = str(request.get("prefix", ""))
         counters: dict[str, float] = {}
         totals = getattr(self.tracer, "counter_totals", None)
@@ -373,7 +520,7 @@ class AnalystServer:
             "timed_out": self.timed_out,
             "queued": self._queued,
             "inflight": self._inflight,
-            "views": self.dbms.registry.names(),
+            "views": self.coordinator.registry_names(sid),
             "counters": counters,
         }
 

@@ -115,6 +115,18 @@ class SummaryDatabase:
 
     # -- basic access ---------------------------------------------------------
 
+    def install_latch(self, latch: Any) -> None:
+        """Adopt an injected latch, at most once (the first caller wins).
+
+        Replacing a live latch would let threads still inside the old one
+        race threads entering the new one, so installation is idempotent:
+        once a real latch is in place, later calls are no-ops.  The latch
+        is constructed by the caller (REPRO-A109); this class only holds
+        it.
+        """
+        if self.latch is _NULL_LATCH:
+            self.latch = latch
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -51,6 +51,16 @@ class TestSessions:
         with latch:  # usable as a context manager
             pass
 
+    def test_summary_latch_installed_at_most_once(self):
+        # A second connection opening the same view must NOT swap out the
+        # latch other connections' threads may already be inside.
+        coord = TransactionCoordinator(build_dbms())
+        first = coord.session("s1", "v").view.summary.latch
+        assert coord.session("s2", "v").view.summary.latch is first
+        # Even after the first session is released, the latch survives.
+        coord.release("s1")
+        assert coord.session("s3", "v").view.summary.latch is first
+
 
 class TestReadTransactions:
     def test_read_pins_version_and_computes(self):

@@ -43,6 +43,29 @@ class TestGrantRules:
         locks.acquire("a", "v", LockMode.EXCLUSIVE)
         assert locks.holders("v") == {"a": LockMode.EXCLUSIVE}
 
+    def test_upgrade_downgrades_when_exclusive_scope_released(self):
+        locks = LockManager()
+        locks.acquire("a", "v", LockMode.SHARED)
+        locks.acquire("a", "v", LockMode.EXCLUSIVE)  # sole-holder upgrade
+        locks.release("a", "v")  # inner exclusive scope ends
+        # The remaining outer hold was acquired SHARED: other readers
+        # must be admitted again.
+        assert locks.holders("v") == {"a": LockMode.SHARED}
+        locks.acquire("b", "v", LockMode.SHARED, timeout_s=0.05)
+        assert set(locks.holders("v")) == {"a", "b"}
+
+    def test_upgrade_survives_nested_exclusive_reentry(self):
+        locks = LockManager()
+        locks.acquire("a", "v", LockMode.SHARED)
+        locks.acquire("a", "v", LockMode.EXCLUSIVE)  # upgrade at level 2
+        locks.acquire("a", "v", LockMode.EXCLUSIVE)  # reentrant, level 3
+        locks.release("a", "v")  # back to level 2: still inside the upgrade
+        assert locks.holders("v") == {"a": LockMode.EXCLUSIVE}
+        locks.release("a", "v")  # upgrade scope gone
+        assert locks.holders("v") == {"a": LockMode.SHARED}
+        locks.release("a", "v")
+        assert locks.holders("v") == {}
+
     def test_upgrade_blocked_by_other_reader(self):
         locks = LockManager()
         locks.acquire("a", "v", LockMode.SHARED)

@@ -129,6 +129,36 @@ class TestErrors:
             client.query("nope", "mean", "x")
         assert exc.value.code in {"ViewError", "MetadataError"}
 
+    @pytest.mark.parametrize(
+        "op,params",
+        [
+            ("query", {"view": "v"}),  # no function
+            ("query", {"view": "v", "function": "mean"}),  # no attribute(s)
+            ("query", {"view": "v", "function": "mean", "attributes": ["x"]}),
+            ("update", {"view": "v"}),  # no assignments
+            ("update", {"view": "v", "assignments": {"x": 1.0}, "where": {}}),
+            ("undo", {"view": "v", "count": "many"}),
+            ("adopt", {"view": "v"}),  # no new_name
+            ("columns", {"view": "v", "attributes": []}),
+        ],
+    )
+    def test_malformed_request_answers_error_frame(self, client, op, params):
+        # A bad request must produce an error response, never a
+        # connection teardown (which would release the session's locks).
+        with pytest.raises(ServerError) as exc:
+            client.call(op, **params)
+        assert exc.value.code == "protocol"
+        # The connection survives and keeps working.
+        assert client.query("v", "mean", "x")["value"] == pytest.approx(4.5)
+
+    def test_non_numeric_timeout_is_protocol_error(self, client):
+        with pytest.raises(ServerError) as exc:
+            client.call("query", view="v", function="mean", attribute="x", timeout_s="soon")
+        assert exc.value.code == "protocol"
+        with pytest.raises(ServerError) as exc:
+            client.call("query", view="v", function="mean", attribute="x", timeout_s=-1)
+        assert exc.value.code == "protocol"
+
     def test_debug_disabled_by_default(self):
         server = AnalystServer(build_dbms())
         thread = ServerThread(server).start()
@@ -192,6 +222,30 @@ class TestAdmission:
         with pytest.raises(ServerError) as exc:
             client.call("debug_sleep", seconds=2.0, timeout_s=0.1)
         assert exc.value.code == "timeout"
+
+    def test_timeout_does_not_free_the_worker_slot_early(self):
+        # A timed-out request's thread keeps running; its inflight slot
+        # must stay occupied until the thread actually finishes, so
+        # max_inflight bounds real concurrent executions.
+        server = AnalystServer(
+            build_dbms(), allow_debug=True, max_workers=2, max_inflight=1
+        )
+        thread = ServerThread(server).start()
+        try:
+            import time
+
+            with ServerClient(port=thread.port) as conn:
+                conn.handshake("impatient")
+                start = time.monotonic()
+                with pytest.raises(ServerError) as exc:
+                    conn.call("debug_sleep", seconds=0.6, timeout_s=0.1)
+                assert exc.value.code == "timeout"
+                # The follow-up must wait for the abandoned thread's slot.
+                result = conn.call("debug_sleep", seconds=0.05)
+                assert result["slept"] == pytest.approx(0.05)
+                assert time.monotonic() - start >= 0.6
+        finally:
+            thread.stop()
 
     def test_locks_released_on_disconnect(self, running):
         thread, tracer = running
