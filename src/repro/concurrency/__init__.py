@@ -20,10 +20,20 @@ Layers:
 * :mod:`repro.concurrency.tracing` — :class:`ConcurrentTracer` (per-thread
   span stacks) and the latch factory for structures like the Summary
   Database.
+* :mod:`repro.concurrency.sanitizer` — :class:`LockOrderSanitizer`, the
+  runtime half of the ``REPRO-C2xx`` concurrency analysis: records actual
+  acquisition order/stacks and cross-checks them against the static
+  lock-order graph.
 """
 
 from repro.concurrency.groupcommit import GroupCommitter
 from repro.concurrency.locks import LockManager, LockMode
+from repro.concurrency.sanitizer import (
+    LockOrderSanitizer,
+    SanitizedLatch,
+    current_sanitizer,
+    install_sanitizer,
+)
 from repro.concurrency.tracing import ConcurrentTracer, make_latch
 from repro.concurrency.transactions import TransactionCoordinator
 
@@ -32,6 +42,10 @@ __all__ = [
     "GroupCommitter",
     "LockManager",
     "LockMode",
+    "LockOrderSanitizer",
+    "SanitizedLatch",
     "TransactionCoordinator",
+    "current_sanitizer",
+    "install_sanitizer",
     "make_latch",
 ]

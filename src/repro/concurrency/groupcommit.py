@@ -29,6 +29,7 @@ from __future__ import annotations
 import threading
 from typing import Any
 
+from repro.concurrency.tracing import make_latch
 from repro.durability.wal import WriteAheadLog
 from repro.obs.tracer import NULL_TRACER, AbstractTracer
 
@@ -59,9 +60,9 @@ class GroupCommitter:
     ) -> None:
         self.wal = wal
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self._queue_latch = threading.Lock()
+        self._queue_latch = make_latch("GroupCommitter._queue_latch")
         self._pending: list[_Ticket] = []
-        self._leader = threading.Lock()
+        self._leader = make_latch("GroupCommitter._leader")
 
     def commit(self, frames: list[dict]) -> None:
         """Make one transaction's frames durable (possibly batched).

@@ -43,6 +43,11 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.concurrency.sanitizer import (
+    LockOrderSanitizer,
+    classify_resource,
+    current_sanitizer,
+)
 from repro.core.errors import ConcurrencyError, DeadlockError, LockTimeoutError
 from repro.obs.tracer import NULL_TRACER, AbstractTracer
 
@@ -97,15 +102,23 @@ class LockManager:
     tracer:
         Counter sink (``lock.*``).  Injected, never constructed here
         (REPRO-A107 discipline applies to this module too).
+    sanitizer:
+        Optional :class:`~repro.concurrency.sanitizer.LockOrderSanitizer`
+        notified on every grant/release.  Defaults to whatever
+        :func:`~repro.concurrency.sanitizer.current_sanitizer` says at
+        construction time — ``None`` in production, so the per-grant cost
+        is a single branch.
     """
 
     def __init__(
         self,
         timeout_s: float = 10.0,
         tracer: AbstractTracer | None = None,
+        sanitizer: LockOrderSanitizer | None = None,
     ) -> None:
         self.timeout_s = timeout_s
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._sanitizer = sanitizer if sanitizer is not None else current_sanitizer()
         self._mutex = threading.Lock()
         self._granted = threading.Condition(self._mutex)
         self._locks: dict[str, _ResourceLock] = {}
@@ -146,7 +159,7 @@ class LockManager:
                     self.tracer.add("lock.grant")
                     if waited:
                         self.tracer.add("lock.wait_s", time.monotonic() - start)
-                    return
+                    break  # notify the sanitizer outside the mutex
                 if not waited:
                     waited = True
                     self.tracer.add("lock.wait")
@@ -171,6 +184,10 @@ class LockManager:
                         f"{mode.value} lock on {resource!r} "
                         f"(held by {sorted(lock.holders)})"
                     )
+        if self._sanitizer is not None:
+            self._sanitizer.note_acquire(
+                f"res:{resource}", classify_resource(resource)
+            )
 
     def release(self, session: str, resource: str) -> None:
         """Release one level of ``session``'s hold on ``resource``."""
@@ -194,6 +211,8 @@ class LockManager:
                 if not lock.holders:
                     del self._locks[resource]
             self._granted.notify_all()
+        if self._sanitizer is not None:
+            self._sanitizer.note_release(f"res:{resource}")
 
     def release_all(self, session: str) -> int:
         """Drop every lock ``session`` holds (connection teardown).
@@ -202,6 +221,7 @@ class LockManager:
         registration the session left behind (a thread killed mid-wait).
         """
         released = 0
+        dropped: list[str] = []
         with self._granted:
             self._waits.pop(session, None)
             for resource in list(self._locks):
@@ -209,10 +229,16 @@ class LockManager:
                 if session in lock.holders:
                     del lock.holders[session]
                     released += 1
+                    dropped.append(resource)
                     if not lock.holders:
                         del self._locks[resource]
             if released:
                 self._granted.notify_all()
+        if self._sanitizer is not None:
+            # Usually a foreign-thread teardown; note_release tolerates
+            # releasing keys this thread never acquired.
+            for resource in dropped:
+                self._sanitizer.note_release(f"res:{resource}")
         return released
 
     @contextmanager

@@ -17,11 +17,21 @@ from __future__ import annotations
 import threading
 from typing import ContextManager
 
+from repro.concurrency.sanitizer import SanitizedLatch, current_sanitizer
 from repro.obs.tracer import Span, Tracer
 
 
-def make_latch() -> ContextManager[object]:
-    """A fresh mutex for injection into latch-holding structures."""
+def make_latch(name: str | None = None) -> ContextManager[object]:
+    """A fresh mutex for injection into latch-holding structures.
+
+    ``name`` identifies the latch to an installed
+    :class:`~repro.concurrency.sanitizer.LockOrderSanitizer` (use the
+    static analyzer's key form, ``Class.attr``); unnamed latches — and
+    all latches when no sanitizer is installed — stay plain mutexes.
+    """
+    sanitizer = current_sanitizer()
+    if sanitizer is not None and name is not None:
+        return SanitizedLatch(name, sanitizer)
     return threading.Lock()
 
 
@@ -38,7 +48,7 @@ class ConcurrentTracer(Tracer):
     def __init__(self) -> None:
         super().__init__()
         self._local = threading.local()
-        self._latch = threading.Lock()
+        self._latch = make_latch("ConcurrentTracer._latch")
 
     def _current_stack(self) -> list[Span]:
         stack = getattr(self._local, "stack", None)

@@ -84,7 +84,7 @@ class TransactionCoordinator:
         )
         self.locks = locks or LockManager(timeout_s=timeout_s, tracer=self.tracer)
         self._sessions: dict[tuple[str, str], AnalystSession] = {}
-        self._sessions_latch = make_latch()
+        self._sessions_latch = make_latch("TransactionCoordinator._sessions_latch")
         if dbms.durability is not None and dbms.durability.group_commit is None:
             dbms.durability.group_commit = GroupCommitter(
                 dbms.durability.wal, tracer=self.tracer
@@ -109,7 +109,9 @@ class TransactionCoordinator:
                 # corrupt its index.  install_latch is idempotent — other
                 # connections' reader threads may already be inside the
                 # first latch, so it must never be swapped out.
-                session.view.summary.install_latch(make_latch())
+                session.view.summary.install_latch(
+                    make_latch("SummaryDatabase.latch")
+                )
                 self._sessions[key] = session
         return session
 
@@ -177,28 +179,40 @@ class TransactionCoordinator:
     # -- quiesced checkpoints ----------------------------------------------
 
     @contextmanager
-    def quiesce(self, sid: str) -> Iterator[None]:
+    def quiesce(self, sid: str, timeout_s: float | None = None) -> Iterator[None]:
         """Hold every lock (registry first, then views in sorted order).
 
         Sorted acquisition is a total lock order, so two quiescers cannot
         deadlock each other; the registry lock also blocks view
-        creation/drop while the view list is being walked.
+        creation/drop while the view list is being walked.  ``timeout_s``
+        bounds *each* acquisition (``None`` means the lock manager's
+        default) — a checkpoint triggered from a request handler passes
+        the request's remaining deadline so it cannot outwait it.
         """
         held: list[str] = []
         try:
-            self.locks.acquire(sid, REGISTRY_RESOURCE, LockMode.EXCLUSIVE)
+            self.locks.acquire(
+                sid, REGISTRY_RESOURCE, LockMode.EXCLUSIVE, timeout_s
+            )
             held.append(REGISTRY_RESOURCE)
             for name in sorted(self.dbms.registry.names()):
-                self.locks.acquire(sid, name, LockMode.EXCLUSIVE)
+                # Same-class (view-lock) nesting is sanctioned here: the
+                # sorted resource names are an explicit total order, so two
+                # quiescers cannot meet in opposite directions.
+                self.locks.acquire(  # repro-lint: disable=REPRO-C201
+                    sid, name, LockMode.EXCLUSIVE, timeout_s
+                )
                 held.append(name)
             yield
         finally:
             for name in reversed(held):
                 self.locks.release(sid, name)
 
-    def checkpoint(self, sid: str = "__checkpoint__") -> Any:
+    def checkpoint(
+        self, sid: str = "__checkpoint__", timeout_s: float | None = None
+    ) -> Any:
         """Quiesce the system and snapshot it atomically."""
-        with self.quiesce(sid):
+        with self.quiesce(sid, timeout_s):
             with self.tracer.span("checkpoint.quiesced"):
                 return self.dbms.checkpoint()
 

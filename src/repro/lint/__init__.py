@@ -1,6 +1,6 @@
 """Static analysis for the repro statistical DBMS (``python -m repro.lint``).
 
-Two layers share one findings engine:
+Three layers share one findings engine:
 
 * **semantic** (``REPRO-Sxxx``) — imports the package and verifies the
   paper's maintenance contracts: registry/rule coherence, live and correct
@@ -10,13 +10,26 @@ Two layers share one findings engine:
 * **AST** (``REPRO-Axxx``) — parses the sources and enforces codebase
   invariants: no view-row mutation outside the logged-update layer, no
   cache-entry writes that bypass the rule repository, no mutable default
-  arguments, no bare ``except:``, and ``__all__`` lists that match reality.
+  arguments, no bare ``except:``, and ``__all__`` lists that match reality;
+* **concurrency** (``REPRO-C2xx``) — builds a project-wide call graph and
+  lock model, then reports lock-order cycles, unbounded lock waits on
+  request paths, unguarded acquires, shared-state writes that escape
+  their latch, and blocking calls on the event loop.  The same model
+  feeds the runtime :class:`~repro.concurrency.sanitizer.
+  LockOrderSanitizer` cross-check.
 
 Suppress a finding with ``# repro-lint: disable=RULE-ID`` on (or above)
 the flagged line, or file-wide with ``# repro-lint: disable-file=RULE-ID``
 near the top of the file.
 """
 
+from repro.lint.concurrency import (
+    CONCURRENCY_RULE_IDS,
+    ConcurrencyModel,
+    LockSite,
+    analyze_files,
+    run_concurrency_checks,
+)
 from repro.lint.engine import LintReport, run_lint
 from repro.lint.findings import (
     RULES,
@@ -29,13 +42,18 @@ from repro.lint.findings import (
 from repro.lint.semantic import run_semantic_checks
 
 __all__ = [
+    "CONCURRENCY_RULE_IDS",
+    "ConcurrencyModel",
     "Finding",
     "LintReport",
+    "LockSite",
     "RULES",
     "RuleRegistry",
     "RuleSpec",
     "Severity",
+    "analyze_files",
     "parse_suppressions",
+    "run_concurrency_checks",
     "run_lint",
     "run_semantic_checks",
 ]

@@ -12,7 +12,35 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.lint.engine import run_lint
-from repro.lint.findings import RULES, Severity
+from repro.lint.findings import RULES, Finding, Severity
+
+
+def _split_ids(raw: str | None) -> set[str] | None:
+    if not raw:
+        return None
+    return {part.strip() for part in raw.split(",") if part.strip()} or None
+
+
+def render_github_annotation(finding: Finding) -> str:
+    """One finding as a GitHub Actions workflow command.
+
+    ``::error file=...,line=...,title=...::message`` shows up inline on
+    the PR diff.  Newlines and the command's reserved characters must be
+    percent-escaped per the workflow-command spec.
+    """
+    level = "error" if finding.severity is Severity.ERROR else "warning"
+    message = (
+        finding.message.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+    )
+    title = finding.rule_id.replace("%", "%25").replace(",", "%2C").replace(
+        ":", "%3A"
+    )
+    return (
+        f"::{level} file={finding.path},line={finding.line},"
+        f"title={title}::{message}"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,14 +64,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "github"),
         default="human",
-        help="report format (default: human)",
+        help="report format (default: human); 'github' emits workflow "
+        "annotation commands so CI surfaces findings inline",
     )
     parser.add_argument(
         "--select",
         metavar="IDS",
         help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated rule IDs to drop (applied after --select)",
     )
     parser.add_argument(
         "--no-semantic",
@@ -54,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-ast",
         action="store_true",
         help="skip the AST (layer 2) passes",
+    )
+    parser.add_argument(
+        "--no-concurrency",
+        action="store_true",
+        help="skip the concurrency (layer 3) analysis",
     )
     parser.add_argument(
         "--root",
@@ -78,9 +117,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{spec.rule_id}  [{spec.layer}/{spec.severity.value}]  {spec.title}")
         return 0
 
-    select = None
-    if args.select:
-        select = {part.strip() for part in args.select.split(",") if part.strip()}
+    select = _split_ids(args.select)
+    ignore = _split_ids(args.ignore)
     targets = [Path(t) for t in args.targets]
     missing = [t for t in targets if not t.exists()]
     if missing:
@@ -91,8 +129,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         report = run_lint(
             targets=targets or None,
             select=select,
+            ignore=ignore,
             semantic_checks=not args.no_semantic,
             ast_checks=not args.no_ast,
+            concurrency_checks=not args.no_concurrency,
             root=args.root,
         )
     except KeyError as exc:
@@ -101,6 +141,11 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2))
+        return report.exit_code
+
+    if args.format == "github":
+        for finding in report.findings:
+            print(render_github_annotation(finding))
         return report.exit_code
 
     for finding in report.findings:

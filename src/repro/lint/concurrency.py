@@ -1,0 +1,1501 @@
+"""Layer 3: project-wide concurrency-safety analysis (``REPRO-C2xx``).
+
+Unlike the per-file AST passes (layer 2), these checks need the whole
+tree at once: a deadlock is a property of the *interprocedural* lock-order
+graph, not of any one acquisition site.  The analyzer builds
+
+1. a **class/type index** — every class, its methods, its attribute types
+   (inferred from ``__init__`` assignments and parameter annotations), and
+   its *latch attributes* (anything assigned from ``make_latch()`` /
+   ``threading.Lock`` / ``Condition``, or whose name says latch/mutex);
+2. a **call graph** — calls resolved through ``self``, inferred receiver
+   types, module imports, and (as a guarded fallback) project-unique
+   method names;
+3. a **lock model** — every acquisition site, classified to a canonical
+   key: ``lock:<resource>`` for :class:`~repro.concurrency.locks.
+   LockManager` resources (string-literal resources keep their name,
+   dynamic view names collapse to ``lock:<view>``) and
+   ``latch:<Class>.<attr>`` for injected/constructed latches;
+4. the **static lock-order graph** — an edge ``A -> B`` whenever ``B`` may
+   be acquired while ``A`` is held, through any chain of calls.
+
+The rules:
+
+========  =====================================================================
+C201      lock-order cycle in the static graph (potential deadlock); a
+          self-edge means two locks of the same *class* (e.g. two view
+          locks) nest — safe only under an explicit total order, which the
+          analyzer cannot see, so the site must justify itself with a
+          suppression comment.
+C202      a LockManager acquisition with no explicit timeout argument is
+          reachable from a server request handler — the handler's deadline
+          contract (``_remaining``) requires every lock wait on the request
+          path to be bounded by the time the request has left.
+C203      a bare ``.acquire(...)`` whose release is not guaranteed: not a
+          ``with`` statement, not inside (or immediately before) a ``try``
+          whose ``finally`` releases.
+C204      shared-state escape: an attribute of a latch-holding class is
+          mutated both under a lock scope and outside any lock scope
+          (scoped to ``repro/{concurrency,server,summary,durability}``).
+C205      a blocking call — fsync, ``time.sleep``, ``Future.result``, or
+          any project function that may acquire a latch/lock — made
+          directly (not via ``await`` / an executor) inside an ``async
+          def`` body, i.e. on the event loop.
+========  =====================================================================
+
+The model is also exported for the runtime cross-check: the
+:class:`~repro.concurrency.sanitizer.LockOrderSanitizer` records actual
+acquisition order during stress tests and compares it against
+:meth:`ConcurrencyModel.lock_order_edges` (inversions) and
+:meth:`ConcurrencyModel.instrumented_sites` (coverage).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.findings import Finding, Severity, rule
+
+RULE_LOCK_CYCLE = rule(
+    "REPRO-C201",
+    "lock-order cycle (potential deadlock)",
+    severity=Severity.ERROR,
+    layer="concurrency",
+    rationale=(
+        "two code paths that acquire the same locks in different orders "
+        "deadlock under the right interleaving; the static lock-order "
+        "graph must stay acyclic (same-class nesting needs a justified "
+        "total order, e.g. sorted resource names)"
+    ),
+)
+RULE_UNBOUNDED_WAIT = rule(
+    "REPRO-C202",
+    "unbounded lock wait reachable from a server request handler",
+    severity=Severity.ERROR,
+    layer="concurrency",
+    rationale=(
+        "request handlers promise a deadline (timeout_s); a lock "
+        "acquisition on the request path that does not pass an explicit "
+        "timeout can outwait the request's deadline and strand the worker"
+    ),
+)
+RULE_UNGUARDED_ACQUIRE = rule(
+    "REPRO-C203",
+    "lock acquired without a guaranteed release path",
+    severity=Severity.ERROR,
+    layer="concurrency",
+    rationale=(
+        "an exception between acquire and release leaks the lock forever; "
+        "use a with statement, or follow the acquire immediately with a "
+        "try whose finally releases"
+    ),
+)
+RULE_ESCAPED_STATE = rule(
+    "REPRO-C204",
+    "attribute mutated both under a lock and outside any lock scope",
+    severity=Severity.ERROR,
+    layer="concurrency",
+    rationale=(
+        "if one writer takes the latch and another does not, the latch "
+        "protects nothing: the unlatched write races every latched one"
+    ),
+)
+RULE_BLOCKING_IN_ASYNC = rule(
+    "REPRO-C205",
+    "blocking call on the event loop",
+    severity=Severity.ERROR,
+    layer="concurrency",
+    rationale=(
+        "the asyncio loop serves every connection; one fsync, sleep, "
+        "Future.result, or contended lock wait inside an async def stalls "
+        "all of them — run blocking work on an executor"
+    ),
+)
+
+#: Every rule this layer owns (the engine skips the whole analysis when a
+#: ``--select`` names none of them).
+CONCURRENCY_RULE_IDS = frozenset(
+    {"REPRO-C201", "REPRO-C202", "REPRO-C203", "REPRO-C204", "REPRO-C205"}
+)
+
+#: Packages the escape analysis (C204) covers.
+ESCAPE_SCOPE_DIRS = ("/concurrency/", "/server/", "/summary/", "/durability/")
+
+#: Method names the mutation scan treats as in-place mutators.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+    }
+)
+
+#: Constructor names that mark an attribute as a latch.
+LATCH_FACTORIES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore", "make_latch"}
+)
+
+#: Attribute-name substrings that mark an attribute as a latch.
+LATCH_NAME_MARKERS = ("latch", "mutex")
+
+#: Method names too generic for unique-name call resolution (matching a
+#: project method by bare name alone would mis-resolve file.read(),
+#: str.join(), dict.update(), ...).
+NOISY_METHOD_NAMES = frozenset(
+    {
+        "read",
+        "write",
+        "open",
+        "close",
+        "get",
+        "set",
+        "add",
+        "append",
+        "pop",
+        "items",
+        "values",
+        "keys",
+        "join",
+        "acquire",
+        "release",
+        "run",
+        "start",
+        "stop",
+        "send",
+        "put",
+        "commit",
+        "wait",
+        "clear",
+        "update",
+        "remove",
+        "insert",
+        "result",
+        "copy",
+        "count",
+        "index",
+        "sort",
+        "split",
+        "strip",
+        "encode",
+        "decode",
+        "format",
+        "render",
+        "name",
+        "names",
+        "next",
+    }
+)
+
+#: LockManager-ish method -> (resource positional index, timeout positional
+#: index), both counted among the call's arguments (self excluded).
+MANAGER_ACQUIRE_METHODS = {
+    "acquire": (1, 3),
+    "shared": (1, 2),
+    "exclusive": (1, 2),
+}
+
+#: TransactionCoordinator contexts that acquire a lock for their body.
+#: method -> (resource index or None for the registry, timeout index,
+#: result type bound by ``with ... as``).
+COORDINATOR_CONTEXTS = {
+    "read": (1, 3, "ReadSnapshot"),
+    "write": (1, 3, "AnalystSession"),
+    "registry_write": (None, 1, "StatisticalDBMS"),
+}
+
+#: Receiver attribute names that identify a LockManager / coordinator even
+#: when type inference fails.
+MANAGER_RECEIVER_HINTS = frozenset({"locks", "lock_manager"})
+COORDINATOR_RECEIVER_HINTS = frozenset({"coordinator"})
+
+#: Server request handlers: roots for C202/C205 reachability.  Matched by
+#: function name for modules under ``/server/``.
+SERVER_HANDLER_NAMES = frozenset({"_execute", "_handshake_result", "_stats"})
+SERVER_HANDLER_PREFIX = "_op_"
+
+#: Module-qualified (or attribute) call names that block outright.
+BLOCKING_CALL_NAMES = frozenset({"fsync", "sleep"})
+
+
+# -- model dataclasses --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LockSite:
+    """One static lock/latch acquisition site."""
+
+    key: str
+    kind: str  # "manager" | "latch"
+    path: str
+    line: int
+    function: str  # enclosing function qualname
+    has_timeout: bool = True
+    guarded: bool = True
+
+    def instrumented(self) -> bool:
+        """Whether the runtime sanitizer can observe this site.
+
+        Manager sites report through :class:`LockManager`; latch sites are
+        observable only when the latch came from ``make_latch`` (the
+        injectable seam) — conservatively approximated here as latches
+        whose key does not name a double-underscore-private structure of
+        the concurrency internals.
+        """
+        return self.kind == "manager"
+
+
+@dataclass
+class _Call:
+    """One call site inside a function body."""
+
+    callee: ast.expr
+    line: int
+    held: tuple[object, ...]  # str keys and _CallHold placeholders
+    awaited: bool
+    resolved: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class _CallHold:
+    """Placeholder: a ``with``-item call whose acquisitions are held."""
+
+    qualnames: tuple[str, ...]
+
+
+@dataclass
+class _Mutation:
+    attr: str
+    line: int
+    held: tuple[object, ...]
+    function: str
+
+
+@dataclass
+class FunctionInfo:
+    """Everything the analyzer learned about one function."""
+
+    qualname: str
+    name: str
+    cls: str | None
+    path: str
+    module_path: str
+    line: int
+    is_async: bool
+    sites: list[LockSite] = field(default_factory=list)
+    calls: list[_Call] = field(default_factory=list)
+    mutations: list[_Mutation] = field(default_factory=list)
+    local_edges: list[tuple[str, str, int]] = field(default_factory=list)
+    loop_self_keys: list[tuple[str, int]] = field(default_factory=list)
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    qualname: str
+    module: str
+    path: str
+    bases: tuple[str, ...]
+    methods: dict[str, str] = field(default_factory=dict)  # name -> fn qualname
+    attr_types: dict[str, str] = field(default_factory=dict)
+    latch_attrs: set[str] = field(default_factory=set)
+    latch_alias: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ConcurrencyModel:
+    """The whole-project concurrency model one analysis run produced."""
+
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)  # qualname
+    class_by_name: dict[str, list[str]] = field(default_factory=dict)
+    edges: dict[tuple[str, str], tuple[str, int, str]] = field(
+        default_factory=dict
+    )  # (a, b) -> (path, line, via-function)
+    findings: list[Finding] = field(default_factory=list)
+    may_acquire: dict[str, frozenset[str]] = field(default_factory=dict)
+    may_block: set[str] = field(default_factory=set)
+
+    def lock_order_edges(self) -> set[tuple[str, str]]:
+        """The static lock-order graph as bare key pairs."""
+        return set(self.edges)
+
+    def all_sites(self) -> list[LockSite]:
+        return [s for fn in self.functions.values() for s in fn.sites]
+
+    def instrumented_sites(self) -> list[LockSite]:
+        """Sites the runtime :class:`LockOrderSanitizer` can observe."""
+        return [s for s in self.all_sites() if s.instrumented()]
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+def module_of(module_path: str) -> str:
+    """Dotted module name from a file path (best effort)."""
+    parts = Path(module_path.replace("\\", "/")).with_suffix("").parts
+    if "repro" in parts:
+        parts = parts[parts.index("repro") :]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or module_path
+
+
+def _attr_chain(expr: ast.expr) -> list[str] | None:
+    """``a.b.c`` -> ["a", "b", "c"]; None for anything fancier."""
+    names: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        names.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        names.append(node.id)
+        return list(reversed(names))
+    return None
+
+
+def _ann_class_names(ann: ast.expr) -> list[str]:
+    """Class names mentioned in an annotation expression."""
+    names = []
+    for sub in ast.walk(ann):
+        if isinstance(sub, ast.Name):
+            names.append(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.append(sub.attr)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            try:
+                names.extend(_ann_class_names(ast.parse(sub.value, mode="eval").body))
+            except SyntaxError:
+                pass
+    return names
+
+
+def _resource_key(expr: ast.expr | None) -> str:
+    if expr is None:
+        return "lock:__registry__"
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return f"lock:{expr.value}"
+    name = ""
+    if isinstance(expr, ast.Name):
+        name = expr.id
+    elif isinstance(expr, ast.Attribute):
+        name = expr.attr
+    if name.endswith("REGISTRY_RESOURCE"):
+        return "lock:__registry__"
+    return "lock:<view>"
+
+
+def _timeout_present(call: ast.Call, index: int) -> bool:
+    for kw in call.keywords:
+        if kw.arg == "timeout_s":
+            return not (isinstance(kw.value, ast.Constant) and kw.value.value is None)
+    if len(call.args) > index:
+        arg = call.args[index]
+        return not (isinstance(arg, ast.Constant) and arg.value is None)
+    return False
+
+
+def _held_keys(held: tuple[object, ...]) -> tuple[str, ...]:
+    return tuple(k for k in held if isinstance(k, str))
+
+
+# -- pass 1: per-file extraction ----------------------------------------------
+
+
+class _ModuleExtractor(ast.NodeVisitor):
+    """Collect classes, functions, and their lock behaviour for one file."""
+
+    def __init__(self, shown: str, module_path: str, tree: ast.Module) -> None:
+        self.shown = shown
+        self.module_path = module_path.replace("\\", "/")
+        self.module = module_of(self.module_path)
+        self.tree = tree
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.imports: dict[str, str] = {}  # local name -> "module.attr"
+        self._class_stack: list[ClassInfo] = []
+
+    def extract(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    if alias.name != "*":
+                        self.imports[alias.asname or alias.name] = (
+                            f"{node.module}.{alias.name}"
+                        )
+        self.visit(self.tree)
+
+    # -- structure ---------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        bases = []
+        for base in node.bases:
+            chain = _attr_chain(base)
+            if chain:
+                bases.append(chain[-1])
+        info = ClassInfo(
+            name=node.name,
+            qualname=f"{self.module}.{node.name}",
+            module=self.module,
+            path=self.shown,
+            bases=tuple(bases),
+        )
+        self.classes[info.qualname] = info
+        self._class_stack.append(info)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function(node, is_async=False)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._function(node, is_async=True)
+
+    def _function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef, is_async: bool
+    ) -> None:
+        cls = self._class_stack[-1] if self._class_stack else None
+        qualname = (
+            f"{cls.qualname}.{node.name}" if cls else f"{self.module}.{node.name}"
+        )
+        if qualname in self.functions:  # overload/redefinition: keep first
+            return
+        info = FunctionInfo(
+            qualname=qualname,
+            name=node.name,
+            cls=cls.qualname if cls else None,
+            path=self.shown,
+            module_path=self.module_path,
+            line=node.lineno,
+            is_async=is_async,
+        )
+        self.functions[qualname] = info
+        if cls is not None:
+            cls.methods.setdefault(node.name, qualname)
+            self._harvest_attr_types(cls, node)
+        _FunctionWalker(self, info, cls, node).walk()
+        # Nested defs become their own FunctionInfos (visited separately).
+        for sub in ast.walk(node):
+            if sub is not node and isinstance(
+                sub, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                sub_qual = f"{qualname}.<local>.{sub.name}"
+                if sub_qual not in self.functions:
+                    sub_info = FunctionInfo(
+                        qualname=sub_qual,
+                        name=sub.name,
+                        cls=cls.qualname if cls else None,
+                        path=self.shown,
+                        module_path=self.module_path,
+                        line=sub.lineno,
+                        is_async=isinstance(sub, ast.AsyncFunctionDef),
+                    )
+                    self.functions[sub_qual] = sub_info
+                    _FunctionWalker(self, sub_info, cls, sub).walk()
+
+    # -- attribute types / latch attrs -------------------------------------
+
+    def _harvest_attr_types(
+        self, cls: ClassInfo, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        param_types = _param_annotations(node)
+        for stmt in ast.walk(node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            ann: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value, ann = stmt.target, stmt.value, stmt.annotation
+            if (
+                not isinstance(target, ast.Attribute)
+                or not isinstance(target.value, ast.Name)
+                or target.value.id != "self"
+            ):
+                continue
+            attr = target.attr
+            inferred = self._infer_value_class(value, param_types)
+            if inferred is None and ann is not None:
+                inferred = next(iter(_ann_class_names(ann)), None)
+            if inferred and attr not in cls.attr_types:
+                cls.attr_types[attr] = inferred
+            if self._is_latch_value(value) or any(
+                marker in attr.lower() for marker in LATCH_NAME_MARKERS
+            ):
+                cls.latch_attrs.add(attr)
+            # Condition(self._mutex) aliases the condition to its mutex.
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, (ast.Name, ast.Attribute))
+                and (
+                    value.func.id
+                    if isinstance(value.func, ast.Name)
+                    else value.func.attr
+                )
+                == "Condition"
+                and value.args
+            ):
+                chain = _attr_chain(value.args[0])
+                if chain and chain[0] == "self" and len(chain) == 2:
+                    cls.latch_alias[attr] = chain[1]
+
+    def _infer_value_class(
+        self, value: ast.expr | None, param_types: dict[str, str]
+    ) -> str | None:
+        if value is None:
+            return None
+        if isinstance(value, ast.Call):
+            chain = _attr_chain(value.func)
+            if chain:
+                return chain[-1][0].isupper() and chain[-1] or None
+        if isinstance(value, ast.Name):
+            return param_types.get(value.id)
+        if isinstance(value, ast.BoolOp):  # x or Fallback(...)
+            for operand in value.values:
+                found = self._infer_value_class(operand, param_types)
+                if found:
+                    return found
+        if isinstance(value, ast.IfExp):
+            for operand in (value.body, value.orelse):
+                found = self._infer_value_class(operand, param_types)
+                if found:
+                    return found
+        return None
+
+    @staticmethod
+    def _is_latch_value(value: ast.expr | None) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        chain = _attr_chain(value.func)
+        return bool(chain) and chain[-1] in LATCH_FACTORIES
+
+
+def _param_annotations(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, str]:
+    types: dict[str, str] = {}
+    args = list(node.args.posonlyargs) + list(node.args.args) + list(
+        node.args.kwonlyargs
+    )
+    for arg in args:
+        if arg.annotation is not None:
+            names = _ann_class_names(arg.annotation)
+            if names:
+                types[arg.arg] = names[0]
+    return types
+
+
+# -- pass 1b: function body walk ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Acq:
+    key: str
+    kind: str
+    line: int
+    has_timeout: bool
+    bare_call: bool  # True for x.acquire(...) used as a statement
+
+
+class _FunctionWalker:
+    """Walk one function body tracking held locks along the way."""
+
+    def __init__(
+        self,
+        mod: _ModuleExtractor,
+        info: FunctionInfo,
+        cls: ClassInfo | None,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> None:
+        self.mod = mod
+        self.info = info
+        self.cls = cls
+        self.node = node
+        self.param_types = _param_annotations(node)
+        self.local_types: dict[str, str] = {}
+        self.local_latches: dict[str, str] = {}
+        self._awaited: set[int] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Await):
+                for call in ast.walk(sub.value):
+                    if isinstance(call, ast.Call):
+                        self._awaited.add(id(call))
+
+    def walk(self) -> None:
+        self._walk_body(self.node.body, held=(), in_loop=False, guarded=False)
+
+    # -- statement walk ----------------------------------------------------
+
+    def _walk_body(
+        self,
+        stmts: Sequence[ast.stmt],
+        held: tuple[object, ...],
+        in_loop: bool,
+        guarded: bool,
+    ) -> None:
+        held = tuple(held)
+        for position, stmt in enumerate(stmts):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # analyzed as their own FunctionInfo
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner = held
+                for item in stmt.items:
+                    acq = self._recognize(item.context_expr)
+                    if acq is not None:
+                        # No loop self-edge here: a ``with`` in a loop
+                        # releases before the next iteration re-acquires.
+                        self._record_site(acq, guarded=True, held=inner)
+                        inner = inner + (acq.key,)
+                    else:
+                        resolved = self._record_call(
+                            item.context_expr, inner, line=stmt.lineno
+                        )
+                        if resolved:
+                            inner = inner + (_CallHold(resolved),)
+                self._walk_body(stmt.body, inner, in_loop, guarded)
+                continue
+            if isinstance(stmt, ast.Try):
+                releases = self._finally_releases(stmt)
+                self._walk_body(stmt.body, held, in_loop, guarded or releases)
+                for handler in stmt.handlers:
+                    self._walk_body(handler.body, held, in_loop, guarded)
+                self._walk_body(stmt.orelse, held, in_loop, guarded)
+                self._walk_body(stmt.finalbody, held, in_loop, guarded)
+                continue
+            if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                if isinstance(stmt, ast.While):
+                    self._scan_expr(stmt.test, held)
+                else:
+                    self._scan_expr(stmt.iter, held)
+                self._walk_body(stmt.body, held, True, guarded)
+                self._walk_body(stmt.orelse, held, in_loop, guarded)
+                continue
+            if isinstance(stmt, ast.If):
+                self._scan_expr(stmt.test, held)
+                self._walk_body(stmt.body, held, in_loop, guarded)
+                self._walk_body(stmt.orelse, held, in_loop, guarded)
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+                acq = self._recognize(stmt.value, allow_bare=True)
+                if acq is not None and acq.bare_call:
+                    next_guarded = guarded or self._next_stmt_releases(
+                        stmts, position
+                    )
+                    self._record_site(acq, guarded=next_guarded, held=held)
+                    if in_loop:
+                        self.info.loop_self_keys.append((acq.key, acq.line))
+                    held = held + (acq.key,)
+                    continue
+            # Generic statement: type-harvest assigns, scan expressions,
+            # record self.X mutations.
+            self._harvest_locals(stmt)
+            self._record_mutations(stmt, held)
+            for expr in ast.iter_child_nodes(stmt):
+                if isinstance(expr, ast.expr):
+                    self._scan_expr(expr, held)
+                elif isinstance(expr, ast.stmt):
+                    # match/try*-style nesting not handled above: recurse
+                    self._walk_body([expr], held, in_loop, guarded)
+
+    def _finally_releases(self, stmt: ast.Try) -> bool:
+        for sub in ast.walk(ast.Module(body=list(stmt.finalbody), type_ignores=[])):
+            if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+                if sub.func.attr in ("release", "release_all", "__exit__"):
+                    return True
+        return False
+
+    def _next_stmt_releases(
+        self, stmts: Sequence[ast.stmt], position: int
+    ) -> bool:
+        """acquire(); try: ... finally: release() — the canonical pattern."""
+        if position + 1 < len(stmts):
+            nxt = stmts[position + 1]
+            if isinstance(nxt, ast.Try) and self._finally_releases(nxt):
+                return True
+        return False
+
+    # -- expression scan (calls + C205 candidates) -------------------------
+
+    def _scan_expr(self, expr: ast.expr, held: tuple[object, ...]) -> None:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call):
+                self._record_call(sub, held, line=sub.lineno)
+
+    def _record_call(
+        self, expr: ast.expr, held: tuple[object, ...], line: int
+    ) -> tuple[str, ...]:
+        if not isinstance(expr, ast.Call):
+            return ()
+        resolved = self._resolve(expr.func)
+        self.info.calls.append(
+            _Call(
+                callee=expr.func,
+                line=line,
+                held=tuple(held),
+                awaited=id(expr) in self._awaited,
+                resolved=resolved,
+            )
+        )
+        return resolved
+
+    # -- acquisition recognition -------------------------------------------
+
+    def _recognize(
+        self, expr: ast.expr, allow_bare: bool = False
+    ) -> _Acq | None:
+        # ``with self.latchattr:``
+        if isinstance(expr, ast.Attribute):
+            latch = self._latch_key(expr)
+            if latch is not None:
+                return _Acq(latch, "latch", expr.lineno, True, False)
+            return None
+        if isinstance(expr, ast.Name):
+            if expr.id in self.local_latches:
+                return _Acq(
+                    self.local_latches[expr.id], "latch", expr.lineno, True, False
+                )
+            return None
+        if not isinstance(expr, ast.Call) or not isinstance(
+            expr.func, ast.Attribute
+        ):
+            return None
+        method = expr.func.attr
+        receiver = expr.func.value
+        if method in MANAGER_ACQUIRE_METHODS and self._is_manager(receiver):
+            res_idx, timeout_idx = MANAGER_ACQUIRE_METHODS[method]
+            resource = expr.args[res_idx] if len(expr.args) > res_idx else None
+            return _Acq(
+                _resource_key(resource),
+                "manager",
+                expr.lineno,
+                _timeout_present(expr, timeout_idx),
+                bare_call=method == "acquire",
+            )
+        if method in COORDINATOR_CONTEXTS and self._is_coordinator(receiver):
+            res_idx, timeout_idx, _result = COORDINATOR_CONTEXTS[method]
+            resource = (
+                expr.args[res_idx]
+                if res_idx is not None and len(expr.args) > res_idx
+                else None
+            )
+            key = _resource_key(resource) if res_idx is not None else (
+                "lock:__registry__"
+            )
+            return _Acq(
+                key,
+                "manager",
+                expr.lineno,
+                _timeout_present(expr, timeout_idx),
+                bare_call=False,
+            )
+        if method == "acquire" and allow_bare:
+            latch = self._latch_key(receiver)
+            if latch is not None:
+                return _Acq(latch, "latch", expr.lineno, True, bare_call=True)
+        return None
+
+    def _latch_key(self, expr: ast.expr) -> str | None:
+        chain = _attr_chain(expr)
+        if not chain or len(chain) != 2 or chain[0] != "self" or self.cls is None:
+            return None
+        attr = chain[1]
+        if attr not in self.cls.latch_attrs:
+            return None
+        attr = self.cls.latch_alias.get(attr, attr)
+        return f"latch:{self.cls.name}.{attr}"
+
+    def _is_manager(self, receiver: ast.expr) -> bool:
+        if self._infer_type(receiver) == "LockManager":
+            return True
+        chain = _attr_chain(receiver)
+        if chain:
+            if chain[-1] in MANAGER_RECEIVER_HINTS:
+                return True
+            if (
+                chain == ["self"]
+                and self.cls is not None
+                and self.cls.name == "LockManager"
+            ):
+                return True
+        return False
+
+    def _is_coordinator(self, receiver: ast.expr) -> bool:
+        if self._infer_type(receiver) == "TransactionCoordinator":
+            return True
+        chain = _attr_chain(receiver)
+        if chain:
+            if chain[-1] in COORDINATOR_RECEIVER_HINTS:
+                return True
+            if (
+                chain == ["self"]
+                and self.cls is not None
+                and self.cls.name == "TransactionCoordinator"
+            ):
+                return True
+        return False
+
+    # -- type inference -----------------------------------------------------
+
+    def _infer_type(self, expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.Name):
+            if expr.id == "self" and self.cls is not None:
+                return self.cls.name
+            return self.local_types.get(expr.id) or self.param_types.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self._infer_type(expr.value)
+            if base is not None:
+                cls = self._class_named(base)
+                if cls is not None:
+                    return cls.attr_types.get(expr.attr)
+        return None
+
+    def _class_named(self, name: str) -> ClassInfo | None:
+        # Same-module classes first; globals are resolved in pass 2, but a
+        # local match is authoritative enough for extraction-time needs.
+        for cls in self.mod.classes.values():
+            if cls.name == name:
+                return cls
+        return _GLOBAL_CLASS_LOOKUP(name) if _GLOBAL_CLASS_LOOKUP else None
+
+    def _harvest_locals(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+            if isinstance(target, ast.Name) and isinstance(value, ast.Call):
+                chain = _attr_chain(value.func)
+                if chain and chain[-1] in LATCH_FACTORIES:
+                    self.local_latches[target.id] = (
+                        f"latch:{self.info.name}.{target.id}"
+                    )
+                elif chain and chain[-1][:1].isupper():
+                    self.local_types[target.id] = chain[-1]
+
+    # -- call resolution ----------------------------------------------------
+
+    def _resolve(self, func: ast.expr) -> tuple[str, ...]:
+        if isinstance(func, ast.Name):
+            local = f"{self.mod.module}.{func.id}"
+            if local in self.mod.functions:
+                return (local,)
+            imported = self.mod.imports.get(func.id)
+            if imported and _GLOBAL_FUNCTION_EXISTS and _GLOBAL_FUNCTION_EXISTS(
+                imported
+            ):
+                return (imported,)
+            return ()
+        if not isinstance(func, ast.Attribute):
+            return ()
+        method = func.attr
+        receiver_type = self._infer_type(func.value)
+        if receiver_type is not None:
+            resolved = _resolve_method(receiver_type, method)
+            if resolved:
+                return resolved
+            return ()  # typed receiver without the method: foreign class
+        if method in NOISY_METHOD_NAMES or _GLOBAL_METHOD_LOOKUP is None:
+            return ()
+        return _GLOBAL_METHOD_LOOKUP(method)
+
+    def _record_site(
+        self, acq: _Acq, guarded: bool, held: tuple[object, ...]
+    ) -> None:
+        self.info.sites.append(
+            LockSite(
+                key=acq.key,
+                kind=acq.kind,
+                path=self.info.path,
+                line=acq.line,
+                function=self.info.qualname,
+                has_timeout=acq.has_timeout,
+                guarded=guarded,
+            )
+        )
+        for holder in _held_keys(held):
+            self.info.local_edges.append((holder, acq.key, acq.line))
+        for hold in held:
+            if isinstance(hold, _CallHold):
+                # Edges from the context-call's acquisitions are expanded
+                # in pass 2 once may_acquire is known.
+                self.info.local_edges.append(
+                    (f"@call:{'|'.join(hold.qualnames)}", acq.key, acq.line)
+                )
+
+    def _record_mutations(self, stmt: ast.stmt, held: tuple[object, ...]) -> None:
+        if not self.info.module_path.replace("\\", "/").rpartition("/")[0]:
+            pass
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            attr = _self_attr_of(target)
+            if attr is not None:
+                self.info.mutations.append(
+                    _Mutation(attr, stmt.lineno, tuple(held), self.info.qualname)
+                )
+        # Mutating method calls on self.X
+        for sub in ast.walk(stmt):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in MUTATOR_METHODS
+            ):
+                attr = _self_attr_of(sub.func.value, direct_only=True)
+                if attr is not None:
+                    self.info.mutations.append(
+                        _Mutation(attr, sub.lineno, tuple(held), self.info.qualname)
+                    )
+
+
+def _self_attr_of(target: ast.expr, direct_only: bool = False) -> str | None:
+    """The base ``self.X`` attribute a write touches, if any.
+
+    ``self.X = ...`` / ``self.X.Y = ...`` / ``self.X[k] = ...`` all mutate
+    the state reachable from ``self.X``.
+    """
+    node = target
+    if not direct_only:
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            parent = node.value
+            if (
+                isinstance(parent, ast.Name)
+                and parent.id == "self"
+                and isinstance(node, ast.Attribute)
+            ):
+                return node.attr
+            node = parent
+        return None
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+# Globals bridging extraction (per-file) and resolution (project-wide).
+# Set for the duration of analyze_files; None outside it.
+_GLOBAL_CLASS_LOOKUP = None
+_GLOBAL_METHOD_LOOKUP = None
+_GLOBAL_FUNCTION_EXISTS = None
+
+
+def _resolve_method(class_name: str, method: str) -> tuple[str, ...]:
+    if _GLOBAL_CLASS_LOOKUP is None:
+        return ()
+    seen: set[str] = set()
+    queue = [class_name]
+    while queue:
+        name = queue.pop(0)
+        if name in seen:
+            continue
+        seen.add(name)
+        cls = _GLOBAL_CLASS_LOOKUP(name)
+        if cls is None:
+            continue
+        if method in cls.methods:
+            return (cls.methods[method],)
+        queue.extend(cls.bases)
+    return ()
+
+
+# -- pass 2: project-wide analysis --------------------------------------------
+
+
+def analyze_files(
+    files: Iterable[tuple[str, str, str]],
+) -> ConcurrencyModel:
+    """Build the project concurrency model from (shown, module_path, source).
+
+    Runs two extraction sweeps: the first builds the class/type index, the
+    second (with global lookups installed) resolves calls against it.
+    """
+    global _GLOBAL_CLASS_LOOKUP, _GLOBAL_METHOD_LOOKUP, _GLOBAL_FUNCTION_EXISTS
+    model = ConcurrencyModel()
+    parsed: list[tuple[str, str, ast.Module]] = []
+    for shown, module_path, source in files:
+        try:
+            tree = ast.parse(source, filename=shown)
+        except SyntaxError:
+            continue  # the AST layer already reports REPRO-A100
+        parsed.append((shown, module_path, tree))
+
+    # Sweep 1: classes + attribute types + function names only.  The
+    # results go into *local* snapshots the lookups close over — sweep 2
+    # rebuilds the model's own maps, which therefore must not back the
+    # lookups mid-rebuild.
+    index_classes: dict[str, ClassInfo] = {}
+    index_by_name: dict[str, list[str]] = {}
+    index_functions: set[str] = set()
+    for shown, module_path, tree in parsed:
+        extractor = _ModuleExtractor(shown, module_path, tree)
+        extractor.extract()
+        index_classes.update(extractor.classes)
+        index_functions.update(extractor.functions)
+    for qualname, cls in index_classes.items():
+        index_by_name.setdefault(cls.name, []).append(qualname)
+
+    def class_lookup(name: str) -> ClassInfo | None:
+        quals = index_by_name.get(name)
+        if quals:
+            return index_classes[quals[0]]
+        return None
+
+    # Method index for unique-name fallback resolution.
+    method_index: dict[str, list[str]] = {}
+    for cls in index_classes.values():
+        for mname, fq in cls.methods.items():
+            method_index.setdefault(mname, []).append(fq)
+
+    def method_lookup(name: str) -> tuple[str, ...]:
+        quals = method_index.get(name, [])
+        return tuple(quals) if len(quals) == 1 else ()
+
+    def function_exists(qualname: str) -> bool:
+        return qualname in index_functions
+
+    # Sweep 2: full extraction with lookups live.
+    _GLOBAL_CLASS_LOOKUP = class_lookup
+    _GLOBAL_METHOD_LOOKUP = method_lookup
+    _GLOBAL_FUNCTION_EXISTS = function_exists
+    try:
+        for shown, module_path, tree in parsed:
+            extractor = _ModuleExtractor(shown, module_path, tree)
+            extractor.extract()
+            model.classes.update(extractor.classes)
+            model.functions.update(extractor.functions)
+        for qualname, cls in model.classes.items():
+            model.class_by_name.setdefault(cls.name, []).append(qualname)
+    finally:
+        _GLOBAL_CLASS_LOOKUP = None
+        _GLOBAL_METHOD_LOOKUP = None
+        _GLOBAL_FUNCTION_EXISTS = None
+
+    _compute_may_acquire(model)
+    _expand_edges(model)
+    _compute_may_block(model)
+    _check_cycles(model)
+    _check_timeouts(model)
+    _check_guards(model)
+    _check_escapes(model)
+    _check_async_blocking(model)
+    return model
+
+
+def _compute_may_acquire(model: ConcurrencyModel) -> None:
+    acquire: dict[str, set[str]] = {
+        q: {s.key for s in fn.sites} for q, fn in model.functions.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for q, fn in model.functions.items():
+            for call in fn.calls:
+                for callee in call.resolved:
+                    extra = acquire.get(callee)
+                    if extra and not extra <= acquire[q]:
+                        acquire[q] |= extra
+                        changed = True
+    model.may_acquire = {q: frozenset(keys) for q, keys in acquire.items()}
+
+
+def _expand_edges(model: ConcurrencyModel) -> None:
+    def add_edge(a: str, b: str, path: str, line: int, via: str) -> None:
+        model.edges.setdefault((a, b), (path, line, via))
+
+    for q, fn in model.functions.items():
+        for holder, key, line in fn.local_edges:
+            if holder.startswith("@call:"):
+                for callee in holder[len("@call:") :].split("|"):
+                    for held_key in model.may_acquire.get(callee, ()):
+                        add_edge(held_key, key, fn.path, line, q)
+            else:
+                add_edge(holder, key, fn.path, line, q)
+        for key, line in fn.loop_self_keys:
+            add_edge(key, key, fn.path, line, q)
+        for call in fn.calls:
+            held: set[str] = set(_held_keys(call.held))
+            for hold in call.held:
+                if isinstance(hold, _CallHold):
+                    for callee in hold.qualnames:
+                        held |= set(model.may_acquire.get(callee, ()))
+            if not held:
+                continue
+            for callee in call.resolved:
+                for key in model.may_acquire.get(callee, ()):
+                    for holder in held:
+                        if holder != key:
+                            add_edge(holder, key, fn.path, call.line, q)
+
+
+def _compute_may_block(model: ConcurrencyModel) -> None:
+    blocked: set[str] = set()
+    for q, fn in model.functions.items():
+        if fn.sites:
+            blocked.add(q)
+            continue
+        for call in fn.calls:
+            if _lexically_blocking(call.callee):
+                blocked.add(q)
+                break
+    changed = True
+    while changed:
+        changed = False
+        for q, fn in model.functions.items():
+            if q in blocked or fn.is_async:
+                continue
+            for call in fn.calls:
+                if any(c in blocked for c in call.resolved):
+                    blocked.add(q)
+                    changed = True
+                    break
+    model.may_block = blocked
+
+
+def _lexically_blocking(callee: ast.expr) -> bool:
+    chain = _attr_chain(callee)
+    if not chain:
+        return False
+    name = chain[-1]
+    if name == "fsync":
+        return True
+    if name == "sleep" and chain[0] == "time":
+        return True
+    if name == "result" and any("future" in part.lower() for part in chain[:-1]):
+        return True
+    if name in ("wait", "join") and any(
+        marker in part.lower()
+        for part in chain[:-1]
+        for marker in ("thread", "event", "ticket", "done")
+    ):
+        return True
+    return False
+
+
+# -- rule passes ---------------------------------------------------------------
+
+
+def _check_cycles(model: ConcurrencyModel) -> None:
+    graph: dict[str, set[str]] = {}
+    for a, b in model.edges:
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+    for component in _strongly_connected(graph):
+        is_cycle = len(component) > 1 or any(
+            node in graph.get(node, ()) for node in component
+        )
+        if not is_cycle:
+            continue
+        keys = sorted(component)
+        witness_edges = [
+            (a, b)
+            for (a, b) in model.edges
+            if a in component and b in component
+        ]
+        witness_edges.sort()
+        path, line, via = model.edges[witness_edges[0]]
+        detail = "; ".join(
+            f"{a} -> {b} at {model.edges[(a, b)][0]}:{model.edges[(a, b)][1]}"
+            for a, b in witness_edges[:4]
+        )
+        if len(keys) == 1:
+            message = (
+                f"same-class locks nest ({keys[0]} acquired while already "
+                f"held, in {via}); safe only under an explicit total order "
+                f"— justify with a suppression if one is enforced ({detail})"
+            )
+        else:
+            message = (
+                "lock-order cycle (potential deadlock): "
+                + " -> ".join(keys + [keys[0]])
+                + f" ({detail})"
+            )
+        model.findings.append(
+            Finding(
+                rule_id=RULE_LOCK_CYCLE.rule_id,
+                path=path,
+                line=line,
+                message=message,
+                severity=RULE_LOCK_CYCLE.severity,
+            )
+        )
+
+
+def _strongly_connected(graph: dict[str, set[str]]) -> list[set[str]]:
+    """Tarjan's SCC, iteratively."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    components: list[set[str]] = []
+
+    for root in graph:
+        if root in index:
+            continue
+        work: list[tuple[str, list[str], int]] = [
+            (root, sorted(graph.get(root, ())), 0)
+        ]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors, pointer = work.pop()
+            advanced = False
+            while pointer < len(successors):
+                nxt = successors[pointer]
+                pointer += 1
+                if nxt not in index:
+                    work.append((node, successors, pointer))
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, sorted(graph.get(nxt, ())), 0))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            if low[node] == index[node]:
+                component: set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return components
+
+
+def _handler_functions(model: ConcurrencyModel) -> set[str]:
+    handlers = set()
+    for q, fn in model.functions.items():
+        if "/server/" not in fn.module_path:
+            continue
+        if fn.name.startswith(SERVER_HANDLER_PREFIX) or fn.name in (
+            SERVER_HANDLER_NAMES
+        ):
+            handlers.add(q)
+    return handlers
+
+
+def _reachable_from(model: ConcurrencyModel, roots: set[str]) -> set[str]:
+    reached = set(roots)
+    frontier = list(roots)
+    while frontier:
+        q = frontier.pop()
+        fn = model.functions.get(q)
+        if fn is None:
+            continue
+        for call in fn.calls:
+            for callee in call.resolved:
+                if callee not in reached:
+                    reached.add(callee)
+                    frontier.append(callee)
+    return reached
+
+
+def _check_timeouts(model: ConcurrencyModel) -> None:
+    handlers = _handler_functions(model)
+    if not handlers:
+        return
+    reachable = _reachable_from(model, handlers)
+    for q in sorted(reachable):
+        fn = model.functions.get(q)
+        if fn is None:
+            continue
+        for site in fn.sites:
+            if site.kind == "manager" and not site.has_timeout:
+                model.findings.append(
+                    Finding(
+                        rule_id=RULE_UNBOUNDED_WAIT.rule_id,
+                        path=site.path,
+                        line=site.line,
+                        message=(
+                            f"acquisition of {site.key} in {q} passes no "
+                            "timeout but is reachable from a server request "
+                            "handler; bound the wait with the request's "
+                            "remaining deadline (timeout_s=...)"
+                        ),
+                        severity=RULE_UNBOUNDED_WAIT.severity,
+                    )
+                )
+
+
+def _check_guards(model: ConcurrencyModel) -> None:
+    for q, fn in sorted(model.functions.items()):
+        for site in fn.sites:
+            if not site.guarded:
+                model.findings.append(
+                    Finding(
+                        rule_id=RULE_UNGUARDED_ACQUIRE.rule_id,
+                        path=site.path,
+                        line=site.line,
+                        message=(
+                            f"{site.key} acquired in {q} without a "
+                            "guaranteed release: use a with statement, or "
+                            "follow the acquire immediately with "
+                            "try/finally-release"
+                        ),
+                        severity=RULE_UNGUARDED_ACQUIRE.severity,
+                    )
+                )
+
+
+def _protected_functions(model: ConcurrencyModel) -> set[str]:
+    """Functions only ever called with a lock held (helpers of latched code)."""
+    call_sites: dict[str, list[tuple[str, bool]]] = {}
+    for q, fn in model.functions.items():
+        for call in fn.calls:
+            held = bool(_held_keys(call.held)) or any(
+                isinstance(h, _CallHold)
+                and any(model.may_acquire.get(c) for c in h.qualnames)
+                for h in call.held
+            )
+            for callee in call.resolved:
+                call_sites.setdefault(callee, []).append((q, held))
+    protected: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for q in model.functions:
+            if q in protected:
+                continue
+            sites = call_sites.get(q)
+            if not sites:
+                continue
+            if all(held or caller in protected for caller, held in sites):
+                protected.add(q)
+                changed = True
+    return protected
+
+
+def _check_escapes(model: ConcurrencyModel) -> None:
+    protected = _protected_functions(model)
+    by_class: dict[str, dict[str, list[tuple[_Mutation, bool]]]] = {}
+    for q, fn in model.functions.items():
+        path = fn.module_path.replace("\\", "/")
+        if not any(d in path for d in ESCAPE_SCOPE_DIRS):
+            continue
+        if fn.cls is None or fn.name in ("__init__", "__new__", "__post_init__"):
+            continue
+        for mutation in fn.mutations:
+            locked = bool(_held_keys(mutation.held)) or q in protected
+            if not locked:
+                for hold in mutation.held:
+                    if isinstance(hold, _CallHold) and any(
+                        model.may_acquire.get(c) for c in hold.qualnames
+                    ):
+                        locked = True
+                        break
+            by_class.setdefault(fn.cls, {}).setdefault(mutation.attr, []).append(
+                (mutation, locked)
+            )
+    for cls_qual in sorted(by_class):
+        cls = model.classes.get(cls_qual)
+        for attr in sorted(by_class[cls_qual]):
+            entries = by_class[cls_qual][attr]
+            locked_count = sum(1 for _, locked in entries if locked)
+            unlocked = [m for m, locked in entries if not locked]
+            if not locked_count or not unlocked:
+                continue
+            for mutation in unlocked:
+                model.findings.append(
+                    Finding(
+                        rule_id=RULE_ESCAPED_STATE.rule_id,
+                        path=cls.path if cls else "",
+                        line=mutation.line,
+                        message=(
+                            f"attribute self.{attr} of "
+                            f"{cls.name if cls else cls_qual} is mutated "
+                            f"here ({mutation.function}) outside any lock "
+                            f"scope, but {locked_count} other write(s) hold "
+                            "a latch — either every writer takes the latch "
+                            "or none does"
+                        ),
+                        severity=RULE_ESCAPED_STATE.severity,
+                    )
+                )
+
+
+def _check_async_blocking(model: ConcurrencyModel) -> None:
+    for q in sorted(model.functions):
+        fn = model.functions[q]
+        if not fn.is_async:
+            continue
+        for call in fn.calls:
+            if call.awaited:
+                continue
+            reason = None
+            for callee in call.resolved:
+                target = model.functions.get(callee)
+                if target is not None and target.is_async:
+                    continue  # un-awaited coroutine creation, not blocking
+                if callee in model.may_block:
+                    reason = (
+                        f"calls {callee}, which may acquire a lock/latch or "
+                        "block"
+                    )
+                    break
+            if reason is None and _lexically_blocking(call.callee):
+                chain = _attr_chain(call.callee) or ["<call>"]
+                reason = f"direct blocking call {'.'.join(chain)}(...)"
+            if reason is not None:
+                model.findings.append(
+                    Finding(
+                        rule_id=RULE_BLOCKING_IN_ASYNC.rule_id,
+                        path=fn.path,
+                        line=call.line,
+                        message=(
+                            f"async function {fn.name} {reason}; the event "
+                            "loop must never block — await it via an "
+                            "executor (loop.run_in_executor)"
+                        ),
+                        severity=RULE_BLOCKING_IN_ASYNC.severity,
+                    )
+                )
+
+
+# -- public entry points -------------------------------------------------------
+
+
+def run_concurrency_checks(
+    files: Iterable[tuple[str, str, str]],
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """The engine's layer-3 hook: analyze and return (selected) findings."""
+    selected = set(select) if select is not None else None
+    model = analyze_files(files)
+    findings = model.findings
+    if selected is not None:
+        findings = [f for f in findings if f.rule_id in selected]
+    return findings
+
+
+def default_model(root: Path | str | None = None) -> ConcurrencyModel:
+    """Analyze the installed ``repro`` package tree (sanitizer cross-check)."""
+    base = Path(root) if root is not None else Path(__file__).resolve().parent.parent
+    files = []
+    for path in sorted(base.rglob("*.py")):
+        files.append(
+            (str(path.relative_to(base.parent)), str(path), path.read_text("utf-8"))
+        )
+    return analyze_files(files)

@@ -1,9 +1,10 @@
-"""Orchestration: run both lint layers and produce one report.
+"""Orchestration: run all three lint layers and produce one report.
 
 The engine walks the target tree (default: the installed ``repro`` package
-sources), runs the AST passes per file, runs the semantic checks once, and
+sources), runs the AST passes per file, runs the semantic checks once,
+runs the project-wide concurrency analysis over all collected sources, and
 funnels everything through the shared findings pipeline — suppression
-comments, rule selection, stable sort — so both layers speak the same
+comments, rule selection, stable sort — so every layer speaks the same
 ``file:line rule-id message`` language.
 """
 
@@ -13,7 +14,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from repro.lint import astlint, semantic
+from repro.lint import astlint, concurrency, semantic
 from repro.lint.findings import (
     RULES,
     Finding,
@@ -71,8 +72,10 @@ def iter_python_files(targets: Sequence[Path]) -> list[Path]:
 def run_lint(
     targets: Sequence[Path | str] | None = None,
     select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
     semantic_checks: bool = True,
     ast_checks: bool = True,
+    concurrency_checks: bool = True,
     root: Path | str | None = None,
     registry: object | None = None,
     rules: object | None = None,
@@ -82,11 +85,13 @@ def run_lint(
     Parameters
     ----------
     targets:
-        Files or directories for the AST layer (default: the ``repro``
-        package sources).
+        Files or directories for the AST and concurrency layers (default:
+        the ``repro`` package sources).
     select:
         Restrict to these rule IDs (default: all registered rules).
-    semantic_checks / ast_checks:
+    ignore:
+        Drop these rule IDs from the results (applied after ``select``).
+    semantic_checks / ast_checks / concurrency_checks:
         Toggle each layer.
     root:
         Base directory findings paths are rendered relative to.
@@ -95,22 +100,33 @@ def run_lint(
         the checks at deliberately broken registries).
     """
     selected = _validate_selection(select)
+    ignored = _validate_selection(ignore) or set()
     paths = [Path(t) for t in targets] if targets else [default_target()]
     report = LintReport()
     raw: list[Finding] = []
     suppressions: dict[str, SuppressionIndex] = {}
 
-    if ast_checks:
+    # Each file is read once; the per-file layer consumes it immediately,
+    # the project-wide concurrency layer gets the whole collection.
+    file_data: list[tuple[str, str, str]] = []
+    if ast_checks or concurrency_checks:
         for path in iter_python_files(paths):
             report.files_checked += 1
             source = path.read_text(encoding="utf-8")
             shown = relativize(path, root)
             suppressions[shown] = parse_suppressions(source)
-            raw.extend(
-                astlint.lint_source(
-                    source, shown, module_path=str(path), select=selected
+            file_data.append((shown, str(path), source))
+            if ast_checks:
+                raw.extend(
+                    astlint.lint_source(
+                        source, shown, module_path=str(path), select=selected
+                    )
                 )
-            )
+
+    if concurrency_checks and (
+        selected is None or selected & concurrency.CONCURRENCY_RULE_IDS
+    ):
+        raw.extend(concurrency.run_concurrency_checks(file_data, select=selected))
 
     if semantic_checks:
         for finding in semantic.run_semantic_checks(
@@ -134,6 +150,8 @@ def run_lint(
                 )
             )
 
+    if ignored:
+        raw = [f for f in raw if f.rule_id not in ignored]
     kept = filter_suppressed(raw, suppressions)
     report.suppressed = len(raw) - len(kept)
     report.findings = sort_findings(kept)

@@ -182,21 +182,47 @@ class AnalystServer:
                     response = await self._admit(sid, analyst, request)
                 await self._send(writer, response)
         finally:
-            released = self.coordinator.release(sid)
+            released = await self._teardown(sid)
             self.tracer.add("server.close")
             if released:
                 self.tracer.add("server.locks_released_on_close", released)
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # CancelledError: loop shutdown caught us draining the
+                # close; locks are already released, so finish quietly
+                # instead of ending the task cancelled (which asyncio's
+                # streams callback would log as an error).
                 pass
 
-    async def _send(self, writer: asyncio.StreamWriter, message: dict) -> None:
+    async def _teardown(self, sid: str) -> int:
+        """Release a disconnecting session's locks off the event loop.
+
+        ``coordinator.release`` takes the sessions latch and the lock
+        manager's mutex — blocking waits the loop must not make
+        (REPRO-C205): with 8 analysts connected, one disconnect contending
+        on the lock manager would stall every other connection's framing.
+        """
+        pool = self._inline_pool
+        if pool is not None:
+            try:
+                return await asyncio.get_running_loop().run_in_executor(
+                    pool, self.coordinator.release, sid
+                )
+            except (RuntimeError, asyncio.CancelledError):
+                # Pool rejected the job, or stop() cancelled it before it
+                # ran: fall through so the locks are still freed.
+                pass
+        # Shutdown path only: the executor is gone, so no other connection
+        # is being served that this brief block could stall.
+        return self.coordinator.release(sid)  # repro-lint: disable=REPRO-C205
+
+    async def _send(self, writer: asyncio.StreamWriter, message: dict[str, Any]) -> None:
         writer.write(encode_frame(message))
         await writer.drain()
 
-    async def _inline(self, request_id: Any, fn: Callable[..., dict], *args: Any) -> dict:
+    async def _inline(self, request_id: Any, fn: Callable[..., dict[str, Any]], *args: Any) -> dict[str, Any]:
         """Run a lightweight op off the loop, bypassing admission control.
 
         handshake/stats stay answerable while the worker pool is
@@ -221,7 +247,7 @@ class AnalystServer:
                 request_id, "internal", f"unexpected {type(exc).__name__}: {exc}"
             )
 
-    def _handshake_result(self, sid: str, analyst: str) -> dict:
+    def _handshake_result(self, sid: str, analyst: str) -> dict[str, Any]:
         return {
             "sid": sid,
             "analyst": analyst,
@@ -230,7 +256,7 @@ class AnalystServer:
 
     # -- admission ---------------------------------------------------------
 
-    async def _admit(self, sid: str, analyst: str, request: dict) -> dict:
+    async def _admit(self, sid: str, analyst: str, request: dict[str, Any]) -> dict[str, Any]:
         """Queue-depth rejection, then deadline-bounded execution.
 
         The inflight slot is returned by ``_release_slot`` when the worker
@@ -284,14 +310,14 @@ class AnalystServer:
         except asyncio.TimeoutError:
             return self._timeout_response(request_id, timeout_s)
 
-    def _release_slot(self, future: "Future[dict] | asyncio.Future[dict]") -> None:
+    def _release_slot(self, future: "Future[dict[str, Any]] | asyncio.Future[dict[str, Any]]") -> None:
         self._inflight -= 1
         if self._slots is not None:
             self._slots.release()
         if not future.cancelled():
             future.exception()  # retrieve, so abandoned results never warn
 
-    def _timeout_response(self, request_id: Any, timeout_s: float) -> dict:
+    def _timeout_response(self, request_id: Any, timeout_s: float) -> dict[str, Any]:
         self.timed_out += 1
         self.tracer.add("server.timeout")
         return self._err(
@@ -304,7 +330,7 @@ class AnalystServer:
 
     # -- execution (worker threads) ----------------------------------------
 
-    def _execute(self, sid: str, analyst: str, request: dict, deadline: float) -> dict:
+    def _execute(self, sid: str, analyst: str, request: dict[str, Any], deadline: float) -> dict[str, Any]:
         op = str(request.get("op"))
         request_id = request.get("id")
         if time.monotonic() >= deadline:
@@ -350,8 +376,8 @@ class AnalystServer:
     # ``deadline`` (monotonic) bounds its lock waits via _remaining().
 
     def _op_open_view(
-        self, sid: str, analyst: str, request: dict, deadline: float
-    ) -> dict:
+        self, sid: str, analyst: str, request: dict[str, Any], deadline: float
+    ) -> dict[str, Any]:
         session = self.coordinator.session(sid, self._view_of(request), analyst)
         view = session.view
         return {
@@ -361,7 +387,7 @@ class AnalystServer:
             "attributes": list(view.schema.names),
         }
 
-    def _op_query(self, sid: str, analyst: str, request: dict, deadline: float) -> dict:
+    def _op_query(self, sid: str, analyst: str, request: dict[str, Any], deadline: float) -> dict[str, Any]:
         view_name = self._view_of(request)
         function = request.get("function")
         if not isinstance(function, str):
@@ -388,8 +414,8 @@ class AnalystServer:
             }
 
     def _op_columns(
-        self, sid: str, analyst: str, request: dict, deadline: float
-    ) -> dict:
+        self, sid: str, analyst: str, request: dict[str, Any], deadline: float
+    ) -> dict[str, Any]:
         """Raw column values under one snapshot (the atomicity probe)."""
         view_name = self._view_of(request)
         attributes = request.get("attributes")
@@ -410,7 +436,7 @@ class AnalystServer:
                 },
             }
 
-    def _op_update(self, sid: str, analyst: str, request: dict, deadline: float) -> dict:
+    def _op_update(self, sid: str, analyst: str, request: dict[str, Any], deadline: float) -> dict[str, Any]:
         view_name = self._view_of(request)
         where = request.get("where")
         assignments = request.get("assignments")
@@ -432,7 +458,7 @@ class AnalystServer:
                 "entries_visited": report.entries_visited,
             }
 
-    def _op_undo(self, sid: str, analyst: str, request: dict, deadline: float) -> dict:
+    def _op_undo(self, sid: str, analyst: str, request: dict[str, Any], deadline: float) -> dict[str, Any]:
         view_name = self._view_of(request)
         try:
             count = int(request.get("count", 1))
@@ -448,7 +474,7 @@ class AnalystServer:
             session.undo(count)
             return {"version": session.view.version, "undone": count}
 
-    def _op_publish(self, sid: str, analyst: str, request: dict, deadline: float) -> dict:
+    def _op_publish(self, sid: str, analyst: str, request: dict[str, Any], deadline: float) -> dict[str, Any]:
         view_name = self._view_of(request)
         with self.coordinator.registry_write(
             sid, timeout_s=self._remaining(deadline)
@@ -460,7 +486,7 @@ class AnalystServer:
                 "version": edits.version,
             }
 
-    def _op_adopt(self, sid: str, analyst: str, request: dict, deadline: float) -> dict:
+    def _op_adopt(self, sid: str, analyst: str, request: dict[str, Any], deadline: float) -> dict[str, Any]:
         view_name = self._view_of(request)
         new_name = request.get("new_name")
         if not new_name:
@@ -472,7 +498,7 @@ class AnalystServer:
             view = dbms.adopt_published(view_name, new_name, analyst)
             return {"view": view.name, "rows": len(view)}
 
-    def _op_history(self, sid: str, analyst: str, request: dict, deadline: float) -> dict:
+    def _op_history(self, sid: str, analyst: str, request: dict[str, Any], deadline: float) -> dict[str, Any]:
         view_name = self._view_of(request)
         with self.coordinator.read(
             sid, view_name, analyst, timeout_s=self._remaining(deadline)
@@ -491,14 +517,16 @@ class AnalystServer:
             }
 
     def _op_checkpoint(
-        self, sid: str, analyst: str, request: dict, deadline: float
-    ) -> dict:
-        path = self.coordinator.checkpoint(sid)
+        self, sid: str, analyst: str, request: dict[str, Any], deadline: float
+    ) -> dict[str, Any]:
+        path = self.coordinator.checkpoint(
+            sid, timeout_s=self._remaining(deadline)
+        )
         return {"path": str(path)}
 
     def _op_debug_sleep(
-        self, sid: str, analyst: str, request: dict, deadline: float
-    ) -> dict:
+        self, sid: str, analyst: str, request: dict[str, Any], deadline: float
+    ) -> dict[str, Any]:
         """Occupy a worker slot (admission-control tests only)."""
         if not self.allow_debug:
             raise ServerError("forbidden", "debug ops are disabled")
@@ -508,7 +536,7 @@ class AnalystServer:
 
     # -- stats -------------------------------------------------------------
 
-    def _stats(self, request: dict, sid: str) -> dict:
+    def _stats(self, request: dict[str, Any], sid: str) -> dict[str, Any]:
         prefix = str(request.get("prefix", ""))
         counters: dict[str, float] = {}
         totals = getattr(self.tracer, "counter_totals", None)
@@ -527,21 +555,21 @@ class AnalystServer:
     # -- helpers -----------------------------------------------------------
 
     @staticmethod
-    def _view_of(request: dict) -> str:
+    def _view_of(request: dict[str, Any]) -> str:
         view = request.get("view")
         if not view:
             raise ProtocolError(f"op {request.get('op')!r} needs a 'view'")
         return str(view)
 
     @staticmethod
-    def _ok(request_id: Any, result: dict) -> dict:
+    def _ok(request_id: Any, result: dict[str, Any]) -> dict[str, Any]:
         response = {"ok": True, "result": result}
         if request_id is not None:
             response["id"] = request_id
         return response
 
     @staticmethod
-    def _err(request_id: Any, code: str, message: str) -> dict:
+    def _err(request_id: Any, code: str, message: str) -> dict[str, Any]:
         response = {"ok": False, "error": {"code": code, "message": message}}
         if request_id is not None:
             response["id"] = request_id

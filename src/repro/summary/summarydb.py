@@ -139,20 +139,31 @@ class SummaryDatabase:
         return sum(entry.size_bytes for entry in self._entries.values())
 
     def lookup(self, function: str, attributes: Sequence[str] | str) -> SummaryEntry | None:
-        """Search by (function, attributes); records a hit or miss."""
+        """Search by (function, attributes); records a hit or miss.
+
+        The counter/recency bookkeeping happens under :attr:`latch` —
+        ``insert`` already mutates ``stats`` latched, and a writer that
+        takes the latch only sometimes is not protected by it at all
+        (REPRO-C204).  Tracer charging stays outside the latch: the tracer
+        has its own synchronization, and charging it latched would nest
+        two unrelated locks for no benefit.
+        """
         key = self._key(function, attributes)
-        entry = self._entries.get(key)
-        self._clock += 1
+        with self.latch:
+            entry = self._entries.get(key)
+            self._clock += 1
+            if entry is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+                entry.hit_count += 1
+                entry._last_hit = self._clock  # type: ignore[attr-defined]
         if entry is None:
-            self.stats.misses += 1
             if self.tracer.enabled:
                 self.tracer.add(f"summary.miss.{function}")
             return None
-        self.stats.hits += 1
         if self.tracer.enabled:
             self.tracer.add(f"summary.hit.{function}")
-        entry.hit_count += 1
-        entry._last_hit = self._clock  # type: ignore[attr-defined]
         return entry
 
     def peek(self, function: str, attributes: Sequence[str] | str) -> SummaryEntry | None:
@@ -249,13 +260,14 @@ class SummaryDatabase:
         ``pending`` additionally records that many unapplied updates (for
         the periodic/tolerant consistency policies).
         """
-        newly_stale = not entry.stale
-        if newly_stale:
-            entry.stale = True
-            self.stats.invalidations += 1
-            if self.tracer.enabled:
-                self.tracer.add(f"summary.stale.{entry.key.function}")
-        entry.pending_updates += pending
+        with self.latch:
+            newly_stale = not entry.stale
+            if newly_stale:
+                entry.stale = True
+                self.stats.invalidations += 1
+            entry.pending_updates += pending
+        if newly_stale and self.tracer.enabled:
+            self.tracer.add(f"summary.stale.{entry.key.function}")
         return newly_stale
 
     def refresh(self, entry: SummaryEntry, result: Any, version: int | None = None) -> Any:

@@ -59,9 +59,77 @@ def test_select_filters_rules(seeded_file, capsys):
     assert "REPRO-A102" in out and "REPRO-A101" not in out
 
 
+def test_ignore_drops_rules(seeded_file, capsys):
+    code = main(["--no-semantic", "--ignore", "REPRO-A101", str(seeded_file)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "REPRO-A102" in out and "REPRO-A101" not in out
+
+
+def test_ignoring_every_finding_exits_zero(seeded_file, capsys):
+    code = main(
+        ["--no-semantic", "--ignore", "REPRO-A101,REPRO-A102", str(seeded_file)]
+    )
+    assert code == 0
+    assert "0 errors" in capsys.readouterr().out
+
+
+def test_github_format(seeded_file, capsys):
+    code = main(["--no-semantic", "--format", "github", str(seeded_file)])
+    assert code == 1
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith(
+        f"::error file={seeded_file},line=2,title=REPRO-A101::"
+    )
+    assert all("\n" not in line for line in lines)
+
+
+def test_github_format_escapes_reserved_characters():
+    from repro.lint.cli import render_github_annotation
+    from repro.lint.findings import Finding, Severity
+
+    finding = Finding(
+        rule_id="REPRO-C201",
+        path="x.py",
+        line=3,
+        message="cycle: a -> b\nand 100% back",
+        severity=Severity.ERROR,
+    )
+    rendered = render_github_annotation(finding)
+    assert "\n" not in rendered
+    assert "%0A" in rendered and "%25" in rendered
+
+
 def test_unknown_rule_is_usage_error(capsys):
     assert main(["--select", "NOPE-123"]) == 2
     assert "unknown lint rule" in capsys.readouterr().err
+
+
+def test_unknown_ignore_rule_is_usage_error(capsys):
+    assert main(["--ignore", "NOPE-123"]) == 2
+    assert "unknown lint rule" in capsys.readouterr().err
+
+
+def test_select_concurrency_rule_runs_layer_three(tmp_path, capsys):
+    from tests.lint.test_concurrency_lint import INVERTED_PAIR_SOURCE
+
+    pair = tmp_path / "pair.py"
+    pair.write_text(INVERTED_PAIR_SOURCE)
+    code = main(["--no-semantic", "--select", "REPRO-C201", str(pair)])
+    assert code == 1
+    assert "REPRO-C201" in capsys.readouterr().out
+
+
+def test_no_concurrency_skips_layer_three(tmp_path, capsys):
+    from tests.lint.test_concurrency_lint import INVERTED_PAIR_SOURCE
+
+    pair = tmp_path / "pair.py"
+    pair.write_text(INVERTED_PAIR_SOURCE)
+    # --no-ast too: the fixture's direct threading.Lock() trips REPRO-A109.
+    code = main(["--no-semantic", "--no-ast", "--no-concurrency", str(pair)])
+    assert code == 0
+    assert "REPRO-C201" not in capsys.readouterr().out
 
 
 def test_list_rules(capsys):

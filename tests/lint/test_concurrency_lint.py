@@ -1,0 +1,518 @@
+"""Layer 3 (``REPRO-C2xx``) concurrency analysis: fixtures and gates.
+
+Each rule gets a minimal synthetic fixture that must trip it, plus a
+suppression-comment variant that must silence it; the deliberately
+inverted two-lock fixture here is the same shape
+``tests/concurrency/test_sanitizer.py`` detects *dynamically* — the
+acceptance criterion that the static and runtime halves agree.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import run_lint
+from repro.lint.concurrency import (
+    CONCURRENCY_RULE_IDS,
+    analyze_files,
+    run_concurrency_checks,
+)
+from repro.lint.findings import RULES
+
+PACKAGE_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: The deliberately inverted two-lock fixture (also exercised dynamically).
+INVERTED_PAIR_SOURCE = textwrap.dedent(
+    """
+    import threading
+
+    class Pair:
+        def __init__(self):
+            self.a_latch = threading.Lock()
+            self.b_latch = threading.Lock()
+
+        def forward(self):
+            with self.a_latch:
+                with self.b_latch:
+                    return 1
+
+        def backward(self):
+            with self.b_latch:
+                with self.a_latch:
+                    return 2
+    """
+)
+
+
+def lint_sources(*named_sources, select=None):
+    """Run only the concurrency layer over (relpath, source) fixtures."""
+    files = [
+        (name, f"/fixtures/{name}", textwrap.dedent(source))
+        for name, source in named_sources
+    ]
+    return run_concurrency_checks(files, select=select)
+
+
+def rule_ids(findings):
+    return {f.rule_id for f in findings}
+
+
+class TestRuleRegistration:
+    def test_all_c_rules_registered(self):
+        for rule_id in sorted(CONCURRENCY_RULE_IDS):
+            spec = RULES.get(rule_id)
+            assert spec.layer == "concurrency"
+
+
+class TestC201LockOrderCycles:
+    def test_inverted_two_lock_fixture_is_a_cycle(self):
+        findings = lint_sources(("pair.py", INVERTED_PAIR_SOURCE))
+        assert "REPRO-C201" in rule_ids(findings)
+        [cycle] = [f for f in findings if f.rule_id == "REPRO-C201"]
+        assert "latch:Pair.a_latch" in cycle.message
+        assert "latch:Pair.b_latch" in cycle.message
+
+    def test_consistent_order_is_clean(self):
+        source = INVERTED_PAIR_SOURCE.replace(
+            "with self.b_latch:\n            with self.a_latch:",
+            "with self.a_latch:\n            with self.b_latch:",
+        )
+        findings = lint_sources(("pair.py", source))
+        assert "REPRO-C201" not in rule_ids(findings)
+
+    def test_interprocedural_cycle_through_a_call(self):
+        findings = lint_sources(
+            (
+                "chain.py",
+                """
+                import threading
+
+                class Chain:
+                    def __init__(self):
+                        self.a_latch = threading.Lock()
+                        self.b_latch = threading.Lock()
+
+                    def outer(self):
+                        with self.a_latch:
+                            self.helper()
+
+                    def helper(self):
+                        with self.b_latch:
+                            return 1
+
+                    def backward(self):
+                        with self.b_latch:
+                            with self.a_latch:
+                                return 2
+                """,
+            )
+        )
+        assert "REPRO-C201" in rule_ids(findings)
+
+    def test_bare_acquire_loop_self_edge(self):
+        findings = lint_sources(
+            (
+                "sweep.py",
+                """
+                class Sweep:
+                    def grab_all(self, locks, names):
+                        for name in names:
+                            locks.acquire("sid", name, "X", 1.0)
+                        try:
+                            return len(names)
+                        finally:
+                            for name in names:
+                                locks.release("sid", name)
+                """,
+            )
+        )
+        assert "REPRO-C201" in rule_ids(findings)
+
+    def test_with_statement_in_loop_is_not_a_self_edge(self):
+        findings = lint_sources(
+            (
+                "reacquire.py",
+                """
+                import threading
+
+                class Poller:
+                    def __init__(self):
+                        self.work_latch = threading.Lock()
+
+                    def poll(self, jobs):
+                        for job in jobs:
+                            with self.work_latch:
+                                job()
+                """,
+            )
+        )
+        assert "REPRO-C201" not in rule_ids(findings)
+
+
+class TestC202UnboundedHandlerWaits:
+    HANDLER_SOURCE = """
+        class Handler:
+            def _op_fetch(self, sid, request):
+                self.locks.acquire(sid, "resource", "X"{timeout})
+                try:
+                    return {{}}
+                finally:
+                    self.locks.release(sid, "resource")
+    """
+
+    def test_no_timeout_reachable_from_handler(self):
+        findings = lint_sources(
+            ("server/handlers.py", self.HANDLER_SOURCE.format(timeout="")),
+            select={"REPRO-C202"},
+        )
+        assert rule_ids(findings) == {"REPRO-C202"}
+
+    def test_timeout_bound_is_clean(self):
+        findings = lint_sources(
+            (
+                "server/handlers.py",
+                self.HANDLER_SOURCE.format(timeout=", timeout_s=1.0"),
+            ),
+            select={"REPRO-C202"},
+        )
+        assert findings == []
+
+    def test_same_code_outside_server_is_not_flagged(self):
+        findings = lint_sources(
+            ("batch/handlers.py", self.HANDLER_SOURCE.format(timeout="")),
+            select={"REPRO-C202"},
+        )
+        assert findings == []
+
+    def test_reachability_through_a_callee(self):
+        findings = lint_sources(
+            (
+                "server/handlers.py",
+                """
+                class Handler:
+                    def _op_fetch(self, sid, request):
+                        return self._locked_work(sid)
+
+                    def _locked_work(self, sid):
+                        self.locks.acquire(sid, "resource", "X")
+                        try:
+                            return {}
+                        finally:
+                            self.locks.release(sid, "resource")
+                """,
+            ),
+            select={"REPRO-C202"},
+        )
+        assert rule_ids(findings) == {"REPRO-C202"}
+
+
+class TestC203UnguardedAcquire:
+    def test_acquire_without_release_path(self):
+        findings = lint_sources(
+            (
+                "leaky.py",
+                """
+                class Leaky:
+                    def work(self, locks):
+                        locks.acquire("sid", "resource", "X", 1.0)
+                        return self.compute()
+                """,
+            ),
+            select={"REPRO-C203"},
+        )
+        assert rule_ids(findings) == {"REPRO-C203"}
+
+    def test_acquire_then_try_finally_is_clean(self):
+        findings = lint_sources(
+            (
+                "guarded.py",
+                """
+                class Guarded:
+                    def work(self, locks):
+                        locks.acquire("sid", "resource", "X", 1.0)
+                        try:
+                            return self.compute()
+                        finally:
+                            locks.release("sid", "resource")
+                """,
+            ),
+            select={"REPRO-C203"},
+        )
+        assert findings == []
+
+    def test_acquire_inside_try_with_finally_release_is_clean(self):
+        findings = lint_sources(
+            (
+                "guarded.py",
+                """
+                class Guarded:
+                    def work(self, locks, names):
+                        held = []
+                        try:
+                            for name in names:
+                                locks.acquire("sid", name, "X", 1.0)
+                                held.append(name)
+                            return len(held)
+                        finally:
+                            for name in held:
+                                locks.release("sid", name)
+                """,
+            ),
+            select={"REPRO-C203"},
+        )
+        assert findings == []
+
+
+class TestC204EscapedState:
+    MIXED_SOURCE = """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self.latch = threading.Lock()
+                self.hits = 0
+
+            def latched_bump(self):
+                with self.latch:
+                    self.hits += 1
+
+            def bare_bump(self):
+                self.hits += 1{suppress}
+    """
+
+    def test_mixed_latched_and_bare_mutation(self):
+        findings = lint_sources(
+            (
+                "summary/cache.py",
+                self.MIXED_SOURCE.format(suppress=""),
+            ),
+            select={"REPRO-C204"},
+        )
+        assert rule_ids(findings) == {"REPRO-C204"}
+        [finding] = findings
+        assert "self.hits" in finding.message
+
+    def test_always_bare_is_not_flagged(self):
+        findings = lint_sources(
+            (
+                "summary/cache.py",
+                """
+                class Cache:
+                    def bump(self):
+                        self.hits += 1
+
+                    def other_bump(self):
+                        self.hits += 1
+                """,
+            ),
+            select={"REPRO-C204"},
+        )
+        assert findings == []
+
+    def test_helper_only_called_under_latch_is_protected(self):
+        findings = lint_sources(
+            (
+                "summary/cache.py",
+                """
+                import threading
+
+                class Cache:
+                    def __init__(self):
+                        self.latch = threading.Lock()
+                        self.hits = 0
+
+                    def latched_bump(self):
+                        with self.latch:
+                            self._bump()
+
+                    def _bump(self):
+                        self.hits += 1
+                """,
+            ),
+            select={"REPRO-C204"},
+        )
+        assert findings == []
+
+    def test_out_of_scope_package_is_not_flagged(self):
+        findings = lint_sources(
+            ("stats/cache.py", self.MIXED_SOURCE.format(suppress="")),
+            select={"REPRO-C204"},
+        )
+        assert findings == []
+
+
+class TestC205BlockingInAsync:
+    def test_direct_blocking_call(self):
+        findings = lint_sources(
+            (
+                "server/loop.py",
+                """
+                import time
+
+                class Service:
+                    async def handle(self, request):
+                        time.sleep(0.1)
+                        return request
+                """,
+            ),
+            select={"REPRO-C205"},
+        )
+        assert rule_ids(findings) == {"REPRO-C205"}
+
+    def test_call_into_lock_taking_code(self):
+        findings = lint_sources(
+            (
+                "server/loop.py",
+                """
+                import threading
+
+                class Service:
+                    def __init__(self):
+                        self.state_latch = threading.Lock()
+
+                    def teardown(self, sid):
+                        with self.state_latch:
+                            return sid
+
+                    async def handle(self, sid):
+                        return self.teardown(sid)
+                """,
+            ),
+            select={"REPRO-C205"},
+        )
+        assert rule_ids(findings) == {"REPRO-C205"}
+
+    def test_awaited_work_is_clean(self):
+        findings = lint_sources(
+            (
+                "server/loop.py",
+                """
+                import asyncio
+
+                class Service:
+                    async def handle(self, request):
+                        await asyncio.sleep(0.1)
+                        return request
+                """,
+            ),
+            select={"REPRO-C205"},
+        )
+        assert findings == []
+
+
+class TestSuppressions:
+    """Every C-rule honours line-level suppression comments (engine level)."""
+
+    FIXTURES = {
+        "REPRO-C201": (
+            "pair.py",
+            # The finding anchors on the first edge of the cycle: forward()'s
+            # inner acquire.  Suppressing there documents the sanctioned order.
+            INVERTED_PAIR_SOURCE.replace(
+                "with self.b_latch:",
+                "with self.b_latch:  # repro-lint: disable=REPRO-C201",
+                1,
+            ),
+        ),
+        "REPRO-C202": (
+            "server/handlers.py",
+            TestC202UnboundedHandlerWaits.HANDLER_SOURCE.format(
+                timeout=""
+            ).replace(
+                '"X")',
+                '"X")  # repro-lint: disable=REPRO-C202,REPRO-C203',
+            ),
+        ),
+        "REPRO-C203": (
+            "leaky.py",
+            """
+            class Leaky:
+                def work(self, locks):
+                    # repro-lint: disable=REPRO-C203
+                    locks.acquire("sid", "resource", "X", 1.0)
+                    return self.compute()
+            """,
+        ),
+        "REPRO-C204": (
+            "summary/cache.py",
+            TestC204EscapedState.MIXED_SOURCE.format(
+                suppress="  # repro-lint: disable=REPRO-C204"
+            ),
+        ),
+        "REPRO-C205": (
+            "server/loop.py",
+            """
+            import time
+
+            class Service:
+                async def handle(self, request):
+                    time.sleep(0.1)  # repro-lint: disable=REPRO-C205
+                    return request
+            """,
+        ),
+    }
+
+    def test_each_rule_is_silenced_by_its_suppression(self, tmp_path):
+        for rule_id, (relpath, source) in self.FIXTURES.items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source), encoding="utf-8")
+            report = run_lint(
+                targets=[target],
+                select={rule_id},
+                semantic_checks=False,
+                ast_checks=False,
+            )
+            assert report.clean, (rule_id, [f.render() for f in report.findings])
+            assert report.suppressed >= 1, f"{rule_id} found nothing to suppress"
+            target.unlink()
+
+    def test_cycle_suppression_survives_full_layer_run(self, tmp_path):
+        # Same fixture, but with no --select narrowing: the suppression must
+        # hold when every C-rule runs together.
+        target = tmp_path / "pair.py"
+        target.write_text(
+            textwrap.dedent(self.FIXTURES["REPRO-C201"][1]), encoding="utf-8"
+        )
+        report = run_lint(
+            targets=[target], semantic_checks=False, ast_checks=False
+        )
+        c201 = [f for f in report.findings if f.rule_id == "REPRO-C201"]
+        assert c201 == [], [f.render() for f in c201]
+
+
+class TestRealTreeModel:
+    """The shipped tree's model contains the edges the design promises."""
+
+    def test_known_lock_order_edges_present(self):
+        files = [
+            (str(p), str(p), p.read_text(encoding="utf-8"))
+            for p in sorted(PACKAGE_ROOT.rglob("*.py"))
+        ]
+        model = analyze_files(files)
+        edges = model.lock_order_edges()
+        # quiesce: registry lock ordered before every view lock.
+        assert ("lock:__registry__", "lock:<view>") in edges
+        # group commit: the leader drains the queue while leading.
+        assert (
+            "latch:GroupCommitter._leader",
+            "latch:GroupCommitter._queue_latch",
+        ) in edges
+        # a query handler fills the summary cache under its view lock.
+        assert ("lock:<view>", "latch:SummaryDatabase.latch") in edges
+        # instrumented sites exist for the runtime cross-check.
+        assert len(model.instrumented_sites()) >= 10
+
+    def test_fixed_tree_has_only_sanctioned_raw_findings(self):
+        files = [
+            (str(p), str(p), p.read_text(encoding="utf-8"))
+            for p in sorted(PACKAGE_ROOT.rglob("*.py"))
+        ]
+        model = analyze_files(files)
+        # Raw findings (pre-suppression) are exactly the two sanctioned,
+        # comment-justified sites: the quiesce sorted-order self-edge and
+        # the shutdown-path synchronous release.
+        raw = sorted((f.rule_id, Path(f.path).name) for f in model.findings)
+        assert raw == [
+            ("REPRO-C201", "transactions.py"),
+            ("REPRO-C205", "server.py"),
+        ]
