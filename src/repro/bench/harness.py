@@ -10,6 +10,8 @@ the perf trajectory without parsing printed output."""
 from __future__ import annotations
 
 import json
+import os
+import platform
 import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -132,12 +134,16 @@ def write_json(
     behind the headline numbers survives alongside them.  ``params``
     records the run's configuration (worker counts, concurrency levels,
     dataset sizes) and every payload carries the producing commit's
-    ``git_sha``, so BENCH_*.json files from different PRs are comparable
-    — a latency delta means nothing if the worker pool also changed.
+    ``git_sha`` plus the host's ``cpu_count`` and ``python_version``, so
+    BENCH_*.json files from different PRs are comparable — a latency
+    delta means nothing if the worker pool, core count, or interpreter
+    also changed.
     """
     target = Path(path)
     payload: dict[str, Any] = {
         "git_sha": git_sha(),
+        "cpu_count": os.cpu_count(),
+        "python_version": platform.python_version(),
         "params": params or {},
         "tables": [table.to_dict() for table in tables],
         "metrics": metrics or {},

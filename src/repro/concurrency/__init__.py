@@ -11,10 +11,15 @@ Layers:
 
 * :mod:`repro.concurrency.locks` — per-view reader/writer locks with
   wait-for-graph deadlock detection and acquisition timeouts.
+* :mod:`repro.concurrency.mvcc` — multi-version concurrency control:
+  per-view :class:`VersionChain` of immutable published
+  :class:`ViewVersion` records (copy-on-write column chunks, frozen
+  summary snapshots), lock-free :class:`SnapshotReader`, and the
+  :class:`ReplicaPool` of reader workers with bounded-staleness handoff.
 * :mod:`repro.concurrency.transactions` — the
-  :class:`TransactionCoordinator`: snapshot-consistent reads (pinned
-  version high-water marks), per-view serialized writes, quiesced
-  checkpoints.
+  :class:`TransactionCoordinator`: lock-free MVCC snapshot reads (pinned
+  published versions), per-view serialized writes that publish at exit,
+  quiesced checkpoints.
 * :mod:`repro.concurrency.groupcommit` — :class:`GroupCommitter`, batching
   concurrent sessions' WAL transactions into one fsync.
 * :mod:`repro.concurrency.tracing` — :class:`ConcurrentTracer` (per-thread
@@ -28,6 +33,12 @@ Layers:
 
 from repro.concurrency.groupcommit import GroupCommitter
 from repro.concurrency.locks import LockManager, LockMode
+from repro.concurrency.mvcc import (
+    ReplicaPool,
+    SnapshotReader,
+    VersionChain,
+    ViewVersion,
+)
 from repro.concurrency.sanitizer import (
     LockOrderSanitizer,
     SanitizedLatch,
@@ -43,8 +54,12 @@ __all__ = [
     "LockManager",
     "LockMode",
     "LockOrderSanitizer",
+    "ReplicaPool",
     "SanitizedLatch",
+    "SnapshotReader",
     "TransactionCoordinator",
+    "VersionChain",
+    "ViewVersion",
     "current_sanitizer",
     "install_sanitizer",
     "make_latch",

@@ -19,6 +19,16 @@ Correctness notes:
   ticket in the failed batch — all of them were promised durability by
   that sync.
 
+**Early lock release.**  :meth:`commit` is really two steps —
+:meth:`stage` (enqueue the ticket; cheap, establishes WAL order) and
+:meth:`wait` (block until a sync covered it).  A writer that stages
+while holding its view's EXCLUSIVE lock but waits *after* releasing it
+keeps the fsync off the lock hold entirely: the next writer's
+transaction overlaps this one's sync, so same-view writers — which the
+per-view lock otherwise serializes into batches of one — finally share
+fsyncs.  WAL order still matches publication order because staging
+happens under the lock.
+
 Counters: ``wal.group_commit.batches`` (one per leader drain) and
 ``wal.group_commit.txns`` (tickets per drain, so txns/batches is the
 achieved batching factor).
@@ -64,15 +74,25 @@ class GroupCommitter:
         self._pending: list[_Ticket] = []
         self._leader = make_latch("GroupCommitter._leader")
 
+    def stage(self, frames: list[dict]) -> _Ticket:
+        """Enqueue one transaction's frames; their WAL position is now
+        fixed by queue order, but nothing is durable until a sync covers
+        the returned ticket (:meth:`wait`)."""
+        ticket = _Ticket(frames)
+        with self._queue_latch:
+            self._pending.append(ticket)
+        return ticket
+
     def commit(self, frames: list[dict]) -> None:
         """Make one transaction's frames durable (possibly batched).
 
         Blocks until a sync covering the frames has completed; raises
         whatever the WAL raised if that sync failed.
         """
-        ticket = _Ticket(frames)
-        with self._queue_latch:
-            self._pending.append(ticket)
+        self.wait(self.stage(frames))
+
+    def wait(self, ticket: _Ticket) -> None:
+        """Block until a sync covered ``ticket``; raise its sync error."""
         while not ticket.done.is_set():
             # Whoever gets the leader mutex drains the queue; everyone
             # else blocks here and finds their ticket done when the

@@ -1,24 +1,30 @@
-"""The transaction coordinator: snapshot reads, serialized writes.
+"""The transaction coordinator: MVCC snapshot reads, serialized writes.
 
 One :class:`TransactionCoordinator` fronts one
 :class:`~repro.core.dbms.StatisticalDBMS` for any number of concurrent
 analyst sessions (the wire server's connections, or plain threads in
 tests).  It enforces the two-level discipline the service layer needs:
 
-* **Reads are snapshot-consistent.**  ``with coordinator.read(sid, view)``
-  takes the view's SHARED lock and pins the history's version high-water
-  mark.  Because a writer needs the EXCLUSIVE lock to touch the view, a
-  reader can never observe a half-applied multi-attribute update; the
-  pinned mark additionally scopes history reads
-  (:meth:`~repro.views.history.UpdateHistory.operations_upto`) and is
-  re-verified at exit — a changed version under a held read lock means
-  the locking protocol itself was bypassed, and raises
-  :class:`~repro.core.errors.SnapshotError`.
-* **Writes serialize per view.**  ``with coordinator.write(sid, view)``
-  takes the EXCLUSIVE lock; the update/undo then flows through the
-  existing :class:`~repro.core.propagation.UpdatePropagator` and WAL
-  unchanged.  Group commit (installed automatically when the DBMS is
-  durable) batches concurrent commits into shared fsyncs.
+* **Reads are lock-free snapshots (MVCC).**  ``with coordinator.read(sid,
+  view)`` pins the latest published :class:`~repro.concurrency.mvcc.ViewVersion`
+  on the view's :class:`~repro.concurrency.mvcc.VersionChain` and yields a
+  :class:`~repro.concurrency.mvcc.SnapshotReader` over its frozen state —
+  no view lock, no summary latch.  A reader can never observe a
+  half-applied multi-attribute update because versions are only published
+  at write-transaction exit.  The only lock a read path ever takes is the
+  one-time per-view *bootstrap* (:meth:`chain`): the first reader of a
+  never-published view briefly holds the SHARED lock so its initial
+  capture cannot race a writer.
+* **Writes serialize per view and publish at exit.**  ``with
+  coordinator.write(sid, view)`` takes the EXCLUSIVE lock; the
+  update/undo flows through the existing
+  :class:`~repro.core.propagation.UpdatePropagator` and WAL unchanged,
+  and on successful exit — still under the lock — the new state is
+  published to the version chain (the *publication point*; the exit-time
+  ``SnapshotError`` re-verification the old read path did lives there
+  now).  A write body that raises publishes nothing: readers keep the
+  last consistent version.  Group commit (installed automatically when
+  the DBMS is durable) batches concurrent commits into shared fsyncs.
 * **Registry mutations** (create/publish/adopt/drop) serialize through a
   reserved resource name, :data:`REGISTRY_RESOURCE`, since they touch
   shared structures no per-view lock covers.
@@ -29,7 +35,8 @@ tests).  It enforces the two-level discipline the service layer needs:
 
 Sessions are cached per ``(sid, view)`` so a connection's repeated
 requests hit the same Summary Database bookkeeping; ``release(sid)`` drops
-the cache and any locks the connection still holds.
+the cache, any locks the connection still holds, and any version pins it
+left behind (disconnect-mid-read teardown).
 """
 
 from __future__ import annotations
@@ -39,33 +46,17 @@ from typing import Any, Iterator
 
 from repro.concurrency.groupcommit import GroupCommitter
 from repro.concurrency.locks import LockManager, LockMode
+from repro.concurrency.mvcc import SnapshotReader, VersionChain, ViewVersion
 from repro.concurrency.tracing import make_latch
 from repro.core.dbms import StatisticalDBMS
-from repro.core.errors import SnapshotError
+from repro.core.errors import ReproError
 from repro.core.session import AnalystSession
 from repro.obs.tracer import NULL_TRACER, AbstractTracer
+from repro.views.view import ConcreteView
 
 #: Reserved lock resource guarding registry-level mutations.  Real view
 #: names come from ``ViewDefinition.name`` which never uses this form.
 REGISTRY_RESOURCE = "__registry__"
-
-
-class ReadSnapshot:
-    """What a read transaction sees: a session plus a pinned version."""
-
-    __slots__ = ("session", "version")
-
-    def __init__(self, session: AnalystSession, version: int) -> None:
-        self.session = session
-        self.version = version
-
-    def operations(self) -> list[Any]:
-        """The view's history as of the pinned version."""
-        return self.session.view.history.operations_upto(self.version)
-
-    def compute(self, function: str, attribute: str, **kwargs: Any) -> Any:
-        """Cached compute under the snapshot (shared lock held)."""
-        return self.session.compute(function, attribute, **kwargs)
 
 
 class TransactionCoordinator:
@@ -85,6 +76,8 @@ class TransactionCoordinator:
         self.locks = locks or LockManager(timeout_s=timeout_s, tracer=self.tracer)
         self._sessions: dict[tuple[str, str], AnalystSession] = {}
         self._sessions_latch = make_latch("TransactionCoordinator._sessions_latch")
+        self._chains: dict[str, VersionChain] = {}
+        self._chains_latch = make_latch("TransactionCoordinator._chains_latch")
         if dbms.durability is not None and dbms.durability.group_commit is None:
             dbms.durability.group_commit = GroupCommitter(
                 dbms.durability.wal, tracer=self.tracer
@@ -116,11 +109,76 @@ class TransactionCoordinator:
         return session
 
     def release(self, sid: str) -> int:
-        """Disconnect cleanup: drop cached sessions, free held locks."""
+        """Disconnect cleanup: drop cached sessions, locks, version pins.
+
+        This is the server's teardown path: a reader that disconnects
+        mid-read leaves its pin here, and dropping it lets the chain
+        reclaim the version once no other reader holds it (the in-flight
+        read's own ``unpin`` then finds nothing and is a no-op).
+        """
         with self._sessions_latch:
             for key in [k for k in self._sessions if k[0] == sid]:
                 del self._sessions[key]
+        with self._chains_latch:
+            chains = list(self._chains.values())
+        for chain in chains:
+            chain.release_all(sid)
         return self.locks.release_all(sid)
+
+    # -- version chains ----------------------------------------------------
+
+    def chain(
+        self, sid: str, view_name: str, timeout_s: float | None = None
+    ) -> VersionChain:
+        """The view's version chain, bootstrapping the first publication.
+
+        Steady state is latch-light: a bare dict read finds the chain and
+        its published head.  Only a never-published view pays for locking
+        — the bootstrap takes the view's SHARED lock (bounded by
+        ``timeout_s``) so the initial capture cannot observe a writer
+        mid-flight; racing bootstraps publish identical state and
+        collapse into one version.
+        """
+        chain = self._chains.get(view_name)
+        if chain is None:
+            self.dbms.view(view_name)  # raise ViewError before caching
+            with self._chains_latch:
+                chain = self._chains.setdefault(
+                    view_name, VersionChain(view_name, tracer=self.tracer)
+                )
+        if chain.seq == 0:
+            with self.locks.shared(sid, view_name, timeout_s):
+                chain.publish_version(self.dbms.view(view_name))
+        return chain
+
+    def chain_if_published(self, view_name: str) -> VersionChain | None:
+        """The view's chain *only* if it already has a published head.
+
+        Strictly non-blocking (two bare reads, no lock, no latch), so the
+        wire server's event loop may call it to decide whether a read can
+        be served inline; ``None`` means the caller must take the
+        bootstrapping :meth:`chain` path on a worker thread instead.
+        """
+        chain = self._chains.get(view_name)
+        if chain is not None and chain.seq > 0:
+            return chain
+        return None
+
+    def publish_view(
+        self, view_name: str, view: ConcreteView | None = None
+    ) -> ViewVersion:
+        """Publish ``view``'s current state (the MVCC publication point).
+
+        Caller must hold the view's EXCLUSIVE lock, or otherwise
+        guarantee no writer is mid-flight.
+        """
+        if view is None:
+            view = self.dbms.view(view_name)
+        with self._chains_latch:
+            chain = self._chains.setdefault(
+                view_name, VersionChain(view_name, tracer=self.tracer)
+            )
+        return chain.publish_version(view)
 
     # -- transactions ------------------------------------------------------
 
@@ -131,20 +189,24 @@ class TransactionCoordinator:
         view_name: str,
         analyst: str | None = None,
         timeout_s: float | None = None,
-    ) -> Iterator[ReadSnapshot]:
-        """A snapshot-consistent read transaction (SHARED lock + pin)."""
-        with self.locks.shared(sid, view_name, timeout_s):
-            session = self.session(sid, view_name, analyst)
-            pinned = session.view.version
-            yield ReadSnapshot(session, pinned)
-            current = session.view.version
-            if current != pinned:
-                self.tracer.add("txn.snapshot_violation")
-                raise SnapshotError(
-                    f"view {view_name!r} moved from v{pinned} to v{current} "
-                    f"during {sid!r}'s read transaction — a writer bypassed "
-                    "the lock manager"
-                )
+    ) -> Iterator[SnapshotReader]:
+        """A lock-free snapshot read: pin the latest published version.
+
+        ``analyst`` is accepted for signature compatibility with
+        :meth:`write`; reads no longer materialize a session at all.
+        """
+        del analyst  # reads never touch the live session/cache anymore
+        chain = self.chain(sid, view_name, timeout_s)
+        pinned = chain.pin(sid)
+        try:
+            yield SnapshotReader(
+                pinned,
+                self.dbms.management,
+                tracer=self.tracer,
+                on_miss=chain.note_demand,
+            )
+        finally:
+            chain.unpin(sid, pinned)
 
     @contextmanager
     def write(
@@ -154,9 +216,65 @@ class TransactionCoordinator:
         analyst: str | None = None,
         timeout_s: float | None = None,
     ) -> Iterator[AnalystSession]:
-        """A serialized write transaction (EXCLUSIVE lock)."""
-        with self.locks.exclusive(sid, view_name, timeout_s):
-            yield self.session(sid, view_name, analyst)
+        """A serialized write transaction (EXCLUSIVE lock).
+
+        On successful exit — still under the lock — the new view state is
+        published to the version chain; a body that raises publishes
+        nothing, so readers keep the last consistent version.
+
+        Early lock release: WAL transactions logged by the body are
+        *staged* (their log order fixed under the lock) but their group
+        -commit fsyncs are awaited only after the lock is released, so
+        the sync never serializes the next writer and same-view writers
+        share fsync batches.  This call still returns only once every
+        staged transaction is durable — the caller's acknowledgement
+        keeps the classic guarantee; the window where a concurrent
+        reader may pin the published-but-not-yet-synced version is the
+        documented durability lag of the MVCC read path.
+        """
+        durability = self.dbms.durability
+        deferred = durability is not None and durability.defer_syncs()
+        try:
+            with self.locks.exclusive(sid, view_name, timeout_s):
+                session = self.session(sid, view_name, analyst)
+                yield session
+                self._warm_summaries(view_name, session)
+                self.publish_view(view_name, session.view)
+        finally:
+            if deferred:
+                durability.drain_syncs()
+
+    def _warm_summaries(self, view_name: str, session: AnalystSession) -> None:
+        """Warm reader-demanded summary keys at the publication point.
+
+        Caller holds the view's EXCLUSIVE lock.  Every key a snapshot
+        reader ever had to compute itself (:meth:`VersionChain.
+        note_demand`) is computed through the live session here, so the
+        Summary Database's consistency policy maintains it across
+        updates — incrementally where an update rule allows — and the
+        version published next carries it fresh in its snapshot.  Keys
+        the session cannot compute (inapplicable function, dropped
+        attribute) are dropped from the demand set for good.  Cost per
+        write is one cache lookup per demanded key once warm; the set is
+        bounded by the distinct statistics ever queried on the view.
+        """
+        chain = self._chains.get(view_name)
+        if chain is None:
+            return
+        for key in chain.demanded():
+            function, attrs = key
+            try:
+                if len(attrs) == 1:
+                    session.compute(function, attrs[0])
+                elif len(attrs) == 2:
+                    session.compute_pair(function, attrs[0], attrs[1])
+                else:
+                    chain.drop_demand(key)
+                    continue
+            except ReproError:
+                chain.drop_demand(key)
+                continue
+            self.tracer.add("mvcc.warm")
 
     @contextmanager
     def registry_write(

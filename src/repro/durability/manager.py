@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import threading
 from pathlib import Path
 from typing import Any, Sequence
 
@@ -83,6 +84,11 @@ class DurabilityManager:
         #: frame list and the committer batches concurrent transactions
         #: into one fsync; when ``None``, frames go straight to the WAL.
         self.group_commit: Any = None
+        # Per-thread early-lock-release state: while a write transaction
+        # has called defer_syncs(), this thread's logged transactions are
+        # only *staged* with the group committer and their fsync waits
+        # collected here, to be drained after the view lock is released.
+        self._deferred = threading.local()
 
     # -- binding -----------------------------------------------------------
 
@@ -186,9 +192,50 @@ class DurabilityManager:
         frames.extend({**record, "txn": txn} for record in records)
         frames.append({"t": "commit", "txn": txn})
         if self.group_commit is not None:
-            self.group_commit.commit(frames)
+            tickets = getattr(self._deferred, "tickets", None)
+            if tickets is not None:
+                # Early lock release: fix the WAL position now (caller
+                # holds the view lock), pay for the sync at drain_syncs.
+                tickets.append(self.group_commit.stage(frames))
+            else:
+                self.group_commit.commit(frames)
         else:
             self.wal.append_many(frames, sync=True)
+
+    # -- early lock release ------------------------------------------------
+
+    def defer_syncs(self) -> bool:
+        """Start collecting this thread's commit fsync waits.
+
+        Called by the transaction coordinator before taking a view's
+        EXCLUSIVE lock: transactions logged while deferred are staged in
+        WAL order but their syncs are awaited only at :meth:`drain_syncs`
+        — after the lock is released — so the fsync never extends the
+        lock hold and same-view writers share group-commit batches.
+        Returns ``False`` (deferral inactive) without a group committer.
+        """
+        if self.group_commit is None:
+            return False
+        self._deferred.tickets = []
+        return True
+
+    def drain_syncs(self) -> None:
+        """Await every sync deferred on this thread; raise the first
+        failure after all tickets resolved (each was promised durability
+        by its batch's sync, so none may be silently dropped)."""
+        tickets = getattr(self._deferred, "tickets", None)
+        self._deferred.tickets = None
+        if not tickets:
+            return
+        error: BaseException | None = None
+        for ticket in tickets:
+            try:
+                self.group_commit.wait(ticket)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
 
     def resume_from_txn(self, next_txn: int) -> None:
         """Continue numbering past what recovery found in the log."""

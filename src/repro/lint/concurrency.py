@@ -41,6 +41,11 @@ C205      a blocking call — fsync, ``time.sleep``, ``Future.result``, or
           any project function that may acquire a latch/lock — made
           directly (not via ``await`` / an executor) inside an ``async
           def`` body, i.e. on the event loop.
+C206      a published MVCC ``ViewVersion`` mutated outside
+          ``repro.concurrency.mvcc``, or a Summary Database cache
+          structure (``_entries``/``_insertion_order``/``_index``)
+          written around the sanctioned insert/refresh/mark_stale/
+          ``snapshot_fresh`` APIs — either tears lock-free readers.
 ========  =====================================================================
 
 The model is also exported for the runtime cross-check: the
@@ -114,11 +119,33 @@ RULE_BLOCKING_IN_ASYNC = rule(
         "all of them — run blocking work on an executor"
     ),
 )
+RULE_VERSION_MUTATION = rule(
+    "REPRO-C206",
+    "published MVCC version or summary-cache structure mutated outside "
+    "sanctioned APIs",
+    severity=Severity.ERROR,
+    layer="concurrency",
+    rationale=(
+        "MVCC readers serve published ViewVersion objects without locks "
+        "precisely because they are immutable; a mutation outside "
+        "repro.concurrency.mvcc tears every pinned snapshot, and a direct "
+        "write to the Summary Database's cache structures (_entries/"
+        "_insertion_order/_index) bypasses the latch and the publish-time "
+        "snapshot_fresh capture"
+    ),
+)
 
 #: Every rule this layer owns (the engine skips the whole analysis when a
 #: ``--select`` names none of them).
 CONCURRENCY_RULE_IDS = frozenset(
-    {"REPRO-C201", "REPRO-C202", "REPRO-C203", "REPRO-C204", "REPRO-C205"}
+    {
+        "REPRO-C201",
+        "REPRO-C202",
+        "REPRO-C203",
+        "REPRO-C204",
+        "REPRO-C205",
+        "REPRO-C206",
+    }
 )
 
 #: Packages the escape analysis (C204) covers.
@@ -140,6 +167,21 @@ MUTATOR_METHODS = frozenset(
         "discard",
     }
 )
+
+#: Methods whose return value is a published :class:`ViewVersion` — used
+#: by the C206 pass to type locals like ``v = chain.pin(sid)``.
+MVCC_PRODUCER_METHODS = frozenset({"pin", "latest", "head", "publish_version"})
+
+#: Summary Database cache structures only ``summarydb.py`` itself (and the
+#: MVCC snapshot capture) may write; everyone else goes through
+#: insert/refresh/mark_stale/snapshot_fresh.
+SUMMARY_CACHE_ATTRS = frozenset({"_entries", "_insertion_order", "_index"})
+
+#: Module-path suffixes sanctioned to mutate published version objects.
+MVCC_SANCTIONED_SUFFIXES = ("concurrency/mvcc.py",)
+
+#: Module-path suffixes sanctioned to write summary-cache structures.
+SUMMARY_SANCTIONED_SUFFIXES = ("concurrency/mvcc.py", "summary/summarydb.py")
 
 #: Constructor names that mark an attribute as a latch.
 LATCH_FACTORIES = frozenset(
@@ -282,6 +324,24 @@ class _Mutation:
 
 
 @dataclass
+class _ObjectMutation:
+    """A write through an arbitrary object (not just ``self.X``).
+
+    Recorded for every assignment target and mutator-method receiver so
+    the C206 pass can ask "whose state did this touch?": ``owner_type``
+    is the inferred class of the object whose attribute was written, and
+    ``chain`` the full dotted path of the target (for structural checks
+    like "...summary._entries" reached through ``self``).
+    """
+
+    owner_type: str | None
+    attr: str
+    chain: tuple[str, ...]
+    line: int
+    function: str
+
+
+@dataclass
 class FunctionInfo:
     """Everything the analyzer learned about one function."""
 
@@ -295,6 +355,7 @@ class FunctionInfo:
     sites: list[LockSite] = field(default_factory=list)
     calls: list[_Call] = field(default_factory=list)
     mutations: list[_Mutation] = field(default_factory=list)
+    object_mutations: list[_ObjectMutation] = field(default_factory=list)
     local_edges: list[tuple[str, str, int]] = field(default_factory=list)
     loop_self_keys: list[tuple[str, int]] = field(default_factory=list)
 
@@ -878,6 +939,11 @@ class _FunctionWalker:
                     )
                 elif chain and chain[-1][:1].isupper():
                     self.local_types[target.id] = chain[-1]
+                elif chain and chain[-1] in MVCC_PRODUCER_METHODS:
+                    # v = chain.pin(sid) / chain.latest() /
+                    # chain.publish_version(view): the result is a
+                    # published version object (C206 tracks its writes).
+                    self.local_types[target.id] = "ViewVersion"
 
     # -- call resolution ----------------------------------------------------
 
@@ -943,6 +1009,7 @@ class _FunctionWalker:
                 self.info.mutations.append(
                     _Mutation(attr, stmt.lineno, tuple(held), self.info.qualname)
                 )
+            self._record_object_mutation(target, stmt.lineno, allow_name=False)
         # Mutating method calls on self.X
         for sub in ast.walk(stmt):
             if (
@@ -955,6 +1022,43 @@ class _FunctionWalker:
                     self.info.mutations.append(
                         _Mutation(attr, sub.lineno, tuple(held), self.info.qualname)
                     )
+                self._record_object_mutation(
+                    sub.func.value, sub.lineno, allow_name=True
+                )
+
+    def _record_object_mutation(
+        self, target: ast.expr, line: int, allow_name: bool
+    ) -> None:
+        """Note whose state a write touched, for the C206 pass.
+
+        ``target`` is an assignment target (subscripts stripped) or a
+        mutator call's receiver: ``version.columns[k]`` records owner
+        ``version``'s type and attribute ``columns``.  A bare name only
+        counts for mutator receivers (``v.update(...)`` mutates ``v``;
+        ``v = ...`` merely rebinds it).
+        """
+        node = target
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Attribute):
+            owner_type = self._infer_type(node.value)
+            attr = node.attr
+        elif allow_name and isinstance(node, ast.Name) and node.id != "self":
+            owner_type = self._infer_type(node)
+            attr = ""
+        else:
+            return
+        if owner_type is None and attr not in SUMMARY_CACHE_ATTRS:
+            return  # untyped and structurally uninteresting: keep the model small
+        self.info.object_mutations.append(
+            _ObjectMutation(
+                owner_type,
+                attr,
+                tuple(_attr_chain(node) or ()),
+                line,
+                self.info.qualname,
+            )
+        )
 
 
 def _self_attr_of(target: ast.expr, direct_only: bool = False) -> str | None:
@@ -1090,6 +1194,7 @@ def analyze_files(
     _check_guards(model)
     _check_escapes(model)
     _check_async_blocking(model)
+    _check_version_mutations(model)
     return model
 
 
@@ -1432,6 +1537,76 @@ def _check_escapes(model: ConcurrencyModel) -> None:
                             "or none does"
                         ),
                         severity=RULE_ESCAPED_STATE.severity,
+                    )
+                )
+
+
+def _check_version_mutations(model: ConcurrencyModel) -> None:
+    """REPRO-C206: published-version / summary-cache write discipline.
+
+    Two ways to corrupt the MVCC read path, both flagged:
+
+    * mutating an object the analyzer types as a published
+      ``ViewVersion`` (parameter annotations, ``Upper()`` constructor
+      locals, or results of ``pin``/``latest``/``publish_version``)
+      anywhere outside ``repro/concurrency/mvcc.py`` — readers serve
+      these without locks precisely because they are frozen;
+    * writing the Summary Database's cache structures
+      (``_entries``/``_insertion_order``/``_index``) from outside
+      ``summarydb.py``/``mvcc.py`` — such writes bypass both the latch
+      and the publish-time ``snapshot_fresh`` capture.
+    """
+    for q in sorted(model.functions):
+        fn = model.functions[q]
+        if fn.name in ("__init__", "__new__", "__post_init__"):
+            continue
+        path = fn.module_path.replace("\\", "/")
+        may_mutate_versions = path.endswith(MVCC_SANCTIONED_SUFFIXES)
+        may_write_cache = path.endswith(SUMMARY_SANCTIONED_SUFFIXES)
+        if may_mutate_versions and may_write_cache:
+            continue
+        for mutation in fn.object_mutations:
+            target = ".".join(mutation.chain) or mutation.owner_type or "?"
+            if mutation.owner_type == "ViewVersion" and not may_mutate_versions:
+                model.findings.append(
+                    Finding(
+                        rule_id=RULE_VERSION_MUTATION.rule_id,
+                        path=fn.path,
+                        line=mutation.line,
+                        message=(
+                            f"published ViewVersion mutated here "
+                            f"({mutation.function} writes {target}"
+                            f"{'.' + mutation.attr if mutation.attr else ''}): "
+                            "version objects are immutable once published — "
+                            "only repro.concurrency.mvcc may touch them; "
+                            "writers must publish a new version instead"
+                        ),
+                        severity=RULE_VERSION_MUTATION.severity,
+                    )
+                )
+            elif (
+                mutation.attr in SUMMARY_CACHE_ATTRS
+                and not may_write_cache
+                and (
+                    mutation.owner_type == "SummaryDatabase"
+                    or "summary" in mutation.chain
+                )
+            ):
+                model.findings.append(
+                    Finding(
+                        rule_id=RULE_VERSION_MUTATION.rule_id,
+                        path=fn.path,
+                        line=mutation.line,
+                        message=(
+                            f"SummaryDatabase cache structure "
+                            f"{mutation.attr} written directly here "
+                            f"({mutation.function} writes {target}): go "
+                            "through insert/refresh/mark_stale, or "
+                            "snapshot_fresh for the MVCC publish capture "
+                            "— direct writes bypass the latch and every "
+                            "pinned snapshot"
+                        ),
+                        severity=RULE_VERSION_MUTATION.severity,
                     )
                 )
 

@@ -170,6 +170,26 @@ class SummaryDatabase:
         """Fetch without recording a hit/miss (used by propagation)."""
         return self._entries.get(self._key(function, attributes))
 
+    def snapshot_fresh(self) -> dict[tuple[str, tuple[str, ...]], Any]:
+        """Every fresh entry's result, captured in one latched pass.
+
+        The sanctioned read API for the MVCC publish path
+        (:mod:`repro.concurrency.mvcc` — lint rule REPRO-C206): at the
+        publication point the writer freezes the cache's fresh results
+        into a per-version mapping, so snapshot readers never touch the
+        live cache (no hit counters, no concurrent fills, no latch).
+        Stale entries are skipped — readers recompute from the version's
+        frozen columns rather than serve a result the writer invalidated.
+        Results are shared by reference and must be treated as immutable
+        (REPRO-C206 flags mutation of published version state).
+        """
+        with self.latch:
+            return {
+                (key.function, key.attributes): entry.result
+                for key, entry in self._entries.items()
+                if not entry.stale
+            }
+
     def insert(
         self,
         function: str,

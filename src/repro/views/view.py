@@ -64,6 +64,12 @@ class ConcreteView:
         self.summary = summary or SummaryDatabase(view_name=name)
         self.history = UpdateHistory(view_name=name)
         self.derived = DerivedColumnManager(relation)
+        #: Per-attribute copy-on-write epochs.  Every cell write bumps the
+        #: touched attribute's counter, so the MVCC publish path
+        #: (:mod:`repro.concurrency.mvcc`) can share unchanged column
+        #: chunks between consecutive published versions instead of
+        #: re-copying the whole view.  Attributes never written stay at 0.
+        self.epochs: dict[str, int] = {}
         if storage is not None and len(storage) == 0:
             storage.append_rows(list(relation))
 
@@ -114,6 +120,7 @@ class ConcreteView:
         """Point-update one cell (writes through to storage); returns the
 
         old value.  Use :mod:`repro.views.updates` for logged updates."""
+        self._bump_epoch(attr)
         old = self.relation.set_value(row, attr, value)
         if self.storage is not None and attr in self._stored_attrs():
             index = self._stored_attrs().index(attr)
@@ -125,9 +132,12 @@ class ConcreteView:
 
         For callers (undo) whose in-memory relation has already been
         reverted by the history machinery: the transposed file must follow
-        suit without touching the relation again.  No-op for attributes
-        that are memory-only (derived columns) or when there is no mirror.
+        suit without touching the relation again.  Storage-level no-op for
+        attributes that are memory-only (derived columns) or when there is
+        no mirror — but the copy-on-write epoch still advances, because
+        the relation cell *did* change (undo reverted it directly).
         """
+        self._bump_epoch(attr)
         if self.storage is not None and attr in self._stored_attrs():
             index = self._stored_attrs().index(attr)
             self.storage.set_value(row, index, value)
@@ -140,6 +150,10 @@ class ConcreteView:
         are added to the data set".
         """
         self.derived.add(derivation, dtype=dtype)
+        self._bump_epoch(derivation.name)
+
+    def _bump_epoch(self, attr: str) -> None:
+        self.epochs[attr] = self.epochs.get(attr, 0) + 1
 
     def _stored_attrs(self) -> list[str]:
         # The mirror was created from the materialization schema; derived

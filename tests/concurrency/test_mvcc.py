@@ -1,0 +1,233 @@
+"""MVCC version-chain tests: reclamation, pinning, copy-on-write, teardown.
+
+The reclamation contract under test: a pinned old version survives any
+number of publications and is reclaimed only after its last reader
+releases — including the release driven by the server's disconnect
+teardown (``coordinator.release``), which must make an in-flight read's
+own exit-time unpin a harmless no-op.
+"""
+
+import threading
+
+import pytest
+
+from repro.concurrency import ConcurrentTracer, TransactionCoordinator
+from repro.core.dbms import StatisticalDBMS
+from repro.core.errors import SnapshotError
+from repro.relational.expressions import col
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, measure
+from repro.server import AnalystServer, ServerClient, ServerThread
+from repro.views.materialize import SourceNode, ViewDefinition
+
+
+def build_coordinator(tracer=None):
+    dbms = StatisticalDBMS(tracer=tracer)
+    schema = Schema([measure("x"), measure("y")])
+    rows = [(float(i), float(i * 2)) for i in range(10)]
+    dbms.load_raw(Relation("census", schema, rows))
+    dbms.create_view(ViewDefinition("v", SourceNode("census")), analyst="alice")
+    return TransactionCoordinator(dbms, tracer=tracer)
+
+
+def write_once(coord, sid, value):
+    with coord.write(sid, "v") as session:
+        # Offset past the seeded y values so every write really changes
+        # the cell (a no-op assignment could publish as a no-op).
+        session.update(col("x") == 0.0, {"y": 100.0 + value})
+
+
+class TestReclamation:
+    def test_unpinned_intermediates_reclaimed_immediately(self):
+        coord = build_coordinator()
+        chain = coord.chain("boot", "v")
+        for i in range(4):
+            write_once(coord, "w", float(i))
+        # Nobody pins: only the head survives each publication.
+        assert len(chain.live()) == 1
+        assert chain.seq == 5  # bootstrap + 4 writes
+
+    def test_pinned_version_survives_publishes(self):
+        coord = build_coordinator()
+        chain = coord.chain("boot", "v")
+        pinned = chain.pin("reader")
+        for i in range(5):
+            write_once(coord, "w", float(i))
+        live = chain.live()
+        # Exactly the pinned original and the current head survive.
+        assert [v.seq for v in live] == [pinned.seq, chain.seq]
+        assert chain.pins() == {pinned.seq: {"reader": 1}}
+        # The frozen state is still fully readable mid-churn.
+        assert pinned.columns["x"] == tuple(float(i) for i in range(10))
+
+    def test_reclaimed_only_after_last_reader_releases(self):
+        coord = build_coordinator()
+        chain = coord.chain("boot", "v")
+        pinned = chain.pin("r1")
+        also = chain.pin("r2")
+        assert also is pinned
+        write_once(coord, "w", 1.0)
+        chain.unpin("r1", pinned)
+        assert [v.seq for v in chain.live()] == [pinned.seq, chain.seq]
+        chain.unpin("r2", pinned)
+        assert [v.seq for v in chain.live()] == [chain.seq]
+
+    def test_unpin_is_idempotent(self):
+        coord = build_coordinator()
+        chain = coord.chain("boot", "v")
+        pinned = chain.pin("r1")
+        chain.unpin("r1", pinned)
+        chain.unpin("r1", pinned)  # already gone: no error, no underflow
+        assert chain.pins() == {}
+
+    def test_pin_before_any_publication_raises(self):
+        coord = build_coordinator()
+        from repro.concurrency.mvcc import VersionChain
+
+        chain = VersionChain("v")
+        del coord
+        with pytest.raises(SnapshotError, match="no published version"):
+            chain.pin("r1")
+
+    def test_release_all_drops_every_pin_for_the_sid(self):
+        coord = build_coordinator()
+        chain = coord.chain("boot", "v")
+        old = chain.pin("r1")
+        chain.pin("r1")  # refcount 2 on the same version
+        write_once(coord, "w", 1.0)
+        newer = chain.pin("r1")
+        assert newer is not old
+        assert chain.release_all("r1") == 3
+        assert chain.pins() == {}
+        assert [v.seq for v in chain.live()] == [chain.seq]
+
+
+class TestDisconnectTeardown:
+    def test_release_mid_read_is_safe_and_reclaims(self):
+        # The server's disconnect path calls coordinator.release(sid) even
+        # while that session's read may still be in flight on a worker
+        # thread.  The release drops the pin; the read keeps serving its
+        # immutable version and its exit-time unpin is a no-op.
+        coord = build_coordinator()
+        in_read = threading.Event()
+        proceed = threading.Event()
+        outcome = {}
+
+        def reader():
+            try:
+                with coord.read("ghost", "v") as snap:
+                    in_read.set()
+                    proceed.wait(5)
+                    outcome["sum"] = snap.compute("sum", "x")
+            except Exception as exc:  # noqa: BLE001 - asserted below
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        assert in_read.wait(5)
+        coord.release("ghost")  # what server._teardown drives on disconnect
+        chain = coord.chain("boot", "v")
+        assert chain.pins() == {}
+        write_once(coord, "w", 1.0)
+        # The ghost's old version is already gone: nothing pins it.
+        assert len(chain.live()) == 1
+        proceed.set()
+        thread.join(5)
+        assert "error" not in outcome, outcome
+        assert outcome["sum"] == pytest.approx(45.0)
+        assert chain.pins() == {}
+
+    def test_server_disconnect_releases_and_chain_stays_bounded(self):
+        tracer = ConcurrentTracer()
+        coord = build_coordinator(tracer)
+        server = AnalystServer(coord.dbms, coordinator=coord, tracer=tracer)
+        thread = ServerThread(server).start()
+        try:
+            with ServerClient(port=thread.port, timeout_s=10) as conn:
+                conn.handshake("hopper")
+                conn.open_view("v")
+                conn.query("v", "mean", "x")
+                conn.update("v", {"y": 7.0})
+                conn.query("v", "sum", "y")
+            # Disconnect ran the teardown: the wire sid (s1, s2, ...)
+            # holds no pins — only replica workers' sticky pins remain.
+            chain = coord.chain("boot", "v")
+            deadline = threading.Event()
+            deadline.wait(0.2)  # let the async close drain
+            assert all(
+                sid.startswith("__replica:")
+                for holders in chain.pins().values()
+                for sid in holders
+            )
+            # More writes: replica workers re-pin forward, the chain never
+            # accumulates history beyond pinned replicas + head.
+            with ServerClient(port=thread.port, timeout_s=10) as conn:
+                conn.handshake("grace")
+                conn.open_view("v")
+                for i in range(5):
+                    conn.update("v", {"y": float(i)})
+                    conn.query("v", "sum", "y")
+            assert len(chain.live()) <= server.read_workers + 1
+            totals = tracer.counter_totals()
+            assert totals.get("mvcc.repin", 0) >= 1
+            assert totals.get("mvcc.reclaim", 0) >= 1
+        finally:
+            thread.stop()
+
+
+class TestCopyOnWrite:
+    def test_untouched_columns_are_shared_by_reference(self):
+        tracer = ConcurrentTracer()
+        coord = build_coordinator(tracer)
+        chain = coord.chain("boot", "v")
+        before = chain.pin("r1")
+        with coord.write("w", "v") as session:
+            session.update(col("x") == 0.0, {"y": 99.0})
+        after = chain.latest()
+        assert after is not before
+        # "y" changed: fresh chunk.  "x" did not: the frozen tuple is the
+        # very same object, not a copy.
+        assert after.columns["y"] != before.columns["y"]
+        assert after.columns["x"] is before.columns["x"]
+        totals = tracer.counter_totals()
+        assert totals.get("mvcc.cow_shared", 0) >= 1
+        assert totals.get("mvcc.cow_copied", 0) >= 1
+
+    def test_undo_invalidates_sharing_for_the_restored_column(self):
+        coord = build_coordinator()
+        chain = coord.chain("boot", "v")
+        with coord.write("w", "v") as session:
+            session.update(col("x") == 0.0, {"y": 99.0})
+        touched = chain.latest()
+        with coord.write("w", "v") as session:
+            session.undo(1)
+        restored = chain.latest()
+        # The undo bumped y's epoch: no stale share of the pre-undo chunk.
+        assert restored.columns["y"] != touched.columns["y"]
+        assert restored.columns["y"] == tuple(float(i * 2) for i in range(10))
+
+
+class TestVersionMemo:
+    def test_repeated_compute_hits_the_version_memo(self):
+        tracer = ConcurrentTracer()
+        coord = build_coordinator(tracer)
+        with coord.read("s1", "v") as snap:
+            first = snap.compute("sum", "x")
+        with coord.read("s2", "v") as snap:
+            # Same pinned version: the result is served from its memo.
+            assert snap.compute("sum", "x") == first
+        totals = tracer.counter_totals()
+        assert totals.get("mvcc.memo_hit", 0) >= 1
+
+    def test_publication_summary_snapshot_is_served(self):
+        # A result the *writer* cached in the live Summary Database is
+        # captured at publication and served without recompute.
+        coord = build_coordinator()
+        session = coord.session("warm", "v")
+        session.compute("mean", "x")  # fills the live summary cache
+        with coord.write("w", "v") as ws:
+            ws.update(col("x") == 999.0, {"y": 0.0})  # no-op match, publishes
+        with coord.read("s1", "v") as snap:
+            hit, value = snap.pinned.cached(("mean", ("x",)))
+            assert hit
+            assert snap.compute("mean", "x") == pytest.approx(value)

@@ -399,6 +399,149 @@ class TestC205BlockingInAsync:
         assert findings == []
 
 
+class TestC206VersionMutation:
+    """Published MVCC versions and the summary cache are write-protected."""
+
+    def test_annotated_parameter_mutation_is_flagged(self):
+        findings = lint_sources(
+            (
+                "server/patch.py",
+                """
+                class Patcher:
+                    def poke(self, version: ViewVersion):
+                        version.columns["x"] = [1.0]
+                """,
+            ),
+            select={"REPRO-C206"},
+        )
+        assert rule_ids(findings) == {"REPRO-C206"}
+        [finding] = findings
+        assert "ViewVersion" in finding.message
+        assert "version.columns" in finding.message
+
+    def test_pin_result_local_is_typed_and_flagged(self):
+        # No annotation anywhere: the type flows from the producer call.
+        findings = lint_sources(
+            (
+                "server/patch.py",
+                """
+                class Patcher:
+                    def poke(self, chain):
+                        v = chain.pin("sid")
+                        v.seq = 9
+                """,
+            ),
+            select={"REPRO-C206"},
+        )
+        assert rule_ids(findings) == {"REPRO-C206"}
+
+    def test_mutator_call_on_version_state_is_flagged(self):
+        findings = lint_sources(
+            (
+                "server/patch.py",
+                """
+                class Patcher:
+                    def poke(self, version: ViewVersion):
+                        version.epochs.update({"x": 2})
+                """,
+            ),
+            select={"REPRO-C206"},
+        )
+        assert rule_ids(findings) == {"REPRO-C206"}
+
+    def test_rebinding_a_version_local_is_not_a_mutation(self):
+        findings = lint_sources(
+            (
+                "server/patch.py",
+                """
+                class Patcher:
+                    def swap(self, chain):
+                        v = chain.pin("sid")
+                        v = chain.latest()
+                        return v
+                """,
+            ),
+            select={"REPRO-C206"},
+        )
+        assert findings == []
+
+    def test_summary_cache_bypass_is_flagged(self):
+        findings = lint_sources(
+            (
+                "server/patch.py",
+                """
+                class Patcher:
+                    def poke(self, summary: SummaryDatabase, key, entry):
+                        summary._entries[key] = entry
+                """,
+            ),
+            select={"REPRO-C206"},
+        )
+        assert rule_ids(findings) == {"REPRO-C206"}
+        [finding] = findings
+        assert "_entries" in finding.message
+
+    def test_summary_cache_bypass_through_a_chain_is_flagged(self):
+        # Untyped receiver, but the attribute chain passes through
+        # ``summary`` and lands on a cache structure.
+        findings = lint_sources(
+            (
+                "server/patch.py",
+                """
+                class Patcher:
+                    def poke(self, key):
+                        self.view.summary._entries[key] = None
+                """,
+            ),
+            select={"REPRO-C206"},
+        )
+        assert rule_ids(findings) == {"REPRO-C206"}
+
+    def test_mvcc_module_itself_is_sanctioned(self):
+        findings = lint_sources(
+            (
+                "concurrency/mvcc.py",
+                """
+                class VersionChain:
+                    def _patch(self, version: ViewVersion):
+                        version.columns["x"] = [1.0]
+                """,
+            ),
+            select={"REPRO-C206"},
+        )
+        assert findings == []
+
+    def test_summarydb_module_may_write_its_own_cache(self):
+        findings = lint_sources(
+            (
+                "summary/summarydb.py",
+                """
+                class SummaryDatabase:
+                    def insert(self, key, entry):
+                        self._entries[key] = entry
+                """,
+            ),
+            select={"REPRO-C206"},
+        )
+        assert findings == []
+
+    def test_summarydb_module_may_not_mutate_versions(self):
+        # The sanction is per-discipline: summarydb.py may write its own
+        # cache, but published versions stay exclusive to mvcc.py.
+        findings = lint_sources(
+            (
+                "summary/summarydb.py",
+                """
+                class SummaryDatabase:
+                    def poke(self, version: ViewVersion):
+                        version.summary["mean", ("x",)] = 0.0
+                """,
+            ),
+            select={"REPRO-C206"},
+        )
+        assert rule_ids(findings) == {"REPRO-C206"}
+
+
 class TestSuppressions:
     """Every C-rule honours line-level suppression comments (engine level)."""
 
@@ -447,6 +590,14 @@ class TestSuppressions:
                 async def handle(self, request):
                     time.sleep(0.1)  # repro-lint: disable=REPRO-C205
                     return request
+            """,
+        ),
+        "REPRO-C206": (
+            "server/patch.py",
+            """
+            class Patcher:
+                def poke(self, version: ViewVersion):
+                    version.columns["x"] = [1.0]  # repro-lint: disable=REPRO-C206
             """,
         ),
     }

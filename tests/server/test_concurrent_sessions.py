@@ -8,8 +8,9 @@ served DBMS.  The invariants:
   together with the same value (one multi-assignment update = one WAL
   transaction), so a read that ever sees ``a != b`` caught a half-applied
   update.  The ``columns`` op fetches both under a single snapshot.
-* **Cache coherence** — after the run every summary-cache entry matches a
-  from-scratch recompute over the final view contents.
+* **Snapshot coherence** — after the run, results served by the MVCC
+  read path (pinned published versions) match a from-scratch recompute
+  over the final view contents.
 * **Crash consistency** — a mid-run checkpoint followed by a ``kill()``
   and :func:`repro.durability.recovery.recover` restores a state where the
   invariant still holds: recovery replays only whole committed
@@ -144,28 +145,33 @@ class TestInterleavedSessions:
             b = list(view.column("b"))
             assert a == b
 
-            # Cache coherence: every cached entry matches a from-scratch
-            # recompute over the final column values.
+            # Snapshot coherence: results served end-to-end by the MVCC
+            # read path (replica workers, pinned published versions)
+            # match a from-scratch recompute over the final columns.
             checked = 0
-            for entry in view.summary.entries():
-                key = entry.key
-                if entry.stale or len(key.attributes) != 1:
-                    continue
-                fn = dbms.management.functions.get(key.function)
-                scratch = fn.compute(view.column(key.attributes[0]))
-                assert entry.result == pytest.approx(scratch), (
-                    f"cached {key.function}({key.attributes[0]}) diverged "
-                    "from scratch"
-                )
-                checked += 1
-            assert checked >= 1, "no fresh summary entries to verify"
+            with ServerClient(port=thread.port, timeout_s=30) as conn:
+                conn.handshake("verifier")
+                for fn_name in ("mean", "sum", "min", "max"):
+                    fn = dbms.management.functions.get(fn_name)
+                    for attr in ("a", "b"):
+                        served = conn.query("v", fn_name, attr)["value"]
+                        scratch = fn.compute(view.column(attr))
+                        assert served == pytest.approx(scratch), (
+                            f"served {fn_name}({attr}) diverged from scratch"
+                        )
+                        checked += 1
+            assert checked >= 1, "no served results to verify"
 
             # The service counters flowed through the shared tracer.
             totals = tracer.counter_totals()
             assert totals["server.accept"] >= SESSIONS
             assert totals["server.request"] > 0
-            assert totals["lock.grant"] > 0
+            assert totals["lock.grant"] > 0  # writers still lock
             assert totals.get("wal.group_commit.txns", 0) >= 1
+            # MVCC: writers published immutable versions, readers pinned
+            # them, and no publication ever observed a regressed view.
+            assert totals.get("mvcc.publish", 0) >= 1
+            assert totals.get("mvcc.pin", 0) >= 1
             assert "txn.snapshot_violation" not in totals
         finally:
             thread.stop()
@@ -254,9 +260,13 @@ class TestSanitizedStress:
 
         # (c) Coverage: the workload drove the core acquisition sites, so
         # (a) and (b) are claims about real traffic, not an idle server.
+        # MVCC note: "read" is gone from the required set by design — the
+        # steady-state read path acquires no locks at all (only the
+        # one-time per-view bootstrap in ``chain`` does, and whether the
+        # stress run hits it depends on whether a write published first).
         hit, _missed = sanitizer.coverage(model.instrumented_sites())
         hit_functions = {site.function.rsplit(".", 1)[-1] for site in hit}
-        for required in ("shared", "exclusive", "read", "write", "quiesce"):
+        for required in ("shared", "exclusive", "write", "quiesce"):
             assert required in hit_functions, (
                 f"site {required!r} never exercised; hit={sorted(hit_functions)}"
             )

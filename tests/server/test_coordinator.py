@@ -1,4 +1,4 @@
-"""TransactionCoordinator tests: snapshots, serialized writes, quiesce."""
+"""TransactionCoordinator tests: MVCC snapshots, serialized writes, quiesce."""
 
 import threading
 
@@ -8,7 +8,6 @@ from repro.concurrency import LockMode, TransactionCoordinator
 from repro.concurrency.groupcommit import GroupCommitter
 from repro.concurrency.transactions import REGISTRY_RESOURCE
 from repro.core.dbms import StatisticalDBMS
-from repro.core.errors import SnapshotError
 from repro.durability.manager import DurabilityManager
 from repro.relational.expressions import col
 from repro.relational.relation import Relation
@@ -79,36 +78,57 @@ class TestReadTransactions:
             assert snap.compute("mean", "x") == pytest.approx(7.2)
             assert len(snap.operations()) == 1
 
-    def test_lock_bypass_raises_snapshot_error(self):
+    def test_rogue_write_invisible_until_publication_point(self):
+        # MVCC replaces the old exit-time SnapshotError: a mutation that
+        # skips coordinator.write() cannot tear an in-flight read (the
+        # pinned version is immutable) — it simply stays invisible until
+        # the next publication point picks it up.
         coord = TransactionCoordinator(build_dbms())
         rogue = coord.dbms.session("v", analyst="rogue")
-        with pytest.raises(SnapshotError, match="bypassed"):
-            with coord.read("s1", "v"):
-                # Mutating outside coordinator.write() skips the lock.
-                rogue.update(col("x") == 1.0, {"x": 10.0})
+        with coord.read("s1", "v") as snap:
+            assert snap.compute("sum", "x") == pytest.approx(45.0)
+            rogue.update(col("x") == 1.0, {"x": 10.0})
+            # Still the published state, mid-read and after:
+            assert snap.compute("sum", "x") == pytest.approx(45.0)
+        with coord.read("s2", "v") as snap:
+            assert snap.compute("sum", "x") == pytest.approx(45.0)
+        # The next write transaction publishes, surfacing the mutation.
+        with coord.write("s3", "v"):
+            pass
+        with coord.read("s4", "v") as snap:
+            assert snap.compute("sum", "x") == pytest.approx(54.0)
 
-    def test_reader_blocks_writer(self):
+    def test_reader_does_not_block_writer(self):
+        # The 8-analyst cliff fix: a held read pins a version but takes
+        # no view lock, so writers proceed immediately — and the reader
+        # keeps serving its pinned pre-write state.
         coord = TransactionCoordinator(build_dbms(), timeout_s=0.05)
         entered = threading.Event()
         proceed = threading.Event()
         outcome = {}
 
         def reader():
-            with coord.read("reader", "v"):
+            with coord.read("reader", "v") as snap:
                 entered.set()
                 proceed.wait(5)
+                outcome["reader_sum"] = snap.compute("sum", "x")
 
         thread = threading.Thread(target=reader, daemon=True)
         thread.start()
         entered.wait(1)
         try:
-            with coord.write("writer", "v"):
-                outcome["writer"] = "entered"
+            with coord.write("writer", "v") as session:
+                session.update(col("x") == 0.0, {"x": 100.0})
+            outcome["writer"] = "entered"
         except Exception as exc:
             outcome["writer"] = type(exc).__name__
         proceed.set()
         thread.join(5)
-        assert outcome["writer"] == "LockTimeoutError"
+        assert outcome["writer"] == "entered"
+        assert outcome["reader_sum"] == pytest.approx(45.0)
+        # A fresh read sees the committed write.
+        with coord.read("after", "v") as snap:
+            assert snap.compute("sum", "x") == pytest.approx(145.0)
 
 
 class TestWriteTransactions:
