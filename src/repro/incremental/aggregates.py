@@ -48,9 +48,19 @@ def _signed_batch(deltas: Iterable[Delta]) -> tuple[int, list[float]]:
 class IncrementalCount(IncrementalComputation):
     """Count of non-NA values; O(1) per change."""
 
+    supports_partials = True
+
     def __init__(self) -> None:
         self._n = 0
         self._na = 0
+
+    def partial_state(self) -> tuple[int, int]:
+        return (self._n, self._na)
+
+    def merge_partial(self, state: tuple[int, int]) -> None:
+        n, na = state
+        self._n += n
+        self._na += na
 
     def initialize(self, values: Iterable[Any]) -> None:
         self._n = 0
@@ -63,6 +73,16 @@ class IncrementalCount(IncrementalComputation):
             self._na += 1
         else:
             self._n += 1
+
+    def absorb(self, values: Iterable[Any]) -> None:
+        na_marker = NA
+        total = na = 0
+        for value in values:
+            total += 1
+            if value is na_marker or (isinstance(value, float) and value != value):
+                na += 1
+        self._na += na
+        self._n += total - na
 
     def on_delete(self, value: Any) -> None:
         if is_na(value):
@@ -114,10 +134,21 @@ class IncrementalSum(IncrementalComputation):
     addend exceeds the running sum in magnitude.
     """
 
+    supports_partials = True
+
     def __init__(self) -> None:
         self._sum = 0.0
         self._comp = 0.0
         self._n = 0
+
+    def partial_state(self) -> tuple[int, float, float]:
+        return (self._n, self._sum, self._comp)
+
+    def merge_partial(self, state: tuple[int, float, float]) -> None:
+        n, total, comp = state
+        self._n += n
+        self._add(total)
+        self._add(comp)
 
     def initialize(self, values: Iterable[Any]) -> None:
         self._sum = 0.0
@@ -162,9 +193,22 @@ class IncrementalSum(IncrementalComputation):
 class IncrementalMean(IncrementalComputation):
     """Running mean via Welford-style updates; O(1) per change."""
 
+    supports_partials = True
+
     def __init__(self) -> None:
         self._n = 0
         self._mean = 0.0
+
+    def partial_state(self) -> tuple[int, float]:
+        return (self._n, self._mean)
+
+    def merge_partial(self, state: tuple[int, float]) -> None:
+        n, mean = state
+        if n == 0:
+            return
+        total = math.fsum([self._mean * self._n, mean * n])
+        self._n += n
+        self._mean = total / self._n
 
     def initialize(self, values: Iterable[Any]) -> None:
         self._n = 0
@@ -214,10 +258,31 @@ class IncrementalMean(IncrementalComputation):
 class IncrementalVariance(IncrementalComputation):
     """Sample variance (ddof=1) via Welford with exact downdating."""
 
+    supports_partials = True
+
     def __init__(self) -> None:
         self._n = 0
         self._mean = 0.0
         self._m2 = 0.0
+
+    def partial_state(self) -> tuple[int, float, float]:
+        return (self._n, self._mean, self._m2)
+
+    def merge_partial(self, state: tuple[int, float, float]) -> None:
+        """Chan et al.'s pairwise combine of (n, mean, M2) states."""
+        n, mean, m2 = state
+        if n == 0:
+            return
+        if self._n == 0:
+            self._n, self._mean, self._m2 = n, mean, m2
+            return
+        total = self._n + n
+        delta = mean - self._mean
+        self._m2 += m2 + delta * delta * self._n * n / total
+        if self._m2 < 0:  # guard tiny negative residue from roundoff
+            self._m2 = 0.0
+        self._mean = math.fsum([self._n * self._mean, n * mean]) / total
+        self._n = total
 
     def initialize(self, values: Iterable[Any]) -> None:
         self._n = 0
@@ -238,12 +303,26 @@ class IncrementalVariance(IncrementalComputation):
     def on_delete(self, value: Any) -> None:
         if is_na(value):
             return
-        if self._n <= 1:
+        x = float(value)
+        if self._n == 0:
+            # Consistent with IncrementalMinMax: deleting from an empty
+            # state is a caller bug, not a quiet reset.
+            raise StatisticsError(
+                f"deleting value {value!r} from an empty variance state"
+            )
+        if self._n == 1:
+            # Only a legitimate last-value delete resets the state; with
+            # one value tracked, the running mean *is* that value (up to
+            # roundoff accumulated by earlier downdates).
+            if not math.isclose(x, self._mean, rel_tol=1e-6, abs_tol=1e-9):
+                raise StatisticsError(
+                    f"deleting absent value {value!r} "
+                    f"(the single tracked value is {self._mean!r})"
+                )
             self._n = 0
             self._mean = 0.0
             self._m2 = 0.0
             return
-        x = float(value)
         old_mean = (self._n * self._mean - x) / (self._n - 1)
         self._m2 -= (x - self._mean) * (x - old_mean)
         if self._m2 < 0:  # guard tiny negative residue from roundoff
@@ -279,7 +358,11 @@ class IncrementalVariance(IncrementalComputation):
                 dn -= account(old, -1.0)
                 dn += account(new, 1.0)
         m = self._n + dn
-        if m <= 0:
+        if m < 0:
+            raise StatisticsError(
+                f"batch deletes {-m} more values than the state tracks"
+            )
+        if m == 0:
             self._n = 0
             self._mean = 0.0
             self._m2 = 0.0
@@ -308,8 +391,16 @@ class IncrementalVariance(IncrementalComputation):
 class IncrementalStd(IncrementalComputation):
     """Sample standard deviation built on :class:`IncrementalVariance`."""
 
+    supports_partials = True
+
     def __init__(self) -> None:
         self._var = IncrementalVariance()
+
+    def partial_state(self) -> tuple[int, float, float]:
+        return self._var.partial_state()
+
+    def merge_partial(self, state: tuple[int, float, float]) -> None:
+        self._var.merge_partial(state)
 
     def initialize(self, values: Iterable[Any]) -> None:
         self._var.initialize(values)
@@ -339,10 +430,24 @@ class IncrementalMinMax(IncrementalComputation):
     (O(U)), still avoiding the O(N) data pass the paper wants to skip.
     """
 
+    supports_partials = True
+
     def __init__(self) -> None:
         self._counts: Counter = Counter()
         self._min: Any = NA
         self._max: Any = NA
+
+    def partial_state(self) -> dict[Any, int]:
+        return dict(self._counts)
+
+    def merge_partial(self, state: dict[Any, int]) -> None:
+        """Union the value multisets; extremes follow from the counts."""
+        for value, count in state.items():
+            self._counts[value] += count
+            if is_na(self._min) or value < self._min:
+                self._min = value
+            if is_na(self._max) or value > self._max:
+                self._max = value
 
     def initialize(self, values: Iterable[Any]) -> None:
         self._counts = Counter()
@@ -359,6 +464,22 @@ class IncrementalMinMax(IncrementalComputation):
             self._min = value
         if is_na(self._max) or value > self._max:
             self._max = value
+
+    def absorb(self, values: Iterable[Any]) -> None:
+        na_marker = NA
+        clean = [
+            v
+            for v in values
+            if not (v is na_marker or (isinstance(v, float) and v != v))
+        ]
+        if not clean:
+            return
+        self._counts.update(clean)  # Counter's C-level multiset union
+        lo, hi = min(clean), max(clean)
+        if is_na(self._min) or lo < self._min:
+            self._min = lo
+        if is_na(self._max) or hi > self._max:
+            self._max = hi
 
     def on_delete(self, value: Any) -> None:
         if is_na(value):
@@ -415,9 +536,19 @@ class IncrementalWeightedMean(IncrementalComputation):
     the weighted average salary updates without revisiting every partition.
     """
 
+    supports_partials = True
+
     def __init__(self) -> None:
         self._num = 0.0
         self._den = 0.0
+
+    def partial_state(self) -> tuple[float, float]:
+        return (self._num, self._den)
+
+    def merge_partial(self, state: tuple[float, float]) -> None:
+        num, den = state
+        self._num += num
+        self._den += den
 
     def initialize(self, values: Iterable[Any]) -> None:
         self._num = 0.0
@@ -431,6 +562,16 @@ class IncrementalWeightedMean(IncrementalComputation):
             return
         self._num += float(v) * float(w)
         self._den += float(w)
+
+    def absorb(self, values: Iterable[Any]) -> None:
+        num = den = 0.0
+        for v, w in values:
+            if is_na(v) or is_na(w):
+                continue
+            num += float(v) * float(w)
+            den += float(w)
+        self._num += num
+        self._den += den
 
     def on_delete(self, value: Any) -> None:
         v, w = value

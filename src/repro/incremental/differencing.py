@@ -25,6 +25,7 @@ This module provides:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
@@ -92,6 +93,9 @@ class IncrementalComputation:
     #: Whether on_delete / updates that remove values are supported.
     supports_deletion: bool = True
 
+    #: Whether :meth:`partial_state` / :meth:`merge_partial` are supported.
+    supports_partials: bool = False
+
     def initialize(self, values: Iterable[Any]) -> None:
         """Compute the initial state from a full pass over the values."""
         raise NotImplementedError
@@ -141,6 +145,44 @@ class IncrementalComputation:
             applied = True
         return result if applied else self.value
 
+    # -- mergeable partial states (scatter-gather protocol) ------------------
+
+    def partial_state(self) -> Any:
+        """A picklable snapshot of this computation's accumulated state.
+
+        The scatter-gather executor (:mod:`repro.relational.sharded`) runs
+        one computation per shard and merges the shards' partial states with
+        :meth:`merge_partial` — the MADlib partial-aggregate + merge shape.
+        The snapshot must be self-contained: merging it into a freshly
+        constructed computation of the same type reproduces the source's
+        value contribution exactly.
+        """
+        raise NotIncrementallyComputable(
+            f"{type(self).__name__} has no mergeable partial state"
+        )
+
+    def merge_partial(self, state: Any) -> None:
+        """Fold another computation's :meth:`partial_state` into this one.
+
+        Merging is commutative up to floating-point rounding and must be
+        exact for exactly representable inputs, so scatter-gather over k
+        shards reuses the same differencing math as the single-shard path.
+        """
+        raise NotIncrementallyComputable(
+            f"{type(self).__name__} has no mergeable partial state"
+        )
+
+    def absorb(self, values: Iterable[Any]) -> None:
+        """Fold a batch of inserted values into the state.
+
+        Semantically identical to calling :meth:`on_insert` per value
+        (which is the default); subclasses override with a loop-hoisted
+        version because the shard workers feed whole selected column
+        slices through here on every scan chunk.
+        """
+        for value in values:
+            self.on_insert(value)
+
 
 # -- algebraic (automatically differencable) forms ---------------------------
 #
@@ -168,16 +210,25 @@ class AlgebraicForm(IncrementalComputation):
     expression on demand.
     """
 
+    supports_partials = True
+
     def __init__(self, definition: Definition) -> None:
         _validate_definition(definition)
         self.definition = definition
         self._measures = sorted(_collect_measures(definition))
         self._state: dict[str, float] = {m: 0.0 for m in self._measures}
         self._n = 0  # non-NA count, maintained even if "count" unused
+        # sumlog's domain is positive values only.  Rather than poisoning
+        # the measure with NaN (which on_delete could never cancel:
+        # NaN - NaN = NaN), count the non-positive values present and
+        # report NA while any remain — deleting the offender recovers.
+        self._track_domain = "sumlog" in self._measures
+        self._nonpositive = 0
 
     def initialize(self, values: Iterable[Any]) -> None:
         self._state = {m: 0.0 for m in self._measures}
         self._n = 0
+        self._nonpositive = 0
         for value in values:
             self.on_insert(value)
 
@@ -185,6 +236,8 @@ class AlgebraicForm(IncrementalComputation):
         if is_na(value):
             return
         self._n += 1
+        if self._track_domain and float(value) <= 0:
+            self._nonpositive += 1
         for measure in self._measures:
             self._state[measure] += _measure_contribution(measure, value)
 
@@ -192,8 +245,61 @@ class AlgebraicForm(IncrementalComputation):
         if is_na(value):
             return
         self._n -= 1
+        if self._track_domain and float(value) <= 0:
+            self._nonpositive -= 1
         for measure in self._measures:
             self._state[measure] -= _measure_contribution(measure, value)
+
+    def absorb(self, values: Iterable[Any]) -> None:
+        """Batch insert with the per-measure work hoisted out of the loop.
+
+        Exactly :meth:`on_insert` per value, but the measure set is probed
+        once and each measure accumulates in a local before a single state
+        write — the shard workers' hot path.
+        """
+        state = self._state
+        want_sum = "sum" in state
+        want_sq = "sumsq" in state
+        want_cube = "sumcube" in state
+        want_quart = "sumquart" in state
+        want_log = "sumlog" in state
+        log = math.log
+        na = NA
+        n = nonpositive = 0
+        s = sq = cube = quart = lg = 0.0
+        for value in values:
+            if value is na or (isinstance(value, float) and value != value):
+                continue
+            x = float(value)
+            n += 1
+            if want_sum:
+                s += x
+            if want_sq:
+                sq += x * x
+            if want_cube:
+                cube += x * x * x
+            if want_quart:
+                x2 = x * x
+                quart += x2 * x2
+            if want_log:
+                if x > 0:
+                    lg += log(x)
+                else:
+                    nonpositive += 1
+        self._n += n
+        self._nonpositive += nonpositive
+        if "count" in state:
+            state["count"] += n
+        if want_sum:
+            state["sum"] += s
+        if want_sq:
+            state["sumsq"] += sq
+        if want_cube:
+            state["sumcube"] += cube
+        if want_quart:
+            state["sumquart"] += quart
+        if want_log:
+            state["sumlog"] += lg
 
     def apply_batch(self, deltas: Iterable[Delta]) -> Scalar:
         """True batch differencing: one state update for the whole burst.
@@ -203,11 +309,15 @@ class AlgebraicForm(IncrementalComputation):
         the state is touched once regardless of burst size.
         """
         dn = 0
+        dnp = 0
         totals: dict[str, float] = {m: 0.0 for m in self._measures}
 
         def account(value: Any, sign: float) -> int:
+            nonlocal dnp
             if is_na(value):
                 return 0
+            if self._track_domain and float(value) <= 0:
+                dnp += 1 if sign > 0 else -1
             for measure in self._measures:
                 totals[measure] += sign * _measure_contribution(measure, value)
             return 1
@@ -221,13 +331,37 @@ class AlgebraicForm(IncrementalComputation):
                 dn -= account(old, -1.0)
                 dn += account(new, 1.0)
         self._n += dn
+        self._nonpositive += dnp
         for measure in self._measures:
             self._state[measure] += totals[measure]
         return self.value
 
+    def partial_state(self) -> dict[str, Any]:
+        """Base-measure totals plus the counts that scope their validity."""
+        return {
+            "n": self._n,
+            "nonpositive": self._nonpositive,
+            "measures": dict(self._state),
+        }
+
+    def merge_partial(self, state: dict[str, Any]) -> None:
+        """Add another form's measure totals — sums merge by addition."""
+        measures = state["measures"]
+        if set(measures) != set(self._measures):
+            raise RuleError(
+                f"partial state carries measures {sorted(measures)}, "
+                f"this form maintains {self._measures}"
+            )
+        self._n += state["n"]
+        self._nonpositive += state["nonpositive"]
+        for measure, total in measures.items():
+            self._state[measure] += total
+
     @property
     def value(self) -> Scalar:
-        return _evaluate(self.definition, self._state, self._n)
+        return _evaluate(
+            self.definition, self._state, self._n, self._nonpositive
+        )
 
 
 def _measure_contribution(measure: str, value: float) -> float:
@@ -245,10 +379,12 @@ def _measure_contribution(measure: str, value: float) -> float:
     if measure == "sumlog":
         import math
 
-        # Only positive values contribute (the geometric mean's domain);
-        # non-positive values poison the measure with NaN so the evaluator
-        # reports NA rather than a silently wrong answer.
-        return math.log(x) if x > 0 else float("nan")
+        # Only positive values contribute (the geometric mean's domain).
+        # Non-positive values add 0 here and are counted separately by
+        # AlgebraicForm._nonpositive; the evaluator reports NA while any
+        # are present.  (A NaN contribution would be unrecoverable: the
+        # matching on_delete subtraction is NaN - NaN = NaN.)
+        return math.log(x) if x > 0 else 0.0
     raise RuleError(f"unknown base measure {measure!r}")
 
 
@@ -274,23 +410,33 @@ def _validate_definition(definition: Definition) -> None:
     _collect_measures(definition)
 
 
-def _evaluate(definition: Definition, state: dict[str, float], n: int) -> Scalar:
+def _evaluate(
+    definition: Definition,
+    state: dict[str, float],
+    n: int,
+    nonpositive: int = 0,
+) -> Scalar:
     head = definition[0]
     if head == "count":
         return float(n)
     if head in _BASE_MEASURES:
+        if head == "sumlog" and nonpositive > 0:
+            # The log of a non-positive value is undefined; while any such
+            # value is present the measure (and anything built on it, like
+            # the geometric mean) is NA.  Deleting the offenders recovers.
+            return NA
         return NA if n == 0 else state[head]
     if head == "const":
         return definition[1]
     if head == "sqrt":
-        inner = _evaluate(definition[1], state, n)
+        inner = _evaluate(definition[1], state, n, nonpositive)
         if is_na(inner) or inner < 0:
             return NA
         return inner ** 0.5
     if head == "exp":
         import math
 
-        inner = _evaluate(definition[1], state, n)
+        inner = _evaluate(definition[1], state, n, nonpositive)
         if is_na(inner):
             return NA
         try:
@@ -298,7 +444,7 @@ def _evaluate(definition: Definition, state: dict[str, float], n: int) -> Scalar
         except OverflowError:
             return NA
     if head == "pow":
-        inner = _evaluate(definition[1], state, n)
+        inner = _evaluate(definition[1], state, n, nonpositive)
         exponent = definition[2]
         if is_na(inner):
             return NA
@@ -308,8 +454,8 @@ def _evaluate(definition: Definition, state: dict[str, float], n: int) -> Scalar
             return inner ** exponent
         except (OverflowError, ZeroDivisionError):
             return NA
-    a = _evaluate(definition[1], state, n)
-    b = _evaluate(definition[2], state, n)
+    a = _evaluate(definition[1], state, n, nonpositive)
+    b = _evaluate(definition[2], state, n, nonpositive)
     if is_na(a) or is_na(b):
         return NA
     if head == "add":

@@ -91,6 +91,17 @@ RULE_LOCK_CONSTRUCT = rule(
         "graph and can deadlock the service layer undetectably"
     ),
 )
+RULE_SHARD_ISOLATION = rule(
+    "REPRO-A110",
+    "cross-shard mutation reachable from shard worker code",
+    severity=Severity.ERROR,
+    rationale=(
+        "shard workers run in separate processes against a private copy of "
+        "their shard; importing the view/summary layers there, or calling "
+        "their write APIs, mutates process-local state the coordinator "
+        "never sees — scatter-gather results silently diverge from the view"
+    ),
+)
 RULE_ROWWISE_BIND = rule(
     "REPRO-A106",
     "row-wise Expr.bind inside a vectorized chunk loop",
@@ -111,6 +122,10 @@ VIEW_MUTATION_ALLOWED = (
     "views/history.py",
     "incremental/derived.py",
     "relational/relation.py",
+    # The sharded file's set_value is the storage primitive itself: it
+    # routes a cell write to the owning shard's transposed file, exactly
+    # as relation.py delegates to its backing file.
+    "storage/sharded.py",
     # WAL replay re-applies logged cell changes; the operations already
     # carry their history records, so routing through views.updates would
     # double-log them.
@@ -162,6 +177,37 @@ LOCK_MODULES = frozenset({"threading", "asyncio", "multiprocessing"})
 #: Modules holding vectorized kernels, where REPRO-A106 applies (unlike the
 #: allowlists above, this list scopes a rule *to* the named modules).
 VECTORIZED_MODULES = ("relational/vectorized.py",)
+
+#: Shard-worker modules, where REPRO-A110 applies (another scope-*to*
+#: list): code shipped to shard processes must stay read-only and below
+#: the view layer.
+SHARD_WORKER_MODULES = ("relational/shardworker.py",)
+
+#: Import prefixes a shard worker may never pull in: the view/summary
+#: layers carry mutable per-analyst state that only exists in the
+#: coordinator process.
+SHARD_FORBIDDEN_IMPORTS = ("repro.views", "repro.summary")
+
+#: Names whose import anywhere drags view-layer mutation into a worker.
+SHARD_FORBIDDEN_NAMES = frozenset({"ConcreteView", "SummaryDatabase"})
+
+#: Write-API attribute calls forbidden in shard workers: a worker runs in
+#: its own process, so any of these would mutate a private copy.
+SHARD_WRITE_ATTRS = frozenset(
+    {
+        "set_value",
+        "mirror_cell",
+        "append_row",
+        "append_rows",
+        "add_derived_column",
+        "mark_stale",
+        "refresh",
+        "record",
+        "apply_insert",
+        "apply_delete",
+        "apply_update",
+    }
+)
 
 #: Instrumented hot-path modules, where REPRO-A107 applies: tracing must be
 #: received by injection (defaulting to NULL_TRACER), never constructed.
@@ -567,6 +613,73 @@ class RowwiseBindRule(AstRule):
         self.generic_visit(node)
 
 
+class ShardIsolationRule(AstRule):
+    """REPRO-A110: shard worker code must not mutate cross-shard state.
+
+    Worker modules are shipped (pickled) into shard processes, where every
+    object is a process-local copy: importing the view or summary layers
+    there, or calling their write APIs (``set_value``, ``mark_stale``,
+    ``record``, ...), would mutate state the coordinator never observes and
+    silently desynchronize scatter-gather results from the view.  Workers
+    scan and fold; all mutation stays in the coordinator.
+    """
+
+    rule_id = RULE_SHARD_ISOLATION.rule_id
+    severity = RULE_SHARD_ISOLATION.severity
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        if not self.ctx.in_allowlist(SHARD_WORKER_MODULES):
+            return []
+        return super().run(tree)
+
+    def _forbidden_module(self, module: str) -> bool:
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in SHARD_FORBIDDEN_IMPORTS
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if self._forbidden_module(alias.name):
+                self.report(
+                    node,
+                    f"shard worker imports {alias.name}; workers run in "
+                    "separate processes and may not touch the view/summary "
+                    "layers — keep them scan-and-fold only",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if self._forbidden_module(module):
+            self.report(
+                node,
+                f"shard worker imports from {module}; workers run in "
+                "separate processes and may not touch the view/summary "
+                "layers — keep them scan-and-fold only",
+            )
+        else:
+            for alias in node.names:
+                if alias.name in SHARD_FORBIDDEN_NAMES:
+                    self.report(
+                        node,
+                        f"shard worker imports {alias.name}; per-analyst "
+                        "view state exists only in the coordinator process",
+                    )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in SHARD_WRITE_ATTRS:
+            self.report(
+                node,
+                f"shard worker calls .{func.attr}(); a worker's objects are "
+                "process-local copies, so writes never reach the "
+                "coordinator — route all mutation through the coordinator",
+            )
+        self.generic_visit(node)
+
+
 class TracerConstructRule(AstRule):
     """REPRO-A107: hot-path modules must not construct a ``Tracer``.
 
@@ -674,6 +787,7 @@ AST_RULES: tuple[type[AstRule], ...] = (
     CacheBypassRule,
     ExportsRule,
     RowwiseBindRule,
+    ShardIsolationRule,
     TracerConstructRule,
     DurabilityIoRule,
     LockConstructRule,

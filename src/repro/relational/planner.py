@@ -105,9 +105,12 @@ def plan(query: Query, catalog: Catalog, use_vectorized: bool = True) -> Any:
     vectorized: Any = None
     if use_vectorized and query.join is None and pipeline is left:
         # Index access won (pipeline replaced) or a join intervened — both
-        # keep the row engine; otherwise a chunk-capable source runs the
+        # keep the row engine; otherwise a sharded aggregate query runs
+        # scatter-gather, and any other chunk-capable source runs the
         # whole select/project/group-by stack vectorized.
-        vectorized = _try_vectorized(query, pipeline, where)
+        vectorized = _try_sharded(query, pipeline, where)
+        if vectorized is None:
+            vectorized = _try_vectorized(query, pipeline, where)
 
     if vectorized is not None:
         pipeline = vectorized
@@ -180,6 +183,37 @@ def _projection_items(query: Query) -> list[Any] | None:
         else:
             items.append((item.alias, item.expr))
     return items
+
+
+def _try_sharded(query: Query, source: Any, where: ex.Expr | None) -> Any:
+    """Lower an eligible aggregate query to scatter-gather, or ``None``.
+
+    Eligible: join-free (guaranteed by the caller), sharded transposed
+    storage, grouped/aggregate shape, and every aggregate mergeable
+    (median and count_distinct need the whole value stream and fall back
+    to the vectorized interleave; so do plain projections, where scatter
+    would only re-concatenate rows).  HAVING and SELECT-order projection
+    run over the merged group rows, exactly as on the vectorized path.
+    """
+    from repro.relational.sharded import (
+        MERGEABLE_FUNCS,
+        ShardedGroupBy,
+        is_sharded_source,
+    )
+    from repro.relational.vectorized import VecProject, VecSelect
+
+    if not is_sharded_source(source):
+        return None
+    specs = _grouped_specs(query)
+    if specs is None or any(spec.func not in MERGEABLE_FUNCS for spec in specs):
+        return None
+    pipeline: Any = ShardedGroupBy(source, query.group_by, specs, where=where)
+    if query.having is not None:
+        pipeline = VecSelect(pipeline, query.having)
+    wanted = _grouped_output_names(query.select, query.group_by)
+    if wanted != pipeline.schema.names:
+        pipeline = VecProject(pipeline, wanted)
+    return pipeline
 
 
 def _try_vectorized(query: Query, source: Any, where: ex.Expr | None) -> Any:

@@ -17,7 +17,15 @@ from repro.core.errors import SchemaError, StorageError
 from repro.relational.schema import Attribute, Schema
 from repro.relational.types import NA, DataType, is_na
 from repro.storage.heapfile import HeapFile
+from repro.storage.sharded import ShardedTransposedFile
 from repro.storage.transposed import TransposedFile
+
+#: Storage structures that serve positional rows and column-chunk scans.
+#: A sharded file presents the same surface as a plain transposed file
+#: (global row numbering, interleaved scans), so everything below treats
+#: the two identically.
+ColumnarFile = TransposedFile | ShardedTransposedFile
+_COLUMNAR = (TransposedFile, ShardedTransposedFile)
 
 
 class Relation:
@@ -165,7 +173,7 @@ class StoredRelation:
         self,
         name: str,
         schema: Schema,
-        storage: HeapFile | TransposedFile,
+        storage: HeapFile | ColumnarFile,
     ) -> None:
         if list(storage.types) != schema.types:
             raise StorageError(
@@ -182,10 +190,10 @@ class StoredRelation:
         name: str,
         schema: Schema,
         rows: Iterable[Sequence[Any]],
-        storage: HeapFile | TransposedFile,
+        storage: HeapFile | ColumnarFile,
     ) -> "StoredRelation":
         """Bulk-load rows into ``storage`` and wrap the result."""
-        if isinstance(storage, TransposedFile):
+        if isinstance(storage, _COLUMNAR):
             for row in rows:
                 storage.append_row(row)
         else:
@@ -197,7 +205,7 @@ class StoredRelation:
         return len(self.storage)
 
     def __iter__(self) -> Iterator[tuple[Any, ...]]:
-        if isinstance(self.storage, TransposedFile):
+        if isinstance(self.storage, _COLUMNAR):
             yield from self.storage.scan_rows()
         else:
             for _, values in self.storage.scan():
@@ -208,14 +216,14 @@ class StoredRelation:
 
         that column's pages (the SS2.6 advantage)."""
         index = self.schema.index_of(name)
-        if isinstance(self.storage, TransposedFile):
+        if isinstance(self.storage, _COLUMNAR):
             return list(self.storage.scan_column(index))
         return [row[index] for row in self]
 
     def columns(self, names: Sequence[str]) -> Iterator[tuple[Any, ...]]:
         """Several attributes zipped row-wise."""
         indexes = [self.schema.index_of(n) for n in names]
-        if isinstance(self.storage, TransposedFile):
+        if isinstance(self.storage, _COLUMNAR):
             yield from self.storage.scan_columns(indexes)
         else:
             for row in self:
@@ -223,7 +231,7 @@ class StoredRelation:
 
     def supports_column_chunks(self) -> bool:
         """Only a transposed backing can feed columns without building rows."""
-        return isinstance(self.storage, TransposedFile)
+        return isinstance(self.storage, _COLUMNAR)
 
     def scan_column_chunks(
         self, indexes: Sequence[int], chunk_size: int = 1024
@@ -235,13 +243,13 @@ class StoredRelation:
         row tuple is ever built (SS2.6's q-of-m advantage, preserved through
         execution).
         """
-        if not isinstance(self.storage, TransposedFile):
+        if not isinstance(self.storage, _COLUMNAR):
             raise StorageError("column-chunk scans need a transposed backing")
         yield from self.storage.scan_column_chunks(indexes, chunk_size)
 
     def get_row(self, row: int) -> tuple[Any, ...]:
         """One whole row — the informational query."""
-        if isinstance(self.storage, TransposedFile):
+        if isinstance(self.storage, _COLUMNAR):
             return self.storage.get_row(row)
         raise StorageError(
             "positional row access requires a transposed backing; heap "
@@ -251,7 +259,7 @@ class StoredRelation:
     def set_value(self, row: int, attr: str, value: Any) -> Any:
         """Point-update one cell (transposed backing only); returns old value."""
         index = self.schema.index_of(attr)
-        if not isinstance(self.storage, TransposedFile):
+        if not isinstance(self.storage, _COLUMNAR):
             raise StorageError("point updates by position need a transposed backing")
         old = self.storage.get_value(row, index)
         self.storage.set_value(row, index, value)

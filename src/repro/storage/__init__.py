@@ -25,6 +25,7 @@ from repro.storage.pager import (
     ReplacementPolicy,
 )
 from repro.storage.records import RID, RecordCodec
+from repro.storage.sharded import ShardedTransposedFile, ShardRouter
 from repro.storage.tape import TapeArchive, TapeCostModel, TapeStats
 from repro.storage.transposed import TransposedFile
 from repro.storage.wiss import IOReport, StorageManager
@@ -48,6 +49,8 @@ __all__ = [
     "RecordCodec",
     "ReplacementPolicy",
     "RID",
+    "ShardedTransposedFile",
+    "ShardRouter",
     "SimulatedDisk",
     "StorageManager",
     "TapeArchive",

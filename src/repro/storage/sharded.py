@@ -1,0 +1,260 @@
+"""Horizontally sharded transposed files (ROADMAP item 2).
+
+A :class:`ShardedTransposedFile` partitions one logical transposed view
+across N shard files, each on its own :class:`SimulatedDisk` behind its own
+:class:`BufferPool` — the multi-spindle layout the scatter-gather executor
+(:mod:`repro.relational.sharded`) fans out over, one worker process per
+shard, merging per-shard partial aggregates on gather (the MADlib
+partial-aggregate + merge shape).
+
+Placement is round-robin modulo: global row ``r`` lives on shard ``r % N``
+at local position ``r // N``.  The :class:`ShardRouter` is the single
+authority for that arithmetic — delta routing in the view layer and
+global-order reconstruction here both go through it, so the mapping cannot
+drift between writers and readers.  Round-robin keeps shards balanced to
+within one row under append-only growth, which is what makes the per-shard
+scan costs (and therefore the scatter fan-out) uniform.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.errors import StorageError
+from repro.obs.tracer import NULL_TRACER, AbstractTracer
+from repro.relational.types import DataType
+from repro.storage.disk import DEFAULT_BLOCK_SIZE, SimulatedDisk
+from repro.storage.pager import BufferPool
+from repro.storage.transposed import TransposedFile
+
+
+class ShardRouter:
+    """Round-robin modulo placement of global rows onto shards."""
+
+    __slots__ = ("shards",)
+
+    def __init__(self, shards: int) -> None:
+        if shards <= 0:
+            raise StorageError(f"shard count must be positive, got {shards}")
+        self.shards = shards
+
+    def shard_of(self, row: int) -> int:
+        """Which shard owns global row ``row``."""
+        return row % self.shards
+
+    def local_row(self, row: int) -> int:
+        """The owning shard's local position of global row ``row``."""
+        return row // self.shards
+
+    def global_row(self, shard: int, local: int) -> int:
+        """Inverse mapping: (shard, local position) back to the global row."""
+        return local * self.shards + shard
+
+    def split(self, rows: Iterable[int]) -> dict[int, list[int]]:
+        """Group global rows by owning shard, preserving per-shard order.
+
+        This is the delta-routing primitive: one update burst becomes at
+        most N per-shard bursts, each expressed in local row numbers.
+        """
+        by_shard: dict[int, list[int]] = {}
+        for row in rows:
+            by_shard.setdefault(self.shard_of(row), []).append(self.local_row(row))
+        return by_shard
+
+
+class ShardedTransposedFile:
+    """One logical transposed file partitioned across N shard files.
+
+    Duck-typed to :class:`TransposedFile`'s read/write surface (``__len__``,
+    ``append_row``, ``set_value``, ``get_value``, ``scan_column_chunks``,
+    ...) so :class:`repro.relational.relation.StoredRelation` and
+    :class:`repro.views.view.ConcreteView` can sit on either without
+    branching.  Global-order scans interleave the shard chains through the
+    router; the fast path is the per-shard scatter in
+    :mod:`repro.relational.sharded`, which never needs the interleave.
+
+    Each shard carries a monotonically increasing *version* (bumped on any
+    mutation touching it) so worker-process caches can detect staleness
+    without content hashing.
+    """
+
+    def __init__(
+        self,
+        types: Sequence[DataType],
+        shards: int = 4,
+        name: str = "sharded",
+        compress: str | None = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        pool_capacity: int = 64,
+        policy: str = "lru",
+        tracer: AbstractTracer | None = None,
+    ) -> None:
+        self.router = ShardRouter(shards)
+        self.name = name
+        self.types = tuple(types)
+        self.compress = compress
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.disks = [
+            SimulatedDisk(block_size=block_size) for _ in range(shards)
+        ]
+        self.pools = [
+            BufferPool(disk, capacity=pool_capacity, policy=policy, tracer=self.tracer)
+            for disk in self.disks
+        ]
+        self._files = [
+            TransposedFile(
+                pool,
+                self.types,
+                name=f"{name}.shard{index}",
+                compress=compress,
+                tracer=self.tracer,
+            )
+            for index, pool in enumerate(self.pools)
+        ]
+        self._versions = [0] * shards
+        self._row_count = 0
+
+    def __len__(self) -> int:
+        return self._row_count
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards (one simulated disk + file each)."""
+        return self.router.shards
+
+    @property
+    def column_count(self) -> int:
+        """Number of attributes."""
+        return len(self.types)
+
+    @property
+    def page_count(self) -> int:
+        """Total pages across all shards and columns."""
+        return sum(file.page_count for file in self._files)
+
+    # -- per-shard access (the scatter path) --------------------------------
+
+    def shard_file(self, shard: int) -> TransposedFile:
+        """The shard's own :class:`TransposedFile` (local row numbering)."""
+        return self._files[shard]
+
+    def shard_row_count(self, shard: int) -> int:
+        """Rows resident on one shard."""
+        return len(self._files[shard])
+
+    def shard_version(self, shard: int) -> int:
+        """Mutation counter for one shard (worker-cache staleness check)."""
+        return self._versions[shard]
+
+    # -- mutation ------------------------------------------------------------
+
+    def append_row(self, values: Sequence[object]) -> int:
+        """Append one row to its round-robin shard; return the global row."""
+        row = self._row_count
+        shard = self.router.shard_of(row)
+        self._files[shard].append_row(values)
+        self._versions[shard] += 1
+        self._row_count += 1
+        return row
+
+    def append_rows(self, rows: Sequence[Sequence[object]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.append_row(row)
+
+    def set_value(self, row: int, column: int, value: object) -> None:
+        """Point-update one cell on its owning shard."""
+        self._check_row(row)
+        shard = self.router.shard_of(row)
+        self._files[shard].set_value(self.router.local_row(row), column, value)
+        self._versions[shard] += 1
+
+    # -- access (global row order) -------------------------------------------
+
+    def get_value(self, row: int, column: int) -> object:
+        """Point-read one cell."""
+        self._check_row(row)
+        return self._files[self.router.shard_of(row)].get_value(
+            self.router.local_row(row), column
+        )
+
+    def get_row(self, row: int) -> tuple[object, ...]:
+        """Reconstruct one whole row (one page access per column, SS2.6)."""
+        self._check_row(row)
+        return self._files[self.router.shard_of(row)].get_row(
+            self.router.local_row(row)
+        )
+
+    def scan_column(self, index: int) -> Iterator[object]:
+        """Stream one column in global row order (round-robin interleave)."""
+        yield from self._merge(file.scan_column(index) for file in self._files)
+
+    def scan_columns(self, indexes: Sequence[int]) -> Iterator[tuple[object, ...]]:
+        """Stream several columns zipped row-wise, global order."""
+        iters = [self.scan_column(i) for i in indexes]
+        yield from zip(*iters)
+
+    def scan_rows(self) -> Iterator[tuple[object, ...]]:
+        """Stream whole rows in global order."""
+        yield from self._merge(file.scan_rows() for file in self._files)
+
+    def scan_column_chunks(
+        self, indexes: Sequence[int], chunk_size: int = 1024
+    ) -> Iterator[list[list[object]]]:
+        """Global-order column chunks, interleaved from the shard chains.
+
+        Same contract as :meth:`TransposedFile.scan_column_chunks`; this is
+        the fallback feed when a plan cannot be lowered to the per-shard
+        scatter (the scatter path scans each shard's file directly).
+        """
+        if not indexes:
+            raise StorageError("scan_column_chunks requires at least one column")
+        if chunk_size <= 0:
+            raise StorageError(f"chunk_size must be positive, got {chunk_size}")
+        # The inner list is built eagerly: _merge is a generator, so a lazy
+        # feed would be consumed only after the comprehension rebinds ``i``.
+        merged = [
+            self._merge([file.scan_column(i) for file in self._files])
+            for i in indexes
+        ]
+        remaining = self._row_count
+        while remaining > 0:
+            take = min(chunk_size, remaining)
+            out: list[list[object]] = []
+            for col_pos, stream in enumerate(merged):
+                values = list(islice(stream, take))
+                if len(values) < take:
+                    raise StorageError(
+                        f"column {indexes[col_pos]} shard chains exhausted "
+                        f"{take - len(values)} rows early"
+                    )
+                out.append(values)
+            self.tracer.add("sharded.chunks")
+            yield out
+            remaining -= take
+
+    # -- internals -----------------------------------------------------------
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self._row_count:
+            raise StorageError(
+                f"row {row} out of range (file has {self._row_count})"
+            )
+
+    def _merge(self, per_shard: Iterable[Iterator[object]]) -> Iterator[object]:
+        """Round-robin the shard streams back into global row order."""
+        iters = list(per_shard)
+        n = len(iters)
+        for row in range(self._row_count):
+            stream = iters[row % n]
+            value = next(stream, _EXHAUSTED)
+            if value is _EXHAUSTED:
+                raise StorageError(
+                    f"shard {row % n} stream exhausted at global row {row} "
+                    f"of {self._row_count}"
+                )
+            yield value
+
+
+_EXHAUSTED = object()

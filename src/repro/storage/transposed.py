@@ -342,16 +342,30 @@ class TransposedFile:
         streams = [self._columns[i].scan_pages() for i in indexes]
         buffers: list[list[object]] = [[] for _ in indexes]
         remaining = self._row_count
+        produced = 0
         while remaining > 0:
             take = min(chunk_size, remaining)
             out: list[list[object]] = []
-            for buffer, stream in zip(buffers, streams):
+            for col_pos, (buffer, stream) in enumerate(zip(buffers, streams)):
                 while len(buffer) < take:
-                    buffer.extend(next(stream))
+                    # A bare next() here would surface a truncated page
+                    # chain as PEP 479's RuntimeError; translate exhaustion
+                    # into a diagnosable storage fault instead.
+                    page_values = next(stream, None)
+                    if page_values is None:
+                        column = indexes[col_pos]
+                        have = produced + len(buffer)
+                        raise StorageError(
+                            f"column {column} page chain exhausted after "
+                            f"{have} of {self._row_count} rows "
+                            f"({self._row_count - have} missing)"
+                        )
+                    buffer.extend(page_values)
                 out.append(buffer[:take])
                 del buffer[:take]
             self.tracer.add("transposed.chunks")
             yield out
+            produced += take
             remaining -= take
 
     def get_value(self, row: int, column: int) -> object:

@@ -85,6 +85,43 @@ def update_rows(
     return delta
 
 
+def update_rows_by_shard(
+    view: ConcreteView,
+    attr: str,
+    row_values: Sequence[tuple[int, Any]],
+    description: str = "",
+) -> dict[int, Delta]:
+    """Point-update one attribute, routing changes to their owning shards.
+
+    On a view mirrored to a sharded transposed file, one update burst is
+    split by the storage's :class:`~repro.storage.sharded.ShardRouter`
+    into at most one per-shard burst — each applied in shard-local order
+    (so every touched shard's page chains are walked once, and its version
+    counter invalidates the worker-side payload cache once per burst) and
+    logged as its own history operation.  Returns one delta per touched
+    shard; feed ``deltas.values()`` to
+    :meth:`~repro.core.propagation.UpdatePropagator.propagate_batch`,
+    which coalesces them into a single summary sweep.
+
+    A view without a sharded mirror degrades to one burst under shard 0.
+    """
+    router = getattr(view.storage, "router", None)
+    if router is None:
+        return {0: update_rows(view, attr, row_values, description=description)}
+    by_shard: dict[int, list[tuple[int, Any]]] = {}
+    for row_index, value in row_values:
+        by_shard.setdefault(router.shard_of(row_index), []).append((row_index, value))
+    deltas: dict[int, Delta] = {}
+    for shard in sorted(by_shard):
+        deltas[shard] = update_rows(
+            view,
+            attr,
+            by_shard[shard],
+            description=description or f"shard {shard} burst",
+        )
+    return deltas
+
+
 def invalidate_where(
     view: ConcreteView,
     predicate: Expr,

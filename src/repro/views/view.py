@@ -17,8 +17,12 @@ from repro.incremental.derived import Derivation, DerivedColumnManager
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.relational.types import DataType
+from repro.storage.sharded import ShardedTransposedFile
 from repro.storage.transposed import TransposedFile
 from repro.summary.summarydb import SummaryDatabase
+
+#: Either mirror shape: one transposed file, or one sharded across disks.
+MirrorStorage = TransposedFile | ShardedTransposedFile
 from repro.views.history import UpdateHistory
 from repro.views.materialize import ViewDefinition
 
@@ -38,9 +42,10 @@ class ConcreteView:
     owner:
         The analyst the view is private to.
     storage:
-        Optional transposed file mirroring the relation on simulated disk;
-        column reads then pay accounted I/O and point updates write
-        through.
+        Optional transposed file (plain or sharded) mirroring the relation
+        on simulated disk; column reads then pay accounted I/O and point
+        updates write through.  A sharded mirror additionally makes the
+        view's aggregate queries eligible for scatter-gather execution.
     """
 
     def __init__(
@@ -49,7 +54,7 @@ class ConcreteView:
         relation: Relation,
         definition: ViewDefinition | None = None,
         owner: str = "analyst",
-        storage: TransposedFile | None = None,
+        storage: MirrorStorage | None = None,
         summary: SummaryDatabase | None = None,
     ) -> None:
         if storage is not None and len(storage) not in (0, len(relation)):

@@ -160,3 +160,94 @@ class TestWeightedMean:
         wm = IncrementalWeightedMean()
         wm.initialize([])
         assert is_na(wm.value)
+
+
+class TestVarianceDeleteGuards:
+    """Deletes of values the state never saw must fail loudly (SS4.2).
+
+    Before the fix, deleting down to one remaining value silently zeroed
+    M2 even when the deleted value was never inserted — corrupting the
+    running variance instead of surfacing the phantom delete.
+    """
+
+    def test_delete_from_empty_state_raises(self):
+        var = IncrementalVariance()
+        with pytest.raises(StatisticsError):
+            var.on_delete(1.0)
+
+    def test_delete_absent_last_value_raises(self):
+        var = IncrementalVariance()
+        var.initialize([3.0])
+        with pytest.raises(StatisticsError):
+            var.on_delete(100.0)  # never inserted; state must not reset
+
+    def test_delete_present_value_at_n2_succeeds(self):
+        var = IncrementalVariance()
+        var.initialize([3.0, 5.0])
+        var.on_delete(5.0)
+        assert var.mean == pytest.approx(3.0)
+        assert is_na(var.value)  # n=1: variance undefined
+
+    def test_round_trip_still_exact(self):
+        var = IncrementalVariance()
+        var.initialize(DATA)
+        var.on_insert(11.0)
+        var.on_delete(11.0)
+        assert var.value == pytest.approx(statistics.variance(DATA))
+
+
+class TestPartialMerge:
+    """Scatter-gather contract: merged shard partials == one-shot state."""
+
+    def split_halves(self, values):
+        return values[0::2], values[1::2]
+
+    def merged(self, cls, values):
+        left, right = self.split_halves(values)
+        a, b = cls(), cls()
+        a.initialize(left)
+        b.initialize(right)
+        a.merge_partial(b.partial_state())
+        return a
+
+    def test_sum_mean_var_std_merge(self):
+        data = DATA + [NA, 2.5, NA, -4.0]
+        for cls in (IncrementalSum, IncrementalMean, IncrementalVariance, IncrementalStd):
+            whole = cls()
+            whole.initialize(data)
+            assert self.merged(cls, data).value == pytest.approx(whole.value)
+
+    def test_count_merge_tracks_na(self):
+        data = [1.0, NA, 3.0, NA, NA]
+        merged = self.merged(IncrementalCount, data)
+        assert merged.value == 2
+        assert merged.na_count == 3
+
+    def test_minmax_merge(self):
+        data = [5.0, -2.0, 9.0, 0.0, 7.5]
+        merged = self.merged(IncrementalMinMax, data)
+        assert merged.min == -2.0
+        assert merged.max == 9.0
+        # Merged multiset still supports subsequent deletes.
+        merged.on_delete(9.0)
+        assert merged.max == 7.5
+
+    def test_weighted_mean_merge(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        weights = [1.0, 1.0, 2.0, 4.0]
+        a, b = IncrementalWeightedMean(), IncrementalWeightedMean()
+        a.initialize(zip(values[:2], weights[:2]))
+        b.initialize(zip(values[2:], weights[2:]))
+        a.merge_partial(b.partial_state())
+        whole = IncrementalWeightedMean()
+        whole.initialize(zip(values, weights))
+        assert a.value == pytest.approx(whole.value)
+
+    def test_merge_empty_partial_is_identity(self):
+        full = IncrementalMean()
+        full.initialize(DATA)
+        empty = IncrementalMean()
+        empty.initialize([])
+        before = full.value
+        full.merge_partial(empty.partial_state())
+        assert full.value == pytest.approx(before)

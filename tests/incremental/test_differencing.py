@@ -183,3 +183,53 @@ class TestDeltaNAHandling:
         form.apply_delta(Delta(updates=[(16.0, NA)]))
         form.apply_delta(Delta(updates=[(NA, 16.0)]))
         assert form.value == pytest.approx(before)
+
+
+class TestSumlogNonpositive:
+    """Regression: a non-positive observation must not poison sumlog forms.
+
+    ``log`` of a non-positive value used to inject NaN into the sumlog
+    measure, and the NaN survived even after the offending value was
+    deleted — the geometric mean never recovered.  The form now counts
+    non-positive contributions and reports NA only while any remain.
+    """
+
+    def geo(self):
+        return AlgebraicForm(DEFINITIONS["geometric_mean"])
+
+    def test_insert_then_delete_recovers(self):
+        form = self.geo()
+        form.initialize([2.0, 8.0])
+        assert form.value == pytest.approx(4.0)
+        form.on_insert(-1.0)
+        assert is_na(form.value)
+        form.on_delete(-1.0)
+        assert form.value == pytest.approx(4.0)
+
+    def test_zero_counts_as_nonpositive(self):
+        form = self.geo()
+        form.initialize([1.0, 0.0, 4.0])
+        assert is_na(form.value)
+        form.on_delete(0.0)
+        assert form.value == pytest.approx(2.0)
+
+    def test_update_replacing_nonpositive_recovers(self):
+        form = self.geo()
+        form.initialize([3.0, -2.0])
+        assert is_na(form.value)
+        form.on_update(-2.0, 27.0)
+        assert form.value == pytest.approx(9.0)
+
+    def test_all_positive_unaffected(self):
+        form = self.geo()
+        form.initialize([1.0, 10.0, 100.0])
+        assert form.value == pytest.approx(10.0)
+
+    def test_partial_merge_carries_nonpositive_count(self):
+        left, right = self.geo(), self.geo()
+        left.initialize([2.0, 8.0])
+        right.initialize([-5.0])
+        left.merge_partial(right.partial_state())
+        assert is_na(left.value)
+        left.on_delete(-5.0)
+        assert left.value == pytest.approx(4.0)

@@ -1,0 +1,129 @@
+"""Property tests for the scatter-gather path and partial-state protocol.
+
+Two invariants from ISSUE 8:
+
+* insert-then-delete returns every incremental computation to a state
+  equivalent to never having seen the values (including ``AlgebraicForm``
+  with a ``sumlog`` measure, whose non-positive counter must unwind);
+* sharded scatter-gather produces exactly the single-stream vectorized
+  answer for every shard count, on NA-heavy columns.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.incremental.aggregates import (
+    IncrementalCount,
+    IncrementalMean,
+    IncrementalMinMax,
+    IncrementalStd,
+    IncrementalSum,
+    IncrementalVariance,
+)
+from repro.incremental.differencing import DEFINITIONS, AlgebraicForm
+from repro.relational.catalog import Catalog
+from repro.relational.planner import plan
+from repro.relational.relation import StoredRelation
+from repro.relational.schema import Schema, category, measure
+from repro.relational.sql import parse
+from repro.relational.types import NA, DataType, is_na
+from repro.storage.sharded import ShardedTransposedFile
+
+# +-1e3 keeps Welford downdate cancellation (~eps * n * range^2) well
+# below the comparison tolerance; the property hunts state corruption,
+# not last-ulp float noise.
+finite = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+value_or_na = st.one_of(finite, st.just(NA))
+
+COMPUTATIONS = [
+    IncrementalCount,
+    IncrementalSum,
+    IncrementalMean,
+    IncrementalVariance,
+    IncrementalStd,
+    IncrementalMinMax,
+]
+
+
+def equivalent(a, b):
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return len(a) == len(b) and all(map(equivalent, a, b))
+    if is_na(a) and is_na(b):
+        return True
+    if is_na(a) or is_na(b):
+        return False
+    # abs soaks up sqrt-amplified downdate residue near zero (std of an
+    # all-equal column after a large insert/delete pair).
+    return a == pytest.approx(b, rel=1e-6, abs=1e-3)
+
+
+@given(
+    st.lists(value_or_na, min_size=1, max_size=40),
+    st.lists(value_or_na, min_size=0, max_size=20),
+)
+@settings(max_examples=120, deadline=None)
+def test_insert_then_delete_round_trips(base, burst):
+    for cls in COMPUTATIONS:
+        comp = cls()
+        comp.initialize(base)
+        reference = cls()
+        reference.initialize(base)
+        for value in burst:
+            comp.on_insert(value)
+        for value in reversed(burst):
+            comp.on_delete(value)
+        assert equivalent(comp.value, reference.value), cls.__name__
+
+
+@given(
+    st.lists(st.one_of(finite, st.just(NA), st.just(0.0)), min_size=1, max_size=30),
+    st.lists(st.one_of(finite, st.just(NA), st.just(0.0)), max_size=12),
+)
+@settings(max_examples=120, deadline=None)
+def test_sumlog_form_round_trips(base, burst):
+    form = AlgebraicForm(DEFINITIONS["geometric_mean"])
+    form.initialize(base)
+    reference = AlgebraicForm(DEFINITIONS["geometric_mean"])
+    reference.initialize(base)
+    for value in burst:
+        form.on_insert(value)
+    for value in reversed(burst):
+        form.on_delete(value)
+    assert equivalent(form.value, reference.value)
+
+
+# Integer-valued measures keep float addition associative, so the sharded
+# answer must be *identical* (==, not approx) for every shard count.
+int_measure = st.one_of(
+    st.integers(min_value=-1000, max_value=1000).map(float), st.just(NA)
+)
+
+
+def rows_strategy():
+    return st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c", "d"]), int_measure, int_measure),
+        min_size=1,
+        max_size=50,
+    )
+
+
+def run_query(rows, shards):
+    schema = Schema([category("G", DataType.STR), measure("X"), measure("Y")])
+    storage = ShardedTransposedFile(schema.types, shards=shards, name="t")
+    stored = StoredRelation.load("t", schema, rows, storage)
+    catalog = Catalog()
+    catalog.register(stored)
+    text = (
+        "SELECT G, count(X) AS n, sum(X) AS s, avg(X) AS a, "
+        "min(Y) AS mn, max(Y) AS mx FROM t GROUP BY G"
+    )
+    return list(plan(parse(text), catalog))
+
+
+@given(rows_strategy())
+@settings(max_examples=40, deadline=None)
+def test_sharded_equals_single_stream_for_all_shard_counts(rows):
+    reference = run_query(rows, shards=1)
+    for shards in (2, 4, 8):
+        assert run_query(rows, shards) == reference

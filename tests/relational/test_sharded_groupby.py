@@ -1,0 +1,205 @@
+"""Scatter-gather group-by: planner lowering, merge math, process mode."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.obs.tracer import Tracer
+from repro.relational.aggregates import AggregateSpec, GroupBy
+from repro.relational.catalog import Catalog
+from repro.relational.expressions import col
+from repro.relational.planner import plan
+from repro.relational.relation import Relation, StoredRelation
+from repro.relational.schema import Schema, category, measure
+from repro.relational.sharded import (
+    MERGEABLE_FUNCS,
+    ShardedGroupBy,
+    ShardExecutor,
+    get_executor,
+    is_sharded_source,
+)
+from repro.relational.sql import parse
+from repro.relational.types import NA, DataType
+from repro.relational.vectorized import VectorOperator
+from repro.storage.sharded import ShardedTransposedFile
+
+
+def sample_schema():
+    return Schema(
+        [category("G", DataType.STR), measure("X"), measure("Y")]
+    )
+
+
+def sample_rows(n=40):
+    rows = []
+    for i in range(n):
+        x = NA if i % 7 == 3 else float(i % 11)
+        y = NA if i % 5 == 4 else float(i)
+        rows.append((f"g{i % 3}", x, y))
+    return rows
+
+
+def sharded_relation(rows=None, shards=4, name="t"):
+    rows = rows if rows is not None else sample_rows()
+    schema = sample_schema()
+    storage = ShardedTransposedFile(schema.types, shards=shards, name=name)
+    return StoredRelation.load(name, schema, rows, storage)
+
+
+def contains_sharded(op):
+    while op is not None:
+        if isinstance(op, ShardedGroupBy):
+            return True
+        op = getattr(op, "child", None)
+    return False
+
+
+class TestPlannerLowering:
+    def catalog(self, stored):
+        catalog = Catalog()
+        catalog.register(stored)
+        return catalog
+
+    def test_mergeable_aggregates_lower_to_scatter_gather(self):
+        stored = sharded_relation()
+        pipeline = plan(
+            parse("SELECT G, sum(X) AS sx, count(Y) AS cy FROM t GROUP BY G"),
+            self.catalog(stored),
+        )
+        assert contains_sharded(pipeline)
+        assert isinstance(pipeline, VectorOperator)
+
+    def test_median_falls_back_to_single_stream(self):
+        stored = sharded_relation()
+        pipeline = plan(
+            parse("SELECT G, median(X) AS mx FROM t GROUP BY G"),
+            self.catalog(stored),
+        )
+        assert not contains_sharded(pipeline)
+
+    def test_results_match_row_engine(self):
+        rows = sample_rows()
+        stored = sharded_relation(rows)
+        text = (
+            "SELECT G, count(*) AS n, sum(X) AS sx, avg(Y) AS ay, "
+            "min(X) AS mn, max(Y) AS mx FROM t WHERE Y > 2 GROUP BY G"
+        )
+        got = list(plan(parse(text), self.catalog(stored)))
+        rel = Relation("t", sample_schema(), rows)
+        row_catalog = Catalog()
+        row_catalog.register(rel)
+        expected = list(plan(parse(text), row_catalog, use_vectorized=False))
+        assert sorted(map(repr, got)) == sorted(map(repr, expected))
+
+    def test_var_matches_two_pass_within_tolerance(self):
+        rows = sample_rows()
+        stored = sharded_relation(rows)
+        text = "SELECT G, var(Y) AS vy, std(Y) AS sy FROM t GROUP BY G"
+        got = {r[0]: r[1:] for r in plan(parse(text), self.catalog(stored))}
+        rel = Relation("t", sample_schema(), rows)
+        row_catalog = Catalog()
+        row_catalog.register(rel)
+        expected = {
+            r[0]: r[1:] for r in plan(parse(text), row_catalog, use_vectorized=False)
+        }
+        assert set(got) == set(expected)
+        for key, (vy, sy) in expected.items():
+            assert got[key][0] == pytest.approx(vy, rel=1e-9)
+            assert got[key][1] == pytest.approx(sy, rel=1e-9)
+
+
+class TestShardCountInvariance:
+    def test_identical_results_across_shard_counts(self):
+        rows = sample_rows(60)
+        text = "SELECT G, count(X) AS n, sum(X) AS s, avg(Y) AS a FROM t GROUP BY G"
+        results = []
+        for shards in (1, 2, 4, 8):
+            stored = sharded_relation(rows, shards=shards)
+            catalog = Catalog()
+            catalog.register(stored)
+            results.append(list(plan(parse(text), catalog)))
+        assert all(r == results[0] for r in results[1:])
+
+
+class TestShardedGroupByOperator:
+    def test_rejects_unmergeable_spec(self):
+        stored = sharded_relation()
+        with pytest.raises(QueryError, match="no mergeable partial"):
+            ShardedGroupBy(stored, ["G"], [AggregateSpec("median", "X", "m")])
+
+    def test_rejects_unsharded_source(self):
+        rel = Relation("t", sample_schema(), sample_rows())
+        with pytest.raises(QueryError, match="sharded"):
+            ShardedGroupBy(rel, ["G"], [AggregateSpec("sum", "X", "s")])
+
+    def test_grand_total_over_empty_selection(self):
+        stored = sharded_relation()
+        op = ShardedGroupBy(
+            stored,
+            [],
+            [AggregateSpec("count", None, "n"), AggregateSpec("sum", "X", "s")],
+            where=col("Y") > 1e9,
+        )
+        assert list(op) == [(0, NA)]
+
+    def test_group_order_follows_first_appearance(self):
+        rows = [("b", 1.0, 1.0), ("a", 2.0, 2.0), ("b", 3.0, 3.0), ("c", 4.0, 4.0)]
+        stored = sharded_relation(rows, shards=2)
+        op = ShardedGroupBy(stored, ["G"], [AggregateSpec("sum", "X", "s")])
+        assert [r[0] for r in op] == ["b", "a", "c"]
+
+    def test_tracer_counts_scatter_and_gather(self):
+        stored = sharded_relation(shards=4)
+        tracer = Tracer()
+        executor = get_executor(stored.storage, tracer=tracer)
+        op = ShardedGroupBy(
+            stored, ["G"], [AggregateSpec("sum", "X", "s")], executor=executor
+        )
+        list(op)
+        (root,) = [s for s in tracer.roots if s.name == "shard.scatter_gather"]
+        assert root.total("shard.scatter") == 4
+        assert root.attrs["shards"] == 4
+
+    def test_mergeable_funcs_frozen(self):
+        assert "median" not in MERGEABLE_FUNCS
+        assert {"count", "sum", "avg", "min", "max", "var", "std"} <= MERGEABLE_FUNCS
+
+
+class TestProcessMode:
+    def test_process_pool_matches_serial(self):
+        rows = sample_rows(30)
+        stored = sharded_relation(rows, shards=2, name="p")
+        serial = ShardExecutor(stored.storage, mode="serial")
+        process = ShardExecutor(stored.storage, mode="process")
+        try:
+            specs = [AggregateSpec("sum", "X", "s"), AggregateSpec("count", "Y", "n")]
+            a = list(
+                ShardedGroupBy(stored, ["G"], specs, executor=serial)
+            )
+            b = list(
+                ShardedGroupBy(stored, ["G"], specs, executor=process)
+            )
+            assert a == b
+        finally:
+            process.close()
+
+    def test_process_pool_sees_writes_after_version_bump(self):
+        rows = [("a", 1.0, 1.0), ("a", 2.0, 2.0)]
+        stored = sharded_relation(rows, shards=2, name="q")
+        executor = ShardExecutor(stored.storage, mode="process")
+        try:
+            specs = [AggregateSpec("sum", "X", "s")]
+            first = list(ShardedGroupBy(stored, ["G"], specs, executor=executor))
+            assert first == [("a", 3.0)]
+            stored.storage.set_value(0, 1, 10.0)
+            second = list(ShardedGroupBy(stored, ["G"], specs, executor=executor))
+            assert second == [("a", 12.0)]
+        finally:
+            executor.close()
+
+
+class TestSourceProbe:
+    def test_sharded_stored_relation_detected(self):
+        assert is_sharded_source(sharded_relation())
+
+    def test_plain_relation_rejected(self):
+        assert not is_sharded_source(Relation("t", sample_schema(), sample_rows()))

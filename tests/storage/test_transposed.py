@@ -123,3 +123,37 @@ class TestCompression:
     def test_unknown_compression_rejected(self):
         with pytest.raises(StorageError, match="unsupported compression"):
             make_tf([DataType.INT], compress="lz4")
+
+
+class TestChainIntegrity:
+    """A truncated page chain must fail loudly, not stop the chunk stream.
+
+    Before the fix, ``scan_column_chunks`` raised ``StopIteration`` inside
+    the generator when a column's chain ran dry, which PEP 479 converts to
+    an opaque ``RuntimeError`` in the consuming pipeline.
+    """
+
+    def test_truncated_chain_raises_storage_error(self):
+        _, _, tf = make_tf([DataType.INT, DataType.FLOAT], block_size=128)
+        for i in range(200):
+            tf.append_row((i, float(i)))
+        tf._columns[0].pages.pop()  # doctor: drop the column's last page
+        with pytest.raises(StorageError, match="column 0"):
+            for _ in tf.scan_column_chunks([0, 1], chunk_size=64):
+                pass
+
+    def test_error_names_the_shortfall(self):
+        _, _, tf = make_tf([DataType.INT], block_size=128)
+        for i in range(200):
+            tf.append_row((i,))
+        tf._columns[0].pages.pop()
+        with pytest.raises(StorageError, match="missing"):
+            list(tf.scan_column_chunks([0], chunk_size=50))
+
+    def test_intact_chain_never_raises(self):
+        _, _, tf = make_tf([DataType.INT], block_size=128)
+        values = list(range(150))
+        for v in values:
+            tf.append_row((v,))
+        flat = [v for chunk in tf.scan_column_chunks([0], 64) for v in chunk[0]]
+        assert flat == values
