@@ -1,0 +1,202 @@
+"""E21 — Mergeable sketches & incremental model refresh (ISSUE 9).
+
+Claims reproduced:
+
+* ``median`` and ``count(DISTINCT ...)`` no longer force single-stream
+  fallback under :class:`ShardedGroupBy`: t-digest and HyperLogLog
+  partials merge across 1/2/4/8 shards with rank / relative error inside
+  the documented bounds (``EPSILON_TDIGEST`` / ``EPSILON_HLL``); and
+* a fitted OLS model registered as a summary entry refreshes
+  incrementally under a cell update — O(k²) sufficient-statistics
+  replay — at least **5×** faster than a full refit over the view.
+
+Environment knobs: ``E21_ROWS`` (default 100000), ``E21_SHARDS``
+(comma-separated sweep, default ``1,2,4,8``), ``E21_TRIALS`` (best-of
+repeats, default 3).  Persists ``BENCH_e21.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+import time
+from pathlib import Path
+
+from repro.bench.harness import ExperimentTable, report_table, speedup, write_json
+from repro.core.dbms import StatisticalDBMS
+from repro.incremental.sketches import EPSILON_HLL, EPSILON_TDIGEST
+from repro.relational.catalog import Catalog
+from repro.relational.planner import plan
+from repro.relational.relation import Relation, StoredRelation
+from repro.relational.schema import Schema, category, measure
+from repro.relational.sharded import ShardedGroupBy
+from repro.relational.sql import parse
+from repro.relational.types import DataType
+from repro.stats.regression import fit_ols
+from repro.storage.sharded import ShardedTransposedFile
+from repro.views.materialize import SourceNode, ViewDefinition
+
+N_ROWS = int(os.environ.get("E21_ROWS", "100000"))
+SHARD_SWEEP = [int(s) for s in os.environ.get("E21_SHARDS", "1,2,4,8").split(",")]
+TRIALS = int(os.environ.get("E21_TRIALS", "3"))
+GROUPS = 5
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_e21.json"
+
+QUERY = (
+    "SELECT G, median(X) AS med, count(DISTINCT X) AS d "
+    "FROM e21 GROUP BY G"
+)
+
+_METRICS: dict[str, float | str | int] = {}
+_TABLES: list[ExperimentTable] = []
+
+
+def _best_of(repeats, operation):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        operation()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _sketch_rows():
+    # X = float(i): every group holds N_ROWS/GROUPS distinct values, so
+    # the HyperLogLogs run dense (well past the sparse-exact regime) and
+    # the t-digests genuinely compress.
+    for i in range(N_ROWS):
+        yield (f"g{i % GROUPS}", float(i))
+
+
+def contains_sharded(op):
+    while op is not None:
+        if isinstance(op, ShardedGroupBy):
+            return True
+        op = getattr(op, "child", None)
+    return False
+
+
+def _rank_error(sorted_values, estimate, q):
+    n = len(sorted_values)
+    lo = bisect.bisect_left(sorted_values, estimate) / n
+    hi = bisect.bisect_right(sorted_values, estimate) / n
+    if lo <= q <= hi:
+        return 0.0
+    return min(abs(lo - q), abs(hi - q))
+
+
+def test_e21_sharded_sketch_sweep():
+    schema = Schema([category("G", DataType.STR), measure("X")])
+    rows = list(_sketch_rows())
+    by_group: dict[str, list[float]] = {}
+    for g, x in rows:
+        by_group.setdefault(g, []).append(x)
+    truth = {g: (sorted(vals), len(set(vals))) for g, vals in by_group.items()}
+
+    table = ExperimentTable(
+        "E21",
+        f"sketch aggregates over {N_ROWS} rows, {GROUPS} groups: merged "
+        "t-digest median + HyperLogLog distinct vs exact truth",
+        ["shards", "time_s", "max_median_rank_err", "max_distinct_rel_err"],
+    )
+    _METRICS["rows"] = N_ROWS
+    _METRICS["epsilon_tdigest"] = EPSILON_TDIGEST
+    _METRICS["epsilon_hll"] = EPSILON_HLL
+
+    for shards in SHARD_SWEEP:
+        storage = ShardedTransposedFile(schema.types, shards=shards, name="e21")
+        stored = StoredRelation.load("e21", schema, rows, storage)
+        catalog = Catalog()
+        catalog.register(stored)
+        pipeline = plan(parse(QUERY), catalog)
+        assert contains_sharded(pipeline), (
+            f"median/count_distinct fell back to single-stream at "
+            f"shards={shards}"
+        )
+        got = list(pipeline)
+        t_query = _best_of(TRIALS, lambda: list(plan(parse(QUERY), catalog)))
+
+        max_rank_err = 0.0
+        max_rel_err = 0.0
+        for g, med, distinct in got:
+            ordered, exact_distinct = truth[g]
+            max_rank_err = max(max_rank_err, _rank_error(ordered, med, 0.5))
+            max_rel_err = max(
+                max_rel_err, abs(distinct - exact_distinct) / exact_distinct
+            )
+        assert max_rank_err <= EPSILON_TDIGEST, (
+            f"median rank error {max_rank_err:.4f} exceeds "
+            f"{EPSILON_TDIGEST} at shards={shards}"
+        )
+        assert max_rel_err <= EPSILON_HLL, (
+            f"distinct relative error {max_rel_err:.4f} exceeds "
+            f"{EPSILON_HLL} at shards={shards}"
+        )
+        table.add_row(shards, t_query, max_rank_err, max_rel_err)
+        _METRICS[f"sharded_{shards}_s"] = t_query
+        _METRICS[f"sharded_{shards}_median_rank_err"] = max_rank_err
+        _METRICS[f"sharded_{shards}_distinct_rel_err"] = max_rel_err
+
+    table.note(
+        "every sweep point lowers to ShardedGroupBy (no fallback); "
+        "errors stay inside the documented epsilon at every shard count"
+    )
+    report_table(table)
+    _TABLES.append(table)
+
+
+def _model_rows():
+    for i in range(N_ROWS):
+        x1 = float((i * 7) % 1000)
+        x2 = float((i * 13) % 500)
+        yield (2.0 + 0.5 * x1 - 0.25 * x2 + float(i % 11), x1, x2)
+
+
+def test_e21_incremental_model_refresh():
+    dbms = StatisticalDBMS()
+    schema = Schema([measure("y"), measure("x1"), measure("x2")])
+    dbms.load_raw(Relation("obs", schema, list(_model_rows())))
+    dbms.create_view(ViewDefinition("fits", SourceNode("obs")))
+    session = dbms.session("fits")
+    session.fit_model("y", ["x1", "x2"])
+
+    t_refit = _best_of(
+        TRIALS, lambda: fit_ols(session.view.relation, "y", ["x1", "x2"])
+    )
+
+    cycle = {"row": 0}
+
+    def warm_cycle():
+        row = cycle["row"] = (cycle["row"] + 1) % N_ROWS
+        session.update_cells("x1", [(row, float(row % 997))])
+        session.fit_model("y", ["x1", "x2"])
+
+    t_warm = _best_of(TRIALS, warm_cycle)
+    entry = session.view.summary.peek("ols_model", ("y", "x1", "x2"))
+    assert entry is not None and not entry.stale, (
+        "warm cycle invalidated the model entry instead of replaying"
+    )
+    gain = speedup(t_refit, t_warm)
+    _METRICS["full_refit_s"] = t_refit
+    _METRICS["warm_refresh_s"] = t_warm
+    _METRICS["model_refresh_speedup"] = gain
+
+    table = ExperimentTable(
+        "E21",
+        f"OLS refresh after one cell update, {N_ROWS} rows",
+        ["path", "time_s", "speedup"],
+    )
+    table.add_row("full refit (fit_ols)", t_refit, 1.0)
+    table.add_row("incremental replay (summary entry)", t_warm, gain)
+    table.note(
+        "the warm path replays one (old_row, new_row) pair into the "
+        "O(k^2) sufficient statistics; the refit rescans every row"
+    )
+    report_table(table)
+    _TABLES.append(table)
+
+    assert gain >= 5.0, (
+        f"incremental refresh only {gain:.1f}x faster than full refit "
+        f"(ISSUE 9 floor: 5x at {N_ROWS} rows)"
+    )
+    write_json(JSON_PATH, _TABLES, _METRICS)

@@ -21,8 +21,16 @@ from typing import Any, Sequence
 from repro.incremental.differencing import Delta
 from repro.metadata.management import ManagementDatabase
 from repro.obs.tracer import NULL_TRACER, AbstractTracer
+from repro.relational.types import is_na
 from repro.summary.policies import ConsistencyPolicy
 from repro.views.view import ConcreteView
+
+
+def _na_safe_equal(a: Any, b: Any) -> bool:
+    """Equality where NA == NA and NA never equals a value."""
+    if is_na(a) or is_na(b):
+        return is_na(a) and is_na(b)
+    return a == b
 
 
 @dataclass
@@ -103,17 +111,23 @@ class UpdatePropagator:
                 # maintenance semantics (SS3.2's verbal descriptions).
                 continue
             report.entries_visited += 1
+            if len(entry.key.attributes) > 1:
+                # Multi-attribute results never follow single-column
+                # rules: fitted models with row-wise maintainers stay
+                # warm; anything else (correlations) has no per-column
+                # incremental form here — invalidate.
+                if self._try_rowwise(entry, attribute, delta, rows):
+                    report.incremental_updates += 1
+                    if traced:
+                        span.add(f"rule.{entry.key.function}.rowwise")
+                elif summary.mark_stale(entry, pending=delta.size):
+                    report.invalidations += 1
+                continue
             try:
                 rule = self.management.rules.rule_for(entry.key.function)
             except Exception:
                 # Entries cached outside the function registry (e.g. the
                 # crosstab tables of compute_crosstab) just go stale.
-                if summary.mark_stale(entry, pending=delta.size):
-                    report.invalidations += 1
-                continue
-            if len(entry.key.attributes) > 1:
-                # Multi-attribute results (correlations) have no per-column
-                # incremental form here; invalidate them.
                 if summary.mark_stale(entry, pending=delta.size):
                     report.invalidations += 1
                 continue
@@ -137,12 +151,17 @@ class UpdatePropagator:
                     span.add(f"rule.{function}.invalidate")
 
         # 2. Entries that merely mention the attribute (secondary input of a
-        #    multi-attribute result): invalidate.
+        #    multi-attribute result): keep warm when row-wise, else
+        #    invalidate.
         for entry in summary.entries_mentioning(attribute):
             if entry.key.primary_attribute == attribute:
                 continue
             report.entries_visited += 1
-            if summary.mark_stale(entry, pending=delta.size):
+            if self._try_rowwise(entry, attribute, delta, rows):
+                report.incremental_updates += 1
+                if traced:
+                    span.add(f"rule.{entry.key.function}.rowwise")
+            elif summary.mark_stale(entry, pending=delta.size):
                 report.invalidations += 1
 
         # 3. Cascade to derived columns (SS3.2's derived-data rules), then
@@ -164,6 +183,71 @@ class UpdatePropagator:
         span.add("recomputations", report.recomputations)
         span.add("invalidations", report.invalidations)
         return report
+
+    def _try_rowwise(
+        self,
+        entry: Any,
+        attribute: str,
+        delta: Delta,
+        rows: Sequence[int],
+    ) -> bool:
+        """Feed a pure update burst row-wise to a multi-attribute maintainer.
+
+        Fitted-model entries (``supports_row_updates``) consume
+        observations as whole rows, so a cell update on one of their
+        attributes can be replayed as ``on_update(old_row, new_row)``
+        instead of invalidating the fit.  Applies only when the burst is
+        updates-only, each update aligns with a known row index, and the
+        consistency policy wants maintainers kept warm.  Any surprise
+        (misalignment, maintainer failure) falls back to the sanctioned
+        stale path — never a silently wrong fit.
+        """
+        summary = self.view.summary
+        maintainer = entry.maintainer
+        if (
+            maintainer is None
+            or entry.stale
+            or not getattr(maintainer, "supports_row_updates", False)
+            or not getattr(self.policy, "keeps_maintainers_warm", True)
+        ):
+            return False
+        if delta.inserts or delta.deletes or not delta.updates:
+            return False
+        if len(delta.updates) != len(rows):
+            return False
+        names = entry.key.attributes
+        if attribute not in names:
+            return False
+        position = names.index(attribute)
+        columns = [self.view.column(name) for name in names]
+        pairs: list[tuple[tuple[Any, ...], tuple[Any, ...]]] = []
+        for (old_value, new_value), row in zip(delta.updates, rows):
+            if not 0 <= row < len(columns[position]):
+                return False
+            current = [column[row] for column in columns]
+            seen = current[position]
+            # The view already holds the new value; verify alignment
+            # (repeated rows in one burst would break the old-row
+            # reconstruction, so bail to the stale path instead).
+            if not _na_safe_equal(seen, new_value):
+                return False
+            new_row = tuple(current)
+            old_row = tuple(
+                old_value if i == position else value
+                for i, value in enumerate(current)
+            )
+            pairs.append((old_row, new_row))
+        try:
+            for old_row, new_row in pairs:
+                maintainer.on_update(old_row, new_row)
+            result = maintainer.value
+            summary.refresh(entry, result, version=self.view.version)
+        except Exception:
+            # A maintainer that failed mid-burst holds poisoned state;
+            # drop it and let the caller's stale path take over.
+            summary.detach_maintainer(entry)
+            return False
+        return True
 
     def propagate_batch(
         self,

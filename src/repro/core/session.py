@@ -24,6 +24,8 @@ from repro.metadata.management import ManagementDatabase
 from repro.relational.expressions import Expr
 from repro.relational.types import is_na
 from repro.stats import correlation as corr
+from repro.stats.models import IncrementalLinearRegression
+from repro.stats.regression import OLSModel, model_from_summary
 from repro.stats.sampling import sample_column
 from repro.summary.abstract import DatabaseAbstract, Inference, InferenceKind
 from repro.summary.entries import SummaryEntry
@@ -156,6 +158,8 @@ class AnalystSession:
             maintainer=maintainer,
             compute_cost_rows=len(values),
             version=self.view.version,
+            kind=fn.summary_kind,
+            epsilon=fn.epsilon,
         )
         return result
 
@@ -188,6 +192,42 @@ class AnalystSession:
             function, (a, b), result, compute_cost_rows=len(col_a), version=self.view.version
         )
         return result
+
+    def fit_model(self, response: str, predictors: Sequence[str]) -> OLSModel:
+        """Fit (or fetch) an OLS model cached as a ``model`` summary entry.
+
+        The fit registers under ``("ols_model", (response, *predictors))``
+        with a live :class:`IncrementalLinearRegression` maintainer, so a
+        cell update to any input column replays row-wise through the
+        propagation pipeline and later calls serve warm coefficients
+        without a refit.  Inserts/deletes (and policies that defer
+        maintenance) invalidate instead; a stale hit refits once.
+        """
+        self.stats.queries += 1
+        names = (response, *tuple(predictors))
+        entry = self.view.summary.lookup("ols_model", names)
+        if entry is not None:
+            self.stats.cache_hits += 1
+            if not entry.stale:
+                return model_from_summary(response, predictors, entry.result)
+            self.view.summary.stats.recomputations += 1
+        provider = self.view.rows_provider(names)
+        maintainer = IncrementalLinearRegression(k=len(predictors))
+        rows = provider()
+        self.stats.rows_scanned += len(rows) * len(names)
+        maintainer.initialize(rows)
+        # insert() overwrites a stale entry wholesale, replacing both the
+        # result and the dead maintainer in one sanctioned write.
+        self.view.summary.insert(
+            "ols_model",
+            names,
+            maintainer.value,
+            maintainer=maintainer,
+            compute_cost_rows=len(rows),
+            version=self.view.version,
+            kind="model",
+        )
+        return model_from_summary(response, predictors, maintainer.value)
 
     def annotate(self, attribute: str, text: str) -> None:
         """Attach a verbal description to an attribute (paper SS3.2).

@@ -16,8 +16,14 @@ What a snapshot holds:
   ``value_to_jsonable`` codec);
 * every view's Summary Database entries — results serialized with the
   varying-length encoding of :mod:`repro.summary.entries` (hex-armoured),
-  plus freshness state.  Live maintainers are *not* persisted: they are
-  rebuilt lazily from the data the first time a replayed delta needs them.
+  plus freshness state and the kind/epsilon accuracy metadata.  Sketch and
+  model maintainers (the :data:`SKETCH_KINDS` family) persist their
+  mergeable state and are reconstructed exactly on restore; exact-scalar
+  maintainers are *not* persisted — they are rebuilt lazily from the data
+  the first time a replayed delta needs them.  A maintainer whose state
+  cannot be serialized (or whose kind the restoring build does not know)
+  degrades to a detached, stale entry: recovery may re-read data, but it
+  never serves a silently wrong sketch.
 
 Out of scope (documented in DESIGN.md §4e): the raw tape database — the
 paper treats it as an archival input that is reloaded, not recovered
@@ -39,13 +45,34 @@ from repro.metadata.persistence import (
     value_from_jsonable,
     value_to_jsonable,
 )
+from repro.incremental.sketches import (
+    CountMinSketch,
+    HyperLogLog,
+    ReservoirSample,
+    TDigest,
+)
 from repro.obs.tracer import NULL_TRACER, AbstractTracer
 from repro.relational.schema import Attribute, AttributeRole, Schema
 from repro.relational.types import DataType
+from repro.stats.models import IncrementalLinearRegression
 from repro.summary.entries import decode_result, encode_result
 
 CHECKPOINT_NAME = "checkpoint.json"
 SNAPSHOT_FORMAT = 1
+
+#: Maintainer families with durable, mergeable state: ``sketch_kind`` tag
+#: -> class with ``to_state``/``from_state``.  Anything outside this table
+#: restores detached (and stale), never approximately.
+SKETCH_KINDS: dict[str, Any] = {
+    cls.sketch_kind: cls
+    for cls in (
+        TDigest,
+        HyperLogLog,
+        ReservoirSample,
+        CountMinSketch,
+        IncrementalLinearRegression,
+    )
+}
 
 
 def snapshot_dbms(dbms: Any) -> dict:
@@ -110,37 +137,92 @@ def _summary_to_list(summary: Any) -> list[dict]:
             # An unencodable result (exotic object) is simply not
             # checkpointed; the next lookup recomputes it from the view.
             continue
-        entries.append(
-            {
-                "function": entry.key.function,
-                "attributes": list(entry.key.attributes),
-                "result": encoded.hex(),
-                "stale": entry.stale,
-                "version": entry.computed_at_version,
-                "pending": entry.pending_updates,
-                "compute_cost_rows": entry.compute_cost_rows,
-            }
-        )
+        record = {
+            "function": entry.key.function,
+            "attributes": list(entry.key.attributes),
+            "result": encoded.hex(),
+            "stale": entry.stale,
+            "version": entry.computed_at_version,
+            "pending": entry.pending_updates,
+            "compute_cost_rows": entry.compute_cost_rows,
+            "kind": entry.kind,
+        }
+        if entry.epsilon is not None:
+            record["epsilon"] = entry.epsilon
+        if entry.observed_error is not None:
+            record["observed_error"] = entry.observed_error
+        maintainer = entry.maintainer
+        sketch_kind = getattr(maintainer, "sketch_kind", None)
+        if sketch_kind in SKETCH_KINDS:
+            try:
+                record["maintainer"] = {
+                    "kind": sketch_kind,
+                    "state": maintainer.to_state(),
+                }
+            except Exception:
+                # A maintainer that cannot produce durable state (e.g. a
+                # dirty dense HLL with no provider) restores detached;
+                # flag the snapshot so restore marks the entry stale.
+                record["maintainer_lost"] = True
+        entries.append(record)
     return entries
 
 
-def restore_summary_entries(summary: Any, records: list[dict]) -> int:
+def restore_summary_entries(
+    summary: Any,
+    records: list[dict],
+    provider_factory: Any = None,
+) -> int:
     """Re-insert checkpointed entries into a fresh Summary Database.
 
-    Maintainers are left detached — the first propagated delta (or lookup
-    recomputation) rebuilds them from the recovered data.  Returns the
-    number of entries restored.
+    Sketch/model maintainers (:data:`SKETCH_KINDS`) are reconstructed
+    from their persisted state; anything else restores detached and the
+    first propagated delta (or lookup recomputation) rebuilds it from
+    the recovered data.  A maintainer record of unknown kind or with
+    corrupt state restores detached *and stale* — never silently wrong.
+
+    ``provider_factory`` maps an attribute tuple to a zero-argument
+    values provider (or ``None``); restored HyperLogLogs use it so dense
+    deletes can trigger rebuilds after recovery.  Returns the number of
+    entries restored.
     """
     restored = 0
     for record in records:
+        maintainer = None
+        maintainer_lost = bool(record.get("maintainer_lost"))
+        info = record.get("maintainer")
+        if info is not None:
+            cls = SKETCH_KINDS.get(info.get("kind"))
+            if cls is None:
+                maintainer_lost = True
+            else:
+                try:
+                    if cls is HyperLogLog:
+                        provider = (
+                            provider_factory(tuple(record["attributes"]))
+                            if provider_factory is not None
+                            else None
+                        )
+                        maintainer = cls.from_state(
+                            info["state"], values_provider=provider
+                        )
+                    else:
+                        maintainer = cls.from_state(info["state"])
+                except Exception:
+                    maintainer = None
+                    maintainer_lost = True
         entry = summary.insert(
             record["function"],
             tuple(record["attributes"]),
             decode_result(bytes.fromhex(record["result"])),
+            maintainer=maintainer,
             compute_cost_rows=record.get("compute_cost_rows", 0),
             version=record.get("version", 0),
+            kind=record.get("kind", "exact"),
+            epsilon=record.get("epsilon"),
         )
-        if record.get("stale"):
+        entry.observed_error = record.get("observed_error")
+        if record.get("stale") or maintainer_lost:
             summary.mark_stale(entry, pending=record.get("pending", 0))
         restored += 1
     return restored

@@ -189,7 +189,13 @@ def _restore_view(dbms: StatisticalDBMS, record: dict, tracer: AbstractTracer) -
         view.history = dbms.management.view_history(name)
     elif "history" in record:
         view.history = history_from_dict(record["history"])
-    restore_summary_entries(view.summary, record.get("summary", []))
+    restore_summary_entries(
+        view.summary,
+        record.get("summary", []),
+        provider_factory=lambda attrs: (
+            view.column_provider(attrs[0]) if len(attrs) == 1 else None
+        ),
+    )
     dbms.registry.register(view)
 
 

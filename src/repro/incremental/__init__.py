@@ -34,8 +34,24 @@ from repro.incremental.differencing import (
 from repro.incremental.frequency import IncrementalFrequency
 from repro.incremental.histogram import MaintainedHistogram
 from repro.incremental.order_stats import MedianWindow, OrderStatWindow, QuantileWindow
+from repro.incremental.sketches import (
+    CountMinSketch,
+    EPSILON_HLL,
+    EPSILON_TDIGEST,
+    HyperLogLog,
+    ReservoirSample,
+    TDigest,
+    hash64,
+)
 
 __all__ = [
+    "CountMinSketch",
+    "EPSILON_HLL",
+    "EPSILON_TDIGEST",
+    "HyperLogLog",
+    "ReservoirSample",
+    "TDigest",
+    "hash64",
     "AlgebraicForm",
     "DEFINITIONS",
     "Delta",

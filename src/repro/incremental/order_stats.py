@@ -29,6 +29,18 @@ reported through ``on_insert``/``on_delete``/``on_update`` — i.e. apply
 the change to the underlying data *before* notifying the window.
 Regeneration only happens inside :meth:`value` reads and explicit
 :meth:`regenerate` calls, never inside the mutators.
+
+**Digest fallback:** ``Delta.coalesce`` reorders a mixed burst into
+inserts → deletes → updates, so a legitimate burst like
+``update(x → y); delete(y)`` reaches the window as a delete of a value it
+has never seen.  When such a delete falls inside the window bounds (or
+hits an empty multiset) the histogram-window invariant is broken and the
+window historically raised mid-propagation.  With ``digest_fallback``
+(the default) it instead enters *digest mode*: reads are served from a
+:class:`~repro.incremental.sketches.TDigest` rebuilt lazily from the
+provider (one unsorted pass — the provider already reflects the whole
+burst), counted in ``stats.invariant_breaks``.  An explicit
+:meth:`regenerate` restores the exact window.
 """
 
 from __future__ import annotations
@@ -39,6 +51,7 @@ from typing import Any, Callable, Iterable
 
 from repro.core.errors import StatisticsError
 from repro.incremental.differencing import IncrementalComputation
+from repro.incremental.sketches import TDigest
 from repro.relational.types import NA, is_na
 
 
@@ -50,6 +63,7 @@ class WindowStats:
     regenerations: int = 0
     data_passes: int = 0
     extra_passes: int = 0
+    invariant_breaks: int = 0
 
 
 class OrderStatWindow(IncrementalComputation):
@@ -78,6 +92,7 @@ class OrderStatWindow(IncrementalComputation):
         values_provider: Callable[[], Iterable[Any]],
         window_size: int = 100,
         margin: int = 2,
+        digest_fallback: bool = True,
     ) -> None:
         if window_size < 8:
             raise StatisticsError(f"window_size must be >= 8, got {window_size}")
@@ -95,6 +110,9 @@ class OrderStatWindow(IncrementalComputation):
         self._lo_bound: Any = None
         self._hi_bound: Any = None
         self._initialized = False
+        self._digest_fallback = digest_fallback
+        self._digest_mode = False
+        self._digest: TDigest | None = None
 
     # -- target ranks (subclass hook) ---------------------------------------
 
@@ -107,11 +125,20 @@ class OrderStatWindow(IncrementalComputation):
     @property
     def count(self) -> int:
         """Number of non-NA values tracked."""
+        if self._digest_mode:
+            return int(self._ensure_digest().count)
         return self._below + len(self._window) + self._above
+
+    @property
+    def in_digest_mode(self) -> bool:
+        """Whether reads are currently served through the t-digest."""
+        return self._digest_mode
 
     @property
     def value(self) -> Any:
         """The current order statistic (regenerating if the pointer ran off)."""
+        if self._digest_mode:
+            return self._digest_value()
         if not self._initialized:
             self.regenerate()
         n = self.count
@@ -142,6 +169,8 @@ class OrderStatWindow(IncrementalComputation):
 
     def initialize(self, values: Iterable[Any]) -> None:
         """Build the window from the given values (one sorting pass)."""
+        self._digest_mode = False
+        self._digest = None
         cleaned = sorted(v for v in values if not is_na(v))
         self.stats.data_passes += 1
         self._install_from_sorted(cleaned)
@@ -150,6 +179,10 @@ class OrderStatWindow(IncrementalComputation):
     def on_insert(self, value: Any) -> None:
         """Incorporate one inserted value (NA ignored)."""
         if is_na(value) or not self._initialized:
+            return
+        if self._digest_mode:
+            # Provider already reflects the change; the next read rebuilds.
+            self._digest = None
             return
         if self._lo_bound is None:
             # The tracked multiset was empty: this value becomes the window.
@@ -169,10 +202,23 @@ class OrderStatWindow(IncrementalComputation):
         self.stats.pointer_moves += 1
 
     def on_delete(self, value: Any) -> None:
-        """Remove one present value (NA ignored)."""
+        """Remove one present value (NA ignored).
+
+        Deleting a value the window has no record of (inside the bounds
+        but absent, or from an empty multiset) breaks the histogram-window
+        invariant — the coalesced mixed-burst case.  With
+        ``digest_fallback`` the window degrades to digest-served reads
+        instead of raising.
+        """
         if is_na(value) or not self._initialized:
             return
+        if self._digest_mode:
+            self._digest = None
+            return
         if self._lo_bound is None:
+            if self._digest_fallback:
+                self._enter_digest_mode()
+                return
             raise StatisticsError(f"deleting value {value!r} from an empty multiset")
         if value < self._lo_bound:
             self._below -= 1
@@ -182,6 +228,9 @@ class OrderStatWindow(IncrementalComputation):
             i = bisect.bisect_left(self._window, value)
             if i < len(self._window) and self._window[i] == value:
                 self._window.pop(i)
+            elif self._digest_fallback:
+                self._enter_digest_mode()
+                return
             else:
                 raise StatisticsError(
                     f"deleting value {value!r} not present in the window range"
@@ -192,6 +241,34 @@ class OrderStatWindow(IncrementalComputation):
         """Replace ``old`` with ``new``."""
         self.on_delete(old)
         self.on_insert(new)
+
+    # -- digest fallback ----------------------------------------------------------
+
+    def _enter_digest_mode(self) -> None:
+        """Degrade to digest-served reads after an invariant break."""
+        self.stats.invariant_breaks += 1
+        self._digest_mode = True
+        self._digest = None
+
+    def _ensure_digest(self) -> TDigest:
+        digest = self._digest
+        if digest is None:
+            digest = TDigest()
+            digest.absorb(self._provider())
+            self.stats.data_passes += 1
+            self._digest = digest
+        return digest
+
+    def _digest_value(self) -> Any:
+        digest = self._ensure_digest()
+        n = int(digest.count)
+        if n == 0:
+            return NA
+        ranks, weights = self._needed_ranks(n)
+        total = 0.0
+        for rank, weight in zip(ranks, weights):
+            total += weight * float(digest.value_at_rank(rank))
+        return total
 
     # -- regeneration -------------------------------------------------------------
 
@@ -207,6 +284,13 @@ class OrderStatWindow(IncrementalComputation):
         counted as an extra pass; the third miss falls back to a full sort.
         """
         self.stats.regenerations += 1
+        if self._digest_mode:
+            # Exit digest mode with an exact rebuild (one sorting pass).
+            self._digest_mode = False
+            self._digest = None
+            self._full_rebuild()
+            self._initialized = True
+            return
         if not self._initialized or not self._window:
             self._full_rebuild()
             self._initialized = True

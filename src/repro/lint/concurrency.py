@@ -168,6 +168,24 @@ MUTATOR_METHODS = frozenset(
     }
 )
 
+#: In-place mutators of the sketch/model maintainer protocol
+#: (:mod:`repro.incremental`).  Calling one on state reachable from a
+#: published ``ViewVersion`` — e.g. a sketch tuple or maintainer fetched
+#: from a version's frozen summary snapshot — corrupts every pinned
+#: reader, so the C206 pass records these receivers as object mutations.
+SKETCH_MUTATOR_METHODS = frozenset(
+    {
+        "on_insert",
+        "on_delete",
+        "on_update",
+        "apply_delta",
+        "apply_batch",
+        "absorb",
+        "merge_partial",
+        "initialize",
+    }
+)
+
 #: Methods whose return value is a published :class:`ViewVersion` — used
 #: by the C206 pass to type locals like ``v = chain.pin(sid)``.
 MVCC_PRODUCER_METHODS = frozenset({"pin", "latest", "head", "publish_version"})
@@ -1012,16 +1030,23 @@ class _FunctionWalker:
             self._record_object_mutation(target, stmt.lineno, allow_name=False)
         # Mutating method calls on self.X
         for sub in ast.walk(stmt):
-            if (
-                isinstance(sub, ast.Call)
-                and isinstance(sub.func, ast.Attribute)
-                and sub.func.attr in MUTATOR_METHODS
+            if not (
+                isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute)
             ):
+                continue
+            if sub.func.attr in MUTATOR_METHODS:
                 attr = _self_attr_of(sub.func.value, direct_only=True)
                 if attr is not None:
                     self.info.mutations.append(
                         _Mutation(attr, sub.lineno, tuple(held), self.info.qualname)
                     )
+                self._record_object_mutation(
+                    sub.func.value, sub.lineno, allow_name=True
+                )
+            elif sub.func.attr in SKETCH_MUTATOR_METHODS:
+                # Sketch/model maintainers mutate in place; the C206
+                # pass flags these receivers when they resolve to
+                # published-version state.
                 self._record_object_mutation(
                     sub.func.value, sub.lineno, allow_name=True
                 )

@@ -36,6 +36,13 @@ from repro.incremental.differencing import IncrementalComputation
 from repro.incremental.frequency import IncrementalFrequency
 from repro.incremental.histogram import MaintainedHistogram
 from repro.incremental.order_stats import MedianWindow, QuantileWindow
+from repro.incremental.sketches import (
+    EPSILON_HLL,
+    EPSILON_TDIGEST,
+    HyperLogLog,
+    ReservoirSample,
+    TDigest,
+)
 from repro.relational.schema import Attribute, AttributeRole
 from repro.relational.types import is_na
 from repro.stats import descriptive as desc
@@ -66,6 +73,12 @@ class StatFunction:
     maintainer_factory: MaintainerFactory | None = None
     numeric_only: bool = True
     """Meaningless on encoded CATEGORY attributes when True (SS3.2)."""
+
+    summary_kind: str = "exact"
+    """Summary-entry kind: ``exact``, ``sketch``, or ``model``."""
+
+    epsilon: float | None = None
+    """Documented accuracy bound for ``sketch`` results (None = exact)."""
 
     @property
     def is_incremental(self) -> bool:
@@ -266,7 +279,42 @@ def _default_functions() -> list[StatFunction]:
             ResultKind.SCALAR,
             _algebraic_factory("geometric_mean"),
         ),
+        # -- mergeable sketch summaries (MADlib direction, ROADMAP item 3) --
+        StatFunction(
+            "approx_median",
+            desc.median,
+            ResultKind.SCALAR,
+            lambda provider: _initialized(TDigest(), provider),
+            summary_kind="sketch",
+            epsilon=EPSILON_TDIGEST,
+        ),
+        StatFunction(
+            "approx_distinct",
+            lambda values: float(desc.unique_count(values)),
+            ResultKind.SCALAR,
+            lambda provider: _initialized(
+                HyperLogLog(values_provider=provider), provider
+            ),
+            numeric_only=False,
+            summary_kind="sketch",
+            epsilon=EPSILON_HLL,
+        ),
+        StatFunction(
+            "reservoir",
+            _reservoir_compute,
+            ResultKind.VECTOR,
+            lambda provider: _initialized(ReservoirSample(), provider),
+            summary_kind="sketch",
+        ),
     ]
+
+
+def _reservoir_compute(values: Sequence[Any]) -> tuple[Any, ...]:
+    """One-shot reservoir sample (same seed as the maintained form, so a
+    cache miss and a warm entry agree on identical streams)."""
+    sketch = ReservoirSample()
+    sketch.initialize(values)
+    return sketch.value
 
 
 class _NACounter(IncrementalCount):

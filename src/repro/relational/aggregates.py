@@ -14,6 +14,7 @@ skipped.
 from __future__ import annotations
 
 import math
+import re
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
 
@@ -107,6 +108,25 @@ def agg_count_distinct(values: Sequence[Any]) -> int:
     return len(set(_clean(values)))
 
 
+def agg_quantile(values: Sequence[Any], q: float) -> Any:
+    """Type-7 quantile (linear interpolation at ``q·(n−1)``); NA if empty.
+
+    The same convention as :func:`repro.stats.descriptive.quantile` and as
+    the sharded t-digest finalizer's ``value_at_rank``, so the three paths
+    agree exactly on small groups.
+    """
+    clean = sorted(_clean(values))
+    n = len(clean)
+    if n == 0:
+        return NA
+    position = q * (n - 1)
+    lo = int(position)
+    frac = position - lo
+    if frac == 0.0 or lo + 1 >= n:
+        return float(clean[lo])
+    return float(clean[lo]) * (1.0 - frac) + float(clean[lo + 1]) * frac
+
+
 def weighted_avg(values: Sequence[Any], weights: Sequence[Any]) -> Any:
     """Weighted mean, skipping pairs where either side is NA.
 
@@ -139,6 +159,25 @@ AGGREGATES: dict[str, Callable[[Sequence[Any]], Any]] = {
 
 _INT_RESULTS = {"count", "count_star", "count_distinct"}
 
+_QUANTILE_AGG_RE = re.compile(r"^quantile_(\d{1,2})$")
+
+
+def resolve_aggregate(func: str) -> Callable[[Sequence[Any]], Any] | None:
+    """The evaluator for one aggregate name, or ``None`` if unknown.
+
+    ``quantile_NN`` names are synthesized on demand (``quantile_75`` is
+    the 75th percentile), mirroring the function registry's quantile
+    synthesis on the summary layer.
+    """
+    found = AGGREGATES.get(func)
+    if found is not None:
+        return found
+    match = _QUANTILE_AGG_RE.match(func)
+    if match:
+        q = int(match.group(1)) / 100.0
+        return lambda values, q=q: agg_quantile(values, q)
+    return None
+
 
 class GroupBy:
     """Group rows on key attributes and compute aggregates per group.
@@ -157,10 +196,10 @@ class GroupBy:
         in_schema: Schema = child.schema
         attributes = [in_schema.attribute(k) for k in self.keys]
         for spec in self.specs:
-            if spec.func not in AGGREGATES and spec.func != "weighted_avg":
+            if resolve_aggregate(spec.func) is None and spec.func != "weighted_avg":
                 raise QueryError(
                     f"unknown aggregate {spec.func!r}; choose from "
-                    f"{sorted(AGGREGATES) + ['weighted_avg']}"
+                    f"{sorted(AGGREGATES) + ['weighted_avg', 'quantile_NN']}"
                 )
             if spec.func == "weighted_avg" and not spec.weight:
                 raise QueryError("weighted_avg requires a weight attribute")
@@ -207,7 +246,9 @@ class GroupBy:
                     out.append(len(rows))
                 else:
                     values = [r[ci] for r in rows]
-                    out.append(AGGREGATES[spec.func](values))
+                    evaluator = resolve_aggregate(spec.func)
+                    assert evaluator is not None  # validated in __init__
+                    out.append(evaluator(values))
             yield tuple(out)
 
     def rows(self) -> list[tuple[Any, ...]]:

@@ -189,15 +189,16 @@ def _try_sharded(query: Query, source: Any, where: ex.Expr | None) -> Any:
     """Lower an eligible aggregate query to scatter-gather, or ``None``.
 
     Eligible: join-free (guaranteed by the caller), sharded transposed
-    storage, grouped/aggregate shape, and every aggregate mergeable
-    (median and count_distinct need the whole value stream and fall back
-    to the vectorized interleave; so do plain projections, where scatter
-    would only re-concatenate rows).  HAVING and SELECT-order projection
-    run over the merged group rows, exactly as on the vectorized path.
+    storage, grouped/aggregate shape, and every aggregate mergeable —
+    which since the sketch partials (t-digest / HyperLogLog) includes
+    ``median``, ``quantile_NN``, and ``count_distinct``.  Plain
+    projections still fall back, where scatter would only re-concatenate
+    rows.  HAVING and SELECT-order projection run over the merged group
+    rows, exactly as on the vectorized path.
     """
     from repro.relational.sharded import (
-        MERGEABLE_FUNCS,
         ShardedGroupBy,
+        is_mergeable,
         is_sharded_source,
     )
     from repro.relational.vectorized import VecProject, VecSelect
@@ -205,7 +206,7 @@ def _try_sharded(query: Query, source: Any, where: ex.Expr | None) -> Any:
     if not is_sharded_source(source):
         return None
     specs = _grouped_specs(query)
-    if specs is None or any(spec.func not in MERGEABLE_FUNCS for spec in specs):
+    if specs is None or any(not is_mergeable(spec.func) for spec in specs):
         return None
     pipeline: Any = ShardedGroupBy(source, query.group_by, specs, where=where)
     if query.having is not None:

@@ -45,7 +45,9 @@ from repro.relational.shardworker import (
     GroupPartial,
     ShardRequest,
     install_shard,
+    is_mergeable,
     make_partial,
+    quantile_fraction,
     run_installed,
     run_partial,
 )
@@ -286,6 +288,12 @@ def _final_value(
         return comp.min  # type: ignore[attr-defined]
     if spec.func == "max":
         return comp.max  # type: ignore[attr-defined]
+    q = quantile_fraction(spec.func)
+    if q is not None:
+        # Rank-based finalize reproduces the single-stream type-7
+        # convention exactly while the merged digest holds unit centroids.
+        n = comp.count  # type: ignore[attr-defined]
+        return comp.value_at_rank(q * (n - 1))  # type: ignore[attr-defined]
     return comp.value
 
 
@@ -310,7 +318,7 @@ class ShardedGroupBy(VectorOperator):
         if not is_sharded_source(source):
             raise QueryError("ShardedGroupBy requires sharded transposed storage")
         unmergeable = sorted(
-            {spec.func for spec in specs if spec.func not in MERGEABLE_FUNCS}
+            {spec.func for spec in specs if not is_mergeable(spec.func)}
         )
         if unmergeable:
             raise QueryError(
@@ -381,5 +389,6 @@ __all__ = [
     "ShardedGroupBy",
     "gather_rows",
     "get_executor",
+    "is_mergeable",
     "is_sharded_source",
 ]

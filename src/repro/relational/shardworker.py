@@ -23,6 +23,7 @@ compiled kernels — closures do not pickle, so each worker compiles
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Any, Sequence
 
@@ -33,6 +34,7 @@ from repro.incremental.aggregates import (
     IncrementalWeightedMean,
 )
 from repro.incremental.differencing import DEFINITIONS, AlgebraicForm, IncrementalComputation
+from repro.incremental.sketches import HyperLogLog, TDigest
 from repro.relational.aggregates import AggregateSpec
 from repro.relational.expressions import Expr
 from repro.relational.relation import StoredRelation
@@ -40,12 +42,49 @@ from repro.relational.schema import Schema
 from repro.relational.vectorized import CHUNK_SIZE, VecScan
 from repro.storage.transposed import TransposedFile
 
-#: Aggregate functions whose per-shard partial states merge losslessly.
-#: median needs the full sorted multiset and count_distinct a cross-shard
-#: set union; both stay on the single-stream vectorized path.
+#: Aggregate functions with mergeable per-shard partial states.  The
+#: power-sum/counter/minmax families merge losslessly; ``median``,
+#: ``quantile_NN``, and ``count_distinct`` — which need the full sorted
+#: multiset / a cross-shard set union and used to fall back to the
+#: single-stream path — merge through t-digest and HyperLogLog sketch
+#: partials within their documented epsilon (exact at small scale: unit
+#: centroids / sparse mode).
 MERGEABLE_FUNCS = frozenset(
-    {"count", "count_star", "sum", "avg", "mean", "min", "max", "var", "std", "weighted_avg"}
+    {
+        "count",
+        "count_star",
+        "sum",
+        "avg",
+        "mean",
+        "min",
+        "max",
+        "var",
+        "std",
+        "weighted_avg",
+        "median",
+        "count_distinct",
+    }
 )
+
+_QUANTILE_FUNC_RE = re.compile(r"^quantile_(\d{1,2})$")
+
+
+def is_mergeable(func: str) -> bool:
+    """Whether an aggregate has a mergeable partial form (incl. quantile_NN)."""
+    return func in MERGEABLE_FUNCS or _QUANTILE_FUNC_RE.match(func) is not None
+
+
+def quantile_fraction(func: str) -> float | None:
+    """The quantile in [0, 1] an aggregate finalizes to, or ``None``.
+
+    ``median`` is ``0.5``; ``quantile_NN`` is ``NN/100``.
+    """
+    if func == "median":
+        return 0.5
+    match = _QUANTILE_FUNC_RE.match(func)
+    if match:
+        return int(match.group(1)) / 100.0
+    return None
 
 #: Functions answered by the group's row count alone (no partial object).
 _SIZE_FUNCS = frozenset({"count_star"})
@@ -74,6 +113,12 @@ def make_partial(spec: AggregateSpec) -> IncrementalComputation | None:
         return IncrementalMinMax()
     if func == "weighted_avg":
         return IncrementalWeightedMean()
+    if quantile_fraction(func) is not None:
+        return TDigest()
+    if func == "count_distinct":
+        # Workers only insert, so no values provider is needed; seeded
+        # hashing keeps process-mode workers in agreement.
+        return HyperLogLog()
     raise QueryError(f"aggregate {func!r} has no mergeable partial form")
 
 

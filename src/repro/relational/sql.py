@@ -223,7 +223,9 @@ def _parse_select_item(t: _Tokenizer) -> SelectItem:
     if t.accept_op("*"):
         return SelectItem(kind="star")
     tok = t.peek()
-    if tok and tok[0] == "name" and tok[1].upper() in _AGG_NAMES:
+    if tok and tok[0] == "name" and (
+        tok[1].upper() in _AGG_NAMES or tok[1].upper().startswith("QUANTILE_")
+    ):
         after = t.tokens[t.pos + 1] if t.pos + 1 < len(t.tokens) else None
         if after == ("op", "("):
             return _parse_aggregate(t)
@@ -268,7 +270,22 @@ def _parse_aggregate(t: _Tokenizer) -> SelectItem:
         "VAR": "var",
         "WEIGHTED_AVG": "weighted_avg",
     }
-    resolved = func_map[func]
+    if func.startswith("QUANTILE_"):
+        # QUANTILE_75(x) — the 75th percentile, lowered like MEDIAN.
+        resolved = func.lower()
+        if not re.fullmatch(r"quantile_\d{1,2}", resolved):
+            raise QueryError(
+                f"malformed quantile aggregate {func!r}; use QUANTILE_NN "
+                "with NN in 0..99"
+            )
+    else:
+        try:
+            resolved = func_map[func]
+        except KeyError:
+            raise QueryError(
+                f"unknown aggregate function {func!r}; known: "
+                f"{sorted(func_map)} and QUANTILE_NN"
+            ) from None
     if alias is None:
         alias = f"{resolved}_{attr}" if attr else resolved
     return SelectItem(

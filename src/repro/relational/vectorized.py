@@ -28,7 +28,12 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.core.errors import QueryError
-from repro.relational.aggregates import AGGREGATES, AggregateSpec, GroupBy, weighted_avg
+from repro.relational.aggregates import (
+    AggregateSpec,
+    GroupBy,
+    resolve_aggregate,
+    weighted_avg,
+)
 from repro.relational.schema import Schema
 from repro.relational.types import NA
 
@@ -299,6 +304,7 @@ class VecGroupBy(VectorOperator):
             in_schema.index_of(spec.weight) if spec.weight else None
             for spec in self.specs
         ]
+        self._evaluators = [resolve_aggregate(spec.func) for spec in self.specs]
 
     def chunks(self) -> Iterator[ColumnChunk]:
         key_idx = self._key_idx
@@ -329,13 +335,16 @@ class VecGroupBy(VectorOperator):
 
     def _emit(self, key: tuple, group: _Group) -> tuple[Any, ...]:
         out: list[Any] = list(key)
-        for spec, ci, wi in zip(self.specs, self._col_idx, self._weight_idx):
+        for spec, ci, wi, evaluator in zip(
+            self.specs, self._col_idx, self._weight_idx, self._evaluators
+        ):
             if spec.func == "weighted_avg":
                 out.append(weighted_avg(group.values[ci], group.values[wi]))
             elif spec.func == "count_star" or (spec.func == "count" and ci is None):
                 out.append(group.size)
             else:
-                out.append(AGGREGATES[spec.func](group.values[ci]))
+                assert evaluator is not None  # validated by the GroupBy template
+                out.append(evaluator(group.values[ci]))
         return tuple(out)
 
 

@@ -1,0 +1,240 @@
+"""In-database statistical models with genuine incremental update rules.
+
+The MADlib / unified in-RDBMS analytics direction (PAPERS.md, ROADMAP
+item 3): a *model fit* registered as a ``(function, attributes)`` summary
+entry that stays warm under analyst updates instead of refitting.
+
+:class:`IncrementalLinearRegression` maintains the sufficient statistics
+of OLS — ``n``, the augmented Gram matrix ``Σ z zᵀ`` with
+``z = (1, x₁ … xk)``, the moment vector ``Σ z·y``, and ``Σ y²`` — under
+O(k²) insert/delete/update, Chan-style: solving goes through *centered*
+normal equations (subtract ``n·x̄x̄ᵀ``) so catastrophic cancellation on
+shifted data is confined to the accumulation, not amplified by the solve.
+The states of two accumulators add component-wise, so the model merges
+under scatter-gather exactly like the power-sum aggregates
+(``supports_partials``).
+
+The solve is numpy-free on purpose: the closed-form Gauss–Jordan solve
+doubles as the independent reference the property suite checks
+``fit_ols`` against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.core.errors import StatisticsError
+from repro.incremental.differencing import IncrementalComputation
+from repro.relational.types import is_na
+
+#: Relative pivot threshold below which the centered Gram matrix is
+#: treated as singular (collinear predictors).
+_RANK_TOL = 1e-10
+
+
+def solve_linear(matrix: Sequence[Sequence[float]], rhs: Sequence[float]) -> list[float]:
+    """Solve ``matrix @ x = rhs`` by Gauss–Jordan with partial pivoting.
+
+    Raises :class:`StatisticsError` on (near-)singular input — the
+    rank-deficient design case.  Pure Python: used both by the
+    incremental fit and as the test suite's numpy-free reference.
+    """
+    k = len(rhs)
+    aug = [list(map(float, row)) + [float(rhs[i])] for i, row in enumerate(matrix)]
+    scale = max((abs(v) for row in aug for v in row[:k]), default=0.0)
+    if scale == 0.0:
+        raise StatisticsError("design matrix is rank-deficient")
+    for col in range(k):
+        pivot_row = max(range(col, k), key=lambda r: abs(aug[r][col]))
+        pivot = aug[pivot_row][col]
+        if abs(pivot) <= _RANK_TOL * scale:
+            raise StatisticsError("design matrix is rank-deficient")
+        aug[col], aug[pivot_row] = aug[pivot_row], aug[col]
+        row = aug[col]
+        inv = 1.0 / pivot
+        for j in range(col, k + 1):
+            row[j] *= inv
+        for r in range(k):
+            if r == col:
+                continue
+            factor = aug[r][col]
+            if factor == 0.0:
+                continue
+            other = aug[r]
+            for j in range(col, k + 1):
+                other[j] -= factor * row[j]
+    return [aug[r][k] for r in range(k)]
+
+
+class IncrementalLinearRegression(IncrementalComputation):
+    """Streaming OLS over rows ``(y, x₁, …, xk)``.
+
+    Rows with any NA component are skipped entirely (complete-case
+    analysis, matching :func:`repro.stats.regression.fit_ols`).  Deletes
+    and updates are exact inverses of inserts, so the fit after any
+    insert/delete/update history equals the fit over the surviving rows.
+    """
+
+    sketch_kind = "linreg"
+    supports_partials = True
+    supports_row_updates = True
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise StatisticsError("OLS needs at least one predictor")
+        self.k = k
+        self._reset()
+
+    def _reset(self) -> None:
+        d = self.k + 1
+        self._n = 0
+        # Augmented Gram matrix Σ z zᵀ, z = (1, x1..xk); kept full, not
+        # triangular — the O(k²) row update dominates either way.
+        self._gram = [[0.0] * d for _ in range(d)]
+        self._moment = [0.0] * d
+        self._yty = 0.0
+
+    # -- maintenance ---------------------------------------------------------
+
+    @staticmethod
+    def _complete(row: Sequence[Any]) -> bool:
+        return not any(is_na(v) for v in row)
+
+    def _accumulate(self, row: Sequence[Any], sign: float) -> None:
+        if len(row) != self.k + 1:
+            raise StatisticsError(
+                f"model row needs {self.k + 1} components (y, x1..x{self.k}), "
+                f"got {len(row)}"
+            )
+        if not self._complete(row):
+            return
+        y = float(row[0])
+        z = [1.0] + [float(v) for v in row[1:]]
+        gram = self._gram
+        moment = self._moment
+        for i, zi in enumerate(z):
+            signed = sign * zi
+            row_i = gram[i]
+            for j, zj in enumerate(z):
+                row_i[j] += signed * zj
+            moment[i] += signed * y
+        self._yty += sign * y * y
+        self._n += int(sign)
+
+    def initialize(self, values: Iterable[Sequence[Any]]) -> None:
+        self._reset()
+        self.absorb(values)
+
+    def on_insert(self, value: Sequence[Any]) -> None:
+        self._accumulate(value, 1.0)
+
+    def on_delete(self, value: Sequence[Any]) -> None:
+        self._accumulate(value, -1.0)
+
+    def absorb(self, values: Iterable[Sequence[Any]]) -> None:
+        for row in values:
+            self._accumulate(row, 1.0)
+
+    # -- solving -------------------------------------------------------------
+
+    @property
+    def n_used(self) -> int:
+        return self._n
+
+    def coefficients(self) -> list[float]:
+        """``[intercept, b1, …, bk]`` from the centered normal equations."""
+        n = self._n
+        k = self.k
+        if n <= k + 1:
+            raise StatisticsError(
+                f"OLS needs more than {k + 1} complete rows, got {n}"
+            )
+        gram = self._gram
+        moment = self._moment
+        x_mean = [gram[0][j + 1] / n for j in range(k)]
+        y_mean = moment[0] / n
+        centered = [
+            [
+                gram[i + 1][j + 1] - n * x_mean[i] * x_mean[j]
+                for j in range(k)
+            ]
+            for i in range(k)
+        ]
+        rhs = [moment[j + 1] - n * x_mean[j] * y_mean for j in range(k)]
+        slopes = solve_linear(centered, rhs)
+        intercept = y_mean - sum(b * m for b, m in zip(slopes, x_mean))
+        return [intercept] + slopes
+
+    def fit(self) -> dict[str, Any]:
+        """The full fit: coefficients plus R², residual std, and n."""
+        coefs = self.coefficients()
+        n = self._n
+        k = self.k
+        moment = self._moment
+        y_mean = moment[0] / n
+        # ss_res = yᵀy − 2 bᵀ(Xᵀy) + bᵀ(XᵀX)b over the augmented design.
+        gram = self._gram
+        quad = 0.0
+        cross = 0.0
+        for i in range(k + 1):
+            cross += coefs[i] * moment[i]
+            row_i = gram[i]
+            for j in range(k + 1):
+                quad += coefs[i] * coefs[j] * row_i[j]
+        ss_res = max(0.0, self._yty - 2.0 * cross + quad)
+        ss_tot = max(0.0, self._yty - n * y_mean * y_mean)
+        r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+        dof = n - (k + 1)
+        residual_std = (ss_res / dof) ** 0.5 if dof > 0 else 0.0
+        return {
+            "coefficients": coefs,
+            "r_squared": r_squared,
+            "residual_std": residual_std,
+            "n_used": n,
+        }
+
+    @property
+    def value(self) -> Any:
+        """An encodable flat tuple: ``(n, r², residual_std, b0, b1, …)``."""
+        fit = self.fit()
+        return (
+            float(fit["n_used"]),
+            float(fit["r_squared"]),
+            float(fit["residual_std"]),
+            *[float(b) for b in fit["coefficients"]],
+        )
+
+    # -- scatter-gather ------------------------------------------------------
+
+    def partial_state(self) -> Any:
+        return {
+            "k": self.k,
+            "n": self._n,
+            "gram": [list(row) for row in self._gram],
+            "moment": list(self._moment),
+            "yty": self._yty,
+        }
+
+    def merge_partial(self, state: Any) -> None:
+        if state["k"] != self.k:
+            raise StatisticsError(
+                f"cannot merge regressions with {state['k']} and {self.k} predictors"
+            )
+        self._n += state["n"]
+        for mine, theirs in zip(self._gram, state["gram"]):
+            for j, v in enumerate(theirs):
+                mine[j] += v
+        for j, v in enumerate(state["moment"]):
+            self._moment[j] += v
+        self._yty += state["yty"]
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_state(self) -> dict[str, Any]:
+        return self.partial_state()
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "IncrementalLinearRegression":
+        model = cls(k=int(state["k"]))
+        model.merge_partial(state)
+        return model

@@ -6,6 +6,12 @@ fit' tests they are typically stored as a new attribute in a data set"
 vector, the canonical *global* derived-column rule.  :func:`fit_ols`
 produces the model; :func:`residual_computer` packages it for
 :class:`repro.incremental.derived.GlobalDerivation`.
+
+The solve itself runs through
+:class:`repro.stats.models.IncrementalLinearRegression` — the same
+sufficient-statistics accumulator the Summary Database keeps warm under
+updates — so a one-shot fit and an incrementally maintained model entry
+can never disagree about the math.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ import numpy as np
 from repro.core.errors import StatisticsError
 from repro.relational.relation import Relation
 from repro.relational.types import NA, is_na
+from repro.stats.models import IncrementalLinearRegression
 
 
 @dataclass(frozen=True)
@@ -53,38 +60,38 @@ def fit_ols(
         raise StatisticsError("OLS needs at least one predictor")
     y_col = relation.column(response)
     x_cols = [relation.column(p) for p in predictors]
-    rows_x: list[list[float]] = []
-    rows_y: list[float] = []
-    for i, y in enumerate(y_col):
-        xs = [col[i] for col in x_cols]
-        if is_na(y) or any(is_na(x) for x in xs):
-            continue
-        rows_y.append(float(y))
-        rows_x.append([1.0] + [float(x) for x in xs])
-    n = len(rows_y)
-    if n <= len(predictors) + 1:
-        raise StatisticsError(
-            f"OLS needs more than {len(predictors) + 1} complete rows, got {n}"
-        )
-    design = np.asarray(rows_x)
-    target = np.asarray(rows_y)
-    coefficients, _, rank, _ = np.linalg.lstsq(design, target, rcond=None)
-    if rank < design.shape[1]:
-        raise StatisticsError("design matrix is rank-deficient")
-    fitted = design @ coefficients
-    resid = target - fitted
-    ss_res = float(resid @ resid)
-    ss_tot = float(((target - target.mean()) ** 2).sum())
-    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
-    dof = n - design.shape[1]
-    residual_std = float(np.sqrt(ss_res / dof)) if dof > 0 else 0.0
+    model = IncrementalLinearRegression(k=len(predictors))
+    model.absorb(
+        (y, *(col[i] for col in x_cols)) for i, y in enumerate(y_col)
+    )
+    fit = model.fit()
     return OLSModel(
         predictors=tuple(predictors),
         response=response,
-        coefficients=coefficients,
-        r_squared=r_squared,
-        residual_std=residual_std,
-        n_used=n,
+        coefficients=np.asarray(fit["coefficients"]),
+        r_squared=fit["r_squared"],
+        residual_std=fit["residual_std"],
+        n_used=fit["n_used"],
+    )
+
+
+def model_from_summary(
+    response: str, predictors: Sequence[str], value: Sequence[float]
+) -> OLSModel:
+    """Rebuild an :class:`OLSModel` from the flat summary-entry tuple.
+
+    The Summary Database stores a fitted model as the encodable tuple
+    ``(n, r², residual_std, b0, b1, …)`` produced by
+    :attr:`repro.stats.models.IncrementalLinearRegression.value`; this is
+    the inverse, restoring the analyst-facing object.
+    """
+    return OLSModel(
+        predictors=tuple(predictors),
+        response=response,
+        coefficients=np.asarray([float(b) for b in value[3:]]),
+        r_squared=float(value[1]),
+        residual_std=float(value[2]),
+        n_used=int(value[0]),
     )
 
 

@@ -57,6 +57,16 @@ class SummaryEntry:
 
     (used by periodic/tolerant consistency policies)."""
 
+    kind: str = "exact"
+    """``exact`` (scalar statistics), ``sketch`` (approximate mergeable
+    summaries), or ``model`` (fitted statistical models)."""
+
+    epsilon: float | None = None
+    """Documented accuracy bound for sketch results (None = exact)."""
+
+    observed_error: float | None = None
+    """Last measured deviation from an exact recomputation, when known."""
+
     @property
     def size_bytes(self) -> int:
         """Approximate encoded size of the cached result."""

@@ -42,6 +42,12 @@ class ConsistencyPolicy:
 
     name: str = "abstract"
 
+    #: Whether the propagator may feed row-wise updates to multi-attribute
+    #: maintainers (fitted models) instead of invalidating them.  Policies
+    #: that deliberately defer work (invalidate, tolerant) say no — their
+    #: contract is to *not* pay per-update maintenance cost.
+    keeps_maintainers_warm: bool = True
+
     def on_update(
         self,
         db: SummaryDatabase,
@@ -107,6 +113,7 @@ class InvalidatePolicy(ConsistencyPolicy):
     """The SS4.3 fallback: invalidate on update, recompute on demand."""
 
     name = "invalidate"
+    keeps_maintainers_warm = False
 
     def on_update(self, db, entry, delta, rule, values_provider):  # noqa: D102
         if not entry.stale:
@@ -164,6 +171,7 @@ class TolerantPolicy(ConsistencyPolicy):
     """Serve stale values while pending updates stay within a bound."""
 
     name = "tolerant"
+    keeps_maintainers_warm = False
 
     def __init__(self, max_staleness: int = 5) -> None:
         if max_staleness < 0:

@@ -198,6 +198,8 @@ class SummaryDatabase:
         maintainer: IncrementalComputation | None = None,
         compute_cost_rows: int = 0,
         version: int = 0,
+        kind: str = "exact",
+        epsilon: float | None = None,
     ) -> SummaryEntry:
         """Insert (or overwrite) a cached result.
 
@@ -212,6 +214,8 @@ class SummaryDatabase:
             result=result,
             maintainer=maintainer,
             compute_cost_rows=compute_cost_rows,
+            kind=kind,
+            epsilon=epsilon,
         )
         entry.mark_fresh(version)
         entry._last_hit = self._clock  # type: ignore[attr-defined]

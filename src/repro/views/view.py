@@ -121,6 +121,26 @@ class ConcreteView:
         """
         return lambda: self.relation.column(attr)
 
+    def rows_provider(
+        self, attributes: Sequence[str]
+    ) -> Callable[[], list[tuple[Any, ...]]]:
+        """A zero-argument provider of row tuples over several attributes.
+
+        Multi-attribute maintainers (fitted models, paired sketches)
+        consume observations row-wise; this zips the named columns into
+        tuples on each call, reading from memory like
+        :meth:`column_provider`.
+        """
+        names = tuple(attributes)
+        for name in names:
+            self.relation.schema.index_of(name)  # validate eagerly
+
+        def provide() -> list[tuple[Any, ...]]:
+            columns = [self.relation.column(name) for name in names]
+            return list(zip(*columns)) if columns else []
+
+        return provide
+
     def set_value(self, row: int, attr: str, value: Any) -> Any:
         """Point-update one cell (writes through to storage); returns the
 

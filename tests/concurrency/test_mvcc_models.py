@@ -1,0 +1,118 @@
+"""Model summary entries under MVCC snapshot isolation (ISSUE 9).
+
+A fitted model published in a :class:`ViewVersion`'s summary snapshot is
+frozen: a pinned reader keeps serving the pre-publish fit while a writer
+refits (or warm-updates) the live entry, and an in-flight write's fit is
+invisible until its publication point.
+"""
+
+import pytest
+
+from repro.concurrency import TransactionCoordinator
+from repro.core.dbms import StatisticalDBMS
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, measure
+from repro.stats.regression import model_from_summary
+from repro.views.materialize import SourceNode, ViewDefinition
+
+MODEL_KEY = ("ols_model", ("y", "x"))
+
+
+def build_coordinator():
+    dbms = StatisticalDBMS()
+    schema = Schema([measure("x"), measure("y")])
+    rows = [(float(i), 2.0 * i + 1.0) for i in range(12)]
+    dbms.load_raw(Relation("census", schema, rows))
+    dbms.create_view(ViewDefinition("v", SourceNode("census")), analyst="alice")
+    return TransactionCoordinator(dbms)
+
+
+def fit_in_write(coord, sid="writer"):
+    with coord.write(sid, "v") as session:
+        return session.fit_model("y", ["x"])
+
+
+class TestPinnedReaderIsolation:
+    def test_pinned_reader_sees_pre_publish_fit_during_refit(self):
+        coord = build_coordinator()
+        first = fit_in_write(coord)
+        chain = coord.chain("boot", "v")
+        pinned = chain.pin("reader")
+        hit, frozen = pinned.cached(MODEL_KEY)
+        assert hit
+        assert frozen[3:] == pytest.approx((1.0, 2.0))
+
+        # Writer warm-updates the model and publishes a new version.
+        with coord.write("writer", "v") as session:
+            session.update_cells("y", [(0, 500.0)])
+            refit = session.fit_model("y", ["x"])
+        assert list(refit.coefficients) != pytest.approx(
+            list(first.coefficients)
+        )
+
+        # The pinned version still serves the exact pre-publish tuple...
+        hit, still = pinned.cached(MODEL_KEY)
+        assert hit and still == frozen
+        model = model_from_summary("y", ["x"], still)
+        assert list(model.coefficients) == pytest.approx([1.0, 2.0])
+        # ...while the head carries the refreshed fit.
+        hit, head_fit = chain.latest().cached(MODEL_KEY)
+        assert hit
+        assert head_fit[3:] == pytest.approx(tuple(refit.coefficients))
+        chain.unpin("reader", pinned)
+
+    def test_in_flight_fit_invisible_until_publication(self):
+        coord = build_coordinator()
+        # Bootstrap one published version with no model entry.
+        with coord.write("writer", "v") as session:
+            session.compute("mean", "x")
+        chain = coord.chain("boot", "v")
+        pinned = chain.pin("reader")
+        with coord.write("writer", "v") as session:
+            session.fit_model("y", ["x"])
+            # A data change too: summary-only writes republish nothing
+            # (publication dedupes on the view-version high-water mark).
+            # Both cells move so the point stays on y = 2x + 1.
+            session.update_cells("x", [(11, 20.0)])
+            session.update_cells("y", [(11, 41.0)])
+            # Mid-transaction: the pinned snapshot has no model key.
+            hit, _ = pinned.cached(MODEL_KEY)
+            assert not hit
+        # Published now — but only to *newly pinned* versions.
+        hit, _ = pinned.cached(MODEL_KEY)
+        assert not hit
+        fresh = chain.pin("late-reader")
+        hit, fit = fresh.cached(MODEL_KEY)
+        assert hit
+        assert fit[3:] == pytest.approx((1.0, 2.0))
+        chain.unpin("reader", pinned)
+        chain.unpin("late-reader", fresh)
+
+    def test_stale_model_left_out_of_snapshot(self):
+        """An invalidated fit is excluded from publication: readers
+        recompute rather than see a wrong model."""
+        coord = build_coordinator()
+        fit_in_write(coord)
+        with coord.write("writer", "v") as session:
+            session.update_cells("y", [(0, 500.0)])
+            entry = session.view.summary.peek("ols_model", ("y", "x"))
+            session.view.summary.mark_stale(entry)
+        hit, _ = coord.chain("boot", "v").latest().cached(MODEL_KEY)
+        assert not hit
+
+    def test_sketch_entries_publish_and_freeze(self):
+        coord = build_coordinator()
+        with coord.write("writer", "v") as session:
+            session.compute("approx_median", "x")
+            session.compute("approx_distinct", "x")
+        chain = coord.chain("boot", "v")
+        pinned = chain.pin("reader")
+        hit, median = pinned.cached(("approx_median", ("x",)))
+        assert hit and median == pytest.approx(5.5)
+        hit, distinct = pinned.cached(("approx_distinct", ("x",)))
+        assert hit and distinct == 12
+        with coord.write("writer", "v") as session:
+            session.update_cells("x", [(0, 999.0)])
+        hit, frozen = pinned.cached(("approx_median", ("x",)))
+        assert hit and frozen == pytest.approx(5.5)  # still the old answer
+        chain.unpin("reader", pinned)

@@ -1,0 +1,162 @@
+"""Regression tests for the median maintainer's mixed-burst drift.
+
+``Delta.coalesce`` reorders a mixed burst into inserts → deletes →
+updates.  A legitimate analyst burst such as ``update(30 → 25)`` followed
+by ``delete(25)`` therefore reaches :class:`MedianWindow` with the delete
+*first* — deleting a value the window has never seen.  When that value
+falls inside the window bounds (or the window is empty), the paper's
+histogram-window scheme has no way to classify it and historically raised
+``StatisticsError`` mid-propagation, wedging the entry.  The fix routes
+the window through a t-digest rebuild when the invariant breaks instead
+of raising: the provider already reflects the post-burst data (the
+documented contract), so one provider pass restores a correct answer.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import StatisticsError
+from repro.incremental.differencing import Delta
+from repro.incremental.order_stats import MedianWindow, QuantileWindow
+from repro.relational.types import NA
+
+
+def test_coalesced_update_then_delete_inside_bounds() -> None:
+    """update(30→25) + delete(25) coalesces to delete-first; 25 is in
+    [10, 30] but absent from the window — must recover, not raise."""
+    data = [10.0, 20.0, 30.0]
+    window = MedianWindow(lambda: list(data))
+    window.initialize(data)
+    assert window.value == 20.0
+
+    burst = Delta.coalesce(
+        [Delta(updates=[(30.0, 25.0)]), Delta(deletes=[25.0])]
+    )
+    # Provider contract: data reflects the burst before notification.
+    data[:] = [10.0, 20.0]
+    window.apply_batch((burst,))
+    assert window.value == pytest.approx(15.0)
+    assert window.stats.invariant_breaks >= 1
+
+
+def test_coalesced_burst_on_empty_multiset() -> None:
+    """update(NA→5) + delete(5) against an all-NA column: the coalesced
+    delete hits an empty multiset."""
+    data: list[object] = [NA, NA]
+    window = MedianWindow(lambda: list(data))
+    window.initialize(data)
+    assert window.value is NA
+
+    burst = Delta.coalesce([Delta(updates=[(NA, 5.0)]), Delta(deletes=[5.0])])
+    data[:] = [NA]
+    window.apply_batch((burst,))
+    assert window.value is NA
+    assert window.stats.invariant_breaks >= 1
+
+
+def test_digest_mode_tracks_later_mutations() -> None:
+    """After the invariant breaks, later inserts/deletes must still be
+    reflected in reads (digest mode stays provider-correct)."""
+    data = [float(v) for v in range(1, 8)]  # 1..7, median 4
+    window = MedianWindow(lambda: list(data))
+    window.initialize(data)
+
+    burst = Delta.coalesce([Delta(updates=[(7.0, 6.5)]), Delta(deletes=[6.5])])
+    data[:] = [float(v) for v in range(1, 7)]  # 1..6
+    window.apply_batch((burst,))
+    assert window.value == pytest.approx(3.5)
+
+    # Ordinary maintenance continues after the break.
+    data.append(100.0)
+    window.on_insert(100.0)
+    assert window.value == pytest.approx(4.0)
+    data.remove(1.0)
+    window.on_delete(1.0)
+    assert window.value == pytest.approx(4.5)
+
+
+def test_explicit_regenerate_restores_exact_window() -> None:
+    """regenerate() exits digest mode and rebuilds the exact window."""
+    data = [10.0, 20.0, 30.0]
+    window = MedianWindow(lambda: list(data))
+    window.initialize(data)
+    burst = Delta.coalesce(
+        [Delta(updates=[(30.0, 25.0)]), Delta(deletes=[25.0])]
+    )
+    data[:] = [10.0, 20.0]
+    window.apply_batch((burst,))
+    assert window.stats.invariant_breaks >= 1
+
+    window.regenerate()
+    assert not window.in_digest_mode
+    assert window.value == pytest.approx(15.0)
+    # Exact maintenance resumes: a clean delete must not re-break.
+    data.remove(10.0)
+    window.on_delete(10.0)
+    assert window.value == pytest.approx(20.0)
+    assert window.stats.invariant_breaks == 1
+
+
+def test_quantile_window_survives_mixed_burst() -> None:
+    data = [float(v) for v in range(1, 11)]
+    window = QuantileWindow(0.75, lambda: list(data))
+    window.initialize(data)
+    burst = Delta.coalesce([Delta(updates=[(10.0, 9.5)]), Delta(deletes=[9.5])])
+    data[:] = [float(v) for v in range(1, 10)]
+    window.apply_batch((burst,))
+    expected = sorted(data)[6]  # q=0.75 over 9 values → position 6 exactly
+    assert window.value == pytest.approx(expected)
+
+
+def test_mixed_storm_matches_sorted_truth() -> None:
+    """A long randomized storm of coalesced mixed bursts (with NA churn)
+    must track the sorted-truth median within digest accuracy (exact at
+    these sizes: unit centroids)."""
+    rng = random.Random(90210)
+    data: list[object] = [float(rng.randint(0, 50)) for _ in range(40)]
+    window = MedianWindow(lambda: list(data), window_size=8, margin=1)
+    window.initialize(data)
+    for _ in range(60):
+        deltas: list[Delta] = []
+        for _ in range(rng.randint(1, 4)):
+            kind = rng.random()
+            if kind < 0.4 and data:
+                i = rng.randrange(len(data))
+                old = data[i]
+                new = NA if rng.random() < 0.3 else float(rng.randint(0, 50))
+                data[i] = new
+                deltas.append(Delta(updates=[(old, new)]))
+            elif kind < 0.7:
+                v = float(rng.randint(0, 50))
+                data.append(v)
+                deltas.append(Delta(inserts=[v]))
+            elif data:
+                i = rng.randrange(len(data))
+                v = data.pop(i)
+                deltas.append(Delta(deletes=[v]))
+        if not deltas:
+            continue
+        window.apply_batch((Delta.coalesce(deltas),))
+        clean = sorted(float(v) for v in data if v is not NA)
+        if not clean:
+            assert window.value is NA
+            continue
+        n = len(clean)
+        if n % 2 == 1:
+            truth = clean[n // 2]
+        else:
+            truth = (clean[n // 2 - 1] + clean[n // 2]) / 2.0
+        assert window.value == pytest.approx(truth)
+
+
+def test_pre_fix_failure_mode_documented() -> None:
+    """The historical failure: a bare on_delete of an in-bounds absent
+    value still raises when digest routing is disabled — the raise is the
+    invariant violation the routing exists to absorb."""
+    window = MedianWindow(lambda: [10.0, 20.0, 30.0], digest_fallback=False)
+    window.initialize([10.0, 20.0, 30.0])
+    with pytest.raises(StatisticsError):
+        window.on_delete(25.0)

@@ -116,10 +116,21 @@ class TestMedianWindow:
 
     def test_delete_out_of_window_range_value_errors_if_absent(self):
         backing = Backing([1.0, 2.0, 3.0])
-        window = MedianWindow(backing.provider)
+        window = MedianWindow(backing.provider, digest_fallback=False)
         window.value
         with pytest.raises(StatisticsError):
             window.on_delete(2.5)  # inside bounds, never present
+
+    def test_delete_absent_value_enters_digest_mode(self):
+        # Default behavior: the invariant break degrades to digest-served
+        # reads off the provider instead of raising mid-propagation.
+        backing = Backing([1.0, 2.0, 3.0])
+        window = MedianWindow(backing.provider)
+        window.value
+        window.on_delete(2.5)  # inside bounds, never present
+        assert window.in_digest_mode
+        assert window.stats.invariant_breaks == 1
+        assert window.value == pytest.approx(2.0)
 
     def test_window_size_validation(self):
         with pytest.raises(StatisticsError):

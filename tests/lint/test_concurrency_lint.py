@@ -497,6 +497,76 @@ class TestC206VersionMutation:
         )
         assert rule_ids(findings) == {"REPRO-C206"}
 
+    def test_sketch_mutation_of_published_summary_is_flagged(self):
+        # ISSUE 9: sketch results live in the published version's frozen
+        # summary snapshot by reference; writing one corrupts every
+        # pinned reader.
+        findings = lint_sources(
+            (
+                "server/patch.py",
+                """
+                class Patcher:
+                    def poke(self, version: ViewVersion, key):
+                        version.summary[key] = (1.0, 2.0)
+                """,
+            ),
+            select={"REPRO-C206"},
+        )
+        assert rule_ids(findings) == {"REPRO-C206"}
+        [finding] = findings
+        assert "version.summary" in finding.message
+
+    def test_sketch_mutator_call_on_published_state_is_flagged(self):
+        # Calling an in-place maintainer mutator (merge_partial,
+        # on_insert, ...) on state fetched from a published snapshot is
+        # a write, even though no assignment appears.
+        findings = lint_sources(
+            (
+                "server/patch.py",
+                """
+                class Patcher:
+                    def poke(self, version: ViewVersion, key, state):
+                        version.summary[key].merge_partial(state)
+                """,
+            ),
+            select={"REPRO-C206"},
+        )
+        assert rule_ids(findings) == {"REPRO-C206"}
+
+    def test_sketch_mutator_on_pin_result_is_flagged(self):
+        findings = lint_sources(
+            (
+                "server/patch.py",
+                """
+                class Patcher:
+                    def poke(self, chain, key):
+                        v = chain.pin("sid")
+                        v.summary[key].on_insert(2.0)
+                """,
+            ),
+            select={"REPRO-C206"},
+        )
+        assert rule_ids(findings) == {"REPRO-C206"}
+
+    def test_driving_a_local_sketch_is_clean(self):
+        # Maintainer mutators on private, unpublished sketches are the
+        # normal incremental-update path — not a C206 violation.
+        findings = lint_sources(
+            (
+                "server/patch.py",
+                """
+                class Patcher:
+                    def fold(self, values, state):
+                        digest = TDigest()
+                        digest.absorb(values)
+                        digest.merge_partial(state)
+                        return digest.value
+                """,
+            ),
+            select={"REPRO-C206"},
+        )
+        assert findings == []
+
     def test_mvcc_module_itself_is_sanctioned(self):
         findings = lint_sources(
             (

@@ -108,16 +108,17 @@ def rows_strategy():
     )
 
 
-def run_query(rows, shards):
+def run_query(rows, shards, text=None):
     schema = Schema([category("G", DataType.STR), measure("X"), measure("Y")])
     storage = ShardedTransposedFile(schema.types, shards=shards, name="t")
     stored = StoredRelation.load("t", schema, rows, storage)
     catalog = Catalog()
     catalog.register(stored)
-    text = (
-        "SELECT G, count(X) AS n, sum(X) AS s, avg(X) AS a, "
-        "min(Y) AS mn, max(Y) AS mx FROM t GROUP BY G"
-    )
+    if text is None:
+        text = (
+            "SELECT G, count(X) AS n, sum(X) AS s, avg(X) AS a, "
+            "min(Y) AS mn, max(Y) AS mx FROM t GROUP BY G"
+        )
     return list(plan(parse(text), catalog))
 
 
@@ -127,3 +128,99 @@ def test_sharded_equals_single_stream_for_all_shard_counts(rows):
     reference = run_query(rows, shards=1)
     for shards in (2, 4, 8):
         assert run_query(rows, shards) == reference
+
+
+# -- sketch aggregates (ISSUE 9): t-digest medians/quantiles and HLL -------
+#
+# At property-test scale the digests hold only unit centroids and the HLL
+# stays in exact sparse mode, so the merged sketch answers are *bit for
+# bit* the single-stream answers for every shard count — determinism of
+# the seeded hashing and of centroid merging is exactly what's on trial.
+
+SKETCH_QUERY = (
+    "SELECT G, median(X) AS med, count(DISTINCT X) AS d, "
+    "quantile_25(X) AS q1, quantile_75(X) AS q3, quantile_95(Y) AS p95 "
+    "FROM t GROUP BY G"
+)
+
+
+def _exact_group_truth(rows):
+    from repro.relational.aggregates import (
+        agg_count_distinct,
+        agg_median,
+        agg_quantile,
+    )
+
+    order = []
+    groups = {}
+    for g, x, y in rows:
+        if g not in groups:
+            groups[g] = ([], [])
+            order.append(g)
+        groups[g][0].append(x)
+        groups[g][1].append(y)
+    out = []
+    for g in order:
+        xs, ys = groups[g]
+        out.append(
+            (
+                g,
+                agg_median(xs),
+                agg_count_distinct(xs),
+                agg_quantile(xs, 0.25),
+                agg_quantile(xs, 0.75),
+                agg_quantile(ys, 0.95),
+            )
+        )
+    return out
+
+
+@given(rows_strategy())
+@settings(max_examples=40, deadline=None)
+def test_sketch_aggregates_shard_invariant_and_exact(rows):
+    truth = _exact_group_truth(rows)
+    for shards in (1, 2, 4, 8):
+        got = run_query(rows, shards, SKETCH_QUERY)
+        assert len(got) == len(truth)
+        for got_row, want_row in zip(got, truth):
+            assert got_row[0] == want_row[0]
+            assert got_row[2] == want_row[2]  # HLL sparse mode: exact int
+            for position in (1, 3, 4, 5):  # unit centroids: exact values
+                assert equivalent(got_row[position], want_row[position])
+
+
+@given(rows_strategy())
+@settings(max_examples=20, deadline=None)
+def test_sketch_aggregates_identical_across_shard_counts(rows):
+    reference = run_query(rows, 1, SKETCH_QUERY)
+    for shards in (2, 4, 8):
+        assert run_query(rows, shards, SKETCH_QUERY) == reference
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=60),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_sketch_partial_round_trip(values, seed):
+    """partial_state() -> merge_partial() into a fresh sketch reproduces
+    the source's contribution exactly (the COMPUTATIONS round-trip
+    property, extended to the sketch family)."""
+    from repro.incremental.sketches import (
+        CountMinSketch,
+        HyperLogLog,
+        TDigest,
+    )
+
+    floats = [float(v) for v in values]
+    for make in (
+        lambda: TDigest(),
+        lambda: HyperLogLog(seed=seed % 1000),
+        lambda: CountMinSketch(width=64, depth=3, seed=seed % 1000),
+    ):
+        source = make()
+        source.initialize(floats)
+        target = make()
+        target.initialize([])
+        target.merge_partial(source.partial_state())
+        assert equivalent(float(target.value), float(source.value))

@@ -69,11 +69,34 @@ class TestPlannerLowering:
         assert isinstance(pipeline, VectorOperator)
 
     def test_median_falls_back_to_single_stream(self):
+        # Historical name kept for the diff: since the t-digest partials,
+        # median no longer falls back — it lowers to scatter-gather.
         stored = sharded_relation()
         pipeline = plan(
             parse("SELECT G, median(X) AS mx FROM t GROUP BY G"),
             self.catalog(stored),
         )
+        assert contains_sharded(pipeline)
+
+    def test_count_distinct_lowers_to_sharded(self):
+        stored = sharded_relation()
+        pipeline = plan(
+            parse("SELECT G, count(DISTINCT X) AS d FROM t GROUP BY G"),
+            self.catalog(stored),
+        )
+        assert contains_sharded(pipeline)
+
+    def test_quantile_lowers_to_sharded(self):
+        stored = sharded_relation()
+        pipeline = plan(
+            parse("SELECT G, quantile_75(X) AS q3 FROM t GROUP BY G"),
+            self.catalog(stored),
+        )
+        assert contains_sharded(pipeline)
+
+    def test_projection_still_falls_back(self):
+        stored = sharded_relation()
+        pipeline = plan(parse("SELECT G, X FROM t"), self.catalog(stored))
         assert not contains_sharded(pipeline)
 
     def test_results_match_row_engine(self):
@@ -124,7 +147,7 @@ class TestShardedGroupByOperator:
     def test_rejects_unmergeable_spec(self):
         stored = sharded_relation()
         with pytest.raises(QueryError, match="no mergeable partial"):
-            ShardedGroupBy(stored, ["G"], [AggregateSpec("median", "X", "m")])
+            ShardedGroupBy(stored, ["G"], [AggregateSpec("mode", "X", "m")])
 
     def test_rejects_unsharded_source(self):
         rel = Relation("t", sample_schema(), sample_rows())
@@ -160,8 +183,9 @@ class TestShardedGroupByOperator:
         assert root.attrs["shards"] == 4
 
     def test_mergeable_funcs_frozen(self):
-        assert "median" not in MERGEABLE_FUNCS
         assert {"count", "sum", "avg", "min", "max", "var", "std"} <= MERGEABLE_FUNCS
+        # Sketch partials lifted the last two single-stream stragglers.
+        assert {"median", "count_distinct"} <= MERGEABLE_FUNCS
 
 
 class TestProcessMode:
