@@ -1,0 +1,277 @@
+"""E22 — Workspace fleet management and macro-scale scenario traffic.
+
+The paper's analysts accumulate derived views over months (SS2.3, SS5.1);
+at fleet scale the estate becomes a *data space*: hundreds-to-thousands
+of content-addressed view directories, each a self-contained durable
+DBMS with a ``manifest.json`` identity card.  E22 measures the three
+claims the workspace layer makes:
+
+1. **Navigation does not open views.**  ``Workspace.find(...)`` answers
+   from the manifest index alone, so its latency must be flat in the
+   number of *opened* views (and small in absolute terms at 500+ views).
+2. **Damage quarantines; it never kills the sweep.**  ``recover_all``
+   over a workspace with injected faults (corrupt manifests, torn WAL
+   tails) recovers everything else at bulk rate and names each casualty.
+3. **Scenario mixes hold up over the wire.**  Named fleet scenarios
+   (NA-heavy survey corrections, undo storms, publish/adopt meshes, ...)
+   drive the asyncio server concurrently with recorded rps and p95.
+
+Alongside the printed tables the run persists ``BENCH_e22.json`` at the
+repo root.  CI smoke: ``E22_VIEWS``, ``E22_OPEN_LEVELS``, ``E22_FINDS``,
+``E22_CLIENTS``, ``E22_REQUESTS``, ``E22_ROWS`` and ``E22_SCENARIOS``
+shrink the run without editing this file.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+from repro.bench.harness import ExperimentTable, report_table, write_json
+from repro.core.dbms import StatisticalDBMS
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, measure
+from repro.server import AnalystServer, ServerThread
+from repro.views.materialize import SourceNode, ViewDefinition
+from repro.workspace.fleet import FleetDriver, build_fleet_dbms
+from repro.workspace.manifest import manifest_path
+from repro.workspace.space import Workspace
+
+N_VIEWS = int(os.environ.get("E22_VIEWS", "500"))
+FINDS = int(os.environ.get("E22_FINDS", "50"))
+FLEET_ROWS = int(os.environ.get("E22_ROWS", "300"))
+CLIENTS_PER_SCENARIO = int(os.environ.get("E22_CLIENTS", "2"))
+REQUESTS_PER_CLIENT = int(os.environ.get("E22_REQUESTS", "40"))
+SEED = int(os.environ.get("E22_SEED", "1982"))
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_e22.json"
+
+#: How many views are held open while find latency is sampled — the
+#: independence claim is that the find columns do not grow down this list.
+def _open_levels() -> tuple[int, ...]:
+    raw = os.environ.get("E22_OPEN_LEVELS", "")
+    if raw.strip():
+        return tuple(int(part) for part in raw.replace(",", " ").split())
+    return (0, 8, 32)
+
+
+def _scenarios() -> list[str]:
+    raw = os.environ.get("E22_SCENARIOS", "")
+    if raw.strip():
+        return raw.replace(",", " ").split()
+    return [
+        "na_survey_corrections",
+        "codebook_churn",
+        "undo_storm",
+        "publish_adopt_mesh",
+    ]
+
+
+def tiny_relation() -> Relation:
+    schema = Schema([measure("x"), measure("y")])
+    return Relation("people", schema, [(float(i), float(i % 5)) for i in range(8)])
+
+
+def build_estate(root: Path) -> tuple[Workspace, list[str], float]:
+    """N_VIEWS content-addressed views, each with one cached statistic."""
+    workspace = Workspace(root, pool_size=8)
+    source = tiny_relation()
+    definition = ViewDefinition("v", SourceNode("people"))
+    started = time.perf_counter()
+    ids = []
+    for wave in range(N_VIEWS):
+        managed = workspace.create(
+            definition, source, {"wave": wave, "edition": "1980" if wave % 2 else "1970"}
+        )
+        managed.session("bench").compute("mean", "x")
+        managed.checkpoint()
+        workspace.close(managed.space_id)
+        ids.append(managed.space_id)
+    return workspace, ids, time.perf_counter() - started
+
+
+def sample_find_latency(workspace: Workspace) -> dict[str, float]:
+    """Median/worst latency over a mixed query set, in microseconds."""
+    queries = [
+        {"stat": "mean"},
+        {"edition": "1980"},
+        {"stale": True},
+        {"wave": N_VIEWS // 2},
+    ]
+    samples = []
+    for i in range(FINDS):
+        query = queries[i % len(queries)]
+        started = time.perf_counter()
+        workspace.find(**query)
+        samples.append(time.perf_counter() - started)
+    ordered = sorted(samples)
+    return {
+        "p50_us": ordered[len(ordered) // 2] * 1e6,
+        "p95_us": ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))] * 1e6,
+    }
+
+
+def run_find_independence(workspace: Workspace, ids: list[str]) -> list[dict]:
+    results = []
+    opened: list[str] = []
+    for level in _open_levels():
+        want = ids[: min(level, len(ids))]
+        fresh = [i for i in want if i not in opened]
+        if fresh:
+            workspace.open_many(fresh)
+            opened.extend(fresh)
+        stats = sample_find_latency(workspace)
+        results.append({"open": len(workspace.open_ids()), **stats})
+    workspace.close_all()
+    return results
+
+
+def run_damaged_recovery(root: Path, ids: list[str]) -> dict:
+    """Corrupt a slice of the estate, then sweep it back up."""
+    corrupt = ids[:: max(1, N_VIEWS // 5)][:5]  # 5 manifests destroyed
+    torn = ids[1 :: max(1, N_VIEWS // 5)][:5]  # 5 WAL tails torn
+    for space_id in corrupt:
+        manifest_path(root / space_id).write_bytes(b"\x00 vandalized")
+    for space_id in torn:
+        with open(root / space_id / "log.wal", "ab") as handle:
+            handle.write(b"\xde\xad torn tail")
+
+    workspace = Workspace(root, pool_size=8)
+    started = time.perf_counter()
+    report = workspace.recover_all()
+    elapsed = time.perf_counter() - started
+    assert set(report.quarantined) == set(corrupt), report.quarantined
+    assert set(report.degraded) == set(torn), report.degraded
+    return {
+        "views": N_VIEWS,
+        "recovered": len(report.succeeded),
+        "quarantined": len(report.quarantined),
+        "degraded": len(report.degraded),
+        "elapsed_s": elapsed,
+        "views_per_s": len(report.succeeded) / elapsed if elapsed else 0.0,
+    }
+
+
+def run_fleet() -> dict[str, dict[str, float]]:
+    scenarios = _scenarios()
+    dbms = StatisticalDBMS()
+    build_fleet_dbms(dbms, scenarios, n_rows=FLEET_ROWS, seed=SEED)
+    thread = ServerThread(AnalystServer(dbms)).start()
+    try:
+        driver = FleetDriver(
+            port=thread.port,
+            scenarios=scenarios,
+            clients_per_scenario=CLIENTS_PER_SCENARIO,
+            requests_per_client=REQUESTS_PER_CLIENT,
+            n_rows=FLEET_ROWS,
+            seed=SEED,
+        )
+        results = driver.run()
+    finally:
+        thread.stop()
+    return {name: result.to_metrics() for name, result in results.items()}
+
+
+def test_e22_workspace_fleet() -> None:
+    metrics: dict[str, float] = {}
+
+    with TemporaryDirectory(prefix="bench_e22_") as tmp:
+        root = Path(tmp)
+        workspace, ids, build_s = build_estate(root)
+        workspace.close_all()
+
+        rebuild_started = time.perf_counter()
+        cold = Workspace(root, pool_size=8)
+        rebuild_s = time.perf_counter() - rebuild_started
+
+        find_table = ExperimentTable(
+            "E22a",
+            f"find latency over {N_VIEWS} views vs opened-fleet size",
+            ["open views", "find p50 (us)", "find p95 (us)"],
+        )
+        find_rows = run_find_independence(cold, ids)
+        for row in find_rows:
+            find_table.add_row(row["open"], row["p50_us"], row["p95_us"])
+            metrics[f"find_p50_us_open{row['open']}"] = row["p50_us"]
+        find_table.note(
+            "answers come from the manifest index; latency must be flat in "
+            "the number of opened views"
+        )
+        # The independence gate: opening part of the fleet must not drag
+        # find latency (generous 5x slack absorbs scheduler noise).
+        baseline = find_rows[0]["p50_us"]
+        worst = max(row["p50_us"] for row in find_rows)
+        assert worst <= 5 * max(baseline, 50.0), (
+            f"find p50 grew with opened fleet size: {find_rows}"
+        )
+        metrics["views"] = float(N_VIEWS)
+        metrics["estate_build_s"] = build_s
+        metrics["index_rebuild_s"] = rebuild_s
+
+        recovery = run_damaged_recovery(root, ids)
+        recover_table = ExperimentTable(
+            "E22b",
+            "bulk recovery over an injured estate",
+            ["views", "recovered", "quarantined", "degraded", "views/s"],
+        )
+        recover_table.add_row(
+            recovery["views"],
+            recovery["recovered"],
+            recovery["quarantined"],
+            recovery["degraded"],
+            recovery["views_per_s"],
+        )
+        recover_table.note(
+            "corrupt manifests quarantine by name; torn WAL tails recover "
+            "degraded (truncated + warned), everything else at bulk rate"
+        )
+        for key in ("recovered", "quarantined", "degraded", "views_per_s"):
+            metrics[f"recover_{key}"] = float(recovery[key])
+
+    fleet = run_fleet()
+    fleet_table = ExperimentTable(
+        "E22c",
+        f"scenario mixes vs live server "
+        f"({CLIENTS_PER_SCENARIO} clients x {REQUESTS_PER_CLIENT} reqs)",
+        ["scenario", "requests", "errors", "rps", "p50 (ms)", "p95 (ms)"],
+    )
+    for name in sorted(fleet):
+        stats = fleet[name]
+        fleet_table.add_row(
+            name,
+            int(stats["requests"]),
+            int(stats["errors"]),
+            stats["rps"],
+            stats["p50_ms"],
+            stats["p95_ms"],
+        )
+        metrics[f"{name}_rps"] = stats["rps"]
+        metrics[f"{name}_p95_ms"] = stats["p95_ms"]
+        metrics[f"{name}_errors"] = stats["errors"]
+        assert stats["errors"] == 0, f"scenario {name} had wire errors: {stats}"
+
+    tables = [find_table, recover_table, fleet_table]
+    for table in tables:
+        report_table(table)
+        table.emit()
+    write_json(
+        JSON_PATH,
+        tables,
+        metrics,
+        params={
+            "views": N_VIEWS,
+            "open_levels": list(_open_levels()),
+            "finds": FINDS,
+            "fleet_rows": FLEET_ROWS,
+            "clients_per_scenario": CLIENTS_PER_SCENARIO,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "scenarios": _scenarios(),
+            "seed": SEED,
+        },
+    )
+    print(f"\nwrote {JSON_PATH}")
+
+
+if __name__ == "__main__":
+    test_e22_workspace_fleet()

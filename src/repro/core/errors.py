@@ -118,6 +118,14 @@ class InjectedFault(DurabilityError):
     process dying at that I/O point."""
 
 
+class WorkspaceError(ReproError):
+    """Data-space manager misuse (unknown space id, duplicate create)."""
+
+
+class ManifestError(WorkspaceError):
+    """A view manifest is unreadable, corrupt, or of an unknown format."""
+
+
 class ConcurrencyError(ReproError):
     """Invalid lock or transaction usage in the multi-analyst layer."""
 

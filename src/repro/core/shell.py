@@ -31,6 +31,9 @@ Commands (also ``help`` inside the shell)::
     durability <dir>              enable WAL + checkpoints under <dir>
     checkpoint                    snapshot the system and truncate the WAL
     recover <dir>                 rebuild the DBMS from <dir> after a crash
+    workspace <dir>               attach the data-space manager rooted at <dir>
+    ws-find <key>=<value> ...     query the workspace index (stat=, stale=, ...)
+    ws-checkpoint-all             checkpoint every open workspace view
     serve <port> | serve stop     serve this DBMS to wire clients
     connect <port> [analyst]      connect to a served DBMS
     rstat <view> <function> <attr>
@@ -70,6 +73,7 @@ class AnalystShell(cmd.Cmd):
         self.session: AnalystSession | None = None
         self.server_thread: Any = None
         self.client: Any = None
+        self.workspace: Any = None
 
     # -- helpers ----------------------------------------------------------------
 
@@ -319,6 +323,100 @@ class AnalystShell(cmd.Cmd):
                 "views: " + ", ".join(self.dbms.registry.names()) + " (use open <name>)"
             )
 
+    # -- workspace (data-space manager) -------------------------------------------------------
+
+    _HYPHENATED = {
+        "ws-find": "do_ws_find",
+        "ws-checkpoint-all": "do_ws_checkpoint_all",
+    }
+
+    def default(self, line: str) -> bool | None:
+        # cmd.Cmd cannot dispatch hyphenated command names to ``do_*``
+        # methods; route the workspace spellings by hand.
+        word, _, rest = line.partition(" ")
+        handler = self._HYPHENATED.get(word)
+        if handler is not None:
+            return getattr(self, handler)(rest.strip())
+        return super().default(line)
+
+    def _need_workspace(self) -> Any:
+        if self.workspace is None:
+            self._say("no workspace attached; use: workspace <dir>")
+        return self.workspace
+
+    def do_workspace(self, arg: str) -> None:
+        """workspace <dir> — attach the data-space manager rooted at <dir>."""
+        from repro.workspace.space import Workspace
+
+        directory = arg.strip()
+        if not directory:
+            if self.workspace is None:
+                self._say("usage: workspace <dir>")
+            else:
+                self._say(str(self.workspace.describe()))
+            return
+        tracer = self.dbms.tracer if self.dbms.tracer.enabled else None
+        self.workspace = Workspace(directory, tracer=tracer)
+        info = self.workspace.describe()
+        self._say(
+            f"workspace at {info['root']}: {info['views']} views indexed, "
+            f"{len(info['quarantined'])} quarantined"
+        )
+        for name, reason in sorted(info["quarantined"].items()):
+            self._say(f"  quarantined {name}: {reason}")
+
+    def do_ws_find(self, arg: str) -> None:
+        """ws-find <key>=<value> ... — query the workspace index."""
+        workspace = self._need_workspace()
+        if workspace is None:
+            return
+        query: dict[str, Any] = {}
+        for token in shlex.split(arg):
+            key, sep, raw = token.partition("=")
+            if not sep or not key:
+                self._say("usage: ws-find <key>=<value> ... (e.g. stat=mean stale=true)")
+                return
+            value: Any = raw
+            if raw.lower() in ("true", "false"):
+                value = raw.lower() == "true"
+            elif key == "min_high_water_mark":
+                value = int(raw)
+            query[key] = value
+        try:
+            entries = workspace.find(**query)
+            if not entries:
+                # Parameters keep their JSON types; "wave=1" should still
+                # match a view whose wave is the integer 1, so retry with
+                # int-looking values coerced before giving up.
+                retry = {
+                    key: int(value)
+                    if isinstance(value, str) and value.lstrip("-").isdigit()
+                    else value
+                    for key, value in query.items()
+                }
+                if retry != query:
+                    entries = workspace.find(**retry)
+        except TypeError as exc:
+            self._say(f"bad query: {exc}")
+            return
+        if not entries:
+            self._say("no matching views")
+            return
+        for entry in entries:
+            stale = " stale" if entry.stale else ""
+            self._say(
+                f"{entry.space_id}  {entry.view_name}  "
+                f"stats={len(entry.stats)}{stale}  hwm={entry.high_water_mark}"
+            )
+
+    def do_ws_checkpoint_all(self, arg: str) -> None:
+        """ws-checkpoint-all — checkpoint every open workspace view."""
+        workspace = self._need_workspace()
+        if workspace is None:
+            return
+        report = workspace.checkpoint_all()
+        self._say(report.summary())
+
     # -- wire service (multi-analyst layer) ---------------------------------------------------
 
     def do_serve(self, arg: str) -> None:
@@ -393,6 +491,8 @@ class AnalystShell(cmd.Cmd):
             self.client.close()
         if self.server_thread is not None:
             self.server_thread.stop()
+        if self.workspace is not None:
+            self.workspace.close_all()
         return True
 
     do_exit = do_quit

@@ -47,6 +47,7 @@ from repro.metadata.persistence import (
 )
 from repro.incremental.sketches import (
     CountMinSketch,
+    HeavyHitterSketch,
     HyperLogLog,
     ReservoirSample,
     TDigest,
@@ -70,6 +71,7 @@ SKETCH_KINDS: dict[str, Any] = {
         HyperLogLog,
         ReservoirSample,
         CountMinSketch,
+        HeavyHitterSketch,
         IncrementalLinearRegression,
     )
 }

@@ -55,6 +55,7 @@ from repro.relational.types import NA, is_na
 #: metadata and gated by tests/property/test_sketch_accuracy.py.
 EPSILON_TDIGEST = 0.02  # max rank error at default compression
 EPSILON_HLL = 0.025  # max relative cardinality error at p=12
+EPSILON_CM = math.e / 1024  # max relative count overestimate at width=1024
 
 
 def hash64(value: Any, seed: int = 0) -> int:
@@ -714,4 +715,140 @@ class CountMinSketch(IncrementalComputation):
         )
         sketch._rows = [list(row) for row in state["rows"]]
         sketch._total = int(state["total"])
+        return sketch
+
+
+class HeavyHitterSketch(IncrementalComputation):
+    """Top-k frequent values backed by a :class:`CountMinSketch`.
+
+    The classic CM + candidate-heap construction: the linear sketch tracks
+    every (non-NA) value exactly under inserts/deletes/merges, and a
+    bounded candidate table (``4 × k`` slots) remembers *which* values are
+    currently believed heavy.  Each insert re-estimates the inserted value
+    and promotes it into the table when it beats the weakest candidate, so
+    any value whose true frequency grows keeps getting reconsidered; each
+    reported count is the CM point estimate — an overestimate of the true
+    multiplicity by at most ``EPSILON_CM × total``, never an underestimate.
+
+    ``value`` is a tuple of ``(value, count)`` pairs, count-descending with
+    ties broken by ``repr`` so identical multisets report identical tuples
+    regardless of arrival order or process.
+    """
+
+    sketch_kind = "heavy_hitters"
+    supports_partials = True
+
+    def __init__(
+        self,
+        k: int = 10,
+        width: int = 1024,
+        depth: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if k < 1:
+            raise StatisticsError(f"need k >= 1, got {k}")
+        self.k = k
+        self.capacity = 4 * k
+        self._cm = CountMinSketch(width=width, depth=depth, seed=seed)
+        self._candidates: dict[Any, int] = {}
+
+    def initialize(self, values: Iterable[Any]) -> None:
+        self._cm.initialize(())
+        self._candidates = {}
+        self.absorb(values)
+
+    def _consider(self, value: Any) -> None:
+        estimate = self._cm.estimate(value)
+        if value in self._candidates:
+            self._candidates[value] = estimate
+            return
+        if len(self._candidates) < self.capacity:
+            self._candidates[value] = estimate
+            return
+        weakest = min(self._candidates, key=lambda v: (self._candidates[v], repr(v)))
+        if estimate > self._candidates[weakest]:
+            del self._candidates[weakest]
+            self._candidates[value] = estimate
+
+    def on_insert(self, value: Any) -> None:
+        if is_na(value):
+            return
+        self._cm.on_insert(value)
+        self._consider(value)
+
+    def on_delete(self, value: Any) -> None:
+        if is_na(value):
+            return
+        self._cm.on_delete(value)
+        if value in self._candidates:
+            estimate = self._cm.estimate(value)
+            if estimate <= 0:
+                del self._candidates[value]
+            else:
+                self._candidates[value] = estimate
+
+    @property
+    def value(self) -> tuple[tuple[Any, float], ...]:
+        ranked = sorted(
+            ((v, self._cm.estimate(v)) for v in self._candidates),
+            key=lambda pair: (-pair[1], repr(pair[0])),
+        )
+        return tuple((v, float(count)) for v, count in ranked[: self.k] if count > 0)
+
+    # -- scatter-gather ------------------------------------------------------
+
+    def partial_state(self) -> Any:
+        return {
+            "cm": self._cm.partial_state(),
+            "candidates": list(self._candidates),
+        }
+
+    def merge_partial(self, state: Any) -> None:
+        self._cm.merge_partial(state["cm"])
+        for value in state["candidates"]:
+            self._candidates.setdefault(value, 0)
+        for value in list(self._candidates):
+            self._candidates[value] = self._cm.estimate(value)
+        if len(self._candidates) > self.capacity:
+            ranked = sorted(
+                self._candidates,
+                key=lambda v: (-self._candidates[v], repr(v)),
+            )
+            self._candidates = {v: self._candidates[v] for v in ranked[: self.capacity]}
+
+    # -- persistence ---------------------------------------------------------
+
+    _STATE_TAGS: dict[type, str] = {int: "i", float: "f", str: "s"}
+
+    def to_state(self) -> dict[str, Any]:
+        candidates = []
+        for value in self._candidates:
+            tag = self._STATE_TAGS.get(type(value))
+            if tag is None:
+                # Exotic value types have no durable encoding; the
+                # checkpoint layer degrades this maintainer to a
+                # detached, stale entry rather than persist a lossy key.
+                raise StatisticsError(
+                    f"heavy-hitter candidate {value!r} is not persistable"
+                )
+            candidates.append([tag, value])
+        return {
+            "k": self.k,
+            "cm": self._cm.to_state(),
+            "candidates": candidates,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "HeavyHitterSketch":
+        cm = CountMinSketch.from_state(state["cm"])
+        sketch = cls(k=int(state["k"]), width=cm.width, depth=cm.depth, seed=cm.seed)
+        sketch._cm = cm
+        restorers: dict[str, Callable[[Any], Any]] = {
+            "i": int, "f": float, "s": str,
+        }
+        sketch._candidates = {
+            restorers[tag](value): 0 for tag, value in state["candidates"]
+        }
+        for value in list(sketch._candidates):
+            sketch._candidates[value] = cm.estimate(value)
         return sketch

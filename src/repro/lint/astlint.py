@@ -132,6 +132,29 @@ VIEW_MUTATION_ALLOWED = (
     "durability/recovery.py",
 )
 
+RULE_WORKSPACE_IO = rule(
+    "REPRO-A111",
+    "direct open()/replace() of a workspace/manifest path outside repro.workspace",
+    severity=Severity.ERROR,
+    rationale=(
+        "workspace directories are content-addressed and their manifests "
+        "are committed by temp-file-plus-rename with directory fsync; an "
+        "ad-hoc open() or os.replace() of a manifest/workspace path "
+        "bypasses the crash-safe write protocol and can leave the "
+        "metadata index pointing at torn or phantom view state"
+    ),
+)
+
+#: Modules allowed to touch workspace-managed paths directly: the
+#: workspace package itself, where the manifest commit protocol lives.
+WORKSPACE_IO_ALLOWED = (
+    "workspace/__init__.py",
+    "workspace/manifest.py",
+    "workspace/space.py",
+    "workspace/index.py",
+    "workspace/fleet.py",
+)
+
 #: Modules allowed to open WAL/checkpoint files directly: the durability
 #: package itself, where the framing/checksum/fsync discipline lives.
 DURABILITY_IO_ALLOWED = (
@@ -550,6 +573,64 @@ class DurabilityIoRule(AstRule):
         self.generic_visit(node)
 
 
+class WorkspaceIoRule(AstRule):
+    """REPRO-A111: workspace-directory containment.
+
+    Outside :mod:`repro.workspace`, any ``open(...)`` or ``replace(...)``
+    (builtin, ``os.replace``, or method) whose path expression mentions a
+    workspace artifact — a manifest file or a workspace root — is
+    flagged.  Same conservative by-name shape as REPRO-A108: a constant
+    path containing a marker, or a variable/attribute whose name mentions
+    ``manifest``/``workspace``, marks the call.
+    """
+
+    rule_id = RULE_WORKSPACE_IO.rule_id
+    severity = RULE_WORKSPACE_IO.severity
+
+    _PATH_MARKERS = ("manifest",)
+    _NAME_MARKERS = ("manifest", "workspace")
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        if self.ctx.in_allowlist(WORKSPACE_IO_ALLOWED):
+            return []
+        return super().run(tree)
+
+    def _mentions_workspace_path(self, node: ast.expr) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                text = sub.value.lower()
+                if any(marker in text for marker in self._PATH_MARKERS):
+                    return True
+            elif isinstance(sub, ast.Name):
+                if any(m in sub.id.lower() for m in self._NAME_MARKERS):
+                    return True
+            elif isinstance(sub, ast.Attribute):
+                if any(m in sub.attr.lower() for m in self._NAME_MARKERS):
+                    return True
+        return False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        touches = (isinstance(func, ast.Name) and func.id == "open") or (
+            isinstance(func, ast.Attribute) and func.attr in ("open", "replace")
+        )
+        if touches:
+            # For path.open()/os.replace(tmp, live) the receiver or the
+            # arguments name the file; for open(p) the first argument does.
+            candidates: list[ast.expr] = list(node.args)
+            if isinstance(func, ast.Attribute):
+                candidates.append(func.value)
+            if any(self._mentions_workspace_path(c) for c in candidates):
+                self.report(
+                    node,
+                    "direct open()/replace() of a workspace-managed path "
+                    "outside repro.workspace; go through Workspace/"
+                    "write_manifest so the temp-file-plus-rename commit "
+                    "and directory fsync protocol is preserved",
+                )
+        self.generic_visit(node)
+
+
 class RowwiseBindRule(AstRule):
     """REPRO-A106: no ``.bind(...)`` inside loops of vectorized modules.
 
@@ -791,6 +872,7 @@ AST_RULES: tuple[type[AstRule], ...] = (
     TracerConstructRule,
     DurabilityIoRule,
     LockConstructRule,
+    WorkspaceIoRule,
 )
 
 

@@ -37,8 +37,10 @@ from repro.incremental.frequency import IncrementalFrequency
 from repro.incremental.histogram import MaintainedHistogram
 from repro.incremental.order_stats import MedianWindow, QuantileWindow
 from repro.incremental.sketches import (
+    EPSILON_CM,
     EPSILON_HLL,
     EPSILON_TDIGEST,
+    HeavyHitterSketch,
     HyperLogLog,
     ReservoirSample,
     TDigest,
@@ -157,6 +159,32 @@ def _histogram_two_vectors(values: Sequence[Any]) -> tuple[list[float], list[int
 
 
 _QUANTILE_RE = re.compile(r"^quantile_(\d{1,2})$")
+_HEAVY_HITTERS_RE = re.compile(r"^heavy_hitters_(\d{1,3})$")
+
+
+def _heavy_hitters_exact(values: Sequence[Any], k: int) -> tuple[tuple[Any, float], ...]:
+    """One-shot exact top-k, with the sketch's tie-break (count descending,
+    then ``repr``) so a cache miss and a warm entry agree on rankings."""
+    counts: dict[Any, int] = {}
+    for value in values:
+        if not is_na(value):
+            counts[value] = counts.get(value, 0) + 1
+    ranked = sorted(counts.items(), key=lambda pair: (-pair[1], repr(pair[0])))
+    return tuple((value, float(count)) for value, count in ranked[:k])
+
+
+def _heavy_hitters_function(name: str, k: int) -> StatFunction:
+    return StatFunction(
+        name=name,
+        compute=lambda values, k=k: _heavy_hitters_exact(values, k),
+        result_kind=ResultKind.VECTOR,
+        maintainer_factory=lambda provider, k=k: _initialized(
+            HeavyHitterSketch(k=k), provider
+        ),
+        numeric_only=False,
+        summary_kind="sketch",
+        epsilon=EPSILON_CM,
+    )
 
 
 class FunctionRegistry:
@@ -196,6 +224,11 @@ class FunctionRegistry:
                 result_kind=ResultKind.SCALAR,
                 maintainer_factory=lambda provider, q=q: QuantileWindow(q, provider),
             )
+            self._functions[name] = function
+            return function
+        match = _HEAVY_HITTERS_RE.match(name)
+        if match and int(match.group(1)) >= 1:
+            function = _heavy_hitters_function(name, int(match.group(1)))
             self._functions[name] = function
             return function
         raise FunctionError(
@@ -306,6 +339,7 @@ def _default_functions() -> list[StatFunction]:
             lambda provider: _initialized(ReservoirSample(), provider),
             summary_kind="sketch",
         ),
+        _heavy_hitters_function("heavy_hitters", 10),
     ]
 
 

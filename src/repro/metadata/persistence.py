@@ -67,6 +67,20 @@ def value_from_jsonable(data: Any) -> Any:
     return data
 
 
+def result_to_jsonable(value: Any) -> Any:
+    """Encode a *statistic result*: scalars plus the vector shapes.
+
+    Query answers are richer than cell values — histograms are pairs of
+    vectors, reservoir samples and heavy-hitter rankings are tuples —
+    so sequences encode recursively (as JSON arrays).  Cell persistence
+    keeps using :func:`value_to_jsonable` directly, where a non-scalar
+    is a bug worth raising on.
+    """
+    if isinstance(value, (tuple, list)):
+        return [result_to_jsonable(item) for item in value]
+    return value_to_jsonable(value)
+
+
 # -- expressions -------------------------------------------------------------------
 
 

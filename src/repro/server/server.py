@@ -81,7 +81,7 @@ from repro.core.errors import (
     ServerError,
     SnapshotError,
 )
-from repro.metadata.persistence import value_to_jsonable
+from repro.metadata.persistence import result_to_jsonable, value_to_jsonable
 from repro.obs.tracer import NULL_TRACER, AbstractTracer
 from repro.relational.expressions import col
 from repro.server.protocol import encode_frame, read_frame
@@ -419,7 +419,7 @@ class AnalystServer:
         if not hit:
             return None  # compute — and memoize — on a worker, never here
         try:
-            payload = value_to_jsonable(value)
+            payload = result_to_jsonable(value)
         except Exception:
             return None  # the worker path shapes the error envelope
         self.tracer.add("server.request")
@@ -589,7 +589,7 @@ class AnalystServer:
         else:
             value = reader.compute(function, str(request["attribute"]))
         return {
-            "value": value_to_jsonable(value),
+            "value": result_to_jsonable(value),
             "version": reader.version,
         }
 

@@ -59,6 +59,39 @@ class PublishedEdits:
     version: int = 0  # view version the snapshot reflects
 
 
+def match_canonical(
+    definition: ViewDefinition,
+    candidates: dict[str, str],
+    max_ops: int = 3,
+) -> DerivationMatch | None:
+    """Match a definition against ``{name: canonical-form}`` candidates.
+
+    The core of SS2.3 duplicate detection, shared by the in-process
+    :class:`ViewRegistry` and the workspace manifest index (which knows
+    views only by their manifests, never as live objects): identical when
+    the canonical forms are equal, derivable when stripping at most
+    ``max_ops`` outer select/project layers from the request leaves a
+    candidate's tree.  Ties resolve to the lexicographically smallest
+    name, independent of candidate order.
+    """
+    requested = definition.canonical()
+    for name in sorted(candidates):
+        if candidates[name] == requested:
+            return DerivationMatch(existing=name, operations=0, kind="identical")
+    node: DefNode = definition.root
+    stripped = 0
+    while stripped < max_ops and isinstance(node, (SelectNode, ProjectNode)):
+        node = node.child
+        stripped += 1
+        core = node.canonical()
+        for name in sorted(candidates):
+            if candidates[name] == core:
+                return DerivationMatch(
+                    existing=name, operations=stripped, kind="derivable"
+                )
+    return None
+
+
 class ViewRegistry:
     """All materialized views known to the DBMS."""
 
@@ -101,31 +134,12 @@ class ViewRegistry:
         ``max_derivation_ops`` outer select/project layers from the request
         leaves exactly V's definition tree.
         """
-        requested = definition.canonical()
-        # Iterate in sorted-name order so a request matching several
-        # registered views resolves to the lexicographically smallest name
-        # deterministically, independent of registration order.
-        for name, view in sorted(self._views.items()):
-            if view.definition is None:
-                continue
-            if view.definition.canonical() == requested:
-                return DerivationMatch(existing=name, operations=0, kind="identical")
-        node: DefNode = definition.root
-        stripped = 0
-        while stripped < self.max_derivation_ops and isinstance(
-            node, (SelectNode, ProjectNode)
-        ):
-            node = node.child
-            stripped += 1
-            core = node.canonical()
-            for name, view in sorted(self._views.items()):
-                if view.definition is None:
-                    continue
-                if view.definition.canonical() == core:
-                    return DerivationMatch(
-                        existing=name, operations=stripped, kind="derivable"
-                    )
-        return None
+        candidates = {
+            name: view.definition.canonical()
+            for name, view in self._views.items()
+            if view.definition is not None
+        }
+        return match_canonical(definition, candidates, self.max_derivation_ops)
 
     def derive_from(self, definition: ViewDefinition, match: DerivationMatch) -> Relation:
         """Evaluate a derivable request against the covering view's data

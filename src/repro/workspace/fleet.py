@@ -1,0 +1,549 @@
+"""Scenario fleets: named workload mixes driven at the wire server.
+
+The north-star "heavy traffic from millions of users" needs a load
+harness with scenario diversity, not one synthetic loop.  This module
+composes the :mod:`repro.workloads` primitives (Zipf-skewed session
+streams, correction/drift/invalidation update streams, census microdata
+with code-book editions) into **named scenario mixes** — NA-heavy survey
+corrections, time-series drift appends, code-book edition churn, undo
+storms, publish/adopt sharing meshes — and drives them against a live
+:class:`~repro.server.AnalystServer` from many concurrent clients.
+
+Determinism contract: a :class:`FleetGenerator` seeded with ``s``
+produces byte-identical operation streams in every process.  Per-client
+seeds derive through keyed blake2b (never Python's salted ``hash()``),
+every random draw goes through an explicit :class:`random.Random`, and
+the regression suite replays a stream in a subprocess under a different
+``PYTHONHASHSEED`` to keep it that way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.core.errors import WorkspaceError
+from repro.relational.expressions import col
+from repro.server.client import ServerClient
+from repro.views.materialize import ProjectNode, SourceNode, ViewDefinition
+from repro.workloads.census import (
+    age_group_codebook,
+    age_group_codebook_1980,
+    generate_microdata,
+    race_codebook,
+    region_codebook,
+)
+from repro.workloads.sessions import SessionGenerator
+from repro.workloads.updates import invalidation_stream
+
+#: The shared raw dataset every scenario's view projects from.
+FLEET_DATASET = "census_micro"
+
+
+def derive_seed(seed: int, *labels: str | int) -> int:
+    """A per-(scenario, client, ...) seed, stable across processes.
+
+    Keyed blake2b over the label path — *not* ``hash()``, which is
+    ``PYTHONHASHSEED``-salted and would give every process a different
+    fleet.
+    """
+    key = (seed & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+    blob = "\x1f".join(str(label) for label in labels).encode("utf-8")
+    digest = hashlib.blake2b(blob, digest_size=8, key=key).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class FleetOp:
+    """One wire request a fleet client will issue (pure data)."""
+
+    op: str  # query | update | undo | publish | adopt
+    view: str
+    function: str = ""
+    attribute: str = ""
+    assignments: tuple[tuple[str, Any], ...] = ()
+    where: tuple[str, Any] | None = None
+    count: int = 0
+    new_name: str = ""
+
+    def to_record(self) -> list[Any]:
+        """A JSON-stable projection for cross-process stream comparison."""
+        return [
+            self.op,
+            self.view,
+            self.function,
+            self.attribute,
+            [list(pair) for pair in self.assignments],
+            list(self.where) if self.where is not None else None,
+            self.count,
+            self.new_name,
+        ]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named workload mix over its own projected view."""
+
+    name: str
+    description: str
+    view: str
+    #: Attributes the scenario's view projects from the microdata.
+    attributes: tuple[str, ...]
+    #: (rng, view, client_index, n_ops, n_rows) -> op stream.
+    script: Callable[[random.Random, str, int, int, int], list[FleetOp]]
+    #: Rows to mark NA before serving (NA-heavy scenarios).
+    pre_invalidations: int = 0
+
+    def definition(self) -> ViewDefinition:
+        return ViewDefinition(
+            self.view,
+            ProjectNode(SourceNode(FLEET_DATASET), tuple(self.attributes)),
+        )
+
+
+def _point_update(
+    view: str, attribute: str, row: int, value: Any
+) -> FleetOp:
+    return FleetOp(
+        op="update",
+        view=view,
+        assignments=((attribute, value),),
+        where=("PERSON_ID", row),
+    )
+
+
+def _na_survey_script(
+    rng: random.Random, view: str, client: int, n_ops: int, n_rows: int
+) -> list[FleetOp]:
+    """Survey cleaning: interleave NA audits with point corrections.
+
+    The query side leans on ``na_count``/``count`` (how dirty is the
+    column?) plus robust location stats; the write side repairs values
+    the way :func:`~repro.workloads.updates.correction_stream` does —
+    old value unknowable over the wire, so corrections draw fresh
+    plausible levels around the column's scale.
+    """
+    ops: list[FleetOp] = []
+    functions = ("na_count", "count", "mean", "median", "na_count")
+    columns = ("INCOME", "AGE", "HOURS_WORKED")
+    for i in range(n_ops):
+        if rng.random() < 0.4:
+            column = rng.choice(columns)
+            scale = {"INCOME": 30_000.0, "AGE": 40.0, "HOURS_WORKED": 38.0}[column]
+            value = round(abs(rng.gauss(scale, scale * 0.25)), 2)
+            if column == "AGE":
+                value = int(value)
+            ops.append(
+                _point_update(view, column, rng.randrange(n_rows), value)
+            )
+        else:
+            ops.append(
+                FleetOp(
+                    op="query",
+                    view=view,
+                    function=functions[i % len(functions)],
+                    attribute=rng.choice(columns),
+                )
+            )
+    return ops
+
+
+def _timeseries_script(
+    rng: random.Random, view: str, client: int, n_ops: int, n_rows: int
+) -> list[FleetOp]:
+    """Time-series appends: each client owns a row stripe and pushes a
+
+    drifting level through it (the :func:`drift_stream` regime — new
+    observations always above the old ones), with trailing-window
+    queries over the moving tail."""
+    ops: list[FleetOp] = []
+    level = 100.0 * (client + 1)
+    cursor = derive_seed(client, "cursor") % n_rows
+    for i in range(n_ops):
+        if i % 3 == 2:
+            ops.append(
+                FleetOp(
+                    op="query",
+                    view=view,
+                    function=("mean", "max", "quantile_95")[(i // 3) % 3],
+                    attribute="INCOME",
+                )
+            )
+        else:
+            level += 2.5 + rng.gauss(0, 1.0)
+            cursor = (cursor + 1) % n_rows
+            ops.append(
+                _point_update(view, "INCOME", cursor, round(level, 3))
+            )
+    return ops
+
+
+def _codebook_churn_script(
+    rng: random.Random, view: str, client: int, n_ops: int, n_rows: int
+) -> list[FleetOp]:
+    """Code-book edition churn: recode category values between editions
+
+    (1970-style vs 1980-style numbering) while frequency statistics —
+    mode, distinct counts, CountMin heavy hitters — are hammered on the
+    same columns."""
+    ops: list[FleetOp] = []
+    for i in range(n_ops):
+        if rng.random() < 0.3:
+            column, codes = rng.choice((("RACE", 5), ("REGION", 10)))
+            ops.append(
+                _point_update(
+                    view, column, rng.randrange(n_rows), rng.randint(1, codes)
+                )
+            )
+        else:
+            ops.append(
+                FleetOp(
+                    op="query",
+                    view=view,
+                    function=("mode", "unique_count", "heavy_hitters", "count")[
+                        i % 4
+                    ],
+                    attribute=rng.choice(("RACE", "REGION")),
+                )
+            )
+    return ops
+
+
+def _undo_storm_script(
+    rng: random.Random, view: str, client: int, n_ops: int, n_rows: int
+) -> list[FleetOp]:
+    """Undo storms: bursts of speculative edits rolled straight back
+
+    (SS3.1's reversible data checking at its most abusive), with queries
+    between bursts observing the churn."""
+    ops: list[FleetOp] = []
+    while len(ops) < n_ops:
+        burst = rng.randint(2, 4)
+        for _ in range(burst):
+            ops.append(
+                _point_update(
+                    view,
+                    "INCOME",
+                    rng.randrange(n_rows),
+                    round(rng.uniform(0, 100_000), 2),
+                )
+            )
+        ops.append(FleetOp(op="undo", view=view, count=burst))
+        ops.append(
+            FleetOp(
+                op="query",
+                view=view,
+                function=rng.choice(("mean", "sum", "var")),
+                attribute="INCOME",
+            )
+        )
+    return ops[:n_ops]
+
+
+def _publish_mesh_script(
+    rng: random.Random, view: str, client: int, n_ops: int, n_rows: int
+) -> list[FleetOp]:
+    """Publish/adopt mesh: analysts clean, publish, and adopt each
+
+    other's published snapshots (SS2.3 sharing), querying their adopted
+    copies in between."""
+    ops: list[FleetOp] = []
+    adopted = ""
+    adoptions = 0
+    for i in range(n_ops):
+        step = i % 8
+        if step == 0:
+            ops.append(
+                _point_update(
+                    view,
+                    "INCOME",
+                    rng.randrange(n_rows),
+                    round(rng.uniform(10_000, 90_000), 2),
+                )
+            )
+        elif step == 1:
+            ops.append(FleetOp(op="publish", view=view))
+        elif step == 2:
+            adopted = f"adopt_{view}_c{client}_{adoptions}"
+            adoptions += 1
+            ops.append(FleetOp(op="adopt", view=view, new_name=adopted))
+        else:
+            target = adopted if adopted and rng.random() < 0.5 else view
+            ops.append(
+                FleetOp(
+                    op="query",
+                    view=target,
+                    function=rng.choice(("mean", "median", "count")),
+                    attribute=rng.choice(("INCOME", "AGE")),
+                )
+            )
+    return ops
+
+
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="na_survey_corrections",
+            description="NA-heavy survey data: audit queries + point corrections",
+            view="v_na_survey",
+            attributes=("PERSON_ID", "AGE", "INCOME", "HOURS_WORKED"),
+            script=_na_survey_script,
+            pre_invalidations=40,
+        ),
+        Scenario(
+            name="timeseries_append",
+            description="drifting time-series levels + trailing-window stats",
+            view="v_timeseries",
+            attributes=("PERSON_ID", "INCOME", "HOURS_WORKED"),
+            script=_timeseries_script,
+        ),
+        Scenario(
+            name="codebook_churn",
+            description="category recoding across editions + frequency stats",
+            view="v_codebook",
+            attributes=("PERSON_ID", "RACE", "REGION", "AGE"),
+            script=_codebook_churn_script,
+        ),
+        Scenario(
+            name="undo_storm",
+            description="speculative edit bursts rolled back + churn queries",
+            view="v_undo",
+            attributes=("PERSON_ID", "INCOME", "YEARS_EDUCATION"),
+            script=_undo_storm_script,
+        ),
+        Scenario(
+            name="publish_adopt_mesh",
+            description="publish/adopt sharing mesh over cleaned snapshots",
+            view="v_publish",
+            attributes=("PERSON_ID", "AGE", "INCOME"),
+            script=_publish_mesh_script,
+        ),
+    )
+}
+
+
+class FleetGenerator:
+    """Seeded, process-independent scenario op streams."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def client_seed(self, scenario: str, client: int) -> int:
+        return derive_seed(self.seed, "fleet", scenario, client)
+
+    def script(
+        self, scenario: str, client: int, n_ops: int, n_rows: int = 1000
+    ) -> list[FleetOp]:
+        """The exact op sequence one client of one scenario will issue."""
+        spec = SCENARIOS.get(scenario)
+        if spec is None:
+            raise WorkspaceError(
+                f"unknown scenario {scenario!r}; known: {sorted(SCENARIOS)}"
+            )
+        rng = random.Random(self.client_seed(scenario, client))
+        return spec.script(rng, spec.view, client, n_ops, n_rows)
+
+    def session_events(
+        self, scenario: str, client: int, n_events: int, n_rows: int = 1000
+    ) -> list[Any]:
+        """A Zipf-skewed :class:`SessionGenerator` stream for the same
+
+        (scenario, client) identity — used by benchmarks that replay
+        events in-process instead of over the wire."""
+        spec = SCENARIOS.get(scenario)
+        if spec is None:
+            raise WorkspaceError(f"unknown scenario {scenario!r}")
+        generator = SessionGenerator(
+            attributes=[a for a in spec.attributes if a != "PERSON_ID"],
+            update_fraction=0.2,
+            n_rows=n_rows,
+            seed=self.client_seed(scenario, client),
+        )
+        return list(generator.events(n_events))
+
+
+def build_fleet_dbms(
+    dbms: Any,
+    scenarios: Sequence[str],
+    n_rows: int = 400,
+    seed: int = 0,
+    bad_value_rate: float = 0.02,
+) -> dict[str, str]:
+    """Load the shared microdata and materialize each scenario's view.
+
+    Registers both code-book editions (the churn scenario's subject),
+    pre-applies NA invalidations where the scenario asks for them, and
+    returns ``{scenario: view_name}``.
+    """
+    dbms.load_raw(
+        generate_microdata(
+            n_rows, seed=seed, bad_value_rate=bad_value_rate, name=FLEET_DATASET
+        )
+    )
+    books = dbms.management.codebooks
+    for book in (
+        age_group_codebook(),
+        age_group_codebook_1980(),
+        race_codebook(),
+        region_codebook(),
+    ):
+        books.register(book)
+    views: dict[str, str] = {}
+    for name in scenarios:
+        spec = SCENARIOS.get(name)
+        if spec is None:
+            raise WorkspaceError(f"unknown scenario {name!r}")
+        creation = dbms.create_view(spec.definition(), analyst=f"fleet_{name}")
+        views[name] = creation.view.name
+        if spec.pre_invalidations:
+            session = dbms.session(spec.view, analyst=f"fleet_{name}")
+            updates = invalidation_stream(
+                n_rows,
+                spec.pre_invalidations,
+                seed=derive_seed(seed, "preinvalidate", name),
+            )
+            for update in updates:
+                session.update(
+                    col("PERSON_ID") == update.row, {"INCOME": update.value}
+                )
+    return views
+
+
+@dataclass
+class ScenarioResult:
+    """Measured outcome of one scenario mix under the driver."""
+
+    scenario: str
+    clients: int
+    requests: int = 0
+    errors: int = 0
+    elapsed_s: float = 0.0
+    latencies_s: list[float] = field(default_factory=list)
+
+    @property
+    def rps(self) -> float:
+        return self.requests / self.elapsed_s if self.elapsed_s else 0.0
+
+    def percentile_ms(self, fraction: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index] * 1e3
+
+    def to_metrics(self) -> dict[str, float]:
+        return {
+            "requests": float(self.requests),
+            "errors": float(self.errors),
+            "rps": self.rps,
+            "p50_ms": self.percentile_ms(0.50),
+            "p95_ms": self.percentile_ms(0.95),
+        }
+
+
+class FleetDriver:
+    """Multi-client, multi-scenario load against one live server."""
+
+    def __init__(
+        self,
+        port: int,
+        scenarios: Sequence[str],
+        clients_per_scenario: int = 2,
+        requests_per_client: int = 50,
+        n_rows: int = 400,
+        seed: int = 0,
+        timeout_s: float = 60.0,
+    ) -> None:
+        self.port = port
+        self.scenarios = list(scenarios)
+        self.clients_per_scenario = clients_per_scenario
+        self.requests_per_client = requests_per_client
+        self.n_rows = n_rows
+        self.generator = FleetGenerator(seed)
+        self.timeout_s = timeout_s
+
+    def run(self) -> dict[str, ScenarioResult]:
+        """Drive every scenario concurrently; returns per-scenario results."""
+        results = {
+            name: ScenarioResult(
+                scenario=name, clients=self.clients_per_scenario
+            )
+            for name in self.scenarios
+        }
+        lock_free_buckets: dict[tuple[str, int], list[tuple[float, bool]]] = {}
+        threads = []
+        for name in self.scenarios:
+            for client in range(self.clients_per_scenario):
+                bucket: list[tuple[float, bool]] = []
+                lock_free_buckets[(name, client)] = bucket
+                threads.append(
+                    threading.Thread(
+                        target=self._drive_client,
+                        args=(name, client, bucket),
+                        daemon=True,
+                    )
+                )
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(self.timeout_s * 4)
+        elapsed = time.perf_counter() - started
+        for (name, _), bucket in lock_free_buckets.items():
+            result = results[name]
+            result.elapsed_s = elapsed
+            for latency, ok in bucket:
+                result.requests += 1
+                result.latencies_s.append(latency)
+                if not ok:
+                    result.errors += 1
+        return results
+
+    def _drive_client(
+        self,
+        scenario: str,
+        client: int,
+        bucket: list[tuple[float, bool]],
+    ) -> None:
+        script = self.generator.script(
+            scenario, client, self.requests_per_client, self.n_rows
+        )
+        view = SCENARIOS[scenario].view
+        with ServerClient(port=self.port, timeout_s=self.timeout_s) as conn:
+            conn.handshake(f"{scenario}_c{client}")
+            conn.open_view(view)
+            for op in script:
+                start = time.perf_counter()
+                ok = True
+                try:
+                    self._issue(conn, op)
+                except Exception:
+                    # Scenario scripts legitimately race (adopt-name
+                    # collisions after a reconnect, undo beyond history);
+                    # load generation records and continues.
+                    ok = False
+                bucket.append((time.perf_counter() - start, ok))
+
+    @staticmethod
+    def _issue(conn: ServerClient, op: FleetOp) -> dict[str, Any]:
+        if op.op == "query":
+            return conn.query(op.view, op.function, op.attribute)
+        if op.op == "update":
+            attribute, equals = op.where if op.where else ("PERSON_ID", 0)
+            return conn.update(
+                op.view,
+                dict(op.assignments),
+                where={"attribute": attribute, "equals": equals},
+            )
+        if op.op == "undo":
+            return conn.undo(op.view, count=op.count)
+        if op.op == "publish":
+            return conn.publish(op.view)
+        if op.op == "adopt":
+            return conn.adopt(op.view, op.new_name)
+        raise WorkspaceError(f"unknown fleet op {op.op!r}")

@@ -1,0 +1,214 @@
+"""The workspace metadata index: navigate thousands of views unopened.
+
+The paper's months-long exploratory lifecycle leaves an analyst estate of
+derived views, summaries, and code-book editions.  At fleet scale the
+question "which of my 3,000 views touch the 1980 code book and have a
+stale approximate median?" must not require recovering 3,000 DBMS
+instances — the index answers it from ``manifest.json`` records alone.
+
+The index is rebuilt by scanning the workspace root (one small JSON read
+per view, no WAL replay, no checkpoint load) and maintained incrementally
+by the :class:`~repro.workspace.space.Workspace` on every mutation.  The
+rebuild is crash-tolerant by contract: an unreadable or corrupt manifest
+quarantines that directory with a warning and the scan continues — a
+single damaged view never makes the whole fleet unnavigable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.core.errors import ManifestError
+from repro.workspace.manifest import ViewManifest, manifest_path, read_manifest
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """One view's queryable metadata, decoupled from the live manifest."""
+
+    space_id: str
+    view_name: str
+    directory: Path
+    definition_canonical: str
+    parameters: dict[str, Any]
+    stats: frozenset[str]
+    stale_stats: frozenset[str]
+    codebook_editions: dict[str, tuple[str, ...]]
+    high_water_mark: int
+    parent: str | None
+
+    @property
+    def stale(self) -> bool:
+        """Whether any summary entry of this view is stale."""
+        return bool(self.stale_stats)
+
+
+def _entry_from_manifest(manifest: ViewManifest, directory: Path) -> IndexEntry:
+    lineage = manifest.lineage or {}
+    return IndexEntry(
+        space_id=manifest.space_id,
+        view_name=manifest.view_name,
+        directory=directory,
+        definition_canonical=manifest.definition_canonical,
+        parameters=dict(manifest.parameters),
+        stats=frozenset(manifest.stats()),
+        stale_stats=frozenset(manifest.stale_stats()),
+        codebook_editions={
+            name: tuple(editions)
+            for name, editions in manifest.codebook_editions.items()
+        },
+        high_water_mark=manifest.high_water_mark,
+        parent=lineage.get("parent"),
+    )
+
+
+class WorkspaceIndex:
+    """In-memory find-by-anything over a workspace's manifests."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, IndexEntry] = {}
+        #: directory name -> reason, for manifests the scan could not read.
+        self.quarantined: dict[str, str] = {}
+        self.warnings: list[str] = []
+
+    # -- maintenance ---------------------------------------------------------
+
+    def rebuild(self, root: str | Path) -> int:
+        """Re-scan ``root``; returns the number of indexed views.
+
+        Never raises for a damaged view directory: unreadable manifests
+        land in :attr:`quarantined` with a warning instead.
+        """
+        self._entries = {}
+        self.quarantined = {}
+        self.warnings = []
+        root = Path(root)
+        if not root.exists():
+            return 0
+        for directory in sorted(p for p in root.iterdir() if p.is_dir()):
+            if not manifest_path(directory).exists():
+                continue  # not a view directory (scratch, temp, ...)
+            try:
+                manifest = read_manifest(directory)
+            except ManifestError as exc:
+                self.quarantined[directory.name] = str(exc)
+                self.warnings.append(
+                    f"quarantined {directory.name}: {exc}"
+                )
+                continue
+            self.update(manifest, directory)
+        return len(self._entries)
+
+    def update(self, manifest: ViewManifest, directory: str | Path) -> None:
+        """Insert or refresh one view's entry (workspace mutation hook)."""
+        self._entries[manifest.space_id] = _entry_from_manifest(
+            manifest, Path(directory)
+        )
+        self.quarantined.pop(manifest.space_id, None)
+
+    def remove(self, space_id: str) -> None:
+        """Drop one view's entry (ignores unknown ids)."""
+        self._entries.pop(space_id, None)
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, space_id: str) -> bool:
+        return space_id in self._entries
+
+    def ids(self) -> list[str]:
+        """All indexed space ids, sorted."""
+        return sorted(self._entries)
+
+    def get(self, space_id: str) -> IndexEntry:
+        try:
+            return self._entries[space_id]
+        except KeyError:
+            raise ManifestError(f"no indexed view {space_id!r}") from None
+
+    def entries(self) -> Iterator[IndexEntry]:
+        """All entries, in sorted space-id order."""
+        for space_id in sorted(self._entries):
+            yield self._entries[space_id]
+
+    def canonical_forms(self) -> dict[str, str]:
+        """space id -> canonical definition, for SS2.3 lineage matching."""
+        return {
+            space_id: entry.definition_canonical
+            for space_id, entry in self._entries.items()
+        }
+
+    def find(
+        self,
+        *,
+        view: str | None = None,
+        stat: str | None = None,
+        stale: bool | None = None,
+        edition: str | None = None,
+        codebook: str | None = None,
+        parent: str | None = None,
+        min_high_water_mark: int | None = None,
+        **parameters: Any,
+    ) -> list[IndexEntry]:
+        """Views matching every given criterion (AND semantics).
+
+        ``stat`` filters on the summary inventory; combined with ``stale``
+        it asks about *that* statistic's freshness (``stale=True`` alone
+        means "any entry stale").  ``edition`` matches views whose code
+        books include the edition (optionally pinned to one ``codebook``
+        name) or whose parameters carry ``edition=...``.  Remaining
+        keyword arguments match against the view's stored parameters by
+        equality.
+        """
+        results = []
+        for entry in self.entries():
+            if view is not None and entry.view_name != view:
+                continue
+            if stat is not None and stat not in entry.stats:
+                continue
+            if stale is not None:
+                observed = (
+                    stat in entry.stale_stats if stat is not None else entry.stale
+                )
+                if observed != stale:
+                    continue
+            if edition is not None:
+                books = (
+                    [entry.codebook_editions.get(codebook, ())]
+                    if codebook is not None
+                    else list(entry.codebook_editions.values())
+                )
+                in_books = any(edition in editions for editions in books)
+                # A view parameterized with edition=... matches too — the
+                # workspace treats "which edition is this view about?" as
+                # one question whether it came from a registered code book
+                # or from the creating analyst's parameters.
+                as_parameter = (
+                    codebook is None and entry.parameters.get("edition") == edition
+                )
+                if not (in_books or as_parameter):
+                    continue
+            elif codebook is not None and codebook not in entry.codebook_editions:
+                continue
+            if parent is not None and entry.parent != parent:
+                continue
+            if (
+                min_high_water_mark is not None
+                and entry.high_water_mark < min_high_water_mark
+            ):
+                continue
+            if any(
+                entry.parameters.get(key) != wanted
+                for key, wanted in parameters.items()
+            ):
+                continue
+            results.append(entry)
+        return results
+
+    def children(self, space_id: str) -> list[IndexEntry]:
+        """Views whose lineage names ``space_id`` as parent."""
+        return self.find(parent=space_id)

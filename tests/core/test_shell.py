@@ -139,3 +139,53 @@ class TestErrors:
         assert "usage" in output_of(shell, "load")
         assert "usage" in output_of(shell, "view onlyname")
         assert "usage" in output_of(shell, "open")
+
+
+class TestWorkspaceCommands:
+    def _seeded_workspace(self, tmp_path):
+        from repro.views.materialize import SourceNode, ViewDefinition
+        from repro.workloads.census import figure1_dataset
+        from repro.workspace.space import Workspace
+
+        root = tmp_path / "ws"
+        ws = Workspace(root)
+        managed = ws.create(
+            ViewDefinition("study", SourceNode("census_fig1")),
+            figure1_dataset(),
+            {"edition": "1980", "wave": 3},
+        )
+        managed.session("a").compute("mean", "AVE_SALARY")
+        managed.checkpoint()
+        ws.close_all()
+        return root, managed.space_id
+
+    def test_attach_find_checkpoint(self, shell, tmp_path):
+        root, space_id = self._seeded_workspace(tmp_path)
+        out = output_of(shell, f"workspace {root}")
+        assert "1 views indexed" in out
+        out = output_of(shell, "ws-find stat=mean")
+        assert space_id in out and "study" in out
+        out = output_of(shell, "ws-find edition=1980")
+        assert space_id in out
+        out = output_of(shell, "ws-find stat=median")
+        assert "no matching views" in out
+        # int-typed parameters match via the coerced retry
+        out = output_of(shell, "ws-find wave=3")
+        assert space_id in out
+        assert "no matching views" in output_of(shell, "ws-find wave=4")
+        out = output_of(shell, "ws-checkpoint-all")
+        assert "checkpoint_all" in out
+
+    def test_commands_need_workspace(self, shell):
+        assert "no workspace attached" in output_of(shell, "ws-find stat=mean")
+        assert "no workspace attached" in output_of(shell, "ws-checkpoint-all")
+        assert "usage" in output_of(shell, "workspace")
+
+    def test_bad_query_token(self, shell, tmp_path):
+        root, _ = self._seeded_workspace(tmp_path)
+        output_of(shell, f"workspace {root}")
+        assert "usage" in output_of(shell, "ws-find notakeyvalue")
+
+    def test_unknown_command_still_reported(self, shell):
+        out = output_of(shell, "zz-unknown")
+        assert "zz-unknown" in out

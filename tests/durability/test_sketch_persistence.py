@@ -172,6 +172,7 @@ class TestNeverSilentlyWrong:
             "hll",
             "reservoir",
             "countmin",
+            "heavy_hitters",
             "linreg",
         }
 

@@ -1,0 +1,114 @@
+"""Tests for the CountMin-backed heavy-hitters sketch and stat function."""
+
+import pytest
+
+from repro.core.errors import FunctionError, StatisticsError
+from repro.incremental.sketches import EPSILON_CM, HeavyHitterSketch
+from repro.metadata.functions import FunctionRegistry, _heavy_hitters_exact
+from repro.relational.types import NA
+
+
+def build(values, k=3, **kwargs):
+    sketch = HeavyHitterSketch(k=k, **kwargs)
+    sketch.initialize(values)
+    return sketch
+
+
+SAMPLE = ["a"] * 5 + ["b"] * 3 + ["c"] * 2 + ["d"] + [NA, NA]
+
+
+class TestSketch:
+    def test_matches_exact_on_small_data(self):
+        sketch = build(SAMPLE, k=3)
+        assert sketch.value == _heavy_hitters_exact(SAMPLE, 3)
+        assert sketch.value[0] == ("a", 5.0)
+
+    def test_order_independent(self):
+        assert build(SAMPLE, k=3).value == build(list(reversed(SAMPLE)), k=3).value
+
+    def test_insert_promotes_grower(self):
+        sketch = build(["a"] * 4 + ["b"] * 3, k=2)
+        for _ in range(5):
+            sketch.on_insert("c")
+        values = [value for value, _ in sketch.value]
+        assert "c" in values
+
+    def test_delete_demotes(self):
+        sketch = build(["a"] * 5 + ["b"] * 2, k=2)
+        for _ in range(4):
+            sketch.on_delete("a")
+        assert sketch.value[0] == ("b", 2.0)
+
+    def test_na_ignored(self):
+        sketch = build([NA, NA, "x"], k=2)
+        assert sketch.value == (("x", 1.0),)
+        sketch.on_insert(NA)
+        sketch.on_delete(NA)
+        assert sketch.value == (("x", 1.0),)
+
+    def test_empty(self):
+        assert build([], k=3).value == ()
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(StatisticsError):
+            HeavyHitterSketch(k=0)
+
+    def test_counts_never_underestimate(self):
+        values = [i % 50 for i in range(2000)]
+        sketch = build(values, k=5, width=256)
+        for value, count in sketch.value:
+            true = values.count(value)
+            assert count >= true
+            assert count <= true + EPSILON_CM * len(values) * 4
+
+
+class TestPartials:
+    def test_merge_equals_whole(self):
+        left, right = SAMPLE[:6], SAMPLE[6:]
+        a = build(left, k=3)
+        b = build(right, k=3)
+        a.merge_partial(b.partial_state())
+        assert a.value == build(SAMPLE, k=3).value
+
+    def test_merge_discovers_cross_shard_heavies(self):
+        # 'x' is a minority in each shard but the global majority.
+        a = build(["x"] * 3 + ["a"] * 4, k=1)
+        b = build(["x"] * 3 + ["b"] * 4, k=1)
+        a.merge_partial(b.partial_state())
+        assert a.value[0][0] == "x"
+
+
+class TestPersistence:
+    def test_state_round_trip(self):
+        sketch = build(SAMPLE, k=3)
+        clone = HeavyHitterSketch.from_state(sketch.to_state())
+        assert clone.value == sketch.value
+        clone.on_insert("b")
+        sketch.on_insert("b")
+        assert clone.value == sketch.value
+
+    def test_exotic_candidate_not_persistable(self):
+        sketch = build([("tuple", "value")] * 3, k=2)
+        with pytest.raises(StatisticsError, match="not persistable"):
+            sketch.to_state()
+
+
+class TestStatFunction:
+    def test_registered_and_synthesized(self):
+        repo = FunctionRegistry()
+        default = repo.get("heavy_hitters")
+        assert default.epsilon == EPSILON_CM
+        assert repo.get("heavy_hitters_3").name == "heavy_hitters_3"
+        with pytest.raises(FunctionError):
+            repo.get("heavy_hitters_0")
+
+    def test_exact_compute_tie_break(self):
+        result = _heavy_hitters_exact(["b", "a", "b", "a", "c"], 2)
+        # equal counts break ties by repr: 'a' before 'b'
+        assert result == (("a", 2.0), ("b", 2.0))
+
+    def test_maintainer_agrees_with_compute(self):
+        repo = FunctionRegistry()
+        function = repo.get("heavy_hitters_2")
+        maintainer = function.make_maintainer(lambda: SAMPLE)
+        assert maintainer.value == function.compute(SAMPLE)

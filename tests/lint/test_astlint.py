@@ -369,6 +369,55 @@ class TestDurabilityIo:
             assert lint(code, path=module, select={"REPRO-A108"}) == []
 
 
+class TestWorkspaceIo:
+    def test_constant_manifest_path_flagged(self):
+        code = """
+        def sneak(directory):
+            with open(directory / "manifest.json", "rb") as handle:
+                return handle.read()
+        """
+        findings = lint(code, path="src/repro/core/session.py", select={"REPRO-A111"})
+        assert rule_ids(findings) == ["REPRO-A111"]
+
+    def test_variable_named_manifest_flagged(self):
+        code = """
+        def sneak(manifest_path):
+            return open(manifest_path, "w")
+        """
+        findings = lint(code, path="src/repro/core/shell.py", select={"REPRO-A111"})
+        assert rule_ids(findings) == ["REPRO-A111"]
+
+    def test_replace_of_workspace_path_flagged(self):
+        code = """
+        import os
+
+        def sneak(workspace_dir, tmp):
+            os.replace(tmp, workspace_dir / "manifest.json")
+        """
+        findings = lint(code, path="src/repro/core/dbms.py", select={"REPRO-A111"})
+        assert rule_ids(findings) == ["REPRO-A111"]
+
+    def test_unrelated_open_passes(self):
+        code = """
+        def load(path):
+            with open(path, "r") as handle:
+                return handle.read()
+        """
+        assert lint(code, path="src/repro/io/csvio.py", select={"REPRO-A111"}) == []
+
+    def test_workspace_package_exempt(self):
+        code = """
+        def scan(directory):
+            return open(directory / "manifest.json", "rb").read()
+        """
+        for module in (
+            "src/repro/workspace/manifest.py",
+            "src/repro/workspace/space.py",
+            "src/repro/workspace/index.py",
+        ):
+            assert lint(code, path=module, select={"REPRO-A111"}) == []
+
+
 class TestLockConstruct:
     def test_threading_lock_flagged(self):
         code = """

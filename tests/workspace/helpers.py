@@ -1,0 +1,30 @@
+"""Shared builders for the workspace test suite."""
+
+from __future__ import annotations
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.relational.types import DataType
+from repro.views.materialize import ProjectNode, SourceNode, ViewDefinition
+
+
+def tiny_relation(rows: int = 12, name: str = "people") -> Relation:
+    """A small numeric dataset: id (int) + x (float) + y (float)."""
+    schema = Schema(
+        [
+            Attribute("id", DataType.INT),
+            Attribute("x", DataType.FLOAT),
+            Attribute("y", DataType.FLOAT),
+        ]
+    )
+    return Relation(
+        name, schema, [[i, float(i), float(i * i)] for i in range(rows)]
+    )
+
+
+def full_definition(name: str = "v_full") -> ViewDefinition:
+    return ViewDefinition(name, SourceNode("people"))
+
+
+def projected_definition(name: str = "v_proj") -> ViewDefinition:
+    return ViewDefinition(name, ProjectNode(SourceNode("people"), ("id", "x")))

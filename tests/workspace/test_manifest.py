@@ -1,0 +1,150 @@
+"""Manifest identity, round-trip, and crash-safe commit."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import InjectedFault, ManifestError
+from repro.durability.faults import FaultInjector, FaultPlan
+from repro.workspace.manifest import (
+    MANIFEST_NAME,
+    ViewManifest,
+    manifest_path,
+    read_manifest,
+    view_space_id,
+    write_manifest,
+)
+
+from tests.workspace.helpers import (
+    full_definition,
+    projected_definition,
+    tiny_relation,
+)
+
+
+def sample_manifest(space_id: str = "abc123") -> ViewManifest:
+    definition = full_definition()
+    return ViewManifest(
+        space_id=space_id,
+        view_name="v_full",
+        definition={"name": "v_full", "plan": "source"},
+        definition_canonical=definition.canonical(),
+        parameters={"edition": "1980", "k": 3},
+        schema=[{"name": "id", "dtype": "INT", "role": "measure", "codebook": None}],
+        codebook_editions={"AGE_GROUP": ["1970", "1980"]},
+        high_water_mark=7,
+        summary_inventory=[
+            {"function": "mean", "attributes": ["x"], "kind": "scalar", "stale": False},
+            {"function": "median", "attributes": ["x"], "kind": "sketch", "stale": True},
+        ],
+        lineage={"parent": "fff", "kind": "derivable", "operations": 1},
+    )
+
+
+class TestSpaceId:
+    def test_stable_across_calls(self):
+        rel = tiny_relation()
+        a = view_space_id(rel.schema, full_definition(), {"edition": "1980"})
+        b = view_space_id(rel.schema, full_definition(), {"edition": "1980"})
+        assert a == b
+        assert len(a) == 16
+
+    def test_name_independent(self):
+        # Content addressing hashes the canonical (name-free) definition:
+        # renaming a view does not re-materialize it.
+        rel = tiny_relation()
+        a = view_space_id(rel.schema, full_definition("v1"))
+        b = view_space_id(rel.schema, full_definition("v2"))
+        assert a == b
+
+    def test_parameters_and_definition_discriminate(self):
+        rel = tiny_relation()
+        base = view_space_id(rel.schema, full_definition())
+        assert view_space_id(rel.schema, full_definition(), {"e": 1}) != base
+        assert view_space_id(rel.schema, projected_definition()) != base
+
+    def test_parameter_key_order_irrelevant(self):
+        rel = tiny_relation()
+        a = view_space_id(rel.schema, full_definition(), {"a": 1, "b": 2})
+        b = view_space_id(rel.schema, full_definition(), {"b": 2, "a": 1})
+        assert a == b
+
+    def test_unserializable_parameters_rejected(self):
+        rel = tiny_relation()
+        with pytest.raises(ManifestError):
+            view_space_id(rel.schema, full_definition(), {"bad": object()})
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        manifest = sample_manifest()
+        write_manifest(tmp_path, manifest)
+        loaded = read_manifest(tmp_path)
+        assert loaded.to_dict() == manifest.to_dict()
+        assert loaded.stats() == {"mean", "median"}
+        assert loaded.stale_stats() == {"median"}
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ManifestError, match="unreadable"):
+            read_manifest(tmp_path)
+
+    def test_corrupt_bytes(self, tmp_path):
+        manifest_path(tmp_path).write_bytes(b"\x00\xffnot json")
+        with pytest.raises(ManifestError, match="corrupt"):
+            read_manifest(tmp_path)
+
+    def test_non_object_payload(self, tmp_path):
+        manifest_path(tmp_path).write_text("[1, 2, 3]")
+        with pytest.raises(ManifestError, match="not a JSON object"):
+            read_manifest(tmp_path)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        data = sample_manifest().to_dict()
+        data["format"] = 99
+        manifest_path(tmp_path).write_text(json.dumps(data))
+        with pytest.raises(ManifestError, match="unsupported format"):
+            read_manifest(tmp_path)
+
+    def test_malformed_record_rejected(self, tmp_path):
+        data = sample_manifest().to_dict()
+        del data["space_id"]
+        manifest_path(tmp_path).write_text(json.dumps(data))
+        with pytest.raises(ManifestError, match="malformed"):
+            read_manifest(tmp_path)
+
+
+class TestCrashSafety:
+    def test_crash_at_every_io_point_is_atomic(self, tmp_path):
+        """A crash mid-commit leaves the old manifest or the new one.
+
+        One ``write_manifest`` issues: open(tmp), write, fsync(file),
+        replace, fsync(dir).  Killing the commit at each point must leave
+        a readable manifest — either edition, never a torn mix.
+        """
+        old = sample_manifest()
+        write_manifest(tmp_path, old)
+        new = sample_manifest()
+        new.high_water_mark = 99
+
+        plans = [
+            FaultPlan(fail_on_open=1),
+            FaultPlan(fail_on_write=1, mode="raise"),
+            FaultPlan(fail_on_write=1, mode="torn"),
+            FaultPlan(fail_on_fsync=1),
+            FaultPlan(fail_on_replace=1),
+            FaultPlan(fail_on_fsync=2),
+        ]
+        for plan in plans:
+            with pytest.raises(InjectedFault):
+                write_manifest(tmp_path, new, faults=FaultInjector(plan))
+            loaded = read_manifest(tmp_path)
+            assert loaded.high_water_mark in (old.high_water_mark, 99)
+
+        write_manifest(tmp_path, new)
+        assert read_manifest(tmp_path).high_water_mark == 99
+
+    def test_no_temp_file_left_behind_on_success(self, tmp_path):
+        write_manifest(tmp_path, sample_manifest())
+        assert not (tmp_path / (MANIFEST_NAME + ".tmp")).exists()
